@@ -1,0 +1,370 @@
+//! The Table II evaluation harness: runs a sample against a defended
+//! machine and reports what the verifier *actually* alerted on.
+
+use cia_ima::{ImaConfig, ImaPolicy};
+use cia_keylime::{Agent, AgentStatus, Alert, Cluster, FailureKind, RuntimePolicy, VerifierConfig};
+use cia_os::{Machine, MachineConfig};
+use cia_vfs::VfsPath;
+
+use crate::samples::AttackSample;
+use crate::steps::{execute_steps, AttackPlan, AttackStep};
+
+/// Basic (Keylime-unaware) vs adaptive (P1–P5-exploiting) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// The attacker deploys normally.
+    Basic,
+    /// The attacker routes around the discovered problems.
+    Adaptive,
+}
+
+/// Which of the paper's problems are left open vs fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefenseConfig {
+    /// P1 present: the Keylime policy excludes `/tmp`.
+    pub exclude_tmp_in_policy: bool,
+    /// P3 present: the IMA policy exempts tmpfs & friends.
+    pub ima_excludes_volatile_fs: bool,
+    /// P2 fixed: the verifier completes attestation despite failures.
+    pub continue_on_failure: bool,
+    /// P4 fixed: IMA re-measures when a cached inode shows up under a
+    /// new path.
+    pub ima_reevaluate: bool,
+    /// P5 partially fixed: script-execution-control enabled (only helps
+    /// against interpreters that opt in).
+    pub script_exec_control: bool,
+}
+
+impl DefenseConfig {
+    /// The deployment the paper studied: all five problems present.
+    pub fn stock() -> Self {
+        DefenseConfig {
+            exclude_tmp_in_policy: true,
+            ima_excludes_volatile_fs: true,
+            continue_on_failure: false,
+            ima_reevaluate: false,
+            script_exec_control: false,
+        }
+    }
+
+    /// §IV-C's recommended fixes, all applied.
+    pub fn mitigated() -> Self {
+        DefenseConfig {
+            exclude_tmp_in_policy: false,
+            ima_excludes_volatile_fs: false,
+            continue_on_failure: true,
+            ima_reevaluate: true,
+            script_exec_control: true,
+        }
+    }
+
+    /// Stock except P1 fixed: the Keylime policy stops excluding `/tmp`.
+    pub fn fix_p1_only() -> Self {
+        DefenseConfig {
+            exclude_tmp_in_policy: false,
+            ..Self::stock()
+        }
+    }
+
+    /// Stock except P2 fixed: continue-on-failure verification.
+    pub fn fix_p2_only() -> Self {
+        DefenseConfig {
+            continue_on_failure: true,
+            ..Self::stock()
+        }
+    }
+
+    /// Stock except P3 fixed: IMA measures tmpfs & friends.
+    pub fn fix_p3_only() -> Self {
+        DefenseConfig {
+            ima_excludes_volatile_fs: false,
+            ..Self::stock()
+        }
+    }
+
+    /// Stock except P4 fixed: IMA re-measures on path changes.
+    pub fn fix_p4_only() -> Self {
+        DefenseConfig {
+            ima_reevaluate: true,
+            ..Self::stock()
+        }
+    }
+
+    /// Stock except P5 "fixed": script-execution-control enabled — which
+    /// only constrains interpreters that opt in, so adaptive attackers
+    /// who pick a non-opted interpreter are unaffected.
+    pub fn fix_p5_only() -> Self {
+        DefenseConfig {
+            script_exec_control: true,
+            ..Self::stock()
+        }
+    }
+}
+
+/// The outcome of one sample × plan × defense evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionResult {
+    /// Alerts referencing attack artifacts before any reboot.
+    pub live_alerts: Vec<Alert>,
+    /// Alerts referencing attack artifacts after the reboot + re-deploy.
+    pub boot_alerts: Vec<Alert>,
+    /// All alerts raised, including attacker-induced false positives.
+    pub all_alerts: Vec<Alert>,
+}
+
+impl DetectionResult {
+    /// Detected while the compromised system kept running.
+    pub fn detected_live(&self) -> bool {
+        !self.live_alerts.is_empty()
+    }
+
+    /// Detected at/after the reboot (the paper's ✓\* outcome).
+    pub fn detected_after_reboot(&self) -> bool {
+        !self.boot_alerts.is_empty()
+    }
+
+    /// Detected at any point.
+    pub fn detected_ever(&self) -> bool {
+        self.detected_live() || self.detected_after_reboot()
+    }
+}
+
+/// System binaries provisioned on every machine (all in policy).
+const SYSTEM_BINARIES: &[&str] = &[
+    "/bin/bash",
+    "/bin/sh",
+    "/usr/bin/python3",
+    "/usr/bin/perl",
+    "/usr/bin/make",
+    "/usr/bin/gcc",
+    "/usr/sbin/insmod",
+    "/usr/bin/wget",
+    "/usr/bin/tar",
+    "/usr/bin/ls",
+];
+
+/// Builds a provisioned, enrolled machine under the given defense.
+fn provision(defense: &DefenseConfig, seed: u64) -> (Cluster, String) {
+    let ima_policy = if defense.ima_excludes_volatile_fs {
+        ImaPolicy::keylime_default()
+    } else {
+        ImaPolicy::enriched(defense.script_exec_control)
+    };
+    let machine_config = MachineConfig {
+        hostname: "victim".to_string(),
+        ima_policy,
+        ima_config: ImaConfig {
+            reevaluate_on_path_change: defense.ima_reevaluate,
+            script_exec_control: defense.script_exec_control,
+        },
+        seed,
+        ..MachineConfig::default()
+    };
+    let mut cluster = Cluster::new(
+        seed,
+        VerifierConfig {
+            continue_on_failure: defense.continue_on_failure,
+        },
+    );
+    let mut machine = Machine::new(&cluster.manufacturer, machine_config);
+
+    let mut policy = RuntimePolicy::new();
+    if defense.exclude_tmp_in_policy {
+        policy.exclude("/tmp");
+    }
+    for bin in SYSTEM_BINARIES {
+        let path = VfsPath::new(bin).expect("static path");
+        machine
+            .write_executable(&path, format!("system binary {bin}").as_bytes())
+            .expect("provision binary");
+        let digest = machine
+            .vfs
+            .file_digest(&path, cia_crypto::HashAlgorithm::Sha256)
+            .expect("digest");
+        policy.allow(*bin, digest.to_hex());
+    }
+    // A couple of user documents for the ransomware to chew on.
+    machine.vfs.mkdir_p(&VfsPath::new("/home/user").unwrap()).unwrap();
+    machine
+        .vfs
+        .write_file(
+            &VfsPath::new("/home/user/notes.txt").unwrap(),
+            b"important data".to_vec(),
+            cia_vfs::Mode::REGULAR,
+        )
+        .unwrap();
+
+    let id = cluster
+        .add_agent(Agent::new(machine), policy)
+        .expect("enrolment");
+    (cluster, id)
+}
+
+/// Paths the attack itself touches (used to separate true detections from
+/// attacker-induced decoy false positives).
+fn artifact_paths(plan: &AttackPlan) -> Vec<String> {
+    let mut out = Vec::new();
+    for step in plan.steps.iter().chain(plan.on_boot.iter()) {
+        match step {
+            AttackStep::DropFile { path, .. }
+            | AttackStep::Compile { output: path, .. }
+            | AttackStep::Chmod { path }
+            | AttackStep::Exec { path, .. }
+            | AttackStep::LoadModule { path }
+            | AttackStep::MmapLibrary { path } => out.push(path.clone()),
+            AttackStep::Move { from, to } => {
+                out.push(from.clone());
+                out.push(to.clone());
+            }
+            AttackStep::TriggerFalsePositive { .. }
+            | AttackStep::EncryptFiles { .. }
+            | AttackStep::InstallPersistence { .. }
+            | AttackStep::ConnectCnC { .. } => {}
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn alert_references(alert: &Alert, artifacts: &[String]) -> bool {
+    match &alert.kind {
+        FailureKind::HashMismatch { path, .. } | FailureKind::NotInPolicy { path, .. } => {
+            artifacts.iter().any(|a| a == path)
+        }
+        _ => false,
+    }
+}
+
+/// Polls a few times, collecting alerts; the operator resolves pauses
+/// (investigate-and-resume), as in the paper's workflow.
+fn attest_rounds(cluster: &mut Cluster, id: &str, rounds: u32) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for _ in 0..rounds {
+        if let cia_keylime::AttestationOutcome::Failed { alerts: a } = cluster.attest(id).expect("attestation transport") { alerts.extend(a) }
+        if cluster.status(id).expect("status") == AgentStatus::Paused {
+            cluster.resolve(id).expect("resolve");
+        }
+    }
+    alerts
+}
+
+/// Runs one `sample` under `mode` against `defense` and reports the
+/// verifier's observations: live detection, then a reboot with the
+/// persistence replay and post-reboot detection.
+pub fn evaluate(sample: &AttackSample, mode: PlanMode, defense: &DefenseConfig) -> DetectionResult {
+    let (mut cluster, id) = provision(defense, 0xa77ac);
+    // Pre-attack sanity: the clean machine attests.
+    let pre = attest_rounds(&mut cluster, &id, 2);
+    assert!(
+        pre.is_empty(),
+        "machine must attest cleanly before the attack: {pre:?}"
+    );
+
+    let plan = match mode {
+        PlanMode::Basic => sample.basic_plan(),
+        PlanMode::Adaptive => sample.adaptive_plan(),
+    };
+    let artifacts = artifact_paths(&plan);
+    let mut result = DetectionResult::default();
+
+    // Intrusion.
+    execute_steps(cluster.agent_mut(&id).unwrap().machine_mut(), &plan.steps);
+    let live = attest_rounds(&mut cluster, &id, 3);
+    result.live_alerts = live
+        .iter()
+        .filter(|a| alert_references(a, &artifacts))
+        .cloned()
+        .collect();
+    result.all_alerts.extend(live);
+
+    // Reboot + persistence replay ("fresh attestation").
+    cluster
+        .agent_mut(&id)
+        .unwrap()
+        .machine_mut()
+        .reboot()
+        .expect("reboot");
+    execute_steps(
+        cluster.agent_mut(&id).unwrap().machine_mut(),
+        &plan.on_boot,
+    );
+    let post = attest_rounds(&mut cluster, &id, 3);
+    result.boot_alerts = post
+        .iter()
+        .filter(|a| alert_references(a, &artifacts))
+        .cloned()
+        .collect();
+    result.all_alerts.extend(post);
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::attack_corpus;
+
+    #[test]
+    fn table_ii_basic_attacks_all_detected() {
+        for sample in attack_corpus() {
+            let result = evaluate(&sample, PlanMode::Basic, &DefenseConfig::stock());
+            assert!(
+                result.detected_live(),
+                "{} must be detected when the attacker is Keylime-unaware; alerts {:?}",
+                sample.name,
+                result.all_alerts
+            );
+        }
+    }
+
+    #[test]
+    fn table_ii_adaptive_attacks_all_evade() {
+        for sample in attack_corpus() {
+            let result = evaluate(&sample, PlanMode::Adaptive, &DefenseConfig::stock());
+            assert!(
+                !result.detected_ever(),
+                "{} adaptive plan must evade stock Keylime; live {:?} boot {:?}",
+                sample.name,
+                result.live_alerts,
+                result.boot_alerts
+            );
+        }
+    }
+
+    #[test]
+    fn table_ii_mitigations_catch_all_but_aoyama() {
+        for sample in attack_corpus() {
+            let result = evaluate(&sample, PlanMode::Adaptive, &DefenseConfig::mitigated());
+            if sample.pure_interpreter {
+                assert!(
+                    !result.detected_ever(),
+                    "{} (pure interpreter) stays undetectable even mitigated",
+                    sample.name
+                );
+            } else {
+                assert!(
+                    result.detected_ever(),
+                    "{} must be detectable once mitigations are applied",
+                    sample.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p2_decoy_alerts_do_not_count_as_detection() {
+        let sample = attack_corpus()
+            .into_iter()
+            .find(|s| s.name == "Mortem-qBot")
+            .unwrap();
+        let result = evaluate(&sample, PlanMode::Adaptive, &DefenseConfig::stock());
+        // The decoy false positives fired...
+        assert!(
+            result.all_alerts.len() > result.live_alerts.len() + result.boot_alerts.len(),
+            "expected attacker-induced FP noise"
+        );
+        // ...but nothing referencing the bot itself.
+        assert!(!result.detected_ever());
+    }
+}

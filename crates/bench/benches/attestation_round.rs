@@ -1,0 +1,118 @@
+//! Criterion: verifier attestation rounds.
+//!
+//! Measures (a) steady-state polling at different measurement-list sizes,
+//! (b) the cost of processing a batch of new entries, and (c) the
+//! stop-on-failure vs continue-on-failure ablation with a log full of
+//! policy violations (the price of the P2 fix).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use cia_crypto::HashAlgorithm;
+use cia_keylime::{Cluster, RuntimePolicy, VerifierConfig};
+use cia_os::{ExecMethod, MachineConfig};
+use cia_vfs::VfsPath;
+
+/// Builds a cluster whose machine has executed `n` in-policy binaries.
+fn cluster_with_entries(n: usize, config: VerifierConfig) -> (Cluster, String) {
+    let mut cluster = Cluster::new(1, config);
+    let mut policy = RuntimePolicy::new();
+    let id = cluster
+        .add_machine(MachineConfig::default(), RuntimePolicy::new())
+        .unwrap();
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        for i in 0..n {
+            let path = VfsPath::new(&format!("/usr/bin/tool-{i:05}")).unwrap();
+            m.write_executable(&path, format!("binary {i}").as_bytes()).unwrap();
+            let digest = m.vfs.file_digest(&path, HashAlgorithm::Sha256).unwrap();
+            policy.allow(path.as_str(), digest.to_hex());
+        }
+    }
+    cluster.verifier.update_policy(&id, policy).unwrap();
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        for i in 0..n {
+            let path = VfsPath::new(&format!("/usr/bin/tool-{i:05}")).unwrap();
+            m.exec(&path, ExecMethod::Direct).unwrap();
+        }
+    }
+    (cluster, id)
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attest/steady_state");
+    for n in [10usize, 100, 1000] {
+        let (mut cluster, id) = cluster_with_entries(n, VerifierConfig::default());
+        // Consume the backlog once; afterwards every poll is steady-state.
+        assert!(cluster.attest(&id).unwrap().is_verified());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let outcome = cluster.attest(&id).unwrap();
+                assert!(outcome.is_verified());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backlog_processing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attest/process_backlog");
+    group.sample_size(20);
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || cluster_with_entries(n, VerifierConfig::default()),
+                |(mut cluster, id)| {
+                    let outcome = cluster.attest(&id).unwrap();
+                    assert!(outcome.is_verified());
+                    outcome
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: a log of 200 entries where every second one violates policy.
+fn bench_failure_handling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attest/failure_mode");
+    group.sample_size(20);
+    for (label, config) in [
+        ("stop_on_failure", VerifierConfig::default()),
+        (
+            "continue_on_failure",
+            VerifierConfig {
+                continue_on_failure: true,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let (mut cluster, id) = cluster_with_entries(100, config);
+                    let m = cluster.agent_mut(&id).unwrap().machine_mut();
+                    for i in 0..100 {
+                        let path =
+                            VfsPath::new(&format!("/usr/local/bin/rogue-{i:03}")).unwrap();
+                        m.write_executable(&path, format!("rogue {i}").as_bytes()).unwrap();
+                        m.exec(&path, ExecMethod::Direct).unwrap();
+                    }
+                    (cluster, id)
+                },
+                |(mut cluster, id)| cluster.attest(&id).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state,
+    bench_backlog_processing,
+    bench_failure_handling
+);
+criterion_main!(benches);

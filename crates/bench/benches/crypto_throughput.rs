@@ -1,0 +1,49 @@
+//! Criterion: primitive throughput — SHA-256/SHA-1/HMAC.
+//!
+//! The dynamic policy generator's dominant compute is file hashing
+//! (§III-C); these benches establish the substrate's real throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cia_crypto::{Hmac, Sha1, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536, 1_048_576] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for size in [1024usize, 65_536] {
+        let data = vec![0xcdu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha1::digest(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmac_sha256");
+    let key = [7u8; 32];
+    for size in [64usize, 4096] {
+        let data = vec![0xefu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Hmac::mac(black_box(&key), black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_sha1, bench_hmac);
+criterion_main!(benches);

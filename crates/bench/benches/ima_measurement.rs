@@ -1,0 +1,117 @@
+//! Criterion: the IMA measurement path.
+//!
+//! Measures a cache-miss measurement (hash + log append + two PCR
+//! extends), the cache-hit fast path, and the re-evaluation ablation
+//! (the §IV-C P4 fix) — what re-measuring on path changes actually costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cia_ima::ImaConfig;
+use cia_os::{ExecMethod, Machine, MachineConfig};
+use cia_tpm::Manufacturer;
+use cia_vfs::{Mode, VfsPath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn machine(config: ImaConfig) -> Machine {
+    let mut rng = StdRng::seed_from_u64(2);
+    let manufacturer = Manufacturer::generate(&mut rng);
+    Machine::new(
+        &manufacturer,
+        MachineConfig {
+            ima_config: config,
+            ..MachineConfig::default()
+        },
+    )
+}
+
+fn bench_measurement_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ima/measure");
+
+    // Cache miss: each iteration measures 100 never-seen files on a
+    // pristine engine clone (per-measurement cost = reported / 100).
+    group.bench_function("cache_miss_x100", |b| {
+        let mut m = machine(ImaConfig::default());
+        let paths: Vec<VfsPath> = (0..100)
+            .map(|i| {
+                let path = VfsPath::new(&format!("/usr/bin/fresh-{i}")).unwrap();
+                m.vfs
+                    .write_file(&path, vec![0x11; 4096], Mode::EXEC)
+                    .unwrap();
+                path
+            })
+            .collect();
+        b.iter_batched(
+            || (m.ima.clone(), m.tpm.clone()),
+            |(mut ima, mut tpm)| {
+                for path in &paths {
+                    ima.on_exec(&m.vfs, path, path, &mut tpm).unwrap();
+                }
+                ima
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Cache hit: the same already-measured file.
+    group.bench_function("cache_hit", |b| {
+        let mut m = machine(ImaConfig::default());
+        let path = VfsPath::new("/usr/bin/hot").unwrap();
+        m.write_executable(&path, &vec![0x22; 4096]).unwrap();
+        m.exec(&path, ExecMethod::Direct).unwrap();
+        b.iter(|| m.exec(&path, ExecMethod::Direct).unwrap());
+    });
+
+    group.finish();
+}
+
+/// Ablation: cost of the P4 fix when files move around.
+fn bench_reevaluation_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ima/reevaluation_on_move");
+    group.sample_size(30);
+    for (label, reevaluate) in [("stock", false), ("p4_fix", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = machine(ImaConfig {
+                        reevaluate_on_path_change: reevaluate,
+                        script_exec_control: false,
+                    });
+                    let staged = VfsPath::new("/tmp/payload").unwrap();
+                    m.write_executable(&staged, &vec![0x33; 4096]).unwrap();
+                    m.exec(&staged, ExecMethod::Direct).unwrap();
+                    let dest = VfsPath::new("/usr/bin/payload").unwrap();
+                    m.vfs.move_entry(&staged, &dest).unwrap();
+                    (m, dest)
+                },
+                |(mut m, dest)| m.exec(&dest, ExecMethod::Direct).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_replay(c: &mut Criterion) {
+    let mut m = machine(ImaConfig::default());
+    for i in 0..500 {
+        let path = VfsPath::new(&format!("/usr/bin/t-{i:04}")).unwrap();
+        m.write_executable(&path, format!("bin {i}").as_bytes()).unwrap();
+        m.exec(&path, ExecMethod::Direct).unwrap();
+    }
+    c.bench_function("ima/replay_500_entries", |b| {
+        b.iter(|| m.ima.log().replay(cia_crypto::HashAlgorithm::Sha256));
+    });
+    let ascii = m.ima.log().render();
+    c.bench_function("ima/parse_500_entries", |b| {
+        b.iter(|| cia_ima::MeasurementLog::parse(&ascii).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_measurement_paths,
+    bench_reevaluation_ablation,
+    bench_log_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion: dynamic policy generation — initial vs incremental.
+//!
+//! The ablation DESIGN.md calls out: the paper claims appending new
+//! hashes to the existing policy "is more efficient than regenerating the
+//! policy entirely". `incremental_diff` vs `full_regeneration` quantifies
+//! that on real (simulated-content) hashing work.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cia_core::{DynamicPolicyGenerator, GeneratorConfig};
+use cia_distro::{Mirror, ReleaseStream, StreamProfile};
+
+/// A synced mirror plus one day's diff, shared across benches.
+struct Fixture {
+    mirror_day0: Mirror,
+    mirror_day1: Mirror,
+    diff: cia_distro::mirror::MirrorDiff,
+}
+
+fn fixture() -> Fixture {
+    let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(42));
+    let mut mirror = Mirror::new();
+    mirror.sync(&repo, 0);
+    let mirror_day0 = mirror.clone();
+    // Advance until a non-empty diff shows up.
+    let mut diff = cia_distro::mirror::MirrorDiff::default();
+    for day in 1..60 {
+        repo.apply_release(&stream.next_day());
+        diff = mirror.sync(&repo, day);
+        if diff.len() >= 3 {
+            break;
+        }
+    }
+    Fixture {
+        mirror_day0,
+        mirror_day1: mirror,
+        diff,
+    }
+}
+
+fn bench_initial_generation(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("policy/initial_generation_small_mirror", |b| {
+        b.iter(|| {
+            DynamicPolicyGenerator::generate_initial(
+                black_box(&f.mirror_day0),
+                "5.15.0-76",
+                0,
+                GeneratorConfig::paper_default(),
+            )
+        });
+    });
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("policy/update_strategies");
+
+    group.bench_function("incremental_diff", |b| {
+        b.iter_batched(
+            || {
+                DynamicPolicyGenerator::generate_initial(
+                    &f.mirror_day0,
+                    "5.15.0-76",
+                    0,
+                    GeneratorConfig::paper_default(),
+                )
+                .0
+            },
+            |mut generator| {
+                let report = generator.apply_diff(black_box(&f.diff), 1);
+                generator.finish_update_window();
+                report
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("full_regeneration", |b| {
+        b.iter(|| {
+            DynamicPolicyGenerator::generate_initial(
+                black_box(&f.mirror_day1),
+                "5.15.0-76",
+                1,
+                GeneratorConfig::paper_default(),
+            )
+        });
+    });
+
+    // §V extension ablation: consuming maintainer-signed manifests
+    // (verify signatures, no local hashing) vs hashing locally.
+    {
+        use cia_distro::{Maintainer, ManifestAuthority};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let maintainer = Maintainer::generate("canonical", &mut rng);
+        let mut authority = ManifestAuthority::new();
+        authority.trust(&maintainer);
+        let manifests: Vec<_> = f.diff.iter().map(|p| maintainer.sign_package(p)).collect();
+        group.bench_function("signed_manifests", |b| {
+            b.iter_batched(
+                || {
+                    DynamicPolicyGenerator::generate_initial(
+                        &f.mirror_day0,
+                        "5.15.0-76",
+                        0,
+                        GeneratorConfig::paper_default(),
+                    )
+                    .0
+                },
+                |mut generator| {
+                    generator
+                        .apply_signed_manifests(black_box(&manifests), &authority, 1)
+                        .unwrap()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_serialization(c: &mut Criterion) {
+    let f = fixture();
+    let (generator, _) = DynamicPolicyGenerator::generate_initial(
+        &f.mirror_day0,
+        "5.15.0-76",
+        0,
+        GeneratorConfig::paper_default(),
+    );
+    c.bench_function("policy/json_serialize", |b| {
+        b.iter(|| generator.policy().to_json());
+    });
+    let json = generator.policy().to_json();
+    c.bench_function("policy/json_parse", |b| {
+        b.iter(|| cia_keylime::RuntimePolicy::from_json(black_box(&json)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_initial_generation,
+    bench_incremental_vs_full,
+    bench_policy_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fleet operation demo: one mirror-derived dynamic policy serving many
+//! machines, a mid-run compromise, detection, and revocation fan-out —
+//! the deployment shape the paper's scheme targets.
+//!
+//! Run: `cargo run --release -p cia-bench --bin fleet_demo`
+
+use cia_core::experiments::{run_fleet, FleetConfig};
+use cia_distro::StreamProfile;
+
+fn main() {
+    let config = FleetConfig {
+        nodes: 12,
+        days: 14,
+        stream_profile: StreamProfile::small(99),
+        install_every: 3,
+        compromise: Some((7, 9)),
+        seed: 99,
+    };
+    println!(
+        "== fleet: {} nodes, {} days, daily updates from one mirror ==\n",
+        config.nodes, config.days
+    );
+    let report = run_fleet(config);
+
+    println!("attestations: {} ({} verified)", report.attestations, report.verified);
+    println!("false positives across the fleet: {}", report.false_positives.len());
+    for (node, day) in &report.detections {
+        println!("compromise detected: {node} on day {day}");
+    }
+    println!(
+        "revocation propagated to {}/12 subscribed nodes",
+        report.revocations_seen
+    );
+
+    assert!(report.false_positives.is_empty());
+    assert_eq!(report.detections.len(), 1);
+    assert_eq!(report.revocations_seen, 12);
+    println!("\none generator pass per day covered the whole fleet: zero FPs,");
+    println!("the implanted node was caught on its compromise day and quarantined.");
+}

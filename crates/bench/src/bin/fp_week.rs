@@ -1,0 +1,47 @@
+//! §III-A/B — the one-week static-policy false-positive experiment.
+//!
+//! Regenerates the paper's qualitative finding: under benign operation
+//! with unattended upgrades and a SNAP installed, a static policy fires
+//! false positives of exactly two kinds (hash mismatch, missing from
+//! policy) plus the SNAP path-truncation errors.
+//!
+//! Run: `cargo run --release -p cia-bench --bin fp_week`
+
+use cia_core::experiments::{run_fp_week, FpWeekConfig};
+
+fn main() {
+    println!("== False-positive experiment: 7 days, static policy, benign ops only ==\n");
+    let report = run_fp_week(FpWeekConfig::paper());
+
+    println!("day | pkgs updated | false positives");
+    for day in &report.days {
+        println!(
+            "{:>3} | {:>12} | {:>3}",
+            day.day,
+            day.packages_updated,
+            day.alerts.len()
+        );
+    }
+
+    println!("\nFP taxonomy over the week:");
+    for (kind, count) in report.by_kind() {
+        println!("  {kind:<16} {count}");
+    }
+    println!(
+        "\n  hash mismatches (updated executables):        {}",
+        report.hash_mismatches()
+    );
+    println!(
+        "  missing from policy (new executables):        {}",
+        report.missing_from_policy()
+    );
+    println!(
+        "  SNAP truncation errors (in-sandbox paths):    {}",
+        report.snap_truncation_errors()
+    );
+    println!(
+        "\ntotal false positives: {}  (paper: repeated attestation-stopping errors, same two classes + SNAP)",
+        report.total_false_positives()
+    );
+    assert!(report.total_false_positives() > 0);
+}

@@ -1,0 +1,61 @@
+//! §III-D — the full 66-day effectiveness run.
+//!
+//! Paper: 31 days of daily updates + 35 days of weekly updates, 36 system
+//! updates in total, and **zero false positives** except one operator
+//! misconfiguration (March 27: the machine was updated from the official
+//! archive after the 05:00 mirror sync). Both the clean weeks and the
+//! misconfiguration event are reproduced.
+//!
+//! Run: `cargo run --release -p cia-bench --bin longrun_66day`
+
+use cia_core::experiments::{run_longrun, LongRunConfig};
+
+fn main() {
+    println!("== 66-day effectiveness run: dynamic policy generation ==\n");
+
+    // Experiment 1: 31 days, daily updates, with the day-30 operator
+    // misconfiguration (the paper's March 27 event: the run started
+    // Feb 26, so March 27 is day 30).
+    let mut daily_config = LongRunConfig::paper_daily();
+    daily_config.misconfig_day = Some(30);
+    let daily = run_longrun(daily_config);
+
+    // Experiment 2: 35 days, weekly updates, disciplined operation.
+    let weekly = run_longrun(LongRunConfig::paper_weekly());
+
+    println!("experiment 1 (daily, 31 days): {} updates", daily.updates.len());
+    println!("experiment 2 (weekly, 35 days): {} updates", weekly.updates.len());
+    println!(
+        "total system updates: {}   (paper: 36)",
+        daily.updates.len() + weekly.updates.len()
+    );
+    println!();
+    println!(
+        "attestations: {} daily-run + {} weekly-run, verified {} + {}",
+        daily.attestations, weekly.attestations, daily.verified, weekly.verified
+    );
+    println!();
+    println!(
+        "false positives, weekly run (disciplined):   {}   (paper: 0)",
+        weekly.false_positives()
+    );
+    println!(
+        "false positives, daily run (misconfig day 30): {} alert(s) on day(s) {:?}",
+        daily.false_positives(),
+        daily
+            .alerts
+            .iter()
+            .map(|a| a.day)
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+    for alert in daily.alerts.iter().take(5) {
+        println!("    day {} -> {:?}", alert.day, alert.kind);
+    }
+    println!();
+    println!("paper: \"Keylime did not fire any false positive alerts\" except the");
+    println!("March-27 human error — reproduced: the only alerts stem from the");
+    println!("operator pulling the post-sync release from the upstream archive.");
+
+    assert_eq!(weekly.false_positives(), 0);
+    assert!(daily.alerts.iter().all(|a| a.day >= 30));
+}

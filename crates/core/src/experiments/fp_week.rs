@@ -1,0 +1,311 @@
+//! §III-A/B: one week of benign operation under a static policy.
+//!
+//! Setup mirrors the paper: an Ubuntu-like machine with unattended
+//! upgrades left enabled (the default), a SNAP installed, and a static
+//! snapshot policy built by scanning the machine once at enrolment. The
+//! only activity is *benign*: navigating the filesystem, executing
+//! installed binaries, and the automatic daily system update. Every alert
+//! is therefore a false positive, and the experiment classifies them into
+//! the paper's taxonomy: hash mismatches and missing-from-policy errors
+//! from updates, plus SNAP truncation errors.
+
+use std::collections::BTreeMap;
+
+use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
+use cia_keylime::{AgentStatus, Alert, Cluster, FailureKind, VerifierConfig};
+use cia_os::{ExecMethod, MachineConfig};
+use cia_vfs::VfsPath;
+
+use crate::initial_policy::scan_machine_policy;
+
+/// Configuration of the false-positive experiment.
+#[derive(Debug, Clone)]
+pub struct FpWeekConfig {
+    /// Days of benign operation (the paper ran 7).
+    pub days: u32,
+    /// Release-stream profile (use [`StreamProfile::small`] in tests).
+    pub stream_profile: StreamProfile,
+    /// Install every Nth mirrored package on the machine.
+    pub install_every: usize,
+    /// Benign executions per day.
+    pub daily_execs: usize,
+    /// Whether a SNAP is installed (reproduces the truncation FPs).
+    pub with_snaps: bool,
+    /// Seed for the machine identity.
+    pub seed: u64,
+}
+
+impl FpWeekConfig {
+    /// A fast test-scale configuration.
+    pub fn small(seed: u64) -> Self {
+        FpWeekConfig {
+            days: 7,
+            stream_profile: StreamProfile::small(seed),
+            install_every: 3,
+            daily_execs: 8,
+            with_snaps: true,
+            seed,
+        }
+    }
+
+    /// The paper-scale configuration. (The seed is chosen so the week
+    /// exhibits all three §III-B false-positive classes.)
+    pub fn paper() -> Self {
+        let mut stream_profile = StreamProfile::paper_calibrated();
+        stream_profile.seed = 1;
+        FpWeekConfig {
+            days: 7,
+            stream_profile,
+            install_every: 8,
+            daily_execs: 25,
+            with_snaps: true,
+            seed: 1,
+        }
+    }
+}
+
+/// One day of the experiment.
+#[derive(Debug, Clone, Default)]
+pub struct FpDayRecord {
+    /// Simulation day.
+    pub day: u32,
+    /// Packages the unattended upgrade installed.
+    pub packages_updated: usize,
+    /// Alerts raised during the day (all false positives).
+    pub alerts: Vec<Alert>,
+}
+
+/// The experiment's outcome.
+#[derive(Debug, Clone, Default)]
+pub struct FpWeekReport {
+    /// Per-day records.
+    pub days: Vec<FpDayRecord>,
+    /// Paths of SNAP-sandbox executables (for classifying truncation FPs).
+    pub snap_sandbox_paths: Vec<String>,
+}
+
+impl FpWeekReport {
+    /// Every alert across the week.
+    pub fn all_alerts(&self) -> impl Iterator<Item = &Alert> {
+        self.days.iter().flat_map(|d| d.alerts.iter())
+    }
+
+    /// Total false positives.
+    pub fn total_false_positives(&self) -> usize {
+        self.days.iter().map(|d| d.alerts.len()).sum()
+    }
+
+    /// §III-B error type (1): hash mismatches (modified files).
+    pub fn hash_mismatches(&self) -> usize {
+        self.all_alerts()
+            .filter(|a| matches!(a.kind, FailureKind::HashMismatch { .. }))
+            .count()
+    }
+
+    /// §III-B error type (2): file in IMA log but missing from policy,
+    /// excluding SNAP truncations.
+    pub fn missing_from_policy(&self) -> usize {
+        self.all_alerts()
+            .filter(|a| match &a.kind {
+                FailureKind::NotInPolicy { path, .. } => {
+                    !self.snap_sandbox_paths.contains(path)
+                }
+                _ => false,
+            })
+            .count()
+    }
+
+    /// SNAP truncation errors: measured under an in-sandbox path the
+    /// host-side policy does not contain.
+    pub fn snap_truncation_errors(&self) -> usize {
+        self.all_alerts()
+            .filter(|a| match &a.kind {
+                FailureKind::NotInPolicy { path, .. } => {
+                    self.snap_sandbox_paths.contains(path)
+                }
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Histogram keyed by a short failure-kind label.
+    pub fn by_kind(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for alert in self.all_alerts() {
+            let key = match alert.kind {
+                FailureKind::HashMismatch { .. } => "hash-mismatch",
+                FailureKind::NotInPolicy { .. } => "not-in-policy",
+                FailureKind::QuoteInvalid => "quote-invalid",
+                FailureKind::PcrMismatch => "pcr-mismatch",
+                FailureKind::LogRewound => "log-rewound",
+                FailureKind::BootAggregateMismatch => "boot-aggregate",
+                FailureKind::LogParse { .. } => "log-parse",
+            };
+            *map.entry(key).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on internal simulator errors (the experiment is deterministic;
+/// failures indicate bugs, not environmental conditions).
+pub fn run_fp_week(config: FpWeekConfig) -> FpWeekReport {
+    let (mut stream, mut repo) = ReleaseStream::new(config.stream_profile.clone());
+    let mut mirror = Mirror::new();
+    mirror.sync(&repo, 0);
+
+    // Build the machine: install a subset of the archive, plus a SNAP.
+    let mut cluster = Cluster::new(config.seed, VerifierConfig::default());
+    let machine_config = MachineConfig {
+        hostname: "fp-node".to_string(),
+        seed: config.seed,
+        ..MachineConfig::default()
+    };
+    let mut agent = cia_keylime::Agent::new(cia_os::Machine::new(
+        &cluster.manufacturer,
+        machine_config,
+    ));
+    let installed: Vec<_> = mirror
+        .packages()
+        .enumerate()
+        .filter(|(i, _)| i % config.install_every == 0)
+        .map(|(_, p)| p.clone())
+        .collect();
+    {
+        let m = agent.machine_mut();
+        for pkg in &installed {
+            m.apt.install(&mut m.vfs, pkg).unwrap();
+        }
+        if config.with_snaps {
+            m.snaps.install(&mut m.vfs, Snap::core20(1405)).unwrap();
+        }
+    }
+
+    // Static snapshot policy, scanned once at enrolment (P1: /tmp excluded).
+    let policy = scan_machine_policy(agent.machine(), &["/tmp"]);
+    let snap_sandbox_paths: Vec<String> = agent
+        .machine()
+        .snaps
+        .installed()
+        .iter()
+        .flat_map(|s| {
+            s.files
+                .iter()
+                .filter(|(_, _, exec)| *exec)
+                .map(|(rel, _, _)| rel.clone())
+        })
+        .collect();
+    let id = cluster.add_agent(agent, policy).unwrap();
+
+    let mut report = FpWeekReport {
+        snap_sandbox_paths,
+        ..FpWeekReport::default()
+    };
+
+    for day in 1..=config.days {
+        let mut record = FpDayRecord {
+            day,
+            ..FpDayRecord::default()
+        };
+
+        // Upstream publishes; unattended upgrades pull straight from the
+        // archive (the Ubuntu default the paper studied).
+        repo.apply_release(&stream.next_day());
+        let recently_upgraded: Vec<String>;
+        {
+            let agent = cluster.agent_mut(&id).unwrap();
+            let m = agent.machine_mut();
+            let packages: Vec<_> = repo.packages().cloned().collect();
+            let upgrade = m.run_updates(packages.iter()).unwrap();
+            record.packages_updated = upgrade.upgraded.len();
+            recently_upgraded = upgrade.upgraded.iter().map(|(n, _)| n.clone()).collect();
+        }
+
+        // Benign workload interleaved with continuous attestation: the
+        // verifier polls on a short interval (seconds in real Keylime),
+        // so each benign action is typically attested before the next.
+        // On a failure the operator investigates and resolves.
+        let attest_once = |cluster: &mut Cluster, record: &mut FpDayRecord| {
+            if let cia_keylime::AttestationOutcome::Failed { alerts } =
+                cluster.attest(&id).unwrap()
+            {
+                record.alerts.extend(alerts);
+            }
+            if cluster.status(&id).unwrap() == AgentStatus::Paused {
+                cluster.resolve(&id).unwrap();
+            }
+        };
+
+        // Morning SNAP usage (its measurement is the truncated
+        // in-sandbox path — the §III-B SNAP false positive).
+        if config.with_snaps {
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            let snap_bin = VfsPath::new("/snap/core20/1405/usr/bin/python3").unwrap();
+            if m.vfs.is_file(&snap_bin) {
+                let _ = m.exec(&snap_bin, ExecMethod::Direct);
+            }
+            attest_once(&mut cluster, &mut record);
+        }
+
+        // After `apt upgrade`, restarted services re-execute their
+        // freshly rewritten binaries (including any file new in this
+        // version — the "missing file in the policy" case). Then ordinary
+        // admin usage of stable tools.
+        let mut updated_paths: Vec<VfsPath> = recently_upgraded
+            .iter()
+            .filter_map(|name| repo.get(name))
+            .flat_map(|p| {
+                p.files
+                    .iter()
+                    .rev()
+                    .take(2)
+                    .map(|f| f.install_path.clone())
+                    .collect::<Vec<_>>()
+            })
+            .filter_map(|p| VfsPath::new(&p).ok())
+            .collect();
+        {
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            updated_paths.extend(
+                m.apt
+                    .installed()
+                    .map(|(n, _)| n.clone())
+                    .filter_map(|name| {
+                        repo.get(&name)
+                            .and_then(|p| p.files.first())
+                            .map(|f| f.install_path.clone())
+                    })
+                    .filter_map(|p| VfsPath::new(&p).ok())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut executed = 0usize;
+        for path in updated_paths {
+            if executed >= config.daily_execs {
+                break;
+            }
+            let ran = {
+                let m = cluster.agent_mut(&id).unwrap().machine_mut();
+                if m.vfs.is_file(&path) {
+                    let _ = m.exec(&path, ExecMethod::Direct);
+                    true
+                } else {
+                    false
+                }
+            };
+            if ran {
+                executed += 1;
+                attest_once(&mut cluster, &mut record);
+            }
+        }
+        cluster.agent_mut(&id).unwrap().machine_mut().clock.next_day();
+        attest_once(&mut cluster, &mut record);
+
+        report.days.push(record);
+    }
+    report
+}

@@ -1,0 +1,429 @@
+//! §III-D: the long-running dynamic-policy experiments.
+//!
+//! Reproduces the paper's two runs — 31 days of daily updates and 35
+//! days of weekly updates (66 days, 36 updates total) — with the full
+//! §III-C discipline: mirror sync at 05:00, incremental policy
+//! generation *before* the machines update, update-window digest
+//! retention with post-update deduplication, kernel staging across
+//! reboots, SNAP scrubbing, and machines updating from the mirror only.
+//!
+//! The paper's single false positive (March 27, 2024) is reproducible by
+//! setting [`LongRunConfig::misconfig_day`]: on that day the upstream
+//! archive publishes *after* the 05:00 mirror sync, and the operator
+//! mistakenly updates the machine from the official archive instead of
+//! the mirror.
+
+use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
+use cia_keylime::{AgentStatus, Alert, Cluster, VerifierConfig};
+use cia_os::{ExecMethod, MachineConfig};
+use cia_vfs::VfsPath;
+
+use crate::costmodel::CostModel;
+use crate::generator::{DynamicPolicyGenerator, GenerationReport, GeneratorConfig};
+
+/// How often the operator updates the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateCadence {
+    /// Update every day (the paper's first experiment, 31 days).
+    Daily,
+    /// Update every 7th day (the second experiment, 35 days).
+    Weekly,
+}
+
+impl UpdateCadence {
+    /// True when `day` is an update day under this cadence.
+    pub fn is_update_day(self, day: u32) -> bool {
+        match self {
+            UpdateCadence::Daily => true,
+            UpdateCadence::Weekly => day.is_multiple_of(7),
+        }
+    }
+}
+
+/// Configuration of the long-run experiment.
+#[derive(Debug, Clone)]
+pub struct LongRunConfig {
+    /// Days to run (paper: 31 daily / 35 weekly).
+    pub days: u32,
+    /// Update cadence.
+    pub cadence: UpdateCadence,
+    /// Release-stream profile.
+    pub stream_profile: StreamProfile,
+    /// Day on which the operator pulls from upstream instead of the
+    /// mirror after the sync (None = disciplined operation, zero FPs).
+    pub misconfig_day: Option<u32>,
+    /// Install every Nth mirrored package on the machine.
+    pub install_every: usize,
+    /// Benign executions per day.
+    pub daily_execs: usize,
+    /// Cost model for Fig. 3 minutes.
+    pub cost_model: CostModel,
+    /// Generator configuration.
+    pub generator: GeneratorConfig,
+    /// Whether a SNAP is installed (exercises scrubbing).
+    pub with_snaps: bool,
+    /// Machine/cluster seed.
+    pub seed: u64,
+}
+
+impl LongRunConfig {
+    /// Fast test-scale daily run.
+    pub fn small(seed: u64) -> Self {
+        LongRunConfig {
+            days: 10,
+            cadence: UpdateCadence::Daily,
+            stream_profile: StreamProfile::small(seed),
+            misconfig_day: None,
+            install_every: 3,
+            daily_execs: 6,
+            cost_model: CostModel::paper_calibrated(),
+            generator: GeneratorConfig::paper_default(),
+            with_snaps: true,
+            seed,
+        }
+    }
+
+    /// The paper's 31-day daily-update experiment.
+    pub fn paper_daily() -> Self {
+        LongRunConfig {
+            days: 31,
+            cadence: UpdateCadence::Daily,
+            stream_profile: StreamProfile::paper_calibrated(),
+            misconfig_day: None,
+            install_every: 8,
+            daily_execs: 25,
+            cost_model: CostModel::paper_calibrated(),
+            generator: GeneratorConfig::paper_default(),
+            with_snaps: true,
+            seed: 0x31,
+        }
+    }
+
+    /// The paper's 35-day weekly-update experiment.
+    pub fn paper_weekly() -> Self {
+        LongRunConfig {
+            days: 35,
+            cadence: UpdateCadence::Weekly,
+            stream_profile: StreamProfile {
+                seed: 0x35,
+                ..StreamProfile::paper_calibrated()
+            },
+            ..Self::paper_daily()
+        }
+    }
+}
+
+/// One policy update (an update day).
+#[derive(Debug, Clone, Default)]
+pub struct UpdateRecord {
+    /// Simulation day.
+    pub day: u32,
+    /// Updated packages with executables (Fig. 4).
+    pub packages: usize,
+    /// ... high-priority (Table I).
+    pub packages_high: usize,
+    /// ... low-priority (Table I).
+    pub packages_low: usize,
+    /// Policy lines appended (Fig. 5).
+    pub lines_added: usize,
+    /// Policy bytes appended.
+    pub policy_bytes_added: u64,
+    /// Simulated minutes the policy update took (Fig. 3).
+    pub minutes: f64,
+    /// Policy size after the update.
+    pub policy_lines_total: usize,
+    /// Digests removed by post-update deduplication.
+    pub dedup_removed: usize,
+    /// Whether a kernel update/reboot happened this day.
+    pub kernel_reboot: bool,
+}
+
+/// The experiment's outcome.
+#[derive(Debug, Clone, Default)]
+pub struct LongRunReport {
+    /// The initial full policy generation.
+    pub initial: GenerationReport,
+    /// Minutes the initial generation took.
+    pub initial_minutes: f64,
+    /// One record per update day.
+    pub updates: Vec<UpdateRecord>,
+    /// Every alert raised (empty under disciplined operation).
+    pub alerts: Vec<Alert>,
+    /// Total attestation polls.
+    pub attestations: u64,
+    /// Polls that verified cleanly.
+    pub verified: u64,
+}
+
+impl LongRunReport {
+    /// False positives observed (all alerts are FPs: no attacks run).
+    pub fn false_positives(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Mean over update days of an extractor.
+    pub fn mean(&self, f: impl Fn(&UpdateRecord) -> f64) -> f64 {
+        if self.updates.is_empty() {
+            return 0.0;
+        }
+        self.updates.iter().map(&f).sum::<f64>() / self.updates.len() as f64
+    }
+
+    /// Standard deviation over update days of an extractor.
+    pub fn std_dev(&self, f: impl Fn(&UpdateRecord) -> f64) -> f64 {
+        if self.updates.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean(&f);
+        let var = self
+            .updates
+            .iter()
+            .map(|u| (f(u) - mean).powi(2))
+            .sum::<f64>()
+            / self.updates.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on internal simulator errors (deterministic by construction).
+pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
+    let (mut stream, mut repo) = ReleaseStream::new(config.stream_profile.clone());
+    let mut mirror = Mirror::new();
+    mirror.sync(&repo, 0);
+
+    // --- Day 0: initial policy generation and fleet setup. -------------
+    let machine_config = MachineConfig {
+        hostname: "longrun-node".to_string(),
+        seed: config.seed,
+        ..MachineConfig::default()
+    };
+    let running_kernel = machine_config.running_kernel.clone();
+    let (mut generator, initial_report) = DynamicPolicyGenerator::generate_initial(
+        &mirror,
+        &running_kernel,
+        0,
+        config.generator.clone(),
+    );
+    let initial_minutes = config.cost_model.full_regeneration_minutes(
+        mirror.packages().map(|p| p.nominal_size()).sum(),
+        mirror.len(),
+    );
+
+    let mut cluster = Cluster::new(config.seed, VerifierConfig::default());
+    let mut agent = cia_keylime::Agent::new(cia_os::Machine::new(
+        &cluster.manufacturer,
+        machine_config,
+    ));
+    {
+        let m = agent.machine_mut();
+        let installed: Vec<_> = mirror
+            .packages()
+            .enumerate()
+            .filter(|(i, p)| i % config.install_every == 0 || p.is_kernel)
+            .map(|(_, p)| p.clone())
+            .collect();
+        for pkg in &installed {
+            m.apt.install(&mut m.vfs, pkg).unwrap();
+        }
+        // Installing the kernel package stages it; consume the staging —
+        // the machine is already running this kernel.
+        m.apt.take_latest_staged_kernel();
+        if config.with_snaps {
+            let snap = Snap::core20(1405);
+            generator.include_snap(&snap);
+            m.snaps.install(&mut m.vfs, snap).unwrap();
+        }
+    }
+    let id = cluster.add_agent(agent, generator.policy().clone()).unwrap();
+
+    let mut report = LongRunReport {
+        initial: initial_report,
+        initial_minutes,
+        ..LongRunReport::default()
+    };
+
+    // Sanity attestation at enrolment.
+    attest_rounds(&mut cluster, &id, 2, &mut report);
+
+    // --- The run. -------------------------------------------------------
+    for day in 1..=config.days {
+        // Upstream publishes overnight.
+        repo.apply_release(&stream.next_day());
+
+        {
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            m.clock.advance_to_hour(mirror.sync_hour as u32);
+        }
+
+        let mut update_record: Option<UpdateRecord> = None;
+        let mut recently_upgraded: Vec<String> = Vec::new();
+        if config.cadence.is_update_day(day) {
+            // ① 05:00 — mirror sync + incremental policy generation.
+            let diff = mirror.sync(&repo, day);
+            let gen_report = generator.apply_diff(&diff, day);
+            let minutes = config.cost_model.update_minutes(&gen_report);
+
+            // ② Push the policy BEFORE the machines update.
+            cluster
+                .verifier
+                .update_policy(&id, generator.policy().clone())
+                .unwrap();
+
+            // ③ Machines update from the mirror only.
+            let kernel_staged;
+            {
+                let m = cluster.agent_mut(&id).unwrap().machine_mut();
+                m.clock.advance_minutes(minutes.ceil() as u32);
+                let packages: Vec<_> = mirror.packages().cloned().collect();
+                let upgrade = m.run_updates(packages.iter()).unwrap();
+                kernel_staged = upgrade.kernel_staged;
+                recently_upgraded = upgrade.upgraded.iter().map(|(n, _)| n.clone()).collect();
+            }
+
+            // ④ Kernel updates: policy first, then reboot.
+            let mut kernel_reboot = false;
+            if let Some(release) = kernel_staged {
+                generator.on_kernel_boot(&release);
+                cluster
+                    .verifier
+                    .update_policy(&id, generator.policy().clone())
+                    .unwrap();
+                cluster
+                    .agent_mut(&id)
+                    .unwrap()
+                    .machine_mut()
+                    .reboot()
+                    .unwrap();
+                kernel_reboot = true;
+            }
+
+            // ⑤ Post-update deduplication, then push the deduped policy.
+            let dedup_removed = generator.finish_update_window();
+            cluster
+                .verifier
+                .update_policy(&id, generator.policy().clone())
+                .unwrap();
+
+            update_record = Some(UpdateRecord {
+                day,
+                packages: gen_report.packages,
+                packages_high: gen_report.packages_high_priority,
+                packages_low: gen_report.packages - gen_report.packages_high_priority,
+                lines_added: gen_report.lines_added,
+                policy_bytes_added: gen_report.policy_bytes_added,
+                minutes,
+                policy_lines_total: generator.policy().line_count(),
+                dedup_removed,
+                kernel_reboot,
+            });
+        }
+
+        // The misconfiguration event: a release lands AFTER the sync and
+        // the operator updates from upstream instead of the mirror.
+        if config.misconfig_day == Some(day) {
+            // Synthesize the late release: a handful of packages that are
+            // installed on the machine get a new version upstream...
+            let late_packages: Vec<cia_distro::Package> = {
+                let m = cluster.agent_mut(&id).unwrap().machine();
+                let installed: Vec<String> =
+                    m.apt.installed().map(|(n, _)| n.clone()).take(5).collect();
+                installed
+                    .iter()
+                    .filter_map(|name| repo.get(name))
+                    .filter(|p| !p.is_kernel)
+                    .map(|p| {
+                        let mut late = p.clone();
+                        late.version = late.version.bump();
+                        for f in &mut late.files {
+                            f.content_seed ^= 0x5eed_1a7e;
+                        }
+                        late
+                    })
+                    .collect()
+            };
+            repo.apply_release(&cia_distro::ReleaseEvent {
+                day,
+                packages: late_packages,
+            });
+            // ...and the operator installs from the official archive
+            // instead of the (already-synced) local mirror.
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            let packages: Vec<_> = repo.packages().cloned().collect();
+            let upgrade = m.run_updates(packages.iter()).unwrap();
+            recently_upgraded.extend(upgrade.upgraded.iter().map(|(n, _)| n.clone()));
+        }
+
+        // Benign daily workload: run updated/installed binaries, load a
+        // kernel module, poke the SNAP.
+        {
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            let mut executed = 0usize;
+            // Admins touch the freshly updated tools first, then the
+            // stable ones — this is what makes a policy/filesystem skew
+            // observable at attestation time.
+            let stable: Vec<String> = m.apt.installed().map(|(n, _)| n.clone()).collect();
+            let candidate_paths: Vec<VfsPath> = recently_upgraded
+                .iter()
+                .chain(stable.iter())
+                .filter_map(|name| {
+                    repo.get(name)
+                        .and_then(|p| p.files.first())
+                        .map(|f| f.install_path.clone())
+                })
+                .filter_map(|p| VfsPath::new(&p).ok())
+                .collect();
+            for path in candidate_paths {
+                if executed >= config.daily_execs {
+                    break;
+                }
+                if m.vfs.is_file(&path) {
+                    m.exec(&path, ExecMethod::Direct).unwrap();
+                    executed += 1;
+                }
+            }
+            let kernel = m.running_kernel().to_string();
+            let module =
+                VfsPath::new(&format!("/lib/modules/{kernel}/drivers/mod001.ko")).unwrap();
+            if m.vfs.is_file(&module) {
+                m.load_module(&module).unwrap();
+            }
+            if config.with_snaps {
+                let snap_bin = VfsPath::new("/snap/core20/1405/usr/bin/python3").unwrap();
+                if m.vfs.is_file(&snap_bin) {
+                    m.exec(&snap_bin, ExecMethod::Direct).unwrap();
+                }
+            }
+            m.clock.next_day();
+        }
+
+        // Continuous attestation through the day.
+        attest_rounds(&mut cluster, &id, 4, &mut report);
+
+        if let Some(record) = update_record {
+            report.updates.push(record);
+        }
+    }
+    report
+}
+
+/// Polls `rounds` times, collecting alerts and resolving pauses (operator
+/// intervention, as on March 27).
+fn attest_rounds(cluster: &mut Cluster, id: &str, rounds: u32, report: &mut LongRunReport) {
+    for _ in 0..rounds {
+        report.attestations += 1;
+        match cluster.attest(id).unwrap() {
+            cia_keylime::AttestationOutcome::Verified { .. } => report.verified += 1,
+            cia_keylime::AttestationOutcome::Failed { alerts } => {
+                report.alerts.extend(alerts);
+            }
+            cia_keylime::AttestationOutcome::SkippedPaused => {}
+        }
+        if cluster.status(id).unwrap() == AgentStatus::Paused {
+            cluster.resolve(id).unwrap();
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Drivers for the paper's §III evaluation.
+//!
+//! - [`fp_week`]: the one-week *static policy* experiment (§III-A/B) that
+//!   demonstrates why false positives happen: unattended OS updates and
+//!   SNAP path truncation.
+//! - [`longrun`]: the 31-day daily-update and 35-day weekly-update
+//!   *dynamic policy* experiments (§III-D) behind Figs. 3–5 and Table I,
+//!   including the March-27 misconfiguration event.
+//! - [`fleet`]: the deployment shape the paper targets — one
+//!   mirror-derived policy serving many machines — with a mid-run
+//!   compromise, detection, and revocation fan-out.
+
+pub mod fleet;
+pub mod fp_week;
+pub mod longrun;
+
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use fp_week::{run_fp_week, FpWeekConfig, FpWeekReport};
+pub use longrun::{run_longrun, LongRunConfig, LongRunReport, UpdateCadence, UpdateRecord};

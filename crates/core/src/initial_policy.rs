@@ -1,0 +1,110 @@
+//! The static "IBM Research-style" initial policy of §III-A.
+//!
+//! The policy the paper's false-positive experiment started from was
+//! built by a bash script that walks the machine's filesystem from `/`,
+//! hashes every file with the executable bit set, and writes the results
+//! out — excluding container directories and `/tmp` for efficiency. This
+//! module reproduces that scan against a simulated machine.
+
+use cia_crypto::HashAlgorithm;
+use cia_keylime::RuntimePolicy;
+use cia_os::Machine;
+use cia_vfs::VfsPath;
+
+/// Walks the machine's filesystem and builds the static snapshot policy:
+/// every *executable* file's SHA-256, recorded under its host-side path,
+/// with `excludes` carried as policy exclusions (the studied policy
+/// excluded `/tmp` — P1).
+///
+/// Note the scan records SNAP binaries under their **host** paths
+/// (`/snap/core20/<rev>/usr/bin/python3`); IMA will measure them under
+/// truncated in-sandbox paths, which is exactly the SNAP false-positive
+/// cause of §III-B.
+pub fn scan_machine_policy(machine: &Machine, excludes: &[&str]) -> RuntimePolicy {
+    let mut policy = RuntimePolicy::new();
+    policy.meta.generator = "initial-scan".to_string();
+    policy.meta.version = 1;
+    for prefix in excludes {
+        policy.exclude(*prefix);
+    }
+    let root = VfsPath::root();
+    for path in machine.vfs.walk_files(&root) {
+        if policy.is_excluded(path.as_str()) {
+            continue;
+        }
+        let Ok(meta) = machine.vfs.metadata(path) else {
+            continue;
+        };
+        if !meta.mode.is_executable() {
+            continue;
+        }
+        if let Ok(digest) = machine.vfs.file_digest(path, HashAlgorithm::Sha256) {
+            policy.allow(path.as_str(), digest.to_hex());
+        }
+    }
+    policy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_os::MachineConfig;
+    use cia_tpm::Manufacturer;
+    use cia_vfs::Mode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn machine() -> Machine {
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = Manufacturer::generate(&mut rng);
+        Machine::new(&m, MachineConfig::default())
+    }
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn scan_records_executables_only() {
+        let mut m = machine();
+        m.write_executable(&p("/usr/bin/tool"), b"tool").unwrap();
+        m.vfs
+            .create_file(&p("/etc/config"), b"conf".to_vec(), Mode::REGULAR)
+            .unwrap();
+        let policy = scan_machine_policy(&m, &["/tmp"]);
+        assert!(policy.digests_for("/usr/bin/tool").is_some());
+        assert!(policy.digests_for("/etc/config").is_none());
+    }
+
+    #[test]
+    fn scan_skips_excluded_dirs() {
+        let mut m = machine();
+        m.write_executable(&p("/tmp/helper"), b"helper").unwrap();
+        let policy = scan_machine_policy(&m, &["/tmp"]);
+        assert!(policy.digests_for("/tmp/helper").is_none());
+        assert!(policy.is_excluded("/tmp/helper"));
+    }
+
+    #[test]
+    fn scan_records_snap_host_paths() {
+        let mut m = machine();
+        m.snaps
+            .install(&mut m.vfs, cia_distro::Snap::core20(1234))
+            .unwrap();
+        let policy = scan_machine_policy(&m, &[]);
+        // Host-side path present; truncated path absent — the SNAP FP.
+        assert!(policy
+            .digests_for("/snap/core20/1234/usr/bin/python3")
+            .is_some());
+        assert!(policy.digests_for("/usr/bin/python3").is_none());
+    }
+
+    #[test]
+    fn scan_digest_matches_ima_measurement() {
+        let mut m = machine();
+        m.write_executable(&p("/usr/bin/tool"), b"tool-content").unwrap();
+        let policy = scan_machine_policy(&m, &[]);
+        let expected = HashAlgorithm::Sha256.digest(b"tool-content").to_hex();
+        assert!(policy.digests_for("/usr/bin/tool").unwrap().contains(&expected));
+    }
+}

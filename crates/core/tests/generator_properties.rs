@@ -1,0 +1,115 @@
+//! Property-based tests for the dynamic policy generator.
+//!
+//! The generator's contract: after any sequence of mirror syncs, diffs,
+//! and dedup passes, the policy (a) contains the latest digest of every
+//! executable the mirror carries, and (b) after a dedup, contains *only*
+//! latest digests for deduped paths — so a machine that is fully updated
+//! from the mirror can never false-positive, and stale binaries
+//! eventually stop verifying.
+
+use cia_core::{DynamicPolicyGenerator, GeneratorConfig};
+use cia_crypto::HashAlgorithm;
+use cia_distro::{Mirror, ReleaseStream, StreamProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Coverage invariant across arbitrary update cadences.
+    #[test]
+    fn policy_always_covers_the_mirror(
+        seed in 0u64..1000,
+        sync_days in proptest::collection::vec(any::<bool>(), 1..15),
+        dedup_after in any::<bool>(),
+    ) {
+        let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(seed));
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+
+        for (i, &sync) in sync_days.iter().enumerate() {
+            let day = i as u32 + 1;
+            repo.apply_release(&stream.next_day());
+            if sync {
+                let diff = mirror.sync(&repo, day);
+                generator.apply_diff(&diff, day);
+                if dedup_after {
+                    generator.finish_update_window();
+                }
+            }
+        }
+
+        // Every executable currently on the mirror verifies against the
+        // policy (kernel packages follow the staging rules and are
+        // checked separately below).
+        let policy = generator.policy();
+        for pkg in mirror.packages().filter(|p| !p.is_kernel) {
+            for file in pkg.executable_files() {
+                let digest = HashAlgorithm::Sha256.digest(&file.content()).to_hex();
+                let allowed = policy
+                    .digests_for(&file.install_path)
+                    .map(|set| set.contains(&digest))
+                    .unwrap_or(false);
+                prop_assert!(
+                    allowed,
+                    "mirror file {} (pkg {}) missing from policy",
+                    file.install_path,
+                    pkg.name
+                );
+            }
+        }
+
+        // The active kernel's modules are present under versioned paths.
+        let active = generator.active_kernel().to_string();
+        let kernel_pkg = mirror.packages().find(|p| p.is_kernel).cloned();
+        if let Some(kernel) = kernel_pkg {
+            if kernel.kernel_release().as_deref() == Some(active.as_str()) {
+                for file in kernel.executable_files() {
+                    let path = cia_distro::rewrite_kernel_path(&file.install_path, &active);
+                    prop_assert!(
+                        policy.digests_for(&path).is_some(),
+                        "active kernel file {path} missing"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dedup never removes the latest digest and never leaves extras for
+    /// the paths it touched.
+    #[test]
+    fn dedup_preserves_latest(seed in 0u64..1000, days in 1usize..10) {
+        let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(seed));
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        let mut touched: Vec<String> = Vec::new();
+        for day in 1..=days as u32 {
+            repo.apply_release(&stream.next_day());
+            let diff = mirror.sync(&repo, day);
+            for pkg in diff.iter().filter(|p| !p.is_kernel) {
+                for f in pkg.executable_files() {
+                    touched.push(f.install_path.clone());
+                }
+            }
+            generator.apply_diff(&diff, day);
+        }
+        generator.finish_update_window();
+        let policy = generator.policy();
+        for path in &touched {
+            if let Some(set) = policy.digests_for(path) {
+                prop_assert_eq!(set.len(), 1, "{} kept stale digests", path);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Hexadecimal encoding and decoding.
+
+use std::fmt;
+
+/// Encodes `bytes` as lowercase hexadecimal.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cia_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0x0f) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cia_crypto::hex::decode("DEad")?, vec![0xde, 0xad]);
+/// # Ok::<(), cia_crypto::hex::DecodeHexError>(())
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength { len: s.len() });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(DecodeHexError::InvalidChar { position: i * 2 })?;
+        let lo = nibble(pair[1]).ok_or(DecodeHexError::InvalidChar { position: i * 2 + 1 })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length was not a multiple of two.
+    OddLength {
+        /// The offending input length.
+        len: usize,
+    },
+    /// A character outside `[0-9a-fA-F]` was found.
+    InvalidChar {
+        /// Byte offset of the bad character.
+        position: usize,
+    },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength { len } => {
+                write!(f, "hex string has odd length {len}")
+            }
+            DecodeHexError::InvalidChar { position } => {
+                write!(f, "invalid hex character at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn encode_all_bytes_roundtrip() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("FFfe").unwrap(), vec![0xff, 0xfe]);
+    }
+
+    #[test]
+    fn decode_odd_length() {
+        assert_eq!(decode("abc").unwrap_err(), DecodeHexError::OddLength { len: 3 });
+    }
+
+    #[test]
+    fn decode_invalid_char_position() {
+        assert_eq!(
+            decode("ag").unwrap_err(),
+            DecodeHexError::InvalidChar { position: 1 }
+        );
+        assert_eq!(
+            decode("zz").unwrap_err(),
+            DecodeHexError::InvalidChar { position: 0 }
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! HMAC-SHA256 as specified in RFC 2104 / FIPS 198-1.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// An incremental HMAC-SHA256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use cia_crypto::Hmac;
+///
+/// let tag = Hmac::mac(b"key", b"message");
+/// assert!(Hmac::verify(b"key", b"message", &tag));
+/// assert!(!Hmac::verify(b"key", b"tampered", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hmac {
+    inner: Sha256,
+    opad_key: [u8; 64],
+}
+
+impl Hmac {
+    /// Creates an HMAC instance keyed with `key`.
+    ///
+    /// Keys longer than the SHA-256 block size are hashed first, per the
+    /// specification.
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            let digest = Sha256::digest(key);
+            block_key[..32].copy_from_slice(digest.as_bytes());
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; 64];
+        let mut opad_key = [0u8; 64];
+        for i in 0..64 {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        Hmac { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC computation.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = Hmac::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against a freshly computed MAC in constant time.
+    pub fn verify(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+        let expected = Self::mac(key, message);
+        constant_time_eq(expected.as_bytes(), tag.as_bytes())
+    }
+}
+
+/// Constant-time byte-slice equality (length leaks, contents do not).
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // Test vectors from RFC 4231.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = Hmac::mac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = Hmac::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = Hmac::mac(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = Hmac::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than \
+                    block-size data. The key needs to be hashed before being used by the \
+                    HMAC algorithm.";
+        let tag = Hmac::mac(&key, msg);
+        assert_eq!(
+            tag.to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"incremental-key";
+        let msg = b"part one and part two";
+        let mut h = Hmac::new(key);
+        h.update(b"part one");
+        h.update(b" and part two");
+        assert_eq!(h.finalize(), Hmac::mac(key, msg));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let tag = Hmac::mac(b"right", b"msg");
+        assert!(!Hmac::verify(b"wrong", b"msg", &tag));
+    }
+
+    #[test]
+    fn constant_time_eq_rejects_len_mismatch() {
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(constant_time_eq(b"abc", b"abc"));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        let t1 = Hmac::mac(b"k1", b"m");
+        let t2 = Hmac::mac(b"k2", b"m");
+        assert_ne!(t1, t2);
+        let _ = hex::encode(t1.as_bytes());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the cryptographic primitives.
+
+use cia_crypto::{hex, Digest, HashAlgorithm, Hmac, KeyPair, Sha1, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Chunked hashing always equals one-shot hashing, for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        splits in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        let mut splits: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        splits.sort_unstable();
+        let mut hasher = Sha256::new();
+        let mut prev = 0;
+        for &s in &splits {
+            hasher.update(&data[prev..s]);
+            prev = s;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split % (data.len() + 1);
+        let mut hasher = Sha1::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), Sha1::digest(&data));
+    }
+
+    /// Hex encoding round-trips arbitrary bytes.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    /// A MAC verifies under its key and fails under any other key.
+    #[test]
+    fn hmac_verifies_and_rejects(
+        key1 in proptest::collection::vec(any::<u8>(), 1..64),
+        key2 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let tag = Hmac::mac(&key1, &msg);
+        prop_assert!(Hmac::verify(&key1, &msg, &tag));
+        if key1 != key2 {
+            prop_assert!(!Hmac::verify(&key2, &msg, &tag));
+        }
+    }
+
+    /// Digest prefixed-hex rendering round-trips.
+    #[test]
+    fn digest_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        for algo in [HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+            let d = algo.digest(&data);
+            let parsed: Digest = d.to_prefixed_hex().parse().unwrap();
+            prop_assert_eq!(parsed, d);
+        }
+    }
+
+    /// Signatures verify for the signed message and reject modifications.
+    #[test]
+    fn signatures_bind_messages(
+        material in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in 0usize..256,
+    ) {
+        let kp = KeyPair::from_material(material);
+        let sig = kp.signing.sign(&msg);
+        prop_assert!(kp.verifying.verify(&msg, &sig));
+
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!kp.verifying.verify(&tampered, &sig));
+    }
+
+    /// Distinct inputs produce distinct SHA-256 digests (collision
+    /// resistance at property-test scale).
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        if a != b {
+            prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+        }
+    }
+}

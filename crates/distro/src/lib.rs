@@ -1,0 +1,43 @@
+//! An Ubuntu-like distribution simulator.
+//!
+//! The paper's dynamic policy generator (§III-C) consumes three artefacts
+//! of a real distribution, all modelled here:
+//!
+//! - an **upstream archive** ([`Repository`]) organised into pockets
+//!   (`Main`, `Security`, `Updates`, ...) that publishes package updates
+//!   over time ([`ReleaseStream`], calibrated to the paper's measured
+//!   statistics — see [`StreamProfile::paper_calibrated`]);
+//! - a **local mirror** ([`Mirror`]) that the operator syncs on a
+//!   schedule and that machines update from;
+//! - an **apt-like update manager** ([`UpdateManager`]) that installs
+//!   package files into a machine's VFS, with kernel packages staged until
+//!   reboot, plus Ubuntu's unattended-upgrades behaviour;
+//! - **SNAPs** ([`Snap`], [`SnapManager`]): squashfs-mounted application
+//!   bundles whose in-sandbox executions produce the truncated IMA paths
+//!   of §III-B.
+//!
+//! File *contents* are generated deterministically from per-version seeds,
+//! so digests change exactly when a package version changes. Each file
+//! carries a `nominal_size` (what the cost model charges for download and
+//! hashing) that is decoupled from the small actual content (what the
+//! simulators hash), keeping experiments fast without distorting the
+//! modelled overheads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apt;
+pub mod mirror;
+pub mod package;
+pub mod repo;
+pub mod signed;
+pub mod snap;
+pub mod stream;
+
+pub use apt::{rewrite_kernel_path, UpdateManager, UpgradeReport};
+pub use mirror::Mirror;
+pub use package::{Package, PackageFile, Pocket, Priority, Version};
+pub use repo::{ReleaseEvent, Repository};
+pub use signed::{Maintainer, ManifestAuthority, ManifestError, PackageManifest, SignedManifest};
+pub use snap::{Snap, SnapManager};
+pub use stream::{ReleaseStream, StreamProfile};

@@ -1,0 +1,190 @@
+//! The operator-controlled local mirror (§III-C).
+//!
+//! The dynamic-policy scheme requires machines to update *only* from a
+//! local mirror that the operator syncs on a known schedule, so the policy
+//! generator always sees the exact package set a machine can install.
+//! The one false positive in the paper's 66-day run happened when this
+//! discipline was broken: an update was pulled from the upstream archive
+//! *after* the 5:00 AM mirror sync.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::package::{Package, Pocket, Version};
+use crate::repo::Repository;
+
+/// A synced snapshot of the upstream archive's base-OS pockets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Mirror {
+    packages: BTreeMap<String, Package>,
+    last_sync_day: Option<u32>,
+    /// Daily hour (0–23) the sync cron fires at; informational.
+    pub sync_hour: u8,
+}
+
+/// The difference between two mirror states, as the policy generator
+/// consumes it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MirrorDiff {
+    /// Packages that are new to the mirror.
+    pub added: Vec<Package>,
+    /// Packages whose version changed (new version carried).
+    pub changed: Vec<Package>,
+}
+
+impl MirrorDiff {
+    /// All packages in the diff, added first.
+    pub fn iter(&self) -> impl Iterator<Item = &Package> {
+        self.added.iter().chain(self.changed.iter())
+    }
+
+    /// Total packages in the diff.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.changed.len()
+    }
+
+    /// True when the sync brought nothing new.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.changed.is_empty()
+    }
+
+    /// Packages in the diff that contain executables (Fig. 4's metric).
+    pub fn packages_with_executables(&self) -> usize {
+        self.iter().filter(|p| p.has_executables()).count()
+    }
+}
+
+impl Mirror {
+    /// An empty mirror syncing at 05:00 (the paper's setup).
+    pub fn new() -> Self {
+        Mirror {
+            packages: BTreeMap::new(),
+            last_sync_day: None,
+            sync_hour: 5,
+        }
+    }
+
+    /// Pulls the current `Main`/`Security`/`Updates` state from the
+    /// upstream archive, returning what changed since the previous sync.
+    pub fn sync(&mut self, upstream: &Repository, day: u32) -> MirrorDiff {
+        let mut diff = MirrorDiff::default();
+        for pkg in upstream.packages_in(&Pocket::BASE_OS) {
+            match self.packages.get(&pkg.name) {
+                None => {
+                    diff.added.push(pkg.clone());
+                    self.packages.insert(pkg.name.clone(), pkg.clone());
+                }
+                Some(existing) if existing.version != pkg.version => {
+                    diff.changed.push(pkg.clone());
+                    self.packages.insert(pkg.name.clone(), pkg.clone());
+                }
+                Some(_) => {}
+            }
+        }
+        self.last_sync_day = Some(day);
+        diff
+    }
+
+    /// The mirrored version of `name`, if carried.
+    pub fn get(&self, name: &str) -> Option<&Package> {
+        self.packages.get(name)
+    }
+
+    /// All mirrored packages, sorted by name.
+    pub fn packages(&self) -> impl Iterator<Item = &Package> {
+        self.packages.values()
+    }
+
+    /// Version index (name → version) for consistency checks.
+    pub fn version_index(&self) -> BTreeMap<String, Version> {
+        self.packages
+            .iter()
+            .map(|(n, p)| (n.clone(), p.version.clone()))
+            .collect()
+    }
+
+    /// Number of mirrored packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True before the first sync.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Day of the last completed sync.
+    pub fn last_sync_day(&self) -> Option<u32> {
+        self.last_sync_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{PackageFile, Priority};
+    use crate::repo::ReleaseEvent;
+
+    fn pkg(name: &str, rev: u32, pocket: Pocket) -> Package {
+        Package {
+            name: name.into(),
+            version: Version {
+                upstream: "1".into(),
+                revision: rev,
+            },
+            priority: Priority::Optional,
+            pocket,
+            files: vec![PackageFile {
+                install_path: format!("/usr/bin/{name}"),
+                executable: true,
+                nominal_size: 1,
+                content_seed: rev as u64,
+            }],
+            is_kernel: false,
+        }
+    }
+
+    #[test]
+    fn first_sync_adds_everything_in_base_pockets() {
+        let repo = Repository::with_packages(vec![
+            pkg("a", 1, Pocket::Main),
+            pkg("b", 1, Pocket::Universe),
+        ]);
+        let mut mirror = Mirror::new();
+        let diff = mirror.sync(&repo, 0);
+        assert_eq!(diff.added.len(), 1, "universe must be excluded");
+        assert_eq!(diff.changed.len(), 0);
+        assert_eq!(mirror.len(), 1);
+        assert_eq!(mirror.last_sync_day(), Some(0));
+    }
+
+    #[test]
+    fn incremental_sync_reports_changes_only() {
+        let mut repo = Repository::with_packages(vec![pkg("a", 1, Pocket::Main)]);
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+
+        repo.apply_release(&ReleaseEvent {
+            day: 1,
+            packages: vec![pkg("a", 2, Pocket::Security), pkg("c", 1, Pocket::Updates)],
+        });
+        let diff = mirror.sync(&repo, 1);
+        assert_eq!(diff.changed.len(), 1);
+        assert_eq!(diff.added.len(), 1);
+        assert_eq!(diff.packages_with_executables(), 2);
+
+        // Nothing changed since: empty diff.
+        let diff2 = mirror.sync(&repo, 2);
+        assert!(diff2.is_empty());
+    }
+
+    #[test]
+    fn version_index_snapshot() {
+        let repo = Repository::with_packages(vec![pkg("a", 3, Pocket::Main)]);
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let idx = mirror.version_index();
+        assert_eq!(idx["a"].revision, 3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Packages, files, versions, priorities, and pockets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Ubuntu package priority classes.
+///
+/// The paper groups `Essential`/`Required`/`Important`/`Standard` as
+/// *high-priority* and `Optional`/`Extra` as *low-priority* when counting
+/// updates (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Priority {
+    /// Cannot be removed without breaking the system.
+    Essential,
+    /// Needed for minimal operation.
+    Required,
+    /// Expected on any reasonable system.
+    Important,
+    /// Part of a standard install.
+    Standard,
+    /// The default for most packages.
+    Optional,
+    /// Conflicting or specialised packages.
+    Extra,
+}
+
+impl Priority {
+    /// True for the paper's "high-priority" grouping.
+    pub fn is_high(self) -> bool {
+        matches!(
+            self,
+            Priority::Essential | Priority::Required | Priority::Important | Priority::Standard
+        )
+    }
+
+    /// The control-file label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Essential => "essential",
+            Priority::Required => "required",
+            Priority::Important => "important",
+            Priority::Standard => "standard",
+            Priority::Optional => "optional",
+            Priority::Extra => "extra",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Archive pockets. The dynamic policy generator measures `Main`,
+/// `Security` and `Updates`; `Universe`/`Multiverse` are not needed for a
+/// base OS and are excluded (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Pocket {
+    /// Canonical-supported base packages.
+    Main,
+    /// Security fixes.
+    Security,
+    /// Non-security bug fixes.
+    Updates,
+    /// Community-maintained packages.
+    Universe,
+    /// Restricted/non-free packages.
+    Multiverse,
+}
+
+impl Pocket {
+    /// Pockets a base-OS mirror carries (what the generator measures).
+    pub const BASE_OS: [Pocket; 3] = [Pocket::Main, Pocket::Security, Pocket::Updates];
+
+    /// The archive directory name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pocket::Main => "main",
+            Pocket::Security => "security",
+            Pocket::Updates => "updates",
+            Pocket::Universe => "universe",
+            Pocket::Multiverse => "multiverse",
+        }
+    }
+
+    /// True when a base-OS mirror includes this pocket.
+    pub fn in_base_os(self) -> bool {
+        Pocket::BASE_OS.contains(&self)
+    }
+}
+
+impl fmt::Display for Pocket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A Debian-style package version: `upstream-ubuntuN`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Version {
+    /// Upstream version component, e.g. `2.34`.
+    pub upstream: String,
+    /// Ubuntu revision counter, e.g. `3` in `-0ubuntu3`.
+    pub revision: u32,
+}
+
+impl Version {
+    /// Initial version of a package.
+    pub fn initial(upstream: impl Into<String>) -> Self {
+        Version {
+            upstream: upstream.into(),
+            revision: 1,
+        }
+    }
+
+    /// The next revision (a typical SRU/security update).
+    pub fn bump(&self) -> Version {
+        Version {
+            upstream: self.upstream.clone(),
+            revision: self.revision + 1,
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-0ubuntu{}", self.upstream, self.revision)
+    }
+}
+
+/// One file shipped by a package.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackageFile {
+    /// Absolute install path, e.g. `/usr/bin/curl`.
+    pub install_path: String,
+    /// True when the executable bit is set (what policies measure).
+    pub executable: bool,
+    /// Bytes charged by the cost model for downloading/hashing this file
+    /// (decoupled from the small generated content).
+    pub nominal_size: u64,
+    /// Seed the deterministic content is generated from; changes with
+    /// every package version, so digests change exactly on updates.
+    pub content_seed: u64,
+}
+
+impl PackageFile {
+    /// Generates the file's deterministic content (small, seed-derived).
+    ///
+    /// 64–320 bytes of xorshift output: enough to make every
+    /// (path, version) pair hash uniquely, cheap enough to hash hundreds
+    /// of thousands of times in tests.
+    pub fn content(&self) -> Vec<u8> {
+        let len = 64 + (self.content_seed % 257) as usize;
+        let mut out = Vec::with_capacity(len);
+        let mut state = self.content_seed | 1;
+        while out.len() < len {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out.extend_from_slice(&state.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+/// A package at a specific version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Package {
+    /// Package name, e.g. `libc6`.
+    pub name: String,
+    /// Current version.
+    pub version: Version,
+    /// Priority class.
+    pub priority: Priority,
+    /// Pocket the current version was published to.
+    pub pocket: Pocket,
+    /// Files installed by this package.
+    pub files: Vec<PackageFile>,
+    /// True for kernel image packages (`linux-image-*`): their files are
+    /// staged under `/boot` and `/lib/modules/<ver>` and only become the
+    /// *running* kernel after a reboot (§III-C "Handling Kernel Modules").
+    pub is_kernel: bool,
+}
+
+impl Package {
+    /// True when at least one shipped file is executable.
+    pub fn has_executables(&self) -> bool {
+        self.files.iter().any(|f| f.executable)
+    }
+
+    /// Iterates over the executable files only.
+    pub fn executable_files(&self) -> impl Iterator<Item = &PackageFile> {
+        self.files.iter().filter(|f| f.executable)
+    }
+
+    /// Sum of nominal sizes (the cost model's download volume).
+    pub fn nominal_size(&self) -> u64 {
+        self.files.iter().map(|f| f.nominal_size).sum()
+    }
+
+    /// The kernel release string for kernel packages (`5.15.0-<rev>`),
+    /// or `None` for ordinary packages.
+    pub fn kernel_release(&self) -> Option<String> {
+        if self.is_kernel {
+            Some(format!("{}-{}", self.version.upstream, self.version.revision))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(seed: u64) -> PackageFile {
+        PackageFile {
+            install_path: "/usr/bin/x".into(),
+            executable: true,
+            nominal_size: 100_000,
+            content_seed: seed,
+        }
+    }
+
+    #[test]
+    fn priority_grouping_matches_paper() {
+        assert!(Priority::Essential.is_high());
+        assert!(Priority::Required.is_high());
+        assert!(Priority::Important.is_high());
+        assert!(Priority::Standard.is_high());
+        assert!(!Priority::Optional.is_high());
+        assert!(!Priority::Extra.is_high());
+    }
+
+    #[test]
+    fn base_os_pockets() {
+        assert!(Pocket::Main.in_base_os());
+        assert!(Pocket::Security.in_base_os());
+        assert!(Pocket::Updates.in_base_os());
+        assert!(!Pocket::Universe.in_base_os());
+        assert!(!Pocket::Multiverse.in_base_os());
+    }
+
+    #[test]
+    fn version_bump_and_display() {
+        let v = Version::initial("2.34");
+        assert_eq!(v.to_string(), "2.34-0ubuntu1");
+        assert_eq!(v.bump().to_string(), "2.34-0ubuntu2");
+        assert!(v.bump() > v);
+    }
+
+    #[test]
+    fn content_is_deterministic_and_seed_sensitive() {
+        let a = file(42).content();
+        let b = file(42).content();
+        let c = file(43).content();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.len() >= 64);
+    }
+
+    #[test]
+    fn package_executable_queries() {
+        let pkg = Package {
+            name: "demo".into(),
+            version: Version::initial("1"),
+            priority: Priority::Optional,
+            pocket: Pocket::Main,
+            files: vec![
+                PackageFile {
+                    executable: false,
+                    ..file(1)
+                },
+                file(2),
+            ],
+            is_kernel: false,
+        };
+        assert!(pkg.has_executables());
+        assert_eq!(pkg.executable_files().count(), 1);
+        assert_eq!(pkg.nominal_size(), 200_000);
+        assert_eq!(pkg.kernel_release(), None);
+    }
+
+    #[test]
+    fn kernel_release_string() {
+        let pkg = Package {
+            name: "linux-image-generic".into(),
+            version: Version {
+                upstream: "5.15.0".into(),
+                revision: 86,
+            },
+            priority: Priority::Optional,
+            pocket: Pocket::Updates,
+            files: vec![],
+            is_kernel: true,
+        };
+        assert_eq!(pkg.kernel_release().unwrap(), "5.15.0-86");
+    }
+}

@@ -1,0 +1,155 @@
+//! The upstream archive: current package index plus its release history.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::package::{Package, Pocket};
+
+/// One day's worth of upstream publications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseEvent {
+    /// Simulation day the release was published on.
+    pub day: u32,
+    /// The packages published (new packages or new versions).
+    pub packages: Vec<Package>,
+}
+
+impl ReleaseEvent {
+    /// Number of published packages that contain executables (what the
+    /// paper's Fig. 4 counts).
+    pub fn packages_with_executables(&self) -> usize {
+        self.packages.iter().filter(|p| p.has_executables()).count()
+    }
+}
+
+/// The upstream archive (`archive.ubuntu.com` analogue).
+///
+/// Holds the *current* version of every package, per pocket, and applies
+/// [`ReleaseEvent`]s as the release stream publishes them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Repository {
+    packages: BTreeMap<String, Package>,
+    /// Day of the most recent applied release.
+    current_day: u32,
+}
+
+impl Repository {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the archive with an initial package population (day 0).
+    pub fn with_packages(packages: Vec<Package>) -> Self {
+        let mut repo = Self::new();
+        for p in packages {
+            repo.packages.insert(p.name.clone(), p);
+        }
+        repo
+    }
+
+    /// Applies a release: inserts new packages and replaces updated ones.
+    pub fn apply_release(&mut self, release: &ReleaseEvent) {
+        self.current_day = self.current_day.max(release.day);
+        for p in &release.packages {
+            self.packages.insert(p.name.clone(), p.clone());
+        }
+    }
+
+    /// The current version of `name`, if the archive carries it.
+    pub fn get(&self, name: &str) -> Option<&Package> {
+        self.packages.get(name)
+    }
+
+    /// All current packages, sorted by name.
+    pub fn packages(&self) -> impl Iterator<Item = &Package> {
+        self.packages.values()
+    }
+
+    /// Current packages belonging to the given pockets.
+    pub fn packages_in<'a>(
+        &'a self,
+        pockets: &'a [Pocket],
+    ) -> impl Iterator<Item = &'a Package> + 'a {
+        self.packages
+            .values()
+            .filter(move |p| pockets.contains(&p.pocket))
+    }
+
+    /// Number of packages currently carried.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True when the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Day of the most recent release applied.
+    pub fn current_day(&self) -> u32 {
+        self.current_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{PackageFile, Priority, Version};
+
+    fn pkg(name: &str, rev: u32, pocket: Pocket) -> Package {
+        Package {
+            name: name.into(),
+            version: Version {
+                upstream: "1.0".into(),
+                revision: rev,
+            },
+            priority: Priority::Optional,
+            pocket,
+            files: vec![PackageFile {
+                install_path: format!("/usr/bin/{name}"),
+                executable: true,
+                nominal_size: 1000,
+                content_seed: rev as u64,
+            }],
+            is_kernel: false,
+        }
+    }
+
+    #[test]
+    fn apply_release_updates_index() {
+        let mut repo = Repository::with_packages(vec![pkg("curl", 1, Pocket::Main)]);
+        assert_eq!(repo.get("curl").unwrap().version.revision, 1);
+        repo.apply_release(&ReleaseEvent {
+            day: 3,
+            packages: vec![pkg("curl", 2, Pocket::Security), pkg("new-tool", 1, Pocket::Main)],
+        });
+        assert_eq!(repo.get("curl").unwrap().version.revision, 2);
+        assert!(repo.get("new-tool").is_some());
+        assert_eq!(repo.current_day(), 3);
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn pocket_filter() {
+        let repo = Repository::with_packages(vec![
+            pkg("a", 1, Pocket::Main),
+            pkg("b", 1, Pocket::Universe),
+        ]);
+        let base: Vec<_> = repo.packages_in(&Pocket::BASE_OS).collect();
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].name, "a");
+    }
+
+    #[test]
+    fn release_event_executable_count() {
+        let mut no_exec = pkg("doc-pkg", 1, Pocket::Main);
+        no_exec.files[0].executable = false;
+        let ev = ReleaseEvent {
+            day: 1,
+            packages: vec![pkg("a", 1, Pocket::Main), no_exec],
+        };
+        assert_eq!(ev.packages_with_executables(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! SNAP packages: squashfs-mounted application bundles.
+//!
+//! §III-B: SNAP binaries run inside a sandbox whose root is the mounted
+//! squashfs image, so IMA records their paths *without* the
+//! `/snap/<name>/<revision>` prefix — a policy generated from the
+//! host-side paths then fails to match. [`SnapManager::sandbox_path`]
+//! computes the truncated view; the machine simulator feeds it to IMA as
+//! the recorded path.
+
+use cia_vfs::{FilesystemKind, Mode, Vfs, VfsError, VfsPath};
+use serde::{Deserialize, Serialize};
+
+/// One SNAP bundle at a specific revision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snap {
+    /// SNAP name, e.g. `core20`.
+    pub name: String,
+    /// Store revision number.
+    pub revision: u32,
+    /// `(in-snap path, content, executable)` entries.
+    pub files: Vec<(String, Vec<u8>, bool)>,
+}
+
+impl Snap {
+    /// The host-side mount root: `/snap/<name>/<revision>`.
+    pub fn mount_root(&self) -> VfsPath {
+        VfsPath::new(&format!("/snap/{}/{}", self.name, self.revision)).expect("valid snap root")
+    }
+
+    /// A minimal `core20`-like snap for experiments.
+    pub fn core20(revision: u32) -> Self {
+        Snap {
+            name: "core20".to_string(),
+            revision,
+            files: vec![
+                (
+                    "/usr/bin/python3".to_string(),
+                    format!("core20 python r{revision}").into_bytes(),
+                    true,
+                ),
+                (
+                    "/usr/bin/snapctl".to_string(),
+                    format!("core20 snapctl r{revision}").into_bytes(),
+                    true,
+                ),
+                (
+                    "/usr/lib/libsnap.so".to_string(),
+                    format!("core20 libsnap r{revision}").into_bytes(),
+                    true,
+                ),
+            ],
+        }
+    }
+}
+
+/// Installs and tracks SNAPs on one machine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SnapManager {
+    installed: Vec<Snap>,
+}
+
+impl SnapManager {
+    /// A manager with no snaps (the paper's "disable SNAP" mitigation is
+    /// simply never installing any).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mounts the snap's squashfs under `/snap/<name>/<rev>` and writes
+    /// its files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem/mount errors.
+    pub fn install(&mut self, vfs: &mut Vfs, snap: Snap) -> Result<(), VfsError> {
+        let root = snap.mount_root();
+        vfs.mkdir_p(&root)?;
+        vfs.mount(&root, FilesystemKind::Squashfs)?;
+        for (rel, content, executable) in &snap.files {
+            let host_path = root.join(rel)?;
+            if let Some(parent) = host_path.parent() {
+                vfs.mkdir_p(&parent)?;
+            }
+            let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+            vfs.create_file(&host_path, content.clone(), mode)?;
+        }
+        self.installed.push(snap);
+        Ok(())
+    }
+
+    /// Installed snaps.
+    pub fn installed(&self) -> &[Snap] {
+        &self.installed
+    }
+
+    /// If `host_path` lies inside an installed snap, returns the
+    /// *in-sandbox* (truncated) path IMA records; otherwise `None`.
+    pub fn sandbox_path(&self, host_path: &VfsPath) -> Option<VfsPath> {
+        for snap in &self.installed {
+            let root = snap.mount_root();
+            if let Some(stripped) = host_path.strip_prefix(&root) {
+                if host_path != &root {
+                    return Some(stripped);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn install_mounts_squashfs() {
+        let mut vfs = Vfs::with_standard_layout();
+        let mut snaps = SnapManager::new();
+        snaps.install(&mut vfs, Snap::core20(1234)).unwrap();
+        let py = p("/snap/core20/1234/usr/bin/python3");
+        assert!(vfs.exists(&py));
+        assert_eq!(
+            vfs.filesystem_of(&py).unwrap().1,
+            FilesystemKind::Squashfs
+        );
+        assert!(vfs.metadata(&py).unwrap().mode.is_executable());
+    }
+
+    #[test]
+    fn sandbox_path_truncates() {
+        let mut vfs = Vfs::with_standard_layout();
+        let mut snaps = SnapManager::new();
+        snaps.install(&mut vfs, Snap::core20(1234)).unwrap();
+        assert_eq!(
+            snaps
+                .sandbox_path(&p("/snap/core20/1234/usr/bin/python3"))
+                .unwrap(),
+            p("/usr/bin/python3")
+        );
+        assert!(snaps.sandbox_path(&p("/usr/bin/python3")).is_none());
+    }
+
+    #[test]
+    fn two_revisions_coexist() {
+        let mut vfs = Vfs::with_standard_layout();
+        let mut snaps = SnapManager::new();
+        snaps.install(&mut vfs, Snap::core20(1234)).unwrap();
+        snaps.install(&mut vfs, Snap::core20(1250)).unwrap();
+        assert!(vfs.exists(&p("/snap/core20/1234/usr/bin/python3")));
+        assert!(vfs.exists(&p("/snap/core20/1250/usr/bin/python3")));
+        // Each revision resolves through its own squashfs.
+        let fs1 = vfs.filesystem_of(&p("/snap/core20/1234/usr/bin/python3")).unwrap().0;
+        let fs2 = vfs.filesystem_of(&p("/snap/core20/1250/usr/bin/python3")).unwrap().0;
+        assert_ne!(fs1, fs2);
+    }
+}

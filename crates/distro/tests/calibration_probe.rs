@@ -1,0 +1,42 @@
+use cia_distro::{ReleaseStream, StreamProfile};
+use std::collections::BTreeSet;
+
+#[test]
+#[ignore] // probe: run explicitly with --ignored to print calibration stats
+fn print_calibration() {
+    let (mut stream, repo) = ReleaseStream::new(StreamProfile::paper_calibrated());
+    let initial: usize = repo.packages().map(|p| p.executable_files().count()).sum();
+    println!("initial policy entries: {initial}");
+    let days = 365;
+    let mut pkgs = vec![];
+    let mut high = vec![];
+    let mut lines = vec![];
+    let mut weekly_unique = vec![];
+    let mut weekly_lines = vec![];
+    let mut week_names: BTreeSet<String> = BTreeSet::new();
+    let mut week_pkg_files: std::collections::BTreeMap<String, usize> = Default::default();
+    for d in 1..=days {
+        let ev = stream.next_day();
+        pkgs.push(ev.packages_with_executables() as f64);
+        high.push(ev.packages.iter().filter(|p| p.priority.is_high()).count() as f64);
+        lines.push(ev.packages.iter().map(|p| p.executable_files().count()).sum::<usize>() as f64);
+        // A weekly mirror sync only ever sees the LATEST version of each
+        // package, so count files per unique package name.
+        for p in &ev.packages { week_names.insert(p.name.clone()); week_pkg_files.insert(p.name.clone(), p.executable_files().count()); }
+        if d % 7 == 0 {
+            weekly_unique.push(week_names.len() as f64);
+            weekly_lines.push(week_pkg_files.values().sum::<usize>() as f64);
+            week_names.clear(); week_pkg_files.clear();
+        }
+    }
+    let stats = |v: &[f64]| {
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64;
+        (m, var.sqrt())
+    };
+    println!("pkgs/day: {:?} (paper 16.5 / 26.8)", stats(&pkgs));
+    println!("high/day: {:?} (paper 0.9 / 2.2)", stats(&high));
+    println!("lines/day: {:?} (paper 1271)", stats(&lines));
+    println!("weekly unique pkgs: {:?} (paper 76.4+2.6=79)", stats(&weekly_unique));
+    println!("weekly lines: {:?} (paper 5513)", stats(&weekly_lines));
+}

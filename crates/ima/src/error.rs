@@ -1,0 +1,66 @@
+//! Error type for the IMA simulator.
+
+use std::fmt;
+
+use cia_tpm::TpmError;
+use cia_vfs::VfsError;
+
+/// Errors returned by IMA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImaError {
+    /// The underlying filesystem operation failed.
+    Vfs(VfsError),
+    /// Extending the TPM failed.
+    Tpm(TpmError),
+    /// A textual policy line could not be parsed.
+    PolicyParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A measurement-list line could not be parsed.
+    LogParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ImaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImaError::Vfs(e) => write!(f, "filesystem error: {e}"),
+            ImaError::Tpm(e) => write!(f, "tpm error: {e}"),
+            ImaError::PolicyParse { line, reason } => {
+                write!(f, "policy parse error at line {line}: {reason}")
+            }
+            ImaError::LogParse { line, reason } => {
+                write!(f, "measurement list parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImaError::Vfs(e) => Some(e),
+            ImaError::Tpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for ImaError {
+    fn from(e: VfsError) -> Self {
+        ImaError::Vfs(e)
+    }
+}
+
+impl From<TpmError> for ImaError {
+    fn from(e: TpmError) -> Self {
+        ImaError::Tpm(e)
+    }
+}

@@ -1,0 +1,363 @@
+//! IMA measurement policy: which accesses get measured.
+//!
+//! Supports the subset of the kernel's `ima_policy` rule syntax the paper
+//! exercises: `measure`/`dont_measure` actions with `func=`, `mask=` and
+//! `fsmagic=` conditions. Rules are evaluated in order; the first matching
+//! rule decides (kernel semantics), and an access nothing matches is not
+//! measured.
+
+use std::fmt;
+
+use cia_vfs::FilesystemKind;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ImaError;
+
+/// The kernel integrity hook an access arrives through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImaFunc {
+    /// `execve()` of a file (includes shebang scripts).
+    BprmCheck,
+    /// `mmap(..., PROT_EXEC)` — shared libraries.
+    FileMmap,
+    /// Kernel module loading.
+    ModuleCheck,
+    /// An open with exec intent (`O_MAYEXEC` / script-execution-control).
+    MayExecOpen,
+}
+
+impl ImaFunc {
+    /// The policy-syntax name (`func=BPRM_CHECK`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ImaFunc::BprmCheck => "BPRM_CHECK",
+            ImaFunc::FileMmap => "FILE_MMAP",
+            ImaFunc::ModuleCheck => "MODULE_CHECK",
+            ImaFunc::MayExecOpen => "MAY_EXEC_OPEN",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "BPRM_CHECK" => Some(ImaFunc::BprmCheck),
+            "FILE_MMAP" => Some(ImaFunc::FileMmap),
+            "MODULE_CHECK" => Some(ImaFunc::ModuleCheck),
+            "MAY_EXEC_OPEN" => Some(ImaFunc::MayExecOpen),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ImaFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether a rule measures or exempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyAction {
+    /// Matching accesses are measured.
+    Measure,
+    /// Matching accesses are exempt from measurement.
+    DontMeasure,
+}
+
+/// One policy rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Measure or exempt.
+    pub action: PolicyAction,
+    /// Match only this hook (None = any).
+    pub func: Option<ImaFunc>,
+    /// Match only accesses on a filesystem with this superblock magic
+    /// (None = any).
+    pub fsmagic: Option<u64>,
+}
+
+impl PolicyRule {
+    fn matches(&self, func: ImaFunc, fsmagic: u64) -> bool {
+        self.func.is_none_or(|f| f == func) && self.fsmagic.is_none_or(|m| m == fsmagic)
+    }
+}
+
+impl fmt::Display for PolicyRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.action {
+            PolicyAction::Measure => f.write_str("measure")?,
+            PolicyAction::DontMeasure => f.write_str("dont_measure")?,
+        }
+        if let Some(func) = self.func {
+            write!(f, " func={func}")?;
+            if matches!(func, ImaFunc::BprmCheck | ImaFunc::FileMmap) {
+                f.write_str(" mask=MAY_EXEC")?;
+            }
+        }
+        if let Some(m) = self.fsmagic {
+            write!(f, " fsmagic=0x{m:x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of rules; first match wins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImaPolicy {
+    rules: Vec<PolicyRule>,
+}
+
+impl ImaPolicy {
+    /// An empty policy (measures nothing).
+    pub fn empty() -> Self {
+        ImaPolicy { rules: Vec::new() }
+    }
+
+    /// The policy recommended by Keylime's documentation, as studied in
+    /// §IV of the paper: exempt a range of pseudo/volatile filesystems
+    /// (**this is P3**), then measure executions, executable mmaps, and
+    /// module loads everywhere else.
+    pub fn keylime_default() -> Self {
+        let mut rules = Vec::new();
+        for kind in [
+            FilesystemKind::Procfs,
+            FilesystemKind::Sysfs,
+            FilesystemKind::Debugfs,
+            FilesystemKind::Tmpfs,
+            FilesystemKind::Devtmpfs,
+            FilesystemKind::Ramfs,
+            FilesystemKind::Securityfs,
+            FilesystemKind::Overlayfs,
+        ] {
+            rules.push(PolicyRule {
+                action: PolicyAction::DontMeasure,
+                func: None,
+                fsmagic: Some(kind.fsmagic()),
+            });
+        }
+        for func in [ImaFunc::BprmCheck, ImaFunc::FileMmap, ImaFunc::ModuleCheck] {
+            rules.push(PolicyRule {
+                action: PolicyAction::Measure,
+                func: Some(func),
+                fsmagic: None,
+            });
+        }
+        ImaPolicy { rules }
+    }
+
+    /// The enriched policy of §IV-C ("Enriching Keylime/IMA Policies"):
+    /// like [`ImaPolicy::keylime_default`] but *without* the tmpfs/ramfs
+    /// exemptions, so `/tmp`, `/dev/shm` and `/run` executions are
+    /// measured. Pseudo-filesystems that cannot host regular files keep
+    /// their exemptions. When `script_exec_control` is set, opens with
+    /// exec intent are measured too (the P5 direction).
+    pub fn enriched(script_exec_control: bool) -> Self {
+        let mut rules = Vec::new();
+        for kind in [
+            FilesystemKind::Sysfs,
+            FilesystemKind::Debugfs,
+            FilesystemKind::Securityfs,
+        ] {
+            rules.push(PolicyRule {
+                action: PolicyAction::DontMeasure,
+                func: None,
+                fsmagic: Some(kind.fsmagic()),
+            });
+        }
+        let mut funcs = vec![ImaFunc::BprmCheck, ImaFunc::FileMmap, ImaFunc::ModuleCheck];
+        if script_exec_control {
+            funcs.push(ImaFunc::MayExecOpen);
+        }
+        for func in funcs {
+            rules.push(PolicyRule {
+                action: PolicyAction::Measure,
+                func: Some(func),
+                fsmagic: None,
+            });
+        }
+        ImaPolicy { rules }
+    }
+
+    /// Builds a policy from explicit rules.
+    pub fn from_rules(rules: Vec<PolicyRule>) -> Self {
+        ImaPolicy { rules }
+    }
+
+    /// The rules in evaluation order.
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// Decides whether an access through `func` on a filesystem with
+    /// `fsmagic` must be measured.
+    pub fn should_measure(&self, func: ImaFunc, fsmagic: u64) -> bool {
+        for rule in &self.rules {
+            if rule.matches(func, fsmagic) {
+                return rule.action == PolicyAction::Measure;
+            }
+        }
+        false
+    }
+
+    /// True when the policy exempts the given filesystem type entirely.
+    pub fn exempts_filesystem(&self, kind: FilesystemKind) -> bool {
+        self.rules.iter().any(|r| {
+            r.action == PolicyAction::DontMeasure && r.func.is_none() && r.fsmagic == Some(kind.fsmagic())
+        })
+    }
+
+    /// Renders the policy in the kernel's `ima_policy` text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for rule in &self.rules {
+            out.push_str(&rule.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`ImaPolicy::render`].
+    ///
+    /// # Errors
+    ///
+    /// [`ImaError::PolicyParse`] with the offending line number.
+    pub fn parse(text: &str) -> Result<Self, ImaError> {
+        let mut rules = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let action = match tokens.next() {
+                Some("measure") => PolicyAction::Measure,
+                Some("dont_measure") => PolicyAction::DontMeasure,
+                Some(other) => {
+                    return Err(ImaError::PolicyParse {
+                        line: idx + 1,
+                        reason: format!("unknown action `{other}`"),
+                    })
+                }
+                None => continue,
+            };
+            let mut func = None;
+            let mut fsmagic = None;
+            for token in tokens {
+                if let Some(name) = token.strip_prefix("func=") {
+                    func = Some(ImaFunc::from_name(name).ok_or_else(|| ImaError::PolicyParse {
+                        line: idx + 1,
+                        reason: format!("unknown func `{name}`"),
+                    })?);
+                } else if let Some(value) = token.strip_prefix("fsmagic=") {
+                    let value = value.trim_start_matches("0x");
+                    fsmagic =
+                        Some(
+                            u64::from_str_radix(value, 16).map_err(|_| ImaError::PolicyParse {
+                                line: idx + 1,
+                                reason: format!("bad fsmagic `{value}`"),
+                            })?,
+                        );
+                } else if token.starts_with("mask=") {
+                    // mask=MAY_EXEC is implied by the func in this subset.
+                } else {
+                    return Err(ImaError::PolicyParse {
+                        line: idx + 1,
+                        reason: format!("unknown condition `{token}`"),
+                    });
+                }
+            }
+            rules.push(PolicyRule {
+                action,
+                func,
+                fsmagic,
+            });
+        }
+        Ok(ImaPolicy { rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keylime_default_exempts_tmpfs_and_procfs() {
+        let p = ImaPolicy::keylime_default();
+        // P3: executions on tmpfs/procfs are invisible.
+        assert!(!p.should_measure(ImaFunc::BprmCheck, FilesystemKind::Tmpfs.fsmagic()));
+        assert!(!p.should_measure(ImaFunc::BprmCheck, FilesystemKind::Procfs.fsmagic()));
+        assert!(p.exempts_filesystem(FilesystemKind::Tmpfs));
+        // ext4 executions are measured.
+        assert!(p.should_measure(ImaFunc::BprmCheck, FilesystemKind::Ext4.fsmagic()));
+        assert!(p.should_measure(ImaFunc::ModuleCheck, FilesystemKind::Ext4.fsmagic()));
+        // squashfs (SNAPs) is NOT exempt — SNAP binaries do get measured.
+        assert!(p.should_measure(ImaFunc::BprmCheck, FilesystemKind::Squashfs.fsmagic()));
+    }
+
+    #[test]
+    fn default_policy_ignores_mayexec_opens() {
+        let p = ImaPolicy::keylime_default();
+        assert!(!p.should_measure(ImaFunc::MayExecOpen, FilesystemKind::Ext4.fsmagic()));
+    }
+
+    #[test]
+    fn enriched_policy_measures_tmpfs() {
+        let p = ImaPolicy::enriched(false);
+        assert!(p.should_measure(ImaFunc::BprmCheck, FilesystemKind::Tmpfs.fsmagic()));
+        assert!(!p.should_measure(ImaFunc::MayExecOpen, FilesystemKind::Ext4.fsmagic()));
+        let p2 = ImaPolicy::enriched(true);
+        assert!(p2.should_measure(ImaFunc::MayExecOpen, FilesystemKind::Ext4.fsmagic()));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let p = ImaPolicy::from_rules(vec![
+            PolicyRule {
+                action: PolicyAction::DontMeasure,
+                func: None,
+                fsmagic: Some(0xef53),
+            },
+            PolicyRule {
+                action: PolicyAction::Measure,
+                func: Some(ImaFunc::BprmCheck),
+                fsmagic: None,
+            },
+        ]);
+        assert!(!p.should_measure(ImaFunc::BprmCheck, 0xef53));
+        assert!(p.should_measure(ImaFunc::BprmCheck, 0x9fa0));
+    }
+
+    #[test]
+    fn empty_policy_measures_nothing() {
+        let p = ImaPolicy::empty();
+        assert!(!p.should_measure(ImaFunc::BprmCheck, 0xef53));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let p = ImaPolicy::keylime_default();
+        let text = p.render();
+        assert!(text.contains("dont_measure fsmagic=0x1021994"));
+        assert!(text.contains("measure func=BPRM_CHECK mask=MAY_EXEC"));
+        let reparsed = ImaPolicy::parse(&text).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let text = "# a comment\n\nmeasure func=BPRM_CHECK mask=MAY_EXEC\n";
+        let p = ImaPolicy::parse(text).unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = ImaPolicy::parse("measure func=BPRM_CHECK\nbogus_action\n").unwrap_err();
+        assert!(matches!(err, ImaError::PolicyParse { line: 2, .. }));
+        let err = ImaPolicy::parse("measure fsmagic=zz\n").unwrap_err();
+        assert!(matches!(err, ImaError::PolicyParse { line: 1, .. }));
+        let err = ImaPolicy::parse("measure func=NOPE\n").unwrap_err();
+        assert!(matches!(err, ImaError::PolicyParse { line: 1, .. }));
+        let err = ImaPolicy::parse("measure uid=0\n").unwrap_err();
+        assert!(matches!(err, ImaError::PolicyParse { line: 1, .. }));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the measurement list and policy.
+
+use cia_crypto::HashAlgorithm;
+use cia_ima::{ImaLogEntry, ImaPolicy, MeasurementLog};
+use cia_tpm::pcr::extend_digest;
+use cia_tpm::{Manufacturer, Tpm};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tpm() -> Tpm {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = Manufacturer::generate(&mut rng);
+    Tpm::manufacture(&m, &mut rng)
+}
+
+/// Paths as IMA records them: absolute, printable, may contain spaces.
+fn measured_path() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ._/-]{1,40}".prop_map(|s| format!("/{}", s.trim_start_matches('/')))
+}
+
+proptest! {
+    /// The canonical ASCII list round-trips arbitrary entries.
+    #[test]
+    fn log_render_parse_roundtrip(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..64), measured_path()),
+            0..20,
+        )
+    ) {
+        let mut tpm = tpm();
+        let mut log = MeasurementLog::new();
+        for (content, path) in &entries {
+            let entry = ImaLogEntry::new(HashAlgorithm::Sha256.digest(content), path.clone());
+            log.append(entry, &mut tpm).unwrap();
+        }
+        let parsed = MeasurementLog::parse(&log.render()).unwrap();
+        prop_assert_eq!(parsed, log);
+    }
+
+    /// Replay always matches the TPM PCR, in both banks, at every prefix.
+    #[test]
+    fn replay_matches_pcr_at_every_prefix(
+        contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..15)
+    ) {
+        let mut tpm = tpm();
+        let mut log = MeasurementLog::new();
+        for (i, content) in contents.iter().enumerate() {
+            let entry = ImaLogEntry::new(
+                HashAlgorithm::Sha256.digest(content),
+                format!("/usr/bin/f{i}"),
+            );
+            log.append(entry, &mut tpm).unwrap();
+        }
+        for bank in [HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+            prop_assert_eq!(log.replay(bank), tpm.pcr_read(bank, cia_ima::IMA_PCR).unwrap());
+        }
+        // Prefix folds compose: replay(k+1) = extend(replay(k), h(k)).
+        for k in 0..log.len() {
+            let next = extend_digest(
+                HashAlgorithm::Sha256,
+                log.replay_prefix(HashAlgorithm::Sha256, k),
+                log.entries()[k].template_hash(HashAlgorithm::Sha256),
+            );
+            prop_assert_eq!(next, log.replay_prefix(HashAlgorithm::Sha256, k + 1));
+        }
+    }
+
+    /// Policy text format round-trips arbitrary rule sets.
+    #[test]
+    fn policy_render_parse_roundtrip(rules in proptest::collection::vec((any::<bool>(), 0u8..4, any::<bool>(), any::<u32>()), 0..12)) {
+        use cia_ima::{ImaFunc, PolicyAction, PolicyRule};
+        let built: Vec<PolicyRule> = rules
+            .into_iter()
+            .map(|(measure, func, has_magic, magic)| PolicyRule {
+                action: if measure { PolicyAction::Measure } else { PolicyAction::DontMeasure },
+                func: match func {
+                    0 => None,
+                    1 => Some(ImaFunc::BprmCheck),
+                    2 => Some(ImaFunc::FileMmap),
+                    _ => Some(ImaFunc::ModuleCheck),
+                },
+                fsmagic: has_magic.then_some(magic as u64),
+            })
+            .collect();
+        let policy = ImaPolicy::from_rules(built);
+        let parsed = ImaPolicy::parse(&policy.render()).unwrap();
+        prop_assert_eq!(parsed, policy);
+    }
+
+    /// Tampering with any single entry's path or digest breaks the parse
+    /// (template-hash check) or the replay (PCR check) — never silent.
+    #[test]
+    fn tampering_never_silent(
+        contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..8),
+        victim in 0usize..8,
+    ) {
+        let mut tpm = tpm();
+        let mut log = MeasurementLog::new();
+        for (i, content) in contents.iter().enumerate() {
+            log.append(
+                ImaLogEntry::new(HashAlgorithm::Sha256.digest(content), format!("/usr/bin/f{i}")),
+                &mut tpm,
+            )
+            .unwrap();
+        }
+        let victim = victim % log.len();
+        // Forge: replace the victim entry's digest with another value and
+        // recompute its line (so the template hash is self-consistent).
+        let mut forged_entries: Vec<ImaLogEntry> = log.entries().to_vec();
+        forged_entries[victim] = ImaLogEntry::new(
+            HashAlgorithm::Sha256.digest(b"forged content"),
+            forged_entries[victim].path.clone(),
+        );
+        let forged_text: String = forged_entries
+            .iter()
+            .map(|e| format!("{}\n", e.render()))
+            .collect();
+        let forged = MeasurementLog::parse(&forged_text).unwrap();
+        // The forged log parses, but it can no longer replay to the PCR.
+        let pcr = tpm.pcr_read(HashAlgorithm::Sha256, cia_ima::IMA_PCR).unwrap();
+        prop_assert_ne!(forged.replay(HashAlgorithm::Sha256), pcr);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Keylime agent: the only component on the untrusted machine.
+
+use cia_crypto::HashAlgorithm;
+use cia_os::Machine;
+use cia_tpm::{AkBinding, EkCertificate, PcrSelection, Quote};
+use serde::{Deserialize, Serialize};
+
+use crate::error::KeylimeError;
+
+/// Requests an agent answers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentRequest {
+    /// Prove TPM identity (registration protocol).
+    Identity {
+        /// Registrar challenge for the AK binding.
+        challenge: Vec<u8>,
+    },
+    /// Produce a quote plus the IMA log tail.
+    Quote {
+        /// Verifier anti-replay nonce.
+        nonce: Vec<u8>,
+        /// Send measurement-list entries starting at this index.
+        from_entry: usize,
+    },
+}
+
+/// Identity material returned during registration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdentityResponse {
+    /// The manufacturer-signed EK certificate.
+    pub ek_certificate: EkCertificate,
+    /// Proof the AK lives beside the endorsed EK.
+    pub binding: AkBinding,
+}
+
+/// Quote plus incremental measurement list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuoteResponse {
+    /// Signed quote over PCRs 0–10 (SHA-256 bank).
+    pub quote: Quote,
+    /// Canonical ASCII measurement-list lines from `from_entry` on.
+    pub log_excerpt: String,
+    /// Total entries currently in the measurement list.
+    pub total_entries: usize,
+    /// TPM reset counter, so the verifier can detect reboots.
+    pub boot_count: u64,
+}
+
+/// Responses an agent produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentResponse {
+    /// Answer to [`AgentRequest::Identity`].
+    Identity(IdentityResponse),
+    /// Answer to [`AgentRequest::Quote`].
+    Quote(QuoteResponse),
+    /// The agent could not fulfil the request.
+    Error {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+/// The agent process wrapping one [`Machine`].
+#[derive(Debug)]
+pub struct Agent {
+    machine: Machine,
+}
+
+impl Agent {
+    /// Wraps a machine.
+    pub fn new(machine: Machine) -> Self {
+        Agent { machine }
+    }
+
+    /// The agent identity (the machine's host name).
+    pub fn id(&self) -> &str {
+        self.machine.hostname()
+    }
+
+    /// Read access to the underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access — used by experiments (and attackers) to act on the
+    /// host.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Consumes the agent, returning the machine.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Serves one request.
+    pub fn handle(&mut self, request: AgentRequest) -> AgentResponse {
+        match request {
+            AgentRequest::Identity { challenge } => match self.machine.tpm.certify_ak(&challenge) {
+                Ok(binding) => AgentResponse::Identity(IdentityResponse {
+                    ek_certificate: self.machine.tpm.ek_certificate().clone(),
+                    binding,
+                }),
+                Err(e) => AgentResponse::Error {
+                    reason: e.to_string(),
+                },
+            },
+            AgentRequest::Quote { nonce, from_entry } => {
+                let selection = PcrSelection::of(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+                match self
+                    .machine
+                    .tpm
+                    .quote(&nonce, &selection, HashAlgorithm::Sha256)
+                {
+                    Ok(quote) => {
+                        let entries = self.machine.ima.log().entries();
+                        let from = from_entry.min(entries.len());
+                        let mut log_excerpt = String::new();
+                        for e in &entries[from..] {
+                            log_excerpt.push_str(&e.render());
+                            log_excerpt.push('\n');
+                        }
+                        AgentResponse::Quote(QuoteResponse {
+                            boot_count: quote.boot_count,
+                            quote,
+                            log_excerpt,
+                            total_entries: entries.len(),
+                        })
+                    }
+                    Err(e) => AgentResponse::Error {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a typed error for `Error` responses.
+    pub fn handle_checked(&mut self, request: AgentRequest) -> Result<AgentResponse, KeylimeError> {
+        match self.handle(request) {
+            AgentResponse::Error { reason } => Err(KeylimeError::Agent { reason }),
+            ok => Ok(ok),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_os::MachineConfig;
+    use cia_tpm::Manufacturer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agent() -> Agent {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Manufacturer::generate(&mut rng);
+        Agent::new(Machine::new(&m, MachineConfig::default()))
+    }
+
+    #[test]
+    fn identity_response_is_bound() {
+        let mut a = agent();
+        match a.handle(AgentRequest::Identity {
+            challenge: b"c1".to_vec(),
+        }) {
+            AgentResponse::Identity(id) => {
+                assert!(id.binding.verify(&id.ek_certificate.ek_public, b"c1"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quote_covers_log() {
+        let mut a = agent();
+        let resp = a.handle(AgentRequest::Quote {
+            nonce: b"n1".to_vec(),
+            from_entry: 0,
+        });
+        match resp {
+            AgentResponse::Quote(q) => {
+                assert_eq!(q.total_entries, 1, "boot_aggregate only");
+                assert!(q.log_excerpt.contains("boot_aggregate"));
+                let ak = a.machine().tpm.ak_public().unwrap();
+                assert!(q.quote.verify(ak, b"n1"));
+                assert!(q.quote.pcr_value(10).is_some());
+                assert!(q.quote.pcr_value(0).is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_excerpt() {
+        let mut a = agent();
+        let resp = a.handle(AgentRequest::Quote {
+            nonce: b"n".to_vec(),
+            from_entry: 1,
+        });
+        match resp {
+            AgentResponse::Quote(q) => {
+                assert!(q.log_excerpt.is_empty());
+                assert_eq!(q.total_entries, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Out-of-range offsets clamp instead of panicking.
+        let resp = a.handle(AgentRequest::Quote {
+            nonce: b"n".to_vec(),
+            from_entry: 99,
+        });
+        assert!(matches!(resp, AgentResponse::Quote(_)));
+    }
+}

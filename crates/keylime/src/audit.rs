@@ -1,0 +1,253 @@
+//! Durable attestation: a tamper-evident audit trail.
+//!
+//! Production Keylime deployments pair the verifier with *durable
+//! attestation*: every attestation outcome is persisted to an append-only
+//! store so that auditors can later prove what the verifier saw and when
+//! — even if the verifier host is itself compromised afterwards. This
+//! module provides the core of that feature: a hash-chained, signed
+//! [`AuditLog`] whose integrity can be re-verified offline from the head
+//! hash alone.
+
+use cia_crypto::{Digest, KeyPair, Sha256, Signature, VerifyingKey};
+use serde::{Deserialize, Serialize};
+
+/// The outcome class recorded for one attestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditOutcome {
+    /// The poll verified cleanly.
+    Verified,
+    /// The poll failed policy or quote checks.
+    Failed,
+    /// The poll was skipped (agent paused).
+    Skipped,
+}
+
+/// One link in the audit chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Position in the chain (0-based).
+    pub sequence: u64,
+    /// Simulation day of the poll.
+    pub day: u32,
+    /// The attested agent.
+    pub agent: String,
+    /// What happened.
+    pub outcome: AuditOutcome,
+    /// Hash of the previous record (zero digest for the first).
+    pub prev_hash: Digest,
+    /// Hash over this record's contents, chaining it to its predecessor.
+    pub hash: Digest,
+    /// Auditor-key signature over `hash`.
+    pub signature: Signature,
+}
+
+impl AuditRecord {
+    fn compute_hash(
+        sequence: u64,
+        day: u32,
+        agent: &str,
+        outcome: AuditOutcome,
+        prev_hash: &Digest,
+    ) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"AUDIT:");
+        h.update(&sequence.to_be_bytes());
+        h.update(&day.to_be_bytes());
+        h.update(agent.as_bytes());
+        h.update(format!("{outcome:?}").as_bytes());
+        h.update(prev_hash.as_bytes());
+        h.finalize()
+    }
+}
+
+/// An append-only, hash-chained attestation history.
+#[derive(Debug)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+    keys: KeyPair,
+}
+
+impl AuditLog {
+    /// Creates an empty log with a fresh auditor key.
+    pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        AuditLog {
+            records: Vec::new(),
+            keys: KeyPair::generate(rng),
+        }
+    }
+
+    /// The key auditors use to verify the chain's signatures.
+    pub fn public_key(&self) -> &VerifyingKey {
+        &self.keys.verifying
+    }
+
+    /// Appends one outcome, returning the new head hash.
+    pub fn record(&mut self, day: u32, agent: &str, outcome: AuditOutcome) -> Digest {
+        let sequence = self.records.len() as u64;
+        let prev_hash = self
+            .records
+            .last()
+            .map(|r| r.hash)
+            .unwrap_or_else(|| cia_crypto::HashAlgorithm::Sha256.zero_digest());
+        let hash = AuditRecord::compute_hash(sequence, day, agent, outcome, &prev_hash);
+        let signature = self.keys.signing.sign(hash.as_bytes());
+        self.records.push(AuditRecord {
+            sequence,
+            day,
+            agent: agent.to_string(),
+            outcome,
+            prev_hash,
+            hash,
+            signature,
+        });
+        hash
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// The chain head (None when empty).
+    pub fn head(&self) -> Option<Digest> {
+        self.records.last().map(|r| r.hash)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Offline verification: checks the full chain (hashes, linkage,
+    /// sequence numbers, signatures) against `auditor_key` and, if given,
+    /// an externally-anchored `expected_head`. Returns the index of the
+    /// first bad record, or `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// The index of the first record that fails verification (or
+    /// `records.len()` when only the head anchor mismatches).
+    pub fn verify_chain(
+        records: &[AuditRecord],
+        auditor_key: &VerifyingKey,
+        expected_head: Option<&Digest>,
+    ) -> Result<(), usize> {
+        let mut prev = cia_crypto::HashAlgorithm::Sha256.zero_digest();
+        for (i, record) in records.iter().enumerate() {
+            if record.sequence != i as u64 || record.prev_hash != prev {
+                return Err(i);
+            }
+            let expected = AuditRecord::compute_hash(
+                record.sequence,
+                record.day,
+                &record.agent,
+                record.outcome,
+                &record.prev_hash,
+            );
+            if record.hash != expected {
+                return Err(i);
+            }
+            if !auditor_key.verify(record.hash.as_bytes(), &record.signature) {
+                return Err(i);
+            }
+            prev = record.hash;
+        }
+        if let Some(head) = expected_head {
+            if records.last().map(|r| &r.hash) != Some(head) {
+                return Err(records.len());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn log() -> AuditLog {
+        let mut rng = StdRng::seed_from_u64(9);
+        AuditLog::new(&mut rng)
+    }
+
+    #[test]
+    fn chain_builds_and_verifies() {
+        let mut log = log();
+        log.record(1, "node-0", AuditOutcome::Verified);
+        log.record(1, "node-1", AuditOutcome::Failed);
+        log.record(2, "node-0", AuditOutcome::Verified);
+        let head = log.head().unwrap();
+        assert_eq!(log.len(), 3);
+        AuditLog::verify_chain(log.records(), log.public_key(), Some(&head)).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_verifies() {
+        let log = log();
+        AuditLog::verify_chain(log.records(), log.public_key(), None).unwrap();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn record_tampering_detected() {
+        let mut log = log();
+        log.record(1, "node-0", AuditOutcome::Failed);
+        log.record(2, "node-0", AuditOutcome::Verified);
+        let head = log.head().unwrap();
+
+        // An attacker who owns the verifier host rewrites history: the
+        // failure becomes a success.
+        let mut forged = log.records().to_vec();
+        forged[0].outcome = AuditOutcome::Verified;
+        assert_eq!(
+            AuditLog::verify_chain(&forged, log.public_key(), Some(&head)),
+            Err(0)
+        );
+    }
+
+    #[test]
+    fn truncation_detected_by_head_anchor() {
+        let mut log = log();
+        log.record(1, "node-0", AuditOutcome::Failed);
+        log.record(2, "node-0", AuditOutcome::Verified);
+        let head = log.head().unwrap();
+
+        // Dropping the embarrassing tail still chains correctly...
+        let truncated = &log.records()[..1];
+        AuditLog::verify_chain(truncated, log.public_key(), None).unwrap();
+        // ...but not against the externally-anchored head.
+        assert_eq!(
+            AuditLog::verify_chain(truncated, log.public_key(), Some(&head)),
+            Err(1)
+        );
+    }
+
+    #[test]
+    fn reordering_detected() {
+        let mut log = log();
+        log.record(1, "a", AuditOutcome::Verified);
+        log.record(2, "b", AuditOutcome::Verified);
+        let mut swapped = log.records().to_vec();
+        swapped.swap(0, 1);
+        assert!(AuditLog::verify_chain(&swapped, log.public_key(), None).is_err());
+    }
+
+    #[test]
+    fn foreign_signature_detected() {
+        let mut log_a = log();
+        log_a.record(1, "a", AuditOutcome::Verified);
+        let mut rng = StdRng::seed_from_u64(10);
+        let other = AuditLog::new(&mut rng);
+        assert_eq!(
+            AuditLog::verify_chain(log_a.records(), other.public_key(), None),
+            Err(0)
+        );
+    }
+}

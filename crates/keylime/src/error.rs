@@ -1,0 +1,52 @@
+//! Error type shared by the Keylime components.
+
+use std::fmt;
+
+use crate::transport::TransportError;
+
+/// Errors surfaced by Keylime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeylimeError {
+    /// The transport failed to deliver a request or response.
+    Transport(TransportError),
+    /// The agent could not produce the requested data.
+    Agent {
+        /// Description of the failure.
+        reason: String,
+    },
+    /// Registration was refused.
+    Registration {
+        /// Description of the refusal.
+        reason: String,
+    },
+    /// The verifier was asked about an agent it does not manage.
+    UnknownAgent {
+        /// The unknown agent identity.
+        id: String,
+    },
+    /// A policy document could not be parsed.
+    PolicyFormat {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KeylimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeylimeError::Transport(e) => write!(f, "transport failure: {e}"),
+            KeylimeError::Agent { reason } => write!(f, "agent failure: {reason}"),
+            KeylimeError::Registration { reason } => write!(f, "registration refused: {reason}"),
+            KeylimeError::UnknownAgent { id } => write!(f, "unknown agent `{id}`"),
+            KeylimeError::PolicyFormat { reason } => write!(f, "bad policy document: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KeylimeError {}
+
+impl From<TransportError> for KeylimeError {
+    fn from(e: TransportError) -> Self {
+        KeylimeError::Transport(e)
+    }
+}

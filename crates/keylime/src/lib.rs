@@ -1,0 +1,72 @@
+//! A reimplementation of Keylime's continuous integrity attestation.
+//!
+//! Mirrors the four components of Fig. 1 of the paper:
+//!
+//! - [`Agent`] — runs on the untrusted machine; answers identity and
+//!   quote requests by reading the machine's TPM and IMA log.
+//! - [`Registrar`] — validates the EK certificate chain and the AK
+//!   binding, guarding against spoofed TPMs.
+//! - [`Verifier`] — polls agents: checks quote signatures and nonces,
+//!   replays the IMA log against quoted PCR 10, validates
+//!   `boot_aggregate` against quoted PCRs 0–9, and evaluates every new
+//!   log entry against the agent's [`RuntimePolicy`].
+//! - [`Tenant`]/[`Cluster`] — the operator-facing orchestration layer
+//!   (enroll machines, push policies, resolve failures).
+//!
+//! Two design points of the paper are first-class here:
+//!
+//! - **P2, stop-on-failure**: by default the verifier *stops processing at
+//!   the first failing log entry and pauses polling*, exactly the
+//!   behaviour adaptive attackers exploit. The
+//!   [`VerifierConfig::continue_on_failure`] toggle implements the
+//!   paper's recommended fix (always complete the full attestation).
+//! - **P1, excluded directories**: [`RuntimePolicy`] carries the exclude
+//!   list (e.g. `/tmp`) that the studied policy shipped with.
+//!
+//! Requests and responses cross an explicit [`Transport`] that serializes
+//! every message to JSON and can inject message loss, keeping the
+//! components as separable as the real, networked implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use cia_keylime::{Cluster, RuntimePolicy, VerifierConfig};
+//! use cia_os::{ExecMethod, MachineConfig};
+//! use cia_vfs::VfsPath;
+//!
+//! let mut cluster = Cluster::new(42, VerifierConfig::default());
+//! let policy = RuntimePolicy::new();
+//! let id = cluster.add_machine(MachineConfig::default(), policy)?;
+//!
+//! // The enrolled agent attests cleanly while nothing unexpected runs.
+//! let outcome = cluster.attest(&id)?;
+//! assert!(outcome.is_verified());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod audit;
+pub mod error;
+pub mod payload;
+pub mod policy;
+pub mod registrar;
+pub mod revocation;
+pub mod tenant;
+pub mod transport;
+pub mod verifier;
+
+pub use agent::{Agent, AgentRequest, AgentResponse, IdentityResponse, QuoteResponse};
+pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use error::KeylimeError;
+pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
+pub use policy::{PolicyCheck, PolicyDiff, PolicyMeta, RuntimePolicy};
+pub use registrar::Registrar;
+pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
+pub use tenant::{Cluster, Tenant};
+pub use transport::{Transport, TransportError};
+pub use verifier::{
+    AgentStatus, Alert, AttestationOutcome, FailureKind, Verifier, VerifierConfig,
+};

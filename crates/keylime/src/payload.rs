@@ -1,0 +1,154 @@
+//! Secure payload bootstrap: Keylime's U/V key split.
+//!
+//! Keylime can deliver a secret payload (credentials, configuration) to a
+//! node **contingent on successful attestation**: the tenant generates a
+//! bootstrap key `K`, splits it into `U ⊕ V = K`, hands `U` to the agent
+//! at enrolment and `V` to the verifier. The verifier releases `V` only
+//! after the node's first clean attestation, so a machine that cannot
+//! attest never obtains `K` and cannot decrypt its payload.
+//!
+//! The cipher is the workspace's MAC-based substitution: an HMAC-SHA256
+//! keystream (CTR-style) — see `DESIGN.md` on why MAC-based stand-ins
+//! preserve protocol behaviour.
+
+use cia_crypto::Hmac;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A 32-byte key share (or combined key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyShare(pub [u8; 32]);
+
+impl KeyShare {
+    /// XOR-combines two shares.
+    pub fn combine(&self, other: &KeyShare) -> KeyShare {
+        let mut out = [0u8; 32];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *slot = a ^ b;
+        }
+        KeyShare(out)
+    }
+}
+
+/// An encrypted payload awaiting its bootstrap key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedPayload {
+    ciphertext: Vec<u8>,
+    /// Integrity tag over the plaintext (detects wrong-key decryptions).
+    tag: [u8; 32],
+}
+
+fn keystream_crypt(key: &KeyShare, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut counter = 0u64;
+    let mut block = [0u8; 32];
+    for (i, byte) in data.iter().enumerate() {
+        let offset = i % 32;
+        if offset == 0 {
+            let ks = Hmac::mac(&key.0, &counter.to_be_bytes());
+            block.copy_from_slice(ks.as_bytes());
+            counter += 1;
+        }
+        out.push(byte ^ block[offset]);
+    }
+    out
+}
+
+/// The tenant side: generates the key, splits it, encrypts the payload.
+#[derive(Debug)]
+pub struct PayloadBundle {
+    /// Share delivered to the agent at enrolment.
+    pub u_share: KeyShare,
+    /// Share held back by the verifier until clean attestation.
+    pub v_share: KeyShare,
+    /// The encrypted payload shipped to the agent.
+    pub payload: EncryptedPayload,
+}
+
+impl PayloadBundle {
+    /// Encrypts `plaintext` under a fresh key and splits the key.
+    pub fn seal<R: RngCore + ?Sized>(plaintext: &[u8], rng: &mut R) -> Self {
+        let mut k = [0u8; 32];
+        rng.fill_bytes(&mut k);
+        let mut u = [0u8; 32];
+        rng.fill_bytes(&mut u);
+        let key = KeyShare(k);
+        let u_share = KeyShare(u);
+        let v_share = key.combine(&u_share);
+
+        let ciphertext = keystream_crypt(&key, plaintext);
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(Hmac::mac(&key.0, plaintext).as_bytes());
+        PayloadBundle {
+            u_share,
+            v_share,
+            payload: EncryptedPayload { ciphertext, tag },
+        }
+    }
+}
+
+impl EncryptedPayload {
+    /// Decrypts with the combined key, verifying the integrity tag.
+    ///
+    /// Returns `None` when the key is wrong (e.g. a share obtained
+    /// without attesting).
+    pub fn open(&self, key: &KeyShare) -> Option<Vec<u8>> {
+        let plaintext = keystream_crypt(key, &self.ciphertext);
+        let expected = Hmac::mac(&key.0, &plaintext);
+        if expected.as_bytes() == self.tag {
+            Some(plaintext)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let secret = b"db-password=hunter2\napi-token=abcd";
+        let bundle = PayloadBundle::seal(secret, &mut rng);
+        let key = bundle.u_share.combine(&bundle.v_share);
+        assert_eq!(bundle.payload.open(&key).unwrap(), secret);
+    }
+
+    #[test]
+    fn single_share_is_useless() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bundle = PayloadBundle::seal(b"secret", &mut rng);
+        assert!(bundle.payload.open(&bundle.u_share).is_none());
+        assert!(bundle.payload.open(&bundle.v_share).is_none());
+    }
+
+    #[test]
+    fn wrong_key_rejected_by_tag() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bundle = PayloadBundle::seal(b"secret", &mut rng);
+        let wrong = KeyShare([7u8; 32]);
+        assert!(bundle.payload.open(&wrong).is_none());
+    }
+
+    #[test]
+    fn long_payloads_cross_block_boundaries() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let secret: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let bundle = PayloadBundle::seal(&secret, &mut rng);
+        let key = bundle.u_share.combine(&bundle.v_share);
+        assert_eq!(bundle.payload.open(&key).unwrap(), secret);
+        // Ciphertext differs from plaintext (the keystream did something).
+        assert_ne!(bundle.payload.ciphertext, secret);
+    }
+
+    #[test]
+    fn combine_is_involutive() {
+        let a = KeyShare([0xaa; 32]);
+        let b = KeyShare([0x55; 32]);
+        assert_eq!(a.combine(&b).combine(&b), a);
+    }
+}

@@ -1,0 +1,375 @@
+//! Keylime runtime policies: the allowlist the verifier checks IMA
+//! entries against.
+//!
+//! A policy maps file paths to sets of acceptable SHA-256 digests and
+//! carries an *exclude list* of path prefixes the verifier skips. The
+//! studied policy excluded `/tmp` and friends — **P1** — which is why the
+//! exclude list is explicit and queryable here.
+//!
+//! Multiple digests per path are intentional: during an update window the
+//! dynamic generator appends the new digest while *retaining* the old one
+//! so that a machine mid-upgrade stays in policy (§III-C "Handling
+//! Policy-File Consistency During Update"); after the update, outdated
+//! digests are dropped ([`RuntimePolicy::dedup_retain`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::KeylimeError;
+
+/// Policy document metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyMeta {
+    /// Monotonic policy version (bumped on every regeneration).
+    pub version: u64,
+    /// Tool that produced the policy.
+    pub generator: String,
+    /// Simulation day the policy was generated on.
+    pub generated_day: u32,
+}
+
+/// Result of checking one measurement against the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyCheck {
+    /// The digest matches an allowed digest for the path.
+    Allowed,
+    /// The path falls under an exclude prefix; not evaluated (P1).
+    Excluded,
+    /// The path is known but the digest is not allowed
+    /// ("hash mismatch" in §III-B).
+    HashMismatch {
+        /// The allowed digests for the path.
+        expected: Vec<String>,
+    },
+    /// The path is absent from the policy
+    /// ("missing file in the policy" in §III-B).
+    NotInPolicy,
+}
+
+/// What changed between two policy versions (see [`RuntimePolicy::diff`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyDiff {
+    /// Paths present only in the newer policy.
+    pub added_paths: Vec<String>,
+    /// Paths removed by the newer policy.
+    pub removed_paths: Vec<String>,
+    /// Paths whose digest sets changed.
+    pub changed_paths: Vec<String>,
+    /// Exclude prefixes the newer policy gained.
+    pub added_excludes: Vec<String>,
+    /// Exclude prefixes the newer policy dropped.
+    pub removed_excludes: Vec<String>,
+}
+
+impl PolicyDiff {
+    /// True when the two policies are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_paths.is_empty()
+            && self.removed_paths.is_empty()
+            && self.changed_paths.is_empty()
+            && self.added_excludes.is_empty()
+            && self.removed_excludes.is_empty()
+    }
+}
+
+/// The verifier-side allowlist for one machine.
+///
+/// # Examples
+///
+/// ```
+/// use cia_keylime::{PolicyCheck, RuntimePolicy};
+///
+/// let mut policy = RuntimePolicy::new();
+/// policy.allow("/usr/bin/ls", "aa11");
+/// policy.exclude("/tmp");
+///
+/// assert_eq!(policy.check("/usr/bin/ls", "aa11"), PolicyCheck::Allowed);
+/// assert_eq!(policy.check("/tmp/anything", "??"), PolicyCheck::Excluded);
+/// assert_eq!(policy.check("/usr/bin/xz", "bb"), PolicyCheck::NotInPolicy);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimePolicy {
+    /// Path → allowed SHA-256 digests (lowercase hex).
+    digests: BTreeMap<String, BTreeSet<String>>,
+    /// Path prefixes the verifier does not evaluate.
+    excludes: Vec<String>,
+    /// Document metadata.
+    pub meta: PolicyMeta,
+}
+
+impl RuntimePolicy {
+    /// An empty policy (everything unexpected will alert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `digest` to the allowed set for `path` (existing digests are
+    /// retained — the update-window consistency rule).
+    pub fn allow(&mut self, path: impl Into<String>, digest: impl Into<String>) {
+        self.digests
+            .entry(path.into())
+            .or_default()
+            .insert(digest.into());
+    }
+
+    /// Adds an exclude prefix (e.g. `/tmp`). Paths equal to it or below
+    /// it are skipped during verification.
+    pub fn exclude(&mut self, prefix: impl Into<String>) {
+        let prefix = prefix.into();
+        if !self.excludes.contains(&prefix) {
+            self.excludes.push(prefix);
+        }
+    }
+
+    /// The exclude prefixes.
+    pub fn excludes(&self) -> &[String] {
+        &self.excludes
+    }
+
+    /// Removes an exclude prefix (the §IV-C "enrich the policy" fix),
+    /// returning whether it was present.
+    pub fn remove_exclude(&mut self, prefix: &str) -> bool {
+        let before = self.excludes.len();
+        self.excludes.retain(|e| e != prefix);
+        self.excludes.len() != before
+    }
+
+    /// True when `path` is covered by an exclude prefix.
+    pub fn is_excluded(&self, path: &str) -> bool {
+        self.excludes.iter().any(|prefix| {
+            path == prefix
+                || (path.starts_with(prefix)
+                    && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+        })
+    }
+
+    /// Checks one measured `(path, digest)` pair.
+    pub fn check(&self, path: &str, digest_hex: &str) -> PolicyCheck {
+        if self.is_excluded(path) {
+            return PolicyCheck::Excluded;
+        }
+        match self.digests.get(path) {
+            Some(allowed) if allowed.contains(digest_hex) => PolicyCheck::Allowed,
+            Some(allowed) => PolicyCheck::HashMismatch {
+                expected: allowed.iter().cloned().collect(),
+            },
+            None => PolicyCheck::NotInPolicy,
+        }
+    }
+
+    /// Iterates over `(path, digests)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &BTreeSet<String>)> {
+        self.digests.iter()
+    }
+
+    /// The allowed digest set for `path`.
+    pub fn digests_for(&self, path: &str) -> Option<&BTreeSet<String>> {
+        self.digests.get(path)
+    }
+
+    /// Number of distinct paths.
+    pub fn path_count(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// Number of `(path, digest)` pairs — the paper's "lines".
+    pub fn line_count(&self) -> usize {
+        self.digests.values().map(|s| s.len()).sum()
+    }
+
+    /// Approximate rendered size in bytes (one `sha256-hex  path` line per
+    /// pair), matching how the paper reports policy size in MB.
+    pub fn rendered_size_bytes(&self) -> u64 {
+        self.digests
+            .iter()
+            .map(|(path, set)| set.len() as u64 * (path.len() as u64 + 64 + 2 + 1))
+            .sum()
+    }
+
+    /// Drops every digest for `path` except `keep` (post-update
+    /// deduplication).
+    pub fn dedup_retain(&mut self, path: &str, keep: &str) {
+        if let Some(set) = self.digests.get_mut(path) {
+            if set.contains(keep) {
+                set.retain(|d| d == keep);
+            }
+        }
+    }
+
+    /// Removes a path entirely (e.g. disallowing outdated kernel modules).
+    pub fn remove_path(&mut self, path: &str) -> bool {
+        self.digests.remove(path).is_some()
+    }
+
+    /// Structural difference against an older policy — what an operator
+    /// reviews before approving a generated update.
+    pub fn diff(&self, older: &RuntimePolicy) -> PolicyDiff {
+        let mut diff = PolicyDiff::default();
+        for (path, digests) in &self.digests {
+            match older.digests.get(path) {
+                None => diff.added_paths.push(path.clone()),
+                Some(old) if old != digests => diff.changed_paths.push(path.clone()),
+                Some(_) => {}
+            }
+        }
+        for path in older.digests.keys() {
+            if !self.digests.contains_key(path) {
+                diff.removed_paths.push(path.clone());
+            }
+        }
+        for e in &self.excludes {
+            if !older.excludes.contains(e) {
+                diff.added_excludes.push(e.clone());
+            }
+        }
+        for e in &older.excludes {
+            if !self.excludes.contains(e) {
+                diff.removed_excludes.push(e.clone());
+            }
+        }
+        diff
+    }
+
+    /// Serializes to the Keylime-style JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("policy serialization cannot fail")
+    }
+
+    /// Parses a policy from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::PolicyFormat`] on malformed documents.
+    pub fn from_json(text: &str) -> Result<Self, KeylimeError> {
+        serde_json::from_str(text).map_err(|e| KeylimeError::PolicyFormat {
+            reason: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_and_check() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/usr/bin/ls", "aa");
+        assert_eq!(p.check("/usr/bin/ls", "aa"), PolicyCheck::Allowed);
+        assert_eq!(
+            p.check("/usr/bin/ls", "bb"),
+            PolicyCheck::HashMismatch {
+                expected: vec!["aa".to_string()]
+            }
+        );
+        assert_eq!(p.check("/usr/bin/cat", "aa"), PolicyCheck::NotInPolicy);
+    }
+
+    #[test]
+    fn multiple_digests_during_update_window() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/usr/bin/curl", "old");
+        p.allow("/usr/bin/curl", "new");
+        // Both versions pass mid-update.
+        assert_eq!(p.check("/usr/bin/curl", "old"), PolicyCheck::Allowed);
+        assert_eq!(p.check("/usr/bin/curl", "new"), PolicyCheck::Allowed);
+        assert_eq!(p.line_count(), 2);
+        // Post-update dedup drops the outdated digest.
+        p.dedup_retain("/usr/bin/curl", "new");
+        assert_eq!(p.check("/usr/bin/curl", "old"), PolicyCheck::HashMismatch {
+            expected: vec!["new".to_string()]
+        });
+        assert_eq!(p.line_count(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_all_when_keep_absent() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/x", "a");
+        p.dedup_retain("/x", "zz");
+        assert_eq!(p.check("/x", "a"), PolicyCheck::Allowed);
+    }
+
+    #[test]
+    fn exclude_prefix_boundaries() {
+        let mut p = RuntimePolicy::new();
+        p.exclude("/tmp");
+        assert!(p.is_excluded("/tmp"));
+        assert!(p.is_excluded("/tmp/a/b"));
+        assert!(!p.is_excluded("/tmpfile"));
+        assert_eq!(p.check("/tmp/evil", "whatever"), PolicyCheck::Excluded);
+    }
+
+    #[test]
+    fn remove_exclude_enriches() {
+        let mut p = RuntimePolicy::new();
+        p.exclude("/tmp");
+        assert!(p.remove_exclude("/tmp"));
+        assert!(!p.remove_exclude("/tmp"));
+        assert_eq!(p.check("/tmp/evil", "x"), PolicyCheck::NotInPolicy);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/usr/bin/ls", "aa");
+        p.exclude("/tmp");
+        p.meta.version = 7;
+        p.meta.generator = "dynamic-policy-generator".into();
+        let parsed = RuntimePolicy::from_json(&p.to_json()).unwrap();
+        assert_eq!(parsed, p);
+        assert!(RuntimePolicy::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/usr/bin/ls", "a".repeat(64));
+        // 11 (path) + 64 + 3 = 78
+        assert_eq!(p.rendered_size_bytes(), 78);
+        assert_eq!(p.path_count(), 1);
+    }
+
+
+    #[test]
+    fn diff_classifies_changes() {
+        let mut old = RuntimePolicy::new();
+        old.allow("/usr/bin/stays", "aa");
+        old.allow("/usr/bin/changes", "aa");
+        old.allow("/usr/bin/goes", "aa");
+        old.exclude("/tmp");
+
+        let mut new = RuntimePolicy::new();
+        new.allow("/usr/bin/stays", "aa");
+        new.allow("/usr/bin/changes", "bb");
+        new.allow("/usr/bin/arrives", "cc");
+        new.exclude("/var/tmp");
+
+        let diff = new.diff(&old);
+        assert_eq!(diff.added_paths, vec!["/usr/bin/arrives".to_string()]);
+        assert_eq!(diff.removed_paths, vec!["/usr/bin/goes".to_string()]);
+        assert_eq!(diff.changed_paths, vec!["/usr/bin/changes".to_string()]);
+        assert_eq!(diff.added_excludes, vec!["/var/tmp".to_string()]);
+        assert_eq!(diff.removed_excludes, vec!["/tmp".to_string()]);
+        assert!(!diff.is_empty());
+    }
+
+    #[test]
+    fn diff_of_identical_policies_is_empty() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/a", "aa");
+        p.exclude("/tmp");
+        assert!(p.diff(&p.clone()).is_empty());
+        assert!(RuntimePolicy::new().diff(&RuntimePolicy::new()).is_empty());
+    }
+
+    #[test]
+    fn remove_path() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/lib/modules/old/x.ko", "aa");
+        assert!(p.remove_path("/lib/modules/old/x.ko"));
+        assert!(!p.remove_path("/lib/modules/old/x.ko"));
+        assert_eq!(p.check("/lib/modules/old/x.ko", "aa"), PolicyCheck::NotInPolicy);
+    }
+}

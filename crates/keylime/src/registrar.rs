@@ -1,0 +1,146 @@
+//! The Keylime registrar: guards against spoofed or compromised TPMs.
+
+use std::collections::BTreeMap;
+
+use cia_crypto::VerifyingKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::agent::{Agent, AgentRequest, AgentResponse};
+use crate::error::KeylimeError;
+use crate::transport::Transport;
+
+/// Registrar state: trusted manufacturer roots plus the registered
+/// agents' attestation keys.
+#[derive(Debug)]
+pub struct Registrar {
+    trusted_roots: Vec<VerifyingKey>,
+    registered: BTreeMap<String, VerifyingKey>,
+    rng: StdRng,
+}
+
+impl Registrar {
+    /// Creates a registrar trusting the given manufacturer root keys.
+    pub fn new(trusted_roots: Vec<VerifyingKey>, seed: u64) -> Self {
+        Registrar {
+            trusted_roots,
+            registered: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs the registration protocol against `agent`: fresh challenge,
+    /// EK certificate validation against the trusted roots, AK-binding
+    /// verification. On success the AK public key is stored.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::Registration`] when the certificate chain or
+    /// binding fails; transport/agent errors otherwise.
+    pub fn register(
+        &mut self,
+        transport: &mut Transport,
+        agent: &mut Agent,
+    ) -> Result<(), KeylimeError> {
+        let mut challenge = vec![0u8; 20];
+        self.rng.fill(&mut challenge[..]);
+
+        let request = AgentRequest::Identity {
+            challenge: challenge.clone(),
+        };
+        let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
+        let identity = match response {
+            AgentResponse::Identity(id) => id,
+            AgentResponse::Error { reason } => return Err(KeylimeError::Agent { reason }),
+            other => {
+                return Err(KeylimeError::Agent {
+                    reason: format!("unexpected response {other:?}"),
+                })
+            }
+        };
+
+        if !self
+            .trusted_roots
+            .iter()
+            .any(|root| identity.ek_certificate.verify(root))
+        {
+            return Err(KeylimeError::Registration {
+                reason: "EK certificate does not chain to a trusted manufacturer".to_string(),
+            });
+        }
+        if !identity
+            .binding
+            .verify(&identity.ek_certificate.ek_public, &challenge)
+        {
+            return Err(KeylimeError::Registration {
+                reason: "AK binding failed credential activation".to_string(),
+            });
+        }
+        self.registered
+            .insert(agent.id().to_string(), identity.binding.ak_public.clone());
+        Ok(())
+    }
+
+    /// The registered AK public key for `id`.
+    pub fn ak_for(&self, id: &str) -> Option<&VerifyingKey> {
+        self.registered.get(id)
+    }
+
+    /// Number of registered agents.
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_os::{Machine, MachineConfig};
+    use cia_tpm::Manufacturer;
+
+    fn setup() -> (Manufacturer, Agent) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Manufacturer::generate(&mut rng);
+        let agent = Agent::new(Machine::new(&m, MachineConfig::default()));
+        (m, agent)
+    }
+
+    #[test]
+    fn registration_succeeds_for_genuine_tpm() {
+        let (m, mut agent) = setup();
+        let mut registrar = Registrar::new(vec![m.public_key().clone()], 1);
+        let mut transport = Transport::reliable();
+        registrar.register(&mut transport, &mut agent).unwrap();
+        assert_eq!(registrar.registered_count(), 1);
+        assert_eq!(
+            registrar.ak_for(agent.id()),
+            agent.machine().tpm.ak_public()
+        );
+    }
+
+    #[test]
+    fn registration_rejects_unknown_manufacturer() {
+        let (_victim_mfr, mut agent) = setup();
+        let mut rng = StdRng::seed_from_u64(99);
+        let other = Manufacturer::generate(&mut rng);
+        let mut registrar = Registrar::new(vec![other.public_key().clone()], 1);
+        let mut transport = Transport::reliable();
+        let err = registrar.register(&mut transport, &mut agent).unwrap_err();
+        assert!(matches!(err, KeylimeError::Registration { .. }));
+        assert!(registrar.ak_for(agent.id()).is_none());
+    }
+
+    #[test]
+    fn registration_survives_retry_after_drop() {
+        let (m, mut agent) = setup();
+        let mut registrar = Registrar::new(vec![m.public_key().clone()], 1);
+        let mut transport = Transport::lossy(1.0, 2);
+        assert!(matches!(
+            registrar.register(&mut transport, &mut agent),
+            Err(KeylimeError::Transport(_))
+        ));
+        let mut reliable = Transport::reliable();
+        registrar.register(&mut reliable, &mut agent).unwrap();
+        assert_eq!(registrar.registered_count(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! The revocation framework.
+//!
+//! Real Keylime does more than alert the operator: when a node fails
+//! attestation the verifier publishes a *revocation notification* that
+//! other systems subscribe to — peers can drop connections to the
+//! compromised node, certificate authorities can revoke its credentials,
+//! orchestrators can cordon it. This module reproduces that plumbing: the
+//! verifier emits signed [`RevocationNotice`]s, and [`RevocationBus`]
+//! fans them out to subscribers.
+
+use cia_crypto::{KeyPair, Signature, VerifyingKey};
+use serde::{Deserialize, Serialize};
+
+use crate::verifier::FailureKind;
+
+/// A signed statement that an agent failed attestation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RevocationNotice {
+    /// The failed agent.
+    pub agent: String,
+    /// Day of the failure.
+    pub day: u32,
+    /// The first failure that triggered revocation.
+    pub reason: FailureKind,
+    /// Monotonic sequence number (per emitter).
+    pub sequence: u64,
+    /// Verifier signature over the notice.
+    pub signature: Signature,
+}
+
+impl RevocationNotice {
+    fn message_bytes(agent: &str, day: u32, reason: &FailureKind, sequence: u64) -> Vec<u8> {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"REVOCATION:");
+        msg.extend_from_slice(agent.as_bytes());
+        msg.push(0);
+        msg.extend_from_slice(&day.to_be_bytes());
+        msg.extend_from_slice(format!("{reason:?}").as_bytes());
+        msg.extend_from_slice(&sequence.to_be_bytes());
+        msg
+    }
+
+    /// Verifies the notice against the emitting verifier's key.
+    pub fn verify(&self, verifier_key: &VerifyingKey) -> bool {
+        let msg = Self::message_bytes(&self.agent, self.day, &self.reason, self.sequence);
+        verifier_key.verify(&msg, &self.signature)
+    }
+}
+
+/// Emits signed revocation notices (held by the verifier side).
+#[derive(Debug)]
+pub struct RevocationEmitter {
+    keys: KeyPair,
+    sequence: u64,
+}
+
+impl RevocationEmitter {
+    /// Creates an emitter with a fresh signing key.
+    pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> Self {
+        RevocationEmitter {
+            keys: KeyPair::generate(rng),
+            sequence: 0,
+        }
+    }
+
+    /// The key subscribers use to authenticate notices.
+    pub fn public_key(&self) -> &VerifyingKey {
+        &self.keys.verifying
+    }
+
+    /// Emits a signed notice for a failed agent.
+    pub fn emit(&mut self, agent: &str, day: u32, reason: FailureKind) -> RevocationNotice {
+        self.sequence += 1;
+        let msg = RevocationNotice::message_bytes(agent, day, &reason, self.sequence);
+        RevocationNotice {
+            agent: agent.to_string(),
+            day,
+            reason,
+            sequence: self.sequence,
+            signature: self.keys.signing.sign(&msg),
+        }
+    }
+}
+
+/// A subscriber's view: authenticated notices received so far.
+#[derive(Debug, Clone, Default)]
+pub struct RevocationSubscriber {
+    received: Vec<RevocationNotice>,
+    rejected: usize,
+}
+
+impl RevocationSubscriber {
+    /// A subscriber with an empty inbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers a notice; it is stored only if authentic.
+    pub fn deliver(&mut self, notice: RevocationNotice, verifier_key: &VerifyingKey) {
+        if notice.verify(verifier_key) {
+            self.received.push(notice);
+        } else {
+            self.rejected += 1;
+        }
+    }
+
+    /// True when `agent` has been revoked.
+    pub fn is_revoked(&self, agent: &str) -> bool {
+        self.received.iter().any(|n| n.agent == agent)
+    }
+
+    /// All authenticated notices.
+    pub fn notices(&self) -> &[RevocationNotice] {
+        &self.received
+    }
+
+    /// Count of forged/unauthenticated notices dropped.
+    pub fn rejected_count(&self) -> usize {
+        self.rejected
+    }
+}
+
+/// Fans notices out to every subscriber (the ZeroMQ bus analogue).
+#[derive(Debug, Default)]
+pub struct RevocationBus {
+    subscribers: Vec<RevocationSubscriber>,
+}
+
+impl RevocationBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a subscriber, returning its index.
+    pub fn subscribe(&mut self) -> usize {
+        self.subscribers.push(RevocationSubscriber::new());
+        self.subscribers.len() - 1
+    }
+
+    /// Publishes a notice to every subscriber.
+    pub fn publish(&mut self, notice: &RevocationNotice, verifier_key: &VerifyingKey) {
+        for sub in &mut self.subscribers {
+            sub.deliver(notice.clone(), verifier_key);
+        }
+    }
+
+    /// A subscriber's view.
+    pub fn subscriber(&self, index: usize) -> Option<&RevocationSubscriber> {
+        self.subscribers.get(index)
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn emitter(seed: u64) -> RevocationEmitter {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RevocationEmitter::new(&mut rng)
+    }
+
+    fn failure() -> FailureKind {
+        FailureKind::NotInPolicy {
+            path: "/usr/bin/evil".into(),
+            digest: "ab".repeat(32),
+        }
+    }
+
+    #[test]
+    fn emit_verify_roundtrip() {
+        let mut e = emitter(1);
+        let notice = e.emit("node-3", 17, failure());
+        assert!(notice.verify(e.public_key()));
+        assert_eq!(notice.sequence, 1);
+        assert_eq!(e.emit("node-3", 18, failure()).sequence, 2);
+    }
+
+    #[test]
+    fn forged_notice_rejected_by_subscribers() {
+        let e_real = emitter(2);
+        let mut e_forger = emitter(3);
+        let mut sub = RevocationSubscriber::new();
+
+        let forged = e_forger.emit("node-1", 1, failure());
+        sub.deliver(forged, e_real.public_key());
+        assert!(!sub.is_revoked("node-1"));
+        assert_eq!(sub.rejected_count(), 1);
+    }
+
+    #[test]
+    fn bus_fans_out_to_all_subscribers() {
+        let mut e = emitter(4);
+        let mut bus = RevocationBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        let notice = e.emit("node-7", 3, failure());
+        bus.publish(&notice, e.public_key());
+        assert!(bus.subscriber(a).unwrap().is_revoked("node-7"));
+        assert!(bus.subscriber(b).unwrap().is_revoked("node-7"));
+        assert!(!bus.subscriber(a).unwrap().is_revoked("node-8"));
+        assert_eq!(bus.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn tampered_notice_fails_verification() {
+        let mut e = emitter(5);
+        let mut notice = e.emit("node-9", 5, failure());
+        notice.agent = "node-1".into(); // retarget the revocation
+        assert!(!notice.verify(e.public_key()));
+    }
+}

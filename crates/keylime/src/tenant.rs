@@ -1,0 +1,282 @@
+//! The tenant: operator-facing orchestration, plus a one-process
+//! [`Cluster`] bundling all components for experiments.
+
+use cia_os::{Machine, MachineConfig};
+use cia_tpm::Manufacturer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use std::collections::BTreeMap;
+
+use crate::agent::Agent;
+use crate::audit::{AuditLog, AuditOutcome};
+use crate::error::KeylimeError;
+use crate::payload::{KeyShare, PayloadBundle};
+use crate::policy::RuntimePolicy;
+use crate::registrar::Registrar;
+use crate::revocation::{RevocationBus, RevocationEmitter};
+use crate::transport::Transport;
+use crate::verifier::{AgentStatus, Alert, AttestationOutcome, Verifier, VerifierConfig};
+
+/// The command-line management tool's operations, expressed as a trait so
+/// experiments can drive any cluster-like object.
+pub trait Tenant {
+    /// Enrols a new machine: registers its TPM and adds it to the
+    /// verifier with `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Registration or transport failures.
+    fn enroll(&mut self, config: MachineConfig, policy: RuntimePolicy)
+        -> Result<String, KeylimeError>;
+
+    /// Pushes a new runtime policy to an enrolled agent.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    fn push_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError>;
+
+    /// Polls one agent.
+    ///
+    /// # Errors
+    ///
+    /// Unknown agent or transport failures.
+    fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError>;
+}
+
+/// Everything needed to run attestation experiments in one process: a TPM
+/// manufacturer, a registrar trusting it, a verifier, a transport, and
+/// the enrolled agents.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The TPM manufacturer all machines' TPMs chain to.
+    pub manufacturer: Manufacturer,
+    /// The registrar.
+    pub registrar: Registrar,
+    /// The verifier.
+    pub verifier: Verifier,
+    /// The message transport.
+    pub transport: Transport,
+    /// Signs revocation notices on attestation failures.
+    pub revocation: RevocationEmitter,
+    /// Fans revocation notices out to subscribers.
+    pub revocation_bus: RevocationBus,
+    /// Durable attestation: the tamper-evident outcome history.
+    pub audit: AuditLog,
+    /// Secure payloads awaiting release (V share held until the agent's
+    /// first clean attestation).
+    payloads: BTreeMap<String, PayloadBundle>,
+    rng: StdRng,
+    agents: Vec<Agent>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(seed: u64, config: VerifierConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let registrar = Registrar::new(vec![manufacturer.public_key().clone()], seed ^ 0x5ead);
+        Cluster {
+            manufacturer,
+            registrar,
+            verifier: Verifier::new(config),
+            transport: Transport::reliable(),
+            revocation: RevocationEmitter::new(&mut rng),
+            revocation_bus: RevocationBus::new(),
+            audit: AuditLog::new(&mut rng),
+            payloads: BTreeMap::new(),
+            rng,
+            agents: Vec::new(),
+        }
+    }
+
+    /// Tenant operation: seal a secret payload for `id`. The U share and
+    /// ciphertext go to the agent immediately; the V share is released
+    /// only after a clean attestation (see [`Cluster::collect_payload`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn provision_payload(&mut self, id: &str, plaintext: &[u8]) -> Result<(), KeylimeError> {
+        if self.agent(id).is_none() {
+            return Err(KeylimeError::UnknownAgent { id: id.to_string() });
+        }
+        let bundle = PayloadBundle::seal(plaintext, &mut self.rng);
+        self.payloads.insert(id.to_string(), bundle);
+        Ok(())
+    }
+
+    /// Agent-side payload retrieval: succeeds only once the verifier has
+    /// seen at least one clean attestation and the agent is currently
+    /// trusted — the verifier then releases the V share and the agent can
+    /// combine and decrypt.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`] when no payload was provisioned.
+    pub fn collect_payload(&mut self, id: &str) -> Result<Option<Vec<u8>>, KeylimeError> {
+        let bundle = self
+            .payloads
+            .get(id)
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+        let trusted = self.verifier.status(id)? == AgentStatus::Trusted
+            && self.verifier.attestation_count(id)? > 0;
+        if !trusted {
+            return Ok(None);
+        }
+        let key: KeyShare = bundle.u_share.combine(&bundle.v_share);
+        Ok(bundle.payload.open(&key))
+    }
+
+    /// Builds, registers and enrols a machine; returns its agent id.
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_machine(
+        &mut self,
+        config: MachineConfig,
+        policy: RuntimePolicy,
+    ) -> Result<String, KeylimeError> {
+        let machine = Machine::new(&self.manufacturer, config);
+        self.add_agent(Agent::new(machine), policy)
+    }
+
+    /// Registers and enrols an existing agent.
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_agent(
+        &mut self,
+        mut agent: Agent,
+        policy: RuntimePolicy,
+    ) -> Result<String, KeylimeError> {
+        self.registrar.register(&mut self.transport, &mut agent)?;
+        let id = agent.id().to_string();
+        let ak = self
+            .registrar
+            .ak_for(&id)
+            .expect("just registered")
+            .clone();
+        self.verifier.add_agent(&id, ak, policy);
+        self.agents.push(agent);
+        Ok(id)
+    }
+
+    /// The enrolled agent ids, in enrolment order.
+    pub fn agent_ids(&self) -> Vec<String> {
+        self.agents.iter().map(|a| a.id().to_string()).collect()
+    }
+
+    /// Borrows an agent by id.
+    pub fn agent(&self, id: &str) -> Option<&Agent> {
+        self.agents.iter().find(|a| a.id() == id)
+    }
+
+    /// Mutably borrows an agent by id (to act on its machine).
+    pub fn agent_mut(&mut self, id: &str) -> Option<&mut Agent> {
+        self.agents.iter_mut().find(|a| a.id() == id)
+    }
+
+    /// Polls one agent at the agent machine's current day.
+    ///
+    /// # Errors
+    ///
+    /// Unknown agent or transport failures.
+    pub fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError> {
+        let idx = self
+            .agents
+            .iter()
+            .position(|a| a.id() == id)
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+        let agent = &mut self.agents[idx];
+        let day = agent.machine().clock.day();
+        let outcome = self.verifier.attest(&mut self.transport, agent, day)?;
+        // Durable attestation: every outcome enters the audit chain.
+        let audit_outcome = match &outcome {
+            AttestationOutcome::Verified { .. } => AuditOutcome::Verified,
+            AttestationOutcome::Failed { .. } => AuditOutcome::Failed,
+            AttestationOutcome::SkippedPaused => AuditOutcome::Skipped,
+        };
+        self.audit.record(day, id, audit_outcome);
+        // Failed attestations are published on the revocation bus, so
+        // subscribed systems can react (drop connections, cordon, ...).
+        if let AttestationOutcome::Failed { alerts } = &outcome {
+            if let Some(first) = alerts.first() {
+                let notice = self.revocation.emit(id, day, first.kind.clone());
+                let key = self.revocation.public_key().clone();
+                self.revocation_bus.publish(&notice, &key);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Polls every agent once, returning `(id, outcome)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// First transport failure encountered.
+    pub fn attest_all(&mut self) -> Result<Vec<(String, AttestationOutcome)>, KeylimeError> {
+        let ids = self.agent_ids();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let outcome = self.attest(&id)?;
+            out.push((id, outcome));
+        }
+        Ok(out)
+    }
+
+    /// Operator action: resolve a paused agent by skipping the offending
+    /// entries (see [`Verifier::resolve_by_skipping`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown agent or transport failures.
+    pub fn resolve(&mut self, id: &str) -> Result<(), KeylimeError> {
+        let idx = self
+            .agents
+            .iter()
+            .position(|a| a.id() == id)
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+        self.verifier
+            .resolve_by_skipping(&mut self.transport, &mut self.agents[idx])
+    }
+
+    /// Status shortcut.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn status(&self, id: &str) -> Result<AgentStatus, KeylimeError> {
+        self.verifier.status(id)
+    }
+
+    /// Alerts shortcut.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn alerts(&self, id: &str) -> Result<&[Alert], KeylimeError> {
+        self.verifier.alerts(id)
+    }
+}
+
+impl Tenant for Cluster {
+    fn enroll(
+        &mut self,
+        config: MachineConfig,
+        policy: RuntimePolicy,
+    ) -> Result<String, KeylimeError> {
+        self.add_machine(config, policy)
+    }
+
+    fn push_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError> {
+        self.verifier.update_policy(id, policy)
+    }
+
+    fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError> {
+        Cluster::attest(self, id)
+    }
+}

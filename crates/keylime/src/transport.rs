@@ -1,0 +1,182 @@
+//! The message transport between Keylime components.
+//!
+//! The real deployment runs agent, registrar and verifier as separate
+//! networked services. The simulator keeps them in one process but forces
+//! every request/response through this transport, which (a) serializes
+//! both directions to JSON — so nothing non-wire-safe can leak between
+//! components — and (b) can inject message loss for fault testing.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The request never reached the peer (injected loss or timeout).
+    RequestDropped,
+    /// The response was lost on the way back.
+    ResponseDropped,
+    /// A message failed to serialize/deserialize.
+    Codec {
+        /// Description of the codec failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::RequestDropped => f.write_str("request dropped"),
+            TransportError::ResponseDropped => f.write_str("response dropped"),
+            TransportError::Codec { reason } => write!(f, "codec error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A JSON-serializing, fault-injectable request/response channel.
+#[derive(Debug)]
+pub struct Transport {
+    drop_rate: f64,
+    rng: StdRng,
+    requests: u64,
+    drops: u64,
+}
+
+impl Transport {
+    /// A transport that never drops messages.
+    pub fn reliable() -> Self {
+        Transport {
+            drop_rate: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            requests: 0,
+            drops: 0,
+        }
+    }
+
+    /// A transport dropping each direction with probability `drop_rate`.
+    pub fn lossy(drop_rate: f64, seed: u64) -> Self {
+        Transport {
+            drop_rate: drop_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            requests: 0,
+            drops: 0,
+        }
+    }
+
+    /// Performs one RPC: serializes `request`, lets `serve` compute the
+    /// response on the far side, and deserializes the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::RequestDropped`]/[`TransportError::ResponseDropped`]
+    /// under injected loss; [`TransportError::Codec`] when either message
+    /// is not wire-representable.
+    pub fn call<Req, Resp>(
+        &mut self,
+        request: &Req,
+        serve: impl FnOnce(Req) -> Resp,
+    ) -> Result<Resp, TransportError>
+    where
+        Req: Serialize + DeserializeOwned,
+        Resp: Serialize + DeserializeOwned,
+    {
+        self.requests += 1;
+        if self.drop_rate > 0.0 && self.rng.random::<f64>() < self.drop_rate {
+            self.drops += 1;
+            return Err(TransportError::RequestDropped);
+        }
+        let wire_req = serde_json::to_string(request).map_err(|e| TransportError::Codec {
+            reason: e.to_string(),
+        })?;
+        let decoded: Req = serde_json::from_str(&wire_req).map_err(|e| TransportError::Codec {
+            reason: e.to_string(),
+        })?;
+        let response = serve(decoded);
+        if self.drop_rate > 0.0 && self.rng.random::<f64>() < self.drop_rate {
+            self.drops += 1;
+            return Err(TransportError::ResponseDropped);
+        }
+        let wire_resp = serde_json::to_string(&response).map_err(|e| TransportError::Codec {
+            reason: e.to_string(),
+        })?;
+        serde_json::from_str(&wire_resp).map_err(|e| TransportError::Codec {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Total RPCs attempted.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Messages lost to injected faults.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_roundtrip() {
+        let mut t = Transport::reliable();
+        let out: i32 = t.call(&21i32, |x: i32| x * 2).unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(t.requests(), 1);
+        assert_eq!(t.drops(), 0);
+    }
+
+    #[test]
+    fn lossy_drops_sometimes() {
+        let mut t = Transport::lossy(0.5, 7);
+        let mut ok = 0;
+        let mut err = 0;
+        for i in 0..200 {
+            match t.call(&i, |x: i32| x) {
+                Ok(_) => ok += 1,
+                Err(TransportError::RequestDropped | TransportError::ResponseDropped) => err += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(ok > 20, "some calls must succeed ({ok})");
+        assert!(err > 20, "some calls must drop ({err})");
+        assert_eq!(t.drops() as i32, err);
+    }
+
+    #[test]
+    fn full_loss_never_delivers() {
+        let mut t = Transport::lossy(1.0, 1);
+        assert_eq!(
+            t.call(&0, |x: i32| x).unwrap_err(),
+            TransportError::RequestDropped
+        );
+    }
+
+    #[test]
+    fn structured_payloads_roundtrip() {
+        #[derive(serde::Serialize, serde::Deserialize)]
+        struct Ping {
+            nonce: Vec<u8>,
+            label: String,
+        }
+        let mut t = Transport::reliable();
+        let reply: String = t
+            .call(
+                &Ping {
+                    nonce: vec![1, 2, 3],
+                    label: "hello".into(),
+                },
+                |p: Ping| format!("{}:{}", p.label, p.nonce.len()),
+            )
+            .unwrap();
+        assert_eq!(reply, "hello:3");
+    }
+}

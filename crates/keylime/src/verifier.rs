@@ -1,0 +1,520 @@
+//! The Keylime verifier: polls agents and issues trust verdicts.
+
+use std::collections::BTreeMap;
+
+use cia_crypto::{Digest, HashAlgorithm, Sha256};
+use cia_ima::{MeasurementLog, BOOT_AGGREGATE_NAME, IMA_PCR};
+use cia_tpm::pcr::extend_digest;
+use serde::{Deserialize, Serialize};
+
+use crate::agent::{Agent, AgentRequest, AgentResponse, QuoteResponse};
+use crate::error::KeylimeError;
+use crate::policy::{PolicyCheck, RuntimePolicy};
+use crate::transport::Transport;
+
+/// Verifier behaviour toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VerifierConfig {
+    /// §IV-C "Improving Keylime's Attestation Process": when `false`
+    /// (stock Keylime, and the default), the verifier stops processing at
+    /// the first failing log entry and pauses polling — the behaviour
+    /// attackers exploit as **P2**. When `true`, every entry is always
+    /// evaluated and polling continues, so real discrepancies cannot hide
+    /// behind an unresolved false positive.
+    pub continue_on_failure: bool,
+}
+
+/// Why an attestation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Quote signature or nonce check failed.
+    QuoteInvalid,
+    /// The measurement list does not replay to the quoted PCR 10.
+    PcrMismatch,
+    /// The log shrank without a TPM reset — rewind tampering.
+    LogRewound,
+    /// `boot_aggregate` does not match the quoted PCRs 0–9.
+    BootAggregateMismatch,
+    /// The log excerpt could not be parsed.
+    LogParse {
+        /// Parser diagnostics.
+        reason: String,
+    },
+    /// A measured file hashed to a value not in the policy
+    /// (§III-B "hash mismatch").
+    HashMismatch {
+        /// The measured path.
+        path: String,
+        /// The measured digest (hex).
+        digest: String,
+    },
+    /// A measured file is absent from the policy
+    /// (§III-B "missing file in the policy").
+    NotInPolicy {
+        /// The measured path.
+        path: String,
+        /// The measured digest (hex).
+        digest: String,
+    },
+}
+
+/// One attestation failure event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The agent that failed.
+    pub agent: String,
+    /// Simulation day of the failure.
+    pub day: u32,
+    /// What went wrong.
+    pub kind: FailureKind,
+}
+
+/// Verifier-side state of one agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentStatus {
+    /// Attesting cleanly; polling continues.
+    Trusted,
+    /// A failure occurred and (under stop-on-failure) polling is paused
+    /// until the operator resolves it.
+    Paused,
+}
+
+/// Result of one poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestationOutcome {
+    /// All new entries verified.
+    Verified {
+        /// Entries processed this round.
+        new_entries: usize,
+    },
+    /// One or more failures (see the alerts).
+    Failed {
+        /// The failures raised this round.
+        alerts: Vec<Alert>,
+    },
+    /// Polling is paused on an unresolved failure (P2); nothing was
+    /// requested from the agent.
+    SkippedPaused,
+}
+
+impl AttestationOutcome {
+    /// True for [`AttestationOutcome::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, AttestationOutcome::Verified { .. })
+    }
+}
+
+#[derive(Debug)]
+struct AgentRecord {
+    ak: cia_crypto::VerifyingKey,
+    policy: RuntimePolicy,
+    /// Index of the first unprocessed log entry.
+    next_entry: usize,
+    /// Fold of the template hashes of all *processed* entries.
+    replayed_pcr: Digest,
+    last_boot_count: Option<u64>,
+    status: AgentStatus,
+    alerts: Vec<Alert>,
+    attestations: u64,
+    nonce_counter: u64,
+}
+
+/// The verifier service.
+#[derive(Debug)]
+pub struct Verifier {
+    config: VerifierConfig,
+    agents: BTreeMap<String, AgentRecord>,
+}
+
+impl Verifier {
+    /// Creates a verifier.
+    pub fn new(config: VerifierConfig) -> Self {
+        Verifier {
+            config,
+            agents: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> VerifierConfig {
+        self.config
+    }
+
+    /// Enrols an agent: its AK public key (from the registrar) and its
+    /// runtime policy.
+    pub fn add_agent(
+        &mut self,
+        id: impl Into<String>,
+        ak: cia_crypto::VerifyingKey,
+        policy: RuntimePolicy,
+    ) {
+        self.agents.insert(
+            id.into(),
+            AgentRecord {
+                ak,
+                policy,
+                next_entry: 0,
+                replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
+                last_boot_count: None,
+                status: AgentStatus::Trusted,
+                alerts: Vec::new(),
+                attestations: 0,
+                nonce_counter: 0,
+            },
+        );
+    }
+
+    /// Replaces an agent's policy (a dynamic policy push).
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn update_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError> {
+        let record = self.record_mut(id)?;
+        record.policy = policy;
+        Ok(())
+    }
+
+    /// The agent's current policy.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn policy(&self, id: &str) -> Result<&RuntimePolicy, KeylimeError> {
+        Ok(&self.record(id)?.policy)
+    }
+
+    /// The agent's status.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn status(&self, id: &str) -> Result<AgentStatus, KeylimeError> {
+        Ok(self.record(id)?.status)
+    }
+
+    /// All alerts raised for an agent so far.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn alerts(&self, id: &str) -> Result<&[Alert], KeylimeError> {
+        Ok(&self.record(id)?.alerts)
+    }
+
+    /// Number of successful attestations for an agent.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn attestation_count(&self, id: &str) -> Result<u64, KeylimeError> {
+        Ok(self.record(id)?.attestations)
+    }
+
+    /// Operator action: resume polling after investigating a failure.
+    /// Does not advance past the failing entry — if the cause is still
+    /// present (e.g. the policy was not fixed), the next poll fails again,
+    /// exactly as the paper describes for P2.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn resume(&mut self, id: &str) -> Result<(), KeylimeError> {
+        self.record_mut(id)?.status = AgentStatus::Trusted;
+        Ok(())
+    }
+
+    /// Operator action: resolve a failure by *skipping* the offending
+    /// entries — advances past everything currently in the agent's log
+    /// without evaluating it, then resumes. This models the manual
+    /// clean-up the paper warns takes time (the attacker's window).
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`] / transport errors.
+    pub fn resolve_by_skipping(
+        &mut self,
+        transport: &mut Transport,
+        agent: &mut Agent,
+    ) -> Result<(), KeylimeError> {
+        let id = agent.id().to_string();
+        let record = self.record_mut(&id)?;
+        let nonce = Self::make_nonce(&id, record.nonce_counter);
+        record.nonce_counter += 1;
+        let request = AgentRequest::Quote {
+            nonce,
+            from_entry: record.next_entry,
+        };
+        let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
+        if let AgentResponse::Quote(q) = response {
+            if let Ok(log) = MeasurementLog::parse(&q.log_excerpt) {
+                for entry in log.entries() {
+                    record.replayed_pcr = extend_digest(
+                        HashAlgorithm::Sha256,
+                        record.replayed_pcr,
+                        entry.template_hash(HashAlgorithm::Sha256),
+                    );
+                }
+                record.next_entry = q.total_entries;
+                record.last_boot_count = Some(q.boot_count);
+            }
+        }
+        record.status = AgentStatus::Trusted;
+        Ok(())
+    }
+
+    /// Polls `agent` once: quote, incremental log, policy evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`] or transport failures. Attestation
+    /// *failures* are not `Err`s — they come back as
+    /// [`AttestationOutcome::Failed`].
+    pub fn attest(
+        &mut self,
+        transport: &mut Transport,
+        agent: &mut Agent,
+        day: u32,
+    ) -> Result<AttestationOutcome, KeylimeError> {
+        let id = agent.id().to_string();
+        let continue_on_failure = self.config.continue_on_failure;
+        let record = self.record_mut(&id)?;
+
+        if record.status == AgentStatus::Paused && !continue_on_failure {
+            return Ok(AttestationOutcome::SkippedPaused);
+        }
+
+        let nonce = Self::make_nonce(&id, record.nonce_counter);
+        record.nonce_counter += 1;
+        let request = AgentRequest::Quote {
+            nonce: nonce.clone(),
+            from_entry: record.next_entry,
+        };
+        let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
+        let mut quote_resp = match response {
+            AgentResponse::Quote(q) => q,
+            AgentResponse::Error { reason } => return Err(KeylimeError::Agent { reason }),
+            other => {
+                return Err(KeylimeError::Agent {
+                    reason: format!("unexpected response {other:?}"),
+                })
+            }
+        };
+
+        // Reboot detection: TPM reset counter changed (or first contact
+        // after enrolment mid-boot) — restart from a fresh log.
+        let rebooted = record.last_boot_count != Some(quote_resp.boot_count);
+        if rebooted && record.last_boot_count.is_some() {
+            record.next_entry = 0;
+            record.replayed_pcr = HashAlgorithm::Sha256.zero_digest();
+            let nonce2 = Self::make_nonce(&id, record.nonce_counter);
+            record.nonce_counter += 1;
+            let request = AgentRequest::Quote {
+                nonce: nonce2.clone(),
+                from_entry: 0,
+            };
+            let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
+            quote_resp = match response {
+                AgentResponse::Quote(q) => q,
+                other => {
+                    return Err(KeylimeError::Agent {
+                        reason: format!("unexpected response {other:?}"),
+                    })
+                }
+            };
+            return Ok(Self::finish_attestation(
+                record,
+                &id,
+                quote_resp,
+                &nonce2,
+                day,
+                continue_on_failure,
+            ));
+        }
+        if record.last_boot_count.is_none() && record.next_entry == 0 {
+            // First contact: nothing special, fall through.
+        }
+
+        Ok(Self::finish_attestation(
+            record,
+            &id,
+            quote_resp,
+            &nonce,
+            day,
+            continue_on_failure,
+        ))
+    }
+
+    /// Core verification once a quote response is in hand.
+    fn finish_attestation(
+        record: &mut AgentRecord,
+        id: &str,
+        resp: QuoteResponse,
+        nonce: &[u8],
+        day: u32,
+        continue_on_failure: bool,
+    ) -> AttestationOutcome {
+        let mut alerts: Vec<Alert> = Vec::new();
+        let fail = |record: &mut AgentRecord, alerts: Vec<Alert>| {
+            record.status = AgentStatus::Paused;
+            record.alerts.extend(alerts.iter().cloned());
+            AttestationOutcome::Failed { alerts }
+        };
+
+        // ① Quote authenticity and freshness.
+        if !resp.quote.verify(&record.ak, nonce) {
+            alerts.push(Alert {
+                agent: id.to_string(),
+                day,
+                kind: FailureKind::QuoteInvalid,
+            });
+            return fail(record, alerts);
+        }
+
+        // Log cannot rewind within one boot.
+        if resp.total_entries < record.next_entry {
+            alerts.push(Alert {
+                agent: id.to_string(),
+                day,
+                kind: FailureKind::LogRewound,
+            });
+            return fail(record, alerts);
+        }
+
+        // ② The excerpt must parse and replay to the quoted PCR 10.
+        let log = match MeasurementLog::parse(&resp.log_excerpt) {
+            Ok(log) => log,
+            Err(e) => {
+                alerts.push(Alert {
+                    agent: id.to_string(),
+                    day,
+                    kind: FailureKind::LogParse {
+                        reason: e.to_string(),
+                    },
+                });
+                return fail(record, alerts);
+            }
+        };
+        let mut full_fold = record.replayed_pcr;
+        for entry in log.entries() {
+            full_fold = extend_digest(
+                HashAlgorithm::Sha256,
+                full_fold,
+                entry.template_hash(HashAlgorithm::Sha256),
+            );
+        }
+        let quoted_pcr10 = resp.quote.pcr_value(IMA_PCR);
+        if quoted_pcr10 != Some(full_fold) {
+            alerts.push(Alert {
+                agent: id.to_string(),
+                day,
+                kind: FailureKind::PcrMismatch,
+            });
+            return fail(record, alerts);
+        }
+
+        // ③ Policy evaluation, entry by entry.
+        let mut processed = 0usize;
+        for (offset, entry) in log.entries().iter().enumerate() {
+            let absolute_index = record.next_entry + offset;
+            let verdict = if absolute_index == 0 && entry.path == BOOT_AGGREGATE_NAME {
+                // boot_aggregate must match the quoted PCRs 0–9.
+                let mut h = Sha256::new();
+                for pcr in 0..=9u8 {
+                    if let Some(v) = resp.quote.pcr_value(pcr) {
+                        h.update(v.as_bytes());
+                    }
+                }
+                if h.finalize() == entry.filedata_hash {
+                    None
+                } else {
+                    Some(FailureKind::BootAggregateMismatch)
+                }
+            } else {
+                match record
+                    .policy
+                    .check(&entry.path, &entry.filedata_hash.to_hex())
+                {
+                    PolicyCheck::Allowed | PolicyCheck::Excluded => None,
+                    PolicyCheck::HashMismatch { .. } => Some(FailureKind::HashMismatch {
+                        path: entry.path.clone(),
+                        digest: entry.filedata_hash.to_hex(),
+                    }),
+                    PolicyCheck::NotInPolicy => Some(FailureKind::NotInPolicy {
+                        path: entry.path.clone(),
+                        digest: entry.filedata_hash.to_hex(),
+                    }),
+                }
+            };
+
+            match verdict {
+                None => {
+                    record.replayed_pcr = extend_digest(
+                        HashAlgorithm::Sha256,
+                        record.replayed_pcr,
+                        entry.template_hash(HashAlgorithm::Sha256),
+                    );
+                    processed += 1;
+                }
+                Some(kind) => {
+                    alerts.push(Alert {
+                        agent: id.to_string(),
+                        day,
+                        kind,
+                    });
+                    if !continue_on_failure {
+                        // P2: stop here. `next_entry` stays at the failing
+                        // entry; everything after it goes unevaluated.
+                        record.next_entry += processed;
+                        record.last_boot_count = Some(resp.boot_count);
+                        return fail(record, alerts);
+                    }
+                    // Continue-on-failure: evaluate everything; the entry
+                    // still advances the fold so later PCR checks align.
+                    record.replayed_pcr = extend_digest(
+                        HashAlgorithm::Sha256,
+                        record.replayed_pcr,
+                        entry.template_hash(HashAlgorithm::Sha256),
+                    );
+                    processed += 1;
+                }
+            }
+        }
+
+        record.next_entry += processed;
+        record.last_boot_count = Some(resp.boot_count);
+        record.attestations += 1;
+
+        if alerts.is_empty() {
+            record.status = AgentStatus::Trusted;
+            AttestationOutcome::Verified {
+                new_entries: processed,
+            }
+        } else {
+            // continue_on_failure: alerts recorded, polling continues.
+            record.alerts.extend(alerts.iter().cloned());
+            AttestationOutcome::Failed { alerts }
+        }
+    }
+
+    fn make_nonce(id: &str, counter: u64) -> Vec<u8> {
+        let mut h = Sha256::new();
+        h.update(id.as_bytes());
+        h.update(&counter.to_be_bytes());
+        h.finalize().as_bytes().to_vec()
+    }
+
+    fn record(&self, id: &str) -> Result<&AgentRecord, KeylimeError> {
+        self.agents.get(id).ok_or_else(|| KeylimeError::UnknownAgent {
+            id: id.to_string(),
+        })
+    }
+
+    fn record_mut(&mut self, id: &str) -> Result<&mut AgentRecord, KeylimeError> {
+        self.agents
+            .get_mut(id)
+            .ok_or_else(|| KeylimeError::UnknownAgent {
+                id: id.to_string(),
+            })
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for runtime policies and the transport codec.
+
+use cia_keylime::{PolicyCheck, RuntimePolicy, Transport};
+use proptest::prelude::*;
+
+fn path() -> impl Strategy<Value = String> {
+    "[a-z0-9._/-]{1,30}".prop_map(|s| format!("/{}", s.trim_start_matches('/')))
+}
+
+fn digest_hex() -> impl Strategy<Value = String> {
+    "[0-9a-f]{64}"
+}
+
+proptest! {
+    /// Policy JSON serialization round-trips arbitrary contents.
+    #[test]
+    fn policy_json_roundtrip(
+        entries in proptest::collection::vec((path(), digest_hex()), 0..20),
+        excludes in proptest::collection::vec(path(), 0..5),
+        version in any::<u64>(),
+    ) {
+        let mut policy = RuntimePolicy::new();
+        for (p, d) in &entries {
+            policy.allow(p.clone(), d.clone());
+        }
+        for e in &excludes {
+            policy.exclude(e.clone());
+        }
+        policy.meta.version = version;
+        let parsed = RuntimePolicy::from_json(&policy.to_json()).unwrap();
+        prop_assert_eq!(parsed, policy);
+    }
+
+    /// Every allowed (path, digest) pair checks as Allowed unless an
+    /// exclude shadows it; unknown digests are HashMismatch; unknown
+    /// paths are NotInPolicy.
+    #[test]
+    fn check_is_consistent(
+        entries in proptest::collection::vec((path(), digest_hex()), 1..20),
+        probe_digest in digest_hex(),
+    ) {
+        let mut policy = RuntimePolicy::new();
+        for (p, d) in &entries {
+            policy.allow(p.clone(), d.clone());
+        }
+        for (p, d) in &entries {
+            match policy.check(p, d) {
+                PolicyCheck::Allowed | PolicyCheck::Excluded => {}
+                other => prop_assert!(false, "expected allowed for {p}, got {other:?}"),
+            }
+            if !entries.iter().any(|(q, e)| q == p && e == &probe_digest) {
+                match policy.check(p, &probe_digest) {
+                    PolicyCheck::HashMismatch { expected } => {
+                        prop_assert!(expected.contains(d));
+                    }
+                    PolicyCheck::Excluded => {}
+                    other => prop_assert!(false, "expected mismatch for {p}, got {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(policy.line_count(), policy.entries().map(|(_, s)| s.len()).sum::<usize>());
+    }
+
+    /// Excluding a prefix excludes the whole subtree and nothing outside
+    /// the component boundary.
+    #[test]
+    fn exclusion_prefix_semantics(prefix in path(), child in "[a-z0-9]{1,8}") {
+        let mut policy = RuntimePolicy::new();
+        policy.exclude(prefix.clone());
+        let under = format!("{}/{}", prefix, child);
+        let sibling = format!("{}{}", prefix, child);
+        prop_assert!(policy.is_excluded(&prefix));
+        prop_assert!(policy.is_excluded(&under));
+        prop_assert!(!policy.is_excluded(&sibling));
+        // Removing restores visibility.
+        policy.remove_exclude(&prefix);
+        prop_assert!(!policy.is_excluded(&under));
+    }
+
+    /// Dedup keeps exactly the retained digest when it is present.
+    #[test]
+    fn dedup_retains_exactly_one(
+        target in path(),
+        digests in proptest::collection::vec(digest_hex(), 1..6),
+    ) {
+        let mut policy = RuntimePolicy::new();
+        for d in &digests {
+            policy.allow(target.clone(), d.clone());
+        }
+        let keep = digests.last().unwrap().clone();
+        policy.dedup_retain(&target, &keep);
+        let set = policy.digests_for(&target).unwrap();
+        prop_assert_eq!(set.len(), 1);
+        prop_assert!(set.contains(&keep));
+    }
+
+    /// The transport codec is lossless for arbitrary JSON-serializable
+    /// payloads.
+    #[test]
+    fn transport_codec_lossless(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut transport = Transport::reliable();
+        let echoed: Vec<u8> = transport.call(&payload, |p: Vec<u8>| p).unwrap();
+        prop_assert_eq!(echoed, payload);
+    }
+}

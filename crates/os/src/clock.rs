@@ -1,0 +1,137 @@
+//! Virtual time for the long-running experiments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated wall clock with day and minute-of-day resolution.
+///
+/// The paper's experiments run for weeks of real time (31- and 35-day
+/// windows, 5:00 AM mirror syncs, minutes-long policy updates); the
+/// simulators advance this clock instead so the whole 66-day run completes
+/// in milliseconds and is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cia_os::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance_to_hour(5);
+/// clock.advance_minutes(150);
+/// assert_eq!(clock.to_string(), "day 0 07:30");
+/// clock.next_day();
+/// assert_eq!(clock.day(), 1);
+/// assert_eq!(clock.minute_of_day(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    day: u32,
+    minute_of_day: u32,
+}
+
+impl SimClock {
+    /// Midnight of day 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulation day.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Minutes since this day's midnight.
+    pub fn minute_of_day(&self) -> u32 {
+        self.minute_of_day
+    }
+
+    /// The current hour (0–23).
+    pub fn hour(&self) -> u32 {
+        self.minute_of_day / 60
+    }
+
+    /// Total minutes since day 0 midnight.
+    pub fn minutes_since_epoch(&self) -> u64 {
+        self.day as u64 * 24 * 60 + self.minute_of_day as u64
+    }
+
+    /// Advances by `minutes`, rolling over days as needed.
+    pub fn advance_minutes(&mut self, minutes: u32) {
+        let total = self.minute_of_day + minutes;
+        self.day += total / (24 * 60);
+        self.minute_of_day = total % (24 * 60);
+    }
+
+    /// Advances to `hour:00` today if it is still ahead, otherwise to
+    /// `hour:00` tomorrow.
+    pub fn advance_to_hour(&mut self, hour: u32) {
+        let target = hour.min(23) * 60;
+        if target <= self.minute_of_day {
+            self.next_day();
+        }
+        self.minute_of_day = target;
+    }
+
+    /// Jumps to midnight of the next day.
+    pub fn next_day(&mut self) {
+        self.day += 1;
+        self.minute_of_day = 0;
+    }
+}
+
+impl fmt::Display for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "day {} {:02}:{:02}",
+            self.day,
+            self.hour(),
+            self.minute_of_day % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_minutes_rolls_over() {
+        let mut c = SimClock::new();
+        c.advance_minutes(25 * 60);
+        assert_eq!(c.day(), 1);
+        assert_eq!(c.hour(), 1);
+    }
+
+    #[test]
+    fn advance_to_hour_forward_and_wrap() {
+        let mut c = SimClock::new();
+        c.advance_to_hour(5);
+        assert_eq!((c.day(), c.hour()), (0, 5));
+        // 5:00 already passed: next 5:00 is tomorrow.
+        c.advance_to_hour(5);
+        assert_eq!((c.day(), c.hour()), (1, 5));
+        c.advance_to_hour(23);
+        assert_eq!((c.day(), c.hour()), (1, 23));
+    }
+
+    #[test]
+    fn epoch_minutes() {
+        let mut c = SimClock::new();
+        c.advance_minutes(90);
+        assert_eq!(c.minutes_since_epoch(), 90);
+        c.next_day();
+        assert_eq!(c.minutes_since_epoch(), 24 * 60);
+    }
+
+    #[test]
+    fn ordering() {
+        let mut a = SimClock::new();
+        let mut b = SimClock::new();
+        b.advance_minutes(1);
+        assert!(a < b);
+        a.next_day();
+        assert!(a > b);
+    }
+}

@@ -1,0 +1,28 @@
+//! The machine simulator: one attested host.
+//!
+//! [`Machine`] wires together the substrates — a [`cia_vfs::Vfs`], a
+//! [`cia_tpm::Tpm`], a [`cia_ima::Ima`], an apt [`cia_distro::UpdateManager`]
+//! and a [`cia_distro::SnapManager`] — and exposes the operations the
+//! paper's experiments perform on a host:
+//!
+//! - **executing files** ([`Machine::exec`]) with the three invocation
+//!   methods whose measurement behaviour differs (direct/shebang vs
+//!   via-interpreter — P5);
+//! - **loading kernel modules** ([`Machine::load_module`]);
+//! - **running system updates** from a package source;
+//! - **rebooting** ([`Machine::reboot`]): TPM PCRs reset, the IMA log and
+//!   cache clear, tmpfs contents vanish, a staged kernel becomes the
+//!   running kernel, and measured boot + `boot_aggregate` re-run.
+//!
+//! SNAP executions are automatically recorded under their truncated
+//! in-sandbox paths (§III-B), and all time is virtual ([`SimClock`]), so a
+//! 66-day experiment runs in milliseconds and is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod machine;
+
+pub use clock::SimClock;
+pub use machine::{ExecMethod, ExecReport, Machine, MachineConfig, MachineError};

@@ -1,0 +1,796 @@
+//! The attested host: substrates wired together.
+
+use std::fmt;
+
+use cia_crypto::HashAlgorithm;
+use cia_distro::{Package, SnapManager, UpdateManager, UpgradeReport};
+use cia_ima::{AppraisalKeyring, AppraisalResult, Ima, ImaConfig, ImaError, ImaPolicy};
+use cia_tpm::{Manufacturer, Tpm, TpmError};
+use cia_vfs::{Mode, Vfs, VfsError, VfsPath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::SimClock;
+
+/// How a file is invoked — the distinction at the heart of P5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecMethod {
+    /// `./binary` — `execve` directly; `BPRM_CHECK` measures the file.
+    Direct,
+    /// `./script.py` with a `#!` line — the *script* is the `execve`
+    /// target and is measured; the interpreter is measured too when it
+    /// exists on disk.
+    Shebang,
+    /// `python3 script.py` — the *interpreter* is the `execve` target;
+    /// the script is just a file the interpreter reads. Stock IMA never
+    /// sees it.
+    Interpreter {
+        /// Absolute path of the interpreter binary.
+        interpreter: String,
+        /// Whether this interpreter opts into script-execution-control
+        /// (opens scripts with exec intent). Only matters when the
+        /// machine's [`ImaConfig::script_exec_control`] is enabled.
+        supports_exec_control: bool,
+    },
+}
+
+/// What one [`Machine::exec`] call caused IMA to do.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecReport {
+    /// Paths appended to the measurement list by this execution.
+    pub measured_paths: Vec<String>,
+    /// True when the *target file itself* produced a (new or cached)
+    /// measurement visible to attestation; false when IMA never evaluated
+    /// it (exempt filesystem, or interpreter-mediated read).
+    pub target_evaluated: bool,
+}
+
+/// Errors surfaced by machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Filesystem failure.
+    Vfs(VfsError),
+    /// Measurement failure.
+    Ima(ImaError),
+    /// TPM failure.
+    Tpm(TpmError),
+    /// The executed file lacks the executable bit.
+    NotExecutable {
+        /// The offending path.
+        path: String,
+    },
+    /// IMA-appraisal enforcement refused the access (missing, untrusted
+    /// or non-verifying `security.ima` signature).
+    AppraisalDenied {
+        /// The offending path.
+        path: String,
+        /// Why appraisal failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Vfs(e) => write!(f, "vfs: {e}"),
+            MachineError::Ima(e) => write!(f, "ima: {e}"),
+            MachineError::Tpm(e) => write!(f, "tpm: {e}"),
+            MachineError::NotExecutable { path } => {
+                write!(f, "permission denied: `{path}` is not executable")
+            }
+            MachineError::AppraisalDenied { path, reason } => {
+                write!(f, "appraisal denied `{path}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<VfsError> for MachineError {
+    fn from(e: VfsError) -> Self {
+        MachineError::Vfs(e)
+    }
+}
+impl From<ImaError> for MachineError {
+    fn from(e: ImaError) -> Self {
+        MachineError::Ima(e)
+    }
+}
+impl From<TpmError> for MachineError {
+    fn from(e: TpmError) -> Self {
+        MachineError::Tpm(e)
+    }
+}
+
+/// Construction parameters for a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Host name (agent identity).
+    pub hostname: String,
+    /// IMA measurement policy loaded at boot.
+    pub ima_policy: ImaPolicy,
+    /// IMA behaviour toggles (mitigations).
+    pub ima_config: ImaConfig,
+    /// Kernel release the machine initially runs.
+    pub running_kernel: String,
+    /// IMA-appraisal enforcement (`ima_appraise=enforce`): when set,
+    /// executions and module loads require a verifying `security.ima`
+    /// signature from this keyring. `None` (the default, and the paper's
+    /// setting) is measurement-only.
+    pub appraisal: Option<AppraisalKeyring>,
+    /// Deterministic seed for key generation.
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            hostname: "node-0".to_string(),
+            ima_policy: ImaPolicy::keylime_default(),
+            ima_config: ImaConfig::default(),
+            running_kernel: "5.15.0-76".to_string(),
+            appraisal: None,
+            seed: 0,
+        }
+    }
+}
+
+/// One attested host: filesystem, TPM, IMA, package manager, snaps, and a
+/// virtual clock.
+#[derive(Debug)]
+pub struct Machine {
+    /// The filesystem.
+    pub vfs: Vfs,
+    /// The TPM.
+    pub tpm: Tpm,
+    /// The IMA engine.
+    pub ima: Ima,
+    /// The apt-like package manager.
+    pub apt: UpdateManager,
+    /// Installed snaps.
+    pub snaps: SnapManager,
+    /// Virtual wall clock.
+    pub clock: SimClock,
+    hostname: String,
+    running_kernel: String,
+    appraisal: Option<AppraisalKeyring>,
+    boots: u32,
+}
+
+impl Machine {
+    /// Builds and boots a machine: standard filesystem layout, TPM
+    /// manufactured and endorsed, measured boot run, `boot_aggregate`
+    /// recorded.
+    pub fn new(manufacturer: &Manufacturer, config: MachineConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tpm = Tpm::manufacture(manufacturer, &mut rng);
+        tpm.create_ak(&mut rng);
+        let mut machine = Machine {
+            vfs: Vfs::with_standard_layout(),
+            tpm,
+            ima: Ima::with_config(config.ima_policy, config.ima_config),
+            apt: UpdateManager::new(),
+            snaps: SnapManager::new(),
+            clock: SimClock::new(),
+            hostname: config.hostname,
+            running_kernel: config.running_kernel,
+            appraisal: config.appraisal,
+            boots: 0,
+        };
+        machine.measured_boot().expect("initial boot");
+        machine
+    }
+
+    /// The host name (Keylime agent identity).
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// The currently running kernel release.
+    pub fn running_kernel(&self) -> &str {
+        &self.running_kernel
+    }
+
+    /// Number of completed boots (1 after construction).
+    pub fn boots(&self) -> u32 {
+        self.boots
+    }
+
+    /// Runs measured boot: extends PCRs 0/2/4 with firmware, bootloader
+    /// and kernel digests, then records IMA's `boot_aggregate`.
+    fn measured_boot(&mut self) -> Result<(), MachineError> {
+        let fw = HashAlgorithm::Sha256.digest(b"firmware v1.0");
+        let loader = HashAlgorithm::Sha256.digest(b"grub 2.06");
+        let kernel = HashAlgorithm::Sha256.digest(self.running_kernel.as_bytes());
+        self.tpm.pcr_extend(HashAlgorithm::Sha256, 0, fw)?;
+        self.tpm.pcr_extend(HashAlgorithm::Sha256, 2, loader)?;
+        self.tpm.pcr_extend(HashAlgorithm::Sha256, 4, kernel)?;
+        self.ima.record_boot_aggregate(&mut self.tpm)?;
+        self.boots += 1;
+        Ok(())
+    }
+
+    /// Enforces IMA-appraisal for an exec/module access when configured.
+    fn enforce_appraisal(&self, path: &VfsPath) -> Result<(), MachineError> {
+        let Some(keyring) = &self.appraisal else {
+            return Ok(());
+        };
+        match keyring.appraise(&self.vfs, path)? {
+            AppraisalResult::Pass => Ok(()),
+            other => Err(MachineError::AppraisalDenied {
+                path: path.to_string(),
+                reason: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// The path IMA records for `path`: the in-sandbox view for SNAP
+    /// files, the path itself otherwise.
+    pub fn recorded_path(&self, path: &VfsPath) -> VfsPath {
+        self.snaps.sandbox_path(path).unwrap_or_else(|| path.clone())
+    }
+
+    /// Executes `path` using `method`, driving the corresponding IMA
+    /// hooks. Returns which paths were measured.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NotExecutable`] when direct-executing a file
+    /// without the exec bit (interpreters do not need it — part of P5);
+    /// filesystem/TPM errors otherwise.
+    pub fn exec(&mut self, path: &VfsPath, method: ExecMethod) -> Result<ExecReport, MachineError> {
+        let mut report = ExecReport::default();
+        match method {
+            ExecMethod::Direct | ExecMethod::Shebang => {
+                let meta = self.vfs.metadata(path)?;
+                if !meta.mode.is_executable() {
+                    return Err(MachineError::NotExecutable {
+                        path: path.to_string(),
+                    });
+                }
+                self.enforce_appraisal(path)?;
+                let recorded = self.recorded_path(path);
+                let before = self.ima.log().len();
+                let outcome = self.ima.on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+                report.target_evaluated = outcome != cia_ima::engine::MeasureOutcome::PolicyExempt;
+                if self.ima.log().len() > before {
+                    report.measured_paths.push(recorded.to_string());
+                }
+                // A shebang line also loads the interpreter.
+                if let Some(interp) = self.shebang_interpreter(path)? {
+                    self.measure_exec_quietly(&interp, &mut report)?;
+                }
+            }
+            ExecMethod::Interpreter {
+                interpreter,
+                supports_exec_control,
+            } => {
+                // The interpreter binary is the execve target (measured);
+                // the script is not required to be executable.
+                let interp_path = VfsPath::new(&interpreter)?;
+                self.measure_exec_quietly(&interp_path, &mut report)?;
+                // The script: a plain read for stock kernels (P5), an
+                // exec-intent open under script-execution-control.
+                if supports_exec_control {
+                    let recorded = self.recorded_path(path);
+                    let before = self.ima.log().len();
+                    let outcome =
+                        self.ima
+                            .on_script_open(&self.vfs, path, &recorded, &mut self.tpm)?;
+                    report.target_evaluated =
+                        outcome != cia_ima::engine::MeasureOutcome::PolicyExempt;
+                    if self.ima.log().len() > before {
+                        report.measured_paths.push(recorded.to_string());
+                    }
+                } else {
+                    // Verify the script exists and is readable; unmeasured.
+                    let _ = self.vfs.read(path)?;
+                    report.target_evaluated = false;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Executes the interpreter/extra binary, appending to the report.
+    fn measure_exec_quietly(
+        &mut self,
+        path: &VfsPath,
+        report: &mut ExecReport,
+    ) -> Result<(), MachineError> {
+        if !self.vfs.is_file(path) {
+            return Ok(());
+        }
+        let recorded = self.recorded_path(path);
+        let before = self.ima.log().len();
+        self.ima.on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+        if self.ima.log().len() > before {
+            report.measured_paths.push(recorded.to_string());
+        }
+        Ok(())
+    }
+
+    /// Reads a `#!/...` first line, returning the interpreter path.
+    fn shebang_interpreter(&self, path: &VfsPath) -> Result<Option<VfsPath>, MachineError> {
+        let content = self.vfs.read(path)?;
+        if content.starts_with(b"#!") {
+            let line_end = content.iter().position(|&b| b == b'\n').unwrap_or(content.len());
+            let line = String::from_utf8_lossy(&content[2..line_end]);
+            let interp = line.split_whitespace().next().unwrap_or("");
+            if interp.starts_with('/') {
+                return Ok(Some(VfsPath::new(interp)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Maps a shared library (`mmap(PROT_EXEC)`), measuring it per policy.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem/TPM errors.
+    pub fn mmap_library(&mut self, path: &VfsPath) -> Result<(), MachineError> {
+        let recorded = self.recorded_path(path);
+        self.ima.on_mmap_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+        Ok(())
+    }
+
+    /// Loads a kernel module (`insmod`), measuring via `MODULE_CHECK`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem/TPM errors.
+    pub fn load_module(&mut self, path: &VfsPath) -> Result<(), MachineError> {
+        self.enforce_appraisal(path)?;
+        self.ima.on_module_load(&self.vfs, path, &mut self.tpm)?;
+        Ok(())
+    }
+
+    /// Runs `apt upgrade` against a package source (mirror or upstream),
+    /// advancing the clock by a size-dependent few minutes.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors during unpacking.
+    pub fn run_updates<'a>(
+        &mut self,
+        available: impl Iterator<Item = &'a Package>,
+    ) -> Result<UpgradeReport, MachineError> {
+        let report = self.apt.upgrade_all(&mut self.vfs, available)?;
+        // ~5 minutes of apt runtime for a typical update window (§III-C).
+        self.clock.advance_minutes(if report.upgraded.is_empty() { 1 } else { 5 });
+        Ok(report)
+    }
+
+    /// Convenience: write a file and make it executable.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn write_executable(
+        &mut self,
+        path: &VfsPath,
+        content: &[u8],
+    ) -> Result<(), MachineError> {
+        if let Some(parent) = path.parent() {
+            self.vfs.mkdir_p(&parent)?;
+        }
+        self.vfs.write_file(path, content.to_vec(), Mode::EXEC)?;
+        self.vfs.chmod_exec(path, true)?;
+        Ok(())
+    }
+
+    /// Reboots the machine: PCRs reset, IMA log/cache clear, volatile
+    /// filesystems empty, the most recently staged kernel (if any) becomes
+    /// the running kernel, and measured boot + `boot_aggregate` re-run.
+    ///
+    /// # Errors
+    ///
+    /// TPM failures during the new measured boot.
+    pub fn reboot(&mut self) -> Result<(), MachineError> {
+        self.tpm.reboot();
+        self.ima.reboot();
+        self.vfs.reboot_clear_volatile();
+        if let Some(kernel) = self.apt.take_latest_staged_kernel() {
+            self.running_kernel = kernel;
+        }
+        self.clock.advance_minutes(2);
+        self.measured_boot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_ima::IMA_PCR;
+
+    fn machine() -> Machine {
+        let mut rng = StdRng::seed_from_u64(99);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        Machine::new(&manufacturer, MachineConfig::default())
+    }
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn boot_records_aggregate() {
+        let m = machine();
+        assert_eq!(m.boots(), 1);
+        assert_eq!(m.ima.log().len(), 1);
+        assert_eq!(m.ima.log().entries()[0].path, cia_ima::BOOT_AGGREGATE_NAME);
+        assert!(!m.tpm.pcr_read(HashAlgorithm::Sha256, IMA_PCR).unwrap().is_zero());
+    }
+
+    #[test]
+    fn direct_exec_measures_target() {
+        let mut m = machine();
+        let f = p("/usr/bin/tool");
+        m.write_executable(&f, b"binary").unwrap();
+        let report = m.exec(&f, ExecMethod::Direct).unwrap();
+        assert!(report.target_evaluated);
+        assert_eq!(report.measured_paths, vec!["/usr/bin/tool".to_string()]);
+    }
+
+    #[test]
+    fn exec_requires_exec_bit() {
+        let mut m = machine();
+        let f = p("/usr/bin/noexec");
+        m.vfs.create_file(&f, b"data".to_vec(), Mode::REGULAR).unwrap();
+        assert!(matches!(
+            m.exec(&f, ExecMethod::Direct),
+            Err(MachineError::NotExecutable { .. })
+        ));
+    }
+
+    #[test]
+    fn shebang_measures_script_and_interpreter() {
+        let mut m = machine();
+        let py = p("/usr/bin/python3");
+        let script = p("/usr/local/bin/task.py");
+        m.write_executable(&py, b"python interpreter").unwrap();
+        m.write_executable(&script, b"#!/usr/bin/python3\nprint('hi')").unwrap();
+        let report = m.exec(&script, ExecMethod::Shebang).unwrap();
+        assert!(report.target_evaluated);
+        assert_eq!(
+            report.measured_paths,
+            vec!["/usr/local/bin/task.py".to_string(), "/usr/bin/python3".to_string()]
+        );
+    }
+
+    #[test]
+    fn p5_interpreter_invocation_hides_script() {
+        let mut m = machine();
+        let py = p("/usr/bin/python3");
+        let script = p("/usr/local/bin/attack.py");
+        m.write_executable(&py, b"python interpreter").unwrap();
+        // Script does not even need the exec bit.
+        m.vfs
+            .create_file(&script, b"import os".to_vec(), Mode::REGULAR)
+            .unwrap();
+        let report = m
+            .exec(
+                &script,
+                ExecMethod::Interpreter {
+                    interpreter: "/usr/bin/python3".to_string(),
+                    supports_exec_control: false,
+                },
+            )
+            .unwrap();
+        assert!(!report.target_evaluated, "stock IMA never sees the script");
+        assert_eq!(report.measured_paths, vec!["/usr/bin/python3".to_string()]);
+    }
+
+    #[test]
+    fn script_exec_control_measures_script() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let mut m = Machine::new(
+            &manufacturer,
+            MachineConfig {
+                ima_policy: cia_ima::ImaPolicy::enriched(true),
+                ima_config: ImaConfig {
+                    reevaluate_on_path_change: false,
+                    script_exec_control: true,
+                },
+                ..MachineConfig::default()
+            },
+        );
+        let py = p("/usr/bin/python3");
+        let script = p("/usr/local/bin/attack.py");
+        m.write_executable(&py, b"python interpreter").unwrap();
+        m.vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR).unwrap();
+        let report = m
+            .exec(
+                &script,
+                ExecMethod::Interpreter {
+                    interpreter: "/usr/bin/python3".to_string(),
+                    supports_exec_control: true,
+                },
+            )
+            .unwrap();
+        assert!(report.target_evaluated);
+        assert!(report.measured_paths.contains(&"/usr/local/bin/attack.py".to_string()));
+    }
+
+    #[test]
+    fn tmpfs_exec_is_unmeasured_p3() {
+        let mut m = machine();
+        let f = p("/dev/shm/payload");
+        m.write_executable(&f, b"evil").unwrap();
+        let report = m.exec(&f, ExecMethod::Direct).unwrap();
+        assert!(!report.target_evaluated);
+        assert!(report.measured_paths.is_empty());
+    }
+
+    #[test]
+    fn snap_exec_records_truncated_path() {
+        let mut m = machine();
+        m.snaps
+            .install(&mut m.vfs, cia_distro::Snap::core20(1234))
+            .unwrap();
+        let real = p("/snap/core20/1234/usr/bin/python3");
+        let report = m.exec(&real, ExecMethod::Direct).unwrap();
+        assert_eq!(report.measured_paths, vec!["/usr/bin/python3".to_string()]);
+    }
+
+    #[test]
+    fn reboot_clears_state_and_activates_staged_kernel() {
+        let mut m = machine();
+        let f = p("/usr/bin/tool");
+        m.write_executable(&f, b"bin").unwrap();
+        m.exec(&f, ExecMethod::Direct).unwrap();
+        m.write_executable(&p("/dev/shm/volatile"), b"x").unwrap();
+
+        // Stage a kernel via apt.
+        let kernel = Package {
+            name: "linux-image-generic".into(),
+            version: cia_distro::Version {
+                upstream: "5.15.0".into(),
+                revision: 90,
+            },
+            priority: cia_distro::Priority::Optional,
+            pocket: cia_distro::Pocket::Updates,
+            files: vec![],
+            is_kernel: true,
+        };
+        m.apt.install(&mut m.vfs, &kernel).unwrap();
+        assert_eq!(m.running_kernel(), "5.15.0-76");
+
+        m.reboot().unwrap();
+        assert_eq!(m.running_kernel(), "5.15.0-90");
+        assert_eq!(m.boots(), 2);
+        assert_eq!(m.ima.log().len(), 1, "only the fresh boot_aggregate");
+        assert!(!m.vfs.exists(&p("/dev/shm/volatile")));
+        // Re-execution after reboot is measured again.
+        let report = m.exec(&f, ExecMethod::Direct).unwrap();
+        assert_eq!(report.measured_paths.len(), 1);
+    }
+
+    #[test]
+    fn log_replay_always_matches_pcr10() {
+        let mut m = machine();
+        for name in ["a", "b", "c"] {
+            let f = p(&format!("/usr/bin/{name}"));
+            m.write_executable(&f, name.as_bytes()).unwrap();
+            m.exec(&f, ExecMethod::Direct).unwrap();
+        }
+        assert_eq!(
+            m.ima.log().replay(HashAlgorithm::Sha256),
+            m.tpm.pcr_read(HashAlgorithm::Sha256, IMA_PCR).unwrap()
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use cia_crypto::HashAlgorithm;
+
+    fn machine() -> Machine {
+        let mut rng = StdRng::seed_from_u64(123);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        Machine::new(&manufacturer, MachineConfig::default())
+    }
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn exec_missing_file_errors() {
+        let mut m = machine();
+        assert!(matches!(
+            m.exec(&p("/usr/bin/ghost"), ExecMethod::Direct),
+            Err(MachineError::Vfs(_))
+        ));
+    }
+
+    #[test]
+    fn interpreter_method_requires_script_readable() {
+        let mut m = machine();
+        m.write_executable(&p("/usr/bin/python3"), b"py").unwrap();
+        let err = m.exec(
+            &p("/opt/missing.py"),
+            ExecMethod::Interpreter {
+                interpreter: "/usr/bin/python3".to_string(),
+                supports_exec_control: false,
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn shebang_with_relative_interpreter_is_ignored() {
+        let mut m = machine();
+        let script = p("/usr/local/bin/tool");
+        m.write_executable(&script, b"#!env python3\nx").unwrap();
+        // Relative interpreter: only the script itself is measured.
+        let report = m.exec(&script, ExecMethod::Shebang).unwrap();
+        assert_eq!(report.measured_paths, vec![script.to_string()]);
+    }
+
+    #[test]
+    fn shebang_with_args_extracts_interpreter() {
+        let mut m = machine();
+        m.write_executable(&p("/bin/bash"), b"bash").unwrap();
+        let script = p("/usr/local/bin/run.sh");
+        m.write_executable(&script, b"#!/bin/bash -eu\necho hi").unwrap();
+        let report = m.exec(&script, ExecMethod::Shebang).unwrap();
+        assert!(report.measured_paths.contains(&"/bin/bash".to_string()));
+    }
+
+    #[test]
+    fn write_executable_creates_parents() {
+        let mut m = machine();
+        let deep = p("/opt/new/deep/dir/tool");
+        m.write_executable(&deep, b"x").unwrap();
+        assert!(m.vfs.metadata(&deep).unwrap().mode.is_executable());
+    }
+
+    #[test]
+    fn run_updates_advances_clock() {
+        let mut m = machine();
+        let before = m.clock.minutes_since_epoch();
+        let packages: Vec<cia_distro::Package> = Vec::new();
+        m.run_updates(packages.iter()).unwrap();
+        assert!(m.clock.minutes_since_epoch() > before);
+    }
+
+    #[test]
+    fn recorded_path_identity_outside_snaps() {
+        let m = machine();
+        let path = p("/usr/bin/anything");
+        assert_eq!(m.recorded_path(&path), path);
+    }
+
+    #[test]
+    fn mmap_library_measures_in_policy_path() {
+        let mut m = machine();
+        let lib = p("/usr/lib/libfoo.so");
+        m.write_executable(&lib, b"lib").unwrap();
+        m.mmap_library(&lib).unwrap();
+        assert_eq!(m.ima.log().entries().last().unwrap().path, "/usr/lib/libfoo.so");
+        assert_eq!(
+            m.ima.log().entries().last().unwrap().filedata_hash,
+            HashAlgorithm::Sha256.digest(b"lib")
+        );
+    }
+
+    #[test]
+    fn boot_aggregate_changes_with_kernel() {
+        // Two machines differing only in the running kernel have
+        // different boot aggregates (PCR 4 binds the kernel).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mfr = Manufacturer::generate(&mut rng);
+        let m1 = Machine::new(
+            &mfr,
+            MachineConfig {
+                running_kernel: "5.15.0-76".into(),
+                ..MachineConfig::default()
+            },
+        );
+        let m2 = Machine::new(
+            &mfr,
+            MachineConfig {
+                running_kernel: "5.15.0-99".into(),
+                ..MachineConfig::default()
+            },
+        );
+        assert_ne!(
+            m1.ima.log().entries()[0].filedata_hash,
+            m2.ima.log().entries()[0].filedata_hash
+        );
+    }
+}
+
+#[cfg(test)]
+mod appraisal_tests {
+    use super::*;
+    use cia_crypto::KeyPair;
+    use cia_ima::{sign_file, AppraisalKeyring};
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    fn enforcing_machine() -> (Machine, KeyPair) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let kp = KeyPair::from_material([5u8; 32]);
+        let mut keyring = AppraisalKeyring::new();
+        keyring.trust(kp.verifying.clone());
+        let m = Machine::new(
+            &manufacturer,
+            MachineConfig {
+                appraisal: Some(keyring),
+                ..MachineConfig::default()
+            },
+        );
+        (m, kp)
+    }
+
+    #[test]
+    fn signed_binary_runs_and_is_measured() {
+        let (mut m, kp) = enforcing_machine();
+        let tool = p("/usr/bin/tool");
+        m.write_executable(&tool, b"signed tool").unwrap();
+        sign_file(&mut m.vfs, &tool, &kp.signing).unwrap();
+        let report = m.exec(&tool, ExecMethod::Direct).unwrap();
+        assert!(report.target_evaluated);
+    }
+
+    #[test]
+    fn unsigned_payload_cannot_run_at_all() {
+        let (mut m, _) = enforcing_machine();
+        let payload = p("/tmp/payload");
+        m.write_executable(&payload, b"dropped malware").unwrap();
+        // Under measurement-only IMA this would run (and, in /tmp, evade
+        // Keylime via P1). Under enforcement it never executes.
+        let err = m.exec(&payload, ExecMethod::Direct).unwrap_err();
+        assert!(matches!(err, MachineError::AppraisalDenied { .. }));
+        // Nothing beyond boot_aggregate entered the log either.
+        assert_eq!(m.ima.log().len(), 1);
+    }
+
+    #[test]
+    fn trojaned_signed_binary_blocked() {
+        let (mut m, kp) = enforcing_machine();
+        let tool = p("/usr/bin/tool");
+        m.write_executable(&tool, b"v1").unwrap();
+        sign_file(&mut m.vfs, &tool, &kp.signing).unwrap();
+        m.exec(&tool, ExecMethod::Direct).unwrap();
+        // Attacker rewrites the binary: the stale signature fails closed.
+        m.vfs.write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC).unwrap();
+        assert!(matches!(
+            m.exec(&tool, ExecMethod::Direct),
+            Err(MachineError::AppraisalDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn unsigned_module_load_blocked() {
+        let (mut m, _) = enforcing_machine();
+        let module = p("/lib/modules/rootkit.ko");
+        m.vfs
+            .create_file(&module, b"rootkit".to_vec(), Mode::REGULAR)
+            .unwrap();
+        assert!(matches!(
+            m.load_module(&module),
+            Err(MachineError::AppraisalDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn measurement_only_machine_is_unchanged() {
+        // The paper's configuration: appraisal off, everything runs.
+        let mut rng = StdRng::seed_from_u64(78);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let mut m = Machine::new(&manufacturer, MachineConfig::default());
+        let payload = p("/tmp/payload");
+        m.write_executable(&payload, b"dropped malware").unwrap();
+        assert!(m.exec(&payload, ExecMethod::Direct).is_ok());
+    }
+}

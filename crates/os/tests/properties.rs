@@ -1,0 +1,165 @@
+//! Property-based tests for the machine simulator.
+//!
+//! The central invariant of the whole attestation stack: **after any
+//! sequence of operations, the IMA measurement list replays exactly to
+//! TPM PCR 10** — in both banks, across reboots, regardless of what ran,
+//! moved, or got rewritten. If this ever breaks, verifiers would reject
+//! honest machines (or worse, accept dishonest ones).
+
+use cia_crypto::HashAlgorithm;
+use cia_ima::IMA_PCR;
+use cia_os::{ExecMethod, Machine, MachineConfig};
+use cia_tpm::Manufacturer;
+use cia_vfs::{Mode, VfsPath};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A randomly chosen machine operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: u8, content: u8 },
+    Exec { slot: u8 },
+    ExecViaInterpreter { slot: u8 },
+    Mmap { slot: u8 },
+    LoadModule { slot: u8 },
+    MoveToUsr { slot: u8 },
+    Reboot,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(slot, content)| Op::Write { slot, content }),
+        any::<u8>().prop_map(|slot| Op::Exec { slot }),
+        any::<u8>().prop_map(|slot| Op::ExecViaInterpreter { slot }),
+        any::<u8>().prop_map(|slot| Op::Mmap { slot }),
+        any::<u8>().prop_map(|slot| Op::LoadModule { slot }),
+        any::<u8>().prop_map(|slot| Op::MoveToUsr { slot }),
+        Just(Op::Reboot),
+    ]
+}
+
+fn slot_path(slot: u8) -> VfsPath {
+    let dir = match slot % 4 {
+        0 => "/usr/bin",
+        1 => "/tmp",
+        2 => "/dev/shm",
+        _ => "/opt",
+    };
+    VfsPath::new(&format!("{dir}/slot-{}", slot % 16)).unwrap()
+}
+
+fn apply(machine: &mut Machine, op: &Op) {
+    match op {
+        Op::Write { slot, content } => {
+            let path = slot_path(*slot);
+            if let Some(parent) = path.parent() {
+                let _ = machine.vfs.mkdir_p(&parent);
+            }
+            let _ = machine
+                .vfs
+                .write_file(&path, vec![*content; 16], Mode::EXEC);
+            let _ = machine.vfs.chmod_exec(&path, true);
+        }
+        Op::Exec { slot } => {
+            let _ = machine.exec(&slot_path(*slot), ExecMethod::Direct);
+        }
+        Op::ExecViaInterpreter { slot } => {
+            let _ = machine.exec(
+                &slot_path(*slot),
+                ExecMethod::Interpreter {
+                    interpreter: "/usr/bin/python3".to_string(),
+                    supports_exec_control: false,
+                },
+            );
+        }
+        Op::Mmap { slot } => {
+            let _ = machine.mmap_library(&slot_path(*slot));
+        }
+        Op::LoadModule { slot } => {
+            let _ = machine.load_module(&slot_path(*slot));
+        }
+        Op::MoveToUsr { slot } => {
+            let to = VfsPath::new(&format!("/usr/bin/moved-{}", slot % 16)).unwrap();
+            let _ = machine.vfs.move_entry(&slot_path(*slot), &to);
+        }
+        Op::Reboot => {
+            machine.reboot().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay == PCR 10, always, in both banks.
+    #[test]
+    fn log_replay_matches_pcr_under_arbitrary_ops(ops in proptest::collection::vec(op(), 0..60)) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let mut machine = Machine::new(&manufacturer, MachineConfig::default());
+        machine
+            .write_executable(&VfsPath::new("/usr/bin/python3").unwrap(), b"py")
+            .unwrap();
+        for op in &ops {
+            apply(&mut machine, op);
+            for bank in [HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+                prop_assert_eq!(
+                    machine.ima.log().replay(bank),
+                    machine.tpm.pcr_read(bank, IMA_PCR).unwrap(),
+                    "after {:?}", op
+                );
+            }
+        }
+        // The log never loses its boot_aggregate head.
+        prop_assert_eq!(&machine.ima.log().entries()[0].path, cia_ima::BOOT_AGGREGATE_NAME);
+    }
+
+    /// The measurement list is append-only between reboots: earlier
+    /// entries never change.
+    #[test]
+    fn log_is_append_only(ops in proptest::collection::vec(op(), 0..40)) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let mut machine = Machine::new(&manufacturer, MachineConfig::default());
+        machine
+            .write_executable(&VfsPath::new("/usr/bin/python3").unwrap(), b"py")
+            .unwrap();
+        let mut prefix: Vec<String> = Vec::new();
+        for op in &ops {
+            if matches!(op, Op::Reboot) {
+                apply(&mut machine, op);
+                prefix.clear();
+                continue;
+            }
+            apply(&mut machine, op);
+            let rendered: Vec<String> =
+                machine.ima.log().entries().iter().map(|e| e.render()).collect();
+            prop_assert!(rendered.len() >= prefix.len());
+            prop_assert_eq!(&rendered[..prefix.len()], &prefix[..], "prefix changed after {:?}", op);
+            prefix = rendered;
+        }
+    }
+
+    /// tmpfs slots never appear in the measurement list (P3) and /tmp
+    /// slots always carry their /tmp path when measured (P1 fodder).
+    #[test]
+    fn measurement_paths_respect_policy(ops in proptest::collection::vec(op(), 0..40)) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let manufacturer = Manufacturer::generate(&mut rng);
+        let mut machine = Machine::new(&manufacturer, MachineConfig::default());
+        machine
+            .write_executable(&VfsPath::new("/usr/bin/python3").unwrap(), b"py")
+            .unwrap();
+        for op in &ops {
+            apply(&mut machine, op);
+        }
+        for entry in machine.ima.log().entries() {
+            prop_assert!(
+                !entry.path.starts_with("/dev/shm/"),
+                "tmpfs execution leaked into the log: {}",
+                entry.path
+            );
+        }
+    }
+}

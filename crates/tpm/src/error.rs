@@ -1,0 +1,39 @@
+//! Error type for TPM operations.
+
+use std::fmt;
+
+/// Errors returned by the TPM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpmError {
+    /// A PCR index outside `0..PCR_COUNT` was used.
+    InvalidPcrIndex {
+        /// The offending index.
+        index: u8,
+    },
+    /// A digest of the wrong algorithm was extended into a bank.
+    AlgorithmMismatch {
+        /// The bank's algorithm name.
+        bank: &'static str,
+        /// The digest's algorithm name.
+        digest: &'static str,
+    },
+    /// A quote was requested before an attestation key was created.
+    NoAttestationKey,
+    /// An empty PCR selection was supplied.
+    EmptySelection,
+}
+
+impl fmt::Display for TpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpmError::InvalidPcrIndex { index } => write!(f, "invalid PCR index {index}"),
+            TpmError::AlgorithmMismatch { bank, digest } => {
+                write!(f, "cannot extend {digest} digest into {bank} bank")
+            }
+            TpmError::NoAttestationKey => f.write_str("no attestation key has been created"),
+            TpmError::EmptySelection => f.write_str("pcr selection is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}

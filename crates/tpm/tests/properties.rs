@@ -1,0 +1,113 @@
+//! Property-based tests for the TPM simulator.
+
+use cia_crypto::HashAlgorithm;
+use cia_tpm::pcr::extend_digest;
+use cia_tpm::{Manufacturer, PcrBank, PcrSelection, Quote, Tpm};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tpm_with_ak(seed: u64) -> Tpm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = Manufacturer::generate(&mut rng);
+    let mut t = Tpm::manufacture(&m, &mut rng);
+    t.create_ak(&mut rng);
+    t
+}
+
+proptest! {
+    /// Folding any event sequence with `extend_digest` reproduces the
+    /// bank state, and every prefix state is distinct (no collisions at
+    /// test scale).
+    #[test]
+    fn extend_fold_property(
+        events in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20)
+    ) {
+        let mut bank = PcrBank::new(HashAlgorithm::Sha256);
+        let mut fold = HashAlgorithm::Sha256.zero_digest();
+        let mut states = vec![fold];
+        for e in &events {
+            let d = HashAlgorithm::Sha256.digest(e);
+            bank.extend(10, d).unwrap();
+            fold = extend_digest(HashAlgorithm::Sha256, fold, d);
+            prop_assert_eq!(bank.read(10).unwrap(), fold);
+            states.push(fold);
+        }
+        states.sort_by_key(|s| s.to_hex());
+        states.dedup();
+        prop_assert_eq!(states.len(), events.len() + 1, "prefix states must be distinct");
+    }
+
+    /// Extending one PCR never disturbs any other.
+    #[test]
+    fn extend_isolation(target in 0u8..24, other in 0u8..24, data in proptest::collection::vec(any::<u8>(), 1..16)) {
+        prop_assume!(target != other);
+        let mut bank = PcrBank::new(HashAlgorithm::Sha256);
+        let before = bank.read(other).unwrap();
+        bank.extend(target, HashAlgorithm::Sha256.digest(&data)).unwrap();
+        prop_assert_eq!(bank.read(other).unwrap(), before);
+    }
+
+    /// Quotes verify for their nonce and reject every other nonce.
+    #[test]
+    fn quote_nonce_binding(
+        nonce1 in proptest::collection::vec(any::<u8>(), 1..64),
+        nonce2 in proptest::collection::vec(any::<u8>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut tpm = tpm_with_ak(seed);
+        tpm.pcr_extend(HashAlgorithm::Sha256, 10, HashAlgorithm::Sha256.digest(&nonce1)).unwrap();
+        let quote = tpm
+            .quote(&nonce1, &PcrSelection::single(10), HashAlgorithm::Sha256)
+            .unwrap();
+        let ak = tpm.ak_public().unwrap();
+        prop_assert!(quote.verify(ak, &nonce1));
+        if nonce1 != nonce2 {
+            prop_assert!(!quote.verify(ak, &nonce2));
+        }
+    }
+
+    /// Quotes survive a JSON round-trip (what the transport does to them).
+    #[test]
+    fn quote_serde_roundtrip(indices in proptest::collection::vec(0u8..24, 1..8), seed in any::<u64>()) {
+        let mut tpm = tpm_with_ak(seed);
+        let selection = PcrSelection::of(&indices);
+        let quote = tpm.quote(b"n", &selection, HashAlgorithm::Sha256).unwrap();
+        let json = serde_json::to_string(&quote).unwrap();
+        let parsed: Quote = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&parsed, &quote);
+        prop_assert!(parsed.verify(tpm.ak_public().unwrap(), b"n"));
+    }
+
+    /// Selection membership is consistent with the iterated indices.
+    #[test]
+    fn selection_consistency(indices in proptest::collection::vec(0u8..24, 0..24)) {
+        let sel = PcrSelection::of(&indices);
+        let listed: Vec<u8> = sel.indices().collect();
+        for i in 0u8..24 {
+            prop_assert_eq!(sel.contains(i), listed.contains(&i));
+            prop_assert_eq!(sel.contains(i), indices.contains(&i));
+        }
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(listed, sorted, "indices are sorted and unique");
+    }
+
+    /// Reboots always zero the PCRs and bump the counter, regardless of
+    /// prior activity.
+    #[test]
+    fn reboot_invariants(extends in proptest::collection::vec((0u8..24, proptest::collection::vec(any::<u8>(), 0..8)), 0..10)) {
+        let mut tpm = tpm_with_ak(0);
+        for (idx, data) in &extends {
+            tpm.pcr_extend(HashAlgorithm::Sha256, *idx, HashAlgorithm::Sha256.digest(data)).unwrap();
+        }
+        let boots_before = tpm.boot_count();
+        tpm.reboot();
+        prop_assert_eq!(tpm.boot_count(), boots_before + 1);
+        for i in 0u8..24 {
+            prop_assert!(tpm.pcr_read(HashAlgorithm::Sha256, i).unwrap().is_zero());
+            prop_assert!(tpm.pcr_read(HashAlgorithm::Sha1, i).unwrap().is_zero());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for virtual-filesystem operations.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Vfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The path could not be parsed as an absolute path.
+    InvalidPath {
+        /// The offending raw path.
+        path: String,
+    },
+    /// No entry exists at the path.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// An entry already exists where one would be created.
+    AlreadyExists {
+        /// The occupied path.
+        path: String,
+    },
+    /// A file was found where a directory was required.
+    NotADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// A directory was found where a file was required.
+    IsADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// A directory that must be empty was not.
+    DirectoryNotEmpty {
+        /// The offending path.
+        path: String,
+    },
+    /// `rename(2)` was attempted across filesystems (`EXDEV`).
+    CrossDevice {
+        /// Rename source.
+        from: String,
+        /// Rename destination.
+        to: String,
+    },
+    /// A mount point operation was invalid (e.g. already mounted).
+    MountError {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::InvalidPath { path } => write!(f, "invalid path `{path}`"),
+            VfsError::NotFound { path } => write!(f, "no such file or directory `{path}`"),
+            VfsError::AlreadyExists { path } => write!(f, "entry already exists at `{path}`"),
+            VfsError::NotADirectory { path } => write!(f, "not a directory `{path}`"),
+            VfsError::IsADirectory { path } => write!(f, "is a directory `{path}`"),
+            VfsError::DirectoryNotEmpty { path } => write!(f, "directory not empty `{path}`"),
+            VfsError::CrossDevice { from, to } => {
+                write!(f, "cross-device rename from `{from}` to `{to}`")
+            }
+            VfsError::MountError { reason } => write!(f, "mount error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}

@@ -1,0 +1,143 @@
+//! Inodes, file identities, modes, and metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::mount::{FilesystemId, FilesystemKind};
+
+/// File permission/mode bits (only what the simulators need).
+///
+/// The paper's policies select files by the executable bit, so [`Mode`]
+/// tracks it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mode {
+    bits: u16,
+}
+
+impl Mode {
+    /// Regular file, `rw-r--r--`.
+    pub const REGULAR: Mode = Mode { bits: 0o644 };
+    /// Executable file, `rwxr-xr-x`.
+    pub const EXEC: Mode = Mode { bits: 0o755 };
+
+    /// Builds a mode from raw permission bits.
+    pub fn from_bits(bits: u16) -> Self {
+        Mode { bits: bits & 0o7777 }
+    }
+
+    /// The raw permission bits.
+    pub fn bits(self) -> u16 {
+        self.bits
+    }
+
+    /// True when any execute bit is set.
+    pub fn is_executable(self) -> bool {
+        self.bits & 0o111 != 0
+    }
+
+    /// Returns a copy with the owner/group/other execute bits set or
+    /// cleared (`chmod +x` / `chmod -x`).
+    pub fn with_executable(self, executable: bool) -> Self {
+        if executable {
+            Mode {
+                bits: self.bits | 0o111,
+            }
+        } else {
+            Mode {
+                bits: self.bits & !0o111,
+            }
+        }
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::REGULAR
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.bits)
+    }
+}
+
+/// Uniquely identifies a file's *data*: `(filesystem, inode)`.
+///
+/// This is the key of IMA's measurement cache (the `iint` cache in the
+/// kernel). Renames within a filesystem keep the `FileId`; copies and
+/// cross-filesystem moves allocate a new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId {
+    /// The owning filesystem (superblock).
+    pub fs: FilesystemId,
+    /// Inode number within that filesystem.
+    pub ino: u64,
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:ino{}", self.fs, self.ino)
+    }
+}
+
+/// The stored state of one inode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Inode {
+    pub content: Vec<u8>,
+    pub mode: Mode,
+    /// Bumped on every content write; mirrors the kernel's `i_version`,
+    /// which IMA uses to invalidate cached measurements.
+    pub iversion: u64,
+    /// Link count (paths referring to this inode).
+    pub nlink: u32,
+    /// Extended attributes (`security.ima` carries appraisal signatures).
+    pub xattrs: std::collections::BTreeMap<String, Vec<u8>>,
+}
+
+/// Metadata snapshot returned by [`crate::Vfs::metadata`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Identity of the file data (filesystem + inode).
+    pub file_id: FileId,
+    /// Type of the backing filesystem.
+    pub fs_kind: FilesystemKind,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Content length in bytes.
+    pub size: u64,
+    /// Content version counter.
+    pub iversion: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_bits() {
+        assert!(Mode::EXEC.is_executable());
+        assert!(!Mode::REGULAR.is_executable());
+        assert!(Mode::REGULAR.with_executable(true).is_executable());
+        assert!(!Mode::EXEC.with_executable(false).is_executable());
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        assert_eq!(Mode::from_bits(0o100755).bits(), 0o755);
+    }
+
+    #[test]
+    fn display_octal() {
+        assert_eq!(Mode::EXEC.to_string(), "0755");
+    }
+
+    #[test]
+    fn file_id_ordering_and_display() {
+        let a = FileId { fs: FilesystemId(0), ino: 1 };
+        let b = FileId { fs: FilesystemId(0), ino: 2 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "fs0:ino1");
+    }
+}

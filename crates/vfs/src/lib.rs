@@ -1,0 +1,55 @@
+//! An in-memory virtual filesystem for the continuous-attestation simulators.
+//!
+//! The paper's false-negative findings (P1, P3, P4) and the SNAP
+//! false-positive cause are all *filesystem semantics* phenomena:
+//!
+//! - P3 depends on which **filesystem type** (`fsmagic`) backs a path —
+//!   IMA policies exclude whole filesystems such as `tmpfs` and `procfs`.
+//! - P4 depends on **`rename(2)` keeping the inode** when a file moves
+//!   within one filesystem — IMA's measurement cache is keyed by inode, so
+//!   a file written under an unwatched directory of the root filesystem and
+//!   later moved to `/usr/bin` is never re-measured.
+//! - SNAP truncation depends on **mount sandboxes**: a binary under
+//!   `/snap/core20/1234/usr/bin/python3` is measured under its
+//!   inside-the-sandbox path.
+//!
+//! [`Vfs`] therefore models mounts, per-filesystem inode tables,
+//! POSIX rename semantics (same-filesystem rename preserves the inode;
+//! cross-filesystem rename fails with `EXDEV`, and [`Vfs::move_entry`]
+//! falls back to copy + unlink like `mv`, allocating a fresh inode),
+//! executable mode bits, and `i_version` counters bumped on every content
+//! write.
+//!
+//! # Examples
+//!
+//! ```
+//! use cia_vfs::{Mode, Vfs, VfsPath};
+//!
+//! let mut vfs = Vfs::with_standard_layout();
+//! let src = VfsPath::new("/tmp/payload")?;
+//! let dst = VfsPath::new("/usr/bin/payload")?;
+//! vfs.create_file(&src, b"#!/bin/sh\necho pwned".to_vec(), Mode::EXEC)?;
+//! // /tmp and /usr are both on the root ext4 (Ubuntu 22.04 default), so
+//! // the move is a rename(2) and the inode is preserved — the mechanism
+//! // behind the paper's P4.
+//! let before = vfs.metadata(&src)?.file_id;
+//! vfs.move_entry(&src, &dst)?;
+//! assert_eq!(vfs.metadata(&dst)?.file_id, before);
+//! assert!(vfs.metadata(&dst)?.mode.is_executable());
+//! # Ok::<(), cia_vfs::VfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod inode;
+pub mod mount;
+pub mod path;
+mod vfs_impl;
+
+pub use error::VfsError;
+pub use inode::{FileId, Metadata, Mode};
+pub use mount::{FilesystemId, FilesystemKind, MountTable};
+pub use path::VfsPath;
+pub use vfs_impl::Vfs;

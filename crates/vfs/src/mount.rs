@@ -1,0 +1,257 @@
+//! Filesystem kinds, identifiers, and the mount table.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VfsError;
+use crate::path::VfsPath;
+
+/// The type of a mounted filesystem, with the Linux `fsmagic` constants
+/// that IMA policy rules match on (`dont_measure fsmagic=0x...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FilesystemKind {
+    /// Persistent disk filesystem (root, `/boot`, ...).
+    Ext4,
+    /// RAM-backed, volatile (`/tmp`, `/run`, `/dev/shm`).
+    Tmpfs,
+    /// Kernel process information pseudo-filesystem (`/proc`).
+    Procfs,
+    /// Kernel object pseudo-filesystem (`/sys`).
+    Sysfs,
+    /// Kernel debug pseudo-filesystem (`/sys/kernel/debug`).
+    Debugfs,
+    /// Legacy RAM filesystem.
+    Ramfs,
+    /// LSM policy pseudo-filesystem (`/sys/kernel/security`).
+    Securityfs,
+    /// Union filesystem used by containers.
+    Overlayfs,
+    /// Read-only compressed image (SNAP packages).
+    Squashfs,
+    /// Device nodes (`/dev`).
+    Devtmpfs,
+}
+
+impl FilesystemKind {
+    /// The Linux superblock magic number for this filesystem type.
+    pub fn fsmagic(self) -> u64 {
+        match self {
+            FilesystemKind::Ext4 => 0xef53,
+            FilesystemKind::Tmpfs => 0x0102_1994,
+            FilesystemKind::Procfs => 0x9fa0,
+            FilesystemKind::Sysfs => 0x6265_6572,
+            FilesystemKind::Debugfs => 0x6462_6720,
+            FilesystemKind::Ramfs => 0x8584_58f6,
+            FilesystemKind::Securityfs => 0x7372_7973,
+            FilesystemKind::Overlayfs => 0x794c_7630,
+            FilesystemKind::Squashfs => 0x7371_7368,
+            FilesystemKind::Devtmpfs => 0x0102_1994, // devtmpfs reuses the tmpfs magic
+        }
+    }
+
+    /// Whether file contents survive a reboot.
+    pub fn is_persistent(self) -> bool {
+        matches!(self, FilesystemKind::Ext4 | FilesystemKind::Squashfs | FilesystemKind::Overlayfs)
+    }
+
+    /// The `/proc/mounts` type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FilesystemKind::Ext4 => "ext4",
+            FilesystemKind::Tmpfs => "tmpfs",
+            FilesystemKind::Procfs => "proc",
+            FilesystemKind::Sysfs => "sysfs",
+            FilesystemKind::Debugfs => "debugfs",
+            FilesystemKind::Ramfs => "ramfs",
+            FilesystemKind::Securityfs => "securityfs",
+            FilesystemKind::Overlayfs => "overlay",
+            FilesystemKind::Squashfs => "squashfs",
+            FilesystemKind::Devtmpfs => "devtmpfs",
+        }
+    }
+}
+
+impl fmt::Display for FilesystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifies one mounted filesystem instance (a superblock).
+///
+/// Two mounts of the same *kind* still have distinct `FilesystemId`s, and
+/// inode numbers are only meaningful within one id — exactly the pair
+/// IMA keys its measurement cache on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FilesystemId(pub u32);
+
+impl fmt::Display for FilesystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fs{}", self.0)
+    }
+}
+
+/// One mount-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mount {
+    /// Where the filesystem is attached.
+    pub mount_point: VfsPath,
+    /// Superblock identifier.
+    pub fs_id: FilesystemId,
+    /// Filesystem type.
+    pub kind: FilesystemKind,
+}
+
+/// The mount table: resolves paths to the filesystem backing them via
+/// longest-prefix match.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MountTable {
+    mounts: Vec<Mount>,
+    next_fs_id: u32,
+}
+
+impl MountTable {
+    /// Creates an empty mount table (no root mounted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mounts a new filesystem of `kind` at `mount_point`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::MountError`] when something is already mounted
+    /// exactly at `mount_point`.
+    pub fn mount(
+        &mut self,
+        mount_point: VfsPath,
+        kind: FilesystemKind,
+    ) -> Result<FilesystemId, VfsError> {
+        if self.mounts.iter().any(|m| m.mount_point == mount_point) {
+            return Err(VfsError::MountError {
+                reason: format!("`{mount_point}` is already a mount point"),
+            });
+        }
+        let fs_id = FilesystemId(self.next_fs_id);
+        self.next_fs_id += 1;
+        self.mounts.push(Mount {
+            mount_point,
+            fs_id,
+            kind,
+        });
+        // Keep longest (deepest) mount points first for prefix resolution.
+        self.mounts
+            .sort_by_key(|m| std::cmp::Reverse(m.mount_point.as_str().len()));
+        Ok(fs_id)
+    }
+
+    /// Unmounts the filesystem mounted exactly at `mount_point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::MountError`] when nothing is mounted there.
+    pub fn unmount(&mut self, mount_point: &VfsPath) -> Result<Mount, VfsError> {
+        let idx = self
+            .mounts
+            .iter()
+            .position(|m| &m.mount_point == mount_point)
+            .ok_or_else(|| VfsError::MountError {
+                reason: format!("`{mount_point}` is not a mount point"),
+            })?;
+        Ok(self.mounts.remove(idx))
+    }
+
+    /// Resolves the mount backing `path` (longest-prefix match).
+    ///
+    /// Returns `None` when no root filesystem is mounted.
+    pub fn resolve(&self, path: &VfsPath) -> Option<&Mount> {
+        self.mounts.iter().find(|m| path.starts_with(&m.mount_point))
+    }
+
+    /// All mounts, deepest mount point first.
+    pub fn iter(&self) -> impl Iterator<Item = &Mount> {
+        self.mounts.iter()
+    }
+
+    /// Number of mounted filesystems.
+    pub fn len(&self) -> usize {
+        self.mounts.len()
+    }
+
+    /// True when nothing is mounted.
+    pub fn is_empty(&self) -> bool {
+        self.mounts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut table = MountTable::new();
+        let root = table.mount(p("/"), FilesystemKind::Ext4).unwrap();
+        let tmp = table.mount(p("/tmp"), FilesystemKind::Tmpfs).unwrap();
+        let snap = table
+            .mount(p("/snap/core20/1234"), FilesystemKind::Squashfs)
+            .unwrap();
+
+        assert_eq!(table.resolve(&p("/usr/bin/ls")).unwrap().fs_id, root);
+        assert_eq!(table.resolve(&p("/tmp/x")).unwrap().fs_id, tmp);
+        assert_eq!(
+            table.resolve(&p("/snap/core20/1234/bin/python3")).unwrap().fs_id,
+            snap
+        );
+        // /snap itself (not under the revision mount) is on the root fs.
+        assert_eq!(table.resolve(&p("/snap/core20")).unwrap().fs_id, root);
+    }
+
+    #[test]
+    fn duplicate_mount_rejected() {
+        let mut table = MountTable::new();
+        table.mount(p("/tmp"), FilesystemKind::Tmpfs).unwrap();
+        assert!(table.mount(p("/tmp"), FilesystemKind::Ramfs).is_err());
+    }
+
+    #[test]
+    fn unmount() {
+        let mut table = MountTable::new();
+        table.mount(p("/"), FilesystemKind::Ext4).unwrap();
+        let tmp = table.mount(p("/tmp"), FilesystemKind::Tmpfs).unwrap();
+        assert_eq!(table.unmount(&p("/tmp")).unwrap().fs_id, tmp);
+        assert!(table.unmount(&p("/tmp")).is_err());
+        // After unmount /tmp resolves to the root filesystem.
+        assert_eq!(
+            table.resolve(&p("/tmp/x")).unwrap().kind,
+            FilesystemKind::Ext4
+        );
+    }
+
+    #[test]
+    fn fsmagic_values_match_linux() {
+        assert_eq!(FilesystemKind::Tmpfs.fsmagic(), 0x01021994);
+        assert_eq!(FilesystemKind::Procfs.fsmagic(), 0x9fa0);
+        assert_eq!(FilesystemKind::Ext4.fsmagic(), 0xef53);
+        assert_eq!(FilesystemKind::Debugfs.fsmagic(), 0x64626720);
+    }
+
+    #[test]
+    fn persistence_flags() {
+        assert!(FilesystemKind::Ext4.is_persistent());
+        assert!(!FilesystemKind::Tmpfs.is_persistent());
+        assert!(!FilesystemKind::Procfs.is_persistent());
+        assert!(FilesystemKind::Squashfs.is_persistent());
+    }
+
+    #[test]
+    fn resolve_without_root_is_none() {
+        let table = MountTable::new();
+        assert!(table.resolve(&p("/x")).is_none());
+    }
+}

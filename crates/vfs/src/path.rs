@@ -1,0 +1,271 @@
+//! Normalized absolute paths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VfsError;
+
+/// A normalized absolute path inside the virtual filesystem.
+///
+/// Invariants: starts with `/`, contains no empty, `.` or `..` components,
+/// and has no trailing slash (except the root itself).
+///
+/// # Examples
+///
+/// ```
+/// use cia_vfs::VfsPath;
+///
+/// let p = VfsPath::new("/usr/bin/../lib/./x")?;
+/// assert_eq!(p.as_str(), "/usr/lib/x");
+/// assert_eq!(p.parent().unwrap().as_str(), "/usr/lib");
+/// # Ok::<(), cia_vfs::VfsError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VfsPath(String);
+
+impl VfsPath {
+    /// Parses and normalizes `raw` into an absolute path.
+    ///
+    /// `.` components are dropped and `..` components pop the previous
+    /// component (never escaping the root).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if `raw` is empty or relative.
+    pub fn new(raw: &str) -> Result<Self, VfsError> {
+        if !raw.starts_with('/') {
+            return Err(VfsError::InvalidPath {
+                path: raw.to_string(),
+            });
+        }
+        let mut parts: Vec<&str> = Vec::new();
+        for comp in raw.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                other => parts.push(other),
+            }
+        }
+        if parts.is_empty() {
+            return Ok(VfsPath("/".to_string()));
+        }
+        let mut s = String::with_capacity(raw.len());
+        for p in &parts {
+            s.push('/');
+            s.push_str(p);
+        }
+        Ok(VfsPath(s))
+    }
+
+    /// The filesystem root `/`.
+    pub fn root() -> Self {
+        VfsPath("/".to_string())
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True for the root path `/`.
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<VfsPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(VfsPath::root()),
+            Some(idx) => Some(VfsPath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    /// The final path component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            return None;
+        }
+        self.0.rsplit('/').next()
+    }
+
+    /// Appends a (possibly multi-component) relative suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if the joined path normalizes to
+    /// something invalid (cannot happen for well-formed suffixes).
+    pub fn join(&self, suffix: &str) -> Result<VfsPath, VfsError> {
+        let combined = if self.is_root() {
+            format!("/{}", suffix.trim_start_matches('/'))
+        } else {
+            format!("{}/{}", self.0, suffix.trim_start_matches('/'))
+        };
+        VfsPath::new(&combined)
+    }
+
+    /// True when `self` equals `ancestor` or lies beneath it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cia_vfs::VfsPath;
+    /// let tmp = VfsPath::new("/tmp")?;
+    /// assert!(VfsPath::new("/tmp/a/b")?.starts_with(&tmp));
+    /// assert!(!VfsPath::new("/tmpfile")?.starts_with(&tmp));
+    /// # Ok::<(), cia_vfs::VfsError>(())
+    /// ```
+    pub fn starts_with(&self, ancestor: &VfsPath) -> bool {
+        if ancestor.is_root() {
+            return true;
+        }
+        self.0 == ancestor.0
+            || (self.0.starts_with(&ancestor.0) && self.0.as_bytes()[ancestor.0.len()] == b'/')
+    }
+
+    /// Strips `prefix` from the front, returning the remaining absolute
+    /// path, or `None` when `self` does not start with `prefix`.
+    ///
+    /// Stripping a prefix from itself yields the root. This is the
+    /// operation that produces the *truncated* SNAP paths of §III-B: the
+    /// in-sandbox view of `/snap/core20/1234/usr/bin/x` is `/usr/bin/x`.
+    pub fn strip_prefix(&self, prefix: &VfsPath) -> Option<VfsPath> {
+        if !self.starts_with(prefix) {
+            return None;
+        }
+        if prefix.is_root() {
+            return Some(self.clone());
+        }
+        let rest = &self.0[prefix.0.len()..];
+        if rest.is_empty() {
+            Some(VfsPath::root())
+        } else {
+            Some(VfsPath(rest.to_string()))
+        }
+    }
+
+    /// Iterates over the path components (empty for the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Number of components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+}
+
+impl fmt::Debug for VfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VfsPath({})", self.0)
+    }
+}
+
+impl fmt::Display for VfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for VfsPath {
+    type Err = VfsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        VfsPath::new(s)
+    }
+}
+
+impl AsRef<str> for VfsPath {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> VfsPath {
+        VfsPath::new(s).unwrap()
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(p("/a//b/").as_str(), "/a/b");
+        assert_eq!(p("/a/./b").as_str(), "/a/b");
+        assert_eq!(p("/a/../b").as_str(), "/b");
+        assert_eq!(p("/../..").as_str(), "/");
+        assert_eq!(p("/").as_str(), "/");
+    }
+
+    #[test]
+    fn relative_rejected() {
+        assert!(VfsPath::new("relative/path").is_err());
+        assert!(VfsPath::new("").is_err());
+    }
+
+    #[test]
+    fn parent_chain() {
+        let x = p("/usr/bin/python3");
+        assert_eq!(x.parent().unwrap().as_str(), "/usr/bin");
+        assert_eq!(p("/usr").parent().unwrap().as_str(), "/");
+        assert!(VfsPath::root().parent().is_none());
+    }
+
+    #[test]
+    fn file_name() {
+        assert_eq!(p("/usr/bin/python3").file_name(), Some("python3"));
+        assert_eq!(VfsPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn join() {
+        assert_eq!(p("/usr").join("bin/ls").unwrap().as_str(), "/usr/bin/ls");
+        assert_eq!(VfsPath::root().join("etc").unwrap().as_str(), "/etc");
+        assert_eq!(p("/usr").join("/leading").unwrap().as_str(), "/usr/leading");
+    }
+
+    #[test]
+    fn starts_with_component_boundaries() {
+        assert!(p("/tmp/x").starts_with(&p("/tmp")));
+        assert!(p("/tmp").starts_with(&p("/tmp")));
+        assert!(!p("/tmpfile").starts_with(&p("/tmp")));
+        assert!(p("/anything").starts_with(&VfsPath::root()));
+    }
+
+    #[test]
+    fn strip_prefix_snap_truncation() {
+        let snap_root = p("/snap/core20/1234");
+        let inside = p("/snap/core20/1234/usr/bin/python3");
+        assert_eq!(
+            inside.strip_prefix(&snap_root).unwrap().as_str(),
+            "/usr/bin/python3"
+        );
+        assert_eq!(snap_root.strip_prefix(&snap_root).unwrap().as_str(), "/");
+        assert!(p("/usr/bin/x").strip_prefix(&snap_root).is_none());
+    }
+
+    #[test]
+    fn components_and_depth() {
+        assert_eq!(p("/a/b/c").components().collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(p("/a/b/c").depth(), 3);
+        assert_eq!(VfsPath::root().depth(), 0);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [p("/b"), p("/a/z"), p("/a")];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|x| x.as_str()).collect::<Vec<_>>(),
+            ["/a", "/a/z", "/b"]
+        );
+    }
+}

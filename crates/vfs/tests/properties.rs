@@ -1,0 +1,117 @@
+//! Property-based tests for the virtual filesystem.
+
+use cia_vfs::{Mode, Vfs, VfsPath};
+use proptest::prelude::*;
+
+/// Strategy: path components of safe characters.
+fn component() -> impl Strategy<Value = String> {
+    "[a-z0-9._-]{1,10}".prop_filter("no dot-only components", |s| s != "." && s != "..")
+}
+
+fn raw_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(component(), 1..6).prop_map(|parts| format!("/{}", parts.join("/")))
+}
+
+proptest! {
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_idempotent(raw in raw_path()) {
+        let p = VfsPath::new(&raw).unwrap();
+        let again = VfsPath::new(p.as_str()).unwrap();
+        prop_assert_eq!(p, again);
+    }
+
+    /// parent ∘ join(name) is the identity.
+    #[test]
+    fn join_then_parent(base in raw_path(), name in component()) {
+        let base = VfsPath::new(&base).unwrap();
+        let child = base.join(&name).unwrap();
+        prop_assert_eq!(child.parent().unwrap(), base.clone());
+        prop_assert_eq!(child.file_name().unwrap(), name.as_str());
+        prop_assert!(child.starts_with(&base));
+    }
+
+    /// strip_prefix inverts join.
+    #[test]
+    fn strip_prefix_inverts_join(base in raw_path(), suffix in raw_path()) {
+        let base = VfsPath::new(&base).unwrap();
+        let joined = base.join(&suffix).unwrap();
+        let stripped = joined.strip_prefix(&base).unwrap();
+        prop_assert_eq!(base.join(stripped.as_str()).unwrap(), joined);
+    }
+
+    /// Depth equals component count and is parent-monotonic.
+    #[test]
+    fn depth_properties(raw in raw_path()) {
+        let p = VfsPath::new(&raw).unwrap();
+        prop_assert_eq!(p.depth(), p.components().count());
+        if let Some(parent) = p.parent() {
+            prop_assert_eq!(parent.depth() + 1, p.depth());
+        }
+    }
+
+    /// A random batch of creates keeps the tree invariants: every file's
+    /// parent is a directory, listings are sorted, counts agree.
+    #[test]
+    fn tree_invariants_after_creates(paths in proptest::collection::vec(raw_path(), 1..30)) {
+        let mut vfs = Vfs::with_standard_layout();
+        let mut created = 0usize;
+        for raw in &paths {
+            let p = VfsPath::new(&format!("/opt{raw}")).unwrap();
+            if let Some(parent) = p.parent() {
+                if vfs.mkdir_p(&parent).is_ok()
+                    && vfs.create_file(&p, b"x".to_vec(), Mode::REGULAR).is_ok()
+                {
+                    created += 1;
+                }
+            }
+        }
+        let root = VfsPath::root();
+        let files: Vec<_> = vfs.walk_files(&root).cloned().collect();
+        prop_assert_eq!(files.len(), created);
+        let mut sorted = files.clone();
+        sorted.sort();
+        prop_assert_eq!(&files, &sorted, "walk_files must be sorted");
+        for f in &files {
+            prop_assert!(vfs.is_dir(&f.parent().unwrap()), "parent of {} must be a dir", f);
+            prop_assert!(!vfs.is_dir(f));
+        }
+    }
+
+    /// Same-filesystem rename always preserves the file id and content.
+    #[test]
+    fn rename_preserves_identity(a in raw_path(), b in raw_path(), content in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        let mut vfs = Vfs::with_standard_layout();
+        let from = VfsPath::new(&format!("/opt{a}")).unwrap();
+        let to = VfsPath::new(&format!("/opt{b}")).unwrap();
+        prop_assume!(!from.starts_with(&to) && !to.starts_with(&from));
+        vfs.mkdir_p(&from.parent().unwrap()).unwrap();
+        vfs.mkdir_p(&to.parent().unwrap()).unwrap();
+        // `to`'s parent dirs may shadow `from` as a dir; skip those cases.
+        prop_assume!(!vfs.is_dir(&from));
+        let id = vfs.create_file(&from, content.clone(), Mode::EXEC).unwrap();
+        prop_assume!(!vfs.is_dir(&to));
+        vfs.rename(&from, &to).unwrap();
+        let meta = vfs.metadata(&to).unwrap();
+        prop_assert_eq!(meta.file_id, id);
+        prop_assert_eq!(vfs.read(&to).unwrap(), &content[..]);
+        prop_assert!(!vfs.exists(&from));
+    }
+
+    /// write_file is idempotent on content and monotonic on i_version.
+    #[test]
+    fn write_bumps_iversion(writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..10)) {
+        let mut vfs = Vfs::with_standard_layout();
+        let p = VfsPath::new("/etc/target").unwrap();
+        let mut last_version = 0;
+        for content in &writes {
+            vfs.write_file(&p, content.clone(), Mode::REGULAR).unwrap();
+            let meta = vfs.metadata(&p).unwrap();
+            prop_assert!(meta.iversion > last_version);
+            last_version = meta.iversion;
+            prop_assert_eq!(vfs.read(&p).unwrap(), &content[..]);
+        }
+        prop_assert_eq!(last_version, writes.len() as u64);
+    }
+}

@@ -1,0 +1,58 @@
+//! The false-negative story in one run: a rootkit that is caught when the
+//! attacker is naive, evades via P1+P4 when adaptive, and is caught again
+//! once the §IV-C mitigations are applied.
+//!
+//! Run: `cargo run --example attack_detection`
+
+use continuous_attestation::prelude::*;
+
+fn main() {
+    let corpus = attack_corpus();
+    let reptile = corpus.iter().find(|s| s.name == "Reptile").unwrap();
+
+    println!("== Reptile rootkit vs Keylime ==\n");
+
+    // Basic attacker: compiles and loads the module from /root.
+    let basic = evaluate(reptile, PlanMode::Basic, &DefenseConfig::stock());
+    println!("basic attacker (Keylime-unaware):");
+    println!("  detected live: {}", basic.detected_live());
+    for alert in basic.live_alerts.iter().take(3) {
+        println!("    {:?}", alert.kind);
+    }
+    assert!(basic.detected_live());
+
+    // Adaptive attacker: stages through /tmp (excluded by the policy —
+    // P1), executes once there to prime IMA's cache, then moves the tool
+    // into /usr/sbin where it runs without ever being re-measured (P4).
+    let adaptive = evaluate(reptile, PlanMode::Adaptive, &DefenseConfig::stock());
+    println!("\nadaptive attacker (exploiting P1 + P4):");
+    println!("  detected live: {}", adaptive.detected_live());
+    println!("  detected after reboot: {}", adaptive.detected_after_reboot());
+    assert!(!adaptive.detected_ever());
+
+    // Mitigated deployment: no /tmp exclude, IMA re-evaluates on path
+    // changes, the verifier completes attestation despite failures.
+    let mitigated = evaluate(reptile, PlanMode::Adaptive, &DefenseConfig::mitigated());
+    println!("\nsame adaptive attacker vs the mitigated deployment:");
+    println!("  detected: {}", mitigated.detected_ever());
+    for alert in mitigated
+        .live_alerts
+        .iter()
+        .chain(mitigated.boot_alerts.iter())
+        .take(3)
+    {
+        println!("    {:?}", alert.kind);
+    }
+    assert!(mitigated.detected_ever());
+
+    // The one sample the mitigations cannot catch: Aoyama is pure Python
+    // and rides P5 (interpreter invocations measure only the interpreter).
+    let aoyama = corpus.iter().find(|s| s.name == "Aoyama").unwrap();
+    let result = evaluate(aoyama, PlanMode::Adaptive, &DefenseConfig::mitigated());
+    println!(
+        "\nAoyama (pure Python) vs the same mitigations: detected = {}",
+        result.detected_ever()
+    );
+    assert!(!result.detected_ever());
+    println!("— P5 cannot be fully closed without interpreter cooperation.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: enrol a machine, attest it, catch a tampered binary.
+//!
+//! Run: `cargo run --example quickstart`
+
+use continuous_attestation::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Stand up the Keylime side: manufacturer, registrar, verifier.
+    let mut cluster = Cluster::new(42, VerifierConfig::default());
+
+    // 2. Build and enrol a machine. Registration validates the TPM's EK
+    //    certificate and binds the attestation key (activate-credential).
+    let mut policy = RuntimePolicy::new();
+    let id = cluster.add_machine(MachineConfig::default(), RuntimePolicy::new())?;
+    println!("enrolled agent `{id}`");
+
+    // 3. Provision a known-good tool and record it in the runtime policy.
+    let tool = VfsPath::new("/usr/bin/backup-tool")?;
+    {
+        let machine = cluster.agent_mut(&id).unwrap().machine_mut();
+        machine.write_executable(&tool, b"backup tool v1")?;
+        let digest = machine.vfs.file_digest(&tool, HashAlgorithm::Sha256)?;
+        policy.allow(tool.as_str(), digest.to_hex());
+    }
+    cluster.verifier.update_policy(&id, policy)?;
+
+    // 4. Normal operation: executing the allowed tool keeps us trusted.
+    cluster
+        .agent_mut(&id)
+        .unwrap()
+        .machine_mut()
+        .exec(&tool, ExecMethod::Direct)?;
+    let outcome = cluster.attest(&id)?;
+    println!("after running the allowed tool: {outcome:?}");
+    assert!(outcome.is_verified());
+
+    // 5. Someone trojans the binary. The next execution re-measures it
+    //    (content change bumps i_version) and attestation fails.
+    {
+        let machine = cluster.agent_mut(&id).unwrap().machine_mut();
+        machine.vfs.write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC)?;
+        machine.exec(&tool, ExecMethod::Direct)?;
+    }
+    match cluster.attest(&id)? {
+        AttestationOutcome::Failed { alerts } => {
+            println!("attestation failed, as it should:");
+            for alert in alerts {
+                println!("  {:?}", alert.kind);
+            }
+        }
+        other => panic!("expected a failure, got {other:?}"),
+    }
+    assert_eq!(cluster.status(&id)?, AgentStatus::Paused);
+    println!("agent is now paused pending operator investigation");
+    Ok(())
+}

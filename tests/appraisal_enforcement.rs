@@ -1,0 +1,157 @@
+//! The enforcement end-game: IMA-appraisal plus dynamic policies.
+//!
+//! Measurement-only IMA (the paper's setting) *detects* after the fact
+//! and P1–P5 let adaptive attackers dodge even that. With appraisal
+//! enforcement and signed package installs, the §IV attack corpus cannot
+//! even execute its payloads — the preventive complement the paper's §V
+//! signing discussion points toward.
+
+use continuous_attestation::attacks::{attack_corpus, AttackStep, PlanMode};
+use continuous_attestation::crypto::KeyPair;
+use continuous_attestation::distro::{ReleaseStream, StreamProfile};
+use continuous_attestation::ima::AppraisalKeyring;
+use continuous_attestation::os::MachineError;
+use continuous_attestation::prelude::*;
+use continuous_attestation::tpm::Manufacturer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn enforcing_machine(seed: u64) -> (Machine, KeyPair) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let manufacturer = Manufacturer::generate(&mut rng);
+    let signer = KeyPair::generate(&mut rng);
+    let mut keyring = AppraisalKeyring::new();
+    keyring.trust(signer.verifying.clone());
+    let machine = Machine::new(
+        &manufacturer,
+        MachineConfig {
+            appraisal: Some(keyring),
+            ..MachineConfig::default()
+        },
+    );
+    (machine, signer)
+}
+
+#[test]
+fn signed_system_operates_normally_under_enforcement() {
+    let (mut machine, signer) = enforcing_machine(1);
+    let (_, repo) = ReleaseStream::new(StreamProfile::small(1));
+
+    // Install a slice of the archive with signatures, as a signing dpkg
+    // hook would.
+    let installed: Vec<_> = repo.packages().step_by(5).cloned().collect();
+    for pkg in &installed {
+        machine
+            .apt
+            .install_signed(&mut machine.vfs, pkg, &signer.signing)
+            .unwrap();
+    }
+    machine.apt.take_latest_staged_kernel();
+
+    // Every installed executable runs fine.
+    let mut ran = 0;
+    for pkg in installed.iter().filter(|p| !p.is_kernel).take(10) {
+        let path = VfsPath::new(&pkg.files[0].install_path).unwrap();
+        machine.exec(&path, ExecMethod::Direct).unwrap();
+        ran += 1;
+    }
+    assert!(ran >= 5);
+}
+
+#[test]
+fn attack_payloads_cannot_execute_under_enforcement() {
+    // Replay every adaptive plan's executable payloads against an
+    // enforcing machine: droppers, bots, userland tools — none run,
+    // because nothing the attacker writes carries a trusted signature.
+    for sample in attack_corpus() {
+        let (mut machine, _) = enforcing_machine(2);
+        let plan = match PlanMode::Adaptive {
+            PlanMode::Adaptive => sample.adaptive_plan(),
+            PlanMode::Basic => sample.basic_plan(),
+        };
+        let mut exec_attempts = 0;
+        let mut denied = 0;
+        for step in plan.steps.iter().chain(plan.on_boot.iter()) {
+            match step {
+                AttackStep::DropFile {
+                    path,
+                    content,
+                    executable,
+                } => {
+                    let p = VfsPath::new(path).unwrap();
+                    if let Some(parent) = p.parent() {
+                        machine.vfs.mkdir_p(&parent).unwrap();
+                    }
+                    let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+                    let _ = machine.vfs.write_file(&p, content.clone(), mode);
+                }
+                AttackStep::Exec { path, method } => {
+                    let p = VfsPath::new(path).unwrap();
+                    if machine.vfs.is_file(&p) {
+                        exec_attempts += 1;
+                        match machine.exec(&p, method.clone()) {
+                            Err(MachineError::AppraisalDenied { .. }) => denied += 1,
+                            // Interpreter invocations run the (signed)
+                            // interpreter; the script itself never
+                            // becomes an exec target — P5 again, which
+                            // appraisal alone does not close.
+                            Ok(_) if matches!(method, ExecMethod::Interpreter { .. }) => {}
+                            other => panic!(
+                                "{}: unsigned payload must not run directly: {other:?}",
+                                sample.name
+                            ),
+                        }
+                    }
+                }
+                AttackStep::LoadModule { path } => {
+                    let p = VfsPath::new(path).unwrap();
+                    if machine.vfs.is_file(&p) {
+                        exec_attempts += 1;
+                        match machine.load_module(&p) {
+                            Err(MachineError::AppraisalDenied { .. }) => denied += 1,
+                            other => panic!(
+                                "{}: unsigned module must not load: {other:?}",
+                                sample.name
+                            ),
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Every direct execution/module attempt (when the interpreter
+        // binary is absent, interpreter execs fail on lookup instead and
+        // are not counted) was denied by appraisal.
+        assert!(
+            exec_attempts == 0 || denied > 0 || sample.pure_interpreter,
+            "{}: expected appraisal denials (attempts {exec_attempts}, denied {denied})",
+            sample.name
+        );
+    }
+}
+
+#[test]
+fn interpreter_gap_remains_under_enforcement() {
+    // Appraisal, like measurement, is execve-scoped: a signed interpreter
+    // fed an unsigned script is the residual gap (P5's shadow).
+    let (mut machine, signer) = enforcing_machine(3);
+    let python = VfsPath::new("/usr/bin/python3").unwrap();
+    machine.write_executable(&python, b"python interpreter").unwrap();
+    continuous_attestation::ima::sign_file(&mut machine.vfs, &python, &signer.signing).unwrap();
+
+    let script = VfsPath::new("/tmp/attack.py").unwrap();
+    machine
+        .vfs
+        .write_file(&script, b"import socket".to_vec(), Mode::REGULAR)
+        .unwrap();
+    // The signed interpreter runs; the unsigned script rides along.
+    machine
+        .exec(
+            &script,
+            ExecMethod::Interpreter {
+                interpreter: "/usr/bin/python3".to_string(),
+                supports_exec_control: false,
+            },
+        )
+        .unwrap();
+}

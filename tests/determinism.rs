@@ -1,0 +1,78 @@
+//! Every experiment is a pure function of its seed: identical
+//! configurations produce identical reports, and different seeds differ.
+
+use continuous_attestation::prelude::*;
+
+#[test]
+fn longrun_is_deterministic() {
+    let a = run_longrun(LongRunConfig::small(11));
+    let b = run_longrun(LongRunConfig::small(11));
+    assert_eq!(a.updates.len(), b.updates.len());
+    for (x, y) in a.updates.iter().zip(b.updates.iter()) {
+        assert_eq!(x.day, y.day);
+        assert_eq!(x.packages, y.packages);
+        assert_eq!(x.lines_added, y.lines_added);
+        assert_eq!(x.minutes, y.minutes);
+    }
+    assert_eq!(a.attestations, b.attestations);
+    assert_eq!(a.verified, b.verified);
+    assert_eq!(a.alerts, b.alerts);
+}
+
+#[test]
+fn longrun_seeds_differ() {
+    let a = run_longrun(LongRunConfig::small(11));
+    let b = run_longrun(LongRunConfig::small(12));
+    let lines_a: Vec<usize> = a.updates.iter().map(|u| u.lines_added).collect();
+    let lines_b: Vec<usize> = b.updates.iter().map(|u| u.lines_added).collect();
+    assert_ne!(lines_a, lines_b);
+}
+
+#[test]
+fn fp_week_is_deterministic() {
+    let a = run_fp_week(FpWeekConfig::small(13));
+    let b = run_fp_week(FpWeekConfig::small(13));
+    assert_eq!(a.total_false_positives(), b.total_false_positives());
+    assert_eq!(a.hash_mismatches(), b.hash_mismatches());
+    assert_eq!(a.snap_truncation_errors(), b.snap_truncation_errors());
+    for (x, y) in a.days.iter().zip(b.days.iter()) {
+        assert_eq!(x.alerts, y.alerts);
+    }
+}
+
+#[test]
+fn attack_evaluation_is_deterministic() {
+    let corpus = attack_corpus();
+    let sample = &corpus[0];
+    let a = evaluate(sample, PlanMode::Adaptive, &DefenseConfig::stock());
+    let b = evaluate(sample, PlanMode::Adaptive, &DefenseConfig::stock());
+    assert_eq!(a.all_alerts, b.all_alerts);
+    assert_eq!(a.detected_ever(), b.detected_ever());
+}
+
+#[test]
+fn machines_with_same_seed_hash_identically() {
+    use continuous_attestation::tpm::Manufacturer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mfr = Manufacturer::generate(&mut rng);
+    let build = |seed| {
+        let mut m = Machine::new(
+            &mfr,
+            MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            },
+        );
+        let p = VfsPath::new("/usr/bin/x").unwrap();
+        m.write_executable(&p, b"x").unwrap();
+        m.exec(&p, ExecMethod::Direct).unwrap();
+        m.tpm
+            .pcr_read(HashAlgorithm::Sha256, 10)
+            .unwrap()
+            .to_hex()
+    };
+    assert_eq!(build(7), build(7));
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: the full pipeline from distribution mirror to
+//! attestation verdict, exercised through the façade crate's public API.
+
+use continuous_attestation::keylime::Agent;
+use continuous_attestation::prelude::*;
+
+/// Mirror → dynamic policy → enrolment → update → attestation, all green;
+/// then an attack artifact, red.
+#[test]
+fn mirror_to_verdict_pipeline() -> Result<(), Box<dyn std::error::Error>> {
+    // Distribution side.
+    let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(77));
+    let mut mirror = Mirror::new();
+    mirror.sync(&repo, 0);
+
+    // Policy side.
+    let (mut generator, initial) = DynamicPolicyGenerator::generate_initial(
+        &mirror,
+        "5.15.0-76",
+        0,
+        GeneratorConfig::paper_default(),
+    );
+    assert!(initial.policy_lines_total > 1000);
+
+    // Machine side: install a subset, enrol with the generated policy.
+    let mut cluster = Cluster::new(77, VerifierConfig::default());
+    let mut machine = Machine::new(
+        &cluster.manufacturer,
+        MachineConfig {
+            hostname: "e2e-node".into(),
+            ..MachineConfig::default()
+        },
+    );
+    let installed: Vec<_> = mirror.packages().step_by(4).cloned().collect();
+    for pkg in &installed {
+        machine.apt.install(&mut machine.vfs, pkg)?;
+    }
+    machine.apt.take_latest_staged_kernel();
+    let id = cluster.add_agent(Agent::new(machine), generator.policy().clone())?;
+
+    // Execute a handful of installed binaries: all in policy. (Kernel
+    // packages ship no directly executable files — skip them.)
+    for pkg in installed.iter().filter(|p| !p.is_kernel).take(5) {
+        let path = VfsPath::new(&pkg.files[0].install_path)?;
+        cluster
+            .agent_mut(&id)
+            .unwrap()
+            .machine_mut()
+            .exec(&path, ExecMethod::Direct)?;
+    }
+    assert!(cluster.attest(&id)?.is_verified());
+
+    // A day of releases lands; sync, regenerate, push, update, attest.
+    repo.apply_release(&stream.next_day());
+    let diff = mirror.sync(&repo, 1);
+    generator.apply_diff(&diff, 1);
+    cluster.verifier.update_policy(&id, generator.policy().clone())?;
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        let packages: Vec<_> = mirror.packages().cloned().collect();
+        m.run_updates(packages.iter())?;
+    }
+    generator.finish_update_window();
+    cluster.verifier.update_policy(&id, generator.policy().clone())?;
+    assert!(cluster.attest(&id)?.is_verified());
+
+    // An attacker drops something the policy has never heard of.
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        let implant = VfsPath::new("/usr/sbin/implant")?;
+        m.write_executable(&implant, b"implant")?;
+        m.exec(&implant, ExecMethod::Direct)?;
+    }
+    assert!(!cluster.attest(&id)?.is_verified());
+    Ok(())
+}
+
+/// The verifier's log replay is anchored in the TPM: rewriting history on
+/// the agent side is caught as a PCR mismatch, not silently accepted.
+#[test]
+fn agent_cannot_rewrite_history() -> Result<(), Box<dyn std::error::Error>> {
+    use continuous_attestation::keylime::FailureKind;
+
+    let mut cluster = Cluster::new(3, VerifierConfig::default());
+    let id = cluster.add_machine(MachineConfig::default(), RuntimePolicy::new())?;
+    assert!(cluster.attest(&id)?.is_verified());
+
+    // The attacker executes malware, then "cleans" the in-memory log by
+    // rebooting-without-rebooting is impossible — the closest they can do
+    // is run code whose entry they cannot remove: the verifier sees it.
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        let mal = VfsPath::new("/usr/bin/malware")?;
+        m.write_executable(&mal, b"malware")?;
+        m.exec(&mal, ExecMethod::Direct)?;
+    }
+    match cluster.attest(&id)? {
+        AttestationOutcome::Failed { alerts } => {
+            assert!(matches!(
+                alerts[0].kind,
+                FailureKind::NotInPolicy { .. } | FailureKind::HashMismatch { .. }
+            ));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A genuine reboot resets both the log and PCR 10 together; the
+    // verifier follows the boot counter and stays consistent.
+    cluster.agent_mut(&id).unwrap().machine_mut().reboot()?;
+    cluster.resolve(&id)?;
+    assert!(cluster.attest(&id)?.is_verified());
+    Ok(())
+}
+
+/// SNAP scrubbing end to end: with scrubbing the snap runs in-policy;
+/// without it, the truncated path false-positives.
+#[test]
+fn snap_scrubbing_end_to_end() -> Result<(), Box<dyn std::error::Error>> {
+    for scrubbing in [true, false] {
+        let (_, repo) = ReleaseStream::new(StreamProfile::small(5));
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig {
+                snap_scrubbing: scrubbing,
+                ..GeneratorConfig::paper_default()
+            },
+        );
+        let snap = Snap::core20(1405);
+        generator.include_snap(&snap);
+
+        let mut cluster = Cluster::new(5, VerifierConfig::default());
+        let mut machine = Machine::new(&cluster.manufacturer, MachineConfig::default());
+        machine.snaps.install(&mut machine.vfs, snap)?;
+        let id = cluster.add_agent(Agent::new(machine), generator.policy().clone())?;
+
+        let snap_bin = VfsPath::new("/snap/core20/1405/usr/bin/python3")?;
+        cluster
+            .agent_mut(&id)
+            .unwrap()
+            .machine_mut()
+            .exec(&snap_bin, ExecMethod::Direct)?;
+
+        let verified = cluster.attest(&id)?.is_verified();
+        assert_eq!(
+            verified, scrubbing,
+            "scrubbing={scrubbing} must decide whether the snap passes"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Error types across the workspace render useful, lowercase,
+//! punctuation-free messages (C-GOOD-ERR) and implement `Error`.
+
+use std::error::Error;
+
+use continuous_attestation::ima::ImaError;
+use continuous_attestation::keylime::{KeylimeError, TransportError};
+use continuous_attestation::os::MachineError;
+use continuous_attestation::tpm::TpmError;
+use continuous_attestation::vfs::VfsError;
+
+fn check(err: &dyn Error) {
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+    assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+    assert!(
+        msg.chars().next().unwrap().is_lowercase(),
+        "lowercase start: {msg}"
+    );
+}
+
+#[test]
+fn vfs_errors_render() {
+    for err in [
+        VfsError::InvalidPath { path: "x".into() },
+        VfsError::NotFound { path: "/a".into() },
+        VfsError::AlreadyExists { path: "/a".into() },
+        VfsError::NotADirectory { path: "/a".into() },
+        VfsError::IsADirectory { path: "/a".into() },
+        VfsError::DirectoryNotEmpty { path: "/a".into() },
+        VfsError::CrossDevice {
+            from: "/a".into(),
+            to: "/b".into(),
+        },
+        VfsError::MountError {
+            reason: "busy".into(),
+        },
+    ] {
+        check(&err);
+    }
+}
+
+#[test]
+fn tpm_errors_render() {
+    for err in [
+        TpmError::InvalidPcrIndex { index: 99 },
+        TpmError::AlgorithmMismatch {
+            bank: "sha256",
+            digest: "sha1",
+        },
+        TpmError::NoAttestationKey,
+        TpmError::EmptySelection,
+    ] {
+        check(&err);
+    }
+}
+
+#[test]
+fn ima_errors_render_and_chain() {
+    let vfs_err = VfsError::NotFound { path: "/x".into() };
+    let wrapped = ImaError::from(vfs_err);
+    check(&wrapped);
+    assert!(wrapped.source().is_some(), "wrapped errors expose source()");
+    check(&ImaError::PolicyParse {
+        line: 3,
+        reason: "bad token".into(),
+    });
+    check(&ImaError::LogParse {
+        line: 9,
+        reason: "bad digest".into(),
+    });
+}
+
+#[test]
+fn machine_errors_render() {
+    check(&MachineError::NotExecutable { path: "/x".into() });
+    check(&MachineError::from(VfsError::NotFound { path: "/x".into() }));
+}
+
+#[test]
+fn keylime_errors_render() {
+    for err in [
+        KeylimeError::Transport(TransportError::RequestDropped),
+        KeylimeError::Agent {
+            reason: "no ak".into(),
+        },
+        KeylimeError::Registration {
+            reason: "bad cert".into(),
+        },
+        KeylimeError::UnknownAgent { id: "ghost".into() },
+        KeylimeError::PolicyFormat {
+            reason: "truncated".into(),
+        },
+    ] {
+        check(&err);
+    }
+    for err in [
+        TransportError::RequestDropped,
+        TransportError::ResponseDropped,
+        TransportError::Codec {
+            reason: "eof".into(),
+        },
+    ] {
+        check(&err);
+    }
+}

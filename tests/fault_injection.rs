@@ -1,0 +1,115 @@
+//! Fault injection: the attestation pipeline under message loss and
+//! operational churn. Transport failures must never corrupt verifier
+//! state — a dropped poll is indistinguishable from no poll.
+
+use continuous_attestation::keylime::Transport;
+use continuous_attestation::prelude::*;
+
+fn one_node(seed: u64) -> (Cluster, String) {
+    let mut cluster = Cluster::new(seed, VerifierConfig::default());
+    let id = cluster
+        .add_machine(MachineConfig::default(), RuntimePolicy::new())
+        .unwrap();
+    (cluster, id)
+}
+
+#[test]
+fn lossy_transport_never_corrupts_state() {
+    let (mut cluster, id) = one_node(21);
+    cluster.transport = Transport::lossy(0.5, 7);
+
+    let mut verified = 0;
+    let mut transport_errors = 0;
+    for round in 0..50 {
+        // Keep the machine busy so there are always new entries in flight.
+        if round % 5 == 0 {
+            let m = cluster.agent_mut(&id).unwrap().machine_mut();
+            let path = VfsPath::new(&format!("/usr/local/bin/job-{round}")).unwrap();
+            m.write_executable(&path, format!("job {round}").as_bytes()).unwrap();
+            // Not in policy: but /usr/local/bin jobs are intentionally
+            // not executed — only written. Writes alone are unmeasured.
+        }
+        match cluster.attest(&id) {
+            Ok(outcome) => {
+                assert!(
+                    outcome.is_verified(),
+                    "clean machine must verify whenever the poll gets through: {outcome:?}"
+                );
+                verified += 1;
+            }
+            Err(_) => transport_errors += 1,
+        }
+    }
+    assert!(verified > 5, "some polls must succeed ({verified})");
+    assert!(transport_errors > 5, "loss must actually occur ({transport_errors})");
+    assert_eq!(cluster.status(&id).unwrap(), AgentStatus::Trusted);
+
+    // Back on a reliable network, everything is consistent.
+    cluster.transport = Transport::reliable();
+    assert!(cluster.attest(&id).unwrap().is_verified());
+}
+
+#[test]
+fn loss_during_incident_does_not_lose_the_alert() {
+    let (mut cluster, id) = one_node(22);
+    // The incident happens while the network is bad...
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        let mal = VfsPath::new("/usr/sbin/backdoor").unwrap();
+        m.write_executable(&mal, b"backdoor").unwrap();
+        m.exec(&mal, ExecMethod::Direct).unwrap();
+    }
+    cluster.transport = Transport::lossy(1.0, 3);
+    for _ in 0..5 {
+        assert!(cluster.attest(&id).is_err(), "total loss: no poll succeeds");
+    }
+    // ...the log is append-only, so the first successful poll sees it.
+    cluster.transport = Transport::reliable();
+    match cluster.attest(&id).unwrap() {
+        AttestationOutcome::Failed { alerts } => {
+            assert!(alerts
+                .iter()
+                .any(|a| format!("{:?}", a.kind).contains("backdoor")));
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn reboot_during_outage_is_handled_on_reconnect() {
+    let (mut cluster, id) = one_node(23);
+    assert!(cluster.attest(&id).unwrap().is_verified());
+
+    // Network partition; the machine reboots and does fresh work.
+    cluster.transport = Transport::lossy(1.0, 5);
+    assert!(cluster.attest(&id).is_err());
+    cluster.agent_mut(&id).unwrap().machine_mut().reboot().unwrap();
+    assert!(cluster.attest(&id).is_err());
+
+    // On reconnect the verifier sees the boot-count change, resets its
+    // log cursor, and re-verifies the fresh log from scratch.
+    cluster.transport = Transport::reliable();
+    match cluster.attest(&id).unwrap() {
+        AttestationOutcome::Verified { new_entries } => assert_eq!(new_entries, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn double_reboot_between_polls() {
+    let (mut cluster, id) = one_node(24);
+    assert!(cluster.attest(&id).unwrap().is_verified());
+    // Two reboots with activity in between; the verifier only ever sees
+    // the final boot's log and must still replay it exactly.
+    for round in 0..2 {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        m.reboot().unwrap();
+        let path = VfsPath::new(&format!("/usr/bin/boot-{round}")).unwrap();
+        m.write_executable(&path, format!("tool {round}").as_bytes()).unwrap();
+        // Unexecuted: nothing beyond boot_aggregate gets measured.
+    }
+    match cluster.attest(&id).unwrap() {
+        AttestationOutcome::Verified { new_entries } => assert_eq!(new_entries, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+}
