@@ -2,7 +2,9 @@
 //! machine and reports what the verifier *actually* alerted on.
 
 use cia_ima::{ImaConfig, ImaPolicy};
-use cia_keylime::{Agent, AgentStatus, Alert, Cluster, FailureKind, RuntimePolicy, VerifierConfig};
+use cia_keylime::{
+    Agent, AgentId, AgentStatus, Alert, Cluster, FailureKind, RuntimePolicy, VerifierConfig,
+};
 use cia_os::{Machine, MachineConfig};
 use cia_vfs::VfsPath;
 
@@ -144,7 +146,7 @@ const SYSTEM_BINARIES: &[&str] = &[
 ];
 
 /// Builds a provisioned, enrolled machine under the given defense.
-fn provision(defense: &DefenseConfig, seed: u64) -> (Cluster, String) {
+fn provision(defense: &DefenseConfig, seed: u64) -> (Cluster, AgentId) {
     let ima_policy = if defense.ima_excludes_volatile_fs {
         ImaPolicy::keylime_default()
     } else {
@@ -164,6 +166,7 @@ fn provision(defense: &DefenseConfig, seed: u64) -> (Cluster, String) {
         seed,
         VerifierConfig {
             continue_on_failure: defense.continue_on_failure,
+            ..Default::default()
         },
     );
     let mut machine = Machine::new(&cluster.manufacturer, machine_config);
@@ -184,7 +187,10 @@ fn provision(defense: &DefenseConfig, seed: u64) -> (Cluster, String) {
         policy.allow(*bin, digest.to_hex());
     }
     // A couple of user documents for the ransomware to chew on.
-    machine.vfs.mkdir_p(&VfsPath::new("/home/user").unwrap()).unwrap();
+    machine
+        .vfs
+        .mkdir_p(&VfsPath::new("/home/user").unwrap())
+        .unwrap();
     machine
         .vfs
         .write_file(
@@ -238,10 +244,14 @@ fn alert_references(alert: &Alert, artifacts: &[String]) -> bool {
 
 /// Polls a few times, collecting alerts; the operator resolves pauses
 /// (investigate-and-resume), as in the paper's workflow.
-fn attest_rounds(cluster: &mut Cluster, id: &str, rounds: u32) -> Vec<Alert> {
+fn attest_rounds(cluster: &mut Cluster, id: &AgentId, rounds: u32) -> Vec<Alert> {
     let mut alerts = Vec::new();
     for _ in 0..rounds {
-        if let cia_keylime::AttestationOutcome::Failed { alerts: a } = cluster.attest(id).expect("attestation transport") { alerts.extend(a) }
+        if let cia_keylime::AttestationOutcome::Failed { alerts: a } =
+            cluster.attest(id).expect("attestation transport")
+        {
+            alerts.extend(a)
+        }
         if cluster.status(id).expect("status") == AgentStatus::Paused {
             cluster.resolve(id).expect("resolve");
         }
@@ -285,10 +295,7 @@ pub fn evaluate(sample: &AttackSample, mode: PlanMode, defense: &DefenseConfig) 
         .machine_mut()
         .reboot()
         .expect("reboot");
-    execute_steps(
-        cluster.agent_mut(&id).unwrap().machine_mut(),
-        &plan.on_boot,
-    );
+    execute_steps(cluster.agent_mut(&id).unwrap().machine_mut(), &plan.on_boot);
     let post = attest_rounds(&mut cluster, &id, 3);
     result.boot_alerts = post
         .iter()

@@ -131,7 +131,11 @@ fn execute_step(
             if let Some(parent) = path.parent() {
                 machine.vfs.mkdir_p(&parent)?;
             }
-            let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+            let mode = if *executable {
+                Mode::EXEC
+            } else {
+                Mode::REGULAR
+            };
             machine.vfs.write_file(&path, content.clone(), mode)?;
             Ok(())
         }
@@ -316,7 +320,10 @@ mod tests {
                 to: "/usr/bin/stage".into(),
             }],
         );
-        assert_eq!(m.vfs.metadata(&p("/usr/bin/stage")).unwrap().file_id, before);
+        assert_eq!(
+            m.vfs.metadata(&p("/usr/bin/stage")).unwrap().file_id,
+            before
+        );
     }
 
     #[test]
@@ -328,6 +335,9 @@ mod tests {
                 path: "/usr/local/bin/decoy".into(),
             }],
         );
-        assert_eq!(trace.measured_paths, vec!["/usr/local/bin/decoy".to_string()]);
+        assert_eq!(
+            trace.measured_paths,
+            vec!["/usr/local/bin/decoy".to_string()]
+        );
     }
 }

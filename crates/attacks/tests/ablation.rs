@@ -29,7 +29,10 @@ fn p1_fix_catches_tmp_resident_attacks() {
 #[test]
 fn p2_fix_catches_the_decoy_shielded_attack() {
     let d = DefenseConfig::fix_p2_only();
-    assert!(caught("Mortem-qBot", &d), "continue-on-failure sees past the decoy");
+    assert!(
+        caught("Mortem-qBot", &d),
+        "continue-on-failure sees past the decoy"
+    );
     // The others never enter the log at all; completing attestation
     // cannot reveal what was never measured.
     assert!(!caught("AvosLocker", &d));
@@ -49,8 +52,14 @@ fn p3_fix_catches_tmpfs_resident_attacks() {
 #[test]
 fn p4_fix_catches_stage_and_move_attacks() {
     let d = DefenseConfig::fix_p4_only();
-    assert!(caught("Reptile", &d), "re-measured at /usr/sbin after the move");
-    assert!(caught("Vlany", &d), "re-measured at /usr/lib after the move");
+    assert!(
+        caught("Reptile", &d),
+        "re-measured at /usr/sbin after the move"
+    );
+    assert!(
+        caught("Vlany", &d),
+        "re-measured at /usr/lib after the move"
+    );
     assert!(!caught("Diamorphine", &d), "its module never leaves /tmp");
 }
 

@@ -8,12 +8,12 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use cia_crypto::HashAlgorithm;
-use cia_keylime::{Cluster, RuntimePolicy, VerifierConfig};
+use cia_keylime::{AgentId, Cluster, RuntimePolicy, VerifierConfig};
 use cia_os::{ExecMethod, MachineConfig};
 use cia_vfs::VfsPath;
 
 /// Builds a cluster whose machine has executed `n` in-policy binaries.
-fn cluster_with_entries(n: usize, config: VerifierConfig) -> (Cluster, String) {
+fn cluster_with_entries(n: usize, config: VerifierConfig) -> (Cluster, AgentId) {
     let mut cluster = Cluster::new(1, config);
     let mut policy = RuntimePolicy::new();
     let id = cluster
@@ -23,7 +23,8 @@ fn cluster_with_entries(n: usize, config: VerifierConfig) -> (Cluster, String) {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
         for i in 0..n {
             let path = VfsPath::new(&format!("/usr/bin/tool-{i:05}")).unwrap();
-            m.write_executable(&path, format!("binary {i}").as_bytes()).unwrap();
+            m.write_executable(&path, format!("binary {i}").as_bytes())
+                .unwrap();
             let digest = m.vfs.file_digest(&path, HashAlgorithm::Sha256).unwrap();
             policy.allow(path.as_str(), digest.to_hex());
         }
@@ -85,6 +86,7 @@ fn bench_failure_handling(c: &mut Criterion) {
             "continue_on_failure",
             VerifierConfig {
                 continue_on_failure: true,
+                ..Default::default()
             },
         ),
     ] {
@@ -94,9 +96,9 @@ fn bench_failure_handling(c: &mut Criterion) {
                     let (mut cluster, id) = cluster_with_entries(100, config);
                     let m = cluster.agent_mut(&id).unwrap().machine_mut();
                     for i in 0..100 {
-                        let path =
-                            VfsPath::new(&format!("/usr/local/bin/rogue-{i:03}")).unwrap();
-                        m.write_executable(&path, format!("rogue {i}").as_bytes()).unwrap();
+                        let path = VfsPath::new(&format!("/usr/local/bin/rogue-{i:03}")).unwrap();
+                        m.write_executable(&path, format!("rogue {i}").as_bytes())
+                            .unwrap();
                         m.exec(&path, ExecMethod::Direct).unwrap();
                     }
                     (cluster, id)

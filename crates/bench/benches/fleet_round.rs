@@ -1,0 +1,68 @@
+//! Criterion: concurrent fleet rounds.
+//!
+//! Measures one full scheduler round over an enrolled fleet, sweeping
+//! the worker-pool size — worker_count = 1 is the sequential baseline
+//! the pool must beat — and the cost of 10% transport loss (retries)
+//! relative to a reliable transport at the same fleet size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cia_keylime::{Cluster, LossyTransport, RuntimePolicy, VerifierConfig};
+use cia_os::MachineConfig;
+
+fn fleet(size: u64, drop_rate: f64, workers: usize) -> Cluster<LossyTransport> {
+    let config = VerifierConfig::builder()
+        .continue_on_failure(true)
+        .max_retries(16)
+        .retry_backoff_ms(10)
+        .worker_count(workers)
+        .build()
+        .unwrap();
+    let mut cluster = Cluster::with_transport(5, config, LossyTransport::new(drop_rate, 5));
+    for i in 0..size {
+        let machine = MachineConfig {
+            hostname: format!("node-{i:04}"),
+            seed: i,
+            ..MachineConfig::default()
+        };
+        cluster.add_machine(machine, RuntimePolicy::new()).unwrap();
+    }
+    cluster
+}
+
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round/workers");
+    const FLEET: u64 = 200;
+    group.throughput(Throughput::Elements(FLEET));
+    for workers in [1usize, 2, 4, 8] {
+        let mut cluster = fleet(FLEET, 0.0, workers);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let report = cluster.attest_fleet();
+                assert!(report.all_reached());
+                report.verified_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_round/loss");
+    const FLEET: u64 = 200;
+    group.throughput(Throughput::Elements(FLEET));
+    for (label, drop_rate) in [("reliable", 0.0), ("lossy-10pct", 0.10)] {
+        let mut cluster = fleet(FLEET, drop_rate, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &drop_rate, |b, _| {
+            b.iter(|| {
+                let report = cluster.attest_fleet();
+                assert!(report.all_reached());
+                report.verified_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_pool, bench_lossy_overhead);
+criterion_main!(benches);

@@ -96,7 +96,8 @@ fn bench_log_replay(c: &mut Criterion) {
     let mut m = machine(ImaConfig::default());
     for i in 0..500 {
         let path = VfsPath::new(&format!("/usr/bin/t-{i:04}")).unwrap();
-        m.write_executable(&path, format!("bin {i}").as_bytes()).unwrap();
+        m.write_executable(&path, format!("bin {i}").as_bytes())
+            .unwrap();
         m.exec(&path, ExecMethod::Direct).unwrap();
     }
     c.bench_function("ima/replay_500_entries", |b| {

@@ -17,7 +17,13 @@ fn main() {
         .iter()
         .map(|u| (u.day, u.packages as f64))
         .collect();
-    print_series("Updated packages (with executables)", "pkgs", &all, 16.5, Some(26.8));
+    print_series(
+        "Updated packages (with executables)",
+        "pkgs",
+        &all,
+        16.5,
+        Some(26.8),
+    );
 
     let high: Vec<f64> = report
         .updates

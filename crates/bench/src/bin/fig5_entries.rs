@@ -40,6 +40,10 @@ fn main() {
     println!("final policy after 31 days: {final_lines} lines");
     println!(
         "entries removed by post-update dedup across the run: {}",
-        report.updates.iter().map(|u| u.dedup_removed).sum::<usize>()
+        report
+            .updates
+            .iter()
+            .map(|u| u.dedup_removed)
+            .sum::<usize>()
     );
 }

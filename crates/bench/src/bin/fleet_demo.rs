@@ -1,13 +1,21 @@
-//! Fleet operation demo: one mirror-derived dynamic policy serving many
-//! machines, a mid-run compromise, detection, and revocation fan-out —
-//! the deployment shape the paper's scheme targets.
+//! Fleet operation demo, in two acts:
+//!
+//! 1. the paper's deployment shape — one mirror-derived dynamic policy
+//!    serving a small fleet with a mid-run compromise, detection, and
+//!    revocation fan-out;
+//! 2. the fleet engine at scale — 1,000 agents attested concurrently
+//!    over a transport dropping 10% of all calls, with the retry,
+//!    backoff and latency metrics printed from the scheduler registry.
 //!
 //! Run: `cargo run --release -p cia-bench --bin fleet_demo`
 
 use cia_core::experiments::{run_fleet, FleetConfig};
 use cia_distro::StreamProfile;
+use cia_keylime::{Cluster, LossyTransport, RuntimePolicy, VerifierConfig};
+use cia_os::MachineConfig;
+use std::time::Instant;
 
-fn main() {
+fn policy_fleet_act() {
     let config = FleetConfig {
         nodes: 12,
         days: 14,
@@ -15,6 +23,9 @@ fn main() {
         install_every: 3,
         compromise: Some((7, 9)),
         seed: 99,
+        drop_rate: 0.0,
+        workers: 4,
+        continue_on_failure: false,
     };
     println!(
         "== fleet: {} nodes, {} days, daily updates from one mirror ==\n",
@@ -22,8 +33,14 @@ fn main() {
     );
     let report = run_fleet(config);
 
-    println!("attestations: {} ({} verified)", report.attestations, report.verified);
-    println!("false positives across the fleet: {}", report.false_positives.len());
+    println!(
+        "attestations: {} ({} verified)",
+        report.attestations, report.verified
+    );
+    println!(
+        "false positives across the fleet: {}",
+        report.false_positives.len()
+    );
     for (node, day) in &report.detections {
         println!("compromise detected: {node} on day {day}");
     }
@@ -37,4 +54,80 @@ fn main() {
     assert_eq!(report.revocations_seen, 12);
     println!("\none generator pass per day covered the whole fleet: zero FPs,");
     println!("the implanted node was caught on its compromise day and quarantined.");
+}
+
+fn engine_at_scale_act() {
+    const FLEET: u64 = 1_000;
+    const DROP_RATE: f64 = 0.10;
+
+    let config = VerifierConfig::builder()
+        .continue_on_failure(true) // the engine default posture (P2 fix)
+        .max_retries(16)
+        .retry_backoff_ms(10)
+        .max_backoff_ms(1_000)
+        .worker_count(
+            // Floor at 4 so the pool is exercised even on single-core hosts.
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+        )
+        .build()
+        .expect("demo config is valid");
+    println!(
+        "\n== fleet engine: {FLEET} agents, {:.0}% message loss, {} workers ==\n",
+        DROP_RATE * 100.0,
+        config.worker_count
+    );
+
+    let transport = LossyTransport::new(DROP_RATE, 2026);
+    let mut cluster = Cluster::with_transport(7, config, transport);
+    let enroll_start = Instant::now();
+    for i in 0..FLEET {
+        let machine = MachineConfig {
+            hostname: format!("node-{i:04}"),
+            seed: i,
+            ..MachineConfig::default()
+        };
+        cluster
+            .add_machine(machine, RuntimePolicy::new())
+            .expect("enrolment retries through the loss");
+    }
+    println!("enrolled {FLEET} agents in {:?}", enroll_start.elapsed());
+
+    let round_start = Instant::now();
+    let report = cluster.attest_fleet();
+    let elapsed = round_start.elapsed();
+
+    assert_eq!(report.results.len() as u64, FLEET);
+    assert!(report.all_reached(), "zero agents silently skipped");
+    println!(
+        "round complete in {elapsed:?}: {} verified, {} failed, {} unreachable",
+        report.verified_count(),
+        report.failed_count(),
+        report.unreachable_count()
+    );
+
+    let metrics = cluster.scheduler.snapshot();
+    println!("\nscheduler metrics:");
+    println!("  calls:        {}", metrics.calls);
+    println!("  drops:        {}", metrics.drops);
+    println!("  retries:      {}", metrics.retries);
+    println!("  retry rate:   {:.2}%", metrics.retry_rate() * 100.0);
+    println!("  backoff (ms): {} (virtual)", metrics.backoff_ms);
+    for p in [50.0, 90.0, 99.0] {
+        if let Some(ns) = metrics.latency_percentile_ns(p) {
+            println!("  p{p:.0} latency:  < {:.2} ms", ns as f64 / 1e6);
+        }
+    }
+    assert!(metrics.retries > 0, "10% loss must be visible as retries");
+    println!(
+        "\nserialized snapshot: {}",
+        serde_json::to_string(&metrics).expect("snapshot serializes")
+    );
+}
+
+fn main() {
+    policy_fleet_act();
+    engine_at_scale_act();
 }

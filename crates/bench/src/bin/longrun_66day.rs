@@ -23,8 +23,14 @@ fn main() {
     // Experiment 2: 35 days, weekly updates, disciplined operation.
     let weekly = run_longrun(LongRunConfig::paper_weekly());
 
-    println!("experiment 1 (daily, 31 days): {} updates", daily.updates.len());
-    println!("experiment 2 (weekly, 35 days): {} updates", weekly.updates.len());
+    println!(
+        "experiment 1 (daily, 31 days): {} updates",
+        daily.updates.len()
+    );
+    println!(
+        "experiment 2 (weekly, 35 days): {} updates",
+        weekly.updates.len()
+    );
     println!(
         "total system updates: {}   (paper: 36)",
         daily.updates.len() + weekly.updates.len()

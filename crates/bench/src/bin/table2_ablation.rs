@@ -34,7 +34,11 @@ fn main() {
         print!("{:<14}", sample.name);
         for (i, (_, defense)) in defenses.iter().enumerate() {
             let result = evaluate(&sample, PlanMode::Adaptive, defense);
-            let mark = if result.detected_ever() { "caught" } else { "-" };
+            let mark = if result.detected_ever() {
+                "caught"
+            } else {
+                "-"
+            };
             if result.detected_ever() {
                 caught_per_defense[i] += 1;
             }
@@ -64,7 +68,10 @@ fn main() {
     );
     assert_eq!(caught_per_defense[5], 0, "the P5 fix alone catches nothing");
     for caught in &caught_per_defense[1..=4] {
-        assert!(*caught > 0, "every individual fix P1-P4 must catch something");
+        assert!(
+            *caught > 0,
+            "every individual fix P1-P4 must catch something"
+        );
         assert!(*caught < 7, "no individual fix suffices");
     }
 }

@@ -41,16 +41,22 @@ fn main() {
         let adaptive = evaluate(&sample, PlanMode::Adaptive, &DefenseConfig::stock());
         let mitigated = evaluate(&sample, PlanMode::Adaptive, &DefenseConfig::mitigated());
 
-        let problems: String = [Problem::P1, Problem::P2, Problem::P3, Problem::P4, Problem::P5]
-            .iter()
-            .map(|p| {
-                if sample.exploits.contains(p) {
-                    " ● "
-                } else {
-                    "   "
-                }
-            })
-            .collect();
+        let problems: String = [
+            Problem::P1,
+            Problem::P2,
+            Problem::P3,
+            Problem::P4,
+            Problem::P5,
+        ]
+        .iter()
+        .map(|p| {
+            if sample.exploits.contains(p) {
+                " ● "
+            } else {
+                "   "
+            }
+        })
+        .collect();
 
         println!(
             "  {:<26} | {:^5} | {:^8} | {problems:<14}| {:^8}",
@@ -60,7 +66,11 @@ fn main() {
             verdict(mitigated.detected_live(), mitigated.detected_after_reboot()),
         );
 
-        assert!(basic.detected_live(), "{}: basic must be detected", sample.name);
+        assert!(
+            basic.detected_live(),
+            "{}: basic must be detected",
+            sample.name
+        );
         assert!(
             !adaptive.detected_ever(),
             "{}: adaptive must evade stock Keylime",

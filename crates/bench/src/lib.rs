@@ -51,7 +51,10 @@ pub fn print_series(
     let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
     let max = values.iter().cloned().fold(0.0_f64, f64::max);
     for (day, value) in series {
-        println!("  day {day:>3} | {} {value:>10.2} {unit}", bar(*value, max, 40));
+        println!(
+            "  day {day:>3} | {} {value:>10.2} {unit}",
+            bar(*value, max, 40)
+        );
     }
     let (m, s) = (mean(&values), std_dev(&values));
     match paper_std {

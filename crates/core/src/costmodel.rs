@@ -102,7 +102,9 @@ mod tests {
     #[test]
     fn cost_is_monotonic_in_bytes() {
         let m = CostModel::paper_calibrated();
-        assert!(m.update_minutes(&report(2_000_000, 1)) < m.update_minutes(&report(200_000_000, 1)));
+        assert!(
+            m.update_minutes(&report(2_000_000, 1)) < m.update_minutes(&report(200_000_000, 1))
+        );
     }
 
     #[test]
@@ -111,6 +113,9 @@ mod tests {
         // Initial mirror ~4,200 packages * ~9 MB ≈ 38 GB.
         let full = m.full_regeneration_minutes(38_000_000_000, 4200);
         let incremental = m.update_minutes(&report(150_000_000, 17));
-        assert!(full > 50.0 * incremental, "full {full} vs incremental {incremental}");
+        assert!(
+            full > 50.0 * incremental,
+            "full {full} vs incremental {incremental}"
+        );
     }
 }

@@ -4,14 +4,25 @@
 //! policy serves an entire fleet: every machine installs from the same
 //! mirror, so one generator pass covers all of them. This experiment runs
 //! N machines under a shared policy with daily updates and verifies the
-//! two properties a cloud operator needs simultaneously:
+//! properties a cloud operator needs simultaneously:
 //!
 //! 1. **no false positives anywhere** in the fleet under benign churn;
 //! 2. **a compromised node is detected and revoked** without disturbing
-//!    the others.
+//!    the others;
+//! 3. **nobody is silently skipped**, even when the transport drops a
+//!    fraction of all calls — the fleet engine retries with backoff and
+//!    reports unreachable agents explicitly.
+//!
+//! The daily attestation sweep runs through the concurrent
+//! [`cia_keylime::FleetScheduler`] worker pool (via
+//! [`Cluster::attest_fleet`]), so this experiment also exercises the
+//! engine at deployment scale.
 
 use cia_distro::{Mirror, ReleaseStream, StreamProfile};
-use cia_keylime::{Agent, AgentStatus, Alert, Cluster, VerifierConfig};
+use cia_keylime::{
+    Agent, AgentId, AgentStatus, Alert, Cluster, LossyTransport, MetricsSnapshot, RoundOutcome,
+    VerifierConfig,
+};
 use cia_os::{ExecMethod, Machine, MachineConfig};
 use cia_vfs::VfsPath;
 
@@ -32,10 +43,17 @@ pub struct FleetConfig {
     pub compromise: Option<(usize, u32)>,
     /// Cluster seed.
     pub seed: u64,
+    /// Fraction of transport calls dropped (0.0 = reliable).
+    pub drop_rate: f64,
+    /// Fleet-scheduler worker threads.
+    pub workers: usize,
+    /// The paper's P2 fix: evaluate everything, never pause polling.
+    pub continue_on_failure: bool,
 }
 
 impl FleetConfig {
-    /// A test-scale fleet.
+    /// A test-scale fleet over a reliable transport, with stock
+    /// (stop-on-failure) verifier semantics.
     pub fn small(seed: u64) -> Self {
         FleetConfig {
             nodes: 5,
@@ -44,6 +62,19 @@ impl FleetConfig {
             install_every: 3,
             compromise: Some((2, 4)),
             seed,
+            drop_rate: 0.0,
+            workers: 4,
+            continue_on_failure: false,
+        }
+    }
+
+    /// A lossy variant of [`FleetConfig::small`] running the engine
+    /// posture: 10% message loss, continue-on-failure on.
+    pub fn small_lossy(seed: u64) -> Self {
+        FleetConfig {
+            drop_rate: 0.10,
+            continue_on_failure: true,
+            ..FleetConfig::small(seed)
         }
     }
 }
@@ -54,14 +85,19 @@ pub struct FleetReport {
     /// Alerts not attributable to the implant (must be empty).
     pub false_positives: Vec<Alert>,
     /// `(node, day)` pairs where the implant was alerted on.
-    pub detections: Vec<(String, u32)>,
+    pub detections: Vec<(AgentId, u32)>,
     /// Per-node revocation views: how many of the other nodes learned of
     /// each revocation.
     pub revocations_seen: usize,
-    /// Total polls.
+    /// Total polls (one per enrolled agent per day — nothing skipped).
     pub attestations: u64,
     /// Clean polls.
     pub verified: u64,
+    /// Polls the engine could not complete within the retry budget.
+    pub unreachable: u64,
+    /// The fleet engine's accumulated metrics (retries, drops, backoff,
+    /// latency histogram) across all sweeps.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Runs the fleet experiment.
@@ -81,7 +117,15 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         GeneratorConfig::paper_default(),
     );
 
-    let mut cluster = Cluster::new(config.seed, VerifierConfig::default());
+    let verifier_config = VerifierConfig::builder()
+        .continue_on_failure(config.continue_on_failure)
+        .max_retries(16)
+        .retry_backoff_ms(5)
+        .worker_count(config.workers.max(1))
+        .build()
+        .expect("fleet verifier config is valid");
+    let transport = LossyTransport::new(config.drop_rate, config.seed ^ 0x10a11);
+    let mut cluster = Cluster::with_transport(config.seed, verifier_config, transport);
     // One revocation subscriber per node (each node watches the bus).
     let subscribers: Vec<usize> = (0..config.nodes)
         .map(|_| cluster.revocation_bus.subscribe())
@@ -133,7 +177,11 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
                 let m = cluster.agent_mut(id).unwrap().machine_mut();
                 let packages: Vec<_> = mirror.packages().cloned().collect();
                 let upgrade = m.run_updates(packages.iter()).unwrap();
-                upgrade.upgraded.iter().map(|(name, _)| name.clone()).collect()
+                upgrade
+                    .upgraded
+                    .iter()
+                    .map(|(name, _)| name.clone())
+                    .collect()
             };
             let m = cluster.agent_mut(id).unwrap().machine_mut();
             for name in upgraded.iter().take(4) {
@@ -155,29 +203,38 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         }
         generator.finish_update_window();
 
-        // Attestation sweep.
-        for id in &ids {
+        // Concurrent attestation sweep: the whole fleet in one engine
+        // round, retries and all. Every agent yields exactly one result.
+        let round = cluster.attest_fleet();
+        assert_eq!(round.results.len(), ids.len(), "no agent may go missing");
+        for result in &round.results {
             report.attestations += 1;
-            match cluster.attest(id).unwrap() {
-                cia_keylime::AttestationOutcome::Verified { .. } => report.verified += 1,
-                cia_keylime::AttestationOutcome::Failed { alerts } => {
+            match &result.outcome {
+                RoundOutcome::Verified { .. } => report.verified += 1,
+                RoundOutcome::Failed { alerts } => {
                     for alert in alerts {
                         let is_implant = format!("{:?}", alert.kind).contains(implant_path);
                         if is_implant {
-                            report.detections.push((id.clone(), day));
+                            report.detections.push((result.id.clone(), day));
                         } else {
-                            report.false_positives.push(alert);
+                            report.false_positives.push(alert.clone());
                         }
                     }
                 }
-                cia_keylime::AttestationOutcome::SkippedPaused => {}
+                RoundOutcome::SkippedPaused => {}
+                RoundOutcome::Unreachable { .. } => report.unreachable += 1,
             }
-            // Only benign pauses get operator-resolved; a detected implant
-            // keeps its node quarantined.
+        }
+
+        // Only benign pauses get operator-resolved; a detected implant
+        // keeps its node quarantined. (Resolution itself rides the lossy
+        // transport, so give it the same retry budget the engine has.)
+        for id in &ids {
             if cluster.status(id).unwrap() == AgentStatus::Paused
                 && !report.detections.iter().any(|(d, _)| d == id)
             {
-                cluster.resolve(id).unwrap();
+                let resolved = (0..=16).any(|_| cluster.resolve(id).is_ok());
+                assert!(resolved, "resolution failed past the retry budget");
             }
         }
     }
@@ -196,6 +253,7 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
             })
             .count();
     }
+    report.metrics = cluster.scheduler.snapshot();
     report
 }
 
@@ -211,13 +269,22 @@ mod tests {
             "fleet must be FP-free: {:?}",
             report.false_positives
         );
-        assert!(!report.detections.is_empty(), "the implant must be detected");
+        assert!(
+            !report.detections.is_empty(),
+            "the implant must be detected"
+        );
         let (node, day) = &report.detections[0];
         assert_eq!(node, "fleet-02");
         assert_eq!(*day, 4);
         // Every node's subscriber learned about the revocation.
         assert_eq!(report.revocations_seen, 5);
         assert!(report.verified > 0);
+        assert_eq!(report.unreachable, 0);
+        // The engine ran one round per day.
+        assert_eq!(
+            report.metrics.rounds,
+            u64::from(FleetConfig::small(31).days)
+        );
     }
 
     #[test]
@@ -237,5 +304,38 @@ mod tests {
         // The victim is detected exactly once and then paused for good —
         // quarantine means no repeated detections.
         assert_eq!(report.detections.len(), 1);
+    }
+
+    #[test]
+    fn lossy_fleet_skips_nobody_and_retries_show_in_metrics() {
+        let config = FleetConfig::small_lossy(34);
+        let expected_polls = (config.nodes as u64) * u64::from(config.days);
+        let report = run_fleet(config);
+
+        // 10% loss, but the retry budget absorbs it completely: every
+        // agent is attested every day, nothing silently skipped.
+        assert_eq!(report.attestations, expected_polls);
+        assert_eq!(report.unreachable, 0);
+        assert!(report.false_positives.is_empty());
+        assert!(
+            !report.detections.is_empty(),
+            "loss must not mask detection"
+        );
+
+        // The engine's work is visible in the registry.
+        assert!(report.metrics.retries > 0, "10% loss must force retries");
+        assert!(report.metrics.drops >= report.metrics.retries);
+        assert!(report.metrics.backoff_ms > 0);
+        assert!(report.metrics.calls >= expected_polls);
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let a = run_fleet(FleetConfig::small_lossy(35));
+        let b = run_fleet(FleetConfig::small_lossy(35));
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.verified, b.verified);
+        assert_eq!(a.metrics.retries, b.metrics.retries);
+        assert_eq!(a.metrics.drops, b.metrics.drops);
     }
 }

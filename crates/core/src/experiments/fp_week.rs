@@ -107,9 +107,7 @@ impl FpWeekReport {
     pub fn missing_from_policy(&self) -> usize {
         self.all_alerts()
             .filter(|a| match &a.kind {
-                FailureKind::NotInPolicy { path, .. } => {
-                    !self.snap_sandbox_paths.contains(path)
-                }
+                FailureKind::NotInPolicy { path, .. } => !self.snap_sandbox_paths.contains(path),
                 _ => false,
             })
             .count()
@@ -120,9 +118,7 @@ impl FpWeekReport {
     pub fn snap_truncation_errors(&self) -> usize {
         self.all_alerts()
             .filter(|a| match &a.kind {
-                FailureKind::NotInPolicy { path, .. } => {
-                    self.snap_sandbox_paths.contains(path)
-                }
+                FailureKind::NotInPolicy { path, .. } => self.snap_sandbox_paths.contains(path),
                 _ => false,
             })
             .count()
@@ -165,10 +161,8 @@ pub fn run_fp_week(config: FpWeekConfig) -> FpWeekReport {
         seed: config.seed,
         ..MachineConfig::default()
     };
-    let mut agent = cia_keylime::Agent::new(cia_os::Machine::new(
-        &cluster.manufacturer,
-        machine_config,
-    ));
+    let mut agent =
+        cia_keylime::Agent::new(cia_os::Machine::new(&cluster.manufacturer, machine_config));
     let installed: Vec<_> = mirror
         .packages()
         .enumerate()
@@ -230,8 +224,7 @@ pub fn run_fp_week(config: FpWeekConfig) -> FpWeekReport {
         // so each benign action is typically attested before the next.
         // On a failure the operator investigates and resolves.
         let attest_once = |cluster: &mut Cluster, record: &mut FpDayRecord| {
-            if let cia_keylime::AttestationOutcome::Failed { alerts } =
-                cluster.attest(&id).unwrap()
+            if let cia_keylime::AttestationOutcome::Failed { alerts } = cluster.attest(&id).unwrap()
             {
                 record.alerts.extend(alerts);
             }
@@ -302,7 +295,12 @@ pub fn run_fp_week(config: FpWeekConfig) -> FpWeekReport {
                 attest_once(&mut cluster, &mut record);
             }
         }
-        cluster.agent_mut(&id).unwrap().machine_mut().clock.next_day();
+        cluster
+            .agent_mut(&id)
+            .unwrap()
+            .machine_mut()
+            .clock
+            .next_day();
         attest_once(&mut cluster, &mut record);
 
         report.days.push(record);

@@ -14,7 +14,7 @@
 //! the mirror.
 
 use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
-use cia_keylime::{AgentStatus, Alert, Cluster, VerifierConfig};
+use cia_keylime::{AgentId, AgentStatus, Alert, Cluster, VerifierConfig};
 use cia_os::{ExecMethod, MachineConfig};
 use cia_vfs::VfsPath;
 
@@ -214,10 +214,8 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
     );
 
     let mut cluster = Cluster::new(config.seed, VerifierConfig::default());
-    let mut agent = cia_keylime::Agent::new(cia_os::Machine::new(
-        &cluster.manufacturer,
-        machine_config,
-    ));
+    let mut agent =
+        cia_keylime::Agent::new(cia_os::Machine::new(&cluster.manufacturer, machine_config));
     {
         let m = agent.machine_mut();
         let installed: Vec<_> = mirror
@@ -238,7 +236,9 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
             m.snaps.install(&mut m.vfs, snap).unwrap();
         }
     }
-    let id = cluster.add_agent(agent, generator.policy().clone()).unwrap();
+    let id = cluster
+        .add_agent(agent, generator.policy().clone())
+        .unwrap();
 
     let mut report = LongRunReport {
         initial: initial_report,
@@ -386,8 +386,7 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
                 }
             }
             let kernel = m.running_kernel().to_string();
-            let module =
-                VfsPath::new(&format!("/lib/modules/{kernel}/drivers/mod001.ko")).unwrap();
+            let module = VfsPath::new(&format!("/lib/modules/{kernel}/drivers/mod001.ko")).unwrap();
             if m.vfs.is_file(&module) {
                 m.load_module(&module).unwrap();
             }
@@ -412,7 +411,7 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
 
 /// Polls `rounds` times, collecting alerts and resolving pauses (operator
 /// intervention, as on March 27).
-fn attest_rounds(cluster: &mut Cluster, id: &str, rounds: u32, report: &mut LongRunReport) {
+fn attest_rounds(cluster: &mut Cluster, id: &AgentId, rounds: u32, report: &mut LongRunReport) {
     for _ in 0..rounds {
         report.attestations += 1;
         match cluster.attest(id).unwrap() {

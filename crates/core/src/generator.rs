@@ -197,9 +197,7 @@ impl DynamicPolicyGenerator {
                 let entries: Vec<(String, String)> = manifest
                     .entries
                     .iter()
-                    .map(|(path, digest)| {
-                        (rewrite_kernel_path(path, &release), digest.clone())
-                    })
+                    .map(|(path, digest)| (rewrite_kernel_path(path, &release), digest.clone()))
                     .collect();
                 if release == self.active_kernel {
                     for (path, digest) in entries {
@@ -365,7 +363,10 @@ pub fn digest_hex(content: &[u8]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cia_distro::{PackageFile, Pocket, Priority, ReleaseEvent, ReleaseStream, Repository, StreamProfile, Version};
+    use cia_distro::{
+        PackageFile, Pocket, Priority, ReleaseEvent, ReleaseStream, Repository, StreamProfile,
+        Version,
+    };
 
     fn synced_mirror() -> (cia_distro::ReleaseStream, Repository, Mirror) {
         let (stream, repo) = ReleaseStream::new(StreamProfile::small(21));
@@ -377,8 +378,12 @@ mod tests {
     #[test]
     fn initial_generation_covers_mirror() {
         let (_, _, mirror) = synced_mirror();
-        let (generator, report) =
-            DynamicPolicyGenerator::generate_initial(&mirror, "5.15.0-76", 0, GeneratorConfig::paper_default());
+        let (generator, report) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
         let expected_lines: usize = mirror
             .packages()
             .map(|p| p.executable_files().count())
@@ -392,8 +397,12 @@ mod tests {
     #[test]
     fn incremental_diff_appends_and_retains() {
         let (mut stream, mut repo, mut mirror) = synced_mirror();
-        let (mut generator, _) =
-            DynamicPolicyGenerator::generate_initial(&mirror, "5.15.0-76", 0, GeneratorConfig::paper_default());
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
 
         // Find a real update day.
         let mut diff = None;
@@ -437,8 +446,12 @@ mod tests {
     #[test]
     fn unchanged_sync_adds_nothing() {
         let (_, repo, mut mirror) = synced_mirror();
-        let (mut generator, _) =
-            DynamicPolicyGenerator::generate_initial(&mirror, "5.15.0-76", 0, GeneratorConfig::paper_default());
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
         let diff = mirror.sync(&repo, 1);
         let report = generator.apply_diff(&diff, 1);
         assert_eq!(report.lines_added, 0);
@@ -487,7 +500,10 @@ mod tests {
         });
         let diff = mirror.sync(&repo2, 1);
         generator.apply_diff(&diff, 1);
-        assert!(generator.policy().digests_for(new_path).is_none(), "staged until boot");
+        assert!(
+            generator.policy().digests_for(new_path).is_none(),
+            "staged until boot"
+        );
         assert!(generator.policy().digests_for(old_path).is_some());
 
         // Reboot into the new kernel: new modules allowed, old disallowed.
@@ -518,7 +534,6 @@ mod tests {
             .unwrap()
             .contains(&digest));
     }
-
 
     #[test]
     fn signed_manifests_match_local_hashing() {
@@ -599,7 +614,10 @@ mod tests {
         let err = generator
             .apply_signed_manifests(&[good, bad], &authority, 1)
             .unwrap_err();
-        assert!(matches!(err, cia_distro::ManifestError::BadSignature { .. }));
+        assert!(matches!(
+            err,
+            cia_distro::ManifestError::BadSignature { .. }
+        ));
         // Nothing — not even the good manifest — was applied.
         assert_eq!(generator.policy().line_count(), lines_before);
     }

@@ -102,9 +102,13 @@ mod tests {
     #[test]
     fn scan_digest_matches_ima_measurement() {
         let mut m = machine();
-        m.write_executable(&p("/usr/bin/tool"), b"tool-content").unwrap();
+        m.write_executable(&p("/usr/bin/tool"), b"tool-content")
+            .unwrap();
         let policy = scan_machine_policy(&m, &[]);
         let expected = HashAlgorithm::Sha256.digest(b"tool-content").to_hex();
-        assert!(policy.digests_for("/usr/bin/tool").unwrap().contains(&expected));
+        assert!(policy
+            .digests_for("/usr/bin/tool")
+            .unwrap()
+            .contains(&expected));
     }
 }

@@ -1,9 +1,7 @@
 //! Experiment-level assertions: the paper's headline §III results hold on
 //! the test-scale profiles.
 
-use cia_core::experiments::{
-    run_fp_week, run_longrun, FpWeekConfig, LongRunConfig, UpdateCadence,
-};
+use cia_core::experiments::{run_fp_week, run_longrun, FpWeekConfig, LongRunConfig, UpdateCadence};
 use cia_keylime::FailureKind;
 
 #[test]

@@ -292,10 +292,7 @@ mod tests {
     #[test]
     fn wrong_length_rejected() {
         let err = Digest::from_bytes(HashAlgorithm::Sha256, &[0u8; 20]).unwrap_err();
-        assert!(matches!(
-            err,
-            ParseDigestError::WrongLength { got: 20, .. }
-        ));
+        assert!(matches!(err, ParseDigestError::WrongLength { got: 20, .. }));
     }
 
     #[test]

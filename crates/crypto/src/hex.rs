@@ -39,7 +39,9 @@ pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
     let bytes = s.as_bytes();
     for (i, pair) in bytes.chunks_exact(2).enumerate() {
         let hi = nibble(pair[0]).ok_or(DecodeHexError::InvalidChar { position: i * 2 })?;
-        let lo = nibble(pair[1]).ok_or(DecodeHexError::InvalidChar { position: i * 2 + 1 })?;
+        let lo = nibble(pair[1]).ok_or(DecodeHexError::InvalidChar {
+            position: i * 2 + 1,
+        })?;
         out.push((hi << 4) | lo);
     }
     Ok(out)
@@ -106,7 +108,10 @@ mod tests {
 
     #[test]
     fn decode_odd_length() {
-        assert_eq!(decode("abc").unwrap_err(), DecodeHexError::OddLength { len: 3 });
+        assert_eq!(
+            decode("abc").unwrap_err(),
+            DecodeHexError::OddLength { len: 3 }
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_and_short() {
         let kp = pair(6);
-        assert_eq!(kp.verifying.fingerprint(), kp.signing.verifying_key().fingerprint());
+        assert_eq!(
+            kp.verifying.fingerprint(),
+            kp.signing.verifying_key().fingerprint()
+        );
         assert_eq!(kp.verifying.fingerprint().len(), 16);
     }
 }

@@ -89,7 +89,11 @@ impl UpdateManager {
             if let Some(parent) = path.parent() {
                 vfs.mkdir_p(&parent)?;
             }
-            let mode = if file.executable { Mode::EXEC } else { Mode::REGULAR };
+            let mode = if file.executable {
+                Mode::EXEC
+            } else {
+                Mode::REGULAR
+            };
             vfs.write_file(&path, file.content(), mode)?;
             report.files_written += 1;
             report.nominal_bytes += file.nominal_size;
@@ -99,7 +103,9 @@ impl UpdateManager {
             report.kernel_staged = Some(release);
         }
         self.installed.insert(pkg.name.clone(), pkg.version.clone());
-        report.upgraded.push((pkg.name.clone(), pkg.version.clone()));
+        report
+            .upgraded
+            .push((pkg.name.clone(), pkg.version.clone()));
         Ok(report)
     }
 
@@ -291,7 +297,10 @@ mod tests {
         let report = apt.upgrade_all(&mut vfs, available.iter()).unwrap();
         assert_eq!(report.upgraded.len(), 1);
         assert_eq!(report.upgraded[0].0, "a");
-        assert!(apt.installed_version("c").is_none(), "upgrade installs nothing new");
+        assert!(
+            apt.installed_version("c").is_none(),
+            "upgrade installs nothing new"
+        );
         assert_eq!(report.files_written, 2);
         assert_eq!(report.nominal_bytes, 5100);
     }
@@ -307,7 +316,10 @@ mod tests {
         assert!(vfs.exists(&VfsPath::new("/lib/modules/5.15.0-77/drivers/e1000.ko").unwrap()));
 
         // Reboot consumes the staged kernel.
-        assert_eq!(apt.take_latest_staged_kernel().as_deref(), Some("5.15.0-77"));
+        assert_eq!(
+            apt.take_latest_staged_kernel().as_deref(),
+            Some("5.15.0-77")
+        );
         assert!(apt.staged_kernels().is_empty());
     }
 
@@ -317,6 +329,9 @@ mod tests {
         let mut apt = UpdateManager::new();
         apt.install(&mut vfs, &kernel(77)).unwrap();
         apt.install(&mut vfs, &kernel(78)).unwrap();
-        assert_eq!(apt.take_latest_staged_kernel().as_deref(), Some("5.15.0-78"));
+        assert_eq!(
+            apt.take_latest_staged_kernel().as_deref(),
+            Some("5.15.0-78")
+        );
     }
 }

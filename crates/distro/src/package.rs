@@ -206,7 +206,10 @@ impl Package {
     /// or `None` for ordinary packages.
     pub fn kernel_release(&self) -> Option<String> {
         if self.is_kernel {
-            Some(format!("{}-{}", self.version.upstream, self.version.revision))
+            Some(format!(
+                "{}-{}",
+                self.version.upstream, self.version.revision
+            ))
         } else {
             None
         }

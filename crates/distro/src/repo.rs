@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(repo.get("curl").unwrap().version.revision, 1);
         repo.apply_release(&ReleaseEvent {
             day: 3,
-            packages: vec![pkg("curl", 2, Pocket::Security), pkg("new-tool", 1, Pocket::Main)],
+            packages: vec![
+                pkg("curl", 2, Pocket::Security),
+                pkg("new-tool", 1, Pocket::Main),
+            ],
         });
         assert_eq!(repo.get("curl").unwrap().version.revision, 2);
         assert!(repo.get("new-tool").is_some());

@@ -169,8 +169,10 @@ impl ManifestAuthority {
 
     /// Trusts a maintainer.
     pub fn trust(&mut self, maintainer: &Maintainer) {
-        self.keys
-            .insert(maintainer.name().to_string(), maintainer.public_key().clone());
+        self.keys.insert(
+            maintainer.name().to_string(),
+            maintainer.public_key().clone(),
+        );
     }
 
     /// Number of trusted maintainers.
@@ -188,12 +190,12 @@ impl ManifestAuthority {
         &self,
         signed: &'a SignedManifest,
     ) -> Result<&'a PackageManifest, ManifestError> {
-        let key = self
-            .keys
-            .get(&signed.maintainer)
-            .ok_or_else(|| ManifestError::UnknownMaintainer {
-                name: signed.maintainer.clone(),
-            })?;
+        let key =
+            self.keys
+                .get(&signed.maintainer)
+                .ok_or_else(|| ManifestError::UnknownMaintainer {
+                    name: signed.maintainer.clone(),
+                })?;
         if !key.verify(&signed.manifest.message_bytes(), &signed.signature) {
             return Err(ManifestError::BadSignature {
                 package: signed.manifest.package.clone(),
@@ -243,7 +245,9 @@ mod tests {
         assert_eq!(m.entries.len(), 1);
         assert_eq!(m.entries[0].0, "/usr/bin/curl");
         // The digest matches what the generator would compute itself.
-        let expected = HashAlgorithm::Sha256.digest(&pkg(1).files[0].content()).to_hex();
+        let expected = HashAlgorithm::Sha256
+            .digest(&pkg(1).files[0].content())
+            .to_hex();
         assert_eq!(m.entries[0].1, expected);
     }
 

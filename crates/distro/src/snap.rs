@@ -81,7 +81,11 @@ impl SnapManager {
             if let Some(parent) = host_path.parent() {
                 vfs.mkdir_p(&parent)?;
             }
-            let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+            let mode = if *executable {
+                Mode::EXEC
+            } else {
+                Mode::REGULAR
+            };
             vfs.create_file(&host_path, content.clone(), mode)?;
         }
         self.installed.push(snap);
@@ -123,10 +127,7 @@ mod tests {
         snaps.install(&mut vfs, Snap::core20(1234)).unwrap();
         let py = p("/snap/core20/1234/usr/bin/python3");
         assert!(vfs.exists(&py));
-        assert_eq!(
-            vfs.filesystem_of(&py).unwrap().1,
-            FilesystemKind::Squashfs
-        );
+        assert_eq!(vfs.filesystem_of(&py).unwrap().1, FilesystemKind::Squashfs);
         assert!(vfs.metadata(&py).unwrap().mode.is_executable());
     }
 
@@ -153,8 +154,14 @@ mod tests {
         assert!(vfs.exists(&p("/snap/core20/1234/usr/bin/python3")));
         assert!(vfs.exists(&p("/snap/core20/1250/usr/bin/python3")));
         // Each revision resolves through its own squashfs.
-        let fs1 = vfs.filesystem_of(&p("/snap/core20/1234/usr/bin/python3")).unwrap().0;
-        let fs2 = vfs.filesystem_of(&p("/snap/core20/1250/usr/bin/python3")).unwrap().0;
+        let fs1 = vfs
+            .filesystem_of(&p("/snap/core20/1234/usr/bin/python3"))
+            .unwrap()
+            .0;
+        let fs2 = vfs
+            .filesystem_of(&p("/snap/core20/1250/usr/bin/python3"))
+            .unwrap()
+            .0;
         assert_ne!(fs1, fs2);
     }
 }

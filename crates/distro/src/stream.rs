@@ -215,7 +215,10 @@ impl ReleaseStream {
         // Stratified hot pool: sort by file count and take one package per
         // quantile stratum, so hot updates are representative of the
         // population's (heavy-tailed) files-per-package distribution.
-        let pool = profile.hot_pool.min(population.len().saturating_sub(1)).max(1);
+        let pool = profile
+            .hot_pool
+            .min(population.len().saturating_sub(1))
+            .max(1);
         let mut by_files: Vec<usize> = (0..population.len())
             .filter(|&i| !population[i].is_kernel)
             .collect();
@@ -236,8 +239,7 @@ impl ReleaseStream {
             };
         }
 
-        let repo =
-            Repository::with_packages(population.iter().map(|s| s.to_package()).collect());
+        let repo = Repository::with_packages(population.iter().map(|s| s.to_package()).collect());
         (
             ReleaseStream {
                 profile,
@@ -259,13 +261,19 @@ impl ReleaseStream {
     ) -> PackageState {
         let (mu, sigma) = profile.files_per_package_lognormal;
         let n_files = (lognormal(rng, mu, sigma).round() as usize).clamp(1, 3000);
-        let dirs = ["/usr/bin", "/usr/sbin", "/usr/lib", "/usr/libexec", "/sbin", "/bin"];
+        let dirs = [
+            "/usr/bin",
+            "/usr/sbin",
+            "/usr/lib",
+            "/usr/libexec",
+            "/sbin",
+            "/bin",
+        ];
         let files = (0..n_files)
             .map(|i| {
                 let dir = dirs[rng.random_range(0..dirs.len())];
-                let nominal = ((profile.mean_nominal_file_size as f64)
-                    * lognormal(rng, -0.5, 1.0))
-                .max(512.0) as u64;
+                let nominal = ((profile.mean_nominal_file_size as f64) * lognormal(rng, -0.5, 1.0))
+                    .max(512.0) as u64;
                 (format!("{dir}/{name}-{i}"), nominal)
             })
             .collect();
@@ -326,7 +334,9 @@ impl ReleaseStream {
                 let nominal = self.profile.mean_nominal_file_size;
                 let n = state.files.len();
                 let name = state.name.clone();
-                state.files.push((format!("/usr/lib/{name}-extra{n}"), nominal));
+                state
+                    .files
+                    .push((format!("/usr/lib/{name}-extra{n}"), nominal));
             }
             packages.push(state.to_package());
         }
@@ -511,6 +521,9 @@ mod tests {
         let m_lines = mean(&line_counts);
         assert!((8.0..30.0).contains(&m_pkgs), "mean pkgs/day {m_pkgs}");
         assert!((0.2..2.5).contains(&m_high), "mean high-pri/day {m_high}");
-        assert!((500.0..3000.0).contains(&m_lines), "mean lines/day {m_lines}");
+        assert!(
+            (500.0..3000.0).contains(&m_lines),
+            "mean lines/day {m_lines}"
+        );
     }
 }

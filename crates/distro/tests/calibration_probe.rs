@@ -19,14 +19,23 @@ fn print_calibration() {
         let ev = stream.next_day();
         pkgs.push(ev.packages_with_executables() as f64);
         high.push(ev.packages.iter().filter(|p| p.priority.is_high()).count() as f64);
-        lines.push(ev.packages.iter().map(|p| p.executable_files().count()).sum::<usize>() as f64);
+        lines.push(
+            ev.packages
+                .iter()
+                .map(|p| p.executable_files().count())
+                .sum::<usize>() as f64,
+        );
         // A weekly mirror sync only ever sees the LATEST version of each
         // package, so count files per unique package name.
-        for p in &ev.packages { week_names.insert(p.name.clone()); week_pkg_files.insert(p.name.clone(), p.executable_files().count()); }
+        for p in &ev.packages {
+            week_names.insert(p.name.clone());
+            week_pkg_files.insert(p.name.clone(), p.executable_files().count());
+        }
         if d % 7 == 0 {
             weekly_unique.push(week_names.len() as f64);
             weekly_lines.push(week_pkg_files.values().sum::<usize>() as f64);
-            week_names.clear(); week_pkg_files.clear();
+            week_names.clear();
+            week_pkg_files.clear();
         }
     }
     let stats = |v: &[f64]| {
@@ -37,6 +46,9 @@ fn print_calibration() {
     println!("pkgs/day: {:?} (paper 16.5 / 26.8)", stats(&pkgs));
     println!("high/day: {:?} (paper 0.9 / 2.2)", stats(&high));
     println!("lines/day: {:?} (paper 1271)", stats(&lines));
-    println!("weekly unique pkgs: {:?} (paper 76.4+2.6=79)", stats(&weekly_unique));
+    println!(
+        "weekly unique pkgs: {:?} (paper 76.4+2.6=79)",
+        stats(&weekly_unique)
+    );
     println!("weekly lines: {:?} (paper 5513)", stats(&weekly_lines));
 }

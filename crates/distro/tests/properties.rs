@@ -10,10 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn version() -> impl Strategy<Value = Version> {
-    ("[0-9]{1,2}\\.[0-9]{1,2}", 1u32..50).prop_map(|(upstream, revision)| Version {
-        upstream,
-        revision,
-    })
+    ("[0-9]{1,2}\\.[0-9]{1,2}", 1u32..50)
+        .prop_map(|(upstream, revision)| Version { upstream, revision })
 }
 
 fn package(name_prefix: &'static str) -> impl Strategy<Value = Package> {

@@ -142,7 +142,10 @@ mod tests {
     fn signed_file_passes() {
         let (mut vfs, kp, keyring, path) = setup();
         sign_file(&mut vfs, &path, &kp.signing).unwrap();
-        assert_eq!(keyring.appraise(&vfs, &path).unwrap(), AppraisalResult::Pass);
+        assert_eq!(
+            keyring.appraise(&vfs, &path).unwrap(),
+            AppraisalResult::Pass
+        );
     }
 
     #[test]
@@ -158,7 +161,8 @@ mod tests {
     fn tampered_content_fails() {
         let (mut vfs, kp, keyring, path) = setup();
         sign_file(&mut vfs, &path, &kp.signing).unwrap();
-        vfs.write_file(&path, b"TROJANED".to_vec(), Mode::EXEC).unwrap();
+        vfs.write_file(&path, b"TROJANED".to_vec(), Mode::EXEC)
+            .unwrap();
         assert_eq!(
             keyring.appraise(&vfs, &path).unwrap(),
             AppraisalResult::BadSignature
@@ -179,7 +183,8 @@ mod tests {
     #[test]
     fn garbage_xattr_fails_closed() {
         let (mut vfs, _, keyring, path) = setup();
-        vfs.set_xattr(&path, IMA_XATTR, b"not json".to_vec()).unwrap();
+        vfs.set_xattr(&path, IMA_XATTR, b"not json".to_vec())
+            .unwrap();
         assert_eq!(
             keyring.appraise(&vfs, &path).unwrap(),
             AppraisalResult::BadSignature
@@ -190,12 +195,16 @@ mod tests {
     fn resigning_after_update_restores_pass() {
         let (mut vfs, kp, keyring, path) = setup();
         sign_file(&mut vfs, &path, &kp.signing).unwrap();
-        vfs.write_file(&path, b"trusted tool v2".to_vec(), Mode::EXEC).unwrap();
+        vfs.write_file(&path, b"trusted tool v2".to_vec(), Mode::EXEC)
+            .unwrap();
         assert_eq!(
             keyring.appraise(&vfs, &path).unwrap(),
             AppraisalResult::BadSignature
         );
         sign_file(&mut vfs, &path, &kp.signing).unwrap();
-        assert_eq!(keyring.appraise(&vfs, &path).unwrap(), AppraisalResult::Pass);
+        assert_eq!(
+            keyring.appraise(&vfs, &path).unwrap(),
+            AppraisalResult::Pass
+        );
     }
 }

@@ -253,8 +253,14 @@ mod tests {
         let f = p("/usr/bin/tool");
         vfs.create_file(&f, b"bin".to_vec(), Mode::EXEC).unwrap();
 
-        assert_eq!(ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(), MeasureOutcome::Measured);
-        assert_eq!(ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(), MeasureOutcome::Cached);
+        assert_eq!(
+            ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(),
+            MeasureOutcome::Measured
+        );
+        assert_eq!(
+            ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(),
+            MeasureOutcome::Cached
+        );
         assert_eq!(ima.log().len(), 1);
     }
 
@@ -265,7 +271,10 @@ mod tests {
         vfs.create_file(&f, b"v1".to_vec(), Mode::EXEC).unwrap();
         ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap();
         vfs.write_file(&f, b"v2".to_vec(), Mode::EXEC).unwrap();
-        assert_eq!(ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(), MeasureOutcome::Measured);
+        assert_eq!(
+            ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(),
+            MeasureOutcome::Measured
+        );
         assert_eq!(ima.log().len(), 2);
     }
 
@@ -287,7 +296,8 @@ mod tests {
         // /tmp is on the root ext4 (Ubuntu default) — measured territory.
         let staged = p("/tmp/rootkit");
         let dest = p("/usr/bin/rootkit");
-        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC)
+            .unwrap();
 
         // Attacker (or a test run) executes it at the staging path once.
         assert_eq!(
@@ -317,7 +327,8 @@ mod tests {
         );
         let staged = p("/tmp/rootkit");
         let dest = p("/usr/bin/rootkit");
-        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC)
+            .unwrap();
         ima_fixed.on_exec(&vfs, &staged, &staged, &mut tpm).unwrap();
         vfs.move_entry(&staged, &dest).unwrap();
         assert_eq!(
@@ -331,9 +342,11 @@ mod tests {
     fn p5_script_open_unmeasured_by_default() {
         let (mut vfs, mut tpm, mut ima) = setup();
         let script = p("/usr/local/bin/attack.py");
-        vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR).unwrap();
+        vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert_eq!(
-            ima.on_script_open(&vfs, &script, &script, &mut tpm).unwrap(),
+            ima.on_script_open(&vfs, &script, &script, &mut tpm)
+                .unwrap(),
             MeasureOutcome::PolicyExempt
         );
         assert!(ima.log().is_empty());
@@ -350,9 +363,11 @@ mod tests {
             },
         );
         let script = p("/usr/local/bin/attack.py");
-        vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR).unwrap();
+        vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert_eq!(
-            ima.on_script_open(&vfs, &script, &script, &mut tpm).unwrap(),
+            ima.on_script_open(&vfs, &script, &script, &mut tpm)
+                .unwrap(),
             MeasureOutcome::Measured
         );
         assert_eq!(ima.log().entries()[0].path, "/usr/local/bin/attack.py");
@@ -362,8 +377,12 @@ mod tests {
     fn boot_aggregate_is_first_and_replay_matches() {
         let (mut vfs, mut tpm, mut ima) = setup();
         // Simulate measured boot extending PCR 0.
-        tpm.pcr_extend(HashAlgorithm::Sha256, 0, HashAlgorithm::Sha256.digest(b"firmware"))
-            .unwrap();
+        tpm.pcr_extend(
+            HashAlgorithm::Sha256,
+            0,
+            HashAlgorithm::Sha256.digest(b"firmware"),
+        )
+        .unwrap();
         ima.record_boot_aggregate(&mut tpm).unwrap();
         let f = p("/usr/bin/tool");
         vfs.create_file(&f, b"bin".to_vec(), Mode::EXEC).unwrap();
@@ -371,7 +390,10 @@ mod tests {
 
         assert_eq!(ima.log().entries()[0].path, BOOT_AGGREGATE_NAME);
         for bank in [HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
-            assert_eq!(ima.log().replay(bank), tpm.pcr_read(bank, crate::IMA_PCR).unwrap());
+            assert_eq!(
+                ima.log().replay(bank),
+                tpm.pcr_read(bank, crate::IMA_PCR).unwrap()
+            );
         }
     }
 
@@ -385,17 +407,22 @@ mod tests {
         tpm.reboot();
         assert!(ima.log().is_empty());
         // After reboot the same file is measured afresh.
-        assert_eq!(ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(), MeasureOutcome::Measured);
+        assert_eq!(
+            ima.on_exec(&vfs, &f, &f, &mut tpm).unwrap(),
+            MeasureOutcome::Measured
+        );
     }
 
     #[test]
     fn snap_truncated_path_is_recorded() {
         let (mut vfs, mut tpm, mut ima) = setup();
         vfs.mkdir_p(&p("/snap/core20/1234/usr/bin")).unwrap();
-        vfs.mount(&p("/snap/core20/1234"), cia_vfs::FilesystemKind::Squashfs).unwrap();
+        vfs.mount(&p("/snap/core20/1234"), cia_vfs::FilesystemKind::Squashfs)
+            .unwrap();
         vfs.mkdir_p(&p("/snap/core20/1234/usr/bin")).unwrap();
         let real = p("/snap/core20/1234/usr/bin/python3");
-        vfs.create_file(&real, b"python".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&real, b"python".to_vec(), Mode::EXEC)
+            .unwrap();
         // The kernel inside the sandbox sees the truncated path.
         let truncated = p("/usr/bin/python3");
         ima.on_exec(&vfs, &real, &truncated, &mut tpm).unwrap();
@@ -406,7 +433,8 @@ mod tests {
     fn module_load_measured() {
         let (mut vfs, mut tpm, mut ima) = setup();
         let module = p("/lib/modules/diamorphine.ko");
-        vfs.create_file(&module, b"ko".to_vec(), Mode::REGULAR).unwrap();
+        vfs.create_file(&module, b"ko".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert_eq!(
             ima.on_module_load(&vfs, &module, &mut tpm).unwrap(),
             MeasureOutcome::Measured
@@ -454,7 +482,8 @@ mod hardlink_evasion_tests {
 
         let staged = p("/tmp/payload");
         let alias = p("/usr/bin/payload");
-        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&staged, b"evil".to_vec(), Mode::EXEC)
+            .unwrap();
         vfs.hardlink(&staged, &alias).unwrap();
 
         // Stock IMA: measured once under /tmp, the alias execution hits

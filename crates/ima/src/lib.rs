@@ -61,7 +61,9 @@ pub mod error;
 pub mod log;
 pub mod policy;
 
-pub use appraise::{sign_content, sign_file, AppraisalKeyring, AppraisalResult, ImaSignature, IMA_XATTR};
+pub use appraise::{
+    sign_content, sign_file, AppraisalKeyring, AppraisalResult, ImaSignature, IMA_XATTR,
+};
 pub use engine::{Ima, ImaConfig};
 pub use error::ImaError;
 pub use log::{ImaLogEntry, MeasurementLog, BOOT_AGGREGATE_NAME, IMA_PCR};

@@ -47,7 +47,12 @@ impl ImaLogEntry {
     /// (`ima-ng` packs the digest and pathname; we use the canonical text
     /// rendering, which is stable and unambiguous).
     pub fn template_data(&self) -> Vec<u8> {
-        format!("ima-ng {} {}", self.filedata_hash.to_prefixed_hex(), self.path).into_bytes()
+        format!(
+            "ima-ng {} {}",
+            self.filedata_hash.to_prefixed_hex(),
+            self.path
+        )
+        .into_bytes()
     }
 
     /// The template hash in `bank` (the digest PCR 10 is extended with).
@@ -105,12 +110,11 @@ impl ImaLogEntry {
             filedata_hash,
             path,
         };
-        let recorded = Digest::parse_hex(HashAlgorithm::Sha1, fields[1]).map_err(|_| {
-            ImaError::LogParse {
+        let recorded =
+            Digest::parse_hex(HashAlgorithm::Sha1, fields[1]).map_err(|_| ImaError::LogParse {
                 line: line_no,
                 reason: format!("bad template hash `{}`", fields[1]),
-            }
-        })?;
+            })?;
         if recorded != entry.template_hash(HashAlgorithm::Sha1) {
             return Err(ImaError::LogParse {
                 line: line_no,
@@ -278,8 +282,10 @@ mod tests {
     fn render_parse_roundtrip() {
         let mut tpm = tpm();
         let mut log = MeasurementLog::new();
-        log.append(entry(b"x", BOOT_AGGREGATE_NAME), &mut tpm).unwrap();
-        log.append(entry(b"y", "/usr/bin/with space"), &mut tpm).unwrap();
+        log.append(entry(b"x", BOOT_AGGREGATE_NAME), &mut tpm)
+            .unwrap();
+        log.append(entry(b"y", "/usr/bin/with space"), &mut tpm)
+            .unwrap();
         let text = log.render();
         let parsed = MeasurementLog::parse(&text).unwrap();
         assert_eq!(parsed, log);

@@ -201,7 +201,9 @@ impl ImaPolicy {
     /// True when the policy exempts the given filesystem type entirely.
     pub fn exempts_filesystem(&self, kind: FilesystemKind) -> bool {
         self.rules.iter().any(|r| {
-            r.action == PolicyAction::DontMeasure && r.func.is_none() && r.fsmagic == Some(kind.fsmagic())
+            r.action == PolicyAction::DontMeasure
+                && r.func.is_none()
+                && r.fsmagic == Some(kind.fsmagic())
         })
     }
 
@@ -243,19 +245,20 @@ impl ImaPolicy {
             let mut fsmagic = None;
             for token in tokens {
                 if let Some(name) = token.strip_prefix("func=") {
-                    func = Some(ImaFunc::from_name(name).ok_or_else(|| ImaError::PolicyParse {
-                        line: idx + 1,
-                        reason: format!("unknown func `{name}`"),
-                    })?);
+                    func = Some(
+                        ImaFunc::from_name(name).ok_or_else(|| ImaError::PolicyParse {
+                            line: idx + 1,
+                            reason: format!("unknown func `{name}`"),
+                        })?,
+                    );
                 } else if let Some(value) = token.strip_prefix("fsmagic=") {
                     let value = value.trim_start_matches("0x");
-                    fsmagic =
-                        Some(
-                            u64::from_str_radix(value, 16).map_err(|_| ImaError::PolicyParse {
-                                line: idx + 1,
-                                reason: format!("bad fsmagic `{value}`"),
-                            })?,
-                        );
+                    fsmagic = Some(u64::from_str_radix(value, 16).map_err(|_| {
+                        ImaError::PolicyParse {
+                            line: idx + 1,
+                            reason: format!("bad fsmagic `{value}`"),
+                        }
+                    })?);
                 } else if token.starts_with("mask=") {
                     // mask=MAY_EXEC is implied by the func in this subset.
                 } else {

@@ -6,6 +6,7 @@ use cia_tpm::{AkBinding, EkCertificate, PcrSelection, Quote};
 use serde::{Deserialize, Serialize};
 
 use crate::error::KeylimeError;
+use crate::ids::AgentId;
 
 /// Requests an agent answers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,18 +64,22 @@ pub enum AgentResponse {
 /// The agent process wrapping one [`Machine`].
 #[derive(Debug)]
 pub struct Agent {
+    id: AgentId,
     machine: Machine,
 }
 
 impl Agent {
     /// Wraps a machine.
     pub fn new(machine: Machine) -> Self {
-        Agent { machine }
+        Agent {
+            id: AgentId::new(machine.hostname()),
+            machine,
+        }
     }
 
     /// The agent identity (the machine's host name).
-    pub fn id(&self) -> &str {
-        self.machine.hostname()
+    pub fn id(&self) -> &AgentId {
+        &self.id
     }
 
     /// Read access to the underlying machine.

@@ -11,6 +11,8 @@
 use cia_crypto::{Digest, KeyPair, Sha256, Signature, VerifyingKey};
 use serde::{Deserialize, Serialize};
 
+use crate::ids::AgentId;
+
 /// The outcome class recorded for one attestation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuditOutcome {
@@ -20,6 +22,9 @@ pub enum AuditOutcome {
     Failed,
     /// The poll was skipped (agent paused).
     Skipped,
+    /// The fleet engine could not reach the agent within its retry
+    /// budget; the absence itself is part of the durable record.
+    Unreachable,
 }
 
 /// One link in the audit chain.
@@ -30,7 +35,7 @@ pub struct AuditRecord {
     /// Simulation day of the poll.
     pub day: u32,
     /// The attested agent.
-    pub agent: String,
+    pub agent: AgentId,
     /// What happened.
     pub outcome: AuditOutcome,
     /// Hash of the previous record (zero digest for the first).
@@ -82,19 +87,19 @@ impl AuditLog {
     }
 
     /// Appends one outcome, returning the new head hash.
-    pub fn record(&mut self, day: u32, agent: &str, outcome: AuditOutcome) -> Digest {
+    pub fn record(&mut self, day: u32, agent: &AgentId, outcome: AuditOutcome) -> Digest {
         let sequence = self.records.len() as u64;
         let prev_hash = self
             .records
             .last()
             .map(|r| r.hash)
             .unwrap_or_else(|| cia_crypto::HashAlgorithm::Sha256.zero_digest());
-        let hash = AuditRecord::compute_hash(sequence, day, agent, outcome, &prev_hash);
+        let hash = AuditRecord::compute_hash(sequence, day, agent.as_str(), outcome, &prev_hash);
         let signature = self.keys.signing.sign(hash.as_bytes());
         self.records.push(AuditRecord {
             sequence,
             day,
-            agent: agent.to_string(),
+            agent: agent.clone(),
             outcome,
             prev_hash,
             hash,
@@ -145,7 +150,7 @@ impl AuditLog {
             let expected = AuditRecord::compute_hash(
                 record.sequence,
                 record.day,
-                &record.agent,
+                record.agent.as_str(),
                 record.outcome,
                 &record.prev_hash,
             );
@@ -180,9 +185,9 @@ mod tests {
     #[test]
     fn chain_builds_and_verifies() {
         let mut log = log();
-        log.record(1, "node-0", AuditOutcome::Verified);
-        log.record(1, "node-1", AuditOutcome::Failed);
-        log.record(2, "node-0", AuditOutcome::Verified);
+        log.record(1, &AgentId::from("node-0"), AuditOutcome::Verified);
+        log.record(1, &AgentId::from("node-1"), AuditOutcome::Failed);
+        log.record(2, &AgentId::from("node-0"), AuditOutcome::Verified);
         let head = log.head().unwrap();
         assert_eq!(log.len(), 3);
         AuditLog::verify_chain(log.records(), log.public_key(), Some(&head)).unwrap();
@@ -198,8 +203,8 @@ mod tests {
     #[test]
     fn record_tampering_detected() {
         let mut log = log();
-        log.record(1, "node-0", AuditOutcome::Failed);
-        log.record(2, "node-0", AuditOutcome::Verified);
+        log.record(1, &AgentId::from("node-0"), AuditOutcome::Failed);
+        log.record(2, &AgentId::from("node-0"), AuditOutcome::Verified);
         let head = log.head().unwrap();
 
         // An attacker who owns the verifier host rewrites history: the
@@ -215,8 +220,8 @@ mod tests {
     #[test]
     fn truncation_detected_by_head_anchor() {
         let mut log = log();
-        log.record(1, "node-0", AuditOutcome::Failed);
-        log.record(2, "node-0", AuditOutcome::Verified);
+        log.record(1, &AgentId::from("node-0"), AuditOutcome::Failed);
+        log.record(2, &AgentId::from("node-0"), AuditOutcome::Verified);
         let head = log.head().unwrap();
 
         // Dropping the embarrassing tail still chains correctly...
@@ -232,8 +237,8 @@ mod tests {
     #[test]
     fn reordering_detected() {
         let mut log = log();
-        log.record(1, "a", AuditOutcome::Verified);
-        log.record(2, "b", AuditOutcome::Verified);
+        log.record(1, &AgentId::from("a"), AuditOutcome::Verified);
+        log.record(2, &AgentId::from("b"), AuditOutcome::Verified);
         let mut swapped = log.records().to_vec();
         swapped.swap(0, 1);
         assert!(AuditLog::verify_chain(&swapped, log.public_key(), None).is_err());
@@ -242,7 +247,7 @@ mod tests {
     #[test]
     fn foreign_signature_detected() {
         let mut log_a = log();
-        log_a.record(1, "a", AuditOutcome::Verified);
+        log_a.record(1, &AgentId::from("a"), AuditOutcome::Verified);
         let mut rng = StdRng::seed_from_u64(10);
         let other = AuditLog::new(&mut rng);
         assert_eq!(

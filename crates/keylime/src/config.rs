@@ -1,0 +1,300 @@
+//! Verifier and fleet-engine configuration.
+//!
+//! [`VerifierConfig`] started as a single `continue_on_failure` toggle;
+//! the fleet scheduler added retry, backoff, timeout and worker-pool
+//! knobs. Construct it three ways:
+//!
+//! - `VerifierConfig::default()` — stock-Keylime semantics
+//!   (stop-on-failure, the paper's P2) with sane engine parameters;
+//! - struct update syntax over `Default` for one-off tweaks:
+//!   `VerifierConfig { continue_on_failure: true, ..Default::default() }`;
+//! - [`VerifierConfig::builder`] — validated construction for anything
+//!   beyond a toggle.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Verifier behaviour toggles and fleet-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifierConfig {
+    /// §IV-C "Improving Keylime's Attestation Process": when `false`
+    /// (stock Keylime, and the default), the verifier stops processing at
+    /// the first failing log entry and pauses polling — the behaviour
+    /// attackers exploit as **P2**. When `true`, every entry is always
+    /// evaluated and polling continues, so real discrepancies cannot hide
+    /// behind an unresolved false positive.
+    pub continue_on_failure: bool,
+    /// Dropped transport calls are retried up to this many times before
+    /// an agent is reported unreachable for the round.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per
+    /// attempt (bounded by [`VerifierConfig::max_backoff_ms`]). The fleet
+    /// scheduler *records* backoff rather than sleeping it, keeping runs
+    /// deterministic and fast.
+    pub retry_backoff_ms: u64,
+    /// Upper bound on a single backoff step, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Per-call latency budget, in milliseconds. Calls exceeding it are
+    /// counted in the scheduler's `timeouts` metric.
+    pub call_timeout_ms: u64,
+    /// Worker threads in the fleet scheduler's pool.
+    pub worker_count: usize,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            continue_on_failure: false,
+            max_retries: 3,
+            retry_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            call_timeout_ms: 1_000,
+            worker_count: 4,
+        }
+    }
+}
+
+impl VerifierConfig {
+    /// A builder for validated construction.
+    pub fn builder() -> VerifierConfigBuilder {
+        VerifierConfigBuilder {
+            config: VerifierConfig::default(),
+        }
+    }
+
+    /// The fleet engine's recommended defaults: like `default()` but with
+    /// `continue_on_failure` **on** — the paper's P2 fix — so one
+    /// unresolved false positive can never blind the verifier to what
+    /// comes after it, and with the worker pool sized to the machine.
+    pub fn engine_default() -> Self {
+        VerifierConfig {
+            continue_on_failure: true,
+            worker_count: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            ..VerifierConfig::default()
+        }
+    }
+
+    /// The backoff before retry `attempt` (1-based), honouring the
+    /// exponential-doubling schedule and the `max_backoff_ms` cap.
+    pub fn backoff_for_attempt(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(63);
+        let ms = self
+            .retry_backoff_ms
+            .saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+/// Why a [`VerifierConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `worker_count` must be at least 1.
+    NoWorkers,
+    /// `max_retries` above the supported bound.
+    TooManyRetries {
+        /// The rejected value.
+        requested: u32,
+        /// The maximum accepted.
+        limit: u32,
+    },
+    /// `retry_backoff_ms` exceeds `max_backoff_ms`.
+    BackoffAboveCap {
+        /// The configured base backoff.
+        base_ms: u64,
+        /// The configured cap.
+        cap_ms: u64,
+    },
+    /// `call_timeout_ms` must be nonzero.
+    ZeroTimeout,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoWorkers => f.write_str("worker_count must be at least 1"),
+            ConfigError::TooManyRetries { requested, limit } => {
+                write!(f, "max_retries {requested} exceeds the limit of {limit}")
+            }
+            ConfigError::BackoffAboveCap { base_ms, cap_ms } => write!(
+                f,
+                "retry_backoff_ms ({base_ms}) exceeds max_backoff_ms ({cap_ms})"
+            ),
+            ConfigError::ZeroTimeout => f.write_str("call_timeout_ms must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Maximum accepted `max_retries` (beyond this, exponential backoff is
+/// certainly a misconfiguration).
+pub const MAX_RETRIES_LIMIT: u32 = 32;
+
+/// Validated construction of a [`VerifierConfig`].
+#[derive(Debug, Clone)]
+pub struct VerifierConfigBuilder {
+    config: VerifierConfig,
+}
+
+impl VerifierConfigBuilder {
+    /// Sets the P2 toggle (see [`VerifierConfig::continue_on_failure`]).
+    pub fn continue_on_failure(mut self, on: bool) -> Self {
+        self.config.continue_on_failure = on;
+        self
+    }
+
+    /// Sets the retry budget for dropped transport calls.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// Sets the base retry backoff.
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.config.retry_backoff_ms = backoff.as_millis().min(u128::from(u64::MAX)) as u64;
+        self
+    }
+
+    /// Sets the base retry backoff in milliseconds.
+    pub fn retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.config.retry_backoff_ms = ms;
+        self
+    }
+
+    /// Sets the cap on a single backoff step in milliseconds.
+    pub fn max_backoff_ms(mut self, ms: u64) -> Self {
+        self.config.max_backoff_ms = ms;
+        self
+    }
+
+    /// Sets the per-call latency budget in milliseconds.
+    pub fn call_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.call_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the scheduler worker-pool size.
+    pub fn worker_count(mut self, workers: usize) -> Self {
+        self.config.worker_count = workers;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first violated constraint.
+    pub fn build(self) -> Result<VerifierConfig, ConfigError> {
+        let c = &self.config;
+        if c.worker_count == 0 {
+            return Err(ConfigError::NoWorkers);
+        }
+        if c.max_retries > MAX_RETRIES_LIMIT {
+            return Err(ConfigError::TooManyRetries {
+                requested: c.max_retries,
+                limit: MAX_RETRIES_LIMIT,
+            });
+        }
+        if c.retry_backoff_ms > c.max_backoff_ms {
+            return Err(ConfigError::BackoffAboveCap {
+                base_ms: c.retry_backoff_ms,
+                cap_ms: c.max_backoff_ms,
+            });
+        }
+        if c.call_timeout_ms == 0 {
+            return Err(ConfigError::ZeroTimeout);
+        }
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_stock_keylime() {
+        let c = VerifierConfig::default();
+        assert!(!c.continue_on_failure, "stock Keylime stops on failure");
+        assert!(c.worker_count >= 1);
+        assert!(c.max_retries >= 1);
+    }
+
+    #[test]
+    fn engine_default_fixes_p2() {
+        let c = VerifierConfig::engine_default();
+        assert!(c.continue_on_failure);
+        assert!(c.worker_count >= 1);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = VerifierConfig::builder()
+            .continue_on_failure(true)
+            .max_retries(5)
+            .retry_backoff_ms(20)
+            .max_backoff_ms(500)
+            .call_timeout_ms(2_000)
+            .worker_count(8)
+            .build()
+            .unwrap();
+        assert!(c.continue_on_failure);
+        assert_eq!(c.max_retries, 5);
+        assert_eq!(c.retry_backoff_ms, 20);
+        assert_eq!(c.max_backoff_ms, 500);
+        assert_eq!(c.call_timeout_ms, 2_000);
+        assert_eq!(c.worker_count, 8);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert_eq!(
+            VerifierConfig::builder().worker_count(0).build(),
+            Err(ConfigError::NoWorkers)
+        );
+        assert!(matches!(
+            VerifierConfig::builder().max_retries(100).build(),
+            Err(ConfigError::TooManyRetries { requested: 100, .. })
+        ));
+        assert!(matches!(
+            VerifierConfig::builder()
+                .retry_backoff_ms(5_000)
+                .max_backoff_ms(100)
+                .build(),
+            Err(ConfigError::BackoffAboveCap { .. })
+        ));
+        assert_eq!(
+            VerifierConfig::builder().call_timeout_ms(0).build(),
+            Err(ConfigError::ZeroTimeout)
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let c = VerifierConfig::builder()
+            .retry_backoff_ms(10)
+            .max_backoff_ms(60)
+            .build()
+            .unwrap();
+        assert_eq!(c.backoff_for_attempt(1).as_millis(), 10);
+        assert_eq!(c.backoff_for_attempt(2).as_millis(), 20);
+        assert_eq!(c.backoff_for_attempt(3).as_millis(), 40);
+        assert_eq!(c.backoff_for_attempt(4).as_millis(), 60, "capped");
+        assert_eq!(c.backoff_for_attempt(63).as_millis(), 60, "no overflow");
+    }
+
+    #[test]
+    fn struct_update_over_default_still_works() {
+        let c = VerifierConfig {
+            continue_on_failure: true,
+            ..Default::default()
+        };
+        assert!(c.continue_on_failure);
+        assert_eq!(c.max_retries, VerifierConfig::default().max_retries);
+    }
+}

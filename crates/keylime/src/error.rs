@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::ids::AgentId;
 use crate::transport::TransportError;
 
 /// Errors surfaced by Keylime operations.
@@ -22,7 +23,7 @@ pub enum KeylimeError {
     /// The verifier was asked about an agent it does not manage.
     UnknownAgent {
         /// The unknown agent identity.
-        id: String,
+        id: AgentId,
     },
     /// A policy document could not be parsed.
     PolicyFormat {

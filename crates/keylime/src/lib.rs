@@ -13,21 +13,38 @@
 //! - [`Tenant`]/[`Cluster`] — the operator-facing orchestration layer
 //!   (enroll machines, push policies, resolve failures).
 //!
+//! On top of the single-agent protocol sits the **fleet engine**
+//! ([`FleetScheduler`], driven through [`Cluster::attest_fleet`]): a
+//! worker pool that attests every enrolled agent concurrently, retries
+//! dropped calls with bounded exponential backoff, reports unreachable
+//! agents instead of skipping them, and accumulates counters and latency
+//! histograms in a serializable [`MetricsSnapshot`].
+//!
 //! Two design points of the paper are first-class here:
 //!
 //! - **P2, stop-on-failure**: by default the verifier *stops processing at
 //!   the first failing log entry and pauses polling*, exactly the
 //!   behaviour adaptive attackers exploit. The
 //!   [`VerifierConfig::continue_on_failure`] toggle implements the
-//!   paper's recommended fix (always complete the full attestation).
+//!   paper's recommended fix (always complete the full attestation), and
+//!   [`VerifierConfig::engine_default`] turns it on as the fleet engine's
+//!   default posture.
 //! - **P1, excluded directories**: [`RuntimePolicy`] carries the exclude
 //!   list (e.g. `/tmp`) that the studied policy shipped with.
 //!
-//! Requests and responses cross an explicit [`Transport`] that serializes
-//! every message to JSON and can inject message loss, keeping the
-//! components as separable as the real, networked implementation.
+//! Requests and responses cross an explicit [`Transport`] — a trait over
+//! JSON-serialized request/response calls. [`ReliableTransport`] always
+//! delivers; [`LossyTransport`] drops calls with a seeded probability,
+//! and [`Transport::fork`] derives independent deterministic lanes so
+//! concurrent fleet rounds stay reproducible.
+//!
+//! Agents are named by the typed [`AgentId`] — no public API takes a
+//! bare `&str` id, so mixing up hostnames and other strings is a compile
+//! error, not an incident.
 //!
 //! # Examples
+//!
+//! Single-agent flow:
 //!
 //! ```
 //! use cia_keylime::{Cluster, RuntimePolicy, VerifierConfig};
@@ -43,30 +60,69 @@
 //! assert!(outcome.is_verified());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Validated configuration and a concurrent fleet round over a lossy
+//! transport:
+//!
+//! ```
+//! use cia_keylime::{Cluster, LossyTransport, RuntimePolicy, VerifierConfig};
+//! use cia_os::MachineConfig;
+//!
+//! let config = VerifierConfig::builder()
+//!     .continue_on_failure(true) // the paper's P2 fix
+//!     .max_retries(8)
+//!     .retry_backoff_ms(5)
+//!     .worker_count(4)
+//!     .build()?;
+//!
+//! let transport = LossyTransport::new(0.10, 7); // 10% loss, seeded
+//! let mut cluster = Cluster::with_transport(42, config, transport);
+//! for i in 0..8u64 {
+//!     let machine = MachineConfig {
+//!         hostname: format!("node-{i:02}"),
+//!         seed: i,
+//!         ..MachineConfig::default()
+//!     };
+//!     cluster.add_machine(machine, RuntimePolicy::new())?;
+//! }
+//!
+//! let report = cluster.attest_fleet();
+//! assert_eq!(report.results.len(), 8);
+//! assert!(report.all_reached(), "nobody silently skipped");
+//! let metrics = cluster.scheduler.snapshot();
+//! assert_eq!(metrics.rounds, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;
 pub mod audit;
+pub mod config;
 pub mod error;
+pub mod ids;
 pub mod payload;
 pub mod policy;
 pub mod registrar;
 pub mod revocation;
+pub mod scheduler;
 pub mod tenant;
 pub mod transport;
 pub mod verifier;
 
 pub use agent::{Agent, AgentRequest, AgentResponse, IdentityResponse, QuoteResponse};
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use error::KeylimeError;
+pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
 pub use policy::{PolicyCheck, PolicyDiff, PolicyMeta, RuntimePolicy};
 pub use registrar::Registrar;
 pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
-pub use tenant::{Cluster, Tenant};
-pub use transport::{Transport, TransportError};
-pub use verifier::{
-    AgentStatus, Alert, AttestationOutcome, FailureKind, Verifier, VerifierConfig,
+pub use scheduler::{
+    AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundOutcome, RoundReport, SchedulerMetrics,
 };
+pub use tenant::{Cluster, Tenant};
+pub use transport::{LossyTransport, ReliableTransport, Transport, TransportError};
+pub use verifier::{AgentStatus, Alert, AttestationOutcome, FailureKind, Verifier, VerifierConfig};

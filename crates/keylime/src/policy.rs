@@ -139,8 +139,7 @@ impl RuntimePolicy {
     pub fn is_excluded(&self, path: &str) -> bool {
         self.excludes.iter().any(|prefix| {
             path == prefix
-                || (path.starts_with(prefix)
-                    && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+                || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
         })
     }
 
@@ -277,9 +276,12 @@ mod tests {
         assert_eq!(p.line_count(), 2);
         // Post-update dedup drops the outdated digest.
         p.dedup_retain("/usr/bin/curl", "new");
-        assert_eq!(p.check("/usr/bin/curl", "old"), PolicyCheck::HashMismatch {
-            expected: vec!["new".to_string()]
-        });
+        assert_eq!(
+            p.check("/usr/bin/curl", "old"),
+            PolicyCheck::HashMismatch {
+                expected: vec!["new".to_string()]
+            }
+        );
         assert_eq!(p.line_count(), 1);
     }
 
@@ -331,7 +333,6 @@ mod tests {
         assert_eq!(p.path_count(), 1);
     }
 
-
     #[test]
     fn diff_classifies_changes() {
         let mut old = RuntimePolicy::new();
@@ -370,6 +371,9 @@ mod tests {
         p.allow("/lib/modules/old/x.ko", "aa");
         assert!(p.remove_path("/lib/modules/old/x.ko"));
         assert!(!p.remove_path("/lib/modules/old/x.ko"));
-        assert_eq!(p.check("/lib/modules/old/x.ko", "aa"), PolicyCheck::NotInPolicy);
+        assert_eq!(
+            p.check("/lib/modules/old/x.ko", "aa"),
+            PolicyCheck::NotInPolicy
+        );
     }
 }

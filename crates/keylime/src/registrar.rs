@@ -8,14 +8,17 @@ use rand::{Rng, SeedableRng};
 
 use crate::agent::{Agent, AgentRequest, AgentResponse};
 use crate::error::KeylimeError;
+use crate::ids::AgentId;
 use crate::transport::Transport;
+#[cfg(test)]
+use crate::transport::{LossyTransport, ReliableTransport};
 
 /// Registrar state: trusted manufacturer roots plus the registered
 /// agents' attestation keys.
 #[derive(Debug)]
 pub struct Registrar {
     trusted_roots: Vec<VerifyingKey>,
-    registered: BTreeMap<String, VerifyingKey>,
+    registered: BTreeMap<AgentId, VerifyingKey>,
     rng: StdRng,
 }
 
@@ -37,9 +40,9 @@ impl Registrar {
     ///
     /// [`KeylimeError::Registration`] when the certificate chain or
     /// binding fails; transport/agent errors otherwise.
-    pub fn register(
+    pub fn register<T: Transport>(
         &mut self,
-        transport: &mut Transport,
+        transport: &mut T,
         agent: &mut Agent,
     ) -> Result<(), KeylimeError> {
         let mut challenge = vec![0u8; 20];
@@ -77,12 +80,12 @@ impl Registrar {
             });
         }
         self.registered
-            .insert(agent.id().to_string(), identity.binding.ak_public.clone());
+            .insert(agent.id().clone(), identity.binding.ak_public.clone());
         Ok(())
     }
 
     /// The registered AK public key for `id`.
-    pub fn ak_for(&self, id: &str) -> Option<&VerifyingKey> {
+    pub fn ak_for(&self, id: &AgentId) -> Option<&VerifyingKey> {
         self.registered.get(id)
     }
 
@@ -109,7 +112,7 @@ mod tests {
     fn registration_succeeds_for_genuine_tpm() {
         let (m, mut agent) = setup();
         let mut registrar = Registrar::new(vec![m.public_key().clone()], 1);
-        let mut transport = Transport::reliable();
+        let mut transport = ReliableTransport::new();
         registrar.register(&mut transport, &mut agent).unwrap();
         assert_eq!(registrar.registered_count(), 1);
         assert_eq!(
@@ -124,7 +127,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let other = Manufacturer::generate(&mut rng);
         let mut registrar = Registrar::new(vec![other.public_key().clone()], 1);
-        let mut transport = Transport::reliable();
+        let mut transport = ReliableTransport::new();
         let err = registrar.register(&mut transport, &mut agent).unwrap_err();
         assert!(matches!(err, KeylimeError::Registration { .. }));
         assert!(registrar.ak_for(agent.id()).is_none());
@@ -134,12 +137,12 @@ mod tests {
     fn registration_survives_retry_after_drop() {
         let (m, mut agent) = setup();
         let mut registrar = Registrar::new(vec![m.public_key().clone()], 1);
-        let mut transport = Transport::lossy(1.0, 2);
+        let mut transport = LossyTransport::new(1.0, 2);
         assert!(matches!(
             registrar.register(&mut transport, &mut agent),
             Err(KeylimeError::Transport(_))
         ));
-        let mut reliable = Transport::reliable();
+        let mut reliable = ReliableTransport::new();
         registrar.register(&mut reliable, &mut agent).unwrap();
         assert_eq!(registrar.registered_count(), 1);
     }

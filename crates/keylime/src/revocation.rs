@@ -11,13 +11,14 @@
 use cia_crypto::{KeyPair, Signature, VerifyingKey};
 use serde::{Deserialize, Serialize};
 
+use crate::ids::AgentId;
 use crate::verifier::FailureKind;
 
 /// A signed statement that an agent failed attestation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RevocationNotice {
     /// The failed agent.
-    pub agent: String,
+    pub agent: AgentId,
     /// Day of the failure.
     pub day: u32,
     /// The first failure that triggered revocation.
@@ -29,10 +30,10 @@ pub struct RevocationNotice {
 }
 
 impl RevocationNotice {
-    fn message_bytes(agent: &str, day: u32, reason: &FailureKind, sequence: u64) -> Vec<u8> {
+    fn message_bytes(agent: &AgentId, day: u32, reason: &FailureKind, sequence: u64) -> Vec<u8> {
         let mut msg = Vec::new();
         msg.extend_from_slice(b"REVOCATION:");
-        msg.extend_from_slice(agent.as_bytes());
+        msg.extend_from_slice(agent.as_str().as_bytes());
         msg.push(0);
         msg.extend_from_slice(&day.to_be_bytes());
         msg.extend_from_slice(format!("{reason:?}").as_bytes());
@@ -69,11 +70,11 @@ impl RevocationEmitter {
     }
 
     /// Emits a signed notice for a failed agent.
-    pub fn emit(&mut self, agent: &str, day: u32, reason: FailureKind) -> RevocationNotice {
+    pub fn emit(&mut self, agent: &AgentId, day: u32, reason: FailureKind) -> RevocationNotice {
         self.sequence += 1;
         let msg = RevocationNotice::message_bytes(agent, day, &reason, self.sequence);
         RevocationNotice {
-            agent: agent.to_string(),
+            agent: agent.clone(),
             day,
             reason,
             sequence: self.sequence,
@@ -105,8 +106,8 @@ impl RevocationSubscriber {
     }
 
     /// True when `agent` has been revoked.
-    pub fn is_revoked(&self, agent: &str) -> bool {
-        self.received.iter().any(|n| n.agent == agent)
+    pub fn is_revoked(&self, agent: &AgentId) -> bool {
+        self.received.iter().any(|n| &n.agent == agent)
     }
 
     /// All authenticated notices.
@@ -177,10 +178,10 @@ mod tests {
     #[test]
     fn emit_verify_roundtrip() {
         let mut e = emitter(1);
-        let notice = e.emit("node-3", 17, failure());
+        let notice = e.emit(&AgentId::from("node-3"), 17, failure());
         assert!(notice.verify(e.public_key()));
         assert_eq!(notice.sequence, 1);
-        assert_eq!(e.emit("node-3", 18, failure()).sequence, 2);
+        assert_eq!(e.emit(&AgentId::from("node-3"), 18, failure()).sequence, 2);
     }
 
     #[test]
@@ -189,9 +190,9 @@ mod tests {
         let mut e_forger = emitter(3);
         let mut sub = RevocationSubscriber::new();
 
-        let forged = e_forger.emit("node-1", 1, failure());
+        let forged = e_forger.emit(&AgentId::from("node-1"), 1, failure());
         sub.deliver(forged, e_real.public_key());
-        assert!(!sub.is_revoked("node-1"));
+        assert!(!sub.is_revoked(&AgentId::from("node-1")));
         assert_eq!(sub.rejected_count(), 1);
     }
 
@@ -201,19 +202,28 @@ mod tests {
         let mut bus = RevocationBus::new();
         let a = bus.subscribe();
         let b = bus.subscribe();
-        let notice = e.emit("node-7", 3, failure());
+        let notice = e.emit(&AgentId::from("node-7"), 3, failure());
         bus.publish(&notice, e.public_key());
-        assert!(bus.subscriber(a).unwrap().is_revoked("node-7"));
-        assert!(bus.subscriber(b).unwrap().is_revoked("node-7"));
-        assert!(!bus.subscriber(a).unwrap().is_revoked("node-8"));
+        assert!(bus
+            .subscriber(a)
+            .unwrap()
+            .is_revoked(&AgentId::from("node-7")));
+        assert!(bus
+            .subscriber(b)
+            .unwrap()
+            .is_revoked(&AgentId::from("node-7")));
+        assert!(!bus
+            .subscriber(a)
+            .unwrap()
+            .is_revoked(&AgentId::from("node-8")));
         assert_eq!(bus.subscriber_count(), 2);
     }
 
     #[test]
     fn tampered_notice_fails_verification() {
         let mut e = emitter(5);
-        let mut notice = e.emit("node-9", 5, failure());
-        notice.agent = "node-1".into(); // retarget the revocation
+        let mut notice = e.emit(&AgentId::from("node-9"), 5, failure());
+        notice.agent = AgentId::from("node-1"); // retarget the revocation
         assert!(!notice.verify(e.public_key()));
     }
 }

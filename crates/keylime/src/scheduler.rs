@@ -1,0 +1,502 @@
+//! The concurrent fleet attestation engine.
+//!
+//! One verifier polling a large fleet sequentially is the scalability
+//! wall the paper's case study runs into: a slow or lossy agent stalls
+//! everyone behind it, and a stop-on-failure pause (P2) silently starves
+//! the rest of the round. [`FleetScheduler`] replaces the sequential
+//! sweep with a worker pool:
+//!
+//! - every enrolled agent is dispatched to one of `worker_count` workers
+//!   over an MPMC job queue (crossbeam channel);
+//! - each job gets its own deterministic transport *lane*
+//!   ([`Transport::fork`]), so drop patterns depend only on the base
+//!   seed and the agent's lane — never on thread interleaving;
+//! - dropped calls are retried with bounded exponential backoff
+//!   ([`VerifierConfig::max_retries`], [`VerifierConfig::retry_backoff_ms`]);
+//!   backoff is *recorded*, not slept, keeping rounds fast and
+//!   reproducible;
+//! - a round never aborts early: every agent produces exactly one
+//!   [`AgentRoundResult`] — verified, failed, skipped or unreachable —
+//!   so nothing is ever silently skipped;
+//! - counters and latency histograms accumulate in a lock-free
+//!   [`SchedulerMetrics`] registry, exportable as a serializable
+//!   [`MetricsSnapshot`].
+//!
+//! Combined with [`VerifierConfig::engine_default`] (continue-on-failure
+//! on), this is the paper's §IV-C recommendation operationalised: the
+//! fleet keeps attesting through failures instead of pausing on them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::Agent;
+use crate::error::KeylimeError;
+use crate::ids::AgentId;
+use crate::transport::Transport;
+use crate::verifier::{Alert, AttestationOutcome, Verifier, VerifierConfig};
+
+/// Number of log2 latency buckets (bucket i counts calls in
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Lock-free counters and histograms for the fleet engine.
+///
+/// All counters accumulate across rounds; [`SchedulerMetrics::snapshot`]
+/// captures a consistent-enough view for reporting (individual loads are
+/// relaxed — the registry is a telemetry surface, not a synchronisation
+/// primitive).
+#[derive(Debug, Default)]
+pub struct SchedulerMetrics {
+    rounds: AtomicU64,
+    /// Transport attempts, including retries.
+    calls: AtomicU64,
+    retries: AtomicU64,
+    /// Calls observed to fail with a dropped request/response.
+    drops: AtomicU64,
+    /// Calls whose latency exceeded the configured per-call budget.
+    timeouts: AtomicU64,
+    verified: AtomicU64,
+    failed: AtomicU64,
+    skipped_paused: AtomicU64,
+    unreachable: AtomicU64,
+    alerts: AtomicU64,
+    /// Total backoff scheduled (virtually) across all retries, in ms.
+    backoff_ms: AtomicU64,
+    latency_ns: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl SchedulerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_latency_ns(&self, nanos: u64) {
+        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        Self::add(&self.latency_ns[bucket], 1);
+    }
+
+    /// Captures the registry as a serializable value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            skipped_paused: self.skipped_paused.load(Ordering::Relaxed),
+            unreachable: self.unreachable.load(Ordering::Relaxed),
+            alerts: self.alerts.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            latency_ns_buckets: self
+                .latency_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, wire-serializable export of [`SchedulerMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Completed scheduler rounds.
+    pub rounds: u64,
+    /// Transport attempts, including retries.
+    pub calls: u64,
+    /// Retries performed after dropped calls.
+    pub retries: u64,
+    /// Calls that failed with a dropped request/response.
+    pub drops: u64,
+    /// Calls exceeding the per-call latency budget.
+    pub timeouts: u64,
+    /// Agents whose poll verified cleanly.
+    pub verified: u64,
+    /// Agents whose poll raised alerts.
+    pub failed: u64,
+    /// Agents skipped because stop-on-failure paused them.
+    pub skipped_paused: u64,
+    /// Agents the engine could not reach within the retry budget.
+    pub unreachable: u64,
+    /// Total alerts raised.
+    pub alerts: u64,
+    /// Total (virtual) backoff scheduled, in milliseconds.
+    pub backoff_ms: u64,
+    /// Log2 call-latency histogram: bucket i counts calls taking
+    /// `[2^i, 2^(i+1))` nanoseconds.
+    pub latency_ns_buckets: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Approximate p-th latency percentile (0–100) in nanoseconds, from
+    /// the histogram's bucket upper bounds. `None` when no samples.
+    pub fn latency_percentile_ns(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.latency_ns_buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, count) in self.latency_ns_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Fraction of calls that were retries (0 when no calls).
+    pub fn retry_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.calls as f64
+        }
+    }
+}
+
+/// The terminal outcome of one agent's slot in a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// The poll verified cleanly.
+    Verified {
+        /// Log entries processed.
+        new_entries: usize,
+    },
+    /// The poll completed and raised alerts.
+    Failed {
+        /// The alerts raised.
+        alerts: Vec<Alert>,
+    },
+    /// Stop-on-failure has the agent paused; nothing was requested.
+    SkippedPaused,
+    /// The agent could not be reached within the retry budget, or
+    /// returned a non-retryable error.
+    Unreachable {
+        /// Description of the final error.
+        reason: String,
+    },
+}
+
+/// One agent's result in a scheduler round. Every enrolled agent gets
+/// exactly one — unreachable agents are reported, never dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentRoundResult {
+    /// The agent.
+    pub id: AgentId,
+    /// The simulation day the poll ran at (the agent machine's clock).
+    pub day: u32,
+    /// Transport attempts spent on this agent (1 = no retries).
+    pub attempts: u32,
+    /// Total backoff scheduled for this agent, in milliseconds.
+    pub backoff_ms: u64,
+    /// What happened.
+    pub outcome: RoundOutcome,
+}
+
+/// The outcome of one concurrent fleet round, ordered by agent id.
+#[derive(Debug, Clone, Default)]
+pub struct RoundReport {
+    /// One entry per enrolled agent, sorted by id.
+    pub results: Vec<AgentRoundResult>,
+}
+
+impl RoundReport {
+    /// Number of cleanly verified agents.
+    pub fn verified_count(&self) -> usize {
+        self.count(|o| matches!(o, RoundOutcome::Verified { .. }))
+    }
+
+    /// Number of agents that completed with alerts.
+    pub fn failed_count(&self) -> usize {
+        self.count(|o| matches!(o, RoundOutcome::Failed { .. }))
+    }
+
+    /// Number of agents skipped under stop-on-failure.
+    pub fn skipped_count(&self) -> usize {
+        self.count(|o| matches!(o, RoundOutcome::SkippedPaused))
+    }
+
+    /// Number of agents the engine could not reach.
+    pub fn unreachable_count(&self) -> usize {
+        self.count(|o| matches!(o, RoundOutcome::Unreachable { .. }))
+    }
+
+    /// Total retries spent this round.
+    pub fn total_retries(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum()
+    }
+
+    /// True when every agent's poll actually completed (nobody was
+    /// unreachable). Skipped-paused agents count as reached: the engine
+    /// made the decision, it did not lose the agent.
+    pub fn all_reached(&self) -> bool {
+        self.unreachable_count() == 0
+    }
+
+    fn count(&self, pred: impl Fn(&RoundOutcome) -> bool) -> usize {
+        self.results.iter().filter(|r| pred(&r.outcome)).count()
+    }
+}
+
+/// One unit of work: an agent, its verifier record, and its lane.
+struct Job<'a> {
+    id: AgentId,
+    lane: u64,
+    record: &'a mut crate::verifier::AgentRecord,
+    agent: &'a mut Agent,
+}
+
+/// The concurrent fleet attestation engine. See the module docs.
+#[derive(Debug, Default)]
+pub struct FleetScheduler {
+    metrics: Arc<SchedulerMetrics>,
+}
+
+impl FleetScheduler {
+    /// Creates an engine with a fresh metrics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The live metrics registry (accumulates across rounds).
+    pub fn metrics(&self) -> &SchedulerMetrics {
+        &self.metrics
+    }
+
+    /// Convenience: a serializable snapshot of the metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Runs one concurrent attestation round over every enrolled agent.
+    ///
+    /// `agents` supplies the agent processes; each is matched to its
+    /// verifier record by id. Enrolled agents without a matching process
+    /// are reported [`RoundOutcome::Unreachable`] — never silently
+    /// skipped. Agent processes that are not enrolled are ignored.
+    ///
+    /// Concurrency is bounded by [`VerifierConfig::worker_count`]; the
+    /// per-agent verdicts are independent of worker interleaving because
+    /// every agent's transport lane and verifier record are its own.
+    pub fn run_round<T>(
+        &self,
+        verifier: &mut Verifier,
+        agents: &mut [Agent],
+        transport: &T,
+    ) -> RoundReport
+    where
+        T: Transport + Sync,
+    {
+        let (config, records) = verifier.scheduler_view();
+
+        // Pair each enrolled record with its agent process. Lanes are
+        // assigned by enrolment-map order (sorted ids), so a fleet's drop
+        // patterns are a pure function of (base seed, membership).
+        let mut agent_by_id: std::collections::BTreeMap<AgentId, &mut Agent> =
+            agents.iter_mut().map(|a| (a.id().clone(), a)).collect();
+
+        let mut jobs: Vec<Job<'_>> = Vec::new();
+        let mut orphaned: Vec<AgentId> = Vec::new();
+        for (lane, (id, record)) in records.iter_mut().enumerate() {
+            match agent_by_id.remove(id) {
+                Some(agent) => jobs.push(Job {
+                    id: id.clone(),
+                    lane: lane as u64,
+                    record,
+                    agent,
+                }),
+                None => orphaned.push(id.clone()),
+            }
+        }
+
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
+        let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
+        for job in jobs {
+            let sent = job_tx.send(job);
+            assert!(sent.is_ok(), "job receiver alive until workers finish");
+        }
+        drop(job_tx);
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let metrics = Arc::clone(&self.metrics);
+                scope.spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let mut lane_transport = transport.fork(job.lane);
+                        let result = attest_with_retry(&config, &metrics, job, &mut lane_transport);
+                        let _ = res_tx.send(result);
+                    }
+                });
+            }
+        });
+        drop(res_tx);
+
+        let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
+        for id in orphaned {
+            SchedulerMetrics::add(&self.metrics.unreachable, 1);
+            results.push(AgentRoundResult {
+                id,
+                day: 0,
+                attempts: 0,
+                backoff_ms: 0,
+                outcome: RoundOutcome::Unreachable {
+                    reason: "no agent process supplied for enrolled id".to_string(),
+                },
+            });
+        }
+        results.sort_by(|a, b| a.id.cmp(&b.id));
+        SchedulerMetrics::add(&self.metrics.rounds, 1);
+        RoundReport { results }
+    }
+}
+
+/// Drives one agent's poll to a terminal outcome: retries dropped calls
+/// with bounded exponential backoff, records latency, and classifies the
+/// result. Never panics, never loses the agent.
+fn attest_with_retry<T: Transport>(
+    config: &VerifierConfig,
+    metrics: &SchedulerMetrics,
+    job: Job<'_>,
+    transport: &mut T,
+) -> AgentRoundResult {
+    let day = job.agent.machine().clock.day();
+    let mut attempts = 0u32;
+    let mut backoff_ms_total = 0u64;
+    loop {
+        attempts += 1;
+        SchedulerMetrics::add(&metrics.calls, 1);
+        let start = Instant::now();
+        let result =
+            Verifier::attest_record(config, job.record, &job.id, transport, job.agent, day);
+        let elapsed = start.elapsed();
+        metrics.record_latency_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        if elapsed.as_millis() as u64 > config.call_timeout_ms {
+            SchedulerMetrics::add(&metrics.timeouts, 1);
+        }
+
+        let error = match result {
+            Ok(outcome) => {
+                let round_outcome = match outcome {
+                    AttestationOutcome::Verified { new_entries } => {
+                        SchedulerMetrics::add(&metrics.verified, 1);
+                        RoundOutcome::Verified { new_entries }
+                    }
+                    AttestationOutcome::Failed { alerts } => {
+                        SchedulerMetrics::add(&metrics.failed, 1);
+                        SchedulerMetrics::add(&metrics.alerts, alerts.len() as u64);
+                        RoundOutcome::Failed { alerts }
+                    }
+                    AttestationOutcome::SkippedPaused => {
+                        SchedulerMetrics::add(&metrics.skipped_paused, 1);
+                        RoundOutcome::SkippedPaused
+                    }
+                };
+                return AgentRoundResult {
+                    id: job.id,
+                    day,
+                    attempts,
+                    backoff_ms: backoff_ms_total,
+                    outcome: round_outcome,
+                };
+            }
+            Err(e) => e,
+        };
+
+        let retryable = matches!(&error, KeylimeError::Transport(t) if t.is_retryable());
+        if retryable {
+            SchedulerMetrics::add(&metrics.drops, 1);
+        }
+        if !retryable || attempts > config.max_retries {
+            SchedulerMetrics::add(&metrics.unreachable, 1);
+            return AgentRoundResult {
+                id: job.id,
+                day,
+                attempts,
+                backoff_ms: backoff_ms_total,
+                outcome: RoundOutcome::Unreachable {
+                    reason: error.to_string(),
+                },
+            };
+        }
+        SchedulerMetrics::add(&metrics.retries, 1);
+        // Backoff is recorded, not slept: the schedule is part of the
+        // engine's observable behaviour (and tested), but simulated
+        // rounds should not wait out wall-clock time.
+        let backoff = config.backoff_for_attempt(attempts).as_millis() as u64;
+        backoff_ms_total += backoff;
+        SchedulerMetrics::add(&metrics.backoff_ms, backoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_buckets() {
+        let m = SchedulerMetrics::new();
+        m.record_latency_ns(1); // bucket 0
+        m.record_latency_ns(2); // bucket 1
+        m.record_latency_ns(3); // bucket 1
+        m.record_latency_ns(1024); // bucket 10
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_ns_buckets[0], 1);
+        assert_eq!(snap.latency_ns_buckets[1], 2);
+        assert_eq!(snap.latency_ns_buckets[10], 1);
+        assert_eq!(snap.latency_ns_buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn percentile_from_histogram() {
+        let m = SchedulerMetrics::new();
+        for _ in 0..99 {
+            m.record_latency_ns(100); // bucket 6 → upper bound 128
+        }
+        m.record_latency_ns(1 << 20); // one slow call
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_percentile_ns(50.0), Some(128));
+        assert!(snap.latency_percentile_ns(99.9).unwrap() > 1 << 20);
+        assert_eq!(MetricsSnapshot::default().latency_percentile_ns(50.0), None);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = SchedulerMetrics::new();
+        SchedulerMetrics::add(&m.retries, 7);
+        let snap = m.snapshot();
+        let wire = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.retries, 7);
+    }
+
+    #[test]
+    fn retry_rate() {
+        let snap = MetricsSnapshot {
+            calls: 10,
+            retries: 2,
+            ..MetricsSnapshot::default()
+        };
+        assert!((snap.retry_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(MetricsSnapshot::default().retry_rate(), 0.0);
+    }
+}

@@ -11,11 +11,13 @@ use std::collections::BTreeMap;
 use crate::agent::Agent;
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::error::KeylimeError;
+use crate::ids::AgentId;
 use crate::payload::{KeyShare, PayloadBundle};
 use crate::policy::RuntimePolicy;
 use crate::registrar::Registrar;
 use crate::revocation::{RevocationBus, RevocationEmitter};
-use crate::transport::Transport;
+use crate::scheduler::{FleetScheduler, RoundOutcome, RoundReport};
+use crate::transport::{ReliableTransport, Transport};
 use crate::verifier::{AgentStatus, Alert, AttestationOutcome, Verifier, VerifierConfig};
 
 /// The command-line management tool's operations, expressed as a trait so
@@ -27,53 +29,70 @@ pub trait Tenant {
     /// # Errors
     ///
     /// Registration or transport failures.
-    fn enroll(&mut self, config: MachineConfig, policy: RuntimePolicy)
-        -> Result<String, KeylimeError>;
+    fn enroll(
+        &mut self,
+        config: MachineConfig,
+        policy: RuntimePolicy,
+    ) -> Result<AgentId, KeylimeError>;
 
     /// Pushes a new runtime policy to an enrolled agent.
     ///
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    fn push_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError>;
+    fn push_policy(&mut self, id: &AgentId, policy: RuntimePolicy) -> Result<(), KeylimeError>;
 
     /// Polls one agent.
     ///
     /// # Errors
     ///
     /// Unknown agent or transport failures.
-    fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError>;
+    fn attest(&mut self, id: &AgentId) -> Result<AttestationOutcome, KeylimeError>;
 }
 
 /// Everything needed to run attestation experiments in one process: a TPM
-/// manufacturer, a registrar trusting it, a verifier, a transport, and
-/// the enrolled agents.
+/// manufacturer, a registrar trusting it, a verifier, a transport, the
+/// fleet scheduler, and the enrolled agents.
+///
+/// Generic over the [`Transport`]: `Cluster::new` gives the reliable
+/// default, [`Cluster::with_transport`] accepts any implementation (e.g.
+/// [`crate::transport::LossyTransport`] for loss experiments).
 #[derive(Debug)]
-pub struct Cluster {
+pub struct Cluster<T: Transport = ReliableTransport> {
     /// The TPM manufacturer all machines' TPMs chain to.
     pub manufacturer: Manufacturer,
     /// The registrar.
     pub registrar: Registrar,
     /// The verifier.
     pub verifier: Verifier,
-    /// The message transport.
-    pub transport: Transport,
+    /// The message transport. Fleet rounds fork one deterministic lane
+    /// off it per agent; direct operations use it as-is.
+    pub transport: T,
     /// Signs revocation notices on attestation failures.
     pub revocation: RevocationEmitter,
     /// Fans revocation notices out to subscribers.
     pub revocation_bus: RevocationBus,
     /// Durable attestation: the tamper-evident outcome history.
     pub audit: AuditLog,
+    /// The concurrent fleet attestation engine (metrics accumulate here).
+    pub scheduler: FleetScheduler,
     /// Secure payloads awaiting release (V share held until the agent's
     /// first clean attestation).
-    payloads: BTreeMap<String, PayloadBundle>,
+    payloads: BTreeMap<AgentId, PayloadBundle>,
     rng: StdRng,
     agents: Vec<Agent>,
 }
 
-impl Cluster {
-    /// Creates an empty cluster.
+impl Cluster<ReliableTransport> {
+    /// Creates an empty cluster over a reliable transport.
     pub fn new(seed: u64, config: VerifierConfig) -> Self {
+        Cluster::with_transport(seed, config, ReliableTransport::new())
+    }
+}
+
+impl<T: Transport> Cluster<T> {
+    /// Creates an empty cluster over the given transport.
+    pub fn with_transport(seed: u64, config: VerifierConfig, transport: T) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let manufacturer = Manufacturer::generate(&mut rng);
         let registrar = Registrar::new(vec![manufacturer.public_key().clone()], seed ^ 0x5ead);
@@ -81,10 +100,11 @@ impl Cluster {
             manufacturer,
             registrar,
             verifier: Verifier::new(config),
-            transport: Transport::reliable(),
+            transport,
             revocation: RevocationEmitter::new(&mut rng),
             revocation_bus: RevocationBus::new(),
             audit: AuditLog::new(&mut rng),
+            scheduler: FleetScheduler::new(),
             payloads: BTreeMap::new(),
             rng,
             agents: Vec::new(),
@@ -98,12 +118,16 @@ impl Cluster {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn provision_payload(&mut self, id: &str, plaintext: &[u8]) -> Result<(), KeylimeError> {
+    pub fn provision_payload(
+        &mut self,
+        id: &AgentId,
+        plaintext: &[u8],
+    ) -> Result<(), KeylimeError> {
         if self.agent(id).is_none() {
-            return Err(KeylimeError::UnknownAgent { id: id.to_string() });
+            return Err(KeylimeError::UnknownAgent { id: id.clone() });
         }
         let bundle = PayloadBundle::seal(plaintext, &mut self.rng);
-        self.payloads.insert(id.to_string(), bundle);
+        self.payloads.insert(id.clone(), bundle);
         Ok(())
     }
 
@@ -115,11 +139,11 @@ impl Cluster {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`] when no payload was provisioned.
-    pub fn collect_payload(&mut self, id: &str) -> Result<Option<Vec<u8>>, KeylimeError> {
+    pub fn collect_payload(&mut self, id: &AgentId) -> Result<Option<Vec<u8>>, KeylimeError> {
         let bundle = self
             .payloads
             .get(id)
-            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })?;
         let trusted = self.verifier.status(id)? == AgentStatus::Trusted
             && self.verifier.attestation_count(id)? > 0;
         if !trusted {
@@ -138,45 +162,55 @@ impl Cluster {
         &mut self,
         config: MachineConfig,
         policy: RuntimePolicy,
-    ) -> Result<String, KeylimeError> {
+    ) -> Result<AgentId, KeylimeError> {
         let machine = Machine::new(&self.manufacturer, config);
         self.add_agent(Agent::new(machine), policy)
     }
 
-    /// Registers and enrols an existing agent.
+    /// Registers and enrols an existing agent. Dropped registration calls
+    /// are retried within the verifier's retry budget, so enrolment works
+    /// over lossy transports too.
     ///
     /// # Errors
     ///
-    /// Registration/transport failures.
+    /// Registration failures, or transport failures persisting past the
+    /// retry budget.
     pub fn add_agent(
         &mut self,
         mut agent: Agent,
         policy: RuntimePolicy,
-    ) -> Result<String, KeylimeError> {
-        self.registrar.register(&mut self.transport, &mut agent)?;
-        let id = agent.id().to_string();
-        let ak = self
-            .registrar
-            .ak_for(&id)
-            .expect("just registered")
-            .clone();
-        self.verifier.add_agent(&id, ak, policy);
+    ) -> Result<AgentId, KeylimeError> {
+        let max_retries = self.verifier.config().max_retries;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.registrar.register(&mut self.transport, &mut agent) {
+                Ok(()) => break,
+                Err(KeylimeError::Transport(e)) if e.is_retryable() && attempts <= max_retries => {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let id = agent.id().clone();
+        let ak = self.registrar.ak_for(&id).expect("just registered").clone();
+        self.verifier.add_agent(id.clone(), ak, policy);
         self.agents.push(agent);
         Ok(id)
     }
 
     /// The enrolled agent ids, in enrolment order.
-    pub fn agent_ids(&self) -> Vec<String> {
-        self.agents.iter().map(|a| a.id().to_string()).collect()
+    pub fn agent_ids(&self) -> Vec<AgentId> {
+        self.agents.iter().map(|a| a.id().clone()).collect()
     }
 
     /// Borrows an agent by id.
-    pub fn agent(&self, id: &str) -> Option<&Agent> {
+    pub fn agent(&self, id: &AgentId) -> Option<&Agent> {
         self.agents.iter().find(|a| a.id() == id)
     }
 
     /// Mutably borrows an agent by id (to act on its machine).
-    pub fn agent_mut(&mut self, id: &str) -> Option<&mut Agent> {
+    pub fn agent_mut(&mut self, id: &AgentId) -> Option<&mut Agent> {
         self.agents.iter_mut().find(|a| a.id() == id)
     }
 
@@ -185,12 +219,12 @@ impl Cluster {
     /// # Errors
     ///
     /// Unknown agent or transport failures.
-    pub fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError> {
+    pub fn attest(&mut self, id: &AgentId) -> Result<AttestationOutcome, KeylimeError> {
         let idx = self
             .agents
             .iter()
             .position(|a| a.id() == id)
-            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })?;
         let agent = &mut self.agents[idx];
         let day = agent.machine().clock.day();
         let outcome = self.verifier.attest(&mut self.transport, agent, day)?;
@@ -213,12 +247,13 @@ impl Cluster {
         Ok(outcome)
     }
 
-    /// Polls every agent once, returning `(id, outcome)` pairs.
+    /// Polls every agent once, sequentially, returning `(id, outcome)`
+    /// pairs. Prefer [`Cluster::attest_fleet`] for large fleets.
     ///
     /// # Errors
     ///
     /// First transport failure encountered.
-    pub fn attest_all(&mut self) -> Result<Vec<(String, AttestationOutcome)>, KeylimeError> {
+    pub fn attest_all(&mut self) -> Result<Vec<(AgentId, AttestationOutcome)>, KeylimeError> {
         let ids = self.agent_ids();
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -228,18 +263,52 @@ impl Cluster {
         Ok(out)
     }
 
+    /// One concurrent fleet round: every enrolled agent is attested by
+    /// the scheduler's worker pool, with per-agent transport lanes,
+    /// retry-with-backoff on dropped calls, and no early abort. After the
+    /// parallel phase, outcomes are committed to the audit chain and the
+    /// revocation bus sequentially in id order, so the durable record is
+    /// deterministic regardless of worker interleaving.
+    pub fn attest_fleet(&mut self) -> RoundReport
+    where
+        T: Sync,
+    {
+        let report =
+            self.scheduler
+                .run_round(&mut self.verifier, &mut self.agents, &self.transport);
+        for result in &report.results {
+            let audit_outcome = match &result.outcome {
+                RoundOutcome::Verified { .. } => AuditOutcome::Verified,
+                RoundOutcome::Failed { .. } => AuditOutcome::Failed,
+                RoundOutcome::SkippedPaused => AuditOutcome::Skipped,
+                RoundOutcome::Unreachable { .. } => AuditOutcome::Unreachable,
+            };
+            self.audit.record(result.day, &result.id, audit_outcome);
+            if let RoundOutcome::Failed { alerts } = &result.outcome {
+                if let Some(first) = alerts.first() {
+                    let notice = self
+                        .revocation
+                        .emit(&result.id, result.day, first.kind.clone());
+                    let key = self.revocation.public_key().clone();
+                    self.revocation_bus.publish(&notice, &key);
+                }
+            }
+        }
+        report
+    }
+
     /// Operator action: resolve a paused agent by skipping the offending
     /// entries (see [`Verifier::resolve_by_skipping`]).
     ///
     /// # Errors
     ///
     /// Unknown agent or transport failures.
-    pub fn resolve(&mut self, id: &str) -> Result<(), KeylimeError> {
+    pub fn resolve(&mut self, id: &AgentId) -> Result<(), KeylimeError> {
         let idx = self
             .agents
             .iter()
             .position(|a| a.id() == id)
-            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.to_string() })?;
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })?;
         self.verifier
             .resolve_by_skipping(&mut self.transport, &mut self.agents[idx])
     }
@@ -249,7 +318,7 @@ impl Cluster {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn status(&self, id: &str) -> Result<AgentStatus, KeylimeError> {
+    pub fn status(&self, id: &AgentId) -> Result<AgentStatus, KeylimeError> {
         self.verifier.status(id)
     }
 
@@ -258,25 +327,25 @@ impl Cluster {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn alerts(&self, id: &str) -> Result<&[Alert], KeylimeError> {
+    pub fn alerts(&self, id: &AgentId) -> Result<&[Alert], KeylimeError> {
         self.verifier.alerts(id)
     }
 }
 
-impl Tenant for Cluster {
+impl<T: Transport> Tenant for Cluster<T> {
     fn enroll(
         &mut self,
         config: MachineConfig,
         policy: RuntimePolicy,
-    ) -> Result<String, KeylimeError> {
+    ) -> Result<AgentId, KeylimeError> {
         self.add_machine(config, policy)
     }
 
-    fn push_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError> {
+    fn push_policy(&mut self, id: &AgentId, policy: RuntimePolicy) -> Result<(), KeylimeError> {
         self.verifier.update_policy(id, policy)
     }
 
-    fn attest(&mut self, id: &str) -> Result<AttestationOutcome, KeylimeError> {
+    fn attest(&mut self, id: &AgentId) -> Result<AttestationOutcome, KeylimeError> {
         Cluster::attest(self, id)
     }
 }

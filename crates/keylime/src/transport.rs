@@ -2,9 +2,22 @@
 //!
 //! The real deployment runs agent, registrar and verifier as separate
 //! networked services. The simulator keeps them in one process but forces
-//! every request/response through this transport, which (a) serializes
+//! every request/response through a [`Transport`], which (a) serializes
 //! both directions to JSON — so nothing non-wire-safe can leak between
 //! components — and (b) can inject message loss for fault testing.
+//!
+//! `Transport` is a trait so the verifier, registrar and the fleet
+//! [`scheduler`](crate::scheduler) are generic over the channel quality:
+//!
+//! - [`ReliableTransport`] never drops a message (unit tests, baselines);
+//! - [`LossyTransport`] drops each direction with a configured
+//!   probability from a seeded RNG, deterministically.
+//!
+//! [`Transport::fork`] derives an independent per-agent *lane* from a
+//! base transport. Lanes are keyed by a caller-chosen number, so the drop
+//! pattern an agent experiences depends only on the base seed and its
+//! lane — never on which worker thread serviced it or in what order.
+//! That is what makes concurrent fleet rounds reproducible.
 
 use std::fmt;
 
@@ -27,6 +40,17 @@ pub enum TransportError {
     },
 }
 
+impl TransportError {
+    /// True for failures a retry can plausibly fix (lost messages);
+    /// false for codec bugs, which are deterministic.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TransportError::RequestDropped | TransportError::ResponseDropped
+        )
+    }
+}
+
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -39,36 +63,12 @@ impl fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// A JSON-serializing, fault-injectable request/response channel.
-#[derive(Debug)]
-pub struct Transport {
-    drop_rate: f64,
-    rng: StdRng,
-    requests: u64,
-    drops: u64,
-}
-
-impl Transport {
-    /// A transport that never drops messages.
-    pub fn reliable() -> Self {
-        Transport {
-            drop_rate: 0.0,
-            rng: StdRng::seed_from_u64(0),
-            requests: 0,
-            drops: 0,
-        }
-    }
-
-    /// A transport dropping each direction with probability `drop_rate`.
-    pub fn lossy(drop_rate: f64, seed: u64) -> Self {
-        Transport {
-            drop_rate: drop_rate.clamp(0.0, 1.0),
-            rng: StdRng::seed_from_u64(seed),
-            requests: 0,
-            drops: 0,
-        }
-    }
-
+/// A JSON-serializing request/response channel between two components.
+///
+/// Implementations decide *delivery* (always, lossy, ...); the
+/// serialization contract is shared: both the request and the response
+/// must round-trip through JSON, exactly as they would on a network.
+pub trait Transport: Send {
     /// Performs one RPC: serializes `request`, lets `serve` compute the
     /// response on the far side, and deserializes the reply.
     ///
@@ -77,7 +77,137 @@ impl Transport {
     /// [`TransportError::RequestDropped`]/[`TransportError::ResponseDropped`]
     /// under injected loss; [`TransportError::Codec`] when either message
     /// is not wire-representable.
-    pub fn call<Req, Resp>(
+    fn call<Req, Resp>(
+        &mut self,
+        request: &Req,
+        serve: impl FnOnce(Req) -> Resp,
+    ) -> Result<Resp, TransportError>
+    where
+        Req: Serialize + DeserializeOwned,
+        Resp: Serialize + DeserializeOwned;
+
+    /// Total RPCs attempted on this transport.
+    fn requests(&self) -> u64;
+
+    /// Messages lost to injected faults on this transport.
+    fn drops(&self) -> u64;
+
+    /// Derives an independent transport *lane* for concurrent use.
+    ///
+    /// The derived transport has fresh counters and — for lossy
+    /// transports — an RNG stream determined solely by the base seed and
+    /// `lane`, so per-lane drop patterns are stable regardless of thread
+    /// scheduling.
+    fn fork(&self, lane: u64) -> Self
+    where
+        Self: Sized;
+}
+
+/// Serializes `request` across the wire, serves it, and brings the
+/// response back — the delivery-independent half of every [`Transport`].
+fn codec_roundtrip<Req, Resp>(
+    request: &Req,
+    serve: impl FnOnce(Req) -> Resp,
+) -> Result<Resp, TransportError>
+where
+    Req: Serialize + DeserializeOwned,
+    Resp: Serialize + DeserializeOwned,
+{
+    let wire_req = serde_json::to_string(request).map_err(|e| TransportError::Codec {
+        reason: e.to_string(),
+    })?;
+    let decoded: Req = serde_json::from_str(&wire_req).map_err(|e| TransportError::Codec {
+        reason: e.to_string(),
+    })?;
+    let response = serve(decoded);
+    let wire_resp = serde_json::to_string(&response).map_err(|e| TransportError::Codec {
+        reason: e.to_string(),
+    })?;
+    serde_json::from_str(&wire_resp).map_err(|e| TransportError::Codec {
+        reason: e.to_string(),
+    })
+}
+
+/// A transport that always delivers.
+#[derive(Debug, Default, Clone)]
+pub struct ReliableTransport {
+    requests: u64,
+}
+
+impl ReliableTransport {
+    /// Creates a reliable transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for ReliableTransport {
+    fn call<Req, Resp>(
+        &mut self,
+        request: &Req,
+        serve: impl FnOnce(Req) -> Resp,
+    ) -> Result<Resp, TransportError>
+    where
+        Req: Serialize + DeserializeOwned,
+        Resp: Serialize + DeserializeOwned,
+    {
+        self.requests += 1;
+        codec_roundtrip(request, serve)
+    }
+
+    fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    fn drops(&self) -> u64 {
+        0
+    }
+
+    fn fork(&self, _lane: u64) -> Self {
+        ReliableTransport::new()
+    }
+}
+
+/// Mixes a lane number into a seed (SplitMix64 finalizer), so forked
+/// lanes get well-separated RNG streams even for adjacent lane numbers.
+fn mix_lane(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A transport dropping each direction with a configured probability,
+/// deterministically from a seed.
+#[derive(Debug)]
+pub struct LossyTransport {
+    drop_rate: f64,
+    seed: u64,
+    rng: StdRng,
+    requests: u64,
+    drops: u64,
+}
+
+impl LossyTransport {
+    /// A transport dropping each direction with probability `drop_rate`.
+    pub fn new(drop_rate: f64, seed: u64) -> Self {
+        LossyTransport {
+            drop_rate: drop_rate.clamp(0.0, 1.0),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            requests: 0,
+            drops: 0,
+        }
+    }
+
+    /// The configured per-direction drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+}
+
+impl Transport for LossyTransport {
+    fn call<Req, Resp>(
         &mut self,
         request: &Req,
         serve: impl FnOnce(Req) -> Resp,
@@ -91,33 +221,26 @@ impl Transport {
             self.drops += 1;
             return Err(TransportError::RequestDropped);
         }
-        let wire_req = serde_json::to_string(request).map_err(|e| TransportError::Codec {
-            reason: e.to_string(),
-        })?;
-        let decoded: Req = serde_json::from_str(&wire_req).map_err(|e| TransportError::Codec {
-            reason: e.to_string(),
-        })?;
-        let response = serve(decoded);
+        // A dropped request consumes one RNG draw, a delivered one two —
+        // the stream stays deterministic per lane either way.
+        let response = codec_roundtrip(request, serve)?;
         if self.drop_rate > 0.0 && self.rng.random::<f64>() < self.drop_rate {
             self.drops += 1;
             return Err(TransportError::ResponseDropped);
         }
-        let wire_resp = serde_json::to_string(&response).map_err(|e| TransportError::Codec {
-            reason: e.to_string(),
-        })?;
-        serde_json::from_str(&wire_resp).map_err(|e| TransportError::Codec {
-            reason: e.to_string(),
-        })
+        Ok(response)
     }
 
-    /// Total RPCs attempted.
-    pub fn requests(&self) -> u64 {
+    fn requests(&self) -> u64 {
         self.requests
     }
 
-    /// Messages lost to injected faults.
-    pub fn drops(&self) -> u64 {
+    fn drops(&self) -> u64 {
         self.drops
+    }
+
+    fn fork(&self, lane: u64) -> Self {
+        LossyTransport::new(self.drop_rate, mix_lane(self.seed, lane))
     }
 }
 
@@ -127,7 +250,7 @@ mod tests {
 
     #[test]
     fn reliable_roundtrip() {
-        let mut t = Transport::reliable();
+        let mut t = ReliableTransport::new();
         let out: i32 = t.call(&21i32, |x: i32| x * 2).unwrap();
         assert_eq!(out, 42);
         assert_eq!(t.requests(), 1);
@@ -136,7 +259,7 @@ mod tests {
 
     #[test]
     fn lossy_drops_sometimes() {
-        let mut t = Transport::lossy(0.5, 7);
+        let mut t = LossyTransport::new(0.5, 7);
         let mut ok = 0;
         let mut err = 0;
         for i in 0..200 {
@@ -153,11 +276,13 @@ mod tests {
 
     #[test]
     fn full_loss_never_delivers() {
-        let mut t = Transport::lossy(1.0, 1);
+        let mut t = LossyTransport::new(1.0, 1);
         assert_eq!(
             t.call(&0, |x: i32| x).unwrap_err(),
             TransportError::RequestDropped
         );
+        assert!(TransportError::RequestDropped.is_retryable());
+        assert!(!TransportError::Codec { reason: "x".into() }.is_retryable());
     }
 
     #[test]
@@ -167,7 +292,7 @@ mod tests {
             nonce: Vec<u8>,
             label: String,
         }
-        let mut t = Transport::reliable();
+        let mut t = ReliableTransport::new();
         let reply: String = t
             .call(
                 &Ping {
@@ -178,5 +303,32 @@ mod tests {
             )
             .unwrap();
         assert_eq!(reply, "hello:3");
+    }
+
+    #[test]
+    fn forked_lanes_are_deterministic_and_independent() {
+        let base = LossyTransport::new(0.3, 42);
+        let pattern = |t: &mut LossyTransport| -> Vec<bool> {
+            (0..50).map(|i| t.call(&i, |x: i32| x).is_ok()).collect()
+        };
+        // Same lane twice: identical drop pattern.
+        let a1 = pattern(&mut base.fork(5));
+        let a2 = pattern(&mut base.fork(5));
+        assert_eq!(a1, a2);
+        // Different lanes: different patterns (with overwhelming odds).
+        let b = pattern(&mut base.fork(6));
+        assert_ne!(a1, b);
+        // Forking never disturbs the base transport's own stream.
+        assert_eq!(base.requests(), 0);
+    }
+
+    #[test]
+    fn fork_of_reliable_is_reliable() {
+        let base = ReliableTransport::new();
+        let mut lane = base.fork(9);
+        for i in 0..10 {
+            assert!(lane.call(&i, |x: i32| x).is_ok());
+        }
+        assert_eq!(lane.drops(), 0);
     }
 }

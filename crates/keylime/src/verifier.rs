@@ -9,20 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::agent::{Agent, AgentRequest, AgentResponse, QuoteResponse};
 use crate::error::KeylimeError;
+use crate::ids::AgentId;
 use crate::policy::{PolicyCheck, RuntimePolicy};
 use crate::transport::Transport;
 
-/// Verifier behaviour toggles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct VerifierConfig {
-    /// §IV-C "Improving Keylime's Attestation Process": when `false`
-    /// (stock Keylime, and the default), the verifier stops processing at
-    /// the first failing log entry and pauses polling — the behaviour
-    /// attackers exploit as **P2**. When `true`, every entry is always
-    /// evaluated and polling continues, so real discrepancies cannot hide
-    /// behind an unresolved false positive.
-    pub continue_on_failure: bool,
-}
+pub use crate::config::VerifierConfig;
 
 /// Why an attestation failed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,7 +53,7 @@ pub enum FailureKind {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Alert {
     /// The agent that failed.
-    pub agent: String,
+    pub agent: AgentId,
     /// Simulation day of the failure.
     pub day: u32,
     /// What went wrong.
@@ -105,7 +96,7 @@ impl AttestationOutcome {
 }
 
 #[derive(Debug)]
-struct AgentRecord {
+pub(crate) struct AgentRecord {
     ak: cia_crypto::VerifyingKey,
     policy: RuntimePolicy,
     /// Index of the first unprocessed log entry.
@@ -123,7 +114,7 @@ struct AgentRecord {
 #[derive(Debug)]
 pub struct Verifier {
     config: VerifierConfig,
-    agents: BTreeMap<String, AgentRecord>,
+    agents: BTreeMap<AgentId, AgentRecord>,
 }
 
 impl Verifier {
@@ -140,11 +131,17 @@ impl Verifier {
         self.config
     }
 
+    /// Replaces the active configuration (e.g. to widen the retry budget
+    /// when the transport degrades). Takes effect from the next round.
+    pub fn set_config(&mut self, config: VerifierConfig) {
+        self.config = config;
+    }
+
     /// Enrols an agent: its AK public key (from the registrar) and its
     /// runtime policy.
     pub fn add_agent(
         &mut self,
-        id: impl Into<String>,
+        id: impl Into<AgentId>,
         ak: cia_crypto::VerifyingKey,
         policy: RuntimePolicy,
     ) {
@@ -164,12 +161,21 @@ impl Verifier {
         );
     }
 
+    /// The enrolled agent ids, in order.
+    pub fn agent_ids(&self) -> Vec<AgentId> {
+        self.agents.keys().cloned().collect()
+    }
+
     /// Replaces an agent's policy (a dynamic policy push).
     ///
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn update_policy(&mut self, id: &str, policy: RuntimePolicy) -> Result<(), KeylimeError> {
+    pub fn update_policy(
+        &mut self,
+        id: &AgentId,
+        policy: RuntimePolicy,
+    ) -> Result<(), KeylimeError> {
         let record = self.record_mut(id)?;
         record.policy = policy;
         Ok(())
@@ -180,7 +186,7 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn policy(&self, id: &str) -> Result<&RuntimePolicy, KeylimeError> {
+    pub fn policy(&self, id: &AgentId) -> Result<&RuntimePolicy, KeylimeError> {
         Ok(&self.record(id)?.policy)
     }
 
@@ -189,7 +195,7 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn status(&self, id: &str) -> Result<AgentStatus, KeylimeError> {
+    pub fn status(&self, id: &AgentId) -> Result<AgentStatus, KeylimeError> {
         Ok(self.record(id)?.status)
     }
 
@@ -198,7 +204,7 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn alerts(&self, id: &str) -> Result<&[Alert], KeylimeError> {
+    pub fn alerts(&self, id: &AgentId) -> Result<&[Alert], KeylimeError> {
         Ok(&self.record(id)?.alerts)
     }
 
@@ -207,7 +213,7 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn attestation_count(&self, id: &str) -> Result<u64, KeylimeError> {
+    pub fn attestation_count(&self, id: &AgentId) -> Result<u64, KeylimeError> {
         Ok(self.record(id)?.attestations)
     }
 
@@ -219,7 +225,7 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`].
-    pub fn resume(&mut self, id: &str) -> Result<(), KeylimeError> {
+    pub fn resume(&mut self, id: &AgentId) -> Result<(), KeylimeError> {
         self.record_mut(id)?.status = AgentStatus::Trusted;
         Ok(())
     }
@@ -232,12 +238,12 @@ impl Verifier {
     /// # Errors
     ///
     /// [`KeylimeError::UnknownAgent`] / transport errors.
-    pub fn resolve_by_skipping(
+    pub fn resolve_by_skipping<T: Transport>(
         &mut self,
-        transport: &mut Transport,
+        transport: &mut T,
         agent: &mut Agent,
     ) -> Result<(), KeylimeError> {
-        let id = agent.id().to_string();
+        let id = agent.id().clone();
         let record = self.record_mut(&id)?;
         let nonce = Self::make_nonce(&id, record.nonce_counter);
         record.nonce_counter += 1;
@@ -270,28 +276,43 @@ impl Verifier {
     /// [`KeylimeError::UnknownAgent`] or transport failures. Attestation
     /// *failures* are not `Err`s — they come back as
     /// [`AttestationOutcome::Failed`].
-    pub fn attest(
+    pub fn attest<T: Transport>(
         &mut self,
-        transport: &mut Transport,
+        transport: &mut T,
         agent: &mut Agent,
         day: u32,
     ) -> Result<AttestationOutcome, KeylimeError> {
-        let id = agent.id().to_string();
-        let continue_on_failure = self.config.continue_on_failure;
+        let id = agent.id().clone();
+        let config = self.config;
         let record = self.record_mut(&id)?;
+        Self::attest_record(&config, record, &id, transport, agent, day)
+    }
+
+    /// The per-record attestation flow, factored out so the fleet
+    /// [`scheduler`](crate::scheduler) can drive many records in
+    /// parallel, each worker holding one `&mut AgentRecord`.
+    pub(crate) fn attest_record<T: Transport>(
+        config: &VerifierConfig,
+        record: &mut AgentRecord,
+        id: &AgentId,
+        transport: &mut T,
+        agent: &mut Agent,
+        day: u32,
+    ) -> Result<AttestationOutcome, KeylimeError> {
+        let continue_on_failure = config.continue_on_failure;
 
         if record.status == AgentStatus::Paused && !continue_on_failure {
             return Ok(AttestationOutcome::SkippedPaused);
         }
 
-        let nonce = Self::make_nonce(&id, record.nonce_counter);
+        let nonce = Self::make_nonce(id, record.nonce_counter);
         record.nonce_counter += 1;
         let request = AgentRequest::Quote {
             nonce: nonce.clone(),
             from_entry: record.next_entry,
         };
         let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
-        let mut quote_resp = match response {
+        let quote_resp = match response {
             AgentResponse::Quote(q) => q,
             AgentResponse::Error { reason } => return Err(KeylimeError::Agent { reason }),
             other => {
@@ -307,14 +328,14 @@ impl Verifier {
         if rebooted && record.last_boot_count.is_some() {
             record.next_entry = 0;
             record.replayed_pcr = HashAlgorithm::Sha256.zero_digest();
-            let nonce2 = Self::make_nonce(&id, record.nonce_counter);
+            let nonce2 = Self::make_nonce(id, record.nonce_counter);
             record.nonce_counter += 1;
             let request = AgentRequest::Quote {
                 nonce: nonce2.clone(),
                 from_entry: 0,
             };
             let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
-            quote_resp = match response {
+            let quote_resp = match response {
                 AgentResponse::Quote(q) => q,
                 other => {
                     return Err(KeylimeError::Agent {
@@ -324,20 +345,17 @@ impl Verifier {
             };
             return Ok(Self::finish_attestation(
                 record,
-                &id,
+                id,
                 quote_resp,
                 &nonce2,
                 day,
                 continue_on_failure,
             ));
         }
-        if record.last_boot_count.is_none() && record.next_entry == 0 {
-            // First contact: nothing special, fall through.
-        }
 
         Ok(Self::finish_attestation(
             record,
-            &id,
+            id,
             quote_resp,
             &nonce,
             day,
@@ -348,7 +366,7 @@ impl Verifier {
     /// Core verification once a quote response is in hand.
     fn finish_attestation(
         record: &mut AgentRecord,
-        id: &str,
+        id: &AgentId,
         resp: QuoteResponse,
         nonce: &[u8],
         day: u32,
@@ -364,7 +382,7 @@ impl Verifier {
         // ① Quote authenticity and freshness.
         if !resp.quote.verify(&record.ak, nonce) {
             alerts.push(Alert {
-                agent: id.to_string(),
+                agent: id.clone(),
                 day,
                 kind: FailureKind::QuoteInvalid,
             });
@@ -374,7 +392,7 @@ impl Verifier {
         // Log cannot rewind within one boot.
         if resp.total_entries < record.next_entry {
             alerts.push(Alert {
-                agent: id.to_string(),
+                agent: id.clone(),
                 day,
                 kind: FailureKind::LogRewound,
             });
@@ -386,7 +404,7 @@ impl Verifier {
             Ok(log) => log,
             Err(e) => {
                 alerts.push(Alert {
-                    agent: id.to_string(),
+                    agent: id.clone(),
                     day,
                     kind: FailureKind::LogParse {
                         reason: e.to_string(),
@@ -406,7 +424,7 @@ impl Verifier {
         let quoted_pcr10 = resp.quote.pcr_value(IMA_PCR);
         if quoted_pcr10 != Some(full_fold) {
             alerts.push(Alert {
-                agent: id.to_string(),
+                agent: id.clone(),
                 day,
                 kind: FailureKind::PcrMismatch,
             });
@@ -458,7 +476,7 @@ impl Verifier {
                 }
                 Some(kind) => {
                     alerts.push(Alert {
-                        agent: id.to_string(),
+                        agent: id.clone(),
                         day,
                         kind,
                     });
@@ -497,24 +515,30 @@ impl Verifier {
         }
     }
 
-    fn make_nonce(id: &str, counter: u64) -> Vec<u8> {
+    /// Hands the scheduler the per-agent records alongside the config
+    /// snapshot, so each worker can own one `&mut AgentRecord`.
+    pub(crate) fn scheduler_view(
+        &mut self,
+    ) -> (VerifierConfig, &mut BTreeMap<AgentId, AgentRecord>) {
+        (self.config, &mut self.agents)
+    }
+
+    fn make_nonce(id: &AgentId, counter: u64) -> Vec<u8> {
         let mut h = Sha256::new();
-        h.update(id.as_bytes());
+        h.update(id.as_str().as_bytes());
         h.update(&counter.to_be_bytes());
         h.finalize().as_bytes().to_vec()
     }
 
-    fn record(&self, id: &str) -> Result<&AgentRecord, KeylimeError> {
-        self.agents.get(id).ok_or_else(|| KeylimeError::UnknownAgent {
-            id: id.to_string(),
-        })
+    fn record(&self, id: &AgentId) -> Result<&AgentRecord, KeylimeError> {
+        self.agents
+            .get(id)
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })
     }
 
-    fn record_mut(&mut self, id: &str) -> Result<&mut AgentRecord, KeylimeError> {
+    fn record_mut(&mut self, id: &AgentId) -> Result<&mut AgentRecord, KeylimeError> {
         self.agents
             .get_mut(id)
-            .ok_or_else(|| KeylimeError::UnknownAgent {
-                id: id.to_string(),
-            })
+            .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })
     }
 }

@@ -3,7 +3,7 @@
 
 use cia_crypto::HashAlgorithm;
 use cia_keylime::{
-    AgentStatus, AttestationOutcome, Cluster, FailureKind, RuntimePolicy, VerifierConfig,
+    AgentId, AgentStatus, AttestationOutcome, Cluster, FailureKind, RuntimePolicy, VerifierConfig,
 };
 use cia_os::{ExecMethod, MachineConfig};
 use cia_vfs::VfsPath;
@@ -13,7 +13,7 @@ fn p(s: &str) -> VfsPath {
 }
 
 /// A cluster with one machine and a policy covering `/usr/bin/good`.
-fn one_node(config: VerifierConfig) -> (Cluster, String, RuntimePolicy) {
+fn one_node(config: VerifierConfig) -> (Cluster, AgentId, RuntimePolicy) {
     let mut cluster = Cluster::new(7, config);
     let mut policy = RuntimePolicy::new();
     policy.exclude("/tmp");
@@ -24,7 +24,8 @@ fn one_node(config: VerifierConfig) -> (Cluster, String, RuntimePolicy) {
     // Create the known-good binary and record its digest in the policy.
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/good"), b"known good binary").unwrap();
+        m.write_executable(&p("/usr/bin/good"), b"known good binary")
+            .unwrap();
         let digest = m
             .vfs
             .file_digest(&p("/usr/bin/good"), HashAlgorithm::Sha256)
@@ -66,7 +67,8 @@ fn allowed_execution_passes() {
 fn unknown_executable_raises_not_in_policy() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
     let m = cluster.agent_mut(&id).unwrap().machine_mut();
-    m.write_executable(&p("/usr/bin/surprise"), b"not in policy").unwrap();
+    m.write_executable(&p("/usr/bin/surprise"), b"not in policy")
+        .unwrap();
     m.exec(&p("/usr/bin/surprise"), ExecMethod::Direct).unwrap();
 
     match cluster.attest(&id).unwrap() {
@@ -86,7 +88,11 @@ fn modified_binary_raises_hash_mismatch() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
     let m = cluster.agent_mut(&id).unwrap().machine_mut();
     m.vfs
-        .write_file(&p("/usr/bin/good"), b"TROJANED".to_vec(), cia_vfs::Mode::EXEC)
+        .write_file(
+            &p("/usr/bin/good"),
+            b"TROJANED".to_vec(),
+            cia_vfs::Mode::EXEC,
+        )
         .unwrap();
     m.exec(&p("/usr/bin/good"), ExecMethod::Direct).unwrap();
 
@@ -106,11 +112,15 @@ fn excluded_directory_never_alerts_p1() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
     // /tmp is on ext4, so IMA measures it — but the policy excludes it.
     let m = cluster.agent_mut(&id).unwrap().machine_mut();
-    m.write_executable(&p("/tmp/dropper"), b"malicious dropper").unwrap();
+    m.write_executable(&p("/tmp/dropper"), b"malicious dropper")
+        .unwrap();
     let report = m.exec(&p("/tmp/dropper"), ExecMethod::Direct).unwrap();
     assert!(!report.measured_paths.is_empty(), "IMA did measure it");
 
-    assert!(cluster.attest(&id).unwrap().is_verified(), "Keylime skipped it (P1)");
+    assert!(
+        cluster.attest(&id).unwrap().is_verified(),
+        "Keylime skipped it (P1)"
+    );
 }
 
 #[test]
@@ -119,8 +129,10 @@ fn p2_stop_on_failure_hides_later_entries() {
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
         // Step 1: attacker triggers a benign false positive.
-        m.write_executable(&p("/usr/bin/benign-unknown"), b"benign not in policy").unwrap();
-        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct).unwrap();
+        m.write_executable(&p("/usr/bin/benign-unknown"), b"benign not in policy")
+            .unwrap();
+        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct)
+            .unwrap();
     }
     // Verifier pauses on the FP.
     assert!(matches!(
@@ -132,7 +144,8 @@ fn p2_stop_on_failure_hides_later_entries() {
     // Step 2: the actual attack runs while polling is paused.
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/rootkit"), b"actual attack").unwrap();
+        m.write_executable(&p("/usr/bin/rootkit"), b"actual attack")
+            .unwrap();
         m.exec(&p("/usr/bin/rootkit"), ExecMethod::Direct).unwrap();
     }
     // Polling is paused: nothing is even requested.
@@ -166,12 +179,16 @@ fn p2_stop_on_failure_hides_later_entries() {
 fn continue_on_failure_sees_everything() {
     let (mut cluster, id, _) = one_node(VerifierConfig {
         continue_on_failure: true,
+        ..Default::default()
     });
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/benign-unknown"), b"benign not in policy").unwrap();
-        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct).unwrap();
-        m.write_executable(&p("/usr/bin/rootkit"), b"actual attack").unwrap();
+        m.write_executable(&p("/usr/bin/benign-unknown"), b"benign not in policy")
+            .unwrap();
+        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct)
+            .unwrap();
+        m.write_executable(&p("/usr/bin/rootkit"), b"actual attack")
+            .unwrap();
         m.exec(&p("/usr/bin/rootkit"), ExecMethod::Direct).unwrap();
     }
     match cluster.attest(&id).unwrap() {
@@ -185,7 +202,10 @@ fn continue_on_failure_sees_everything() {
         other => panic!("unexpected {other:?}"),
     }
     // Polling continues despite failures.
-    assert!(matches!(cluster.attest(&id).unwrap(), AttestationOutcome::Verified { .. }));
+    assert!(matches!(
+        cluster.attest(&id).unwrap(),
+        AttestationOutcome::Verified { .. }
+    ));
 }
 
 #[test]
@@ -199,7 +219,12 @@ fn reboot_restarts_attestation_cleanly() {
         .unwrap();
     assert!(cluster.attest(&id).unwrap().is_verified());
 
-    cluster.agent_mut(&id).unwrap().machine_mut().reboot().unwrap();
+    cluster
+        .agent_mut(&id)
+        .unwrap()
+        .machine_mut()
+        .reboot()
+        .unwrap();
     // After reboot the log restarts; the verifier notices via boot_count
     // and re-verifies from scratch.
     match cluster.attest(&id).unwrap() {
@@ -213,8 +238,10 @@ fn resolve_by_skipping_gives_the_attacker_a_window() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/benign-unknown"), b"fp trigger").unwrap();
-        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct).unwrap();
+        m.write_executable(&p("/usr/bin/benign-unknown"), b"fp trigger")
+            .unwrap();
+        m.exec(&p("/usr/bin/benign-unknown"), ExecMethod::Direct)
+            .unwrap();
     }
     assert!(matches!(
         cluster.attest(&id).unwrap(),
@@ -223,7 +250,8 @@ fn resolve_by_skipping_gives_the_attacker_a_window() {
     // Attack executes while the operator is still investigating.
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/backdoor"), b"attack").unwrap();
+        m.write_executable(&p("/usr/bin/backdoor"), b"attack")
+            .unwrap();
         m.exec(&p("/usr/bin/backdoor"), ExecMethod::Direct).unwrap();
     }
     // Operator "resolves" by skipping everything accumulated so far —
@@ -269,7 +297,7 @@ fn multi_agent_cluster_attests_independently() {
     }
     // Compromise only node-1.
     {
-        let m = cluster.agent_mut("node-1").unwrap().machine_mut();
+        let m = cluster.agent_mut(&ids[1]).unwrap().machine_mut();
         m.write_executable(&p("/usr/bin/evil"), b"evil").unwrap();
         m.exec(&p("/usr/bin/evil"), ExecMethod::Direct).unwrap();
     }
@@ -366,7 +394,9 @@ fn update_window_retains_both_digests() {
     // Post-update dedup: only v2 remains; running a stale v1 now alerts.
     policy.dedup_retain(
         "/usr/bin/good",
-        &HashAlgorithm::Sha256.digest(b"known good binary v2").to_hex(),
+        &HashAlgorithm::Sha256
+            .digest(b"known good binary v2")
+            .to_hex(),
     );
     cluster.verifier.update_policy(&id, policy).unwrap();
     {
@@ -399,18 +429,28 @@ fn audit_chain_records_every_outcome() {
     let outcomes: Vec<AuditOutcome> = cluster.audit.records().iter().map(|r| r.outcome).collect();
     assert_eq!(
         outcomes,
-        vec![AuditOutcome::Verified, AuditOutcome::Failed, AuditOutcome::Skipped]
+        vec![
+            AuditOutcome::Verified,
+            AuditOutcome::Failed,
+            AuditOutcome::Skipped
+        ]
     );
     // The chain verifies offline against the anchored head.
     let head = cluster.audit.head().unwrap();
-    AuditLog::verify_chain(cluster.audit.records(), cluster.audit.public_key(), Some(&head))
-        .unwrap();
+    AuditLog::verify_chain(
+        cluster.audit.records(),
+        cluster.audit.public_key(),
+        Some(&head),
+    )
+    .unwrap();
 }
 
 #[test]
 fn payload_released_only_after_clean_attestation() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
-    cluster.provision_payload(&id, b"bootstrap-credentials").unwrap();
+    cluster
+        .provision_payload(&id, b"bootstrap-credentials")
+        .unwrap();
 
     // Before any attestation: no payload.
     assert_eq!(cluster.collect_payload(&id).unwrap(), None);
@@ -426,10 +466,13 @@ fn payload_released_only_after_clean_attestation() {
 #[test]
 fn payload_withheld_from_failing_machine() {
     let (mut cluster, id, _) = one_node(VerifierConfig::default());
-    cluster.provision_payload(&id, b"bootstrap-credentials").unwrap();
+    cluster
+        .provision_payload(&id, b"bootstrap-credentials")
+        .unwrap();
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
-        m.write_executable(&p("/usr/bin/implant"), b"implant").unwrap();
+        m.write_executable(&p("/usr/bin/implant"), b"implant")
+            .unwrap();
         m.exec(&p("/usr/bin/implant"), ExecMethod::Direct).unwrap();
     }
     assert!(!cluster.attest(&id).unwrap().is_verified());

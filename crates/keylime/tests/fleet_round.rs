@@ -1,0 +1,169 @@
+//! Fleet-engine integration tests: a lossy concurrent round reaches
+//! every agent, retries are visible in the metrics, and the whole
+//! retry/backoff schedule is deterministic under a fixed seed.
+
+use cia_keylime::{
+    AgentId, Cluster, LossyTransport, RoundOutcome, RoundReport, RuntimePolicy, VerifierConfig,
+};
+use cia_os::MachineConfig;
+use proptest::prelude::*;
+
+fn lossy_fleet(
+    size: u64,
+    drop_rate: f64,
+    seed: u64,
+    config: VerifierConfig,
+) -> Cluster<LossyTransport> {
+    let transport = LossyTransport::new(drop_rate, seed);
+    let mut cluster = Cluster::with_transport(seed ^ 0xf1ee7, config, transport);
+    for i in 0..size {
+        let machine = MachineConfig {
+            hostname: format!("fleet-{i:04}"),
+            seed: i,
+            ..MachineConfig::default()
+        };
+        cluster
+            .add_machine(machine, RuntimePolicy::new())
+            .expect("enrolment retries through the lossy transport");
+    }
+    cluster
+}
+
+fn engine_config() -> VerifierConfig {
+    VerifierConfig::builder()
+        .continue_on_failure(true)
+        .max_retries(16)
+        .retry_backoff_ms(10)
+        .max_backoff_ms(1_000)
+        .worker_count(4)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn lossy_round_reaches_every_agent_with_retries_in_metrics() {
+    let mut cluster = lossy_fleet(40, 0.10, 11, engine_config());
+    let report = cluster.attest_fleet();
+
+    // Zero silent skips: one result per enrolled agent, all reached.
+    assert_eq!(report.results.len(), 40);
+    assert!(report.all_reached(), "{report:?}");
+    for result in &report.results {
+        assert!(
+            matches!(result.outcome, RoundOutcome::Verified { .. }),
+            "clean machine must verify: {result:?}"
+        );
+        assert!(result.attempts >= 1);
+    }
+
+    // 10% loss over ~40 calls makes retries overwhelmingly likely, and
+    // every retry must surface in both the report and the registry.
+    let snapshot = cluster.scheduler.snapshot();
+    assert_eq!(snapshot.rounds, 1);
+    assert_eq!(snapshot.verified, 40);
+    assert_eq!(snapshot.unreachable, 0);
+    assert!(
+        snapshot.retries > 0,
+        "no retries at 10% loss is implausible"
+    );
+    assert_eq!(snapshot.retries, report.total_retries());
+    assert!(snapshot.calls >= 40 + snapshot.retries);
+    assert!(snapshot.drops >= snapshot.retries);
+    assert!(snapshot.backoff_ms > 0);
+    assert!(snapshot.latency_ns_buckets.iter().sum::<u64>() >= snapshot.calls);
+
+    // The audit chain durably records the whole round, in id order.
+    assert_eq!(cluster.audit.len(), 40);
+    let ids: Vec<&AgentId> = cluster.audit.records().iter().map(|r| &r.agent).collect();
+    let mut sorted = ids.clone();
+    sorted.sort();
+    assert_eq!(ids, sorted);
+}
+
+#[test]
+fn exhausted_retry_budget_reports_unreachable_not_silence() {
+    // A transport that always drops: every agent must still be reported.
+    let config = VerifierConfig::builder().max_retries(2).build().unwrap();
+    let mut cluster = lossy_fleet(5, 0.0, 3, config);
+    // Swap in a fully lossy transport after enrolment.
+    cluster.transport = LossyTransport::new(1.0, 3);
+    let report = cluster.attest_fleet();
+
+    assert_eq!(report.results.len(), 5);
+    assert_eq!(report.unreachable_count(), 5);
+    for result in &report.results {
+        assert!(matches!(result.outcome, RoundOutcome::Unreachable { .. }));
+        // Budget fully spent: the first attempt plus max_retries.
+        assert_eq!(result.attempts, 3);
+    }
+    let snapshot = cluster.scheduler.snapshot();
+    assert_eq!(snapshot.unreachable, 5);
+    assert_eq!(snapshot.verified, 0);
+    // The audit chain records the unreachable outcomes too.
+    assert_eq!(cluster.audit.len(), 5);
+}
+
+fn round_fingerprint(report: &RoundReport) -> Vec<(AgentId, u32, u64, bool)> {
+    report
+        .results
+        .iter()
+        .map(|r| {
+            (
+                r.id.clone(),
+                r.attempts,
+                r.backoff_ms,
+                matches!(r.outcome, RoundOutcome::Verified { .. }),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Retry/backoff behaviour is a pure function of the transport seed:
+    /// two identical fleets under the same seed and drop rate produce
+    /// byte-identical per-agent attempt counts and backoff schedules,
+    /// regardless of worker interleaving — and the schedule matches the
+    /// config's exponential-doubling formula exactly.
+    #[test]
+    fn retry_backoff_is_deterministic_under_fixed_seed(
+        seed in any::<u64>(),
+        drop_pct in 0u32..45,
+        workers in 1usize..6,
+    ) {
+        let config = VerifierConfig::builder()
+            .continue_on_failure(true)
+            .max_retries(24)
+            .retry_backoff_ms(10)
+            .max_backoff_ms(160)
+            .worker_count(workers)
+            .build()
+            .unwrap();
+        let drop_rate = f64::from(drop_pct) / 100.0;
+
+        let mut first = lossy_fleet(6, drop_rate, seed, config);
+        let mut second = lossy_fleet(6, drop_rate, seed, config);
+        let report_a = first.attest_fleet();
+        let report_b = second.attest_fleet();
+
+        prop_assert_eq!(round_fingerprint(&report_a), round_fingerprint(&report_b));
+
+        // The recorded backoff is exactly the configured schedule folded
+        // over the attempts that failed.
+        for result in &report_a.results {
+            let expected: u64 = (1..result.attempts)
+                .map(|a| config.backoff_for_attempt(a).as_millis() as u64)
+                .sum();
+            prop_assert_eq!(result.backoff_ms, expected);
+        }
+
+        // Aggregate metrics agree between the twin runs.
+        let snap_a = first.scheduler.snapshot();
+        let snap_b = second.scheduler.snapshot();
+        prop_assert_eq!(snap_a.retries, snap_b.retries);
+        prop_assert_eq!(snap_a.drops, snap_b.drops);
+        prop_assert_eq!(snap_a.backoff_ms, snap_b.backoff_ms);
+        prop_assert_eq!(snap_a.verified, snap_b.verified);
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for runtime policies and the transport codec.
 
-use cia_keylime::{PolicyCheck, RuntimePolicy, Transport};
+use cia_keylime::{PolicyCheck, ReliableTransport, RuntimePolicy, Transport};
 use proptest::prelude::*;
 
 fn path() -> impl Strategy<Value = String> {
@@ -98,7 +98,7 @@ proptest! {
     /// payloads.
     #[test]
     fn transport_codec_lossless(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut transport = Transport::reliable();
+        let mut transport = ReliableTransport::new();
         let echoed: Vec<u8> = transport.call(&payload, |p: Vec<u8>| p).unwrap();
         prop_assert_eq!(echoed, payload);
     }

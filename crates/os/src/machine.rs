@@ -228,7 +228,9 @@ impl Machine {
     /// The path IMA records for `path`: the in-sandbox view for SNAP
     /// files, the path itself otherwise.
     pub fn recorded_path(&self, path: &VfsPath) -> VfsPath {
-        self.snaps.sandbox_path(path).unwrap_or_else(|| path.clone())
+        self.snaps
+            .sandbox_path(path)
+            .unwrap_or_else(|| path.clone())
     }
 
     /// Executes `path` using `method`, driving the corresponding IMA
@@ -252,7 +254,9 @@ impl Machine {
                 self.enforce_appraisal(path)?;
                 let recorded = self.recorded_path(path);
                 let before = self.ima.log().len();
-                let outcome = self.ima.on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+                let outcome = self
+                    .ima
+                    .on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
                 report.target_evaluated = outcome != cia_ima::engine::MeasureOutcome::PolicyExempt;
                 if self.ima.log().len() > before {
                     report.measured_paths.push(recorded.to_string());
@@ -304,7 +308,8 @@ impl Machine {
         }
         let recorded = self.recorded_path(path);
         let before = self.ima.log().len();
-        self.ima.on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+        self.ima
+            .on_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
         if self.ima.log().len() > before {
             report.measured_paths.push(recorded.to_string());
         }
@@ -315,7 +320,10 @@ impl Machine {
     fn shebang_interpreter(&self, path: &VfsPath) -> Result<Option<VfsPath>, MachineError> {
         let content = self.vfs.read(path)?;
         if content.starts_with(b"#!") {
-            let line_end = content.iter().position(|&b| b == b'\n').unwrap_or(content.len());
+            let line_end = content
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap_or(content.len());
             let line = String::from_utf8_lossy(&content[2..line_end]);
             let interp = line.split_whitespace().next().unwrap_or("");
             if interp.starts_with('/') {
@@ -332,7 +340,8 @@ impl Machine {
     /// Filesystem/TPM errors.
     pub fn mmap_library(&mut self, path: &VfsPath) -> Result<(), MachineError> {
         let recorded = self.recorded_path(path);
-        self.ima.on_mmap_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
+        self.ima
+            .on_mmap_exec(&self.vfs, path, &recorded, &mut self.tpm)?;
         Ok(())
     }
 
@@ -359,7 +368,8 @@ impl Machine {
     ) -> Result<UpgradeReport, MachineError> {
         let report = self.apt.upgrade_all(&mut self.vfs, available)?;
         // ~5 minutes of apt runtime for a typical update window (§III-C).
-        self.clock.advance_minutes(if report.upgraded.is_empty() { 1 } else { 5 });
+        self.clock
+            .advance_minutes(if report.upgraded.is_empty() { 1 } else { 5 });
         Ok(report)
     }
 
@@ -368,11 +378,7 @@ impl Machine {
     /// # Errors
     ///
     /// Filesystem errors.
-    pub fn write_executable(
-        &mut self,
-        path: &VfsPath,
-        content: &[u8],
-    ) -> Result<(), MachineError> {
+    pub fn write_executable(&mut self, path: &VfsPath, content: &[u8]) -> Result<(), MachineError> {
         if let Some(parent) = path.parent() {
             self.vfs.mkdir_p(&parent)?;
         }
@@ -421,7 +427,11 @@ mod tests {
         assert_eq!(m.boots(), 1);
         assert_eq!(m.ima.log().len(), 1);
         assert_eq!(m.ima.log().entries()[0].path, cia_ima::BOOT_AGGREGATE_NAME);
-        assert!(!m.tpm.pcr_read(HashAlgorithm::Sha256, IMA_PCR).unwrap().is_zero());
+        assert!(!m
+            .tpm
+            .pcr_read(HashAlgorithm::Sha256, IMA_PCR)
+            .unwrap()
+            .is_zero());
     }
 
     #[test]
@@ -438,7 +448,9 @@ mod tests {
     fn exec_requires_exec_bit() {
         let mut m = machine();
         let f = p("/usr/bin/noexec");
-        m.vfs.create_file(&f, b"data".to_vec(), Mode::REGULAR).unwrap();
+        m.vfs
+            .create_file(&f, b"data".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert!(matches!(
             m.exec(&f, ExecMethod::Direct),
             Err(MachineError::NotExecutable { .. })
@@ -451,12 +463,16 @@ mod tests {
         let py = p("/usr/bin/python3");
         let script = p("/usr/local/bin/task.py");
         m.write_executable(&py, b"python interpreter").unwrap();
-        m.write_executable(&script, b"#!/usr/bin/python3\nprint('hi')").unwrap();
+        m.write_executable(&script, b"#!/usr/bin/python3\nprint('hi')")
+            .unwrap();
         let report = m.exec(&script, ExecMethod::Shebang).unwrap();
         assert!(report.target_evaluated);
         assert_eq!(
             report.measured_paths,
-            vec!["/usr/local/bin/task.py".to_string(), "/usr/bin/python3".to_string()]
+            vec![
+                "/usr/local/bin/task.py".to_string(),
+                "/usr/bin/python3".to_string()
+            ]
         );
     }
 
@@ -501,7 +517,9 @@ mod tests {
         let py = p("/usr/bin/python3");
         let script = p("/usr/local/bin/attack.py");
         m.write_executable(&py, b"python interpreter").unwrap();
-        m.vfs.create_file(&script, b"import os".to_vec(), Mode::REGULAR).unwrap();
+        m.vfs
+            .create_file(&script, b"import os".to_vec(), Mode::REGULAR)
+            .unwrap();
         let report = m
             .exec(
                 &script,
@@ -512,7 +530,9 @@ mod tests {
             )
             .unwrap();
         assert!(report.target_evaluated);
-        assert!(report.measured_paths.contains(&"/usr/local/bin/attack.py".to_string()));
+        assert!(report
+            .measured_paths
+            .contains(&"/usr/local/bin/attack.py".to_string()));
     }
 
     #[test]
@@ -637,7 +657,8 @@ mod more_tests {
         let mut m = machine();
         m.write_executable(&p("/bin/bash"), b"bash").unwrap();
         let script = p("/usr/local/bin/run.sh");
-        m.write_executable(&script, b"#!/bin/bash -eu\necho hi").unwrap();
+        m.write_executable(&script, b"#!/bin/bash -eu\necho hi")
+            .unwrap();
         let report = m.exec(&script, ExecMethod::Shebang).unwrap();
         assert!(report.measured_paths.contains(&"/bin/bash".to_string()));
     }
@@ -672,7 +693,10 @@ mod more_tests {
         let lib = p("/usr/lib/libfoo.so");
         m.write_executable(&lib, b"lib").unwrap();
         m.mmap_library(&lib).unwrap();
-        assert_eq!(m.ima.log().entries().last().unwrap().path, "/usr/lib/libfoo.so");
+        assert_eq!(
+            m.ima.log().entries().last().unwrap().path,
+            "/usr/lib/libfoo.so"
+        );
         assert_eq!(
             m.ima.log().entries().last().unwrap().filedata_hash,
             HashAlgorithm::Sha256.digest(b"lib")
@@ -763,7 +787,9 @@ mod appraisal_tests {
         sign_file(&mut m.vfs, &tool, &kp.signing).unwrap();
         m.exec(&tool, ExecMethod::Direct).unwrap();
         // Attacker rewrites the binary: the stale signature fails closed.
-        m.vfs.write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC).unwrap();
+        m.vfs
+            .write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC)
+            .unwrap();
         assert!(matches!(
             m.exec(&tool, ExecMethod::Direct),
             Err(MachineError::AppraisalDenied { .. })

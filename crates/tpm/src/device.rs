@@ -132,7 +132,14 @@ impl Tpm {
             .map(|i| self.bank(bank).read(i).expect("selection indices in range"))
             .collect();
         let pcr_digest = Quote::digest_pcrs(&pcr_values);
-        let msg = Quote::message_bytes(nonce, selection, bank, &pcr_digest, self.boot_count, self.clock);
+        let msg = Quote::message_bytes(
+            nonce,
+            selection,
+            bank,
+            &pcr_digest,
+            self.boot_count,
+            self.clock,
+        );
         Ok(Quote {
             nonce: nonce.to_vec(),
             selection: *selection,
@@ -199,8 +206,12 @@ mod tests {
     #[test]
     fn reboot_resets_pcrs_and_bumps_counter() {
         let mut tpm = new_tpm(12);
-        tpm.pcr_extend(HashAlgorithm::Sha256, 10, HashAlgorithm::Sha256.digest(b"x"))
-            .unwrap();
+        tpm.pcr_extend(
+            HashAlgorithm::Sha256,
+            10,
+            HashAlgorithm::Sha256.digest(b"x"),
+        )
+        .unwrap();
         assert!(!tpm.pcr_read(HashAlgorithm::Sha256, 10).unwrap().is_zero());
         let ak_before = tpm.ak_public().unwrap().clone();
         tpm.reboot();
@@ -210,10 +221,14 @@ mod tests {
     }
 
     #[test]
-    fn banks_are_independent(){
+    fn banks_are_independent() {
         let mut tpm = new_tpm(13);
-        tpm.pcr_extend(HashAlgorithm::Sha256, 10, HashAlgorithm::Sha256.digest(b"x"))
-            .unwrap();
+        tpm.pcr_extend(
+            HashAlgorithm::Sha256,
+            10,
+            HashAlgorithm::Sha256.digest(b"x"),
+        )
+        .unwrap();
         assert!(tpm.pcr_read(HashAlgorithm::Sha1, 10).unwrap().is_zero());
     }
 

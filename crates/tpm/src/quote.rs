@@ -118,8 +118,12 @@ mod tests {
     #[test]
     fn quote_roundtrip() {
         let mut tpm = tpm_with_ak();
-        tpm.pcr_extend(HashAlgorithm::Sha256, 10, HashAlgorithm::Sha256.digest(b"m"))
-            .unwrap();
+        tpm.pcr_extend(
+            HashAlgorithm::Sha256,
+            10,
+            HashAlgorithm::Sha256.digest(b"m"),
+        )
+        .unwrap();
         let q = tpm
             .quote(b"nonce-1", &PcrSelection::single(10), HashAlgorithm::Sha256)
             .unwrap();
@@ -143,8 +147,12 @@ mod tests {
     #[test]
     fn tampered_pcr_values_rejected() {
         let mut tpm = tpm_with_ak();
-        tpm.pcr_extend(HashAlgorithm::Sha256, 10, HashAlgorithm::Sha256.digest(b"real"))
-            .unwrap();
+        tpm.pcr_extend(
+            HashAlgorithm::Sha256,
+            10,
+            HashAlgorithm::Sha256.digest(b"real"),
+        )
+        .unwrap();
         let mut q = tpm
             .quote(b"n", &PcrSelection::single(10), HashAlgorithm::Sha256)
             .unwrap();
@@ -171,21 +179,26 @@ mod tests {
     fn multi_pcr_selection_order() {
         let mut tpm = tpm_with_ak();
         for i in [0u8, 7, 10] {
-            tpm.pcr_extend(
-                HashAlgorithm::Sha256,
-                i,
-                HashAlgorithm::Sha256.digest(&[i]),
-            )
-            .unwrap();
+            tpm.pcr_extend(HashAlgorithm::Sha256, i, HashAlgorithm::Sha256.digest(&[i]))
+                .unwrap();
         }
         let q = tpm
             .quote(b"n", &PcrSelection::of(&[10, 0, 7]), HashAlgorithm::Sha256)
             .unwrap();
         assert_eq!(q.pcr_values.len(), 3);
         // Ascending index order regardless of how the selection was built.
-        assert_eq!(q.pcr_value(0).unwrap(), tpm.pcr_read(HashAlgorithm::Sha256, 0).unwrap());
-        assert_eq!(q.pcr_value(7).unwrap(), tpm.pcr_read(HashAlgorithm::Sha256, 7).unwrap());
-        assert_eq!(q.pcr_value(10).unwrap(), tpm.pcr_read(HashAlgorithm::Sha256, 10).unwrap());
+        assert_eq!(
+            q.pcr_value(0).unwrap(),
+            tpm.pcr_read(HashAlgorithm::Sha256, 0).unwrap()
+        );
+        assert_eq!(
+            q.pcr_value(7).unwrap(),
+            tpm.pcr_read(HashAlgorithm::Sha256, 7).unwrap()
+        );
+        assert_eq!(
+            q.pcr_value(10).unwrap(),
+            tpm.pcr_read(HashAlgorithm::Sha256, 10).unwrap()
+        );
         assert!(q.verify(tpm.ak_public().unwrap(), b"n"));
     }
 }

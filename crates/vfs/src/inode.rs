@@ -23,7 +23,9 @@ impl Mode {
 
     /// Builds a mode from raw permission bits.
     pub fn from_bits(bits: u16) -> Self {
-        Mode { bits: bits & 0o7777 }
+        Mode {
+            bits: bits & 0o7777,
+        }
     }
 
     /// The raw permission bits.
@@ -135,8 +137,14 @@ mod tests {
 
     #[test]
     fn file_id_ordering_and_display() {
-        let a = FileId { fs: FilesystemId(0), ino: 1 };
-        let b = FileId { fs: FilesystemId(0), ino: 2 };
+        let a = FileId {
+            fs: FilesystemId(0),
+            ino: 1,
+        };
+        let b = FileId {
+            fs: FilesystemId(0),
+            ino: 2,
+        };
         assert!(a < b);
         assert_eq!(a.to_string(), "fs0:ino1");
     }

@@ -52,7 +52,10 @@ impl FilesystemKind {
 
     /// Whether file contents survive a reboot.
     pub fn is_persistent(self) -> bool {
-        matches!(self, FilesystemKind::Ext4 | FilesystemKind::Squashfs | FilesystemKind::Overlayfs)
+        matches!(
+            self,
+            FilesystemKind::Ext4 | FilesystemKind::Squashfs | FilesystemKind::Overlayfs
+        )
     }
 
     /// The `/proc/mounts` type name.
@@ -166,7 +169,9 @@ impl MountTable {
     ///
     /// Returns `None` when no root filesystem is mounted.
     pub fn resolve(&self, path: &VfsPath) -> Option<&Mount> {
-        self.mounts.iter().find(|m| path.starts_with(&m.mount_point))
+        self.mounts
+            .iter()
+            .find(|m| path.starts_with(&m.mount_point))
     }
 
     /// All mounts, deepest mount point first.
@@ -205,7 +210,10 @@ mod tests {
         assert_eq!(table.resolve(&p("/usr/bin/ls")).unwrap().fs_id, root);
         assert_eq!(table.resolve(&p("/tmp/x")).unwrap().fs_id, tmp);
         assert_eq!(
-            table.resolve(&p("/snap/core20/1234/bin/python3")).unwrap().fs_id,
+            table
+                .resolve(&p("/snap/core20/1234/bin/python3"))
+                .unwrap()
+                .fs_id,
             snap
         );
         // /snap itself (not under the revision mount) is on the root fs.

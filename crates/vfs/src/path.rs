@@ -254,7 +254,10 @@ mod tests {
 
     #[test]
     fn components_and_depth() {
-        assert_eq!(p("/a/b/c").components().collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(
+            p("/a/b/c").components().collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
         assert_eq!(p("/a/b/c").depth(), 3);
         assert_eq!(VfsPath::root().depth(), 0);
     }

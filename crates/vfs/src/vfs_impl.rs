@@ -43,23 +43,53 @@ impl Vfs {
         vfs.mount(&VfsPath::root(), FilesystemKind::Ext4)
             .expect("mount root");
         for dir in [
-            "/bin", "/sbin", "/boot", "/dev", "/etc", "/home", "/lib", "/lib/modules", "/opt",
-            "/proc", "/root", "/run", "/snap", "/srv", "/sys", "/tmp", "/usr", "/usr/bin",
-            "/usr/sbin", "/usr/lib", "/usr/local", "/usr/local/bin", "/usr/share", "/var",
-            "/var/lib", "/var/log", "/var/tmp",
+            "/bin",
+            "/sbin",
+            "/boot",
+            "/dev",
+            "/etc",
+            "/home",
+            "/lib",
+            "/lib/modules",
+            "/opt",
+            "/proc",
+            "/root",
+            "/run",
+            "/snap",
+            "/srv",
+            "/sys",
+            "/tmp",
+            "/usr",
+            "/usr/bin",
+            "/usr/sbin",
+            "/usr/lib",
+            "/usr/local",
+            "/usr/local/bin",
+            "/usr/share",
+            "/var",
+            "/var/lib",
+            "/var/log",
+            "/var/tmp",
         ] {
             vfs.mkdir_p(&p(dir)).expect("mkdir standard layout");
         }
-        vfs.mount(&p("/boot"), FilesystemKind::Ext4).expect("mount /boot");
-        vfs.mount(&p("/run"), FilesystemKind::Tmpfs).expect("mount /run");
-        vfs.mount(&p("/dev"), FilesystemKind::Devtmpfs).expect("mount /dev");
+        vfs.mount(&p("/boot"), FilesystemKind::Ext4)
+            .expect("mount /boot");
+        vfs.mount(&p("/run"), FilesystemKind::Tmpfs)
+            .expect("mount /run");
+        vfs.mount(&p("/dev"), FilesystemKind::Devtmpfs)
+            .expect("mount /dev");
         vfs.mkdir_p(&p("/dev/shm")).expect("mkdir /dev/shm");
-        vfs.mount(&p("/dev/shm"), FilesystemKind::Tmpfs).expect("mount /dev/shm");
-        vfs.mount(&p("/proc"), FilesystemKind::Procfs).expect("mount /proc");
-        vfs.mount(&p("/sys"), FilesystemKind::Sysfs).expect("mount /sys");
+        vfs.mount(&p("/dev/shm"), FilesystemKind::Tmpfs)
+            .expect("mount /dev/shm");
+        vfs.mount(&p("/proc"), FilesystemKind::Procfs)
+            .expect("mount /proc");
+        vfs.mount(&p("/sys"), FilesystemKind::Sysfs)
+            .expect("mount /sys");
         vfs.mkdir_p(&p("/sys/kernel")).expect("mkdir /sys/kernel");
         vfs.mkdir_p(&p("/sys/kernel/debug")).expect("mkdir debug");
-        vfs.mkdir_p(&p("/sys/kernel/security")).expect("mkdir security");
+        vfs.mkdir_p(&p("/sys/kernel/security"))
+            .expect("mkdir security");
         vfs.mount(&p("/sys/kernel/debug"), FilesystemKind::Debugfs)
             .expect("mount debugfs");
         vfs.mount(&p("/sys/kernel/security"), FilesystemKind::Securityfs)
@@ -152,10 +182,16 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] when no root filesystem is mounted.
-    pub fn filesystem_of(&self, path: &VfsPath) -> Result<(FilesystemId, FilesystemKind), VfsError> {
-        let mount = self.mounts.resolve(path).ok_or_else(|| VfsError::NotFound {
-            path: path.to_string(),
-        })?;
+    pub fn filesystem_of(
+        &self,
+        path: &VfsPath,
+    ) -> Result<(FilesystemId, FilesystemKind), VfsError> {
+        let mount = self
+            .mounts
+            .resolve(path)
+            .ok_or_else(|| VfsError::NotFound {
+                path: path.to_string(),
+            })?;
         Ok((mount.fs_id, mount.kind))
     }
 
@@ -536,7 +572,11 @@ impl Vfs {
     /// # Errors
     ///
     /// [`VfsError::NotFound`] or [`VfsError::IsADirectory`].
-    pub fn file_digest(&self, path: &VfsPath, algorithm: HashAlgorithm) -> Result<Digest, VfsError> {
+    pub fn file_digest(
+        &self,
+        path: &VfsPath,
+        algorithm: HashAlgorithm,
+    ) -> Result<Digest, VfsError> {
         Ok(algorithm.digest(self.read(path)?))
     }
 
@@ -568,7 +608,11 @@ impl Vfs {
                 out.push(p.clone());
             }
         }
-        for p in self.dirs.range(dir.clone()..).take_while(|p| p.starts_with(dir)) {
+        for p in self
+            .dirs
+            .range(dir.clone()..)
+            .take_while(|p| p.starts_with(dir))
+        {
             if p.depth() == want_depth {
                 out.push(p.clone());
             }
@@ -715,14 +759,26 @@ mod tests {
     #[test]
     fn standard_layout_mounts() {
         let vfs = standard();
-        assert_eq!(vfs.filesystem_of(&p("/usr/bin/ls")).unwrap().1, FilesystemKind::Ext4);
-        assert_eq!(vfs.filesystem_of(&p("/tmp/x")).unwrap().1, FilesystemKind::Ext4);
-        assert_eq!(vfs.filesystem_of(&p("/proc/self")).unwrap().1, FilesystemKind::Procfs);
+        assert_eq!(
+            vfs.filesystem_of(&p("/usr/bin/ls")).unwrap().1,
+            FilesystemKind::Ext4
+        );
+        assert_eq!(
+            vfs.filesystem_of(&p("/tmp/x")).unwrap().1,
+            FilesystemKind::Ext4
+        );
+        assert_eq!(
+            vfs.filesystem_of(&p("/proc/self")).unwrap().1,
+            FilesystemKind::Procfs
+        );
         assert_eq!(
             vfs.filesystem_of(&p("/sys/kernel/debug/x")).unwrap().1,
             FilesystemKind::Debugfs
         );
-        assert_eq!(vfs.filesystem_of(&p("/dev/shm/x")).unwrap().1, FilesystemKind::Tmpfs);
+        assert_eq!(
+            vfs.filesystem_of(&p("/dev/shm/x")).unwrap().1,
+            FilesystemKind::Tmpfs
+        );
     }
 
     #[test]
@@ -774,7 +830,10 @@ mod tests {
         let after = vfs.metadata(&b).unwrap();
         assert_eq!(before.file_id, after.file_id);
         assert_eq!(after.file_id, id);
-        assert_eq!(after.iversion, before.iversion, "rename must not bump i_version");
+        assert_eq!(
+            after.iversion, before.iversion,
+            "rename must not bump i_version"
+        );
         assert!(!vfs.exists(&a));
     }
 
@@ -839,7 +898,8 @@ mod tests {
     fn chmod_exec() {
         let mut vfs = standard();
         let f = p("/tmp/script");
-        vfs.create_file(&f, b"#!/bin/sh".to_vec(), Mode::REGULAR).unwrap();
+        vfs.create_file(&f, b"#!/bin/sh".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert!(!vfs.metadata(&f).unwrap().mode.is_executable());
         vfs.chmod_exec(&f, true).unwrap();
         assert!(vfs.metadata(&f).unwrap().mode.is_executable());
@@ -848,9 +908,11 @@ mod tests {
     #[test]
     fn list_dir_children_only() {
         let mut vfs = standard();
-        vfs.create_file(&p("/etc/a"), vec![], Mode::REGULAR).unwrap();
+        vfs.create_file(&p("/etc/a"), vec![], Mode::REGULAR)
+            .unwrap();
         vfs.mkdir_p(&p("/etc/sub")).unwrap();
-        vfs.create_file(&p("/etc/sub/nested"), vec![], Mode::REGULAR).unwrap();
+        vfs.create_file(&p("/etc/sub/nested"), vec![], Mode::REGULAR)
+            .unwrap();
         let listing = vfs.list_dir(&p("/etc")).unwrap();
         assert_eq!(listing, vec![p("/etc/a"), p("/etc/sub")]);
     }
@@ -858,10 +920,16 @@ mod tests {
     #[test]
     fn walk_files_under_prefix() {
         let mut vfs = standard();
-        vfs.create_file(&p("/usr/bin/x"), vec![], Mode::EXEC).unwrap();
-        vfs.create_file(&p("/usr/lib/y"), vec![], Mode::EXEC).unwrap();
-        vfs.create_file(&p("/etc/z"), vec![], Mode::REGULAR).unwrap();
-        let under_usr: Vec<_> = vfs.walk_files(&p("/usr")).map(|q| q.as_str().to_string()).collect();
+        vfs.create_file(&p("/usr/bin/x"), vec![], Mode::EXEC)
+            .unwrap();
+        vfs.create_file(&p("/usr/lib/y"), vec![], Mode::EXEC)
+            .unwrap();
+        vfs.create_file(&p("/etc/z"), vec![], Mode::REGULAR)
+            .unwrap();
+        let under_usr: Vec<_> = vfs
+            .walk_files(&p("/usr"))
+            .map(|q| q.as_str().to_string())
+            .collect();
         assert_eq!(under_usr, ["/usr/bin/x", "/usr/lib/y"]);
     }
 
@@ -869,9 +937,12 @@ mod tests {
     fn reboot_clears_tmpfs_not_ext4() {
         let mut vfs = standard();
         vfs.mkdir_p(&p("/dev/shm/dir")).unwrap();
-        vfs.create_file(&p("/dev/shm/volatile"), vec![], Mode::EXEC).unwrap();
-        vfs.create_file(&p("/tmp/on-disk"), vec![], Mode::EXEC).unwrap();
-        vfs.create_file(&p("/usr/bin/persistent"), vec![], Mode::EXEC).unwrap();
+        vfs.create_file(&p("/dev/shm/volatile"), vec![], Mode::EXEC)
+            .unwrap();
+        vfs.create_file(&p("/tmp/on-disk"), vec![], Mode::EXEC)
+            .unwrap();
+        vfs.create_file(&p("/usr/bin/persistent"), vec![], Mode::EXEC)
+            .unwrap();
         vfs.reboot_clear_volatile();
         assert!(!vfs.exists(&p("/dev/shm/volatile")));
         assert!(!vfs.exists(&p("/dev/shm/dir")));
@@ -884,20 +955,29 @@ mod tests {
     fn unmount_discards_files() {
         let mut vfs = standard();
         vfs.mkdir_p(&p("/snap/core20/1234")).unwrap();
-        vfs.mount(&p("/snap/core20/1234"), FilesystemKind::Squashfs).unwrap();
-        vfs.mkdir_p(&p("/snap/core20/1234/usr/bin")).unwrap();
-        vfs.create_file(&p("/snap/core20/1234/usr/bin/python3"), b"py".to_vec(), Mode::EXEC)
+        vfs.mount(&p("/snap/core20/1234"), FilesystemKind::Squashfs)
             .unwrap();
+        vfs.mkdir_p(&p("/snap/core20/1234/usr/bin")).unwrap();
+        vfs.create_file(
+            &p("/snap/core20/1234/usr/bin/python3"),
+            b"py".to_vec(),
+            Mode::EXEC,
+        )
+        .unwrap();
         vfs.unmount(&p("/snap/core20/1234")).unwrap();
         assert!(!vfs.exists(&p("/snap/core20/1234/usr/bin/python3")));
-        assert!(vfs.exists(&p("/snap/core20/1234")), "mount point dir remains");
+        assert!(
+            vfs.exists(&p("/snap/core20/1234")),
+            "mount point dir remains"
+        );
     }
 
     #[test]
     fn remove_dir_semantics() {
         let mut vfs = standard();
         vfs.mkdir_p(&p("/opt/app")).unwrap();
-        vfs.create_file(&p("/opt/app/bin"), vec![], Mode::EXEC).unwrap();
+        vfs.create_file(&p("/opt/app/bin"), vec![], Mode::EXEC)
+            .unwrap();
         assert!(matches!(
             vfs.remove_dir(&p("/opt/app")),
             Err(VfsError::DirectoryNotEmpty { .. })
@@ -910,7 +990,8 @@ mod tests {
     fn digest_matches_content() {
         let mut vfs = standard();
         let f = p("/usr/bin/hashme");
-        vfs.create_file(&f, b"content".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&f, b"content".to_vec(), Mode::EXEC)
+            .unwrap();
         assert_eq!(
             vfs.file_digest(&f, HashAlgorithm::Sha256).unwrap(),
             HashAlgorithm::Sha256.digest(b"content")
@@ -921,8 +1002,10 @@ mod tests {
     fn counts() {
         let mut vfs = standard();
         assert_eq!(vfs.file_count(), 0);
-        vfs.create_file(&p("/etc/a"), b"12345".to_vec(), Mode::REGULAR).unwrap();
-        vfs.create_file(&p("/etc/b"), b"123".to_vec(), Mode::REGULAR).unwrap();
+        vfs.create_file(&p("/etc/a"), b"12345".to_vec(), Mode::REGULAR)
+            .unwrap();
+        vfs.create_file(&p("/etc/b"), b"123".to_vec(), Mode::REGULAR)
+            .unwrap();
         assert_eq!(vfs.file_count(), 2);
         assert_eq!(vfs.total_bytes(), 8);
     }
@@ -941,7 +1024,8 @@ mod hardlink_tests {
         let mut vfs = Vfs::with_standard_layout();
         let target = p("/usr/bin/tool");
         let link = p("/usr/sbin/tool-alias");
-        vfs.create_file(&target, b"v1".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&target, b"v1".to_vec(), Mode::EXEC)
+            .unwrap();
         let id = vfs.hardlink(&target, &link).unwrap();
         assert_eq!(vfs.metadata(&target).unwrap().file_id, id);
         assert_eq!(vfs.metadata(&link).unwrap().file_id, id);
@@ -986,7 +1070,11 @@ mod hardlink_tests {
 
         vfs.remove_file(&target).unwrap();
         assert!(!vfs.exists(&target));
-        assert_eq!(vfs.read(&link).unwrap(), b"x", "content survives via the link");
+        assert_eq!(
+            vfs.read(&link).unwrap(),
+            b"x",
+            "content survives via the link"
+        );
 
         vfs.remove_file(&link).unwrap();
         assert_eq!(vfs.file_count(), 0);
@@ -998,9 +1086,11 @@ mod hardlink_tests {
         let target = p("/usr/bin/tool");
         let link = p("/usr/sbin/alias");
         let newcomer = p("/usr/bin/newcomer");
-        vfs.create_file(&target, b"old".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&target, b"old".to_vec(), Mode::EXEC)
+            .unwrap();
         vfs.hardlink(&target, &link).unwrap();
-        vfs.create_file(&newcomer, b"new".to_vec(), Mode::EXEC).unwrap();
+        vfs.create_file(&newcomer, b"new".to_vec(), Mode::EXEC)
+            .unwrap();
 
         // Rename over one of the two names: the other keeps the content.
         vfs.rename(&newcomer, &target).unwrap();

@@ -27,7 +27,10 @@ fn main() {
     let adaptive = evaluate(reptile, PlanMode::Adaptive, &DefenseConfig::stock());
     println!("\nadaptive attacker (exploiting P1 + P4):");
     println!("  detected live: {}", adaptive.detected_live());
-    println!("  detected after reboot: {}", adaptive.detected_after_reboot());
+    println!(
+        "  detected after reboot: {}",
+        adaptive.detected_after_reboot()
+    );
     assert!(!adaptive.detected_ever());
 
     // Mitigated deployment: no /tmp exclude, IMA re-evaluates on path

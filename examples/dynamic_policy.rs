@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             update.packages_high,
             update.lines_added,
             update.minutes,
-            if update.kernel_reboot { "  [kernel reboot]" } else { "" }
+            if update.kernel_reboot {
+                "  [kernel reboot]"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -37,14 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(report.false_positives(), 0);
 
-    // The same run, but on day 5 the operator updates from the upstream
+    // The same run, but on day 4 the operator updates from the upstream
     // archive after the mirror sync — the paper's one real-world FP.
     let mut misconfig = LongRunConfig::small(9);
     misconfig.days = 14;
-    misconfig.misconfig_day = Some(5);
+    misconfig.misconfig_day = Some(4);
     let report = run_longrun(misconfig);
 
-    println!("\n== with a day-5 misconfiguration (March 27 analogue) ==");
+    println!("\n== with a day-4 misconfiguration (March 27 analogue) ==");
     println!("false positives: {}", report.false_positives());
     for alert in report.alerts.iter().take(3) {
         println!("  day {}: {:?}", alert.day, alert.kind);

@@ -5,11 +5,16 @@
 //!
 //! Run: `cargo run --example fleet_attestation`
 
-use continuous_attestation::keylime::{Agent, Transport};
+use continuous_attestation::keylime::Agent;
 use continuous_attestation::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cluster = Cluster::new(1234, VerifierConfig::default());
+    // A zero-loss lossy transport: reliable now, loss dialled in later.
+    let mut cluster = Cluster::with_transport(
+        1234,
+        VerifierConfig::default(),
+        LossyTransport::new(0.0, 1234),
+    );
 
     // Enrol ten identical nodes with a shared baseline policy.
     let baseline = VfsPath::new("/usr/bin/service")?;
@@ -45,32 +50,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         machine.exec(&baseline, ExecMethod::Direct)?;
     }
     {
-        let machine = cluster.agent_mut("node-03").unwrap().machine_mut();
+        let machine = cluster.agent_mut(&ids[3]).unwrap().machine_mut();
         let implant = VfsPath::new("/usr/sbin/implant")?;
         machine.write_executable(&implant, b"c2 implant")?;
         machine.exec(&implant, ExecMethod::Direct)?;
     }
 
-    // One attestation sweep across the fleet.
-    println!("\nattestation sweep:");
-    for (id, outcome) in cluster.attest_all()? {
-        let status = match &outcome {
-            AttestationOutcome::Verified { new_entries } => {
+    // One concurrent engine round across the fleet: every node polled by
+    // the scheduler's worker pool, nobody silently skipped.
+    println!("\nattestation sweep (concurrent engine round):");
+    let round = cluster.attest_fleet();
+    for result in &round.results {
+        let status = match &result.outcome {
+            RoundOutcome::Verified { new_entries } => {
                 format!("trusted ({new_entries} new entries)")
             }
-            AttestationOutcome::Failed { alerts } => {
+            RoundOutcome::Failed { alerts } => {
                 format!("FAILED: {:?}", alerts[0].kind)
             }
-            AttestationOutcome::SkippedPaused => "paused".to_string(),
+            RoundOutcome::SkippedPaused => "paused".to_string(),
+            RoundOutcome::Unreachable { reason } => format!("UNREACHABLE: {reason}"),
         };
-        println!("  {id}: {status}");
+        println!("  {}: {status}", result.id);
     }
-    assert_eq!(cluster.status("node-03")?, AgentStatus::Paused);
-    assert_eq!(cluster.status("node-04")?, AgentStatus::Trusted);
+    assert!(round.all_reached());
+    assert_eq!(cluster.status(&ids[3])?, AgentStatus::Paused);
+    assert_eq!(cluster.status(&ids[4])?, AgentStatus::Trusted);
 
     // Payload gating: trusted nodes get their credentials, node-03 does not.
-    assert!(cluster.collect_payload("node-04")?.is_some());
-    assert!(cluster.collect_payload("node-03")?.is_none());
+    assert!(cluster.collect_payload(&ids[4])?.is_some());
+    assert!(cluster.collect_payload(&ids[3])?.is_none());
     println!("\npayloads released to trusted nodes only (node-03 withheld)");
 
     // The load balancer learned about the revocation...
@@ -78,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .revocation_bus
         .subscriber(lb)
         .unwrap()
-        .is_revoked("node-03"));
+        .is_revoked(&ids[3]));
     println!("revocation for node-03 propagated to subscribers");
 
     // ...and the audit chain holds the whole history, tamper-evidently.
@@ -94,17 +103,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The transport is a real boundary: under heavy loss, polls error out
     // and the verifier simply retries later — no state corruption.
     println!("\nsimulating 60% message loss...");
-    cluster.transport = Transport::lossy(0.6, 99);
+    cluster.transport = LossyTransport::new(0.6, 99);
     let mut delivered = 0;
     let mut dropped = 0;
     for _ in 0..10 {
-        match cluster.attest("node-00") {
+        match cluster.attest(&ids[0]) {
             Ok(_) => delivered += 1,
             Err(_) => dropped += 1,
         }
     }
     println!("polls delivered: {delivered}, dropped: {dropped}");
     assert!(delivered > 0, "some polls get through");
-    assert_eq!(cluster.status("node-00")?, AgentStatus::Trusted);
+    assert_eq!(cluster.status(&ids[0])?, AgentStatus::Trusted);
+
+    // The engine, by contrast, absorbs that loss with retries — the
+    // metrics registry shows the work it did. The default 3-retry budget
+    // is sized for mild loss; 60% needs a wider one.
+    cluster.verifier.set_config(
+        VerifierConfig::builder()
+            .max_retries(16)
+            .retry_backoff_ms(5)
+            .worker_count(4)
+            .continue_on_failure(true)
+            .build()?,
+    );
+    let round = cluster.attest_fleet();
+    assert!(round.all_reached(), "retries cover 60% loss");
+    let metrics = cluster.scheduler.snapshot();
+    println!(
+        "engine round under 60% loss: {} calls, {} retries (all {} nodes reached)",
+        metrics.calls,
+        metrics.retries,
+        round.results.len()
+    );
     Ok(())
 }

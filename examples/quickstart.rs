@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (content change bumps i_version) and attestation fails.
     {
         let machine = cluster.agent_mut(&id).unwrap().machine_mut();
-        machine.vfs.write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC)?;
+        machine
+            .vfs
+            .write_file(&tool, b"TROJANED".to_vec(), Mode::EXEC)?;
         machine.exec(&tool, ExecMethod::Direct)?;
     }
     match cluster.attest(&id)? {

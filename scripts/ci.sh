@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints on the keylime crate, and the tier-1 suite.
+#
+# Usage: scripts/ci.sh [--offline]
+#
+# Tier-1 is the root package: `cargo build --release && cargo test -q`.
+# The same steps run in .github/workflows/ci.yml.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" ]]; then
+  OFFLINE=(--offline)
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (cia-keylime, -D warnings) =="
+cargo clippy "${OFFLINE[@]}" -p cia-keylime --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build "${OFFLINE[@]}" --release
+
+echo "== tier-1: cargo test -q =="
+cargo test "${OFFLINE[@]}" -q
+
+echo "CI gate passed."

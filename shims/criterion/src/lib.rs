@@ -1,0 +1,284 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! Provides `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple calibrated timing loop (warm-up, then
+//! a fixed measurement window) printing mean ± stddev per iteration —
+//! enough to compare implementations on this machine without the real
+//! crate's statistics machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` treats its per-iteration setup output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per measurement.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// Setup re-runs for every single iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    measurement_window: Duration,
+    /// Collected per-iteration nanosecond samples.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < self.measurement_window / 10 {
+            black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let batch = calibration_iters.max(1);
+        let deadline = Instant::now() + self.measurement_window;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(nanos);
+        }
+        if self.samples.is_empty() {
+            // Pathologically slow routine: record the single calibration run.
+            self.samples
+                .push(calibration_start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` with fresh setup output per batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_window;
+        let mut guard = 0u32;
+        while Instant::now() < deadline || self.samples.is_empty() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            guard += 1;
+            if guard > 5_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn human_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    let std = var.sqrt();
+    let mut line = format!(
+        "{name:<48} time: {} ± {}",
+        human_nanos(mean),
+        human_nanos(std)
+    );
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let gib_s = bytes as f64 / mean; // bytes per nanosecond == GiB-ish/s
+        line.push_str(&format!("   thrpt: {gib_s:.3} GB/s"));
+    }
+    if let Some(Throughput::Elements(n)) = throughput {
+        let elems_s = n as f64 / mean * 1e9;
+        line.push_str(&format!("   thrpt: {elems_s:.0} elem/s"));
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Shrinks or grows the per-benchmark sample count (accepted for API
+    /// parity; the shim's timing window is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let mut bencher = Bencher {
+            measurement_window: self.criterion.measurement_window,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            &bencher.samples,
+            self.throughput,
+        );
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            measurement_window: self.criterion.measurement_window,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            &bencher.samples,
+            self.throughput,
+        );
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Keep whole-suite runtime sane: the real criterion spends
+            // ~5s per benchmark; the shim's window is deliberately small.
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_window: self.measurement_window,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples, None);
+        self
+    }
+
+    /// Accepted for API parity.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs the configured groups (invoked by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,635 @@
+//! Offline subset of `proptest`.
+//!
+//! Supports what this workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_filter`, integer-range and regex-literal
+//! strategies, tuples, `collection::vec`, `Just`, `prop_oneof!`,
+//! `sample::Index`, `ProptestConfig::with_cases`, and the `proptest!`,
+//! `prop_assert*!` and `prop_assume!` macros.
+//!
+//! Cases are generated from a deterministic seed; there is no shrinking —
+//! a failing case panics with the standard assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Core strategy trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A boxed generation function (type-erased strategy).
+    pub type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Generates values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred` (bounded retry).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Type-erases this strategy into a generation closure.
+        fn into_gen(self) -> BoxedGen<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(move |rng| self.generate(rng))
+        }
+
+        /// Boxes this strategy (API parity with `.boxed()`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen_fn: self.into_gen(),
+            }
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen_fn: BoxedGen<T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.pred)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "proptest shim: filter `{}` rejected 10000 candidates",
+                self.reason
+            )
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedGen<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if empty.
+        pub fn new(options: Vec<BoxedGen<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.rng.random_range(0..self.options.len());
+            (self.options[idx])(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.start..self.end)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String strategies from a regex-literal subset: literal characters,
+    /// `\x` escapes, `[...]` classes with ranges, and `{m}` / `{m,n}`
+    /// repetition. Anything else panics loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("proptest shim: unterminated character class"));
+            match c {
+                ']' => break,
+                '-' => {
+                    // Range if both endpoints exist; else literal '-'.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "proptest shim: bad class range {lo}-{hi}");
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                out.push(char::from_u32(code).unwrap());
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            out.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("proptest shim: dangling escape in class"));
+                    out.push(esc);
+                    prev = Some(esc);
+                }
+                c => {
+                    out.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!out.is_empty(), "proptest shim: empty character class");
+        out
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("proptest shim: dangling escape")),
+                ),
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("proptest shim: unsupported regex syntax `{c}` in `{pattern}`")
+                }
+                c => Atom::Literal(c),
+            };
+            // Optional {m} / {m,n} repetition.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim()
+                            .parse::<usize>()
+                            .expect("bad repetition lower bound"),
+                        n.trim()
+                            .parse::<usize>()
+                            .expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let m = spec.trim().parse::<usize>().expect("bad repetition count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if lo == hi {
+                lo
+            } else {
+                rng.rng.random_range(lo..=hi)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(options) => {
+                        out.push(options[rng.rng.random_range(0..options.len())])
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.random::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index(rng.rng.random::<usize>())
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<T>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// Sizes accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower bound and exclusive upper bound.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty vec size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.random_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`prop::sample::Index`).
+
+    /// An abstract index into a collection of unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// Resolves against a concrete length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner plumbing used by the `proptest!` macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies.
+    pub struct TestRng {
+        /// Underlying deterministic generator.
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// A fixed-seed rng: property tests are reproducible run-to-run.
+        pub fn deterministic() -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(0x70_72_6f_70_74_65_73_74), // "proptest"
+            }
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub enum CaseOutcome {
+        /// Case ran to completion.
+        Pass,
+        /// `prop_assume!` rejected the inputs.
+        Reject,
+    }
+}
+
+/// The `prop::` alias used by `use proptest::prelude::*` call sites.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `prop::…` paths (e.g. `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs each property over deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($argname:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            let mut __executed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __executed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(200),
+                    "proptest shim: too many rejected cases in {}",
+                    stringify!($name),
+                );
+                $(let $argname = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome = (move || -> $crate::test_runner::CaseOutcome {
+                    $body
+                    $crate::test_runner::CaseOutcome::Pass
+                })();
+                if let $crate::test_runner::CaseOutcome::Pass = __outcome {
+                    __executed += 1;
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::into_gen($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Rejects the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_expected_shapes() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z0-9]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let v = Strategy::generate(&"[0-9]\\.[0-9]{1,2}\\.[0-9]-[0-9]{1,3}", &mut rng);
+            let parts: Vec<&str> = v.split('.').collect();
+            assert_eq!(parts.len(), 3, "version-ish string: {v}");
+            assert!(v.contains('-'));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(101u32),
+        ]) {
+            prop_assert!(x == 101 || (x % 2 == 0 && x < 20));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `serde` with this shim. The model is a self-describing [`Value`] tree:
+//! [`Serialize`] renders a type into a `Value`, [`Deserialize`] rebuilds
+//! it, and `serde_json` (also shimmed) converts `Value` to and from real
+//! JSON text. The derive macros in `serde_derive` generate the
+//! externally-tagged encoding real serde uses (unit variants as strings,
+//! newtype variants as one-entry objects, named fields as objects), so
+//! wire shapes stay familiar even though the implementation is local.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (only used for negative values).
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable type tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DeError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization traits namespace (API parity with real serde).
+pub mod de {
+    /// Owned deserialization (blanket over [`crate::Deserialize`]).
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization traits namespace (API parity with real serde).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => Err(DeError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            $name::from_value(
+                                it.next().ok_or_else(|| DeError::new("tuple too short"))?
+                            )?,
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::new("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )+};
+}
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // String keys render as a JSON object; everything else as [k, v]
+        // pairs. Round-trips through our own deserializer either way.
+        let all_strings = self.keys().all(|k| matches!(k.to_value(), Value::Str(_)));
+        if all_strings {
+            Value::Map(
+                self.iter()
+                    .map(|(k, v)| {
+                        let Value::Str(key) = k.to_value() else {
+                            unreachable!()
+                        };
+                        (key, v.to_value())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(
+                self.iter()
+                    .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let mut out = BTreeMap::new();
+        match value {
+            Value::Map(entries) => {
+                for (k, v) in entries {
+                    out.insert(K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?);
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    let (k, v) = <(K, V)>::from_value(item)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        // Same encoding as BTreeMap, but hash iteration order is
+        // nondeterministic, so entries are sorted on the rendered key to
+        // keep serialized output stable across runs.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        let all_strings = entries.iter().all(|(k, _)| matches!(k, Value::Str(_)));
+        if all_strings {
+            Value::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::Str(s) => (s, v),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Value::Seq(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let mut out = Self::default();
+        match value {
+            Value::Map(entries) => {
+                for (k, v) in entries {
+                    out.insert(K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?);
+                }
+                Ok(out)
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    let (k, v) = <(K, V)>::from_value(item)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<T, S> Serialize for std::collections::HashSet<T, S>
+where
+    T: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(items)
+    }
+}
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        let v = m.to_value();
+        assert!(matches!(v, Value::Map(_)));
+        assert_eq!(BTreeMap::<String, u32>::from_value(&v).unwrap(), m);
+
+        let mut n = BTreeMap::new();
+        n.insert(3u64, "x".to_string());
+        let v = n.to_value();
+        assert!(matches!(v, Value::Seq(_)));
+        assert_eq!(BTreeMap::<u64, String>::from_value(&v).unwrap(), n);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [7u8; 32];
+        assert_eq!(<[u8; 32]>::from_value(&a.to_value()).unwrap(), a);
+        assert!(<[u8; 32]>::from_value(&vec![1u8].to_value()).is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! Derive macros for the local serde shim.
+//!
+//! `syn`/`quote` are unavailable offline, so this parses the item's
+//! `TokenStream` directly. It supports exactly the shapes this workspace
+//! uses: plain (non-generic) structs with named fields, tuple structs,
+//! and enums with unit / tuple / struct variants. Serde attributes such
+//! as `#[serde(transparent)]` are accepted and ignored — newtype structs
+//! already serialize transparently here.
+//!
+//! Generated encoding (matches real serde's externally-tagged defaults):
+//! named struct -> object; newtype struct -> inner value; tuple struct
+//! -> array; unit variant -> `"Variant"`; newtype variant ->
+//! `{"Variant": value}`; tuple variant -> `{"Variant": [..]}`; struct
+//! variant -> `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (deriving {name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Splits a token sequence on top-level commas, tracking `<`/`>` depth so
+/// generic arguments do not split (delimited groups are already atomic).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tree);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading attributes and visibility from a field/variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, got {other:?}"),
+            };
+            let fields = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn named_field_extractors(type_name: &str, source: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get(\"{f}\") {{\n\
+                     Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     None => return Err(::serde::DeError::new(\n\
+                         format!(\"missing field `{f}` in {type_name}\"))),\n\
+                 }},"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+                Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} =>\n\
+                                 Ok({name}({})),\n\
+                             other => Err(::serde::DeError::expected(\"{n}-element array for {name}\", other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let extract = named_field_extractors(name, "value", names);
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Map(_) => Ok({name} {{\n{extract}\n}}),\n\
+                             other => Err(::serde::DeError::expected(\"object for {name}\", other)),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match payload {{\n\
+                                     ::serde::Value::Seq(items) if items.len() == {n} =>\n\
+                                         Ok({name}::{vname}({})),\n\
+                                     other => Err(::serde::DeError::expected(\"{n}-element array for {name}::{vname}\", other)),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let extract = named_field_extractors(
+                                &format!("{name}::{vname}"),
+                                "payload",
+                                fields,
+                            );
+                            Some(format!(
+                                "\"{vname}\" => match payload {{\n\
+                                     ::serde::Value::Map(_) => Ok({name}::{vname} {{\n{extract}\n}}),\n\
+                                     other => Err(::serde::DeError::expected(\"object for {name}::{vname}\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit}\n\
+                                 other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError::expected(\"variant of {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
     pub use cia_ima::{Ima, ImaConfig, ImaPolicy};
     pub use cia_keylime::{
-        AgentStatus, AttestationOutcome, Cluster, RuntimePolicy, Tenant, VerifierConfig,
+        AgentId, AgentStatus, AttestationOutcome, Cluster, FleetScheduler, LossyTransport,
+        MetricsSnapshot, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy, Tenant,
+        Transport, VerifierConfig,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};

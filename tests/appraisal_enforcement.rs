@@ -82,7 +82,11 @@ fn attack_payloads_cannot_execute_under_enforcement() {
                     if let Some(parent) = p.parent() {
                         machine.vfs.mkdir_p(&parent).unwrap();
                     }
-                    let mode = if *executable { Mode::EXEC } else { Mode::REGULAR };
+                    let mode = if *executable {
+                        Mode::EXEC
+                    } else {
+                        Mode::REGULAR
+                    };
                     let _ = machine.vfs.write_file(&p, content.clone(), mode);
                 }
                 AttackStep::Exec { path, method } => {
@@ -109,10 +113,9 @@ fn attack_payloads_cannot_execute_under_enforcement() {
                         exec_attempts += 1;
                         match machine.load_module(&p) {
                             Err(MachineError::AppraisalDenied { .. }) => denied += 1,
-                            other => panic!(
-                                "{}: unsigned module must not load: {other:?}",
-                                sample.name
-                            ),
+                            other => {
+                                panic!("{}: unsigned module must not load: {other:?}", sample.name)
+                            }
                         }
                     }
                 }
@@ -136,7 +139,9 @@ fn interpreter_gap_remains_under_enforcement() {
     // fed an unsigned script is the residual gap (P5's shadow).
     let (mut machine, signer) = enforcing_machine(3);
     let python = VfsPath::new("/usr/bin/python3").unwrap();
-    machine.write_executable(&python, b"python interpreter").unwrap();
+    machine
+        .write_executable(&python, b"python interpreter")
+        .unwrap();
     continuous_attestation::ima::sign_file(&mut machine.vfs, &python, &signer.signing).unwrap();
 
     let script = VfsPath::new("/tmp/attack.py").unwrap();

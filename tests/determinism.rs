@@ -69,10 +69,7 @@ fn machines_with_same_seed_hash_identically() {
         let p = VfsPath::new("/usr/bin/x").unwrap();
         m.write_executable(&p, b"x").unwrap();
         m.exec(&p, ExecMethod::Direct).unwrap();
-        m.tpm
-            .pcr_read(HashAlgorithm::Sha256, 10)
-            .unwrap()
-            .to_hex()
+        m.tpm.pcr_read(HashAlgorithm::Sha256, 10).unwrap().to_hex()
     };
     assert_eq!(build(7), build(7));
 }

@@ -54,14 +54,18 @@ fn mirror_to_verdict_pipeline() -> Result<(), Box<dyn std::error::Error>> {
     repo.apply_release(&stream.next_day());
     let diff = mirror.sync(&repo, 1);
     generator.apply_diff(&diff, 1);
-    cluster.verifier.update_policy(&id, generator.policy().clone())?;
+    cluster
+        .verifier
+        .update_policy(&id, generator.policy().clone())?;
     {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
         let packages: Vec<_> = mirror.packages().cloned().collect();
         m.run_updates(packages.iter())?;
     }
     generator.finish_update_window();
-    cluster.verifier.update_policy(&id, generator.policy().clone())?;
+    cluster
+        .verifier
+        .update_policy(&id, generator.policy().clone())?;
     assert!(cluster.attest(&id)?.is_verified());
 
     // An attacker drops something the policy has never heard of.

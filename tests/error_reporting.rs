@@ -74,7 +74,9 @@ fn ima_errors_render_and_chain() {
 #[test]
 fn machine_errors_render() {
     check(&MachineError::NotExecutable { path: "/x".into() });
-    check(&MachineError::from(VfsError::NotFound { path: "/x".into() }));
+    check(&MachineError::from(VfsError::NotFound {
+        path: "/x".into(),
+    }));
 }
 
 #[test]

@@ -2,11 +2,16 @@
 //! operational churn. Transport failures must never corrupt verifier
 //! state — a dropped poll is indistinguishable from no poll.
 
-use continuous_attestation::keylime::Transport;
 use continuous_attestation::prelude::*;
 
-fn one_node(seed: u64) -> (Cluster, String) {
-    let mut cluster = Cluster::new(seed, VerifierConfig::default());
+fn one_node(seed: u64) -> (Cluster<LossyTransport>, AgentId) {
+    // A zero-loss LossyTransport behaves like the reliable one while
+    // letting each test dial the drop rate up and down mid-run.
+    let mut cluster = Cluster::with_transport(
+        seed,
+        VerifierConfig::default(),
+        LossyTransport::new(0.0, seed),
+    );
     let id = cluster
         .add_machine(MachineConfig::default(), RuntimePolicy::new())
         .unwrap();
@@ -16,7 +21,7 @@ fn one_node(seed: u64) -> (Cluster, String) {
 #[test]
 fn lossy_transport_never_corrupts_state() {
     let (mut cluster, id) = one_node(21);
-    cluster.transport = Transport::lossy(0.5, 7);
+    cluster.transport = LossyTransport::new(0.5, 7);
 
     let mut verified = 0;
     let mut transport_errors = 0;
@@ -25,7 +30,8 @@ fn lossy_transport_never_corrupts_state() {
         if round % 5 == 0 {
             let m = cluster.agent_mut(&id).unwrap().machine_mut();
             let path = VfsPath::new(&format!("/usr/local/bin/job-{round}")).unwrap();
-            m.write_executable(&path, format!("job {round}").as_bytes()).unwrap();
+            m.write_executable(&path, format!("job {round}").as_bytes())
+                .unwrap();
             // Not in policy: but /usr/local/bin jobs are intentionally
             // not executed — only written. Writes alone are unmeasured.
         }
@@ -41,11 +47,14 @@ fn lossy_transport_never_corrupts_state() {
         }
     }
     assert!(verified > 5, "some polls must succeed ({verified})");
-    assert!(transport_errors > 5, "loss must actually occur ({transport_errors})");
+    assert!(
+        transport_errors > 5,
+        "loss must actually occur ({transport_errors})"
+    );
     assert_eq!(cluster.status(&id).unwrap(), AgentStatus::Trusted);
 
     // Back on a reliable network, everything is consistent.
-    cluster.transport = Transport::reliable();
+    cluster.transport = LossyTransport::new(0.0, 9);
     assert!(cluster.attest(&id).unwrap().is_verified());
 }
 
@@ -59,12 +68,12 @@ fn loss_during_incident_does_not_lose_the_alert() {
         m.write_executable(&mal, b"backdoor").unwrap();
         m.exec(&mal, ExecMethod::Direct).unwrap();
     }
-    cluster.transport = Transport::lossy(1.0, 3);
+    cluster.transport = LossyTransport::new(1.0, 3);
     for _ in 0..5 {
         assert!(cluster.attest(&id).is_err(), "total loss: no poll succeeds");
     }
     // ...the log is append-only, so the first successful poll sees it.
-    cluster.transport = Transport::reliable();
+    cluster.transport = LossyTransport::new(0.0, 9);
     match cluster.attest(&id).unwrap() {
         AttestationOutcome::Failed { alerts } => {
             assert!(alerts
@@ -81,14 +90,19 @@ fn reboot_during_outage_is_handled_on_reconnect() {
     assert!(cluster.attest(&id).unwrap().is_verified());
 
     // Network partition; the machine reboots and does fresh work.
-    cluster.transport = Transport::lossy(1.0, 5);
+    cluster.transport = LossyTransport::new(1.0, 5);
     assert!(cluster.attest(&id).is_err());
-    cluster.agent_mut(&id).unwrap().machine_mut().reboot().unwrap();
+    cluster
+        .agent_mut(&id)
+        .unwrap()
+        .machine_mut()
+        .reboot()
+        .unwrap();
     assert!(cluster.attest(&id).is_err());
 
     // On reconnect the verifier sees the boot-count change, resets its
     // log cursor, and re-verifies the fresh log from scratch.
-    cluster.transport = Transport::reliable();
+    cluster.transport = LossyTransport::new(0.0, 9);
     match cluster.attest(&id).unwrap() {
         AttestationOutcome::Verified { new_entries } => assert_eq!(new_entries, 1),
         other => panic!("unexpected {other:?}"),
@@ -105,7 +119,8 @@ fn double_reboot_between_polls() {
         let m = cluster.agent_mut(&id).unwrap().machine_mut();
         m.reboot().unwrap();
         let path = VfsPath::new(&format!("/usr/bin/boot-{round}")).unwrap();
-        m.write_executable(&path, format!("tool {round}").as_bytes()).unwrap();
+        m.write_executable(&path, format!("tool {round}").as_bytes())
+            .unwrap();
         // Unexecuted: nothing beyond boot_aggregate gets measured.
     }
     match cluster.attest(&id).unwrap() {
