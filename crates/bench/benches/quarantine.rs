@@ -1,0 +1,95 @@
+//! Criterion: the quarantine cheap-skip under a sustained partition.
+//!
+//! The acceptance measurement for the chaos harness: with a third of the
+//! fleet partitioned for the whole run, the health state machine's
+//! quarantine path must make rounds measurably cheaper than burning the
+//! full retry budget on the same dead agents every round. Both variants
+//! run the identical `FaultPlan`; the only difference is the
+//! `quarantine_enabled` knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cia_keylime::{
+    ChaosTransport, Cluster, FaultPlan, FaultTarget, ReliableTransport, RuntimePolicy,
+    VerifierConfig,
+};
+use cia_os::MachineConfig;
+
+const FLEET: u64 = 96;
+const PARTITIONED: u64 = 32;
+
+fn partitioned_fleet(quarantine: bool) -> Cluster<ChaosTransport<ReliableTransport>> {
+    let config = VerifierConfig::builder()
+        .continue_on_failure(true)
+        .max_retries(4)
+        .retry_backoff_ms(10)
+        .worker_count(4)
+        .quarantine_enabled(quarantine)
+        .degraded_after(1)
+        .quarantine_after(2)
+        .reprobe_backoff_rounds(2)
+        .reprobe_backoff_max_rounds(16)
+        .build()
+        .unwrap();
+    // The first third of the fleet is partitioned for the entire run.
+    let plan = FaultPlan::new(9).partition(
+        0..u64::MAX,
+        FaultTarget::lanes((0..PARTITIONED).collect::<Vec<_>>()),
+    );
+    let mut cluster = Cluster::with_transport(
+        9,
+        config,
+        ChaosTransport::new(ReliableTransport::new(), plan),
+    );
+    for i in 0..FLEET {
+        let machine = MachineConfig {
+            hostname: format!("node-{i:04}"),
+            seed: i,
+            ..MachineConfig::default()
+        };
+        cluster.add_machine(machine, RuntimePolicy::new()).unwrap();
+    }
+    // Warm-up rounds drive the partitioned third into quarantine so the
+    // measured rounds reflect steady state, not the onset transient.
+    for _ in 0..4 {
+        let round = cluster.transport.current_round();
+        cluster.attest_fleet();
+        cluster.transport.set_round(round + 1);
+    }
+    cluster
+}
+
+fn bench_quarantine_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quarantine/sustained_partition");
+    group.throughput(Throughput::Elements(FLEET));
+    for (label, quarantine) in [("full-retry", false), ("quarantine", true)] {
+        let mut cluster = partitioned_fleet(quarantine);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &quarantine, |b, _| {
+            b.iter(|| {
+                let calls_before = cluster.scheduler.snapshot().calls;
+                let round = cluster.transport.current_round();
+                let report = cluster.attest_fleet();
+                cluster.transport.set_round(round + 1);
+                assert_eq!(report.results.len(), FLEET as usize);
+                // The point of the bench: quarantine rounds spend fewer
+                // transport calls than full-retry rounds.
+                cluster.scheduler.snapshot().calls - calls_before
+            });
+        });
+    }
+    group.finish();
+
+    // The headline number is calls, not wall time: dropped calls are
+    // nearly free in-process but are real network traffic in deployment.
+    // Print one steady-state round of each variant for the comparison.
+    for (label, quarantine) in [("full-retry", false), ("quarantine", true)] {
+        let mut cluster = partitioned_fleet(quarantine);
+        let before = cluster.scheduler.snapshot().calls;
+        cluster.attest_fleet();
+        let calls = cluster.scheduler.snapshot().calls - before;
+        println!("steady-state round calls ({label}): {calls} for {FLEET} agents ({PARTITIONED} partitioned)");
+    }
+}
+
+criterion_group!(benches, bench_quarantine_skip);
+criterion_main!(benches);

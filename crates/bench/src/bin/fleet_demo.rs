@@ -1,17 +1,25 @@
-//! Fleet operation demo, in two acts:
+//! Fleet operation demo, in three acts:
 //!
 //! 1. the paper's deployment shape — one mirror-derived dynamic policy
 //!    serving a small fleet with a mid-run compromise, detection, and
 //!    revocation fan-out;
 //! 2. the fleet engine at scale — 1,000 agents attested concurrently
 //!    over a transport dropping 10% of all calls, with the retry,
-//!    backoff and latency metrics printed from the scheduler registry.
+//!    backoff and latency metrics printed from the scheduler registry;
+//! 3. chaos under a scripted FaultPlan — a quarter of the fleet
+//!    partitions mid-run, the health state machine walks the victims
+//!    through Degraded → Quarantined → Recovering → Healthy, and the
+//!    quarantine cheap-skip's savings are printed against the same plan
+//!    with the skip path off.
 //!
 //! Run: `cargo run --release -p cia-bench --bin fleet_demo`
 
 use cia_core::experiments::{run_fleet, FleetConfig};
 use cia_distro::StreamProfile;
-use cia_keylime::{Cluster, LossyTransport, RuntimePolicy, VerifierConfig};
+use cia_keylime::{
+    ChaosTransport, Cluster, FaultPlan, FaultTarget, LossyTransport, MetricsSnapshot,
+    ReliableTransport, RuntimePolicy, VerifierConfig,
+};
 use cia_os::MachineConfig;
 use std::time::Instant;
 
@@ -26,6 +34,7 @@ fn policy_fleet_act() {
         drop_rate: 0.0,
         workers: 4,
         continue_on_failure: false,
+        quarantine: false,
     };
     println!(
         "== fleet: {} nodes, {} days, daily updates from one mirror ==\n",
@@ -127,7 +136,95 @@ fn engine_at_scale_act() {
     );
 }
 
+/// Runs the chaos plan for `rounds` rounds; returns the scheduler
+/// metrics, printing a per-round health timeline when asked.
+fn run_chaos_fleet(quarantine: bool, print_timeline: bool) -> MetricsSnapshot {
+    const FLEET: u64 = 64;
+    const ROUNDS: u64 = 24;
+    const PARTITIONED: u64 = 16;
+
+    let config = VerifierConfig::builder()
+        .continue_on_failure(true)
+        .max_retries(4)
+        .retry_backoff_ms(10)
+        .worker_count(4)
+        .quarantine_enabled(quarantine)
+        .degraded_after(1)
+        .quarantine_after(2)
+        .reprobe_backoff_rounds(2)
+        .reprobe_backoff_max_rounds(8)
+        .build()
+        .expect("chaos demo config is valid");
+    // A quarter of the fleet partitions for rounds 4..16; everything
+    // replays exactly from this (seed, plan) pair.
+    let plan = FaultPlan::new(27).partition(
+        4..16,
+        FaultTarget::lanes((0..PARTITIONED).collect::<Vec<_>>()),
+    );
+    let mut cluster = Cluster::with_transport(
+        27,
+        config,
+        ChaosTransport::new(ReliableTransport::new(), plan),
+    );
+    for i in 0..FLEET {
+        let machine = MachineConfig {
+            hostname: format!("node-{i:04}"),
+            seed: i,
+            ..MachineConfig::default()
+        };
+        cluster
+            .add_machine(machine, RuntimePolicy::new())
+            .expect("enrolment rides the clean pre-chaos rounds");
+    }
+
+    if print_timeline {
+        println!("round  healthy degraded quarantined recovering  skips");
+    }
+    for round in 0..ROUNDS {
+        cluster.transport.set_round(round);
+        let report = cluster.attest_fleet();
+        if print_timeline {
+            println!(
+                "{round:>5}  {:>7} {:>8} {:>11} {:>10}  {:>5}",
+                report.health.healthy,
+                report.health.degraded,
+                report.health.quarantined,
+                report.health.recovering,
+                report.quarantine_skipped_count()
+            );
+        }
+    }
+    cluster.scheduler.snapshot()
+}
+
+fn chaos_act() {
+    println!("\n== chaos: 64 agents, lanes 0-15 partitioned rounds 4..16 ==\n");
+    let with_quarantine = run_chaos_fleet(true, true);
+    let without = run_chaos_fleet(false, false);
+
+    println!("\nquarantine cheap-skip vs full retry burn (same FaultPlan):");
+    println!(
+        "  calls:   {:>6} with quarantine, {:>6} without",
+        with_quarantine.calls, without.calls
+    );
+    println!(
+        "  skips:   {:>6} cheap quarantine skips, {:>6} probe polls",
+        with_quarantine.quarantine_skips, with_quarantine.probes
+    );
+    println!(
+        "  health:  {} quarantine entries, {} full recoveries",
+        with_quarantine.to_quarantined, with_quarantine.to_healthy
+    );
+    assert!(with_quarantine.is_conserved() && without.is_conserved());
+    assert!(
+        with_quarantine.calls < without.calls,
+        "the skip path must be cheaper"
+    );
+    println!("\nevery fault above replays bit-identically from seed 27 + the plan.");
+}
+
 fn main() {
     policy_fleet_act();
     engine_at_scale_act();
+    chaos_act();
 }

@@ -20,8 +20,8 @@
 
 use cia_distro::{Mirror, ReleaseStream, StreamProfile};
 use cia_keylime::{
-    Agent, AgentId, AgentStatus, Alert, Cluster, LossyTransport, MetricsSnapshot, RoundOutcome,
-    VerifierConfig,
+    Agent, AgentId, AgentStatus, Alert, Cluster, HealthCounts, LossyTransport, MetricsSnapshot,
+    RoundOutcome, VerifierConfig,
 };
 use cia_os::{ExecMethod, Machine, MachineConfig};
 use cia_vfs::VfsPath;
@@ -49,6 +49,9 @@ pub struct FleetConfig {
     pub workers: usize,
     /// The paper's P2 fix: evaluate everything, never pause polling.
     pub continue_on_failure: bool,
+    /// Quarantine cheap-skip for persistently unreachable agents (the
+    /// health state machine always *tracks*; this gates the skip path).
+    pub quarantine: bool,
 }
 
 impl FleetConfig {
@@ -65,6 +68,7 @@ impl FleetConfig {
             drop_rate: 0.0,
             workers: 4,
             continue_on_failure: false,
+            quarantine: false,
         }
     }
 
@@ -95,6 +99,10 @@ pub struct FleetReport {
     pub verified: u64,
     /// Polls the engine could not complete within the retry budget.
     pub unreachable: u64,
+    /// Rounds skipped cheaply because the agent sat in quarantine.
+    pub quarantine_skips: u64,
+    /// Per-state fleet health counts at the end of the run.
+    pub health: HealthCounts,
     /// The fleet engine's accumulated metrics (retries, drops, backoff,
     /// latency histogram) across all sweeps.
     pub metrics: MetricsSnapshot,
@@ -119,6 +127,7 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
 
     let verifier_config = VerifierConfig::builder()
         .continue_on_failure(config.continue_on_failure)
+        .quarantine_enabled(config.quarantine)
         .max_retries(16)
         .retry_backoff_ms(5)
         .worker_count(config.workers.max(1))
@@ -222,9 +231,11 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
                     }
                 }
                 RoundOutcome::SkippedPaused => {}
+                RoundOutcome::SkippedQuarantined { .. } => report.quarantine_skips += 1,
                 RoundOutcome::Unreachable { .. } => report.unreachable += 1,
             }
         }
+        report.health = round.health;
 
         // Only benign pauses get operator-resolved; a detected implant
         // keeps its node quarantined. (Resolution itself rides the lossy
@@ -327,6 +338,21 @@ mod tests {
         assert!(report.metrics.drops >= report.metrics.retries);
         assert!(report.metrics.backoff_ms > 0);
         assert!(report.metrics.calls >= expected_polls);
+    }
+
+    #[test]
+    fn lossy_fleet_with_quarantine_keeps_everyone_healthy_and_conserved() {
+        let mut config = FleetConfig::small_lossy(36);
+        config.quarantine = true;
+        let report = run_fleet(config);
+
+        // 10% loss never exhausts a 16-retry budget, so nobody actually
+        // quarantines — but the tracking runs and the books balance.
+        assert_eq!(report.unreachable, 0);
+        assert_eq!(report.quarantine_skips, 0);
+        assert_eq!(report.health.healthy, report.health.total());
+        assert_eq!(report.health.total(), 5);
+        assert!(report.metrics.is_conserved(), "{:?}", report.metrics);
     }
 
     #[test]

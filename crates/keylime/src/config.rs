@@ -41,6 +41,23 @@ pub struct VerifierConfig {
     pub call_timeout_ms: u64,
     /// Worker threads in the fleet scheduler's pool.
     pub worker_count: usize,
+    /// When `true`, quarantined agents are skipped cheaply on a decaying
+    /// re-probe schedule instead of burning the full retry budget every
+    /// round. Health is *tracked* either way; this gates only the
+    /// cheap-skip behaviour. Off by default (stock semantics: every agent
+    /// is retried every round), on in [`VerifierConfig::engine_default`].
+    pub quarantine_enabled: bool,
+    /// Consecutive unreachable rounds before an agent is marked Degraded.
+    pub degraded_after: u32,
+    /// Consecutive unreachable rounds before an agent is Quarantined.
+    /// Must be ≥ `degraded_after`.
+    pub quarantine_after: u32,
+    /// Rounds between re-probes when an agent first enters quarantine;
+    /// doubles after each failed probe (bounded by
+    /// [`VerifierConfig::reprobe_backoff_max_rounds`]).
+    pub reprobe_backoff_rounds: u32,
+    /// Upper bound on the re-probe interval, in rounds.
+    pub reprobe_backoff_max_rounds: u32,
 }
 
 impl Default for VerifierConfig {
@@ -52,6 +69,11 @@ impl Default for VerifierConfig {
             max_backoff_ms: 1_000,
             call_timeout_ms: 1_000,
             worker_count: 4,
+            quarantine_enabled: false,
+            degraded_after: 2,
+            quarantine_after: 4,
+            reprobe_backoff_rounds: 2,
+            reprobe_backoff_max_rounds: 32,
         }
     }
 }
@@ -71,6 +93,7 @@ impl VerifierConfig {
     pub fn engine_default() -> Self {
         VerifierConfig {
             continue_on_failure: true,
+            quarantine_enabled: true,
             worker_count: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
@@ -111,6 +134,25 @@ pub enum ConfigError {
     },
     /// `call_timeout_ms` must be nonzero.
     ZeroTimeout,
+    /// `degraded_after` must be at least 1.
+    ZeroDegradedThreshold,
+    /// `quarantine_after` below `degraded_after` — an agent would be
+    /// quarantined before it is ever considered degraded.
+    QuarantineBeforeDegraded {
+        /// The configured quarantine threshold.
+        quarantine_after: u32,
+        /// The configured degraded threshold.
+        degraded_after: u32,
+    },
+    /// `reprobe_backoff_rounds` must be at least 1.
+    ZeroReprobeBackoff,
+    /// `reprobe_backoff_rounds` exceeds `reprobe_backoff_max_rounds`.
+    ReprobeAboveCap {
+        /// The configured base re-probe interval.
+        base_rounds: u32,
+        /// The configured cap.
+        cap_rounds: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -125,6 +167,24 @@ impl fmt::Display for ConfigError {
                 "retry_backoff_ms ({base_ms}) exceeds max_backoff_ms ({cap_ms})"
             ),
             ConfigError::ZeroTimeout => f.write_str("call_timeout_ms must be nonzero"),
+            ConfigError::ZeroDegradedThreshold => f.write_str("degraded_after must be at least 1"),
+            ConfigError::QuarantineBeforeDegraded {
+                quarantine_after,
+                degraded_after,
+            } => write!(
+                f,
+                "quarantine_after ({quarantine_after}) is below degraded_after ({degraded_after})"
+            ),
+            ConfigError::ZeroReprobeBackoff => {
+                f.write_str("reprobe_backoff_rounds must be at least 1")
+            }
+            ConfigError::ReprobeAboveCap {
+                base_rounds,
+                cap_rounds,
+            } => write!(
+                f,
+                "reprobe_backoff_rounds ({base_rounds}) exceeds reprobe_backoff_max_rounds ({cap_rounds})"
+            ),
         }
     }
 }
@@ -184,6 +244,37 @@ impl VerifierConfigBuilder {
         self
     }
 
+    /// Enables or disables the quarantine cheap-skip path
+    /// (see [`VerifierConfig::quarantine_enabled`]).
+    pub fn quarantine_enabled(mut self, on: bool) -> Self {
+        self.config.quarantine_enabled = on;
+        self
+    }
+
+    /// Sets the consecutive-unreachable threshold for Degraded.
+    pub fn degraded_after(mut self, rounds: u32) -> Self {
+        self.config.degraded_after = rounds;
+        self
+    }
+
+    /// Sets the consecutive-unreachable threshold for Quarantined.
+    pub fn quarantine_after(mut self, rounds: u32) -> Self {
+        self.config.quarantine_after = rounds;
+        self
+    }
+
+    /// Sets the initial re-probe interval, in rounds.
+    pub fn reprobe_backoff_rounds(mut self, rounds: u32) -> Self {
+        self.config.reprobe_backoff_rounds = rounds;
+        self
+    }
+
+    /// Sets the cap on the re-probe interval, in rounds.
+    pub fn reprobe_backoff_max_rounds(mut self, rounds: u32) -> Self {
+        self.config.reprobe_backoff_max_rounds = rounds;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -209,6 +300,24 @@ impl VerifierConfigBuilder {
         if c.call_timeout_ms == 0 {
             return Err(ConfigError::ZeroTimeout);
         }
+        if c.degraded_after == 0 {
+            return Err(ConfigError::ZeroDegradedThreshold);
+        }
+        if c.quarantine_after < c.degraded_after {
+            return Err(ConfigError::QuarantineBeforeDegraded {
+                quarantine_after: c.quarantine_after,
+                degraded_after: c.degraded_after,
+            });
+        }
+        if c.reprobe_backoff_rounds == 0 {
+            return Err(ConfigError::ZeroReprobeBackoff);
+        }
+        if c.reprobe_backoff_rounds > c.reprobe_backoff_max_rounds {
+            return Err(ConfigError::ReprobeAboveCap {
+                base_rounds: c.reprobe_backoff_rounds,
+                cap_rounds: c.reprobe_backoff_max_rounds,
+            });
+        }
         Ok(self.config)
     }
 }
@@ -230,6 +339,64 @@ mod tests {
         let c = VerifierConfig::engine_default();
         assert!(c.continue_on_failure);
         assert!(c.worker_count >= 1);
+        assert!(c.quarantine_enabled, "engine posture quarantines");
+    }
+
+    #[test]
+    fn stock_default_keeps_quarantine_off() {
+        let c = VerifierConfig::default();
+        assert!(!c.quarantine_enabled, "stock semantics retry every round");
+        assert!(c.degraded_after >= 1);
+        assert!(c.quarantine_after >= c.degraded_after);
+    }
+
+    #[test]
+    fn builder_health_knobs_roundtrip() {
+        let c = VerifierConfig::builder()
+            .quarantine_enabled(true)
+            .degraded_after(1)
+            .quarantine_after(3)
+            .reprobe_backoff_rounds(4)
+            .reprobe_backoff_max_rounds(16)
+            .build()
+            .unwrap();
+        assert!(c.quarantine_enabled);
+        assert_eq!(c.degraded_after, 1);
+        assert_eq!(c.quarantine_after, 3);
+        assert_eq!(c.reprobe_backoff_rounds, 4);
+        assert_eq!(c.reprobe_backoff_max_rounds, 16);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_health_knobs() {
+        assert_eq!(
+            VerifierConfig::builder().degraded_after(0).build(),
+            Err(ConfigError::ZeroDegradedThreshold)
+        );
+        assert_eq!(
+            VerifierConfig::builder()
+                .degraded_after(5)
+                .quarantine_after(2)
+                .build(),
+            Err(ConfigError::QuarantineBeforeDegraded {
+                quarantine_after: 2,
+                degraded_after: 5,
+            })
+        );
+        assert_eq!(
+            VerifierConfig::builder().reprobe_backoff_rounds(0).build(),
+            Err(ConfigError::ZeroReprobeBackoff)
+        );
+        assert_eq!(
+            VerifierConfig::builder()
+                .reprobe_backoff_rounds(64)
+                .reprobe_backoff_max_rounds(8)
+                .build(),
+            Err(ConfigError::ReprobeAboveCap {
+                base_rounds: 64,
+                cap_rounds: 8,
+            })
+        );
     }
 
     #[test]

@@ -22,6 +22,15 @@ impl AgentId {
         AgentId(id.into())
     }
 
+    /// A zero-padded fleet-style id, e.g. `numbered("sim", 4)` →
+    /// `sim-0004`. The padding keeps lexicographic order equal to
+    /// numeric order for fleets up to 10,000 — which keeps scheduler
+    /// lane numbers (assigned in sorted-id order) equal to the index the
+    /// id was built from.
+    pub fn numbered(prefix: &str, index: u64) -> Self {
+        AgentId(format!("{prefix}-{index:04}"))
+    }
+
     /// The identity as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0
@@ -106,6 +115,26 @@ mod tests {
         assert_eq!("node-1", id);
         assert_eq!(AgentId::from("node-1".to_string()), id);
         assert_eq!(id.clone().into_string(), "node-1");
+    }
+
+    #[test]
+    fn numbered_ids_sort_numerically() {
+        let ids: Vec<AgentId> = [2, 0, 10, 1]
+            .iter()
+            .map(|&i| AgentId::numbered("sim", i))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                AgentId::numbered("sim", 0),
+                AgentId::numbered("sim", 1),
+                AgentId::numbered("sim", 2),
+                AgentId::numbered("sim", 10),
+            ]
+        );
+        assert_eq!(AgentId::numbered("sim", 4).as_str(), "sim-0004");
     }
 
     #[test]

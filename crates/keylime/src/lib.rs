@@ -42,6 +42,16 @@
 //! bare `&str` id, so mixing up hostnames and other strings is a compile
 //! error, not an incident.
 //!
+//! For fault testing beyond a drop-rate scalar, [`ChaosTransport`]
+//! applies a seeded [`FaultPlan`] — scripted partitions, loss windows,
+//! response corruption, registrar outages, crash/restarts — decided
+//! purely by `(round, lane, attempt)` so any failure trace replays
+//! bit-identically from the plan alone. The verifier tracks a per-agent
+//! health state machine ([`AgentHealth`]: Healthy → Degraded →
+//! Quarantined → Recovering); with quarantine enabled the scheduler
+//! skips quarantined agents cheaply on a decaying re-probe backoff
+//! instead of burning full retry budgets every round.
+//!
 //! # Examples
 //!
 //! Single-agent flow:
@@ -99,6 +109,7 @@
 
 pub mod agent;
 pub mod audit;
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -113,6 +124,7 @@ pub mod verifier;
 
 pub use agent::{Agent, AgentRequest, AgentResponse, IdentityResponse, QuoteResponse};
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use chaos::{ChaosTransport, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use error::KeylimeError;
 pub use ids::AgentId;
@@ -125,4 +137,7 @@ pub use scheduler::{
 };
 pub use tenant::{Cluster, Tenant};
 pub use transport::{LossyTransport, ReliableTransport, Transport, TransportError};
-pub use verifier::{AgentStatus, Alert, AttestationOutcome, FailureKind, Verifier, VerifierConfig};
+pub use verifier::{
+    AgentHealth, AgentStatus, Alert, AttestationOutcome, FailureKind, HealthCounts, Verifier,
+    VerifierConfig,
+};

@@ -121,10 +121,27 @@ impl RevocationSubscriber {
     }
 }
 
+/// One subscriber endpoint on the bus: its inbox plus delivery state.
+/// While offline (e.g. the subscribing system sits on a quarantined
+/// node), published notices queue here instead of being lost, and flush
+/// in publication order when the endpoint comes back online.
+#[derive(Debug)]
+struct Slot {
+    subscriber: RevocationSubscriber,
+    online: bool,
+    pending: Vec<(RevocationNotice, VerifyingKey)>,
+}
+
 /// Fans notices out to every subscriber (the ZeroMQ bus analogue).
+///
+/// Subscribers start online. [`RevocationBus::set_online`] models the
+/// endpoint dropping off (a partitioned or quarantined node) and coming
+/// back: notices published meanwhile are **queued, not dropped**, and are
+/// delivered on reconnect — a revocation raised while an agent was
+/// quarantined still applies once it recovers.
 #[derive(Debug, Default)]
 pub struct RevocationBus {
-    subscribers: Vec<RevocationSubscriber>,
+    subscribers: Vec<Slot>,
 }
 
 impl RevocationBus {
@@ -133,22 +150,57 @@ impl RevocationBus {
         Self::default()
     }
 
-    /// Adds a subscriber, returning its index.
+    /// Adds a subscriber (initially online), returning its index.
     pub fn subscribe(&mut self) -> usize {
-        self.subscribers.push(RevocationSubscriber::new());
+        self.subscribers.push(Slot {
+            subscriber: RevocationSubscriber::new(),
+            online: true,
+            pending: Vec::new(),
+        });
         self.subscribers.len() - 1
     }
 
-    /// Publishes a notice to every subscriber.
+    /// Publishes a notice: online subscribers receive it now, offline
+    /// subscribers queue it for delivery on reconnect.
     pub fn publish(&mut self, notice: &RevocationNotice, verifier_key: &VerifyingKey) {
-        for sub in &mut self.subscribers {
-            sub.deliver(notice.clone(), verifier_key);
+        for slot in &mut self.subscribers {
+            if slot.online {
+                slot.subscriber.deliver(notice.clone(), verifier_key);
+            } else {
+                slot.pending.push((notice.clone(), verifier_key.clone()));
+            }
         }
+    }
+
+    /// Marks a subscriber online/offline. Transitioning offline → online
+    /// flushes every queued notice in publication order. Returns `false`
+    /// when the index does not exist.
+    pub fn set_online(&mut self, index: usize, online: bool) -> bool {
+        let Some(slot) = self.subscribers.get_mut(index) else {
+            return false;
+        };
+        if online && !slot.online {
+            for (notice, key) in slot.pending.drain(..) {
+                slot.subscriber.deliver(notice, &key);
+            }
+        }
+        slot.online = online;
+        true
+    }
+
+    /// Whether a subscriber is currently online.
+    pub fn is_online(&self, index: usize) -> Option<bool> {
+        self.subscribers.get(index).map(|s| s.online)
+    }
+
+    /// Notices queued for an offline subscriber.
+    pub fn pending_count(&self, index: usize) -> Option<usize> {
+        self.subscribers.get(index).map(|s| s.pending.len())
     }
 
     /// A subscriber's view.
     pub fn subscriber(&self, index: usize) -> Option<&RevocationSubscriber> {
-        self.subscribers.get(index)
+        self.subscribers.get(index).map(|s| &s.subscriber)
     }
 
     /// Number of subscribers.
@@ -217,6 +269,60 @@ mod tests {
             .unwrap()
             .is_revoked(&AgentId::from("node-8")));
         assert_eq!(bus.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn offline_subscriber_queues_then_flushes_in_order() {
+        let mut e = emitter(6);
+        let mut bus = RevocationBus::new();
+        let idx = bus.subscribe();
+        assert_eq!(bus.is_online(idx), Some(true));
+
+        bus.set_online(idx, false);
+        let key = e.public_key().clone();
+        let n1 = e.emit(&AgentId::from("node-1"), 1, failure());
+        let n2 = e.emit(&AgentId::from("node-2"), 2, failure());
+        bus.publish(&n1, &key);
+        bus.publish(&n2, &key);
+        assert_eq!(bus.pending_count(idx), Some(2));
+        assert!(
+            !bus.subscriber(idx)
+                .unwrap()
+                .is_revoked(&AgentId::from("node-1")),
+            "not delivered while offline"
+        );
+
+        assert!(bus.set_online(idx, true));
+        assert_eq!(bus.pending_count(idx), Some(0));
+        let sub = bus.subscriber(idx).unwrap();
+        assert!(sub.is_revoked(&AgentId::from("node-1")));
+        assert!(sub.is_revoked(&AgentId::from("node-2")));
+        assert_eq!(
+            sub.notices().iter().map(|n| n.sequence).collect::<Vec<_>>(),
+            vec![1, 2],
+            "flushed in publication order"
+        );
+    }
+
+    #[test]
+    fn offline_queue_is_per_subscriber() {
+        let mut e = emitter(7);
+        let mut bus = RevocationBus::new();
+        let up = bus.subscribe();
+        let down = bus.subscribe();
+        bus.set_online(down, false);
+        let key = e.public_key().clone();
+        let notice = e.emit(&AgentId::from("node-5"), 9, failure());
+        bus.publish(&notice, &key);
+        assert!(bus
+            .subscriber(up)
+            .unwrap()
+            .is_revoked(&AgentId::from("node-5")));
+        assert!(!bus
+            .subscriber(down)
+            .unwrap()
+            .is_revoked(&AgentId::from("node-5")));
+        assert!(!bus.set_online(99, true), "unknown index is reported");
     }
 
     #[test]

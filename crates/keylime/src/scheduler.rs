@@ -36,7 +36,9 @@ use crate::agent::Agent;
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::transport::Transport;
-use crate::verifier::{Alert, AttestationOutcome, Verifier, VerifierConfig};
+use crate::verifier::{
+    AgentHealth, Alert, AttestationOutcome, HealthCounts, ReachClass, Verifier, VerifierConfig,
+};
 
 /// Number of log2 latency buckets (bucket i counts calls in
 /// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended).
@@ -63,8 +65,23 @@ pub struct SchedulerMetrics {
     skipped_paused: AtomicU64,
     unreachable: AtomicU64,
     alerts: AtomicU64,
+    /// Enrolled ids with no agent process supplied (reported unreachable
+    /// without spending a call).
+    orphaned: AtomicU64,
     /// Total backoff scheduled (virtually) across all retries, in ms.
     backoff_ms: AtomicU64,
+    /// Quarantined agents skipped without any transport call.
+    quarantine_skips: AtomicU64,
+    /// Quarantine re-probes issued (single-attempt polls).
+    probes: AtomicU64,
+    /// Health transitions into Degraded.
+    to_degraded: AtomicU64,
+    /// Health transitions into Quarantined.
+    to_quarantined: AtomicU64,
+    /// Health transitions into Recovering.
+    to_recovering: AtomicU64,
+    /// Health transitions into Healthy (recoveries completed).
+    to_healthy: AtomicU64,
     latency_ns: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -96,7 +113,14 @@ impl SchedulerMetrics {
             skipped_paused: self.skipped_paused.load(Ordering::Relaxed),
             unreachable: self.unreachable.load(Ordering::Relaxed),
             alerts: self.alerts.load(Ordering::Relaxed),
+            orphaned: self.orphaned.load(Ordering::Relaxed),
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            quarantine_skips: self.quarantine_skips.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            to_degraded: self.to_degraded.load(Ordering::Relaxed),
+            to_quarantined: self.to_quarantined.load(Ordering::Relaxed),
+            to_recovering: self.to_recovering.load(Ordering::Relaxed),
+            to_healthy: self.to_healthy.load(Ordering::Relaxed),
             latency_ns_buckets: self
                 .latency_ns
                 .iter()
@@ -129,8 +153,24 @@ pub struct MetricsSnapshot {
     pub unreachable: u64,
     /// Total alerts raised.
     pub alerts: u64,
+    /// Enrolled ids with no agent process supplied; counted in
+    /// `unreachable` too, but these consumed zero transport calls.
+    pub orphaned: u64,
     /// Total (virtual) backoff scheduled, in milliseconds.
     pub backoff_ms: u64,
+    /// Quarantined agents skipped without any transport call.
+    pub quarantine_skips: u64,
+    /// Quarantine re-probes issued (single-attempt polls).
+    pub probes: u64,
+    /// Health transitions into [`AgentHealth::Degraded`].
+    pub to_degraded: u64,
+    /// Health transitions into [`AgentHealth::Quarantined`].
+    pub to_quarantined: u64,
+    /// Health transitions into [`AgentHealth::Recovering`].
+    pub to_recovering: u64,
+    /// Health transitions into [`AgentHealth::Healthy`] — recoveries and
+    /// degradations healed.
+    pub to_healthy: u64,
     /// Log2 call-latency histogram: bucket i counts calls taking
     /// `[2^i, 2^(i+1))` nanoseconds.
     pub latency_ns_buckets: Vec<u64>,
@@ -165,6 +205,23 @@ impl MetricsSnapshot {
             self.retries as f64 / self.calls as f64
         }
     }
+
+    /// The engine's conservation invariant: every transport call is
+    /// accounted for by exactly one terminal outcome or one retry, and
+    /// orphaned enrolments (unreachable with zero calls) balance out.
+    ///
+    /// ```text
+    /// calls + orphaned == verified + failed + skipped_paused
+    ///                   + unreachable + retries
+    /// ```
+    ///
+    /// Quarantine skips consume no calls and are tracked separately, so
+    /// they do not appear in the identity. Holds across any number of
+    /// rounds and any drop/timeout interleaving.
+    pub fn is_conserved(&self) -> bool {
+        self.calls + self.orphaned
+            == self.verified + self.failed + self.skipped_paused + self.unreachable + self.retries
+    }
 }
 
 /// The terminal outcome of one agent's slot in a round.
@@ -182,6 +239,12 @@ pub enum RoundOutcome {
     },
     /// Stop-on-failure has the agent paused; nothing was requested.
     SkippedPaused,
+    /// The agent is quarantined and its re-probe is not due yet; no
+    /// transport call was spent ([`VerifierConfig::quarantine_enabled`]).
+    SkippedQuarantined {
+        /// Rounds until the next re-probe.
+        next_probe_in: u32,
+    },
     /// The agent could not be reached within the retry budget, or
     /// returned a non-retryable error.
     Unreachable {
@@ -207,10 +270,13 @@ pub struct AgentRoundResult {
 }
 
 /// The outcome of one concurrent fleet round, ordered by agent id.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundReport {
     /// One entry per enrolled agent, sorted by id.
     pub results: Vec<AgentRoundResult>,
+    /// Per-state health counts over every enrolled agent, taken after
+    /// the round's transitions were applied.
+    pub health: HealthCounts,
 }
 
 impl RoundReport {
@@ -227,6 +293,11 @@ impl RoundReport {
     /// Number of agents skipped under stop-on-failure.
     pub fn skipped_count(&self) -> usize {
         self.count(|o| matches!(o, RoundOutcome::SkippedPaused))
+    }
+
+    /// Number of quarantined agents skipped on the re-probe schedule.
+    pub fn quarantine_skipped_count(&self) -> usize {
+        self.count(|o| matches!(o, RoundOutcome::SkippedQuarantined { .. }))
     }
 
     /// Number of agents the engine could not reach.
@@ -349,10 +420,14 @@ impl FleetScheduler {
             }
         });
         drop(res_tx);
+        // The receiver's Job<'_> type parameter keeps the records borrow
+        // alive; release it before re-reading records for health counts.
+        drop(job_rx);
 
         let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
         for id in orphaned {
             SchedulerMetrics::add(&self.metrics.unreachable, 1);
+            SchedulerMetrics::add(&self.metrics.orphaned, 1);
             results.push(AgentRoundResult {
                 id,
                 day: 0,
@@ -365,7 +440,12 @@ impl FleetScheduler {
         }
         results.sort_by(|a, b| a.id.cmp(&b.id));
         SchedulerMetrics::add(&self.metrics.rounds, 1);
-        RoundReport { results }
+
+        let mut health = HealthCounts::default();
+        for record in records.values() {
+            health.count(record.health());
+        }
+        RoundReport { results, health }
     }
 }
 
@@ -379,6 +459,27 @@ fn attest_with_retry<T: Transport>(
     transport: &mut T,
 ) -> AgentRoundResult {
     let day = job.agent.machine().clock.day();
+
+    // Quarantine gate: a quarantined agent is polled only when its
+    // re-probe is due; otherwise the round costs zero transport calls.
+    // The probe itself gets a single attempt — no retry budget — so a
+    // still-dead agent costs one call instead of 1 + max_retries.
+    let mut retry_budget = config.max_retries;
+    if config.quarantine_enabled && job.record.health() == AgentHealth::Quarantined {
+        if let Some(next_probe_in) = job.record.tick_reprobe() {
+            SchedulerMetrics::add(&metrics.quarantine_skips, 1);
+            return AgentRoundResult {
+                id: job.id,
+                day,
+                attempts: 0,
+                backoff_ms: 0,
+                outcome: RoundOutcome::SkippedQuarantined { next_probe_in },
+            };
+        }
+        SchedulerMetrics::add(&metrics.probes, 1);
+        retry_budget = 0;
+    }
+
     let mut attempts = 0u32;
     let mut backoff_ms_total = 0u64;
     loop {
@@ -398,15 +499,19 @@ fn attest_with_retry<T: Transport>(
                 let round_outcome = match outcome {
                     AttestationOutcome::Verified { new_entries } => {
                         SchedulerMetrics::add(&metrics.verified, 1);
+                        update_health(job.record, ReachClass::Verified, config, metrics);
                         RoundOutcome::Verified { new_entries }
                     }
                     AttestationOutcome::Failed { alerts } => {
                         SchedulerMetrics::add(&metrics.failed, 1);
                         SchedulerMetrics::add(&metrics.alerts, alerts.len() as u64);
+                        update_health(job.record, ReachClass::ReachedNotVerified, config, metrics);
                         RoundOutcome::Failed { alerts }
                     }
                     AttestationOutcome::SkippedPaused => {
                         SchedulerMetrics::add(&metrics.skipped_paused, 1);
+                        // Nothing was requested: no reachability evidence,
+                        // so health stays as it was.
                         RoundOutcome::SkippedPaused
                     }
                 };
@@ -425,8 +530,9 @@ fn attest_with_retry<T: Transport>(
         if retryable {
             SchedulerMetrics::add(&metrics.drops, 1);
         }
-        if !retryable || attempts > config.max_retries {
+        if !retryable || attempts > retry_budget {
             SchedulerMetrics::add(&metrics.unreachable, 1);
+            update_health(job.record, ReachClass::Unreachable, config, metrics);
             return AgentRoundResult {
                 id: job.id,
                 day,
@@ -444,6 +550,27 @@ fn attest_with_retry<T: Transport>(
         let backoff = config.backoff_for_attempt(attempts).as_millis() as u64;
         backoff_ms_total += backoff;
         SchedulerMetrics::add(&metrics.backoff_ms, backoff);
+    }
+}
+
+/// Applies one round's terminal outcome to the agent's health machine
+/// and counts the transition, if any.
+fn update_health(
+    record: &mut crate::verifier::AgentRecord,
+    class: ReachClass,
+    config: &VerifierConfig,
+    metrics: &SchedulerMetrics,
+) {
+    let before = record.health();
+    let after = record.apply_health(class, config);
+    if before != after {
+        let counter = match after {
+            AgentHealth::Healthy => &metrics.to_healthy,
+            AgentHealth::Degraded => &metrics.to_degraded,
+            AgentHealth::Quarantined => &metrics.to_quarantined,
+            AgentHealth::Recovering => &metrics.to_recovering,
+        };
+        SchedulerMetrics::add(counter, 1);
     }
 }
 
@@ -487,6 +614,35 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&wire).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.retries, 7);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut snap = MetricsSnapshot {
+            calls: 10,
+            verified: 5,
+            failed: 1,
+            skipped_paused: 1,
+            unreachable: 1,
+            retries: 2,
+            ..MetricsSnapshot::default()
+        };
+        assert!(snap.is_conserved());
+        // An orphaned enrolment adds an unreachable outcome with no call.
+        snap.orphaned = 1;
+        snap.unreachable = 2;
+        assert!(snap.is_conserved());
+        // Losing a retry from the books breaks the identity.
+        snap.retries = 1;
+        assert!(!snap.is_conserved());
+        // Quarantine skips don't enter the identity at all.
+        snap.retries = 2;
+        snap.quarantine_skips = 99;
+        assert!(snap.is_conserved());
+        assert!(
+            MetricsSnapshot::default().is_conserved(),
+            "empty is conserved"
+        );
     }
 
     #[test]

@@ -281,6 +281,7 @@ impl<T: Transport> Cluster<T> {
                 RoundOutcome::Verified { .. } => AuditOutcome::Verified,
                 RoundOutcome::Failed { .. } => AuditOutcome::Failed,
                 RoundOutcome::SkippedPaused => AuditOutcome::Skipped,
+                RoundOutcome::SkippedQuarantined { .. } => AuditOutcome::Skipped,
                 RoundOutcome::Unreachable { .. } => AuditOutcome::Unreachable,
             };
             self.audit.record(result.day, &result.id, audit_outcome);
@@ -320,6 +321,15 @@ impl<T: Transport> Cluster<T> {
     /// [`KeylimeError::UnknownAgent`].
     pub fn status(&self, id: &AgentId) -> Result<AgentStatus, KeylimeError> {
         self.verifier.status(id)
+    }
+
+    /// Reachability-health shortcut.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn health(&self, id: &AgentId) -> Result<crate::verifier::AgentHealth, KeylimeError> {
+        self.verifier.health(id)
     }
 
     /// Alerts shortcut.

@@ -322,6 +322,66 @@ mod tests {
         assert_eq!(base.requests(), 0);
     }
 
+    /// Regression: lane derivation must not alias. A naive `seed + lane`
+    /// (or xor) mix would give `fork(seed, lane+1)` the same stream as
+    /// `fork(seed+1, lane)`, so two agents in *different* fleets — or one
+    /// agent after a seed bump — would replay each other's fault pattern.
+    /// The SplitMix64 finalizer keeps every (seed, lane) pair distinct.
+    #[test]
+    fn lane_mixing_does_not_alias_adjacent_seeds_and_lanes() {
+        let mut derived = std::collections::BTreeSet::new();
+        for seed in 0..8u64 {
+            for lane in 0..8u64 {
+                assert!(
+                    derived.insert(mix_lane(seed, lane)),
+                    "collision at seed {seed}, lane {lane}"
+                );
+            }
+        }
+        // The specific aliasing a plain additive mix would produce:
+        assert_ne!(mix_lane(10, 3), mix_lane(11, 2));
+        assert_ne!(mix_lane(10, 3), mix_lane(9, 4));
+        assert_ne!(mix_lane(10, 3), mix_lane(3, 10), "not symmetric either");
+    }
+
+    /// Regression: a lane's attempt-level draws depend only on
+    /// (base seed, lane) — never on which worker got the lane or how many
+    /// calls *other* lanes made first. Drives the same lanes under two
+    /// different worker-assignment interleavings and pins equality.
+    #[test]
+    fn lane_fault_pattern_is_independent_of_worker_assignment() {
+        let base = LossyTransport::new(0.35, 1234);
+        let attempts_per_lane = 40; // covers multi-retry rounds
+        let drive = |t: &mut LossyTransport| -> Vec<bool> {
+            (0..attempts_per_lane)
+                .map(|i| t.call(&i, |x: i32| x).is_ok())
+                .collect()
+        };
+
+        // Assignment A: workers process lanes 0,1,2,3 in order, each
+        // lane's attempts run back to back.
+        let in_order: Vec<Vec<bool>> = (0..4).map(|l| drive(&mut base.fork(l))).collect();
+
+        // Assignment B: lanes forked in reverse and attempts interleaved
+        // round-robin across all lanes, as a racing pool would.
+        let mut rev_lanes: Vec<(u64, LossyTransport)> =
+            (0..4u64).rev().map(|l| (l, base.fork(l))).collect();
+        let mut results: std::collections::BTreeMap<u64, Vec<bool>> =
+            (0..4u64).map(|l| (l, Vec::new())).collect();
+        for i in 0..attempts_per_lane {
+            for (lane_no, t) in rev_lanes.iter_mut() {
+                let entry = results.get_mut(lane_no).unwrap();
+                entry.push(t.call(&i, |x: i32| x).is_ok());
+            }
+        }
+        for (lane_no, pattern) in results {
+            assert_eq!(
+                pattern, in_order[lane_no as usize],
+                "lane {lane_no} pattern changed with worker assignment"
+            );
+        }
+    }
+
     #[test]
     fn fork_of_reliable_is_reliable() {
         let base = ReliableTransport::new();

@@ -70,6 +70,80 @@ pub enum AgentStatus {
     Paused,
 }
 
+/// Reachability health of one agent, as tracked by the verifier.
+///
+/// Orthogonal to [`AgentStatus`] (which is about *attestation verdicts*):
+/// health is about whether the evidence channel works at all. The legal
+/// transitions form a small machine:
+///
+/// ```text
+///  Healthy ──unreachable×degraded_after──▶ Degraded
+///  Degraded ─unreachable×quarantine_after─▶ Quarantined
+///  Quarantined ──successful re-probe──▶ Recovering
+///  Recovering ──verified round──▶ Healthy
+///  Recovering ──unreachable again──▶ Quarantined
+///  Degraded/Recovering ──any reachable round──▶ (towards) Healthy
+/// ```
+///
+/// With [`VerifierConfig::quarantine_enabled`] the scheduler skips
+/// Quarantined agents on a decaying re-probe backoff instead of burning
+/// the full retry budget every round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AgentHealth {
+    /// Reachable and attesting.
+    Healthy,
+    /// Some consecutive unreachable rounds; still polled normally.
+    Degraded,
+    /// Persistently unreachable; polled only on the re-probe schedule.
+    Quarantined,
+    /// A probe got through; full trust requires a verified attestation
+    /// (policy re-validation) to complete the recovery.
+    Recovering,
+}
+
+/// Per-state agent counts for one point in time (or one round).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthCounts {
+    /// Agents in [`AgentHealth::Healthy`].
+    pub healthy: usize,
+    /// Agents in [`AgentHealth::Degraded`].
+    pub degraded: usize,
+    /// Agents in [`AgentHealth::Quarantined`].
+    pub quarantined: usize,
+    /// Agents in [`AgentHealth::Recovering`].
+    pub recovering: usize,
+}
+
+impl HealthCounts {
+    /// Total agents across all states.
+    pub fn total(&self) -> usize {
+        self.healthy + self.degraded + self.quarantined + self.recovering
+    }
+
+    /// Registers one agent's state.
+    pub fn count(&mut self, health: AgentHealth) {
+        match health {
+            AgentHealth::Healthy => self.healthy += 1,
+            AgentHealth::Degraded => self.degraded += 1,
+            AgentHealth::Quarantined => self.quarantined += 1,
+            AgentHealth::Recovering => self.recovering += 1,
+        }
+    }
+}
+
+/// How a round ended for one agent, from the health machine's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReachClass {
+    /// The agent was reached and the attestation verified.
+    Verified,
+    /// The agent was reached but attestation failed or was skipped while
+    /// paused — the channel works, the verdict does not recover trust.
+    ReachedNotVerified,
+    /// The agent could not be reached (retries exhausted or a
+    /// non-retryable transport error).
+    Unreachable,
+}
+
 /// Result of one poll.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttestationOutcome {
@@ -108,6 +182,97 @@ pub(crate) struct AgentRecord {
     alerts: Vec<Alert>,
     attestations: u64,
     nonce_counter: u64,
+    health: AgentHealth,
+    consecutive_unreachable: u32,
+    /// Rounds to skip before the next quarantine probe.
+    reprobe_in: u32,
+    /// Current re-probe interval (doubles per failed probe, capped).
+    reprobe_backoff: u32,
+}
+
+impl AgentRecord {
+    /// The agent's current reachability health.
+    pub(crate) fn health(&self) -> AgentHealth {
+        self.health
+    }
+
+    /// Quarantine scheduling: decides whether this round probes the
+    /// agent. Returns `Some(rounds_until_probe)` when the round should be
+    /// skipped (the counter has been decremented), `None` when a probe is
+    /// due now. Only meaningful while Quarantined.
+    pub(crate) fn tick_reprobe(&mut self) -> Option<u32> {
+        if self.reprobe_in == 0 {
+            return None;
+        }
+        self.reprobe_in -= 1;
+        Some(self.reprobe_in)
+    }
+
+    /// Advances the health machine after a round's terminal outcome.
+    /// Returns the new health.
+    pub(crate) fn apply_health(
+        &mut self,
+        class: ReachClass,
+        config: &VerifierConfig,
+    ) -> AgentHealth {
+        match class {
+            ReachClass::Verified => {
+                self.consecutive_unreachable = 0;
+                self.health = match self.health {
+                    // A verified *probe* starts recovery; a verified round
+                    // while Recovering completes it. Full trust is never
+                    // restored in one step from Quarantined.
+                    AgentHealth::Quarantined => {
+                        self.reprobe_in = 0;
+                        self.reprobe_backoff = 0;
+                        AgentHealth::Recovering
+                    }
+                    AgentHealth::Recovering => AgentHealth::Healthy,
+                    _ => AgentHealth::Healthy,
+                };
+            }
+            ReachClass::ReachedNotVerified => {
+                // The channel works, so unreachable streaks reset, but an
+                // unverified verdict cannot progress recovery.
+                self.consecutive_unreachable = 0;
+                match self.health {
+                    AgentHealth::Degraded => self.health = AgentHealth::Healthy,
+                    AgentHealth::Quarantined => self.escalate_reprobe(config),
+                    AgentHealth::Healthy | AgentHealth::Recovering => {}
+                }
+            }
+            ReachClass::Unreachable => {
+                self.consecutive_unreachable = self.consecutive_unreachable.saturating_add(1);
+                match self.health {
+                    AgentHealth::Healthy | AgentHealth::Degraded => {
+                        if self.consecutive_unreachable >= config.quarantine_after {
+                            self.enter_quarantine(config);
+                        } else if self.consecutive_unreachable >= config.degraded_after {
+                            self.health = AgentHealth::Degraded;
+                        }
+                    }
+                    AgentHealth::Recovering => self.enter_quarantine(config),
+                    AgentHealth::Quarantined => self.escalate_reprobe(config),
+                }
+            }
+        }
+        self.health
+    }
+
+    fn enter_quarantine(&mut self, config: &VerifierConfig) {
+        self.health = AgentHealth::Quarantined;
+        self.reprobe_backoff = config.reprobe_backoff_rounds.max(1);
+        self.reprobe_in = self.reprobe_backoff;
+    }
+
+    fn escalate_reprobe(&mut self, config: &VerifierConfig) {
+        self.reprobe_backoff = self
+            .reprobe_backoff
+            .max(1)
+            .saturating_mul(2)
+            .min(config.reprobe_backoff_max_rounds.max(1));
+        self.reprobe_in = self.reprobe_backoff;
+    }
 }
 
 /// The verifier service.
@@ -157,6 +322,10 @@ impl Verifier {
                 alerts: Vec::new(),
                 attestations: 0,
                 nonce_counter: 0,
+                health: AgentHealth::Healthy,
+                consecutive_unreachable: 0,
+                reprobe_in: 0,
+                reprobe_backoff: 0,
             },
         );
     }
@@ -215,6 +384,24 @@ impl Verifier {
     /// [`KeylimeError::UnknownAgent`].
     pub fn attestation_count(&self, id: &AgentId) -> Result<u64, KeylimeError> {
         Ok(self.record(id)?.attestations)
+    }
+
+    /// The agent's reachability health.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn health(&self, id: &AgentId) -> Result<AgentHealth, KeylimeError> {
+        Ok(self.record(id)?.health)
+    }
+
+    /// Per-state counts over every enrolled agent.
+    pub fn health_counts(&self) -> HealthCounts {
+        let mut counts = HealthCounts::default();
+        for record in self.agents.values() {
+            counts.count(record.health);
+        }
+        counts
     }
 
     /// Operator action: resume polling after investigating a failure.
@@ -540,5 +727,168 @@ impl Verifier {
         self.agents
             .get_mut(id)
             .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn record() -> AgentRecord {
+        let mut rng = StdRng::seed_from_u64(11);
+        AgentRecord {
+            ak: cia_crypto::KeyPair::generate(&mut rng).verifying,
+            policy: RuntimePolicy::new(),
+            next_entry: 0,
+            replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
+            last_boot_count: None,
+            status: AgentStatus::Trusted,
+            alerts: Vec::new(),
+            attestations: 0,
+            nonce_counter: 0,
+            health: AgentHealth::Healthy,
+            consecutive_unreachable: 0,
+            reprobe_in: 0,
+            reprobe_backoff: 0,
+        }
+    }
+
+    fn config() -> VerifierConfig {
+        VerifierConfig::builder()
+            .degraded_after(2)
+            .quarantine_after(4)
+            .reprobe_backoff_rounds(2)
+            .reprobe_backoff_max_rounds(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unreachable_streak_degrades_then_quarantines() {
+        let c = config();
+        let mut r = record();
+        assert_eq!(
+            r.apply_health(ReachClass::Unreachable, &c),
+            AgentHealth::Healthy
+        );
+        assert_eq!(
+            r.apply_health(ReachClass::Unreachable, &c),
+            AgentHealth::Degraded
+        );
+        assert_eq!(
+            r.apply_health(ReachClass::Unreachable, &c),
+            AgentHealth::Degraded
+        );
+        assert_eq!(
+            r.apply_health(ReachClass::Unreachable, &c),
+            AgentHealth::Quarantined
+        );
+        assert_eq!(r.consecutive_unreachable, 4);
+        assert_eq!(r.reprobe_backoff, 2, "enters at the base interval");
+    }
+
+    #[test]
+    fn recovery_needs_two_verified_rounds() {
+        let c = config();
+        let mut r = record();
+        for _ in 0..4 {
+            r.apply_health(ReachClass::Unreachable, &c);
+        }
+        assert_eq!(r.health(), AgentHealth::Quarantined);
+        assert_eq!(
+            r.apply_health(ReachClass::Verified, &c),
+            AgentHealth::Recovering,
+            "a verified probe starts recovery, not full trust"
+        );
+        assert_eq!(
+            r.apply_health(ReachClass::Verified, &c),
+            AgentHealth::Healthy
+        );
+        assert_eq!(r.consecutive_unreachable, 0);
+    }
+
+    #[test]
+    fn recovering_relapse_requarantines() {
+        let c = config();
+        let mut r = record();
+        for _ in 0..4 {
+            r.apply_health(ReachClass::Unreachable, &c);
+        }
+        r.apply_health(ReachClass::Verified, &c);
+        assert_eq!(r.health(), AgentHealth::Recovering);
+        assert_eq!(
+            r.apply_health(ReachClass::Unreachable, &c),
+            AgentHealth::Quarantined,
+            "one more miss while recovering goes straight back"
+        );
+    }
+
+    #[test]
+    fn reached_but_failed_resets_streak_without_recovery() {
+        let c = config();
+        let mut r = record();
+        r.apply_health(ReachClass::Unreachable, &c);
+        r.apply_health(ReachClass::Unreachable, &c);
+        assert_eq!(r.health(), AgentHealth::Degraded);
+        assert_eq!(
+            r.apply_health(ReachClass::ReachedNotVerified, &c),
+            AgentHealth::Healthy,
+            "the channel works again"
+        );
+        assert_eq!(r.consecutive_unreachable, 0);
+
+        // But while Quarantined, a failing (reachable) agent stays put.
+        for _ in 0..4 {
+            r.apply_health(ReachClass::Unreachable, &c);
+        }
+        assert_eq!(
+            r.apply_health(ReachClass::ReachedNotVerified, &c),
+            AgentHealth::Quarantined,
+            "recovery demands a verified attestation"
+        );
+    }
+
+    #[test]
+    fn reprobe_backoff_decays_and_caps() {
+        let c = config();
+        let mut r = record();
+        for _ in 0..4 {
+            r.apply_health(ReachClass::Unreachable, &c);
+        }
+        // Entered with backoff 2: skip, skip, probe.
+        assert_eq!(r.tick_reprobe(), Some(1));
+        assert_eq!(r.tick_reprobe(), Some(0));
+        assert_eq!(r.tick_reprobe(), None, "probe due");
+        // The probe fails: backoff doubles (2 → 4).
+        r.apply_health(ReachClass::Unreachable, &c);
+        assert_eq!(r.reprobe_backoff, 4);
+        for expected in [3, 2, 1, 0] {
+            assert_eq!(r.tick_reprobe(), Some(expected));
+        }
+        assert_eq!(r.tick_reprobe(), None);
+        // Failed probes keep doubling but cap at 8.
+        r.apply_health(ReachClass::Unreachable, &c);
+        assert_eq!(r.reprobe_backoff, 8);
+        r.apply_health(ReachClass::Unreachable, &c);
+        assert_eq!(r.reprobe_backoff, 8, "capped");
+    }
+
+    #[test]
+    fn verifier_health_accessors() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut verifier = Verifier::new(VerifierConfig::default());
+        let ak = cia_crypto::KeyPair::generate(&mut rng).verifying;
+        verifier.add_agent("node-a", ak.clone(), RuntimePolicy::new());
+        verifier.add_agent("node-b", ak, RuntimePolicy::new());
+        assert_eq!(
+            verifier.health(&AgentId::from("node-a")).unwrap(),
+            AgentHealth::Healthy
+        );
+        assert!(verifier.health(&AgentId::from("ghost")).is_err());
+        let counts = verifier.health_counts();
+        assert_eq!(counts.healthy, 2);
+        assert_eq!(counts.total(), 2);
     }
 }

@@ -1,0 +1,199 @@
+//! Integration coverage for the secure-payload bootstrap (`payload.rs`)
+//! and the revocation bus (`revocation.rs`) at the Cluster level — in
+//! particular the interaction the chaos harness exposed: a revocation
+//! published while a subscriber's node is quarantined must be applied on
+//! recovery, never lost.
+
+use cia_keylime::{
+    Agent, AgentHealth, AgentStatus, ChaosTransport, Cluster, EncryptedPayload, FaultPlan,
+    FaultTarget, KeyShare, PayloadBundle, ReliableTransport, RuntimePolicy, VerifierConfig,
+};
+use cia_os::{ExecMethod, Machine, MachineConfig};
+use cia_vfs::VfsPath;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn machine_config(hostname: &str, seed: u64) -> MachineConfig {
+    MachineConfig {
+        hostname: hostname.to_string(),
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// The V share is withheld until the first clean attestation: collecting
+/// before any poll yields nothing, collecting after a verified round
+/// yields the plaintext.
+#[test]
+fn payload_released_only_after_clean_attestation() {
+    let mut cluster = Cluster::new(41, VerifierConfig::default());
+    let id = cluster
+        .add_machine(machine_config("node-00", 1), RuntimePolicy::new())
+        .unwrap();
+    let secret = b"db-password=hunter2";
+    cluster.provision_payload(&id, secret).unwrap();
+
+    // No attestation yet: the verifier holds the V share back.
+    assert_eq!(cluster.collect_payload(&id).unwrap(), None);
+
+    assert!(cluster.attest(&id).unwrap().is_verified());
+    assert_eq!(
+        cluster.collect_payload(&id).unwrap().as_deref(),
+        Some(secret.as_slice())
+    );
+}
+
+/// A node that fails attestation loses payload access while paused, and
+/// regains it only after operator resolution plus a clean re-poll.
+#[test]
+fn payload_denied_while_untrusted_restored_after_resolution() {
+    let mut cluster = Cluster::new(42, VerifierConfig::default());
+    let id = cluster
+        .add_machine(machine_config("node-00", 2), RuntimePolicy::new())
+        .unwrap();
+    cluster.provision_payload(&id, b"api-token=abcd").unwrap();
+    assert!(cluster.attest(&id).unwrap().is_verified());
+
+    // Compromise: an unexpected executable runs and attestation fails.
+    let machine = cluster.agent_mut(&id).unwrap().machine_mut();
+    let rogue = VfsPath::new("/usr/local/bin/rogue").unwrap();
+    machine.write_executable(&rogue, b"unexpected").unwrap();
+    machine.exec(&rogue, ExecMethod::Direct).unwrap();
+    assert!(!cluster.attest(&id).unwrap().is_verified());
+    assert_eq!(cluster.status(&id).unwrap(), AgentStatus::Paused);
+    assert_eq!(cluster.collect_payload(&id).unwrap(), None);
+
+    // The operator investigates and resolves; the next poll is clean
+    // (the rogue entry was already consumed), so trust — and with it
+    // payload access — is restored.
+    cluster.resolve(&id).unwrap();
+    assert!(cluster.attest(&id).unwrap().is_verified());
+    assert!(cluster.collect_payload(&id).unwrap().is_some());
+}
+
+/// The wire formats round-trip through serde, and a tampered ciphertext
+/// is rejected by the integrity tag even under the correct key.
+#[test]
+fn payload_serde_roundtrip_and_tamper_detection() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let bundle = PayloadBundle::seal(b"secret config", &mut rng);
+    let key = bundle.u_share.combine(&bundle.v_share);
+
+    let payload_json = serde_json::to_string(&bundle.payload).unwrap();
+    let share_json = serde_json::to_string(&bundle.u_share).unwrap();
+    let payload: EncryptedPayload = serde_json::from_str(&payload_json).unwrap();
+    let share: KeyShare = serde_json::from_str(&share_json).unwrap();
+    assert_eq!(payload, bundle.payload);
+    assert_eq!(share, bundle.u_share);
+    assert_eq!(payload.open(&key).unwrap(), b"secret config");
+
+    // Flip the first ciphertext byte on the wire: even under the correct
+    // key, the integrity tag must reject the decryption.
+    let marker = "\"ciphertext\":[";
+    let start = payload_json.find(marker).unwrap() + marker.len();
+    let end = start + payload_json[start..].find([',', ']']).unwrap();
+    let byte: u8 = payload_json[start..end].parse().unwrap();
+    let tampered_json = format!(
+        "{}{}{}",
+        &payload_json[..start],
+        byte ^ 0xff,
+        &payload_json[end..]
+    );
+    let tampered: EncryptedPayload = serde_json::from_str(&tampered_json).unwrap();
+    assert_ne!(tampered, payload);
+    assert_eq!(tampered.open(&key), None);
+}
+
+/// The satellite scenario: node B is partitioned and quarantined while
+/// node A is compromised and revoked. B's revocation subscriber is
+/// offline for the duration of the quarantine; the notice queues on the
+/// bus and applies when B recovers — the revocation is delayed, not lost.
+#[test]
+fn revocation_during_quarantine_applies_on_recovery() {
+    let config = VerifierConfig::builder()
+        .quarantine_enabled(true)
+        .degraded_after(1)
+        .quarantine_after(2)
+        .reprobe_backoff_rounds(1)
+        .reprobe_backoff_max_rounds(4)
+        .max_retries(1)
+        .worker_count(2)
+        .build()
+        .unwrap();
+    // Lane 1 (node "bravo", second in sorted order) partitions rounds 1..5.
+    let plan = FaultPlan::new(5).partition(1..5, FaultTarget::lanes([1]));
+    let mut cluster = Cluster::with_transport(
+        43,
+        config,
+        ChaosTransport::new(ReliableTransport::new(), plan),
+    );
+
+    let alpha = {
+        let machine = Machine::new(&cluster.manufacturer, machine_config("alpha", 10));
+        cluster
+            .add_agent(Agent::new(machine), RuntimePolicy::new())
+            .unwrap()
+    };
+    let bravo = {
+        let machine = Machine::new(&cluster.manufacturer, machine_config("bravo", 11));
+        cluster
+            .add_agent(Agent::new(machine), RuntimePolicy::new())
+            .unwrap()
+    };
+    // Bravo's host also runs the revocation consumer, so it goes offline
+    // with the node.
+    let subscriber = cluster.revocation_bus.subscribe();
+
+    // Round 0: everyone clean and online.
+    cluster.transport.set_round(0);
+    assert_eq!(cluster.attest_fleet().verified_count(), 2);
+
+    // Rounds 1-2: bravo partitions and quarantines; its consumer drops
+    // off the bus at the same time.
+    for round in 1..=2 {
+        cluster.transport.set_round(round);
+        cluster.attest_fleet();
+    }
+    assert_eq!(cluster.health(&bravo).unwrap(), AgentHealth::Quarantined);
+    cluster.revocation_bus.set_online(subscriber, false);
+
+    // Round 3: alpha is compromised mid-quarantine; the verifier revokes
+    // it and publishes — to a bus whose only consumer is offline.
+    {
+        let machine = cluster.agent_mut(&alpha).unwrap().machine_mut();
+        let rogue = VfsPath::new("/usr/local/bin/implant").unwrap();
+        machine.write_executable(&rogue, b"c2 implant").unwrap();
+        machine.exec(&rogue, ExecMethod::Direct).unwrap();
+    }
+    cluster.transport.set_round(3);
+    cluster.attest_fleet();
+    assert_eq!(cluster.status(&alpha).unwrap(), AgentStatus::Paused);
+    assert_eq!(cluster.revocation_bus.pending_count(subscriber), Some(1));
+    assert!(
+        !cluster
+            .revocation_bus
+            .subscriber(subscriber)
+            .unwrap()
+            .is_revoked(&alpha),
+        "the notice must not apply while the consumer is offline"
+    );
+
+    // Rounds 5-8: the partition heals; bravo probes back through
+    // Recovering to Healthy, and its consumer reconnects — the queued
+    // revocation flushes on reconnect.
+    for round in 5..=8 {
+        cluster.transport.set_round(round);
+        cluster.attest_fleet();
+    }
+    assert_eq!(cluster.health(&bravo).unwrap(), AgentHealth::Healthy);
+    cluster.revocation_bus.set_online(subscriber, true);
+    assert_eq!(cluster.revocation_bus.pending_count(subscriber), Some(0));
+    assert!(
+        cluster
+            .revocation_bus
+            .subscriber(subscriber)
+            .unwrap()
+            .is_revoked(&alpha),
+        "the revocation must apply on recovery, not be lost"
+    );
+}

@@ -1,0 +1,114 @@
+//! Property tests for the chaos harness: the simulation's determinism
+//! and the scheduler's accounting hold for *arbitrary* seeded fault
+//! plans, not just the hand-picked scenarios in the corpus.
+
+use cia_sim::{deterministic_metrics, SimConfig, SimRunner};
+use proptest::prelude::*;
+
+use cia_keylime::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
+
+const NODES: u64 = 4;
+const ROUNDS: u64 = 8;
+
+/// One arbitrary agent-targeted fault event inside the run window.
+fn arb_event() -> impl Strategy<Value = FaultEvent> {
+    let window = (0u64..ROUNDS, 1u64..4).prop_map(|(from, len)| (from, from + len));
+    let target = prop_oneof![
+        Just(FaultTarget::AllAgents),
+        proptest::collection::vec(0..NODES, 1..3).prop_map(|lanes| FaultTarget::lanes(lanes)),
+    ];
+    let kind = prop_oneof![
+        Just(FaultKind::Partition),
+        (1u32..90).prop_map(|pct| FaultKind::Loss {
+            rate: f64::from(pct) / 100.0,
+        }),
+        (1u64..50).prop_map(|extra_ms| FaultKind::Latency { extra_ms }),
+        Just(FaultKind::Corrupt),
+        Just(FaultKind::CrashRestart),
+    ];
+    (window, target, kind).prop_map(|((from_round, until_round), target, kind)| FaultEvent {
+        from_round,
+        until_round,
+        target,
+        kind,
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), proptest::collection::vec(arb_event(), 0..5)).prop_map(|(seed, events)| {
+        events
+            .into_iter()
+            .fold(FaultPlan::new(seed), |plan, e| plan.push(e))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite: for any seeded FaultPlan, two executions with
+    /// different worker counts produce identical RoundReport sequences
+    /// and identical final verifier health state — the failure trace is
+    /// a pure function of (seed, plan), never of thread scheduling.
+    #[test]
+    fn trace_is_worker_count_invariant(
+        plan in arb_plan(),
+        quarantine in any::<bool>(),
+    ) {
+        let solo = SimRunner::new(
+            SimConfig::new(NODES as usize, ROUNDS, plan.clone())
+                .workers(1)
+                .quarantine(quarantine),
+        )
+        .expect("enrolment over a clean registrar channel")
+        .run();
+        let pooled = SimRunner::new(
+            SimConfig::new(NODES as usize, ROUNDS, plan)
+                .workers(5)
+                .quarantine(quarantine),
+        )
+        .expect("enrolment over a clean registrar channel")
+        .run();
+
+        prop_assert_eq!(&solo.rounds, &pooled.rounds);
+        prop_assert_eq!(&solo.final_health, &pooled.final_health);
+        prop_assert_eq!(&solo.metrics, &pooled.metrics);
+    }
+
+    /// Satellite: the MetricsSnapshot conservation identity holds under
+    /// arbitrary drop/corruption interleavings — every transport call is
+    /// accounted for by exactly one terminal outcome or one retry, and
+    /// retry_rate stays in [0, 1]. (SimRunner::step also asserts this
+    /// after every round; this test drives it across arbitrary plans and
+    /// re-checks the final cumulative snapshot.)
+    #[test]
+    fn metrics_conservation_under_arbitrary_faults(
+        plan in arb_plan(),
+        quarantine in any::<bool>(),
+        retries in 0u32..6,
+    ) {
+        let mut config = SimConfig::new(NODES as usize, ROUNDS, plan).quarantine(quarantine);
+        config.max_retries = retries;
+        let report = SimRunner::new(config)
+            .expect("enrolment over a clean registrar channel")
+            .run();
+
+        let m = &report.metrics;
+        prop_assert!(m.is_conserved(), "identity violated: {:?}", m);
+        let rate = m.retry_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        prop_assert!(m.retries <= m.calls, "a retry is itself a call");
+        // Outcome totals match what the rounds reported.
+        let verified: usize = report.rounds.iter().map(|r| r.verified_count()).sum();
+        let unreachable: usize = report.rounds.iter().map(|r| r.unreachable_count()).sum();
+        let q_skips: usize = report
+            .rounds
+            .iter()
+            .map(|r| r.quarantine_skipped_count())
+            .sum();
+        prop_assert_eq!(m.verified as usize, verified);
+        prop_assert_eq!(m.unreachable as usize, unreachable);
+        prop_assert_eq!(m.quarantine_skips as usize, q_skips);
+        // Stripping wall-clock fields is idempotent.
+        prop_assert_eq!(&deterministic_metrics(m), m);
+    }
+}

@@ -69,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("FAILED: {:?}", alerts[0].kind)
             }
             RoundOutcome::SkippedPaused => "paused".to_string(),
+            RoundOutcome::SkippedQuarantined { next_probe_in } => {
+                format!("quarantined (reprobe in {next_probe_in} rounds)")
+            }
             RoundOutcome::Unreachable { reason } => format!("UNREACHABLE: {reason}"),
         };
         println!("  {}: {status}", result.id);

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints on the keylime crate, and the tier-1 suite.
+# CI gate: formatting, lints on the keylime crate, the tier-1 suite, and
+# the chaos scenario corpus in release mode.
 #
 # Usage: scripts/ci.sh [--offline]
 #
 # Tier-1 is the root package: `cargo build --release && cargo test -q`.
-# The same steps run in .github/workflows/ci.yml.
+# The same steps run in .github/workflows/ci.yml. Set CHAOS_LONG=1 to also
+# run the 500-round long simulation inside the chaos job (nightly-style;
+# it stays well under a minute in release).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,5 +28,12 @@ cargo build "${OFFLINE[@]}" --release
 
 echo "== tier-1: cargo test -q =="
 cargo test "${OFFLINE[@]}" -q
+
+echo "== chaos: scenario corpus (release) =="
+cargo test "${OFFLINE[@]}" --release --test chaos_scenarios
+if [[ "${CHAOS_LONG:-}" == "1" ]]; then
+  echo "== chaos: 500-round long sim (CHAOS_LONG=1) =="
+  CHAOS_LONG=1 cargo test "${OFFLINE[@]}" --release --test chaos_scenarios long_sim
+fi
 
 echo "CI gate passed."

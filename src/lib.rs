@@ -68,9 +68,10 @@ pub mod prelude {
     pub use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
     pub use cia_ima::{Ima, ImaConfig, ImaPolicy};
     pub use cia_keylime::{
-        AgentId, AgentStatus, AttestationOutcome, Cluster, FleetScheduler, LossyTransport,
-        MetricsSnapshot, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy, Tenant,
-        Transport, VerifierConfig,
+        AgentHealth, AgentId, AgentStatus, AttestationOutcome, ChaosTransport, Cluster, FaultPlan,
+        FaultTarget, FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot,
+        ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy, Tenant, Transport,
+        VerifierConfig,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};

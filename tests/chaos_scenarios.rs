@@ -1,0 +1,424 @@
+//! The chaos scenario corpus: scripted operational faults the paper's
+//! 66-day deployment actually hit (§III-D), each replayable
+//! bit-identically from its `(seed, FaultPlan)` alone.
+//!
+//! - partition during an update window → quarantine, then clean recovery
+//!   with the backlog verified and zero alerts;
+//! - registrar outage ("flap") blocking enrolment until it lifts;
+//! - agent crash/restart mid-run with a TPM quote-counter reset;
+//! - the March-27 shape: a misconfigured policy push raising fleet-wide
+//!   false positives until the corrected policy lands;
+//! - the acceptance check: a failing trace replays identically under a
+//!   different worker count;
+//! - quarantine economics: sustained partitions cost measurably fewer
+//!   transport calls with the cheap-skip path on;
+//! - an env-gated 500-round long simulation (`CHAOS_LONG=1`).
+
+use cia_sim::{SimConfig, SimRunner};
+use continuous_attestation::crypto::Sha256;
+use continuous_attestation::keylime::Agent;
+use continuous_attestation::prelude::*;
+
+type ChaosCluster = Cluster<ChaosTransport<ReliableTransport>>;
+
+/// Engine posture for the corpus: P2 fix on, quick quarantine thresholds
+/// so scenarios play out in few rounds.
+fn corpus_config(workers: usize) -> VerifierConfig {
+    VerifierConfig::builder()
+        .continue_on_failure(true)
+        .quarantine_enabled(true)
+        .degraded_after(1)
+        .quarantine_after(2)
+        .reprobe_backoff_rounds(1)
+        .reprobe_backoff_max_rounds(4)
+        .max_retries(2)
+        .worker_count(workers)
+        .build()
+        .unwrap()
+}
+
+fn chaos_cluster(seed: u64, plan: FaultPlan, workers: usize) -> ChaosCluster {
+    Cluster::with_transport(
+        seed,
+        corpus_config(workers),
+        ChaosTransport::new(ReliableTransport::new(), plan),
+    )
+}
+
+fn sha256_hex(content: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(content);
+    h.finalize().to_hex()
+}
+
+/// §III-D shape 1: an agent subset partitions across an update window.
+/// The verifier must quarantine the unreachable agent (cheap skips, not
+/// full retry burns), then — once the partition heals — verify the
+/// update's measurement backlog with zero alerts and walk the agent back
+/// to Healthy through Recovering.
+#[test]
+fn partition_during_update_quarantines_then_recovers_clean() {
+    let tool = VfsPath::new("/usr/bin/service").unwrap();
+    let v1: &[u8] = b"fleet service v1";
+    let v2: &[u8] = b"fleet service v2 (update)";
+    let plan = FaultPlan::new(27).partition(2..6, FaultTarget::lanes([1]));
+    let mut cluster = chaos_cluster(27, plan, 3);
+
+    let mut ids = Vec::new();
+    for i in 0..4u64 {
+        let config = MachineConfig {
+            hostname: format!("node-{i:02}"),
+            seed: 100 + i,
+            ..MachineConfig::default()
+        };
+        let mut machine = Machine::new(&cluster.manufacturer, config);
+        machine.write_executable(&tool, v1).unwrap();
+        let mut policy = RuntimePolicy::new();
+        policy.allow(tool.as_str(), sha256_hex(v1));
+        policy.allow(tool.as_str(), sha256_hex(v2));
+        policy.exclude("/tmp");
+        ids.push(cluster.add_agent(Agent::new(machine), policy).unwrap());
+    }
+    let victim = ids[1].clone(); // lane 1 == sorted index 1
+
+    for id in &ids {
+        let m = cluster.agent_mut(id).unwrap().machine_mut();
+        m.exec(&tool, ExecMethod::Direct).unwrap();
+    }
+
+    let mut reports = Vec::new();
+    for round in 0..12u64 {
+        if round == 3 {
+            // The update lands *while the victim is partitioned*: the new
+            // binary is measured locally, unseen by the verifier.
+            let m = cluster.agent_mut(&victim).unwrap().machine_mut();
+            m.write_executable(&tool, v2).unwrap();
+            m.exec(&tool, ExecMethod::Direct).unwrap();
+        }
+        cluster.transport.set_round(round);
+        reports.push(cluster.attest_fleet());
+    }
+
+    // The victim quarantined during the window and was skipped cheaply.
+    let victim_outcomes: Vec<&RoundOutcome> = reports
+        .iter()
+        .map(|r| &r.results.iter().find(|x| x.id == victim).unwrap().outcome)
+        .collect();
+    assert!(
+        victim_outcomes
+            .iter()
+            .any(|o| matches!(o, RoundOutcome::Unreachable { .. })),
+        "partition must show as unreachable rounds"
+    );
+    assert!(
+        victim_outcomes
+            .iter()
+            .any(|o| matches!(o, RoundOutcome::SkippedQuarantined { .. })),
+        "quarantine must skip at least one round cheaply"
+    );
+    assert!(
+        reports.iter().any(|r| r.health.quarantined == 1),
+        "health counts must show the quarantine"
+    );
+
+    // Nobody else was disturbed, and the victim never *failed*: a
+    // partition is a reachability event, not an integrity event.
+    assert!(
+        victim_outcomes
+            .iter()
+            .all(|o| !matches!(o, RoundOutcome::Failed { .. })),
+        "no false integrity failures from the partition"
+    );
+    assert!(cluster.alerts(&victim).unwrap().is_empty());
+
+    // Recovery: quarantine lifted through Recovering, backlog verified.
+    assert_eq!(cluster.health(&victim).unwrap(), AgentHealth::Healthy);
+    assert_eq!(cluster.status(&victim).unwrap(), AgentStatus::Trusted);
+    let last = reports.last().unwrap();
+    assert_eq!(last.verified_count(), 4);
+    assert_eq!(last.health.healthy, 4);
+    let metrics = cluster.scheduler.snapshot();
+    assert!(metrics.is_conserved());
+    assert!(metrics.to_quarantined >= 1 && metrics.to_recovering >= 1);
+}
+
+/// §III-D shape 2: the registrar flaps. Enrolment during the outage
+/// fails (retries exhausted against a partitioned service) but succeeds
+/// as soon as the window lifts — and the late joiner attests cleanly.
+#[test]
+fn registrar_flap_blocks_enrolment_until_window_lifts() {
+    let plan = FaultPlan::new(3).registrar_outage(0..1);
+    let mut cluster = chaos_cluster(3, plan, 2);
+
+    let machine_config = |hostname: &str, seed: u64| MachineConfig {
+        hostname: hostname.to_string(),
+        seed,
+        ..MachineConfig::default()
+    };
+
+    // Round 0: the registrar is down; enrolment fails after retries.
+    cluster.transport.set_round(0);
+    let err = cluster
+        .add_machine(machine_config("node-00", 1), RuntimePolicy::new())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("dropped"),
+        "outage surfaces as dropped registration calls: {err}"
+    );
+
+    // Round 1: window lifted; the same enrolment goes through.
+    cluster.transport.set_round(1);
+    let id = cluster
+        .add_machine(machine_config("node-00", 1), RuntimePolicy::new())
+        .unwrap();
+    let report = cluster.attest_fleet();
+    assert_eq!(report.verified_count(), 1);
+    assert_eq!(cluster.health(&id).unwrap(), AgentHealth::Healthy);
+}
+
+/// §III-D shape 3: a node crashes and restarts mid-run. The TPM reset
+/// counter bumps and the IMA log restarts; the verifier must detect the
+/// reboot, re-quote from entry zero, and verify — no false alert, no
+/// quarantine, no stuck state.
+#[test]
+fn crash_restart_mid_round_resets_quote_counter_cleanly() {
+    let plan = FaultPlan::new(11).crash(3, 1);
+    let runner = SimRunner::new(SimConfig::new(3, 7, plan)).unwrap();
+    let victim = runner.ids()[1].clone();
+    let report = runner.run();
+
+    for (round, round_report) in report.rounds.iter().enumerate() {
+        let result = round_report
+            .results
+            .iter()
+            .find(|r| r.id == victim)
+            .unwrap();
+        assert!(
+            matches!(result.outcome, RoundOutcome::Verified { .. }),
+            "round {round}: crash/restart must not break attestation: {:?}",
+            result.outcome
+        );
+    }
+    // The crash round re-measured boot: the verifier processed a fresh
+    // log (boot_aggregate again), not an incremental empty poll.
+    let crash_round = &report.rounds[3];
+    let result = crash_round.results.iter().find(|r| r.id == victim).unwrap();
+    assert!(
+        matches!(result.outcome, RoundOutcome::Verified { new_entries } if new_entries > 0),
+        "reboot must re-process the restarted log: {:?}",
+        result.outcome
+    );
+    assert_eq!(report.final_health[&victim], AgentHealth::Healthy);
+}
+
+/// The paper's March-27 incident shape: a policy update omits entries
+/// for tooling that runs fleet-wide, so *every* agent raises a false
+/// positive the same day; the corrected policy restores the fleet the
+/// next round. With continue-on-failure on (the paper's P2 fix), the
+/// fleet keeps attesting throughout — and revocation notices published
+/// to a subscriber that is offline during the incident are queued, not
+/// lost.
+#[test]
+fn march_27_misconfigured_policy_push_alerts_fleet_wide_then_restores() {
+    const NODES: u64 = 3;
+    const MISCONFIG_ROUND: u64 = 4;
+    let mut cluster = chaos_cluster(327, FaultPlan::new(327), 3);
+
+    let maint_path = |round: u64| format!("/usr/local/bin/maint-{round}");
+    let maint_content = |round: u64| format!("maintenance job {round}").into_bytes();
+    // The operator's policy for a given round: every maintenance tool up
+    // to and including `through` is allowed — except that the misconfig
+    // push forgets the current round's tool.
+    let policy_through = |through: u64, forget: Option<u64>| {
+        let mut policy = RuntimePolicy::new();
+        policy.exclude("/tmp");
+        for r in 0..=through {
+            if forget == Some(r) {
+                continue;
+            }
+            policy.allow(maint_path(r), sha256_hex(&maint_content(r)));
+        }
+        policy
+    };
+
+    let mut ids = Vec::new();
+    for i in 0..NODES {
+        let config = MachineConfig {
+            hostname: format!("node-{i:02}"),
+            seed: 500 + i,
+            ..MachineConfig::default()
+        };
+        let machine = Machine::new(&cluster.manufacturer, config);
+        ids.push(
+            cluster
+                .add_agent(Agent::new(machine), policy_through(0, None))
+                .unwrap(),
+        );
+    }
+
+    // A peer system subscribes to revocations but goes offline just
+    // before the incident (e.g. it sits behind the same maintenance).
+    let subscriber = cluster.revocation_bus.subscribe();
+
+    let mut reports = Vec::new();
+    for round in 0..7u64 {
+        // The operator pushes this round's policy; on the misconfig
+        // round it forgets the very tool the fleet is about to run.
+        let forget = (round == MISCONFIG_ROUND).then_some(MISCONFIG_ROUND);
+        for id in &ids {
+            cluster
+                .push_policy(id, policy_through(round, forget))
+                .unwrap();
+        }
+        if round == MISCONFIG_ROUND {
+            cluster.revocation_bus.set_online(subscriber, false);
+        }
+        // Fleet-wide maintenance runs every round on every node.
+        for id in &ids {
+            let m = cluster.agent_mut(id).unwrap().machine_mut();
+            let path = VfsPath::new(&maint_path(round)).unwrap();
+            m.write_executable(&path, &maint_content(round)).unwrap();
+            m.exec(&path, ExecMethod::Direct).unwrap();
+        }
+        cluster.transport.set_round(round);
+        reports.push(cluster.attest_fleet());
+    }
+
+    // The misconfig round: every agent false-positives at once.
+    let incident = &reports[MISCONFIG_ROUND as usize];
+    assert_eq!(incident.failed_count(), NODES as usize, "fleet-wide FP");
+    for result in &incident.results {
+        match &result.outcome {
+            RoundOutcome::Failed { alerts } => {
+                assert!(alerts.iter().any(|a| matches!(
+                    &a.kind,
+                    continuous_attestation::keylime::FailureKind::NotInPolicy { path, .. }
+                        if path == &maint_path(MISCONFIG_ROUND)
+                )));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    // Every round before and after the misconfig verifies cleanly: P2's
+    // continue-on-failure means the incident never pauses the fleet.
+    for (round, report) in reports.iter().enumerate() {
+        if round as u64 != MISCONFIG_ROUND {
+            assert_eq!(
+                report.verified_count(),
+                NODES as usize,
+                "round {round} should be clean"
+            );
+        }
+    }
+    for id in &ids {
+        assert_eq!(cluster.status(id).unwrap(), AgentStatus::Trusted);
+    }
+
+    // The offline subscriber missed nothing: the incident's notices were
+    // queued and flush on reconnect.
+    assert_eq!(
+        cluster.revocation_bus.pending_count(subscriber),
+        Some(NODES as usize)
+    );
+    cluster.revocation_bus.set_online(subscriber, true);
+    let view = cluster.revocation_bus.subscriber(subscriber).unwrap();
+    for id in &ids {
+        assert!(view.is_revoked(id), "queued revocation for {id} delivered");
+    }
+}
+
+/// Acceptance criterion: a *failing* chaos trace replays bit-identically
+/// from `(seed, FaultPlan)` alone. Capture the full RoundReport trace
+/// under one worker count, re-run under another, assert equality.
+#[test]
+fn failing_trace_replays_bit_identically_across_worker_counts() {
+    let plan = FaultPlan::new(0xDEAD)
+        .partition(1..9, FaultTarget::lanes([0, 3]))
+        .loss(0..10, FaultTarget::AllAgents, 0.25)
+        .crash(5, 2);
+
+    let captured = SimRunner::new(SimConfig::new(5, 10, plan.clone()).workers(1))
+        .unwrap()
+        .run();
+    let replayed = SimRunner::new(SimConfig::new(5, 10, plan).workers(6))
+        .unwrap()
+        .run();
+
+    // The trace is genuinely a failure trace...
+    assert!(
+        captured
+            .rounds
+            .iter()
+            .any(|r| r.unreachable_count() > 0 || r.quarantine_skipped_count() > 0),
+        "plan must actually produce failures"
+    );
+    // ...and replays exactly: reports, health, and protocol metrics.
+    assert_eq!(captured.rounds, replayed.rounds);
+    assert_eq!(captured.final_health, replayed.final_health);
+    assert_eq!(captured.metrics, replayed.metrics);
+}
+
+/// Acceptance criterion: under a sustained partition, the quarantine
+/// path spends measurably fewer transport calls than burning the full
+/// retry budget on the same dead agents every round.
+#[test]
+fn quarantine_is_cheaper_than_full_retry_under_sustained_partition() {
+    let plan = || FaultPlan::new(99).partition(0..20, FaultTarget::lanes([1, 4]));
+    let with_quarantine = SimRunner::new(SimConfig::new(6, 20, plan()).quarantine(true))
+        .unwrap()
+        .run();
+    let without = SimRunner::new(SimConfig::new(6, 20, plan()).quarantine(false))
+        .unwrap()
+        .run();
+
+    assert!(
+        with_quarantine.total_calls() < without.total_calls(),
+        "quarantine on: {} calls, off: {} calls",
+        with_quarantine.total_calls(),
+        without.total_calls()
+    );
+    assert!(with_quarantine.metrics.quarantine_skips > 0);
+    assert_eq!(without.metrics.quarantine_skips, 0);
+    // The savings come from skipped rounds, not from losing track of the
+    // agents: both runs report every agent every round.
+    for report in with_quarantine.rounds.iter().chain(without.rounds.iter()) {
+        assert_eq!(report.results.len(), 6);
+    }
+}
+
+/// Nightly-style long simulation: 500 rounds of composite chaos with the
+/// full invariant suite checked every round. Gated behind `CHAOS_LONG=1`
+/// so the default test run stays fast; CI runs it in the chaos job.
+#[test]
+fn long_sim_500_rounds_env_gated() {
+    if std::env::var("CHAOS_LONG").map(|v| v == "1") != Ok(true) {
+        eprintln!("skipping long sim (set CHAOS_LONG=1 to run)");
+        return;
+    }
+    // All fault windows end by round 440: the 60 clean tail rounds exceed
+    // the maximum reprobe backoff (32), so every quarantined agent is
+    // guaranteed a successful probe and full recovery before the run ends.
+    let mut plan = FaultPlan::new(66)
+        .loss(0..440, FaultTarget::AllAgents, 0.10)
+        .partition(50..90, FaultTarget::lanes([0, 1]))
+        .partition(200..260, FaultTarget::lanes([3]))
+        .corrupt(300..310, FaultTarget::lanes([2]))
+        .crash(120, 4)
+        .crash(350, 0);
+    // A rolling maintenance partition: one lane at a time, 25 rounds each.
+    for (i, start) in (360..435).step_by(25).enumerate() {
+        plan = plan.partition(start..start + 25, FaultTarget::lanes([i as u64]));
+    }
+
+    let report = SimRunner::new(SimConfig::new(5, 500, plan)).unwrap().run();
+    assert_eq!(report.rounds.len(), 500);
+    assert!(report.metrics.is_conserved());
+    assert!(report.metrics.quarantine_skips > 0);
+    assert!(report.metrics.to_healthy > 0, "recoveries happened");
+    // The steady-state fleet ends reachable: the last partitions healed.
+    assert!(report
+        .final_health
+        .values()
+        .all(|&h| h == AgentHealth::Healthy));
+}
