@@ -1,0 +1,100 @@
+//! End-to-end hot-path throughput: one verifier round over a 10k-entry
+//! measurement-list backlog (quote, excerpt transfer, fold replay and
+//! per-entry policy evaluation).
+//!
+//! Prints a JSON record per run; `BENCH_attestation.json` at the repo
+//! root archives the committed before/after numbers. Usage:
+//!
+//! ```text
+//! cargo run --release -p cia-bench --bin hotpath [-- <entries> [iters] [text|structured]]
+//! ```
+
+use std::time::Instant;
+
+use cia_crypto::HashAlgorithm;
+use cia_keylime::{AgentId, Cluster, RuntimePolicy, VerifierConfig};
+use cia_os::{ExecMethod, MachineConfig};
+use cia_vfs::VfsPath;
+
+/// Builds a cluster whose single machine has executed `n` in-policy
+/// binaries (the same setup as `benches/attestation_round.rs`).
+fn cluster_with_entries(n: usize, config: VerifierConfig) -> (Cluster, AgentId) {
+    let mut cluster = Cluster::new(1, config);
+    let mut policy = RuntimePolicy::new();
+    let id = cluster
+        .add_machine(MachineConfig::default(), RuntimePolicy::new())
+        .unwrap();
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        for i in 0..n {
+            let path = VfsPath::new(&format!("/usr/bin/tool-{i:05}")).unwrap();
+            m.write_executable(&path, format!("binary {i}").as_bytes())
+                .unwrap();
+            let digest = m.vfs.file_digest(&path, HashAlgorithm::Sha256).unwrap();
+            policy.allow(path.as_str(), digest.to_hex());
+        }
+    }
+    cluster.verifier.update_policy(&id, policy).unwrap();
+    {
+        let m = cluster.agent_mut(&id).unwrap().machine_mut();
+        for i in 0..n {
+            let path = VfsPath::new(&format!("/usr/bin/tool-{i:05}")).unwrap();
+            m.exec(&path, ExecMethod::Direct).unwrap();
+        }
+    }
+    (cluster, id)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let entries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let structured = !matches!(args.next().as_deref(), Some("text"));
+    let config = VerifierConfig::builder()
+        .structured_excerpt(structured)
+        .build()
+        .unwrap();
+
+    let (mut cluster, id) = cluster_with_entries(entries, config);
+    let ak = cluster
+        .agent(&id)
+        .unwrap()
+        .machine()
+        .tpm
+        .ak_public()
+        .unwrap()
+        .clone();
+    let policy = cluster.verifier.policy(&id).unwrap().clone();
+
+    // One warm-up round, then measured rounds. Re-enrolling the agent
+    // resets the verifier record so every round re-processes the full
+    // backlog through quote + wire + replay + policy evaluation.
+    let mut round_ms: Vec<f64> = Vec::new();
+    for iter in 0..=iters {
+        cluster
+            .verifier
+            .add_agent(id.clone(), ak.clone(), policy.clone());
+        let start = Instant::now();
+        let outcome = cluster.attest(&id).unwrap();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(outcome.is_verified(), "backlog must verify: {outcome:?}");
+        if iter > 0 {
+            round_ms.push(elapsed);
+        }
+    }
+
+    let best = round_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = round_ms.iter().sum::<f64>() / round_ms.len() as f64;
+    // +1 for boot_aggregate, evaluated alongside the executed binaries.
+    let per_round_entries = (entries + 1) as f64;
+    println!(
+        "{{\"bench\": \"attestation_round\", \"wire\": \"{}\", \"entries\": {}, \"iters\": {}, \"round_ms_best\": {:.2}, \"round_ms_mean\": {:.2}, \"entries_per_s_best\": {:.0}, \"entries_per_s_mean\": {:.0}}}",
+        if structured { "structured" } else { "text" },
+        entries,
+        iters,
+        best,
+        mean,
+        per_round_entries / (best / 1e3),
+        per_round_entries / (mean / 1e3),
+    );
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::hex;
 
@@ -58,6 +58,29 @@ impl HashAlgorithm {
         }
     }
 
+    /// One-shot digest of several concatenated parts, equivalent to
+    /// [`HashAlgorithm::digest`] over their concatenation but without
+    /// materializing it — the allocation-free path for hot loops that
+    /// hash composite records (e.g. IMA template data).
+    pub fn digest_parts(self, parts: &[&[u8]]) -> Digest {
+        match self {
+            HashAlgorithm::Sha1 => {
+                let mut h = crate::Sha1::new();
+                for part in parts {
+                    h.update(part);
+                }
+                h.finalize()
+            }
+            HashAlgorithm::Sha256 => {
+                let mut h = crate::Sha256::new();
+                for part in parts {
+                    h.update(part);
+                }
+                h.finalize()
+            }
+        }
+    }
+
     /// The all-zero digest for this algorithm (PCR reset value).
     pub fn zero_digest(self) -> Digest {
         Digest {
@@ -98,7 +121,7 @@ impl fmt::Display for ParseAlgorithmError {
 impl std::error::Error for ParseAlgorithmError {}
 
 /// Fixed-capacity digest storage (large enough for SHA-256).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct DigestBytes {
     data: [u8; 32],
     len: u8,
@@ -125,10 +148,29 @@ impl DigestBytes {
 /// assert_eq!(parsed, d);
 /// # Ok::<(), cia_crypto::digest::ParseDigestError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest {
     algorithm: HashAlgorithm,
     bytes: DigestBytes,
+}
+
+/// Wire form is the compact `algo:hex` string — a fraction of the size
+/// of a per-byte array encoding, and what IMA logs print anyway.
+impl Serialize for Digest {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_prefixed_hex())
+    }
+}
+
+impl Deserialize for Digest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|e: ParseDigestError| DeError::new(e.to_string())),
+            other => Err(DeError::expected("`algo:hex` digest string", other)),
+        }
+    }
 }
 
 impl Digest {
@@ -191,6 +233,33 @@ impl Digest {
         hex::encode(self.as_bytes())
     }
 
+    /// Upper bound of the `algo:hex` rendering in bytes (`sha256:` plus
+    /// 64 hex digits) — the buffer size for
+    /// [`Digest::write_prefixed_hex`].
+    pub const MAX_PREFIXED_HEX: usize = 7 + 64;
+
+    /// Writes the `algo:hex` rendering into a stack buffer without
+    /// allocating, returning the number of bytes used. The hot-path
+    /// counterpart of [`Digest::to_prefixed_hex`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cia_crypto::{Digest, HashAlgorithm};
+    ///
+    /// let d = HashAlgorithm::Sha256.digest(b"x");
+    /// let mut buf = [0u8; Digest::MAX_PREFIXED_HEX];
+    /// let n = d.write_prefixed_hex(&mut buf);
+    /// assert_eq!(&buf[..n], d.to_prefixed_hex().as_bytes());
+    /// ```
+    pub fn write_prefixed_hex(&self, out: &mut [u8; Self::MAX_PREFIXED_HEX]) -> usize {
+        let name = self.algorithm.name().as_bytes();
+        out[..name.len()].copy_from_slice(name);
+        out[name.len()] = b':';
+        let written = hex::encode_to_slice(self.as_bytes(), &mut out[name.len() + 1..]);
+        name.len() + 1 + written
+    }
+
     /// IMA-style `algo:hex` rendering (e.g. `sha256:ab12...`).
     pub fn to_prefixed_hex(&self) -> String {
         format!("{}:{}", self.algorithm.name(), self.to_hex())
@@ -202,8 +271,15 @@ impl Digest {
     ///
     /// Returns [`ParseDigestError`] on bad hex or wrong length.
     pub fn parse_hex(algorithm: HashAlgorithm, s: &str) -> Result<Self, ParseDigestError> {
-        let bytes = hex::decode(s).map_err(|_| ParseDigestError::BadHex)?;
-        Self::from_bytes(algorithm, &bytes)
+        let mut buf = [0u8; 32];
+        let n = hex::decode_to_slice(s, &mut buf).map_err(|e| match e {
+            hex::DecodeHexError::BufferTooSmall { needed, .. } => ParseDigestError::WrongLength {
+                algorithm,
+                got: needed,
+            },
+            _ => ParseDigestError::BadHex,
+        })?;
+        Self::from_bytes(algorithm, &buf[..n])
     }
 
     /// True when every byte is zero (e.g. violation markers in IMA logs).
@@ -318,6 +394,16 @@ mod tests {
         assert!("sha256:zz".parse::<Digest>().is_err());
         assert!("md5:00".parse::<Digest>().is_err());
         assert!("deadbeef".parse::<Digest>().is_err());
+    }
+
+    #[test]
+    fn serde_wire_form_is_prefixed_hex() {
+        let d = HashAlgorithm::Sha256.digest(b"wire");
+        assert_eq!(d.to_value(), Value::Str(d.to_prefixed_hex()));
+        let back = Digest::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
+        assert!(Digest::from_value(&Value::U64(7)).is_err());
+        assert!(Digest::from_value(&Value::Str("sha256:zz".into())).is_err());
     }
 
     #[test]

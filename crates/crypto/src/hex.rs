@@ -10,12 +10,40 @@ use std::fmt;
 /// assert_eq!(cia_crypto::hex::encode(&[0xde, 0xad]), "dead");
 /// ```
 pub fn encode(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for &b in bytes {
-        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-        out.push(char::from_digit((b & 0x0f) as u32, 16).expect("nibble < 16"));
+    let mut out = vec![0u8; bytes.len() * 2];
+    encode_to_slice(bytes, &mut out);
+    String::from_utf8(out).expect("hex digits are ASCII")
+}
+
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as lowercase hexadecimal into a caller-provided
+/// buffer without allocating — the hot-path counterpart of [`encode`].
+/// Returns the number of bytes written (`bytes.len() * 2`).
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `bytes.len() * 2`.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = [0u8; 4];
+/// let n = cia_crypto::hex::encode_to_slice(&[0xde, 0xad], &mut buf);
+/// assert_eq!(&buf[..n], b"dead");
+/// ```
+pub fn encode_to_slice(bytes: &[u8], out: &mut [u8]) -> usize {
+    let needed = bytes.len() * 2;
+    assert!(
+        out.len() >= needed,
+        "hex buffer too small: need {needed}, have {}",
+        out.len()
+    );
+    for (i, &b) in bytes.iter().enumerate() {
+        out[i * 2] = HEX_DIGITS[(b >> 4) as usize];
+        out[i * 2 + 1] = HEX_DIGITS[(b & 0x0f) as usize];
     }
-    out
+    needed
 }
 
 /// Decodes a hexadecimal string (upper- or lowercase) into bytes.
@@ -47,12 +75,66 @@ pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
     Ok(out)
 }
 
+/// Decodes hexadecimal into a caller-provided buffer without allocating
+/// — the hot-path counterpart of [`decode`]. Returns the number of bytes
+/// written.
+///
+/// # Errors
+///
+/// [`DecodeHexError::OddLength`], [`DecodeHexError::InvalidChar`], or
+/// [`DecodeHexError::BufferTooSmall`] when `out` cannot hold the decoded
+/// bytes.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = [0u8; 4];
+/// let n = cia_crypto::hex::decode_to_slice("DEad", &mut buf)?;
+/// assert_eq!(&buf[..n], &[0xde, 0xad]);
+/// # Ok::<(), cia_crypto::hex::DecodeHexError>(())
+/// ```
+pub fn decode_to_slice(s: &str, out: &mut [u8]) -> Result<usize, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength { len: s.len() });
+    }
+    let needed = s.len() / 2;
+    if out.len() < needed {
+        return Err(DecodeHexError::BufferTooSmall {
+            needed,
+            capacity: out.len(),
+        });
+    }
+    for (i, pair) in s.as_bytes().chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(DecodeHexError::InvalidChar { position: i * 2 })?;
+        let lo = nibble(pair[1]).ok_or(DecodeHexError::InvalidChar {
+            position: i * 2 + 1,
+        })?;
+        out[i] = (hi << 4) | lo;
+    }
+    Ok(needed)
+}
+
+/// Nibble values for every byte, `0xff` marking non-hex characters —
+/// a branchless lookup for the decode hot path.
+const NIBBLES: [u8; 256] = {
+    let mut table = [0xffu8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        table[c] = match c as u8 {
+            b'0'..=b'9' => c as u8 - b'0',
+            b'a'..=b'f' => c as u8 - b'a' + 10,
+            b'A'..=b'F' => c as u8 - b'A' + 10,
+            _ => 0xff,
+        };
+        c += 1;
+    }
+    table
+};
+
 fn nibble(c: u8) -> Option<u8> {
-    match c {
-        b'0'..=b'9' => Some(c - b'0'),
-        b'a'..=b'f' => Some(c - b'a' + 10),
-        b'A'..=b'F' => Some(c - b'A' + 10),
-        _ => None,
+    match NIBBLES[c as usize] {
+        0xff => None,
+        n => Some(n),
     }
 }
 
@@ -69,6 +151,13 @@ pub enum DecodeHexError {
         /// Byte offset of the bad character.
         position: usize,
     },
+    /// The output buffer passed to [`decode_to_slice`] was too small.
+    BufferTooSmall {
+        /// Bytes the input decodes to.
+        needed: usize,
+        /// Capacity of the provided buffer.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for DecodeHexError {
@@ -79,6 +168,12 @@ impl fmt::Display for DecodeHexError {
             }
             DecodeHexError::InvalidChar { position } => {
                 write!(f, "invalid hex character at position {position}")
+            }
+            DecodeHexError::BufferTooSmall { needed, capacity } => {
+                write!(
+                    f,
+                    "hex output needs {needed} bytes, buffer holds {capacity}"
+                )
             }
         }
     }
@@ -111,6 +206,31 @@ mod tests {
         assert_eq!(
             decode("abc").unwrap_err(),
             DecodeHexError::OddLength { len: 3 }
+        );
+    }
+
+    #[test]
+    fn decode_to_slice_matches_decode() {
+        let mut buf = [0u8; 32];
+        for input in ["", "00", "deadBEEF", "ff00ff00"] {
+            let n = decode_to_slice(input, &mut buf).unwrap();
+            assert_eq!(&buf[..n], decode(input).unwrap().as_slice());
+        }
+        assert_eq!(
+            decode_to_slice("abc", &mut buf).unwrap_err(),
+            DecodeHexError::OddLength { len: 3 }
+        );
+        assert_eq!(
+            decode_to_slice("ag", &mut buf).unwrap_err(),
+            DecodeHexError::InvalidChar { position: 1 }
+        );
+        let mut tiny = [0u8; 1];
+        assert_eq!(
+            decode_to_slice("aabb", &mut tiny).unwrap_err(),
+            DecodeHexError::BufferTooSmall {
+                needed: 2,
+                capacity: 1
+            }
         );
     }
 

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod digest;
 pub mod hex;
 pub mod hmac;
@@ -35,6 +36,7 @@ pub mod keys;
 pub mod sha1;
 pub mod sha256;
 
+pub use cache::Derived;
 pub use digest::{Digest, HashAlgorithm};
 pub use hmac::Hmac;
 pub use keys::{KeyPair, Signature, SigningKey, VerifyingKey};

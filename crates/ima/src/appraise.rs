@@ -14,6 +14,8 @@
 //! and the appraisal check; `cia-os`'s machine enforces it when
 //! configured.
 
+use std::collections::HashMap;
+
 use cia_crypto::{HashAlgorithm, Signature, SigningKey, VerifyingKey};
 use cia_vfs::{Vfs, VfsPath};
 use serde::{Deserialize, Serialize};
@@ -70,9 +72,14 @@ pub fn sign_file(vfs: &mut Vfs, path: &VfsPath, key: &SigningKey) -> Result<(), 
 }
 
 /// The kernel's appraisal trust store (`.ima` keyring).
+///
+/// Keys are indexed by fingerprint at [`AppraisalKeyring::trust`] time,
+/// so [`AppraisalKeyring::appraise`] resolves a signature's `key_id`
+/// with one hash lookup instead of recomputing every trusted key's
+/// fingerprint per appraisal.
 #[derive(Debug, Clone, Default)]
 pub struct AppraisalKeyring {
-    keys: Vec<VerifyingKey>,
+    by_fingerprint: HashMap<String, VerifyingKey>,
 }
 
 impl AppraisalKeyring {
@@ -81,19 +88,20 @@ impl AppraisalKeyring {
         Self::default()
     }
 
-    /// Adds a trusted signing key.
+    /// Adds a trusted signing key. Re-trusting a key already in the
+    /// store is idempotent: the keyring is a set keyed by fingerprint.
     pub fn trust(&mut self, key: VerifyingKey) {
-        self.keys.push(key);
+        self.by_fingerprint.insert(key.fingerprint(), key);
     }
 
-    /// Number of trusted keys.
+    /// Number of trusted keys (distinct fingerprints).
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.by_fingerprint.len()
     }
 
     /// True when no key is trusted.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.by_fingerprint.is_empty()
     }
 
     /// Appraises the file at `path`: reads `security.ima` and verifies
@@ -109,7 +117,7 @@ impl AppraisalKeyring {
         let Ok(blob) = serde_json::from_slice::<ImaSignature>(raw) else {
             return Ok(AppraisalResult::BadSignature);
         };
-        let Some(key) = self.keys.iter().find(|k| k.fingerprint() == blob.key_id) else {
+        let Some(key) = self.by_fingerprint.get(&blob.key_id) else {
             return Ok(AppraisalResult::UntrustedKey);
         };
         let digest = vfs.file_digest(path, HashAlgorithm::Sha256)?;
@@ -189,6 +197,24 @@ mod tests {
             keyring.appraise(&vfs, &path).unwrap(),
             AppraisalResult::BadSignature
         );
+    }
+
+    #[test]
+    fn retrusting_the_same_key_is_idempotent() {
+        let (mut vfs, kp, mut keyring, path) = setup();
+        assert_eq!(keyring.len(), 1);
+        keyring.trust(kp.verifying.clone());
+        keyring.trust(kp.verifying.clone());
+        assert_eq!(keyring.len(), 1, "one fingerprint, one entry");
+        sign_file(&mut vfs, &path, &kp.signing).unwrap();
+        assert_eq!(
+            keyring.appraise(&vfs, &path).unwrap(),
+            AppraisalResult::Pass
+        );
+        let other = KeyPair::from_material([7u8; 32]);
+        keyring.trust(other.verifying);
+        assert_eq!(keyring.len(), 2);
+        assert!(!keyring.is_empty());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The IMA measurement list (`ascii_runtime_measurements`).
 
-use cia_crypto::{Digest, HashAlgorithm, Sha1, Sha256};
+use cia_crypto::{Derived, Digest, HashAlgorithm};
 use cia_tpm::pcr::extend_digest;
 use cia_tpm::Tpm;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::ImaError;
 
@@ -21,7 +21,7 @@ pub const BOOT_AGGREGATE_NAME: &str = "boot_aggregate";
 /// ```text
 /// 10 <sha1 template hash> ima-ng sha256:<filedata hash> <path>
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ImaLogEntry {
     /// PCR the entry was extended into (always 10 here).
     pub pcr: u8,
@@ -31,6 +31,43 @@ pub struct ImaLogEntry {
     /// executions this is the *inside-the-sandbox* path — the truncation
     /// that causes the paper's SNAP false positives.
     pub path: String,
+    /// Memoized SHA-1 template hash. Never trusted from the wire
+    /// (hand-written serde below omits it entirely); recomputed on
+    /// first use.
+    tpl_sha1: Derived<Digest>,
+    /// Memoized SHA-256 template hash.
+    tpl_sha256: Derived<Digest>,
+}
+
+// Hand-written wire form: only the three semantic fields travel. The
+// memoized template hashes are derived state — shipping them would both
+// bloat the excerpt by ~40% and invite a verifier to trust
+// attacker-controlled caches, so they are omitted and recomputed.
+impl Serialize for ImaLogEntry {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("pcr".to_string(), Value::U64(u64::from(self.pcr))),
+            ("filedata_hash".to_string(), self.filedata_hash.to_value()),
+            ("path".to_string(), Value::Str(self.path.clone())),
+        ])
+    }
+}
+
+impl Deserialize for ImaLogEntry {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+        };
+        Ok(ImaLogEntry {
+            pcr: u8::from_value(field("pcr")?)?,
+            filedata_hash: Digest::from_value(field("filedata_hash")?)?,
+            path: String::from_value(field("path")?)?,
+            tpl_sha1: Derived::new(),
+            tpl_sha256: Derived::new(),
+        })
+    }
 }
 
 impl ImaLogEntry {
@@ -40,6 +77,17 @@ impl ImaLogEntry {
             pcr: IMA_PCR,
             filedata_hash,
             path: path.into(),
+            tpl_sha1: Derived::new(),
+            tpl_sha256: Derived::new(),
+        }
+    }
+
+    /// Creates an entry recorded in an arbitrary PCR (parser use; IMA
+    /// proper always extends PCR 10 — see [`ImaLogEntry::new`]).
+    pub fn new_in_pcr(pcr: u8, filedata_hash: Digest, path: impl Into<String>) -> Self {
+        ImaLogEntry {
+            pcr,
+            ..ImaLogEntry::new(filedata_hash, path)
         }
     }
 
@@ -47,21 +95,34 @@ impl ImaLogEntry {
     /// (`ima-ng` packs the digest and pathname; we use the canonical text
     /// rendering, which is stable and unambiguous).
     pub fn template_data(&self) -> Vec<u8> {
-        format!(
-            "ima-ng {} {}",
-            self.filedata_hash.to_prefixed_hex(),
-            self.path
-        )
-        .into_bytes()
+        let prefixed = self.filedata_hash.to_prefixed_hex();
+        let mut out = Vec::with_capacity("ima-ng  ".len() + prefixed.len() + self.path.len());
+        out.extend_from_slice(b"ima-ng ");
+        out.extend_from_slice(prefixed.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.path.as_bytes());
+        out
     }
 
     /// The template hash in `bank` (the digest PCR 10 is extended with).
+    ///
+    /// Memoized: computed once per entry per bank (at append or parse
+    /// time in practice), then served from the cache — the verifier's
+    /// fold loop hits this for every entry of every round. The cached
+    /// value is dropped rather than sent when an entry crosses the wire,
+    /// so a peer can never supply a forged template hash.
     pub fn template_hash(&self, bank: HashAlgorithm) -> Digest {
-        let data = self.template_data();
-        match bank {
-            HashAlgorithm::Sha1 => Sha1::digest(&data),
-            HashAlgorithm::Sha256 => Sha256::digest(&data),
-        }
+        let slot = match bank {
+            HashAlgorithm::Sha1 => &self.tpl_sha1,
+            HashAlgorithm::Sha256 => &self.tpl_sha256,
+        };
+        *slot.get_or_init(|| {
+            // Stream the template parts straight into the hasher — same
+            // bytes as `template_data`, but no per-entry allocations.
+            let mut prefixed = [0u8; Digest::MAX_PREFIXED_HEX];
+            let n = self.filedata_hash.write_prefixed_hex(&mut prefixed);
+            bank.digest_parts(&[b"ima-ng ", &prefixed[..n], b" ", self.path.as_bytes()])
+        })
     }
 
     /// Renders the canonical ASCII line.
@@ -105,11 +166,7 @@ impl ImaLogEntry {
         })?;
         // Paths may contain spaces; everything after field 3 is the path.
         let path = fields[4..].join(" ");
-        let entry = ImaLogEntry {
-            pcr,
-            filedata_hash,
-            path,
-        };
+        let entry = ImaLogEntry::new_in_pcr(pcr, filedata_hash, path);
         let recorded =
             Digest::parse_hex(HashAlgorithm::Sha1, fields[1]).map_err(|_| ImaError::LogParse {
                 line: line_no,
@@ -306,6 +363,31 @@ mod tests {
         assert!(ImaLogEntry::parse("10 abc ima-ng", 1).is_err());
         assert!(ImaLogEntry::parse("xx h ima-ng sha256:00 /p", 1).is_err());
         assert!(MeasurementLog::parse("10 zz ima-sig sha256:00 /p\n").is_err());
+    }
+
+    #[test]
+    fn template_hash_is_memoized_and_stable() {
+        let e = entry(b"memo", "/usr/bin/memo");
+        let first = e.template_hash(HashAlgorithm::Sha256);
+        assert_eq!(e.tpl_sha256.get(), Some(&first), "cached after first use");
+        assert_eq!(e.template_hash(HashAlgorithm::Sha256), first);
+        // The cache equals a from-scratch recomputation.
+        assert_eq!(
+            first,
+            HashAlgorithm::Sha256.digest(&e.template_data()),
+            "memoized value matches recomputation"
+        );
+    }
+
+    #[test]
+    fn serde_drops_the_cache_but_preserves_equality() {
+        let e = entry(b"wire", "/usr/bin/wire");
+        let warm = e.template_hash(HashAlgorithm::Sha256);
+        let wire = serde_json::to_string(&e).unwrap();
+        let back: ImaLogEntry = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, e, "equality ignores cache state");
+        assert_eq!(back.tpl_sha256.get(), None, "cache never travels");
+        assert_eq!(back.template_hash(HashAlgorithm::Sha256), warm);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Keylime agent: the only component on the untrusted machine.
 
 use cia_crypto::HashAlgorithm;
+use cia_ima::ImaLogEntry;
 use cia_os::Machine;
 use cia_tpm::{AkBinding, EkCertificate, PcrSelection, Quote};
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,11 @@ pub enum AgentRequest {
         nonce: Vec<u8>,
         /// Send measurement-list entries starting at this index.
         from_entry: usize,
+        /// When `true`, reply with the typed entry list
+        /// ([`QuoteResponse::entries`]) instead of the ASCII rendering —
+        /// the v2 wire format the verifier requests when both its config
+        /// and the transport capability allow it.
+        structured: bool,
     },
 }
 
@@ -40,7 +46,15 @@ pub struct QuoteResponse {
     /// Signed quote over PCRs 0–10 (SHA-256 bank).
     pub quote: Quote,
     /// Canonical ASCII measurement-list lines from `from_entry` on.
+    /// Empty when [`QuoteResponse::entries`] carries the excerpt instead
+    /// — the agent never sends both renderings of the same data.
     pub log_excerpt: String,
+    /// Structured (v2) excerpt: the typed entries from `from_entry` on.
+    /// `None` on the legacy text path. Memoized template hashes never
+    /// travel inside the entries; the verifier recomputes them, so a
+    /// tampered entry is caught by the PCR replay exactly as on the text
+    /// path.
+    pub entries: Option<Vec<ImaLogEntry>>,
     /// Total entries currently in the measurement list.
     pub total_entries: usize,
     /// TPM reset counter, so the verifier can detect reboots.
@@ -110,7 +124,11 @@ impl Agent {
                     reason: e.to_string(),
                 },
             },
-            AgentRequest::Quote { nonce, from_entry } => {
+            AgentRequest::Quote {
+                nonce,
+                from_entry,
+                structured,
+            } => {
                 let selection = PcrSelection::of(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
                 match self
                     .machine
@@ -118,18 +136,24 @@ impl Agent {
                     .quote(&nonce, &selection, HashAlgorithm::Sha256)
                 {
                     Ok(quote) => {
-                        let entries = self.machine.ima.log().entries();
-                        let from = from_entry.min(entries.len());
-                        let mut log_excerpt = String::new();
-                        for e in &entries[from..] {
-                            log_excerpt.push_str(&e.render());
-                            log_excerpt.push('\n');
-                        }
+                        let all = self.machine.ima.log().entries();
+                        let from = from_entry.min(all.len());
+                        let (log_excerpt, entries) = if structured {
+                            (String::new(), Some(all[from..].to_vec()))
+                        } else {
+                            let mut text = String::new();
+                            for e in &all[from..] {
+                                text.push_str(&e.render());
+                                text.push('\n');
+                            }
+                            (text, None)
+                        };
                         AgentResponse::Quote(QuoteResponse {
                             boot_count: quote.boot_count,
                             quote,
                             log_excerpt,
-                            total_entries: entries.len(),
+                            entries,
+                            total_entries: all.len(),
                         })
                     }
                     Err(e) => AgentResponse::Error {
@@ -182,11 +206,13 @@ mod tests {
         let resp = a.handle(AgentRequest::Quote {
             nonce: b"n1".to_vec(),
             from_entry: 0,
+            structured: false,
         });
         match resp {
             AgentResponse::Quote(q) => {
                 assert_eq!(q.total_entries, 1, "boot_aggregate only");
                 assert!(q.log_excerpt.contains("boot_aggregate"));
+                assert_eq!(q.entries, None, "text path carries no typed list");
                 let ak = a.machine().tpm.ak_public().unwrap();
                 assert!(q.quote.verify(ak, b"n1"));
                 assert!(q.quote.pcr_value(10).is_some());
@@ -202,6 +228,7 @@ mod tests {
         let resp = a.handle(AgentRequest::Quote {
             nonce: b"n".to_vec(),
             from_entry: 1,
+            structured: false,
         });
         match resp {
             AgentResponse::Quote(q) => {
@@ -214,7 +241,34 @@ mod tests {
         let resp = a.handle(AgentRequest::Quote {
             nonce: b"n".to_vec(),
             from_entry: 99,
+            structured: false,
         });
         assert!(matches!(resp, AgentResponse::Quote(_)));
+    }
+
+    #[test]
+    fn structured_excerpt_matches_text_rendering() {
+        let mut a = agent();
+        let text = match a.handle(AgentRequest::Quote {
+            nonce: b"n".to_vec(),
+            from_entry: 0,
+            structured: false,
+        }) {
+            AgentResponse::Quote(q) => q,
+            other => panic!("unexpected {other:?}"),
+        };
+        let typed = match a.handle(AgentRequest::Quote {
+            nonce: b"n".to_vec(),
+            from_entry: 0,
+            structured: true,
+        }) {
+            AgentResponse::Quote(q) => q,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(typed.log_excerpt.is_empty(), "never both renderings");
+        let entries = typed.entries.expect("structured path sends entries");
+        assert_eq!(entries.len(), typed.total_entries);
+        let rendered: String = entries.iter().map(|e| e.render() + "\n").collect();
+        assert_eq!(rendered, text.log_excerpt, "same excerpt, two encodings");
     }
 }

@@ -415,6 +415,14 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.chaos_drops + self.inner.drops()
     }
 
+    fn wire_bytes(&self) -> u64 {
+        self.inner.wire_bytes()
+    }
+
+    fn supports_structured_excerpt(&self) -> bool {
+        self.inner.supports_structured_excerpt()
+    }
+
     fn fork(&self, lane: u64) -> Self {
         ChaosTransport {
             inner: self.inner.fork(lane),

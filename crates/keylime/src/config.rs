@@ -58,6 +58,16 @@ pub struct VerifierConfig {
     pub reprobe_backoff_rounds: u32,
     /// Upper bound on the re-probe interval, in rounds.
     pub reprobe_backoff_max_rounds: u32,
+    /// When `true` (the default), quote requests ask for the structured
+    /// (typed entry list) excerpt whenever the transport reports the
+    /// capability ([`Transport::supports_structured_excerpt`]), letting
+    /// the verifier skip the ASCII parse on the hot path. Setting it
+    /// `false` forces the legacy text excerpt; verdicts are identical
+    /// either way.
+    ///
+    /// [`Transport::supports_structured_excerpt`]:
+    ///     crate::transport::Transport::supports_structured_excerpt
+    pub structured_excerpt: bool,
 }
 
 impl Default for VerifierConfig {
@@ -74,6 +84,7 @@ impl Default for VerifierConfig {
             quarantine_after: 4,
             reprobe_backoff_rounds: 2,
             reprobe_backoff_max_rounds: 32,
+            structured_excerpt: true,
         }
     }
 }
@@ -275,6 +286,13 @@ impl VerifierConfigBuilder {
         self
     }
 
+    /// Enables or disables the structured quote excerpt
+    /// (see [`VerifierConfig::structured_excerpt`]).
+    pub fn structured_excerpt(mut self, on: bool) -> Self {
+        self.config.structured_excerpt = on;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -348,6 +366,17 @@ mod tests {
         assert!(!c.quarantine_enabled, "stock semantics retry every round");
         assert!(c.degraded_after >= 1);
         assert!(c.quarantine_after >= c.degraded_after);
+    }
+
+    #[test]
+    fn structured_excerpt_defaults_on_and_toggles() {
+        assert!(VerifierConfig::default().structured_excerpt);
+        assert!(VerifierConfig::engine_default().structured_excerpt);
+        let c = VerifierConfig::builder()
+            .structured_excerpt(false)
+            .build()
+            .unwrap();
+        assert!(!c.structured_excerpt);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use cia_crypto::{hex, Derived, Digest};
 use serde::{Deserialize, Serialize};
 
 use crate::error::KeylimeError;
@@ -96,6 +97,149 @@ pub struct RuntimePolicy {
     excludes: Vec<String>,
     /// Document metadata.
     pub meta: PolicyMeta,
+    /// Lazily built binary lookup structure over `digests`/`excludes`
+    /// (see [`PolicyIndex`]). Invalidated by every mutator; never on the
+    /// wire and never part of equality.
+    index: Derived<PolicyIndex>,
+    /// Cached `(line, byte)` totals; maintained incrementally by
+    /// [`RuntimePolicy::allow`]/[`RuntimePolicy::remove_path`]/
+    /// [`RuntimePolicy::dedup_retain`] once first computed.
+    totals: Derived<PolicyTotals>,
+}
+
+/// Rendered-size accounting for one policy: the paper's "lines" (one per
+/// `(path, digest)` pair) and the approximate rendered byte size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PolicyTotals {
+    lines: u64,
+    bytes: u64,
+}
+
+/// Bytes a `(path, digest)` pair contributes to the rendered size: one
+/// `sha256-hex  path\n` line (64 hex chars + two spaces + newline).
+fn line_bytes(path: &str) -> u64 {
+    path.len() as u64 + 64 + 2 + 1
+}
+
+/// A policy digest decoded to raw bytes. Only canonical entries —
+/// lowercase, even-length hex of at most 64 characters — are
+/// representable; anything else can never equal the lowercase rendering
+/// a measured [`Digest`] produces, so such entries are simply absent
+/// from the binary index (the hex document remains authoritative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct RawDigest {
+    len: u8,
+    data: [u8; 32],
+}
+
+impl RawDigest {
+    /// Decodes a canonical policy digest; `None` when the entry is not
+    /// canonical lowercase hex (and therefore unmatchable).
+    fn parse(digest_hex: &str) -> Option<RawDigest> {
+        if digest_hex.len() > 64
+            || digest_hex
+                .bytes()
+                .any(|b| !matches!(b, b'0'..=b'9' | b'a'..=b'f'))
+        {
+            return None;
+        }
+        let mut data = [0u8; 32];
+        let len = hex::decode_to_slice(digest_hex, &mut data).ok()?;
+        Some(RawDigest {
+            len: len as u8,
+            data,
+        })
+    }
+
+    /// The raw form a measured digest compares as.
+    fn of(digest: &Digest) -> RawDigest {
+        let bytes = digest.as_bytes();
+        let mut data = [0u8; 32];
+        data[..bytes.len()].copy_from_slice(bytes);
+        RawDigest {
+            len: bytes.len() as u8,
+            data,
+        }
+    }
+}
+
+/// The binary lookup structure behind the allocation-free
+/// [`RuntimePolicy::check_digest`] hot path:
+///
+/// - an interned, sorted path table (`paths`) with a flat digest arena
+///   (`raw`, spans delimited by `starts`) holding each path's allowed
+///   digests as sorted raw bytes — hex is parsed once, at index build;
+/// - the exclude prefixes sorted for binary-search
+///   [`PolicyIndex::is_excluded`] (the serialized `excludes` Vec keeps
+///   its operator-facing insertion order).
+///
+/// Rebuilt lazily after any mutation or deserialization; lookups are two
+/// binary searches and zero heap allocations.
+#[derive(Debug, Clone, Default)]
+struct PolicyIndex {
+    paths: Vec<Box<str>>,
+    starts: Vec<u32>,
+    raw: Vec<RawDigest>,
+    excludes: Vec<Box<str>>,
+}
+
+impl PolicyIndex {
+    fn build(digests: &BTreeMap<String, BTreeSet<String>>, excludes: &[String]) -> PolicyIndex {
+        let mut index = PolicyIndex {
+            paths: Vec::with_capacity(digests.len()),
+            starts: Vec::with_capacity(digests.len() + 1),
+            raw: Vec::new(),
+            excludes: excludes.iter().map(|e| e.as_str().into()).collect(),
+        };
+        index.excludes.sort_unstable();
+        for (path, set) in digests {
+            index.paths.push(path.as_str().into());
+            index.starts.push(index.raw.len() as u32);
+            let span_start = index.raw.len();
+            index
+                .raw
+                .extend(set.iter().filter_map(|d| RawDigest::parse(d)));
+            index.raw[span_start..].sort_unstable();
+        }
+        index.starts.push(index.raw.len() as u32);
+        index
+    }
+
+    /// Position of `path` in the interned table.
+    fn find_path(&self, path: &str) -> Option<usize> {
+        self.paths.binary_search_by(|p| p.as_ref().cmp(path)).ok()
+    }
+
+    /// Whether the digest span for path slot `i` contains `probe`.
+    fn contains(&self, i: usize, probe: &RawDigest) -> bool {
+        let span = &self.raw[self.starts[i] as usize..self.starts[i + 1] as usize];
+        span.binary_search(probe).is_ok()
+    }
+
+    /// Binary-search exclusion: probes every `/`-boundary ancestor of
+    /// `path` (plus `path` itself) against the sorted prefix table,
+    /// preserving the boundary semantics of the linear scan (`/tmp`
+    /// excludes `/tmp` and `/tmp/a`, never `/tmpfile`).
+    fn is_excluded(&self, path: &str) -> bool {
+        if self.excludes.is_empty() {
+            return false;
+        }
+        let bytes = path.as_bytes();
+        for end in 0..=bytes.len() {
+            if end < bytes.len() && bytes[end] != b'/' {
+                continue;
+            }
+            let prefix = &path[..end];
+            if self
+                .excludes
+                .binary_search_by(|e| e.as_ref().cmp(prefix))
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl RuntimePolicy {
@@ -104,13 +248,38 @@ impl RuntimePolicy {
         Self::default()
     }
 
+    /// The binary lookup index, built on first use after any mutation or
+    /// deserialization.
+    fn index(&self) -> &PolicyIndex {
+        self.index
+            .get_or_init(|| PolicyIndex::build(&self.digests, &self.excludes))
+    }
+
+    /// The cached size totals, computed by full traversal once and then
+    /// maintained incrementally by the mutators.
+    fn totals(&self) -> PolicyTotals {
+        *self.totals.get_or_init(|| PolicyTotals {
+            lines: self.digests.values().map(|s| s.len() as u64).sum(),
+            bytes: self
+                .digests
+                .iter()
+                .map(|(path, set)| set.len() as u64 * line_bytes(path))
+                .sum(),
+        })
+    }
+
     /// Adds `digest` to the allowed set for `path` (existing digests are
     /// retained — the update-window consistency rule).
     pub fn allow(&mut self, path: impl Into<String>, digest: impl Into<String>) {
-        self.digests
-            .entry(path.into())
-            .or_default()
-            .insert(digest.into());
+        let path = path.into();
+        let added_bytes = line_bytes(&path);
+        if self.digests.entry(path).or_default().insert(digest.into()) {
+            self.index.clear();
+            if let Some(t) = self.totals.get_mut() {
+                t.lines += 1;
+                t.bytes += added_bytes;
+            }
+        }
     }
 
     /// Adds an exclude prefix (e.g. `/tmp`). Paths equal to it or below
@@ -119,6 +288,7 @@ impl RuntimePolicy {
         let prefix = prefix.into();
         if !self.excludes.contains(&prefix) {
             self.excludes.push(prefix);
+            self.index.clear();
         }
     }
 
@@ -132,18 +302,24 @@ impl RuntimePolicy {
     pub fn remove_exclude(&mut self, prefix: &str) -> bool {
         let before = self.excludes.len();
         self.excludes.retain(|e| e != prefix);
-        self.excludes.len() != before
+        let removed = self.excludes.len() != before;
+        if removed {
+            self.index.clear();
+        }
+        removed
     }
 
     /// True when `path` is covered by an exclude prefix.
     pub fn is_excluded(&self, path: &str) -> bool {
-        self.excludes.iter().any(|prefix| {
-            path == prefix
-                || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
-        })
+        self.index().is_excluded(path)
     }
 
-    /// Checks one measured `(path, digest)` pair.
+    /// Checks one measured `(path, digest)` pair given as hex text.
+    ///
+    /// Kept for callers holding rendered digests; the verifier's hot
+    /// path uses the allocation-free [`RuntimePolicy::check_digest`],
+    /// which agrees with this method on every canonical digest (a
+    /// property test pins the equivalence).
     pub fn check(&self, path: &str, digest_hex: &str) -> PolicyCheck {
         if self.is_excluded(path) {
             return PolicyCheck::Excluded;
@@ -152,6 +328,30 @@ impl RuntimePolicy {
             Some(allowed) if allowed.contains(digest_hex) => PolicyCheck::Allowed,
             Some(allowed) => PolicyCheck::HashMismatch {
                 expected: allowed.iter().cloned().collect(),
+            },
+            None => PolicyCheck::NotInPolicy,
+        }
+    }
+
+    /// Checks one measured `(path, digest)` pair against the binary
+    /// index: two binary searches over interned paths and raw digest
+    /// spans, zero heap allocations on the `Allowed`/`Excluded`/
+    /// `NotInPolicy` outcomes (hex was parsed once, at index build).
+    /// `HashMismatch` allocates its diagnostic `expected` list — that is
+    /// the alert path, not the steady state.
+    pub fn check_digest(&self, path: &str, digest: &Digest) -> PolicyCheck {
+        let index = self.index();
+        if index.is_excluded(path) {
+            return PolicyCheck::Excluded;
+        }
+        match index.find_path(path) {
+            Some(slot) if index.contains(slot, &RawDigest::of(digest)) => PolicyCheck::Allowed,
+            Some(_) => PolicyCheck::HashMismatch {
+                expected: self
+                    .digests
+                    .get(path)
+                    .map(|allowed| allowed.iter().cloned().collect())
+                    .unwrap_or_default(),
             },
             None => PolicyCheck::NotInPolicy,
         }
@@ -172,18 +372,18 @@ impl RuntimePolicy {
         self.digests.len()
     }
 
-    /// Number of `(path, digest)` pairs — the paper's "lines".
+    /// Number of `(path, digest)` pairs — the paper's "lines". Served
+    /// from the cached totals (computed once, then maintained by the
+    /// mutators) instead of a full traversal.
     pub fn line_count(&self) -> usize {
-        self.digests.values().map(|s| s.len()).sum()
+        self.totals().lines as usize
     }
 
     /// Approximate rendered size in bytes (one `sha256-hex  path` line per
-    /// pair), matching how the paper reports policy size in MB.
+    /// pair), matching how the paper reports policy size in MB. Cached
+    /// like [`RuntimePolicy::line_count`].
     pub fn rendered_size_bytes(&self) -> u64 {
-        self.digests
-            .iter()
-            .map(|(path, set)| set.len() as u64 * (path.len() as u64 + 64 + 2 + 1))
-            .sum()
+        self.totals().bytes
     }
 
     /// Drops every digest for `path` except `keep` (post-update
@@ -191,14 +391,33 @@ impl RuntimePolicy {
     pub fn dedup_retain(&mut self, path: &str, keep: &str) {
         if let Some(set) = self.digests.get_mut(path) {
             if set.contains(keep) {
+                let before = set.len();
                 set.retain(|d| d == keep);
+                let removed = (before - set.len()) as u64;
+                if removed > 0 {
+                    self.index.clear();
+                    if let Some(t) = self.totals.get_mut() {
+                        t.lines -= removed;
+                        t.bytes -= removed * line_bytes(path);
+                    }
+                }
             }
         }
     }
 
     /// Removes a path entirely (e.g. disallowing outdated kernel modules).
     pub fn remove_path(&mut self, path: &str) -> bool {
-        self.digests.remove(path).is_some()
+        match self.digests.remove(path) {
+            Some(set) => {
+                self.index.clear();
+                if let Some(t) = self.totals.get_mut() {
+                    t.lines -= set.len() as u64;
+                    t.bytes -= set.len() as u64 * line_bytes(path);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Structural difference against an older policy — what an operator
@@ -363,6 +582,143 @@ mod tests {
         p.exclude("/tmp");
         assert!(p.diff(&p.clone()).is_empty());
         assert!(RuntimePolicy::new().diff(&RuntimePolicy::new()).is_empty());
+    }
+
+    fn recomputed_totals(p: &RuntimePolicy) -> (usize, u64) {
+        let lines = p.entries().map(|(_, s)| s.len()).sum();
+        let bytes = p
+            .entries()
+            .map(|(path, set)| set.len() as u64 * (path.len() as u64 + 64 + 2 + 1))
+            .sum();
+        (lines, bytes)
+    }
+
+    fn assert_totals_match(p: &RuntimePolicy) {
+        let (lines, bytes) = recomputed_totals(p);
+        assert_eq!(p.line_count(), lines);
+        assert_eq!(p.rendered_size_bytes(), bytes);
+    }
+
+    #[test]
+    fn cached_totals_track_every_mutator() {
+        let mut p = RuntimePolicy::new();
+        assert_totals_match(&p); // warms the cache; increments from here on
+        p.allow("/usr/bin/a", "aa");
+        p.allow("/usr/bin/a", "bb");
+        p.allow("/usr/bin/bb", "cc");
+        p.allow("/usr/bin/a", "aa"); // duplicate: no change
+        assert_totals_match(&p);
+        p.dedup_retain("/usr/bin/a", "aa");
+        assert_totals_match(&p);
+        p.dedup_retain("/usr/bin/a", "zz"); // keep absent: no change
+        assert_totals_match(&p);
+        assert!(p.remove_path("/usr/bin/bb"));
+        assert!(!p.remove_path("/usr/bin/bb"));
+        assert_totals_match(&p);
+        assert_eq!(p.line_count(), 1);
+    }
+
+    #[test]
+    fn check_digest_agrees_with_legacy_check() {
+        use cia_crypto::HashAlgorithm;
+        let mut p = RuntimePolicy::new();
+        let good = HashAlgorithm::Sha256.digest(b"good");
+        let bad = HashAlgorithm::Sha256.digest(b"bad");
+        p.allow("/usr/bin/ls", good.to_hex());
+        p.exclude("/tmp");
+        for (path, digest) in [
+            ("/usr/bin/ls", &good),
+            ("/usr/bin/ls", &bad),
+            ("/usr/bin/unknown", &good),
+            ("/tmp/scratch", &bad),
+            ("/tmp", &bad),
+        ] {
+            assert_eq!(
+                p.check_digest(path, digest),
+                p.check(path, &digest.to_hex()),
+                "divergence at {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_digest_ignores_noncanonical_entries() {
+        use cia_crypto::HashAlgorithm;
+        let d = HashAlgorithm::Sha256.digest(b"content");
+        let mut p = RuntimePolicy::new();
+        // Uppercase, odd-length and non-hex entries can never equal the
+        // lowercase hex a measured digest renders to.
+        p.allow("/x", d.to_hex().to_uppercase());
+        p.allow("/x", "abc");
+        p.allow("/x", "not-hex!");
+        assert!(matches!(
+            p.check_digest("/x", &d),
+            PolicyCheck::HashMismatch { .. }
+        ));
+        assert_eq!(p.check_digest("/x", &d), p.check("/x", &d.to_hex()));
+        // The canonical entry still matches alongside the junk.
+        p.allow("/x", d.to_hex());
+        assert_eq!(p.check_digest("/x", &d), PolicyCheck::Allowed);
+    }
+
+    #[test]
+    fn check_digest_distinguishes_sha1_from_sha256_prefix() {
+        use cia_crypto::HashAlgorithm;
+        let sha1 = HashAlgorithm::Sha1.digest(b"content");
+        let mut p = RuntimePolicy::new();
+        // A 64-char entry whose first 40 chars equal the sha1 hex must
+        // not match the 20-byte digest.
+        p.allow("/y", format!("{}{}", sha1.to_hex(), "0".repeat(24)));
+        assert!(matches!(
+            p.check_digest("/y", &sha1),
+            PolicyCheck::HashMismatch { .. }
+        ));
+        p.allow("/y", sha1.to_hex());
+        assert_eq!(p.check_digest("/y", &sha1), PolicyCheck::Allowed);
+    }
+
+    #[test]
+    fn exclusion_semantics_survive_many_prefixes() {
+        let mut p = RuntimePolicy::new();
+        for prefix in ["/var/tmp", "/tmp", "/run", "/var", "/opt/scratch"] {
+            p.exclude(prefix);
+        }
+        assert!(p.is_excluded("/tmp"));
+        assert!(p.is_excluded("/tmp/a/b/c"));
+        assert!(p.is_excluded("/var"));
+        assert!(p.is_excluded("/var/tmp/x"));
+        assert!(p.is_excluded("/var/lib/x"), "/var covers /var/lib");
+        assert!(!p.is_excluded("/tmpfile"));
+        assert!(!p.is_excluded("/varnish"));
+        assert!(!p.is_excluded("/opt"));
+        assert!(p.is_excluded("/opt/scratch/f"));
+        // Removing one prefix re-admits only its subtree.
+        assert!(p.remove_exclude("/var"));
+        assert!(!p.is_excluded("/var/lib/x"));
+        assert!(p.is_excluded("/var/tmp/x"), "/var/tmp still excluded");
+    }
+
+    #[test]
+    fn index_survives_clone_and_json_roundtrip() {
+        use cia_crypto::HashAlgorithm;
+        let d = HashAlgorithm::Sha256.digest(b"bin");
+        let mut p = RuntimePolicy::new();
+        p.allow("/usr/bin/tool", d.to_hex());
+        p.exclude("/tmp");
+        assert_eq!(p.check_digest("/usr/bin/tool", &d), PolicyCheck::Allowed);
+        let cloned = p.clone();
+        assert_eq!(
+            cloned.check_digest("/usr/bin/tool", &d),
+            PolicyCheck::Allowed
+        );
+        let parsed = RuntimePolicy::from_json(&p.to_json()).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(
+            parsed.check_digest("/usr/bin/tool", &d),
+            PolicyCheck::Allowed
+        );
+        assert!(parsed.is_excluded("/tmp/x"));
+        assert_totals_match(&parsed);
     }
 
     #[test]

@@ -37,7 +37,8 @@ use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::transport::Transport;
 use crate::verifier::{
-    AgentHealth, Alert, AttestationOutcome, HealthCounts, ReachClass, Verifier, VerifierConfig,
+    AgentHealth, Alert, AttestationOutcome, HealthCounts, HotStats, ReachClass, Verifier,
+    VerifierConfig,
 };
 
 /// Number of log2 latency buckets (bucket i counts calls in
@@ -82,6 +83,12 @@ pub struct SchedulerMetrics {
     to_recovering: AtomicU64,
     /// Health transitions into Healthy (recoveries completed).
     to_healthy: AtomicU64,
+    /// Log entries evaluated against policies (hot-path throughput).
+    entries_evaluated: AtomicU64,
+    /// Serialized bytes across all transport lanes, both directions.
+    wire_bytes: AtomicU64,
+    /// Nanoseconds spent in the policy-evaluation loop.
+    policy_check_ns: AtomicU64,
     latency_ns: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -121,6 +128,9 @@ impl SchedulerMetrics {
             to_quarantined: self.to_quarantined.load(Ordering::Relaxed),
             to_recovering: self.to_recovering.load(Ordering::Relaxed),
             to_healthy: self.to_healthy.load(Ordering::Relaxed),
+            entries_evaluated: self.entries_evaluated.load(Ordering::Relaxed),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            policy_check_ns: self.policy_check_ns.load(Ordering::Relaxed),
             latency_ns_buckets: self
                 .latency_ns
                 .iter()
@@ -171,6 +181,17 @@ pub struct MetricsSnapshot {
     /// Health transitions into [`AgentHealth::Healthy`] — recoveries and
     /// degradations healed.
     pub to_healthy: u64,
+    /// Log entries evaluated against runtime policies — the hot-path
+    /// throughput numerator (`entries_evaluated / rounds` is per-round
+    /// verification throughput).
+    pub entries_evaluated: u64,
+    /// Serialized bytes that crossed the transport, both directions,
+    /// summed over every lane of every round.
+    pub wire_bytes: u64,
+    /// Nanoseconds spent inside the policy-evaluation loop, summed over
+    /// every poll (`policy_check_ns / entries_evaluated` is the per-entry
+    /// check cost).
+    pub policy_check_ns: u64,
     /// Log2 call-latency histogram: bucket i counts calls taking
     /// `[2^i, 2^(i+1))` nanoseconds.
     pub latency_ns_buckets: Vec<u64>,
@@ -414,6 +435,9 @@ impl FleetScheduler {
                     while let Ok(job) = job_rx.recv() {
                         let mut lane_transport = transport.fork(job.lane);
                         let result = attest_with_retry(&config, &metrics, job, &mut lane_transport);
+                        // The lane is fresh per job, so its byte total is
+                        // exactly this agent's round traffic.
+                        SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
                         let _ = res_tx.send(result);
                     }
                 });
@@ -485,10 +509,14 @@ fn attest_with_retry<T: Transport>(
     loop {
         attempts += 1;
         SchedulerMetrics::add(&metrics.calls, 1);
+        let mut hot = HotStats::default();
         let start = Instant::now();
-        let result =
-            Verifier::attest_record(config, job.record, &job.id, transport, job.agent, day);
+        let result = Verifier::attest_record(
+            config, job.record, &job.id, transport, job.agent, day, &mut hot,
+        );
         let elapsed = start.elapsed();
+        SchedulerMetrics::add(&metrics.entries_evaluated, hot.entries_evaluated);
+        SchedulerMetrics::add(&metrics.policy_check_ns, hot.policy_check_ns);
         metrics.record_latency_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
         if elapsed.as_millis() as u64 > config.call_timeout_ms {
             SchedulerMetrics::add(&metrics.timeouts, 1);

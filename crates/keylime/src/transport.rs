@@ -92,6 +92,19 @@ pub trait Transport: Send {
     /// Messages lost to injected faults on this transport.
     fn drops(&self) -> u64;
 
+    /// Total serialized bytes that crossed this transport, both
+    /// directions (requests count even when the response was lost).
+    fn wire_bytes(&self) -> u64;
+
+    /// Capability flag: whether the peer speaks the structured (typed
+    /// entry list) quote excerpt, or only the canonical ASCII rendering.
+    /// Both built-in transports do; a downgraded transport can override
+    /// this to force the text path, and the verifier honours the flag
+    /// when building quote requests.
+    fn supports_structured_excerpt(&self) -> bool {
+        true
+    }
+
     /// Derives an independent transport *lane* for concurrent use.
     ///
     /// The derived transport has fresh counters and — for lossy
@@ -105,10 +118,12 @@ pub trait Transport: Send {
 
 /// Serializes `request` across the wire, serves it, and brings the
 /// response back — the delivery-independent half of every [`Transport`].
+/// Returns the response together with the total bytes serialized in both
+/// directions, so implementations can meter wire traffic.
 fn codec_roundtrip<Req, Resp>(
     request: &Req,
     serve: impl FnOnce(Req) -> Resp,
-) -> Result<Resp, TransportError>
+) -> Result<(Resp, u64), TransportError>
 where
     Req: Serialize + DeserializeOwned,
     Resp: Serialize + DeserializeOwned,
@@ -123,15 +138,19 @@ where
     let wire_resp = serde_json::to_string(&response).map_err(|e| TransportError::Codec {
         reason: e.to_string(),
     })?;
-    serde_json::from_str(&wire_resp).map_err(|e| TransportError::Codec {
-        reason: e.to_string(),
-    })
+    let bytes = wire_req.len() as u64 + wire_resp.len() as u64;
+    serde_json::from_str(&wire_resp)
+        .map(|resp| (resp, bytes))
+        .map_err(|e| TransportError::Codec {
+            reason: e.to_string(),
+        })
 }
 
 /// A transport that always delivers.
 #[derive(Debug, Default, Clone)]
 pub struct ReliableTransport {
     requests: u64,
+    wire_bytes: u64,
 }
 
 impl ReliableTransport {
@@ -152,7 +171,9 @@ impl Transport for ReliableTransport {
         Resp: Serialize + DeserializeOwned,
     {
         self.requests += 1;
-        codec_roundtrip(request, serve)
+        let (response, bytes) = codec_roundtrip(request, serve)?;
+        self.wire_bytes += bytes;
+        Ok(response)
     }
 
     fn requests(&self) -> u64 {
@@ -161,6 +182,10 @@ impl Transport for ReliableTransport {
 
     fn drops(&self) -> u64 {
         0
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
     }
 
     fn fork(&self, _lane: u64) -> Self {
@@ -186,6 +211,7 @@ pub struct LossyTransport {
     rng: StdRng,
     requests: u64,
     drops: u64,
+    wire_bytes: u64,
 }
 
 impl LossyTransport {
@@ -197,6 +223,7 @@ impl LossyTransport {
             rng: StdRng::seed_from_u64(seed),
             requests: 0,
             drops: 0,
+            wire_bytes: 0,
         }
     }
 
@@ -223,7 +250,8 @@ impl Transport for LossyTransport {
         }
         // A dropped request consumes one RNG draw, a delivered one two —
         // the stream stays deterministic per lane either way.
-        let response = codec_roundtrip(request, serve)?;
+        let (response, bytes) = codec_roundtrip(request, serve)?;
+        self.wire_bytes += bytes;
         if self.drop_rate > 0.0 && self.rng.random::<f64>() < self.drop_rate {
             self.drops += 1;
             return Err(TransportError::ResponseDropped);
@@ -237,6 +265,10 @@ impl Transport for LossyTransport {
 
     fn drops(&self) -> u64 {
         self.drops
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
     }
 
     fn fork(&self, lane: u64) -> Self {
@@ -255,6 +287,29 @@ mod tests {
         assert_eq!(out, 42);
         assert_eq!(t.requests(), 1);
         assert_eq!(t.drops(), 0);
+        assert_eq!(t.wire_bytes(), 4, "\"21\" out, \"42\" back");
+        assert!(t.supports_structured_excerpt());
+    }
+
+    #[test]
+    fn wire_bytes_accumulate_and_count_half_delivered_calls() {
+        let mut t = ReliableTransport::new();
+        let _: String = t.call(&"abcd".to_string(), |s: String| s).unwrap();
+        // "abcd" serializes to 6 quoted bytes, each direction.
+        assert_eq!(t.wire_bytes(), 12);
+        let _: String = t.call(&"ab".to_string(), |s: String| s).unwrap();
+        assert_eq!(t.wire_bytes(), 12 + 8);
+
+        // A response drop happens *after* both messages were serialized,
+        // so the bytes still count; a request drop spends nothing.
+        let mut lossy = LossyTransport::new(1.0, 3);
+        assert_eq!(
+            lossy.call(&1u8, |x: u8| x).unwrap_err(),
+            TransportError::RequestDropped
+        );
+        assert_eq!(lossy.wire_bytes(), 0);
+        // Forked lanes start from zero.
+        assert_eq!(lossy.fork(1).wire_bytes(), 0);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The Keylime verifier: polls agents and issues trust verdicts.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use cia_crypto::{Digest, HashAlgorithm, Sha256};
-use cia_ima::{MeasurementLog, BOOT_AGGREGATE_NAME, IMA_PCR};
+use cia_ima::{ImaLogEntry, MeasurementLog, BOOT_AGGREGATE_NAME, IMA_PCR};
 use cia_tpm::pcr::extend_digest;
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +143,18 @@ pub(crate) enum ReachClass {
     /// The agent could not be reached (retries exhausted or a
     /// non-retryable transport error).
     Unreachable,
+}
+
+/// Hot-path throughput counters for one or more attestation rounds:
+/// what the fold-and-check loop actually did, as opposed to the
+/// scheduler's call accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct HotStats {
+    /// Log entries evaluated against the policy (including entries that
+    /// failed and, under stop-on-failure, the failing entry itself).
+    pub entries_evaluated: u64,
+    /// Wall-clock nanoseconds spent in the policy-evaluation loop.
+    pub policy_check_ns: u64,
 }
 
 /// Result of one poll.
@@ -395,6 +408,16 @@ impl Verifier {
         Ok(self.record(id)?.health)
     }
 
+    /// The PCR 10 value replayed from every entry processed so far — the
+    /// verifier's ground truth for the agent's measurement history.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn replayed_pcr(&self, id: &AgentId) -> Result<Digest, KeylimeError> {
+        Ok(self.record(id)?.replayed_pcr)
+    }
+
     /// Per-state counts over every enrolled agent.
     pub fn health_counts(&self) -> HealthCounts {
         let mut counts = HealthCounts::default();
@@ -431,17 +454,30 @@ impl Verifier {
         agent: &mut Agent,
     ) -> Result<(), KeylimeError> {
         let id = agent.id().clone();
+        let structured = self.config.structured_excerpt && transport.supports_structured_excerpt();
         let record = self.record_mut(&id)?;
         let nonce = Self::make_nonce(&id, record.nonce_counter);
         record.nonce_counter += 1;
         let request = AgentRequest::Quote {
             nonce,
             from_entry: record.next_entry,
+            structured,
         };
         let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
         if let AgentResponse::Quote(q) = response {
-            if let Ok(log) = MeasurementLog::parse(&q.log_excerpt) {
-                for entry in log.entries() {
+            let parsed;
+            let entries: Option<&[ImaLogEntry]> = match &q.entries {
+                Some(typed) => Some(typed),
+                None => match MeasurementLog::parse(&q.log_excerpt) {
+                    Ok(log) => {
+                        parsed = log;
+                        Some(parsed.entries())
+                    }
+                    Err(_) => None,
+                },
+            };
+            if let Some(entries) = entries {
+                for entry in entries {
                     record.replayed_pcr = extend_digest(
                         HashAlgorithm::Sha256,
                         record.replayed_pcr,
@@ -472,12 +508,14 @@ impl Verifier {
         let id = agent.id().clone();
         let config = self.config;
         let record = self.record_mut(&id)?;
-        Self::attest_record(&config, record, &id, transport, agent, day)
+        let mut stats = HotStats::default();
+        Self::attest_record(&config, record, &id, transport, agent, day, &mut stats)
     }
 
     /// The per-record attestation flow, factored out so the fleet
     /// [`scheduler`](crate::scheduler) can drive many records in
     /// parallel, each worker holding one `&mut AgentRecord`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn attest_record<T: Transport>(
         config: &VerifierConfig,
         record: &mut AgentRecord,
@@ -485,8 +523,10 @@ impl Verifier {
         transport: &mut T,
         agent: &mut Agent,
         day: u32,
+        stats: &mut HotStats,
     ) -> Result<AttestationOutcome, KeylimeError> {
         let continue_on_failure = config.continue_on_failure;
+        let structured = config.structured_excerpt && transport.supports_structured_excerpt();
 
         if record.status == AgentStatus::Paused && !continue_on_failure {
             return Ok(AttestationOutcome::SkippedPaused);
@@ -497,6 +537,7 @@ impl Verifier {
         let request = AgentRequest::Quote {
             nonce: nonce.clone(),
             from_entry: record.next_entry,
+            structured,
         };
         let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
         let quote_resp = match response {
@@ -520,6 +561,7 @@ impl Verifier {
             let request = AgentRequest::Quote {
                 nonce: nonce2.clone(),
                 from_entry: 0,
+                structured,
             };
             let response: AgentResponse = transport.call(&request, |req| agent.handle(req))?;
             let quote_resp = match response {
@@ -537,6 +579,7 @@ impl Verifier {
                 &nonce2,
                 day,
                 continue_on_failure,
+                stats,
             ));
         }
 
@@ -547,10 +590,12 @@ impl Verifier {
             &nonce,
             day,
             continue_on_failure,
+            stats,
         ))
     }
 
     /// Core verification once a quote response is in hand.
+    #[allow(clippy::too_many_arguments)]
     fn finish_attestation(
         record: &mut AgentRecord,
         id: &AgentId,
@@ -558,6 +603,7 @@ impl Verifier {
         nonce: &[u8],
         day: u32,
         continue_on_failure: bool,
+        stats: &mut HotStats,
     ) -> AttestationOutcome {
         let mut alerts: Vec<Alert> = Vec::new();
         let fail = |record: &mut AgentRecord, alerts: Vec<Alert>| {
@@ -586,22 +632,34 @@ impl Verifier {
             return fail(record, alerts);
         }
 
-        // ② The excerpt must parse and replay to the quoted PCR 10.
-        let log = match MeasurementLog::parse(&resp.log_excerpt) {
-            Ok(log) => log,
-            Err(e) => {
-                alerts.push(Alert {
-                    agent: id.clone(),
-                    day,
-                    kind: FailureKind::LogParse {
-                        reason: e.to_string(),
-                    },
-                });
-                return fail(record, alerts);
-            }
+        // ② The excerpt must replay to the quoted PCR 10. A structured
+        // (v2) excerpt is used as-is — its template-hash caches never
+        // travel, so the fold below recomputes them from the entry fields
+        // and any tampering lands here as a PCR mismatch. A text excerpt
+        // must parse first (which also validates each recorded SHA-1
+        // template hash).
+        let parsed_text;
+        let entries: &[ImaLogEntry] = match &resp.entries {
+            Some(typed) => typed,
+            None => match MeasurementLog::parse(&resp.log_excerpt) {
+                Ok(log) => {
+                    parsed_text = log;
+                    parsed_text.entries()
+                }
+                Err(e) => {
+                    alerts.push(Alert {
+                        agent: id.clone(),
+                        day,
+                        kind: FailureKind::LogParse {
+                            reason: e.to_string(),
+                        },
+                    });
+                    return fail(record, alerts);
+                }
+            },
         };
         let mut full_fold = record.replayed_pcr;
-        for entry in log.entries() {
+        for entry in entries {
             full_fold = extend_digest(
                 HashAlgorithm::Sha256,
                 full_fold,
@@ -618,9 +676,15 @@ impl Verifier {
             return fail(record, alerts);
         }
 
-        // ③ Policy evaluation, entry by entry.
+        // ③ Policy evaluation, entry by entry. The fast paths (allowed /
+        // excluded) run entirely on borrowed data — no per-entry heap
+        // allocation; hex rendering happens only when building an alert.
+        // Each entry extends the fold exactly once: the full fold was
+        // already computed in ②, so the happy path adopts it wholesale
+        // and only a stop-on-failure exit re-folds the accepted prefix.
+        let check_started = Instant::now();
         let mut processed = 0usize;
-        for (offset, entry) in log.entries().iter().enumerate() {
+        for (offset, entry) in entries.iter().enumerate() {
             let absolute_index = record.next_entry + offset;
             let verdict = if absolute_index == 0 && entry.path == BOOT_AGGREGATE_NAME {
                 // boot_aggregate must match the quoted PCRs 0–9.
@@ -638,7 +702,7 @@ impl Verifier {
             } else {
                 match record
                     .policy
-                    .check(&entry.path, &entry.filedata_hash.to_hex())
+                    .check_digest(&entry.path, &entry.filedata_hash)
                 {
                     PolicyCheck::Allowed | PolicyCheck::Excluded => None,
                     PolicyCheck::HashMismatch { .. } => Some(FailureKind::HashMismatch {
@@ -652,40 +716,40 @@ impl Verifier {
                 }
             };
 
-            match verdict {
-                None => {
-                    record.replayed_pcr = extend_digest(
-                        HashAlgorithm::Sha256,
-                        record.replayed_pcr,
-                        entry.template_hash(HashAlgorithm::Sha256),
-                    );
-                    processed += 1;
-                }
-                Some(kind) => {
-                    alerts.push(Alert {
-                        agent: id.clone(),
-                        day,
-                        kind,
-                    });
-                    if !continue_on_failure {
-                        // P2: stop here. `next_entry` stays at the failing
-                        // entry; everything after it goes unevaluated.
-                        record.next_entry += processed;
-                        record.last_boot_count = Some(resp.boot_count);
-                        return fail(record, alerts);
+            if let Some(kind) = verdict {
+                alerts.push(Alert {
+                    agent: id.clone(),
+                    day,
+                    kind,
+                });
+                if !continue_on_failure {
+                    // P2: stop here. `next_entry` stays at the failing
+                    // entry; everything after it goes unevaluated. Only
+                    // the accepted prefix enters the replayed fold.
+                    for accepted in &entries[..processed] {
+                        record.replayed_pcr = extend_digest(
+                            HashAlgorithm::Sha256,
+                            record.replayed_pcr,
+                            accepted.template_hash(HashAlgorithm::Sha256),
+                        );
                     }
-                    // Continue-on-failure: evaluate everything; the entry
-                    // still advances the fold so later PCR checks align.
-                    record.replayed_pcr = extend_digest(
-                        HashAlgorithm::Sha256,
-                        record.replayed_pcr,
-                        entry.template_hash(HashAlgorithm::Sha256),
-                    );
-                    processed += 1;
+                    record.next_entry += processed;
+                    record.last_boot_count = Some(resp.boot_count);
+                    stats.entries_evaluated += processed as u64 + 1;
+                    stats.policy_check_ns += check_started.elapsed().as_nanos() as u64;
+                    return fail(record, alerts);
                 }
+                // Continue-on-failure: evaluate everything; the entry
+                // still advances the fold so later PCR checks align.
             }
+            processed += 1;
         }
 
+        stats.entries_evaluated += processed as u64;
+        stats.policy_check_ns += check_started.elapsed().as_nanos() as u64;
+        // Every entry was processed, so the replayed fold is exactly the
+        // full fold verified against the quote in ②.
+        record.replayed_pcr = full_fold;
         record.next_entry += processed;
         record.last_boot_count = Some(resp.boot_count);
         record.attestations += 1;

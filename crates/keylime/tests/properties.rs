@@ -1,5 +1,6 @@
 //! Property-based tests for runtime policies and the transport codec.
 
+use cia_crypto::{Digest, HashAlgorithm};
 use cia_keylime::{PolicyCheck, ReliableTransport, RuntimePolicy, Transport};
 use proptest::prelude::*;
 
@@ -92,6 +93,44 @@ proptest! {
         let set = policy.digests_for(&target).unwrap();
         prop_assert_eq!(set.len(), 1);
         prop_assert!(set.contains(&keep));
+    }
+
+    /// The zero-copy digest check agrees with the legacy hex-string
+    /// check on arbitrary policies, probes and exclude prefixes — the
+    /// binary index is an optimization, never a semantic change.
+    #[test]
+    fn check_digest_agrees_with_legacy_check(
+        entries in proptest::collection::vec((path(), digest_hex()), 0..20),
+        excludes in proptest::collection::vec(path(), 0..5),
+        probe_path in path(),
+        probe_digest in digest_hex(),
+    ) {
+        let mut policy = RuntimePolicy::new();
+        for (p, d) in &entries {
+            policy.allow(p.clone(), d.clone());
+        }
+        for e in &excludes {
+            policy.exclude(e.clone());
+        }
+        // Probe an arbitrary path, every allowed path, and every exclude
+        // prefix, with both an arbitrary digest and each allowed digest.
+        let mut probes: Vec<(&str, &str)> = vec![(&probe_path, &probe_digest)];
+        for (p, d) in &entries {
+            probes.push((p, &probe_digest));
+            probes.push((p, d));
+            probes.push((&probe_path, d));
+        }
+        for e in &excludes {
+            probes.push((e, &probe_digest));
+        }
+        for (p, d) in probes {
+            let typed = Digest::parse_hex(HashAlgorithm::Sha256, d).unwrap();
+            prop_assert_eq!(
+                policy.check_digest(p, &typed),
+                policy.check(p, d),
+                "divergence at path {} digest {}", p, d
+            );
+        }
     }
 
     /// The transport codec is lossless for arbitrary JSON-serializable

@@ -122,6 +122,7 @@ impl SimReport {
 pub fn deterministic_metrics(snapshot: &MetricsSnapshot) -> MetricsSnapshot {
     MetricsSnapshot {
         timeouts: 0,
+        policy_check_ns: 0,
         latency_ns_buckets: Vec::new(),
         ..snapshot.clone()
     }

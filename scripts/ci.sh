@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints on the keylime crate, the tier-1 suite, and
-# the chaos scenario corpus in release mode.
+# CI gate: formatting, lints on the keylime crate, the tier-1 suite, a
+# single-iteration bench smoke pass, and the chaos scenario corpus in
+# release mode.
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -28,6 +29,9 @@ cargo build "${OFFLINE[@]}" --release
 
 echo "== tier-1: cargo test -q =="
 cargo test "${OFFLINE[@]}" -q
+
+echo "== bench-smoke: single-iteration criterion pass =="
+cargo bench "${OFFLINE[@]}" -p cia-bench -- --test
 
 echo "== chaos: scenario corpus (release) =="
 cargo test "${OFFLINE[@]}" --release --test chaos_scenarios

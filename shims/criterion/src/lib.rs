@@ -64,6 +64,9 @@ impl std::fmt::Display for BenchmarkId {
 /// The per-benchmark timing driver.
 pub struct Bencher {
     measurement_window: Duration,
+    /// Smoke mode (`--test`): run each routine exactly once, no timing
+    /// loop — mirrors real criterion's `cargo bench -- --test`.
+    test_mode: bool,
     /// Collected per-iteration nanosecond samples.
     samples: Vec<f64>,
 }
@@ -71,6 +74,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
         // Warm-up and batch-size calibration.
         let calibration_start = Instant::now();
         let mut calibration_iters = 0u64;
@@ -104,6 +113,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
         let deadline = Instant::now() + self.measurement_window;
         let mut guard = 0u32;
         while Instant::now() < deadline || self.samples.is_empty() {
@@ -178,6 +194,7 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
         let mut bencher = Bencher {
             measurement_window: self.criterion.measurement_window,
+            test_mode: self.criterion.test_mode,
             samples: Vec::new(),
         };
         f(&mut bencher);
@@ -197,6 +214,7 @@ impl BenchmarkGroup<'_> {
     ) {
         let mut bencher = Bencher {
             measurement_window: self.criterion.measurement_window,
+            test_mode: self.criterion.test_mode,
             samples: Vec::new(),
         };
         f(&mut bencher, input);
@@ -214,6 +232,7 @@ impl BenchmarkGroup<'_> {
 /// The benchmark harness entry point.
 pub struct Criterion {
     measurement_window: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -222,6 +241,9 @@ impl Default for Criterion {
             // Keep whole-suite runtime sane: the real criterion spends
             // ~5s per benchmark; the shim's window is deliberately small.
             measurement_window: Duration::from_millis(300),
+            // `cargo bench -- --test`: smoke every benchmark with a
+            // single iteration instead of the timing loop.
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -240,6 +262,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut bencher = Bencher {
             measurement_window: self.measurement_window,
+            test_mode: self.test_mode,
             samples: Vec::new(),
         };
         f(&mut bencher);

@@ -76,13 +76,32 @@ pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
 // Writer
 // ---------------------------------------------------------------------
 
+fn write_u64(mut n: u64, out: &mut String) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
 fn write_value(value: &Value, out: &mut String) -> Result<()> {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => write_u64(*n, out),
+        Value::I64(n) => {
+            if *n < 0 {
+                out.push('-');
+            }
+            write_u64(n.unsigned_abs(), out);
+        }
         Value::F64(x) => {
             if !x.is_finite() {
                 return Err(Error::new("cannot serialize non-finite float"));
@@ -123,18 +142,31 @@ fn write_value(value: &Value, out: &mut String) -> Result<()> {
 }
 
 fn write_string(s: &str, out: &mut String) {
+    out.reserve(s.len() + 2);
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    // Copy maximal runs of bytes that need no escaping (everything
+    // except `"`, `\` and control characters — multi-byte UTF-8 passes
+    // through untouched) and escape only the rare exceptions.
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[run_start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    use fmt::Write as _;
+                    let _ = write!(out, "\\u{:04x}", b);
+                }
+            }
+            run_start = i + 1;
         }
     }
+    out.push_str(&s[run_start..]);
     out.push('"');
 }
 
@@ -225,7 +257,7 @@ impl<'a> Parser<'a> {
             }
             Some(b'{') => {
                 self.bump();
-                let mut entries = Vec::new();
+                let mut entries = Vec::with_capacity(8);
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.bump();
@@ -255,10 +287,34 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Advances past a run of bytes needing no per-byte handling
+    /// (anything but `"` and `\`; the input is already valid UTF-8, so
+    /// multi-byte sequences and raw control bytes pass through) and
+    /// returns it as a str slice.
+    fn take_clean_run(&mut self) -> &'a str {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            self.pos += 1;
+        }
+        // The parser's input came from `from_str`, so byte runs between
+        // structural characters are valid UTF-8 by construction.
+        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("")
+    }
+
     fn parse_string(&mut self) -> Result<String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: the whole string is one clean run — a single copy.
+        let run = self.take_clean_run();
+        if self.peek() == Some(b'"') {
+            self.pos += 1;
+            return Ok(run.to_string());
+        }
+        let mut out = String::from(run);
         loop {
+            // `take_clean_run` stops only at `"`, `\` or end of input.
             match self.bump() {
                 Some(b'"') => return Ok(out),
                 Some(b'\\') => match self.bump() {
@@ -285,26 +341,9 @@ impl<'a> Parser<'a> {
                     }
                     _ => return Err(Error::new("bad escape sequence")),
                 },
-                Some(b) if b < 0x80 => out.push(b as char),
-                Some(b) => {
-                    // Multi-byte UTF-8: collect the full sequence.
-                    let len = if b >= 0xF0 {
-                        4
-                    } else if b >= 0xE0 {
-                        3
-                    } else {
-                        2
-                    };
-                    let start = self.pos - 1;
-                    for _ in 1..len {
-                        self.bump().ok_or_else(|| Error::new("truncated utf-8"))?;
-                    }
-                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|e| Error::new(format!("invalid utf-8 in string: {e}")))?;
-                    out.push_str(s);
-                }
-                None => return Err(Error::new("unterminated string")),
+                _ => return Err(Error::new("unterminated string")),
             }
+            out.push_str(self.take_clean_run());
         }
     }
 
