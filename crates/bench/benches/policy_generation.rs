@@ -122,6 +122,57 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel hashing fan-out: initial generation under 1, 4 and 8
+/// workers. The report is bit-identical across the sweep (pinned by
+/// proptest); only the wall clock moves.
+fn bench_hash_worker_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("policy/hash_workers");
+    for workers in [1usize, 4, 8] {
+        group.bench_function(format!("initial_generation_w{workers}"), |b| {
+            let config = GeneratorConfig {
+                hash_workers: workers,
+                ..GeneratorConfig::paper_default()
+            };
+            b.iter(|| {
+                DynamicPolicyGenerator::generate_initial(
+                    black_box(&f.mirror_day0),
+                    "5.15.0-76",
+                    0,
+                    config.clone(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One day's delta extraction on top of an incremental diff: the
+/// generator applies the diff, closes the update window, and emits the
+/// typed delta a fleet push distributes.
+fn bench_delta_generation(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("policy/diff_plus_take_delta", |b| {
+        b.iter_batched(
+            || {
+                DynamicPolicyGenerator::generate_initial(
+                    &f.mirror_day0,
+                    "5.15.0-76",
+                    0,
+                    GeneratorConfig::paper_default(),
+                )
+                .0
+            },
+            |mut generator| {
+                generator.apply_diff(black_box(&f.diff), 1);
+                generator.finish_update_window();
+                generator.take_delta()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
 fn bench_policy_serialization(c: &mut Criterion) {
     let f = fixture();
     let (generator, _) = DynamicPolicyGenerator::generate_initial(
@@ -143,6 +194,8 @@ criterion_group!(
     benches,
     bench_initial_generation,
     bench_incremental_vs_full,
+    bench_hash_worker_sweep,
+    bench_delta_generation,
     bench_policy_serialization
 );
 criterion_main!(benches);

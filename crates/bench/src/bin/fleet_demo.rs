@@ -91,6 +91,10 @@ fn engine_at_scale_act() {
 
     let transport = LossyTransport::new(DROP_RATE, 2026);
     let mut cluster = Cluster::with_transport(7, config, transport);
+    // One shared policy snapshot serves the whole fleet: enrolment takes
+    // an Arc handle per agent instead of a policy copy, and a later
+    // publish reaches all 1,000 agents as one epoch bump.
+    cluster.publish_policy(RuntimePolicy::new());
     let enroll_start = Instant::now();
     for i in 0..FLEET {
         let machine = MachineConfig {
@@ -99,7 +103,7 @@ fn engine_at_scale_act() {
             ..MachineConfig::default()
         };
         cluster
-            .add_machine(machine, RuntimePolicy::new())
+            .add_machine_shared(machine)
             .expect("enrolment retries through the loss");
     }
     println!("enrolled {FLEET} agents in {:?}", enroll_start.elapsed());
@@ -110,11 +114,16 @@ fn engine_at_scale_act() {
 
     assert_eq!(report.results.len() as u64, FLEET);
     assert!(report.all_reached(), "zero agents silently skipped");
+    assert!(
+        report.epoch_converged(),
+        "every agent appraised the published epoch"
+    );
     println!(
-        "round complete in {elapsed:?}: {} verified, {} failed, {} unreachable",
+        "round complete in {elapsed:?}: {} verified, {} failed, {} unreachable (policy {})",
         report.verified_count(),
         report.failed_count(),
-        report.unreachable_count()
+        report.unreachable_count(),
+        report.policy_epoch
     );
 
     let metrics = cluster.scheduler.snapshot();
@@ -166,6 +175,7 @@ fn run_chaos_fleet(quarantine: bool, print_timeline: bool) -> MetricsSnapshot {
         config,
         ChaosTransport::new(ReliableTransport::new(), plan),
     );
+    cluster.publish_policy(RuntimePolicy::new());
     for i in 0..FLEET {
         let machine = MachineConfig {
             hostname: format!("node-{i:04}"),
@@ -173,7 +183,7 @@ fn run_chaos_fleet(quarantine: bool, print_timeline: bool) -> MetricsSnapshot {
             ..MachineConfig::default()
         };
         cluster
-            .add_machine(machine, RuntimePolicy::new())
+            .add_machine_shared(machine)
             .expect("enrolment rides the clean pre-chaos rounds");
     }
 

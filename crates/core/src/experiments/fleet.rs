@@ -135,6 +135,9 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         .expect("fleet verifier config is valid");
     let transport = LossyTransport::new(config.drop_rate, config.seed ^ 0x10a11);
     let mut cluster = Cluster::with_transport(config.seed, verifier_config, transport);
+    // One shared policy serves the whole fleet: publish it once, then
+    // every enrolment is an `Arc` handle onto the same snapshot.
+    cluster.publish_policy(generator.policy().clone());
     // One revocation subscriber per node (each node watches the bus).
     let subscribers: Vec<usize> = (0..config.nodes)
         .map(|_| cluster.revocation_bus.subscribe())
@@ -159,9 +162,7 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         for pkg in &installed {
             machine.apt.install(&mut machine.vfs, pkg).unwrap();
         }
-        let id = cluster
-            .add_agent(Agent::new(machine), generator.policy().clone())
-            .unwrap();
+        let id = cluster.add_agent_shared(Agent::new(machine)).unwrap();
         ids.push(id);
     }
 
@@ -169,16 +170,13 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
     let mut report = FleetReport::default();
 
     for day in 1..=config.days {
-        // Shared mirror sync + one generator pass for the whole fleet.
+        // Shared mirror sync + one generator pass for the whole fleet;
+        // distribution is one delta publish — O(changed entries), not
+        // O(fleet × policy).
         repo.apply_release(&stream.next_day());
         let diff = mirror.sync(&repo, day);
         generator.apply_diff(&diff, day);
-        for id in &ids {
-            cluster
-                .verifier
-                .update_policy(id, generator.policy().clone())
-                .unwrap();
-        }
+        cluster.publish_delta(&generator.take_delta());
 
         // Every node updates and works.
         for (n, id) in ids.iter().enumerate() {
@@ -216,6 +214,15 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         // round, retries and all. Every agent yields exactly one result.
         let round = cluster.attest_fleet();
         assert_eq!(round.results.len(), ids.len(), "no agent may go missing");
+        // Every reachable agent must have adopted the day's epoch (only
+        // quarantined agents legitimately pin the last one they acked).
+        if round.health.quarantined == 0 {
+            assert!(
+                round.epoch_converged(),
+                "fleet must converge to epoch {}",
+                round.policy_epoch
+            );
+        }
         for result in &round.results {
             report.attestations += 1;
             match &result.outcome {
@@ -296,6 +303,12 @@ mod tests {
             report.metrics.rounds,
             u64::from(FleetConfig::small(31).days)
         );
+        // Initial publish is epoch 1; one delta push per day follows.
+        assert_eq!(
+            report.metrics.policy_epoch,
+            1 + u64::from(FleetConfig::small(31).days)
+        );
+        assert!(report.metrics.delta_entries_applied > 0);
     }
 
     #[test]

@@ -236,9 +236,10 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
             m.snaps.install(&mut m.vfs, snap).unwrap();
         }
     }
-    let id = cluster
-        .add_agent(agent, generator.policy().clone())
-        .unwrap();
+    // Publish the initial policy once to the shared store, then enrol
+    // the agent as a handle onto it; the run distributes deltas only.
+    cluster.publish_policy(generator.policy().clone());
+    let id = cluster.add_agent_shared(agent).unwrap();
 
     let mut report = LongRunReport {
         initial: initial_report,
@@ -267,11 +268,9 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
             let gen_report = generator.apply_diff(&diff, day);
             let minutes = config.cost_model.update_minutes(&gen_report);
 
-            // ② Push the policy BEFORE the machines update.
-            cluster
-                .verifier
-                .update_policy(&id, generator.policy().clone())
-                .unwrap();
+            // ② Push the day's delta BEFORE the machines update —
+            // O(changed entries) instead of a full policy copy.
+            cluster.publish_delta(&generator.take_delta());
 
             // ③ Machines update from the mirror only.
             let kernel_staged;
@@ -288,10 +287,7 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
             let mut kernel_reboot = false;
             if let Some(release) = kernel_staged {
                 generator.on_kernel_boot(&release);
-                cluster
-                    .verifier
-                    .update_policy(&id, generator.policy().clone())
-                    .unwrap();
+                cluster.publish_delta(&generator.take_delta());
                 cluster
                     .agent_mut(&id)
                     .unwrap()
@@ -301,12 +297,9 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
                 kernel_reboot = true;
             }
 
-            // ⑤ Post-update deduplication, then push the deduped policy.
+            // ⑤ Post-update deduplication, then push the retirements.
             let dedup_removed = generator.finish_update_window();
-            cluster
-                .verifier
-                .update_policy(&id, generator.policy().clone())
-                .unwrap();
+            cluster.publish_delta(&generator.take_delta());
 
             update_record = Some(UpdateRecord {
                 day,
@@ -406,6 +399,24 @@ pub fn run_longrun(config: LongRunConfig) -> LongRunReport {
             report.updates.push(record);
         }
     }
+
+    // Delta distribution must leave the verifier's shared snapshot
+    // structurally identical to the generator's policy, and the agent
+    // converged on the latest epoch (it attested after the last push).
+    let replica_diff = cluster
+        .verifier
+        .policy_store()
+        .policy()
+        .diff(generator.policy());
+    assert!(
+        replica_diff.is_empty(),
+        "delta replica diverged from the generator: {replica_diff:?}"
+    );
+    assert_eq!(
+        cluster.verifier.agent_policy_epoch(&id).unwrap(),
+        cluster.policy_epoch(),
+        "agent must converge to the latest published epoch"
+    );
     report
 }
 

@@ -1,12 +1,15 @@
 //! The dynamic policy generator.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use cia_crypto::{HashAlgorithm, Sha256};
+use cia_crypto::{DigestCache, HashAlgorithm, Sha256};
 use cia_distro::mirror::MirrorDiff;
-use cia_distro::{rewrite_kernel_path, Mirror, Package, Snap};
-use cia_keylime::RuntimePolicy;
+use cia_distro::{rewrite_kernel_path, Mirror, Package, PackageFile, Snap};
+use cia_keylime::{PolicyDelta, RuntimePolicy};
 use serde::{Deserialize, Serialize};
+
+/// Default size of the package-hashing worker pool.
+pub const DEFAULT_HASH_WORKERS: usize = 4;
 
 /// Configuration of the generator.
 #[derive(Debug, Clone)]
@@ -18,6 +21,11 @@ pub struct GeneratorConfig {
     /// §III-C SNAP mitigation (a): also record SNAP executables under
     /// their truncated in-sandbox paths so measured SNAP entries match.
     pub snap_scrubbing: bool,
+    /// Worker threads hashing package executables. The digest cache is
+    /// prefilled in parallel; report assembly stays serial in input
+    /// order, so the generated policy and report are bit-identical for
+    /// any worker count (a property test pins {1, 4, 8}).
+    pub hash_workers: usize,
 }
 
 impl GeneratorConfig {
@@ -27,6 +35,7 @@ impl GeneratorConfig {
         GeneratorConfig {
             excludes: vec!["/tmp".to_string()],
             snap_scrubbing: true,
+            hash_workers: DEFAULT_HASH_WORKERS,
         }
     }
 
@@ -35,8 +44,24 @@ impl GeneratorConfig {
         GeneratorConfig {
             excludes: Vec::new(),
             snap_scrubbing: true,
+            hash_workers: DEFAULT_HASH_WORKERS,
         }
     }
+}
+
+/// What one [`DynamicPolicyGenerator::finish_update_window_stats`] pass
+/// did, in timing-free operation counts (regression tests gate on these
+/// instead of wall-clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DedupStats {
+    /// Distinct paths examined — exactly one retain pass runs per path,
+    /// however many times it was touched during the window.
+    pub distinct_paths: usize,
+    /// Duplicate touch records skipped by the sort+dedup (the old
+    /// implementation ran a full retain pass for each of these).
+    pub duplicates_skipped: usize,
+    /// Superseded digests dropped from the policy.
+    pub digests_removed: usize,
 }
 
 /// What one generation pass did — the raw material for Figs. 3–5 and
@@ -81,6 +106,15 @@ pub struct DynamicPolicyGenerator {
     /// Module/vmlinuz paths of the active kernel (dropped when it is
     /// superseded after a reboot).
     active_kernel_paths: Vec<String>,
+    /// Entry operations since the last [`DynamicPolicyGenerator::take_delta`]
+    /// — the O(changed) update a verifier's policy store replays instead
+    /// of receiving the whole policy again.
+    pending_delta: PolicyDelta,
+    /// Content-addressed digest cache: package file contents are pure
+    /// functions of their `content_seed`, so the seed is the identity key
+    /// and a file rebuilt under a new path (kernel rewrites, re-syncs)
+    /// never hashes twice.
+    digest_cache: DigestCache,
 }
 
 impl DynamicPolicyGenerator {
@@ -101,6 +135,8 @@ impl DynamicPolicyGenerator {
             active_kernel: active_kernel.to_string(),
             staged_kernels: BTreeMap::new(),
             active_kernel_paths: Vec::new(),
+            pending_delta: PolicyDelta::default(),
+            digest_cache: DigestCache::new(),
         };
         for prefix in generator.config.excludes.clone() {
             generator.policy.exclude(prefix);
@@ -112,12 +148,16 @@ impl DynamicPolicyGenerator {
             ..GenerationReport::default()
         };
         let packages: Vec<&Package> = mirror.packages().collect();
+        generator.prehash(packages.iter().flat_map(|p| p.executable_files()));
         for pkg in packages {
             generator.ingest_package(pkg, true, &mut report);
         }
         generator.policy.meta.version = 1;
         generator.policy.meta.generated_day = day;
         report.policy_lines_total = generator.policy.line_count();
+        // The initial policy is distributed whole; the delta stream
+        // starts from it.
+        generator.pending_delta = PolicyDelta::default();
         (generator, report)
     }
 
@@ -126,9 +166,72 @@ impl DynamicPolicyGenerator {
         &self.config
     }
 
-    /// The current policy (clone it to push to a verifier).
+    /// The current policy. Push it whole once (initial enrolment), then
+    /// distribute [`DynamicPolicyGenerator::take_delta`]s.
     pub fn policy(&self) -> &RuntimePolicy {
         &self.policy
+    }
+
+    /// Takes the entry operations accumulated since the last call, as a
+    /// [`PolicyDelta`] stamped with the current policy metadata. Applying
+    /// it to a replica of the previous take's policy reproduces
+    /// [`DynamicPolicyGenerator::policy`] exactly (a property test pins
+    /// this over arbitrary mirror histories), so fleet distribution costs
+    /// O(changed entries) instead of O(policy).
+    pub fn take_delta(&mut self) -> PolicyDelta {
+        let mut delta = std::mem::take(&mut self.pending_delta);
+        // Retire records replay *after* all adds, so only the last retire
+        // per path describes the final state — earlier ones would resurrect
+        // nothing but can wrongly out-survive a later add. Keep the last.
+        if delta.retired.len() > 1 {
+            let mut seen = BTreeSet::new();
+            let mut kept: Vec<(String, String)> = delta
+                .retired
+                .drain(..)
+                .rev()
+                .filter(|(path, _)| seen.insert(path.clone()))
+                .collect();
+            kept.reverse();
+            delta.retired = kept;
+        }
+        // A surviving retire is only faithful if nothing touched the path
+        // since the dedup pass (its digest set is exactly {keep}). When
+        // later adds landed — e.g. the same binary updated again before
+        // the delta was taken — replaying "retire all but keep" last
+        // would wrongly drop them. Rewrite such paths as a removal plus a
+        // re-add of their final digest set, which replays exactly.
+        let conflicted: BTreeSet<String> = delta
+            .retired
+            .iter()
+            .filter(|(path, keep)| {
+                !matches!(self.policy.digests_for(path),
+                          Some(set) if set.len() == 1 && set.contains(keep))
+            })
+            .map(|(path, _)| path.clone())
+            .collect();
+        if !conflicted.is_empty() {
+            delta.retired.retain(|(path, _)| !conflicted.contains(path));
+            delta.added.retain(|(path, _)| !conflicted.contains(path));
+            for path in conflicted {
+                delta.removed_paths.push(path.clone());
+                if let Some(set) = self.policy.digests_for(&path) {
+                    delta
+                        .added
+                        .extend(set.iter().map(|d| (path.clone(), d.clone())));
+                }
+            }
+        }
+        delta.meta = self.policy.meta.clone();
+        delta
+    }
+
+    /// The digest cache's lifetime hit/miss counters (cache effectiveness
+    /// metric: a re-synced mirror re-hashes nothing).
+    pub fn digest_cache_stats(&self) -> (u64, u64) {
+        (
+            self.digest_cache.hit_count(),
+            self.digest_cache.miss_count(),
+        )
     }
 
     /// The kernel release the policy currently authorises.
@@ -145,6 +248,7 @@ impl DynamicPolicyGenerator {
             packages_added: diff.added.iter().filter(|p| p.has_executables()).count(),
             ..GenerationReport::default()
         };
+        self.prehash(diff.executable_files());
         for pkg in diff.iter() {
             self.ingest_package(pkg, false, &mut report);
         }
@@ -204,7 +308,7 @@ impl DynamicPolicyGenerator {
                         self.record_entry(path, digest, &mut report);
                     }
                 } else {
-                    self.staged_kernels.insert(release, entries);
+                    self.stage_kernel(release, entries);
                 }
                 continue;
             }
@@ -216,6 +320,52 @@ impl DynamicPolicyGenerator {
         self.policy.meta.generated_day = day;
         report.policy_lines_total = self.policy.line_count();
         Ok(report)
+    }
+
+    /// Fans the digest work for `files` out across the configured worker
+    /// pool, filling the content-addressed cache. Workers race only on
+    /// cache slots (first writer wins; all compute the same digest), so
+    /// the outcome is independent of scheduling. The serial ingest that
+    /// follows then assembles policy and report in input order from cache
+    /// hits — which is what keeps generation bit-identical across worker
+    /// counts.
+    fn prehash<'a>(&self, files: impl Iterator<Item = &'a PackageFile>) {
+        let todo: Vec<&PackageFile> = files
+            .filter(|f| !self.digest_cache.contains(f.content_seed))
+            .collect();
+        let workers = self.config.hash_workers.max(1).min(todo.len());
+        if workers <= 1 {
+            for file in todo {
+                self.digest_cache
+                    .get_or_compute(file.content_seed, || hash_file_content(&file.content()));
+            }
+            return;
+        }
+        let (tx, rx) = crossbeam::channel::unbounded::<&PackageFile>();
+        for file in todo {
+            tx.send(file).expect("queue open");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let cache = &self.digest_cache;
+                scope.spawn(move || {
+                    while let Ok(file) = rx.recv() {
+                        cache.get_or_compute(file.content_seed, || {
+                            hash_file_content(&file.content())
+                        });
+                    }
+                });
+            }
+        });
+    }
+
+    /// The digest of one package file, served from the content-addressed
+    /// cache (prefilled by [`DynamicPolicyGenerator::prehash`]).
+    fn hash_file(&self, file: &PackageFile) -> String {
+        self.digest_cache
+            .get_or_compute(file.content_seed, || hash_file_content(&file.content()))
     }
 
     /// Hashes one package's executables into the policy.
@@ -234,7 +384,7 @@ impl DynamicPolicyGenerator {
         }
 
         for file in pkg.executable_files() {
-            let digest = hash_file_content(&file.content());
+            let digest = self.hash_file(file);
             report.nominal_bytes += file.nominal_size;
             report.files_hashed += 1;
             self.record_entry(file.install_path.clone(), digest, report);
@@ -253,7 +403,7 @@ impl DynamicPolicyGenerator {
         let mut entries = Vec::new();
         for file in pkg.executable_files() {
             let path = rewrite_kernel_path(&file.install_path, release);
-            let digest = hash_file_content(&file.content());
+            let digest = self.hash_file(file);
             report.nominal_bytes += file.nominal_size;
             report.files_hashed += 1;
             entries.push((path, digest));
@@ -270,8 +420,18 @@ impl DynamicPolicyGenerator {
             // §III-C: "when a machine performs an update without
             // rebooting, the policy can tentatively ignore the new
             // kernels" — stage until boot.
-            self.staged_kernels.insert(release.to_string(), entries);
+            self.stage_kernel(release.to_string(), entries);
         }
+    }
+
+    /// Stages a not-yet-active kernel's entries and records the staging
+    /// in the pending delta (informational: staged entries are not policy
+    /// operations until the reboot).
+    fn stage_kernel(&mut self, release: String, entries: Vec<(String, String)>) {
+        if !self.pending_delta.staged_kernels.contains(&release) {
+            self.pending_delta.staged_kernels.push(release.clone());
+        }
+        self.staged_kernels.insert(release, entries);
     }
 
     fn record_entry(&mut self, path: String, digest: String, report: &mut GenerationReport) {
@@ -280,6 +440,9 @@ impl DynamicPolicyGenerator {
             self.policy.allow(path.clone(), digest.clone());
             report.lines_added += 1;
             report.policy_bytes_added += path.len() as u64 + 64 + 3;
+            self.pending_delta
+                .added
+                .push((path.clone(), digest.clone()));
             self.canonical.insert(path.clone(), digest);
             self.pending_dedup.push(path);
         }
@@ -289,13 +452,43 @@ impl DynamicPolicyGenerator {
     /// every path touched since the last call, returning how many were
     /// removed.
     pub fn finish_update_window(&mut self) -> usize {
-        let before = self.policy.line_count();
-        for path in self.pending_dedup.drain(..) {
-            if let Some(latest) = self.canonical.get(&path) {
+        self.finish_update_window_stats().digests_removed
+    }
+
+    /// Like [`DynamicPolicyGenerator::finish_update_window`] but returns
+    /// operation counts.
+    ///
+    /// One linear pass: the touched-path log is sorted and deduplicated,
+    /// then exactly one retain pass runs per *distinct* path — and only
+    /// when the path actually carries a superseded digest. (The first
+    /// implementation ran a retain pass per touch record, so a path
+    /// updated k times in a window cost k full scans — quadratic over a
+    /// busy window.)
+    pub fn finish_update_window_stats(&mut self) -> DedupStats {
+        let mut pending = std::mem::take(&mut self.pending_dedup);
+        let touches = pending.len();
+        pending.sort_unstable();
+        pending.dedup();
+        let mut stats = DedupStats {
+            distinct_paths: pending.len(),
+            duplicates_skipped: touches - pending.len(),
+            digests_removed: 0,
+        };
+        for path in pending {
+            let Some(latest) = self.canonical.get(&path) else {
+                continue;
+            };
+            let stale = self
+                .policy
+                .digests_for(&path)
+                .map_or(0, |set| set.len().saturating_sub(1));
+            if stale > 0 {
                 self.policy.dedup_retain(&path, latest);
+                stats.digests_removed += stale;
+                self.pending_delta.retired.push((path, latest.clone()));
             }
         }
-        before - self.policy.line_count()
+        stats
     }
 
     /// Called when the fleet reboots into `release` (which must have been
@@ -311,13 +504,32 @@ impl DynamicPolicyGenerator {
             return false;
         };
         // Disallow the outdated kernel's files.
-        for path in std::mem::take(&mut self.active_kernel_paths) {
-            self.policy.remove_path(&path);
-            self.canonical.remove(&path);
+        let removed: BTreeSet<String> = std::mem::take(&mut self.active_kernel_paths)
+            .into_iter()
+            .collect();
+        for path in &removed {
+            self.policy.remove_path(path);
+            self.canonical.remove(path);
         }
+        // Delta replay applies removals before adds: scrub pending adds
+        // (and now-moot retires) for the removed paths so they don't
+        // resurrect the retired kernel on a replica, then record the
+        // removals.
+        self.pending_delta
+            .added
+            .retain(|(path, _)| !removed.contains(path));
+        self.pending_delta
+            .retired
+            .retain(|(path, _)| !removed.contains(path));
+        self.pending_delta.removed_paths.extend(removed);
+        // The staged release is active now, not pending-staged.
+        self.pending_delta.staged_kernels.retain(|r| r != release);
         self.active_kernel_paths = entries.iter().map(|(p, _)| p.clone()).collect();
         for (path, digest) in entries {
             self.policy.allow(path.clone(), digest.clone());
+            self.pending_delta
+                .added
+                .push((path.clone(), digest.clone()));
             self.canonical.insert(path, digest);
         }
         self.active_kernel = release.to_string();
@@ -340,6 +552,9 @@ impl DynamicPolicyGenerator {
                     format!("/{rel}")
                 };
                 self.policy.allow(truncated.clone(), digest.clone());
+                self.pending_delta
+                    .added
+                    .push((truncated.clone(), digest.clone()));
                 self.canonical.insert(truncated, digest);
             }
         }
@@ -620,6 +835,167 @@ mod tests {
         ));
         // Nothing — not even the good manifest — was applied.
         assert_eq!(generator.policy().line_count(), lines_before);
+    }
+
+    /// The generated policy and report must not depend on the hashing
+    /// worker count — prehash only warms a content-addressed cache;
+    /// assembly is serial in input order.
+    #[test]
+    fn generation_is_identical_across_worker_counts() {
+        let run = |workers: usize| {
+            let (mut stream, mut repo, mut mirror) = synced_mirror();
+            let config = GeneratorConfig {
+                hash_workers: workers,
+                ..GeneratorConfig::paper_default()
+            };
+            let (mut generator, initial) =
+                DynamicPolicyGenerator::generate_initial(&mirror, "5.15.0-76", 0, config);
+            let mut reports = vec![initial];
+            for day in 1..12 {
+                repo.apply_release(&stream.next_day());
+                let diff = mirror.sync(&repo, day);
+                reports.push(generator.apply_diff(&diff, day));
+                generator.finish_update_window();
+            }
+            (reports, generator.policy().to_json())
+        };
+        let (reports_1, policy_1) = run(1);
+        for workers in [4, 8] {
+            let (reports_n, policy_n) = run(workers);
+            assert_eq!(reports_1, reports_n, "reports differ at {workers} workers");
+            assert_eq!(policy_1, policy_n, "policy differs at {workers} workers");
+        }
+    }
+
+    /// The digest cache makes re-ingesting unchanged content free: the
+    /// second generator pass over the same mirror hashes nothing new.
+    #[test]
+    fn digest_cache_hits_on_unchanged_content() {
+        let (mut stream, mut repo, mut mirror) = synced_mirror();
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        let (_, misses_initial) = generator.digest_cache_stats();
+        assert!(misses_initial > 0, "initial generation computes digests");
+        for day in 1..8 {
+            repo.apply_release(&stream.next_day());
+            let diff = mirror.sync(&repo, day);
+            let changed_files: usize = diff.executable_files().count();
+            let (_, before) = generator.digest_cache_stats();
+            generator.apply_diff(&diff, day);
+            let (_, after) = generator.digest_cache_stats();
+            assert!(
+                after - before <= changed_files as u64,
+                "at most one digest computation per changed file"
+            );
+        }
+    }
+
+    /// Regression (perf): `finish_update_window` is one linear pass. A
+    /// path touched k times in a window must trigger exactly one retain
+    /// pass, not k — the stats expose the operation counts so the gate is
+    /// timing-free.
+    #[test]
+    fn update_window_dedup_is_single_pass_per_path() {
+        let repo = Repository::with_packages(vec![]);
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        // One path updated 50 times, another updated once.
+        let mut report = GenerationReport::default();
+        for rev in 0..50u32 {
+            generator.record_entry("/usr/bin/busy".into(), format!("{rev:064}"), &mut report);
+        }
+        generator.record_entry("/usr/bin/calm".into(), "f".repeat(64), &mut report);
+        let stats = generator.finish_update_window_stats();
+        assert_eq!(stats.distinct_paths, 2);
+        assert_eq!(stats.duplicates_skipped, 49, "49 touch records skipped");
+        // /usr/bin/busy held 50 digests, 49 superseded; calm held 1.
+        assert_eq!(stats.digests_removed, 49);
+        assert_eq!(generator.finish_update_window(), 0, "window already clean");
+    }
+
+    /// Applying each day's [`DynamicPolicyGenerator::take_delta`] to a
+    /// replica reproduces the generator's policy exactly — including the
+    /// adversarial add-retire-add interleavings around update windows and
+    /// kernel reboots.
+    #[test]
+    fn delta_stream_reproduces_policy_on_a_replica() {
+        let (mut stream, mut repo, mut mirror) = synced_mirror();
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        let mut replica = generator.policy().clone();
+        let mut ops = 0usize;
+        for day in 1..25 {
+            repo.apply_release(&stream.next_day());
+            let diff = mirror.sync(&repo, day);
+            generator.apply_diff(&diff, day);
+            // Take mid-window on even days (adds only), post-window on
+            // odd ones (adds + retires), to cover both delta shapes.
+            if day % 2 == 1 {
+                generator.finish_update_window();
+            }
+            ops += replica.apply_delta(&generator.take_delta());
+            assert!(
+                replica.diff(generator.policy()).is_empty(),
+                "replica diverged on day {day}"
+            );
+        }
+        assert!(ops > 0, "the stream must carry real updates");
+        assert_eq!(replica.to_json(), generator.policy().to_json());
+    }
+
+    /// Kernel staging and reboot are faithful in the delta stream too:
+    /// the reboot's removals and re-adds replay on a replica.
+    #[test]
+    fn kernel_reboot_rides_the_delta_stream() {
+        let repo = Repository::with_packages(vec![kernel_pkg(76)]);
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        let mut replica = generator.policy().clone();
+
+        let mut repo2 = repo.clone();
+        repo2.apply_release(&ReleaseEvent {
+            day: 1,
+            packages: vec![kernel_pkg(77)],
+        });
+        let diff = mirror.sync(&repo2, 1);
+        generator.apply_diff(&diff, 1);
+        let staged = generator.take_delta();
+        assert_eq!(staged.staged_kernels, vec!["5.15.0-77".to_string()]);
+        assert!(staged.is_empty(), "staging adds no entries yet");
+        replica.apply_delta(&staged);
+
+        assert!(generator.on_kernel_boot("5.15.0-77"));
+        let boot = generator.take_delta();
+        assert!(!boot.removed_paths.is_empty(), "old modules disallowed");
+        assert!(boot.staged_kernels.is_empty(), "the release went active");
+        replica.apply_delta(&boot);
+        assert!(replica.diff(generator.policy()).is_empty());
+        assert!(replica
+            .digests_for("/lib/modules/5.15.0-76/drivers/net.ko")
+            .is_none());
+        assert!(replica
+            .digests_for("/lib/modules/5.15.0-77/drivers/net.ko")
+            .is_some());
     }
 
     #[test]

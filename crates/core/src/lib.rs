@@ -38,5 +38,7 @@ pub mod generator;
 pub mod initial_policy;
 
 pub use costmodel::CostModel;
-pub use generator::{DynamicPolicyGenerator, GenerationReport, GeneratorConfig};
+pub use generator::{
+    DedupStats, DynamicPolicyGenerator, GenerationReport, GeneratorConfig, DEFAULT_HASH_WORKERS,
+};
 pub use initial_policy::scan_machine_policy;

@@ -15,6 +15,74 @@ use proptest::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
+    /// Delta faithfulness: for an arbitrary mirror history — skipped
+    /// sync days, mid-window or post-window delta takes, kernel reboots
+    /// implied by the stream — replaying every
+    /// [`DynamicPolicyGenerator::take_delta`] on a replica of the initial
+    /// policy reproduces the generator's policy structurally
+    /// (`PolicyDiff` empty) after every single take.
+    #[test]
+    fn delta_replay_matches_generator(
+        seed in 0u64..1000,
+        days in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..15),
+    ) {
+        let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(seed));
+        let mut mirror = Mirror::new();
+        mirror.sync(&repo, 0);
+        let (mut generator, _) = DynamicPolicyGenerator::generate_initial(
+            &mirror,
+            "5.15.0-76",
+            0,
+            GeneratorConfig::paper_default(),
+        );
+        let mut replica = generator.policy().clone();
+
+        for (i, &(sync, dedup)) in days.iter().enumerate() {
+            let day = i as u32 + 1;
+            repo.apply_release(&stream.next_day());
+            if sync {
+                let diff = mirror.sync(&repo, day);
+                generator.apply_diff(&diff, day);
+                if dedup {
+                    generator.finish_update_window();
+                }
+            }
+            replica.apply_delta(&generator.take_delta());
+            let diff = replica.diff(generator.policy());
+            prop_assert!(diff.is_empty(), "replica diverged on day {day}: {diff:?}");
+        }
+        // Bit-level agreement at the end, not just structural.
+        prop_assert_eq!(replica.to_json(), generator.policy().to_json());
+    }
+
+    /// Worker-count independence: the same history generates a
+    /// bit-identical policy and reports under 1, 4 and 8 hash workers.
+    #[test]
+    fn generation_reports_independent_of_workers(
+        seed in 0u64..500,
+        day_count in 1usize..8,
+    ) {
+        let run = |workers: usize| {
+            let (mut stream, mut repo) = ReleaseStream::new(StreamProfile::small(seed));
+            let mut mirror = Mirror::new();
+            mirror.sync(&repo, 0);
+            let config = GeneratorConfig { hash_workers: workers, ..GeneratorConfig::paper_default() };
+            let (mut generator, initial) =
+                DynamicPolicyGenerator::generate_initial(&mirror, "5.15.0-76", 0, config);
+            let mut reports = vec![initial];
+            for day in 1..=day_count as u32 {
+                repo.apply_release(&stream.next_day());
+                let diff = mirror.sync(&repo, day);
+                reports.push(generator.apply_diff(&diff, day));
+            }
+            (reports, generator.policy().to_json())
+        };
+        let baseline = run(1);
+        for workers in [4usize, 8] {
+            prop_assert_eq!(&run(workers), &baseline, "workers = {}", workers);
+        }
+    }
+
     /// Coverage invariant across arbitrary update cadences.
     #[test]
     fn policy_always_covers_the_mirror(

@@ -36,7 +36,7 @@ pub mod keys;
 pub mod sha1;
 pub mod sha256;
 
-pub use cache::Derived;
+pub use cache::{Derived, DigestCache};
 pub use digest::{Digest, HashAlgorithm};
 pub use hmac::Hmac;
 pub use keys::{KeyPair, Signature, SigningKey, VerifyingKey};

@@ -53,6 +53,12 @@ impl MirrorDiff {
     pub fn packages_with_executables(&self) -> usize {
         self.iter().filter(|p| p.has_executables()).count()
     }
+
+    /// Every executable file carried by the diff, in `iter()` order —
+    /// the work-list a policy generator prehashes before ingesting.
+    pub fn executable_files(&self) -> impl Iterator<Item = &crate::package::PackageFile> {
+        self.iter().flat_map(|p| p.executable_files())
+    }
 }
 
 impl Mirror {
@@ -173,6 +179,7 @@ mod tests {
         assert_eq!(diff.changed.len(), 1);
         assert_eq!(diff.added.len(), 1);
         assert_eq!(diff.packages_with_executables(), 2);
+        assert_eq!(diff.executable_files().count(), 2);
 
         // Nothing changed since: empty diff.
         let diff2 = mirror.sync(&repo, 2);

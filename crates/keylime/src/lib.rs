@@ -118,6 +118,7 @@ pub mod policy;
 pub mod registrar;
 pub mod revocation;
 pub mod scheduler;
+pub mod store;
 pub mod tenant;
 pub mod transport;
 pub mod verifier;
@@ -129,12 +130,13 @@ pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use error::KeylimeError;
 pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
-pub use policy::{PolicyCheck, PolicyDiff, PolicyMeta, RuntimePolicy};
+pub use policy::{PolicyCheck, PolicyDelta, PolicyDiff, PolicyMeta, RuntimePolicy};
 pub use registrar::Registrar;
 pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
 pub use scheduler::{
     AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundOutcome, RoundReport, SchedulerMetrics,
 };
+pub use store::{PolicyEpoch, PolicyStore, SharedPolicy};
 pub use tenant::{Cluster, Tenant};
 pub use transport::{LossyTransport, ReliableTransport, Transport, TransportError};
 pub use verifier::{

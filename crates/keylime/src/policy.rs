@@ -13,11 +13,23 @@
 //! digests are dropped ([`RuntimePolicy::dedup_retain`]).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cia_crypto::{hex, Derived, Digest};
 use serde::{Deserialize, Serialize};
 
 use crate::error::KeylimeError;
+
+/// Deep copies of [`RuntimePolicy`] performed since process start; the
+/// delta-push benchmark gates fleet distribution on this staying flat
+/// (analogous to the zero-alloc gate on the appraisal hot path).
+static POLICY_DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Full [`PolicyIndex`] builds since process start. A shared-store fleet
+/// builds the index at most once per published epoch, no matter how many
+/// agents appraise against it.
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Policy document metadata.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +86,46 @@ impl PolicyDiff {
     }
 }
 
+/// One update window's worth of policy change, as emitted by the dynamic
+/// generator: what travels to the verifier instead of the full document.
+///
+/// [`RuntimePolicy::apply_delta`] replays a delta in a fixed order —
+/// removals, then additions, then retirements — so a path that appears in
+/// more than one list (the common case: a digest added during the window
+/// and deduplicated at its close, or a kernel path dropped and re-added
+/// on reboot) resolves deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDelta {
+    /// `(path, digest)` pairs appended during the window (update-window
+    /// retention: existing digests stay allowed).
+    pub added: Vec<(String, String)>,
+    /// Paths dropped entirely (e.g. modules of the kernel a reboot
+    /// retired).
+    pub removed_paths: Vec<String>,
+    /// `(path, canonical digest)` pairs from post-window deduplication:
+    /// every other digest for the path is dropped.
+    pub retired: Vec<(String, String)>,
+    /// Kernel releases whose entries were staged (not yet active) during
+    /// the window; informational for operators and metrics.
+    pub staged_kernels: Vec<String>,
+    /// Metadata of the policy the delta advances to.
+    pub meta: PolicyMeta,
+}
+
+impl PolicyDelta {
+    /// True when applying the delta would not change any entry (metadata
+    /// updates alone do not count).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed_paths.is_empty() && self.retired.is_empty()
+    }
+
+    /// Total entry operations carried (adds + removals + retirements) —
+    /// the `delta_entries_applied` metric.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed_paths.len() + self.retired.len()
+    }
+}
+
 /// The verifier-side allowlist for one machine.
 ///
 /// # Examples
@@ -89,7 +141,7 @@ impl PolicyDiff {
 /// assert_eq!(policy.check("/tmp/anything", "??"), PolicyCheck::Excluded);
 /// assert_eq!(policy.check("/usr/bin/xz", "bb"), PolicyCheck::NotInPolicy);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RuntimePolicy {
     /// Path → allowed SHA-256 digests (lowercase hex).
     digests: BTreeMap<String, BTreeSet<String>>,
@@ -105,6 +157,22 @@ pub struct RuntimePolicy {
     /// [`RuntimePolicy::allow`]/[`RuntimePolicy::remove_path`]/
     /// [`RuntimePolicy::dedup_retain`] once first computed.
     totals: Derived<PolicyTotals>,
+}
+
+/// Every clone of a policy is a *deep* copy of the full digest map and is
+/// counted, so benches can prove that fleet-wide distribution through the
+/// shared store performs none (agents swap `Arc` handles instead).
+impl Clone for RuntimePolicy {
+    fn clone(&self) -> Self {
+        POLICY_DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+        RuntimePolicy {
+            digests: self.digests.clone(),
+            excludes: self.excludes.clone(),
+            meta: self.meta.clone(),
+            index: self.index.clone(),
+            totals: self.totals.clone(),
+        }
+    }
 }
 
 /// Rendered-size accounting for one policy: the paper's "lines" (one per
@@ -175,7 +243,7 @@ impl RawDigest {
 ///
 /// Rebuilt lazily after any mutation or deserialization; lookups are two
 /// binary searches and zero heap allocations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct PolicyIndex {
     paths: Vec<Box<str>>,
     starts: Vec<u32>,
@@ -185,6 +253,7 @@ struct PolicyIndex {
 
 impl PolicyIndex {
     fn build(digests: &BTreeMap<String, BTreeSet<String>>, excludes: &[String]) -> PolicyIndex {
+        INDEX_BUILDS.fetch_add(1, Ordering::Relaxed);
         let mut index = PolicyIndex {
             paths: Vec::with_capacity(digests.len()),
             starts: Vec::with_capacity(digests.len() + 1),
@@ -239,6 +308,151 @@ impl PolicyIndex {
             }
         }
         false
+    }
+
+    /// Appends one path with an already-sorted, deduplicated digest span.
+    fn push_span(&mut self, path: Box<str>, span: &[RawDigest]) {
+        self.paths.push(path);
+        self.starts.push(self.raw.len() as u32);
+        self.raw.extend_from_slice(span);
+    }
+
+    /// Appends `path` with its span re-parsed from the authoritative
+    /// post-delta map — the fallback for retired paths, whose final digest
+    /// set (usually a single canonical entry) is cheapest to read back.
+    /// Skips the path when it is absent from the map.
+    fn push_from_map(
+        &mut self,
+        path: Box<str>,
+        digests: &BTreeMap<String, BTreeSet<String>>,
+        scratch: &mut Vec<RawDigest>,
+    ) {
+        let Some(set) = digests.get(path.as_ref()) else {
+            return;
+        };
+        scratch.clear();
+        scratch.extend(set.iter().filter_map(|d| RawDigest::parse(d)));
+        scratch.sort_unstable();
+        self.paths.push(path);
+        self.starts.push(self.raw.len() as u32);
+        self.raw.append(scratch);
+    }
+
+    /// Sorted-merge of a built index with a [`PolicyDelta`]: interned
+    /// paths move over without re-interning, untouched digest spans copy
+    /// over without re-parsing hex, and only the delta's own entries (plus
+    /// the final sets of retired paths) are parsed. `digests` is the map
+    /// *after* the delta was applied — the authority the merged index must
+    /// agree with.
+    fn merge_delta(
+        old: PolicyIndex,
+        delta: &PolicyDelta,
+        digests: &BTreeMap<String, BTreeSet<String>>,
+    ) -> PolicyIndex {
+        let PolicyIndex {
+            paths: old_paths,
+            starts: old_starts,
+            raw: old_raw,
+            excludes,
+        } = old;
+
+        // Group the delta's additions by path (sorted, for the merge) and
+        // parse only these new digests. Paths whose added entries are all
+        // non-canonical still get a slot, exactly as in a full build.
+        let mut added: BTreeMap<&str, Vec<RawDigest>> = BTreeMap::new();
+        for (path, digest) in &delta.added {
+            let span = added.entry(path.as_str()).or_default();
+            span.extend(RawDigest::parse(digest));
+        }
+        let removed: BTreeSet<&str> = delta.removed_paths.iter().map(String::as_str).collect();
+        let retired: BTreeSet<&str> = delta.retired.iter().map(|(p, _)| p.as_str()).collect();
+
+        let mut merged = PolicyIndex {
+            paths: Vec::with_capacity(old_paths.len() + added.len()),
+            starts: Vec::with_capacity(old_paths.len() + added.len() + 1),
+            raw: Vec::with_capacity(old_raw.len() + delta.added.len()),
+            excludes,
+        };
+        let mut scratch: Vec<RawDigest> = Vec::new();
+        let mut union: Vec<RawDigest> = Vec::new();
+
+        let mut emit_new = |merged: &mut PolicyIndex, path: &str, mut span: Vec<RawDigest>| {
+            if retired.contains(path) {
+                merged.push_from_map(path.into(), digests, &mut scratch);
+            } else {
+                span.sort_unstable();
+                span.dedup();
+                merged.push_span(path.into(), &span);
+            }
+        };
+
+        let mut added_iter = added.into_iter().peekable();
+        let mut retired_scratch: Vec<RawDigest> = Vec::new();
+        for (i, path) in old_paths.into_iter().enumerate() {
+            // Brand-new paths that sort before this existing one.
+            while added_iter
+                .peek()
+                .is_some_and(|(apath, _)| *apath < path.as_ref())
+            {
+                let (apath, span) = added_iter.next().expect("peeked");
+                emit_new(&mut merged, apath, span);
+            }
+            let old_span = &old_raw[old_starts[i] as usize..old_starts[i + 1] as usize];
+            if added_iter
+                .peek()
+                .is_some_and(|(apath, _)| *apath == path.as_ref())
+            {
+                let (_, mut span) = added_iter.next().expect("peeked");
+                if retired.contains(path.as_ref()) {
+                    merged.push_from_map(path, digests, &mut retired_scratch);
+                } else if removed.contains(path.as_ref()) {
+                    // Removed then re-added: only the delta's digests
+                    // survive (removals apply before additions).
+                    span.sort_unstable();
+                    span.dedup();
+                    merged.push_span(path, &span);
+                } else {
+                    // Union of the untouched old span and the additions.
+                    span.sort_unstable();
+                    span.dedup();
+                    union.clear();
+                    union.reserve(old_span.len() + span.len());
+                    let (mut a, mut b) = (old_span.iter().peekable(), span.iter().peekable());
+                    while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+                        match x.cmp(&y) {
+                            std::cmp::Ordering::Less => {
+                                union.push(x);
+                                a.next();
+                            }
+                            std::cmp::Ordering::Greater => {
+                                union.push(y);
+                                b.next();
+                            }
+                            std::cmp::Ordering::Equal => {
+                                union.push(x);
+                                a.next();
+                                b.next();
+                            }
+                        }
+                    }
+                    union.extend(a.copied());
+                    union.extend(b.copied());
+                    let span_ref: &[RawDigest] = &union;
+                    merged.push_span(path, span_ref);
+                }
+            } else if removed.contains(path.as_ref()) {
+                // Dropped entirely; nothing re-added it.
+            } else if retired.contains(path.as_ref()) {
+                merged.push_from_map(path, digests, &mut retired_scratch);
+            } else {
+                merged.push_span(path, old_span);
+            }
+        }
+        for (apath, span) in added_iter {
+            emit_new(&mut merged, apath, span);
+        }
+        merged.starts.push(merged.raw.len() as u32);
+        merged
     }
 }
 
@@ -463,6 +677,64 @@ impl RuntimePolicy {
         serde_json::from_str(text).map_err(|e| KeylimeError::PolicyFormat {
             reason: e.to_string(),
         })
+    }
+
+    /// Applies one generator-emitted delta in order — removals, then
+    /// additions, then retirements — and adopts the delta's metadata.
+    /// Returns the number of entry operations applied.
+    ///
+    /// When the binary index is already built, it is *merged* rather than
+    /// rebuilt: interned paths and parsed digest spans for untouched
+    /// entries carry over, and only the delta's own entries are parsed
+    /// ([`PolicyIndex::merge_delta`]) — O(policy + delta) pointer moves
+    /// instead of O(policy) hex parsing and interning. A property test
+    /// pins this equal to rebuilding from the merged JSON document.
+    pub fn apply_delta(&mut self, delta: &PolicyDelta) -> usize {
+        let old_index = self.index.get_mut().map(mem::take);
+        self.index.clear();
+        for path in &delta.removed_paths {
+            self.remove_path(path);
+        }
+        for (path, digest) in &delta.added {
+            self.allow(path.clone(), digest.clone());
+        }
+        for (path, keep) in &delta.retired {
+            self.dedup_retain(path, keep);
+        }
+        self.meta = delta.meta.clone();
+        if let Some(old) = old_index {
+            self.index
+                .prime(PolicyIndex::merge_delta(old, delta, &self.digests));
+        }
+        delta.len()
+    }
+
+    /// Forces the binary index to exist now (it otherwise builds lazily on
+    /// the first appraisal). The policy store warms each published
+    /// snapshot so the per-epoch build cost is paid at publish time, once,
+    /// rather than by the first agent to appraise.
+    pub fn warm_index(&self) {
+        let _ = self.index();
+    }
+
+    /// Deep copies of any `RuntimePolicy` since process start (see the
+    /// `Clone` impl). Benchmarks gate fleet-wide distribution on this.
+    pub fn deep_clone_count() -> u64 {
+        POLICY_DEEP_CLONES.load(Ordering::Relaxed)
+    }
+
+    /// Full index builds since process start; delta merges do not count.
+    pub fn index_build_count() -> u64 {
+        INDEX_BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// True when the (possibly merged) binary index is byte-identical to
+    /// one rebuilt from scratch off the authoritative hex document. Test
+    /// support for the delta-merge property tests; forces a build when no
+    /// index exists yet.
+    #[doc(hidden)]
+    pub fn index_is_consistent(&self) -> bool {
+        *self.index() == PolicyIndex::build(&self.digests, &self.excludes)
     }
 }
 
@@ -731,5 +1003,151 @@ mod tests {
             p.check("/lib/modules/old/x.ko", "aa"),
             PolicyCheck::NotInPolicy
         );
+    }
+
+    fn hex_digest(tag: &str) -> String {
+        use cia_crypto::HashAlgorithm;
+        HashAlgorithm::Sha256.digest(tag.as_bytes()).to_hex()
+    }
+
+    /// Applies `delta` two ways — incrementally onto a warm-indexed clone,
+    /// and by mutating a cold copy that rebuilds from scratch — and checks
+    /// both the map-level diff and the index bytes agree.
+    fn assert_delta_matches_rebuild(base: &RuntimePolicy, delta: &PolicyDelta) {
+        let mut incremental = base.clone();
+        incremental.warm_index();
+        incremental.apply_delta(delta);
+        assert!(
+            incremental.index.get().is_some(),
+            "apply_delta on a warm policy must leave a merged index, not a lazy slot"
+        );
+
+        let mut rebuilt = base.clone();
+        rebuilt.apply_delta(delta);
+        let rebuilt = RuntimePolicy::from_json(&rebuilt.to_json()).unwrap();
+
+        assert!(incremental.diff(&rebuilt).is_empty());
+        assert_eq!(incremental.meta, delta.meta);
+        assert!(incremental.index_is_consistent(), "merged index diverged");
+    }
+
+    #[test]
+    fn apply_delta_adds_removes_and_retires() {
+        let mut base = RuntimePolicy::new();
+        base.exclude("/tmp");
+        for i in 0..50 {
+            base.allow(
+                format!("/usr/bin/tool-{i:02}"),
+                hex_digest(&format!("v1-{i}")),
+            );
+        }
+        base.allow("/lib/modules/5.15.0-1/a.ko", hex_digest("mod-a"));
+        base.allow("/usr/bin/updated", hex_digest("old"));
+
+        let delta = PolicyDelta {
+            added: vec![
+                ("/usr/bin/updated".into(), hex_digest("new")),
+                ("/usr/bin/brand-new".into(), hex_digest("fresh")),
+                ("/lib/modules/5.15.0-2/a.ko".into(), hex_digest("mod-a2")),
+            ],
+            removed_paths: vec!["/lib/modules/5.15.0-1/a.ko".into()],
+            retired: vec![("/usr/bin/updated".into(), hex_digest("new"))],
+            staged_kernels: vec![],
+            meta: PolicyMeta {
+                version: 9,
+                generator: "dynamic-policy-generator".into(),
+                generated_day: 3,
+            },
+        };
+        assert_eq!(delta.len(), 5);
+        assert!(!delta.is_empty());
+        assert_delta_matches_rebuild(&base, &delta);
+
+        let mut p = base.clone();
+        p.warm_index();
+        p.apply_delta(&delta);
+        use cia_crypto::HashAlgorithm;
+        let new = HashAlgorithm::Sha256.digest(b"new");
+        assert_eq!(
+            p.check_digest("/usr/bin/updated", &new),
+            PolicyCheck::Allowed
+        );
+        let old = HashAlgorithm::Sha256.digest(b"old");
+        assert!(matches!(
+            p.check_digest("/usr/bin/updated", &old),
+            PolicyCheck::HashMismatch { .. }
+        ));
+        assert_eq!(
+            p.check_digest("/lib/modules/5.15.0-1/a.ko", &new),
+            PolicyCheck::NotInPolicy
+        );
+        assert_eq!(p.meta.version, 9);
+    }
+
+    #[test]
+    fn apply_delta_remove_then_readd_keeps_only_new_digests() {
+        let mut base = RuntimePolicy::new();
+        base.allow("/lib/modules/5.15/x.ko", hex_digest("old-build"));
+        base.allow("/keep", hex_digest("keep"));
+        let delta = PolicyDelta {
+            added: vec![("/lib/modules/5.15/x.ko".into(), hex_digest("new-build"))],
+            removed_paths: vec!["/lib/modules/5.15/x.ko".into()],
+            ..PolicyDelta::default()
+        };
+        assert_delta_matches_rebuild(&base, &delta);
+        let mut p = base.clone();
+        p.warm_index();
+        p.apply_delta(&delta);
+        let set = p.digests_for("/lib/modules/5.15/x.ko").unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&hex_digest("new-build")));
+    }
+
+    #[test]
+    fn apply_delta_handles_noncanonical_and_empty_cases() {
+        let mut base = RuntimePolicy::new();
+        base.allow("/a", hex_digest("a"));
+        // Non-canonical digests are kept in the document but absent from
+        // the index — same as a full build.
+        let delta = PolicyDelta {
+            added: vec![
+                ("/junk-only".into(), "NOT-HEX".into()),
+                ("/a".into(), "ABCDEF".into()),
+            ],
+            ..PolicyDelta::default()
+        };
+        assert_delta_matches_rebuild(&base, &delta);
+        // An empty delta is a metadata-only no-op.
+        let empty = PolicyDelta::default();
+        assert!(empty.is_empty());
+        assert_delta_matches_rebuild(&base, &empty);
+    }
+
+    #[test]
+    fn apply_delta_on_cold_policy_stays_lazy() {
+        let mut p = RuntimePolicy::new();
+        p.allow("/a", hex_digest("a"));
+        p.apply_delta(&PolicyDelta {
+            added: vec![("/b".into(), hex_digest("b"))],
+            ..PolicyDelta::default()
+        });
+        assert!(
+            p.index.get().is_none(),
+            "no index existed before the delta, so none should exist after"
+        );
+        assert!(p.index_is_consistent());
+    }
+
+    #[test]
+    fn clone_counter_counts_deep_copies() {
+        // Global counters are shared across concurrently running tests,
+        // so only lower bounds are assertable here; the delta-push bench
+        // gate asserts the exact zero single-threaded.
+        let mut p = RuntimePolicy::new();
+        p.allow("/a", "aa");
+        let before = RuntimePolicy::deep_clone_count();
+        let _c = p.clone();
+        let _d = p.clone();
+        assert!(RuntimePolicy::deep_clone_count() >= before + 2);
     }
 }

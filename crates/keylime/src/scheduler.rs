@@ -35,6 +35,7 @@ use serde::{Deserialize, Serialize};
 use crate::agent::Agent;
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
+use crate::store::{PolicyEpoch, SharedPolicy};
 use crate::transport::Transport;
 use crate::verifier::{
     AgentHealth, Alert, AttestationOutcome, HealthCounts, HotStats, ReachClass, Verifier,
@@ -89,6 +90,12 @@ pub struct SchedulerMetrics {
     wire_bytes: AtomicU64,
     /// Nanoseconds spent in the policy-evaluation loop.
     policy_check_ns: AtomicU64,
+    /// The active shared-store epoch (a gauge, set at each round/push).
+    policy_epoch: AtomicU64,
+    /// Nanoseconds spent publishing policies/deltas to the fleet.
+    policy_push_ns: AtomicU64,
+    /// Entry operations applied through policy deltas.
+    delta_entries_applied: AtomicU64,
     latency_ns: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -105,6 +112,15 @@ impl SchedulerMetrics {
     fn record_latency_ns(&self, nanos: u64) {
         let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         Self::add(&self.latency_ns[bucket], 1);
+    }
+
+    /// Records one fleet-wide policy push: the epoch gauge moves to
+    /// `epoch`, and the push duration and delta entry operations (0 for a
+    /// full publish) accumulate.
+    pub fn record_policy_push(&self, epoch: PolicyEpoch, push_ns: u64, delta_entries: u64) {
+        self.policy_epoch.store(epoch.as_u64(), Ordering::Relaxed);
+        Self::add(&self.policy_push_ns, push_ns);
+        Self::add(&self.delta_entries_applied, delta_entries);
     }
 
     /// Captures the registry as a serializable value.
@@ -131,6 +147,9 @@ impl SchedulerMetrics {
             entries_evaluated: self.entries_evaluated.load(Ordering::Relaxed),
             wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
             policy_check_ns: self.policy_check_ns.load(Ordering::Relaxed),
+            policy_epoch: self.policy_epoch.load(Ordering::Relaxed),
+            policy_push_ns: self.policy_push_ns.load(Ordering::Relaxed),
+            delta_entries_applied: self.delta_entries_applied.load(Ordering::Relaxed),
             latency_ns_buckets: self
                 .latency_ns
                 .iter()
@@ -192,6 +211,17 @@ pub struct MetricsSnapshot {
     /// every poll (`policy_check_ns / entries_evaluated` is the per-entry
     /// check cost).
     pub policy_check_ns: u64,
+    /// The active shared-store epoch at the last round or push — a gauge,
+    /// not a counter, so it stays outside the conservation identity.
+    pub policy_epoch: u64,
+    /// Nanoseconds spent publishing policies/deltas fleet-wide. With the
+    /// shared store this is flat in fleet size (one snapshot swap plus
+    /// one `Arc` clone per agent).
+    pub policy_push_ns: u64,
+    /// Entry operations (adds, removals, retirements) applied through
+    /// [`crate::PolicyDelta`]s — the O(changed entries) distribution
+    /// numerator the full-document push never had.
+    pub delta_entries_applied: u64,
     /// Log2 call-latency histogram: bucket i counts calls taking
     /// `[2^i, 2^(i+1))` nanoseconds.
     pub latency_ns_buckets: Vec<u64>,
@@ -237,8 +267,11 @@ impl MetricsSnapshot {
     /// ```
     ///
     /// Quarantine skips consume no calls and are tracked separately, so
-    /// they do not appear in the identity. Holds across any number of
-    /// rounds and any drop/timeout interleaving.
+    /// they do not appear in the identity; likewise the policy-push
+    /// telemetry (`policy_epoch` gauge, `policy_push_ns`,
+    /// `delta_entries_applied`), which never spends transport calls.
+    /// Holds across any number of rounds and any drop/timeout
+    /// interleaving.
     pub fn is_conserved(&self) -> bool {
         self.calls + self.orphaned
             == self.verified + self.failed + self.skipped_paused + self.unreachable + self.retries
@@ -286,6 +319,10 @@ pub struct AgentRoundResult {
     pub attempts: u32,
     /// Total backoff scheduled for this agent, in milliseconds.
     pub backoff_ms: u64,
+    /// The shared-store epoch the agent held when its slot finished —
+    /// the epoch it appraised against (stale for quarantined agents
+    /// pinned on what they last acknowledged, and for overrides).
+    pub policy_epoch: PolicyEpoch,
     /// What happened.
     pub outcome: RoundOutcome,
 }
@@ -298,6 +335,8 @@ pub struct RoundReport {
     /// Per-state health counts over every enrolled agent, taken after
     /// the round's transitions were applied.
     pub health: HealthCounts,
+    /// The shared-store epoch that was active for this round.
+    pub policy_epoch: PolicyEpoch,
 }
 
 impl RoundReport {
@@ -339,6 +378,16 @@ impl RoundReport {
     /// made the decision, it did not lose the agent.
     pub fn all_reached(&self) -> bool {
         self.unreachable_count() == 0
+    }
+
+    /// True when every agent finished the round holding the round's
+    /// active epoch. Meaningful for homogeneous (all-shared) fleets: a
+    /// quarantined agent pinned on an older epoch, or a per-agent
+    /// override, legitimately reports `false` here.
+    pub fn epoch_converged(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| r.policy_epoch == self.policy_epoch)
     }
 
     fn count(&self, pred: impl Fn(&RoundOutcome) -> bool) -> usize {
@@ -395,7 +444,10 @@ impl FleetScheduler {
     where
         T: Transport + Sync,
     {
-        let (config, records) = verifier.scheduler_view();
+        let (config, shared, records) = verifier.scheduler_view();
+        self.metrics
+            .policy_epoch
+            .store(shared.epoch.as_u64(), Ordering::Relaxed);
 
         // Pair each enrolled record with its agent process. Lanes are
         // assigned by enrolment-map order (sorted ids), so a fleet's drop
@@ -404,7 +456,7 @@ impl FleetScheduler {
             agents.iter_mut().map(|a| (a.id().clone(), a)).collect();
 
         let mut jobs: Vec<Job<'_>> = Vec::new();
-        let mut orphaned: Vec<AgentId> = Vec::new();
+        let mut orphaned: Vec<(AgentId, PolicyEpoch)> = Vec::new();
         for (lane, (id, record)) in records.iter_mut().enumerate() {
             match agent_by_id.remove(id) {
                 Some(agent) => jobs.push(Job {
@@ -413,7 +465,7 @@ impl FleetScheduler {
                     record,
                     agent,
                 }),
-                None => orphaned.push(id.clone()),
+                None => orphaned.push((id.clone(), record.policy_epoch())),
             }
         }
 
@@ -431,10 +483,12 @@ impl FleetScheduler {
                 let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
                 let metrics = Arc::clone(&self.metrics);
+                let shared = &shared;
                 scope.spawn(move || {
                     while let Ok(job) = job_rx.recv() {
                         let mut lane_transport = transport.fork(job.lane);
-                        let result = attest_with_retry(&config, &metrics, job, &mut lane_transport);
+                        let result =
+                            attest_with_retry(&config, shared, &metrics, job, &mut lane_transport);
                         // The lane is fresh per job, so its byte total is
                         // exactly this agent's round traffic.
                         SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
@@ -449,7 +503,7 @@ impl FleetScheduler {
         drop(job_rx);
 
         let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
-        for id in orphaned {
+        for (id, policy_epoch) in orphaned {
             SchedulerMetrics::add(&self.metrics.unreachable, 1);
             SchedulerMetrics::add(&self.metrics.orphaned, 1);
             results.push(AgentRoundResult {
@@ -457,6 +511,7 @@ impl FleetScheduler {
                 day: 0,
                 attempts: 0,
                 backoff_ms: 0,
+                policy_epoch,
                 outcome: RoundOutcome::Unreachable {
                     reason: "no agent process supplied for enrolled id".to_string(),
                 },
@@ -469,7 +524,11 @@ impl FleetScheduler {
         for record in records.values() {
             health.count(record.health());
         }
-        RoundReport { results, health }
+        RoundReport {
+            results,
+            health,
+            policy_epoch: shared.epoch,
+        }
     }
 }
 
@@ -478,6 +537,7 @@ impl FleetScheduler {
 /// result. Never panics, never loses the agent.
 fn attest_with_retry<T: Transport>(
     config: &VerifierConfig,
+    shared: &SharedPolicy,
     metrics: &SchedulerMetrics,
     job: Job<'_>,
     transport: &mut T,
@@ -497,6 +557,7 @@ fn attest_with_retry<T: Transport>(
                 day,
                 attempts: 0,
                 backoff_ms: 0,
+                policy_epoch: job.record.policy_epoch(),
                 outcome: RoundOutcome::SkippedQuarantined { next_probe_in },
             };
         }
@@ -512,7 +573,7 @@ fn attest_with_retry<T: Transport>(
         let mut hot = HotStats::default();
         let start = Instant::now();
         let result = Verifier::attest_record(
-            config, job.record, &job.id, transport, job.agent, day, &mut hot,
+            config, shared, job.record, &job.id, transport, job.agent, day, &mut hot,
         );
         let elapsed = start.elapsed();
         SchedulerMetrics::add(&metrics.entries_evaluated, hot.entries_evaluated);
@@ -548,6 +609,7 @@ fn attest_with_retry<T: Transport>(
                     day,
                     attempts,
                     backoff_ms: backoff_ms_total,
+                    policy_epoch: job.record.policy_epoch(),
                     outcome: round_outcome,
                 };
             }
@@ -566,6 +628,7 @@ fn attest_with_retry<T: Transport>(
                 day,
                 attempts,
                 backoff_ms: backoff_ms_total,
+                policy_epoch: job.record.policy_epoch(),
                 outcome: RoundOutcome::Unreachable {
                     reason: error.to_string(),
                 },
@@ -667,10 +730,28 @@ mod tests {
         snap.retries = 2;
         snap.quarantine_skips = 99;
         assert!(snap.is_conserved());
+        // Neither does the policy-push telemetry: gauge and push costs
+        // spend no transport calls.
+        snap.policy_epoch = 17;
+        snap.policy_push_ns = 123_456;
+        snap.delta_entries_applied = 42;
+        assert!(snap.is_conserved());
         assert!(
             MetricsSnapshot::default().is_conserved(),
             "empty is conserved"
         );
+    }
+
+    #[test]
+    fn policy_push_recording() {
+        let m = SchedulerMetrics::new();
+        m.record_policy_push(PolicyEpoch::ZERO.next(), 500, 3);
+        m.record_policy_push(PolicyEpoch::ZERO.next().next(), 700, 4);
+        let snap = m.snapshot();
+        assert_eq!(snap.policy_epoch, 2, "gauge holds the latest epoch");
+        assert_eq!(snap.policy_push_ns, 1200, "push time accumulates");
+        assert_eq!(snap.delta_entries_applied, 7);
+        assert!(snap.is_conserved());
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The epoch-tagged shared policy store.
+//!
+//! Fleet-wide policy distribution used to be O(fleet × policy): every
+//! agent record owned a full [`RuntimePolicy`] clone, each with its own
+//! lazily rebuilt binary index. [`PolicyStore`] holds one
+//! `Arc<RuntimePolicy>` snapshot tagged with a monotonically increasing
+//! [`PolicyEpoch`]; a fleet-wide push is one `Arc` swap per agent and the
+//! digest index is built exactly once per epoch (the store warms it at
+//! publish time). Per-agent *overrides* remain possible for heterogeneous
+//! fleets — e.g. the snap-scrubbed subset from §III-B keeps its own
+//! policy and simply opts out of the shared snapshot.
+//!
+//! Deltas compose with the store: [`PolicyStore::publish_delta`] applies a
+//! [`PolicyDelta`] to an owned buffer and swaps the published `Arc`, so a
+//! daily update is O(delta) — independent of fleet size — and in steady
+//! state performs **zero** policy deep copies: the previous epoch's
+//! snapshot is *retired* at publish time and, once every agent has
+//! adopted the newer epoch (dropping its handle), *reclaimed* as the
+//! spare buffer the next epoch is built into. The spare sits one delta
+//! behind the published snapshot, so a publish replays the recorded
+//! catch-up delta and then the new one — two O(delta) incremental index
+//! merges, no copy, no rebuild. Only a cold start (first delta after a
+//! full publish) or a straggler pinning the old snapshot across an epoch
+//! falls back to one copy-on-write clone.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{PolicyDelta, RuntimePolicy};
+
+/// Monotonically increasing label for one published policy snapshot.
+///
+/// Epoch 0 is the store's empty founding policy; every publish bumps the
+/// epoch by one. Agents record the epoch they last adopted, which is how
+/// the scheduler proves fleet-wide convergence (and how a quarantined
+/// agent's skew — it appraises against the epoch it last acknowledged —
+/// stays observable).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PolicyEpoch(u64);
+
+impl PolicyEpoch {
+    /// The founding epoch (empty policy).
+    pub const ZERO: PolicyEpoch = PolicyEpoch(0);
+
+    /// The raw counter value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch.
+    pub fn next(self) -> PolicyEpoch {
+        PolicyEpoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for PolicyEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable view of the store's current snapshot, cheap to clone and
+/// hand to scheduler workers: the `Arc` handle plus its epoch.
+#[derive(Debug, Clone)]
+pub struct SharedPolicy {
+    /// The published policy snapshot.
+    pub snapshot: Arc<RuntimePolicy>,
+    /// The epoch the snapshot was published as.
+    pub epoch: PolicyEpoch,
+}
+
+/// The verifier-side shared policy store (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PolicyStore {
+    snapshot: Arc<RuntimePolicy>,
+    epoch: PolicyEpoch,
+    /// The previous epoch's snapshot plus the delta that superseded it,
+    /// held until every agent adopts the new epoch and the handle becomes
+    /// uniquely ours again ([`PolicyStore::reclaim`]).
+    retiring: Option<(Arc<RuntimePolicy>, PolicyDelta)>,
+    /// An owned buffer sitting one recorded delta behind `snapshot` —
+    /// fuel for the zero-copy publish fast path.
+    spare: Option<(RuntimePolicy, PolicyDelta)>,
+}
+
+impl Default for PolicyStore {
+    fn default() -> Self {
+        PolicyStore::new()
+    }
+}
+
+impl PolicyStore {
+    /// A store holding the empty policy at epoch 0.
+    pub fn new() -> Self {
+        PolicyStore {
+            snapshot: Arc::new(RuntimePolicy::new()),
+            epoch: PolicyEpoch::ZERO,
+            retiring: None,
+            spare: None,
+        }
+    }
+
+    /// The active epoch.
+    pub fn epoch(&self) -> PolicyEpoch {
+        self.epoch
+    }
+
+    /// The active snapshot handle (an `Arc` clone of this is what agent
+    /// records hold).
+    pub fn snapshot(&self) -> &Arc<RuntimePolicy> {
+        &self.snapshot
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RuntimePolicy {
+        &self.snapshot
+    }
+
+    /// A cheap `(snapshot, epoch)` view for the scheduler.
+    pub fn shared(&self) -> SharedPolicy {
+        SharedPolicy {
+            snapshot: Arc::clone(&self.snapshot),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Publishes a full replacement policy as a new epoch, warming its
+    /// binary index so the per-epoch build happens here, once, instead of
+    /// on the first appraisal.
+    pub fn publish(&mut self, policy: RuntimePolicy) -> PolicyEpoch {
+        self.publish_arc(Arc::new(policy))
+    }
+
+    /// Publishes an already-shared snapshot as a new epoch without any
+    /// policy copy at all. A full replacement invalidates the spare
+    /// buffer (its catch-up delta no longer composes to the new content).
+    pub fn publish_arc(&mut self, policy: Arc<RuntimePolicy>) -> PolicyEpoch {
+        policy.warm_index();
+        self.snapshot = policy;
+        self.epoch = self.epoch.next();
+        self.retiring = None;
+        self.spare = None;
+        self.epoch
+    }
+
+    /// Applies a generator delta and publishes the result as a new epoch.
+    ///
+    /// Steady state (spare buffer available): replay the spare's recorded
+    /// catch-up delta plus `delta` into the owned buffer and swap the
+    /// published `Arc` — **zero** policy deep copies, two incremental
+    /// index merges, no rebuild. Cold start or straggler-pinned: one
+    /// copy-on-write clone. Returns the new epoch and the number of entry
+    /// operations applied.
+    pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
+        self.reclaim();
+        let applied;
+        if let Some((mut buf, lag)) = self.spare.take() {
+            buf.apply_delta(&lag);
+            applied = buf.apply_delta(delta);
+            let old = std::mem::replace(&mut self.snapshot, Arc::new(buf));
+            self.retiring = Some((old, delta.clone()));
+        } else if let Some(sole) = Arc::get_mut(&mut self.snapshot) {
+            // Sole handle (nobody enrolled yet): mutate in place. The old
+            // content no longer exists, so there is nothing to retire.
+            applied = sole.apply_delta(delta);
+        } else {
+            let old = Arc::clone(&self.snapshot);
+            applied = Arc::make_mut(&mut self.snapshot).apply_delta(delta);
+            self.retiring = Some((old, delta.clone()));
+        }
+        // Keep the publish-time guarantee that the snapshot's index is
+        // ready before any appraisal: a no-op when the incremental merge
+        // already primed it.
+        self.snapshot.warm_index();
+        self.epoch = self.epoch.next();
+        (self.epoch, applied)
+    }
+
+    /// Harvests the retired snapshot as the spare buffer if the fleet has
+    /// dropped every handle to it (runs automatically at the top of each
+    /// [`PolicyStore::publish_delta`]; a still-pinned handle is simply
+    /// kept for a later attempt).
+    pub fn reclaim(&mut self) {
+        if self.spare.is_some() {
+            return;
+        }
+        if let Some((arc, lag)) = self.retiring.take() {
+            match Arc::try_unwrap(arc) {
+                Ok(policy) => self.spare = Some((policy, lag)),
+                Err(arc) => self.retiring = Some((arc, lag)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy_with(paths: &[&str]) -> RuntimePolicy {
+        let mut p = RuntimePolicy::new();
+        for path in paths {
+            p.allow(*path, "aa");
+        }
+        p
+    }
+
+    #[test]
+    fn epochs_are_monotonic() {
+        let mut store = PolicyStore::new();
+        assert_eq!(store.epoch(), PolicyEpoch::ZERO);
+        let e1 = store.publish(policy_with(&["/a"]));
+        let e2 = store.publish(policy_with(&["/a", "/b"]));
+        assert!(e1 < e2);
+        assert_eq!(e2, store.epoch());
+        assert_eq!(e1.next(), e2);
+        assert_eq!(format!("{e2}"), "e2");
+        assert_eq!(store.policy().path_count(), 2);
+    }
+
+    #[test]
+    fn publish_arc_is_zero_copy() {
+        let mut store = PolicyStore::new();
+        let snapshot = Arc::new(policy_with(&["/a"]));
+        store.publish_arc(Arc::clone(&snapshot));
+        // Pointer identity proves no copy was taken (the exact deep-clone
+        // counter is asserted single-threaded by the delta-push bench).
+        assert!(Arc::ptr_eq(store.snapshot(), &snapshot));
+    }
+
+    #[test]
+    fn publish_delta_is_copy_on_write() {
+        let mut store = PolicyStore::new();
+        store.publish(policy_with(&["/a"]));
+        // Sole handle: the delta mutates the snapshot in place.
+        let in_place = Arc::as_ptr(store.snapshot());
+        let (epoch, applied) = store.publish_delta(&PolicyDelta {
+            added: vec![("/b".into(), "bb".into())],
+            ..PolicyDelta::default()
+        });
+        assert_eq!(Arc::as_ptr(store.snapshot()), in_place);
+        assert_eq!(applied, 1);
+        assert_eq!(epoch.as_u64(), 2);
+        assert_eq!(store.policy().path_count(), 2);
+
+        // A pinned old snapshot forces one copy-on-write clone — and the
+        // pinned handle keeps observing the old epoch's content.
+        let pinned = Arc::clone(store.snapshot());
+        store.publish_delta(&PolicyDelta {
+            added: vec![("/c".into(), "cc".into())],
+            ..PolicyDelta::default()
+        });
+        assert!(!Arc::ptr_eq(&pinned, store.snapshot()));
+        assert_eq!(pinned.path_count(), 2, "pinned snapshot is immutable");
+        assert_eq!(store.policy().path_count(), 3);
+    }
+
+    fn delta_adding(path: &str) -> PolicyDelta {
+        PolicyDelta {
+            added: vec![(path.into(), "aa".into())],
+            ..PolicyDelta::default()
+        }
+    }
+
+    /// The spare-buffer fast path: once the fleet drops the retired
+    /// snapshot, publishes reuse it via the recorded catch-up delta —
+    /// and the content stays exactly what sequential application yields.
+    #[test]
+    fn reclaimed_spare_replays_the_catchup_delta_faithfully() {
+        let mut store = PolicyStore::new();
+        store.publish(policy_with(&["/a"]));
+
+        // An enrolled fleet: external handles pin the snapshot.
+        let fleet = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/b")); // cold: one CoW copy
+        drop(fleet); // fleet adopts the new epoch
+
+        // Fast path: the retired epoch-1 buffer ("/a") is reclaimed and
+        // must be caught up with the "/b" delta before "/c" lands.
+        let fleet = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/c"));
+        drop(fleet);
+        assert_eq!(store.policy().path_count(), 3);
+        for p in ["/a", "/b", "/c"] {
+            assert!(store.policy().digests_for(p).is_some(), "{p} missing");
+        }
+
+        // And again, one more generation deep.
+        let fleet = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/d"));
+        drop(fleet);
+        assert_eq!(store.policy().path_count(), 4);
+        assert_eq!(store.epoch().as_u64(), 4);
+
+        // The merged index agrees with a from-scratch build every time.
+        assert!(store.policy().index_is_consistent());
+    }
+
+    /// A straggler pinning the retired snapshot across an epoch degrades
+    /// to copy-on-write — never blocks, never corrupts.
+    #[test]
+    fn straggler_pin_degrades_to_copy_on_write() {
+        let mut store = PolicyStore::new();
+        store.publish(policy_with(&["/a"]));
+        let straggler = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/b"));
+        store.publish_delta(&delta_adding("/c")); // straggler still pinned
+        store.publish_delta(&delta_adding("/d"));
+        assert_eq!(straggler.path_count(), 1, "straggler view frozen");
+        assert_eq!(store.policy().path_count(), 4);
+        assert!(store.policy().index_is_consistent());
+    }
+}

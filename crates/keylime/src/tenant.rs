@@ -13,10 +13,11 @@ use crate::audit::{AuditLog, AuditOutcome};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::payload::{KeyShare, PayloadBundle};
-use crate::policy::RuntimePolicy;
+use crate::policy::{PolicyDelta, RuntimePolicy};
 use crate::registrar::Registrar;
 use crate::revocation::{RevocationBus, RevocationEmitter};
 use crate::scheduler::{FleetScheduler, RoundOutcome, RoundReport};
+use crate::store::PolicyEpoch;
 use crate::transport::{ReliableTransport, Transport};
 use crate::verifier::{AgentStatus, Alert, AttestationOutcome, Verifier, VerifierConfig};
 
@@ -177,9 +178,47 @@ impl<T: Transport> Cluster<T> {
     /// retry budget.
     pub fn add_agent(
         &mut self,
-        mut agent: Agent,
+        agent: Agent,
         policy: RuntimePolicy,
     ) -> Result<AgentId, KeylimeError> {
+        let (id, ak) = self.register_with_retry(agent)?;
+        self.verifier.add_agent(id.clone(), ak, policy);
+        Ok(id)
+    }
+
+    /// Builds, registers and enrols a machine attached to the verifier's
+    /// shared policy store: the agent appraises against the store's
+    /// current snapshot and tracks every published epoch. Prefer this
+    /// over [`Cluster::add_machine`] for homogeneous fleets — enrolment
+    /// costs one `Arc` clone instead of a full policy copy.
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_machine_shared(&mut self, config: MachineConfig) -> Result<AgentId, KeylimeError> {
+        let machine = Machine::new(&self.manufacturer, config);
+        self.add_agent_shared(Agent::new(machine))
+    }
+
+    /// Registers and enrols an existing agent attached to the shared
+    /// policy store (see [`Cluster::add_machine_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Registration failures, or transport failures persisting past the
+    /// retry budget.
+    pub fn add_agent_shared(&mut self, agent: Agent) -> Result<AgentId, KeylimeError> {
+        let (id, ak) = self.register_with_retry(agent)?;
+        self.verifier.add_agent_shared(id.clone(), ak);
+        Ok(id)
+    }
+
+    /// Registers an agent with the verifier's retry budget and stores it;
+    /// returns its id and registered AK for enrolment.
+    fn register_with_retry(
+        &mut self,
+        mut agent: Agent,
+    ) -> Result<(AgentId, cia_crypto::VerifyingKey), KeylimeError> {
         let max_retries = self.verifier.config().max_retries;
         let mut attempts = 0u32;
         loop {
@@ -194,9 +233,58 @@ impl<T: Transport> Cluster<T> {
         }
         let id = agent.id().clone();
         let ak = self.registrar.ak_for(&id).expect("just registered").clone();
-        self.verifier.add_agent(id.clone(), ak, policy);
         self.agents.push(agent);
-        Ok(id)
+        Ok((id, ak))
+    }
+
+    /// Publishes a full replacement policy fleet-wide as a new epoch and
+    /// swaps every shared agent's handle onto it (one `Arc` clone per
+    /// agent, no policy copies). Records the push in the scheduler's
+    /// metrics.
+    pub fn publish_policy(&mut self, policy: RuntimePolicy) -> PolicyEpoch {
+        let start = std::time::Instant::now();
+        let epoch = self.verifier.publish_policy(policy);
+        // A full publish applies no *delta* entries — the counter tracks
+        // incremental merge work only.
+        self.scheduler
+            .metrics()
+            .record_policy_push(epoch, start.elapsed().as_nanos() as u64, 0);
+        epoch
+    }
+
+    /// Publishes a generator delta fleet-wide as a new epoch: the store's
+    /// snapshot is updated copy-on-write, its digest index merged
+    /// incrementally, and every shared agent's handle swapped — total
+    /// cost is O(delta), independent of fleet size. Records the push
+    /// (duration and entry count) in the scheduler's metrics; when the
+    /// transport advertises delta support the wire cost metered is the
+    /// serialized delta, otherwise the full policy document.
+    pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
+        let start = std::time::Instant::now();
+        let (epoch, applied) = self.verifier.publish_delta(delta);
+        self.scheduler.metrics().record_policy_push(
+            epoch,
+            start.elapsed().as_nanos() as u64,
+            applied as u64,
+        );
+        (epoch, applied)
+    }
+
+    /// The wire bytes one policy push would cost on this cluster's
+    /// transport: the serialized delta when the transport supports delta
+    /// pushes, the full current policy document otherwise.
+    pub fn policy_push_wire_bytes(&self, delta: &PolicyDelta) -> u64 {
+        let body = if self.transport.supports_delta_push() {
+            serde_json::to_string(delta)
+        } else {
+            serde_json::to_string(self.verifier.policy_store().policy())
+        };
+        body.map(|s| s.len() as u64).unwrap_or(0)
+    }
+
+    /// The shared policy store's active epoch.
+    pub fn policy_epoch(&self) -> PolicyEpoch {
+        self.verifier.current_epoch()
     }
 
     /// The enrolled agent ids, in enrolment order.

@@ -105,6 +105,15 @@ pub trait Transport: Send {
         true
     }
 
+    /// Capability flag: whether the peer accepts incremental policy
+    /// deltas ([`crate::policy::PolicyDelta`]) or needs every update as a
+    /// full policy document. Both built-in transports do; a downgraded
+    /// transport can override this, and the cluster's delta push meters
+    /// the full-policy wire cost instead when it is off.
+    fn supports_delta_push(&self) -> bool {
+        true
+    }
+
     /// Derives an independent transport *lane* for concurrent use.
     ///
     /// The derived transport has fresh counters and — for lossy
@@ -289,6 +298,7 @@ mod tests {
         assert_eq!(t.drops(), 0);
         assert_eq!(t.wire_bytes(), 4, "\"21\" out, \"42\" back");
         assert!(t.supports_structured_excerpt());
+        assert!(t.supports_delta_push());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Keylime verifier: polls agents and issues trust verdicts.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cia_crypto::{Digest, HashAlgorithm, Sha256};
@@ -11,7 +12,8 @@ use serde::{Deserialize, Serialize};
 use crate::agent::{Agent, AgentRequest, AgentResponse, QuoteResponse};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
-use crate::policy::{PolicyCheck, RuntimePolicy};
+use crate::policy::{PolicyCheck, PolicyDelta, RuntimePolicy};
+use crate::store::{PolicyEpoch, PolicyStore, SharedPolicy};
 use crate::transport::Transport;
 
 pub use crate::config::VerifierConfig;
@@ -185,7 +187,19 @@ impl AttestationOutcome {
 #[derive(Debug)]
 pub(crate) struct AgentRecord {
     ak: cia_crypto::VerifyingKey,
-    policy: RuntimePolicy,
+    /// Handle to the policy this agent appraises against. Shared agents
+    /// hold an `Arc` clone of a [`PolicyStore`] snapshot (a fleet-wide
+    /// push is a handle swap, never a deep copy); override agents hold
+    /// their own privately published snapshot.
+    policy: Arc<RuntimePolicy>,
+    /// The store epoch this agent last acknowledged (adopted). A
+    /// quarantined agent keeps appraising against this epoch until it
+    /// recovers, which is exactly the skew the chaos tests exercise.
+    policy_epoch: PolicyEpoch,
+    /// False for agents enrolled with a per-agent override policy (the
+    /// heterogeneous-fleet case, e.g. the snap-scrubbed subset); such
+    /// agents never adopt store snapshots.
+    shared_policy: bool,
     /// Index of the first unprocessed log entry.
     next_entry: usize,
     /// Fold of the template hashes of all *processed* entries.
@@ -207,6 +221,26 @@ impl AgentRecord {
     /// The agent's current reachability health.
     pub(crate) fn health(&self) -> AgentHealth {
         self.health
+    }
+
+    /// The store epoch the agent last acknowledged.
+    pub(crate) fn policy_epoch(&self) -> PolicyEpoch {
+        self.policy_epoch
+    }
+
+    /// Swaps in the published snapshot — one `Arc` clone, zero policy
+    /// copies — if this agent follows the shared store, is behind, and is
+    /// not quarantined (a quarantined agent cannot acknowledge a push; it
+    /// keeps appraising against the epoch it last adopted until its
+    /// recovery round).
+    pub(crate) fn adopt_shared(&mut self, shared: &SharedPolicy) {
+        if self.shared_policy
+            && self.policy_epoch != shared.epoch
+            && self.health != AgentHealth::Quarantined
+        {
+            self.policy = Arc::clone(&shared.snapshot);
+            self.policy_epoch = shared.epoch;
+        }
     }
 
     /// Quarantine scheduling: decides whether this round probes the
@@ -293,6 +327,9 @@ impl AgentRecord {
 pub struct Verifier {
     config: VerifierConfig,
     agents: BTreeMap<AgentId, AgentRecord>,
+    /// The shared policy store: one epoch-tagged snapshot all shared
+    /// agents appraise against.
+    store: PolicyStore,
 }
 
 impl Verifier {
@@ -301,6 +338,7 @@ impl Verifier {
         Verifier {
             config,
             agents: BTreeMap::new(),
+            store: PolicyStore::new(),
         }
     }
 
@@ -315,32 +353,57 @@ impl Verifier {
         self.config = config;
     }
 
-    /// Enrols an agent: its AK public key (from the registrar) and its
-    /// runtime policy.
+    /// Enrols an agent with a per-agent *override* policy: its AK public
+    /// key (from the registrar) and its own runtime policy. Override
+    /// agents never adopt shared-store snapshots — the heterogeneous
+    /// fleet case. For homogeneous fleets prefer
+    /// [`Verifier::add_agent_shared`].
     pub fn add_agent(
         &mut self,
         id: impl Into<AgentId>,
         ak: cia_crypto::VerifyingKey,
         policy: RuntimePolicy,
     ) {
+        let epoch = self.store.epoch();
         self.agents.insert(
             id.into(),
-            AgentRecord {
-                ak,
-                policy,
-                next_entry: 0,
-                replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
-                last_boot_count: None,
-                status: AgentStatus::Trusted,
-                alerts: Vec::new(),
-                attestations: 0,
-                nonce_counter: 0,
-                health: AgentHealth::Healthy,
-                consecutive_unreachable: 0,
-                reprobe_in: 0,
-                reprobe_backoff: 0,
-            },
+            Self::fresh_record(ak, Arc::new(policy), epoch, false),
         );
+    }
+
+    /// Enrols an agent that follows the shared policy store: it starts on
+    /// the current snapshot (one `Arc` clone) and adopts every future
+    /// published epoch.
+    pub fn add_agent_shared(&mut self, id: impl Into<AgentId>, ak: cia_crypto::VerifyingKey) {
+        let snapshot = Arc::clone(self.store.snapshot());
+        let epoch = self.store.epoch();
+        self.agents
+            .insert(id.into(), Self::fresh_record(ak, snapshot, epoch, true));
+    }
+
+    fn fresh_record(
+        ak: cia_crypto::VerifyingKey,
+        policy: Arc<RuntimePolicy>,
+        policy_epoch: PolicyEpoch,
+        shared_policy: bool,
+    ) -> AgentRecord {
+        AgentRecord {
+            ak,
+            policy,
+            policy_epoch,
+            shared_policy,
+            next_entry: 0,
+            replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
+            last_boot_count: None,
+            status: AgentStatus::Trusted,
+            alerts: Vec::new(),
+            attestations: 0,
+            nonce_counter: 0,
+            health: AgentHealth::Healthy,
+            consecutive_unreachable: 0,
+            reprobe_in: 0,
+            reprobe_backoff: 0,
+        }
     }
 
     /// The enrolled agent ids, in order.
@@ -348,7 +411,9 @@ impl Verifier {
         self.agents.keys().cloned().collect()
     }
 
-    /// Replaces an agent's policy (a dynamic policy push).
+    /// Replaces one agent's policy with a per-agent *override* (a
+    /// targeted dynamic policy push). The agent stops following the
+    /// shared store until [`Verifier::use_shared_policy`] re-attaches it.
     ///
     /// # Errors
     ///
@@ -358,9 +423,79 @@ impl Verifier {
         id: &AgentId,
         policy: RuntimePolicy,
     ) -> Result<(), KeylimeError> {
+        let epoch = self.store.epoch();
         let record = self.record_mut(id)?;
-        record.policy = policy;
+        record.policy = Arc::new(policy);
+        record.policy_epoch = epoch;
+        record.shared_policy = false;
         Ok(())
+    }
+
+    /// Re-attaches an agent to the shared store, adopting the current
+    /// snapshot unless the agent is quarantined (it will converge on
+    /// recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn use_shared_policy(&mut self, id: &AgentId) -> Result<(), KeylimeError> {
+        let shared = self.store.shared();
+        let record = self.record_mut(id)?;
+        record.shared_policy = true;
+        record.adopt_shared(&shared);
+        Ok(())
+    }
+
+    /// Publishes a full policy as a new shared-store epoch and hands the
+    /// snapshot to every non-quarantined shared agent (one `Arc` clone
+    /// each — zero policy deep-copies regardless of fleet size).
+    pub fn publish_policy(&mut self, policy: RuntimePolicy) -> PolicyEpoch {
+        self.publish_policy_arc(Arc::new(policy))
+    }
+
+    /// [`Verifier::publish_policy`] for an already-shared snapshot —
+    /// no copy at all, not even at publish.
+    pub fn publish_policy_arc(&mut self, policy: Arc<RuntimePolicy>) -> PolicyEpoch {
+        let epoch = self.store.publish_arc(policy);
+        self.adopt_all();
+        epoch
+    }
+
+    /// Applies a generator delta to the shared snapshot copy-on-write and
+    /// distributes the new epoch ([`PolicyStore::publish_delta`]: at most
+    /// one policy copy total, independent of fleet size). Returns the new
+    /// epoch and the number of entry operations applied.
+    pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
+        let (epoch, applied) = self.store.publish_delta(delta);
+        self.adopt_all();
+        (epoch, applied)
+    }
+
+    fn adopt_all(&mut self) {
+        let shared = self.store.shared();
+        for record in self.agents.values_mut() {
+            record.adopt_shared(&shared);
+        }
+    }
+
+    /// The shared policy store.
+    pub fn policy_store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// The active shared-store epoch.
+    pub fn current_epoch(&self) -> PolicyEpoch {
+        self.store.epoch()
+    }
+
+    /// The store epoch `id` last acknowledged (adopted). For override
+    /// agents this is the epoch current when their override was set.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn agent_policy_epoch(&self, id: &AgentId) -> Result<PolicyEpoch, KeylimeError> {
+        Ok(self.record(id)?.policy_epoch)
     }
 
     /// The agent's current policy.
@@ -369,7 +504,7 @@ impl Verifier {
     ///
     /// [`KeylimeError::UnknownAgent`].
     pub fn policy(&self, id: &AgentId) -> Result<&RuntimePolicy, KeylimeError> {
-        Ok(&self.record(id)?.policy)
+        Ok(self.record(id)?.policy.as_ref())
     }
 
     /// The agent's status.
@@ -507,9 +642,12 @@ impl Verifier {
     ) -> Result<AttestationOutcome, KeylimeError> {
         let id = agent.id().clone();
         let config = self.config;
+        let shared = self.store.shared();
         let record = self.record_mut(&id)?;
         let mut stats = HotStats::default();
-        Self::attest_record(&config, record, &id, transport, agent, day, &mut stats)
+        Self::attest_record(
+            &config, &shared, record, &id, transport, agent, day, &mut stats,
+        )
     }
 
     /// The per-record attestation flow, factored out so the fleet
@@ -518,6 +656,7 @@ impl Verifier {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn attest_record<T: Transport>(
         config: &VerifierConfig,
+        shared: &SharedPolicy,
         record: &mut AgentRecord,
         id: &AgentId,
         transport: &mut T,
@@ -525,6 +664,12 @@ impl Verifier {
         day: u32,
         stats: &mut HotStats,
     ) -> Result<AttestationOutcome, KeylimeError> {
+        // Lazy adoption backstop: a shared agent that missed the eager
+        // push (enrolled later, or just recovered from quarantine) picks
+        // up the current epoch here. No-op for overrides and while
+        // quarantined.
+        record.adopt_shared(shared);
+
         let continue_on_failure = config.continue_on_failure;
         let structured = config.structured_excerpt && transport.supports_structured_excerpt();
 
@@ -766,12 +911,17 @@ impl Verifier {
         }
     }
 
-    /// Hands the scheduler the per-agent records alongside the config
-    /// snapshot, so each worker can own one `&mut AgentRecord`.
+    /// Hands the scheduler the per-agent records alongside the config and
+    /// shared-policy snapshots, so each worker can own one
+    /// `&mut AgentRecord` while all of them read the same epoch.
     pub(crate) fn scheduler_view(
         &mut self,
-    ) -> (VerifierConfig, &mut BTreeMap<AgentId, AgentRecord>) {
-        (self.config, &mut self.agents)
+    ) -> (
+        VerifierConfig,
+        SharedPolicy,
+        &mut BTreeMap<AgentId, AgentRecord>,
+    ) {
+        (self.config, self.store.shared(), &mut self.agents)
     }
 
     fn make_nonce(id: &AgentId, counter: u64) -> Vec<u8> {
@@ -802,21 +952,12 @@ mod tests {
 
     fn record() -> AgentRecord {
         let mut rng = StdRng::seed_from_u64(11);
-        AgentRecord {
-            ak: cia_crypto::KeyPair::generate(&mut rng).verifying,
-            policy: RuntimePolicy::new(),
-            next_entry: 0,
-            replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
-            last_boot_count: None,
-            status: AgentStatus::Trusted,
-            alerts: Vec::new(),
-            attestations: 0,
-            nonce_counter: 0,
-            health: AgentHealth::Healthy,
-            consecutive_unreachable: 0,
-            reprobe_in: 0,
-            reprobe_backoff: 0,
-        }
+        Verifier::fresh_record(
+            cia_crypto::KeyPair::generate(&mut rng).verifying,
+            Arc::new(RuntimePolicy::new()),
+            PolicyEpoch::ZERO,
+            true,
+        )
     }
 
     fn config() -> VerifierConfig {
@@ -954,5 +1095,118 @@ mod tests {
         let counts = verifier.health_counts();
         assert_eq!(counts.healthy, 2);
         assert_eq!(counts.total(), 2);
+    }
+
+    fn test_ak(seed: u64) -> cia_crypto::VerifyingKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        cia_crypto::KeyPair::generate(&mut rng).verifying
+    }
+
+    fn policy_with(paths: &[&str]) -> RuntimePolicy {
+        let mut p = RuntimePolicy::new();
+        for path in paths {
+            p.allow(*path, "aa");
+        }
+        p
+    }
+
+    #[test]
+    fn publish_swaps_handles_for_shared_agents_only() {
+        let mut verifier = Verifier::new(VerifierConfig::default());
+        verifier.add_agent_shared("shared-a", test_ak(1));
+        verifier.add_agent_shared("shared-b", test_ak(2));
+        verifier.add_agent("override", test_ak(3), policy_with(&["/snap-scrubbed"]));
+
+        let epoch = verifier.publish_policy(policy_with(&["/a", "/b"]));
+        assert_eq!(epoch, verifier.current_epoch());
+        let a = AgentId::from("shared-a");
+        let b = AgentId::from("shared-b");
+        let o = AgentId::from("override");
+        assert_eq!(verifier.agent_policy_epoch(&a).unwrap(), epoch);
+        assert_eq!(verifier.agent_policy_epoch(&b).unwrap(), epoch);
+        assert_eq!(verifier.policy(&a).unwrap().path_count(), 2);
+        // Both shared agents hold the *same* snapshot.
+        assert!(Arc::ptr_eq(
+            &verifier.record(&a).unwrap().policy,
+            &verifier.record(&b).unwrap().policy
+        ));
+        // The override agent keeps its own policy and stale epoch.
+        assert_eq!(verifier.policy(&o).unwrap().path_count(), 1);
+        assert!(verifier.agent_policy_epoch(&o).unwrap() < epoch);
+    }
+
+    #[test]
+    fn publish_delta_distributes_incrementally() {
+        let mut verifier = Verifier::new(VerifierConfig::default());
+        verifier.add_agent_shared("node", test_ak(4));
+        verifier.publish_policy(policy_with(&["/a"]));
+        let (epoch, applied) = verifier.publish_delta(&PolicyDelta {
+            added: vec![("/b".into(), "bb".into())],
+            ..PolicyDelta::default()
+        });
+        assert_eq!(applied, 1);
+        let id = AgentId::from("node");
+        assert_eq!(verifier.agent_policy_epoch(&id).unwrap(), epoch);
+        assert_eq!(verifier.policy(&id).unwrap().path_count(), 2);
+    }
+
+    #[test]
+    fn quarantined_agent_keeps_acknowledged_epoch_until_recovery() {
+        let config = config();
+        let mut verifier = Verifier::new(config);
+        verifier.add_agent_shared("node", test_ak(5));
+        let old_epoch = verifier.publish_policy(policy_with(&["/old"]));
+        let id = AgentId::from("node");
+
+        // Drive the agent into quarantine.
+        for _ in 0..4 {
+            verifier
+                .record_mut(&id)
+                .unwrap()
+                .apply_health(ReachClass::Unreachable, &config);
+        }
+        assert_eq!(verifier.health(&id).unwrap(), AgentHealth::Quarantined);
+
+        // A push lands while the agent is partitioned: the fleet moves
+        // on, the quarantined agent still holds what it acknowledged.
+        let new_epoch = verifier.publish_policy(policy_with(&["/old", "/new"]));
+        assert_eq!(verifier.agent_policy_epoch(&id).unwrap(), old_epoch);
+        assert_eq!(verifier.policy(&id).unwrap().path_count(), 1);
+
+        // A successful probe moves it to Recovering; the next adoption
+        // pass (eager or lazy) converges it to the latest epoch.
+        verifier
+            .record_mut(&id)
+            .unwrap()
+            .apply_health(ReachClass::Verified, &config);
+        assert_eq!(verifier.health(&id).unwrap(), AgentHealth::Recovering);
+        let shared = verifier.store.shared();
+        verifier.record_mut(&id).unwrap().adopt_shared(&shared);
+        assert_eq!(verifier.agent_policy_epoch(&id).unwrap(), new_epoch);
+        assert_eq!(verifier.policy(&id).unwrap().path_count(), 2);
+    }
+
+    #[test]
+    fn use_shared_policy_reattaches_an_override() {
+        let mut verifier = Verifier::new(VerifierConfig::default());
+        verifier.add_agent_shared("node", test_ak(6));
+        let epoch = verifier.publish_policy(policy_with(&["/a"]));
+        let id = AgentId::from("node");
+
+        verifier
+            .update_policy(&id, policy_with(&["/mine"]))
+            .unwrap();
+        assert_eq!(verifier.policy(&id).unwrap().path_count(), 1);
+        // Publishing now skips the override...
+        verifier.publish_policy(policy_with(&["/a", "/b"]));
+        assert!(verifier.policy(&id).unwrap().digests_for("/mine").is_some());
+        let _ = epoch;
+        // ...until the agent is re-attached.
+        verifier.use_shared_policy(&id).unwrap();
+        assert_eq!(
+            verifier.agent_policy_epoch(&id).unwrap(),
+            verifier.current_epoch()
+        );
+        assert_eq!(verifier.policy(&id).unwrap().path_count(), 2);
     }
 }

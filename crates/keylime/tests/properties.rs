@@ -1,7 +1,7 @@
 //! Property-based tests for runtime policies and the transport codec.
 
 use cia_crypto::{Digest, HashAlgorithm};
-use cia_keylime::{PolicyCheck, ReliableTransport, RuntimePolicy, Transport};
+use cia_keylime::{PolicyCheck, PolicyDelta, ReliableTransport, RuntimePolicy, Transport};
 use proptest::prelude::*;
 
 fn path() -> impl Strategy<Value = String> {
@@ -140,5 +140,92 @@ proptest! {
         let mut transport = ReliableTransport::new();
         let echoed: Vec<u8> = transport.call(&payload, |p: Vec<u8>| p).unwrap();
         prop_assert_eq!(echoed, payload);
+    }
+}
+
+// --- Delta application ---------------------------------------------------
+
+/// A small pool of paths/digests so random deltas actually collide with
+/// prior policy state (forcing every merge case: re-add after removal,
+/// retire, sorted-union merges, brand-new tails).
+fn pool_path() -> impl Strategy<Value = String> {
+    (0u8..8).prop_map(|i| format!("/bin/p{i}"))
+}
+
+fn pool_digest() -> impl Strategy<Value = String> {
+    // Mostly canonical digests from a 6-value pool; roughly one in seven
+    // is non-canonical — those keep their policy slot but never enter
+    // the binary index's raw span (HashMismatch, not NotInPolicy).
+    (0u8..7).prop_map(|i| {
+        if i < 6 {
+            format!("{i:064x}")
+        } else {
+            "NOT-CANONICAL-HEX".to_string()
+        }
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = PolicyDelta> {
+    (
+        proptest::collection::vec((pool_path(), pool_digest()), 0..6),
+        proptest::collection::vec(pool_path(), 0..3),
+        proptest::collection::vec((pool_path(), pool_digest()), 0..3),
+        0u8..3,
+    )
+        .prop_map(|(added, removed_paths, retired, staged)| PolicyDelta {
+            added,
+            removed_paths,
+            retired,
+            staged_kernels: (0..staged).map(|i| format!("6.1.0-{i}")).collect(),
+            ..PolicyDelta::default()
+        })
+}
+
+proptest! {
+    /// Incremental delta application (with the sorted index merge) is
+    /// indistinguishable from rebuilding the policy from the merged JSON:
+    /// structurally (`PolicyDiff` empty), bit-for-bit (JSON), and at the
+    /// index level, for arbitrary delta sequences over a warm policy.
+    #[test]
+    fn apply_delta_equals_rebuild_from_merged_json(
+        base in proptest::collection::vec((pool_path(), pool_digest()), 0..10),
+        deltas in proptest::collection::vec(arb_delta(), 1..6),
+    ) {
+        let mut incremental = RuntimePolicy::new();
+        for (p, d) in &base {
+            incremental.allow(p.clone(), d.clone());
+        }
+        incremental.warm_index();
+        let mut reference = RuntimePolicy::from_json(&incremental.to_json()).unwrap();
+
+        for (i, delta) in deltas.iter().enumerate() {
+            let mut delta = delta.clone();
+            delta.meta.version = i as u64 + 1;
+            incremental.apply_delta(&delta);
+
+            // Reference path: same mutations, then a full JSON round-trip
+            // so its index is rebuilt from scratch, never merged.
+            for path in &delta.removed_paths {
+                reference.remove_path(path);
+            }
+            for (path, digest) in &delta.added {
+                reference.allow(path.clone(), digest.clone());
+            }
+            for (path, keep) in &delta.retired {
+                reference.dedup_retain(path, keep);
+            }
+            reference.meta = delta.meta.clone();
+            reference = RuntimePolicy::from_json(&reference.to_json()).unwrap();
+
+            prop_assert!(
+                incremental.diff(&reference).is_empty(),
+                "delta {i} diverged: {:?}", incremental.diff(&reference)
+            );
+            prop_assert_eq!(incremental.to_json(), reference.to_json());
+            prop_assert!(
+                incremental.index_is_consistent(),
+                "merged index diverged from a fresh build after delta {i}"
+            );
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! A small cloud fleet under one verifier: ten machines attesting in
-//! lockstep, one of them compromised, secure payload bootstrap gated on
-//! attestation, revocation fan-out, a tamper-evident audit trail, and a
-//! lossy network between the components.
+//! lockstep against one epoch-shared policy snapshot, one of them
+//! compromised, secure payload bootstrap gated on attestation,
+//! revocation fan-out, a fleet-wide delta push, a tamper-evident audit
+//! trail, and a lossy network between the components.
 //!
 //! Run: `cargo run --example fleet_attestation`
 
@@ -16,8 +17,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LossyTransport::new(0.0, 1234),
     );
 
-    // Enrol ten identical nodes with a shared baseline policy.
+    // One baseline policy, published once into the shared store. Every
+    // node enrolled below holds an `Arc` handle to this epoch-1 snapshot
+    // — no per-agent policy copies.
     let baseline = VfsPath::new("/usr/bin/service")?;
+    let service_v1: &[u8] = b"fleet service v1";
+    let mut policy = RuntimePolicy::new();
+    policy.allow(
+        baseline.as_str(),
+        HashAlgorithm::Sha256.digest(service_v1).to_hex(),
+    );
+    policy.exclude("/tmp");
+    let epoch = cluster.publish_policy(policy);
+    println!("published baseline policy as {epoch}");
+
+    // Enrol ten identical nodes against the shared snapshot.
     let mut ids = Vec::new();
     for i in 0..10 {
         let config = MachineConfig {
@@ -26,15 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..MachineConfig::default()
         };
         let mut machine = Machine::new(&cluster.manufacturer, config);
-        machine.write_executable(&baseline, b"fleet service v1")?;
-        let digest = machine.vfs.file_digest(&baseline, HashAlgorithm::Sha256)?;
-        let mut policy = RuntimePolicy::new();
-        policy.allow(baseline.as_str(), digest.to_hex());
-        policy.exclude("/tmp");
-        let id = cluster.add_agent(Agent::new(machine), policy)?;
+        machine.write_executable(&baseline, service_v1)?;
+        let id = cluster.add_agent_shared(Agent::new(machine))?;
         ids.push(id);
     }
-    println!("enrolled {} nodes", ids.len());
+    println!("enrolled {} nodes on {epoch}", ids.len());
 
     // Subscribe a peer system (e.g. a load balancer) to revocations, and
     // provision each node's bootstrap credentials — released only after a
@@ -92,6 +102,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap()
         .is_revoked(&ids[3]));
     println!("revocation for node-03 propagated to subscribers");
+
+    // Day-2 operations: the mirror ships service v2. Distribution is one
+    // typed delta — O(changed entries), not O(fleet × policy): the store
+    // merges it into the shared snapshot once and every agent adopts the
+    // new epoch as an Arc swap.
+    let service_v2: &[u8] = b"fleet service v2";
+    let delta = PolicyDelta {
+        added: vec![(
+            baseline.as_str().to_string(),
+            HashAlgorithm::Sha256.digest(service_v2).to_hex(),
+        )],
+        ..PolicyDelta::default()
+    };
+    println!(
+        "\ndelta push: {} bytes on the wire (the full document is {} bytes)",
+        cluster.policy_push_wire_bytes(&delta),
+        cluster.verifier.policy_store().policy().to_json().len()
+    );
+    let (epoch, applied) = cluster.publish_delta(&delta);
+    println!("applied {applied} entry -> {epoch}, fleet-wide");
+
+    // node-06 takes the update immediately; both service versions verify
+    // during the update window.
+    {
+        let machine = cluster.agent_mut(&ids[6]).unwrap().machine_mut();
+        machine.write_executable(&baseline, service_v2)?;
+        machine.exec(&baseline, ExecMethod::Direct)?;
+    }
+    assert!(cluster.attest(&ids[6])?.is_verified());
+    assert!(cluster.attest(&ids[7])?.is_verified());
+    println!("node-06 on v2 and node-07 on v1 both verify under {epoch}");
 
     // ...and the audit chain holds the whole history, tamper-evidently.
     let head = cluster.audit.head().unwrap();

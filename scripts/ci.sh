@@ -33,6 +33,36 @@ cargo test "${OFFLINE[@]}" -q
 echo "== bench-smoke: single-iteration criterion pass =="
 cargo bench "${OFFLINE[@]}" -p cia-bench -- --test
 
+echo "== bench-smoke: BENCH_policy.json present with current schema =="
+python3 - <<'EOF'
+import json, sys
+
+try:
+    with open("BENCH_policy.json") as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    sys.exit("BENCH_policy.json missing: run "
+             "`cargo run --release -p cia-bench --bin policy_bench "
+             "> BENCH_policy.json` and commit it")
+
+required = [
+    "bench", "policy_entries", "delta_entries", "fleet",
+    "apply_delta", "from_json_rebuild", "apply_delta_speedup_best",
+    "fleet_push", "zero_copy_gate", "hash_worker_sweep",
+]
+missing = [k for k in required if k not in doc]
+if missing or doc.get("bench") != "policy_distribution":
+    sys.exit(f"BENCH_policy.json has a stale schema (missing {missing}): "
+             "regenerate with the policy_bench bin")
+if doc["apply_delta_speedup_best"] < 5.0:
+    sys.exit("recorded apply_delta speedup fell under the 5x acceptance gate")
+gate = doc["zero_copy_gate"]
+if gate["policy_deep_clones"] != 0 or gate["index_full_rebuilds"] != 0:
+    sys.exit("recorded fleet pushes were not zero-copy / rebuild-free")
+print(f"BENCH_policy.json ok: apply_delta {doc['apply_delta_speedup_best']}x, "
+      f"{gate['pushes']} pushes with 0 copies")
+EOF
+
 echo "== chaos: scenario corpus (release) =="
 cargo test "${OFFLINE[@]}" --release --test chaos_scenarios
 if [[ "${CHAOS_LONG:-}" == "1" ]]; then

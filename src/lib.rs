@@ -69,9 +69,9 @@ pub mod prelude {
     pub use cia_ima::{Ima, ImaConfig, ImaPolicy};
     pub use cia_keylime::{
         AgentHealth, AgentId, AgentStatus, AttestationOutcome, ChaosTransport, Cluster, FaultPlan,
-        FaultTarget, FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot,
-        ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy, Tenant, Transport,
-        VerifierConfig,
+        FaultTarget, FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot, PolicyDelta,
+        PolicyEpoch, PolicyStore, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy,
+        Tenant, Transport, VerifierConfig,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};

@@ -422,3 +422,139 @@ fn long_sim_500_rounds_env_gated() {
         .values()
         .all(|&h| h == AgentHealth::Healthy));
 }
+
+/// Epoch skew under partition: policy pushes land *while an agent is
+/// quarantined*. The shared-store contract says the quarantined agent
+/// keeps appraising the last epoch it acknowledged — stale, but
+/// observable in every round result — and converges to the newest epoch
+/// on its first post-recovery round. This run makes one of the skipped
+/// epochs a March-27-style misconfigured push (it forgets a fleet-wide
+/// tool), so the reachable agents false-positive on that epoch while the
+/// pinned victim, still appraising the pre-incident policy, stays clean.
+///
+/// Timeline (quarantine_after = 2 unreachable rounds): the partition
+/// opens at round 2, so the victim is Degraded after round 2 and
+/// Quarantined after round 3 — both pushes (rounds 4 and 5) land while
+/// the victim is quarantined and therefore skipped by eager *and* lazy
+/// adoption.
+#[test]
+fn partition_during_policy_push_pins_acked_epoch_then_converges() {
+    const NODES: u64 = 4;
+    let tool_v1 = VfsPath::new("/usr/bin/service").unwrap();
+    let maint = VfsPath::new("/usr/local/bin/maint").unwrap();
+    let maint_content: &[u8] = b"fleet-wide maintenance";
+    let plan = FaultPlan::new(41).partition(2..7, FaultTarget::lanes([1]));
+    let mut cluster = chaos_cluster(41, plan, 3);
+
+    // One shared policy for everybody, published once at epoch 1.
+    let mut base = RuntimePolicy::new();
+    base.exclude("/tmp");
+    base.allow(tool_v1.as_str(), sha256_hex(b"service v1"));
+    cluster.publish_policy(base);
+
+    let mut ids = Vec::new();
+    for i in 0..NODES {
+        let config = MachineConfig {
+            hostname: format!("node-{i:02}"),
+            seed: 700 + i,
+            ..MachineConfig::default()
+        };
+        let mut machine = Machine::new(&cluster.manufacturer, config);
+        machine.write_executable(&tool_v1, b"service v1").unwrap();
+        machine.exec(&tool_v1, ExecMethod::Direct).unwrap();
+        ids.push(cluster.add_agent_shared(Agent::new(machine)).unwrap());
+    }
+    let victim = ids[1].clone(); // lane 1 == sorted index 1
+    let enrolment_epoch = cluster.policy_epoch();
+    assert_eq!(enrolment_epoch.as_u64(), 1);
+
+    let mut reports = Vec::new();
+    for round in 0..12u64 {
+        if round == 4 {
+            // Misconfigured push lands mid-partition, after the victim
+            // is quarantined: the operator's delta *forgets* the
+            // maintenance tool the fleet runs.
+            cluster.publish_delta(&PolicyDelta::default());
+            // Reachable agents execute the tool the bad epoch omitted.
+            for id in &ids {
+                if id != &victim {
+                    let m = cluster.agent_mut(id).unwrap().machine_mut();
+                    m.write_executable(&maint, maint_content).unwrap();
+                    m.exec(&maint, ExecMethod::Direct).unwrap();
+                }
+            }
+        }
+        if round == 5 {
+            // The corrected delta allows the tool.
+            cluster.publish_delta(&PolicyDelta {
+                added: vec![(maint.as_str().to_string(), sha256_hex(maint_content))],
+                ..PolicyDelta::default()
+            });
+        }
+        cluster.transport.set_round(round);
+        reports.push(cluster.attest_fleet());
+    }
+
+    // Pre-partition rounds: everyone converged on the enrolment epoch.
+    assert!(reports[0].epoch_converged());
+    assert_eq!(reports[0].policy_epoch, enrolment_epoch);
+
+    // The misconfig epoch (round 4): every *reachable* agent FPs at
+    // once; the partitioned victim is unreachable/quarantined, not
+    // failed — and its result still carries the pre-incident epoch.
+    let incident = &reports[4];
+    assert_eq!(incident.policy_epoch.as_u64(), 2);
+    let victim_result =
+        |r: &RoundReport| r.results.iter().find(|x| x.id == victim).cloned().unwrap();
+    for result in &incident.results {
+        if result.id == victim {
+            assert!(
+                !matches!(result.outcome, RoundOutcome::Failed { .. }),
+                "the pinned victim never saw the bad epoch"
+            );
+            assert_eq!(result.policy_epoch, enrolment_epoch, "stale, as acked");
+        } else {
+            assert!(
+                matches!(result.outcome, RoundOutcome::Failed { .. }),
+                "reachable agents FP on the misconfigured epoch: {:?}",
+                result.outcome
+            );
+            assert_eq!(result.policy_epoch, incident.policy_epoch);
+        }
+    }
+    assert!(!incident.epoch_converged(), "skew must be observable");
+
+    // While quarantined, every skipped round still reports the victim
+    // pinned to the epoch it last acknowledged.
+    let skipped: Vec<_> = reports
+        .iter()
+        .map(victim_result)
+        .filter(|r| matches!(r.outcome, RoundOutcome::SkippedQuarantined { .. }))
+        .collect();
+    assert!(!skipped.is_empty(), "quarantine must skip cheaply");
+    for r in &skipped {
+        assert_eq!(r.policy_epoch, enrolment_epoch);
+    }
+
+    // Recovery: the partition heals at round 7; the victim's first
+    // post-heal rounds adopt the corrected epoch and verify cleanly.
+    let last = reports.last().unwrap();
+    assert_eq!(last.policy_epoch.as_u64(), 3);
+    assert!(last.epoch_converged(), "fleet reconverges after the heal");
+    assert_eq!(last.verified_count(), NODES as usize);
+    assert_eq!(cluster.health(&victim).unwrap(), AgentHealth::Healthy);
+    assert!(
+        cluster.alerts(&victim).unwrap().is_empty(),
+        "no FP on the victim"
+    );
+    assert_eq!(
+        cluster.verifier.agent_policy_epoch(&victim).unwrap(),
+        cluster.policy_epoch()
+    );
+
+    // The scheduler metrics carry the push telemetry and stay conserved.
+    let metrics = cluster.scheduler.snapshot();
+    assert_eq!(metrics.policy_epoch, 3);
+    assert_eq!(metrics.delta_entries_applied, 1, "one corrective entry");
+    assert!(metrics.is_conserved());
+}
