@@ -321,8 +321,13 @@ pub struct AgentRoundResult {
     pub backoff_ms: u64,
     /// The shared-store epoch the agent held when its slot finished —
     /// the epoch it appraised against (stale for quarantined agents
-    /// pinned on what they last acknowledged, and for overrides).
+    /// pinned on what they last acknowledged). For override agents this
+    /// is only the epoch current when the override was set — they never
+    /// appraise against store snapshots, which `shared_policy` records.
     pub policy_epoch: PolicyEpoch,
+    /// True when the agent follows the shared store; false for per-agent
+    /// overrides, which [`RoundReport::epoch_converged`] excludes.
+    pub shared_policy: bool,
     /// What happened.
     pub outcome: RoundOutcome,
 }
@@ -380,13 +385,15 @@ impl RoundReport {
         self.unreachable_count() == 0
     }
 
-    /// True when every agent finished the round holding the round's
-    /// active epoch. Meaningful for homogeneous (all-shared) fleets: a
-    /// quarantined agent pinned on an older epoch, or a per-agent
-    /// override, legitimately reports `false` here.
+    /// True when every *shared-store* agent finished the round holding
+    /// the round's active epoch. Override agents are excluded — they
+    /// never appraise against store snapshots, so their stamped epoch
+    /// says nothing about adoption. A quarantined shared agent pinned on
+    /// an older epoch legitimately reports `false` here.
     pub fn epoch_converged(&self) -> bool {
         self.results
             .iter()
+            .filter(|r| r.shared_policy)
             .all(|r| r.policy_epoch == self.policy_epoch)
     }
 
@@ -456,7 +463,7 @@ impl FleetScheduler {
             agents.iter_mut().map(|a| (a.id().clone(), a)).collect();
 
         let mut jobs: Vec<Job<'_>> = Vec::new();
-        let mut orphaned: Vec<(AgentId, PolicyEpoch)> = Vec::new();
+        let mut orphaned: Vec<(AgentId, PolicyEpoch, bool)> = Vec::new();
         for (lane, (id, record)) in records.iter_mut().enumerate() {
             match agent_by_id.remove(id) {
                 Some(agent) => jobs.push(Job {
@@ -465,7 +472,11 @@ impl FleetScheduler {
                     record,
                     agent,
                 }),
-                None => orphaned.push((id.clone(), record.policy_epoch())),
+                None => orphaned.push((
+                    id.clone(),
+                    record.policy_epoch(),
+                    record.follows_shared_store(),
+                )),
             }
         }
 
@@ -503,7 +514,7 @@ impl FleetScheduler {
         drop(job_rx);
 
         let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
-        for (id, policy_epoch) in orphaned {
+        for (id, policy_epoch, shared_policy) in orphaned {
             SchedulerMetrics::add(&self.metrics.unreachable, 1);
             SchedulerMetrics::add(&self.metrics.orphaned, 1);
             results.push(AgentRoundResult {
@@ -512,6 +523,7 @@ impl FleetScheduler {
                 attempts: 0,
                 backoff_ms: 0,
                 policy_epoch,
+                shared_policy,
                 outcome: RoundOutcome::Unreachable {
                     reason: "no agent process supplied for enrolled id".to_string(),
                 },
@@ -558,6 +570,7 @@ fn attest_with_retry<T: Transport>(
                 attempts: 0,
                 backoff_ms: 0,
                 policy_epoch: job.record.policy_epoch(),
+                shared_policy: job.record.follows_shared_store(),
                 outcome: RoundOutcome::SkippedQuarantined { next_probe_in },
             };
         }
@@ -610,6 +623,7 @@ fn attest_with_retry<T: Transport>(
                     attempts,
                     backoff_ms: backoff_ms_total,
                     policy_epoch: job.record.policy_epoch(),
+                    shared_policy: job.record.follows_shared_store(),
                     outcome: round_outcome,
                 };
             }
@@ -629,6 +643,7 @@ fn attest_with_retry<T: Transport>(
                 attempts,
                 backoff_ms: backoff_ms_total,
                 policy_epoch: job.record.policy_epoch(),
+                shared_policy: job.record.follows_shared_store(),
                 outcome: RoundOutcome::Unreachable {
                     reason: error.to_string(),
                 },
@@ -668,6 +683,48 @@ fn update_health(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn round_result(id: &str, epoch: PolicyEpoch, shared_policy: bool) -> AgentRoundResult {
+        AgentRoundResult {
+            id: AgentId::from(id),
+            day: 0,
+            attempts: 1,
+            backoff_ms: 0,
+            policy_epoch: epoch,
+            shared_policy,
+            outcome: RoundOutcome::Verified { new_entries: 0 },
+        }
+    }
+
+    /// Regression (review finding): an override agent stamped with the
+    /// active epoch must not count as converged — it never appraises
+    /// against the shared snapshot. A lagging shared agent still breaks
+    /// convergence.
+    #[test]
+    fn epoch_converged_reflects_shared_store_adoption_only() {
+        let active = PolicyEpoch::ZERO.next().next();
+        let stale = PolicyEpoch::ZERO.next();
+        let mut report = RoundReport {
+            results: vec![
+                round_result("shared-current", active, true),
+                round_result("override-at-active-epoch", active, false),
+                round_result("override-stale", stale, false),
+            ],
+            health: HealthCounts::default(),
+            policy_epoch: active,
+        };
+        assert!(
+            report.epoch_converged(),
+            "override epochs must not enter the convergence signal"
+        );
+        report
+            .results
+            .push(round_result("shared-lagging", stale, true));
+        assert!(
+            !report.epoch_converged(),
+            "a lagging shared agent breaks it"
+        );
+    }
 
     #[test]
     fn latency_histogram_buckets() {

@@ -16,12 +16,13 @@
 //! state performs **zero** policy deep copies: the previous epoch's
 //! snapshot is *retired* at publish time and, once every agent has
 //! adopted the newer epoch (dropping its handle), *reclaimed* as the
-//! spare buffer the next epoch is built into. The spare sits one delta
-//! behind the published snapshot, so a publish replays the recorded
-//! catch-up delta and then the new one — two O(delta) incremental index
-//! merges, no copy, no rebuild. Only a cold start (first delta after a
-//! full publish) or a straggler pinning the old snapshot across an epoch
-//! falls back to one copy-on-write clone.
+//! spare buffer the next epoch is built into. The spare sits some number
+//! of recorded deltas behind the published snapshot (one per epoch it
+//! missed), so a publish replays the catch-up deltas in order and then
+//! the new one — O(delta) incremental index merges, no copy, no rebuild.
+//! Only a cold start (first delta after a full publish) or a straggler
+//! pinning the old snapshot across an epoch falls back to one
+//! copy-on-write clone.
 
 use std::fmt;
 use std::sync::Arc;
@@ -78,13 +79,15 @@ pub struct SharedPolicy {
 pub struct PolicyStore {
     snapshot: Arc<RuntimePolicy>,
     epoch: PolicyEpoch,
-    /// The previous epoch's snapshot plus the delta that superseded it,
-    /// held until every agent adopts the new epoch and the handle becomes
-    /// uniquely ours again ([`PolicyStore::reclaim`]).
-    retiring: Option<(Arc<RuntimePolicy>, PolicyDelta)>,
-    /// An owned buffer sitting one recorded delta behind `snapshot` —
-    /// fuel for the zero-copy publish fast path.
-    spare: Option<(RuntimePolicy, PolicyDelta)>,
+    /// The previous retired snapshot plus the ordered deltas that
+    /// superseded it (every epoch published since it was retired — the
+    /// in-place fast path appends here too), held until every agent
+    /// adopts a newer epoch and the handle becomes uniquely ours again
+    /// ([`PolicyStore::reclaim`]).
+    retiring: Option<(Arc<RuntimePolicy>, Vec<PolicyDelta>)>,
+    /// An owned buffer sitting `lag.len()` recorded deltas behind
+    /// `snapshot` — fuel for the zero-copy publish fast path.
+    spare: Option<(RuntimePolicy, Vec<PolicyDelta>)>,
 }
 
 impl Default for PolicyStore {
@@ -150,27 +153,36 @@ impl PolicyStore {
     /// Applies a generator delta and publishes the result as a new epoch.
     ///
     /// Steady state (spare buffer available): replay the spare's recorded
-    /// catch-up delta plus `delta` into the owned buffer and swap the
-    /// published `Arc` — **zero** policy deep copies, two incremental
-    /// index merges, no rebuild. Cold start or straggler-pinned: one
+    /// catch-up deltas plus `delta` into the owned buffer and swap the
+    /// published `Arc` — **zero** policy deep copies, incremental index
+    /// merges only, no rebuild. Cold start or straggler-pinned: one
     /// copy-on-write clone. Returns the new epoch and the number of entry
     /// operations applied.
     pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
         self.reclaim();
         let applied;
         if let Some((mut buf, lag)) = self.spare.take() {
-            buf.apply_delta(&lag);
+            for catchup in &lag {
+                buf.apply_delta(catchup);
+            }
             applied = buf.apply_delta(delta);
             let old = std::mem::replace(&mut self.snapshot, Arc::new(buf));
-            self.retiring = Some((old, delta.clone()));
+            self.retiring = Some((old, vec![delta.clone()]));
         } else if let Some(sole) = Arc::get_mut(&mut self.snapshot) {
-            // Sole handle (nobody enrolled yet): mutate in place. The old
-            // content no longer exists, so there is nothing to retire.
+            // Sole current handle (nobody holds this epoch): mutate in
+            // place. A straggler may still pin an *older* retired
+            // snapshot, though — its catch-up lag must grow by this
+            // delta or a later reclaim would replay a stale lag and
+            // publish a policy missing these entries (or resurrecting
+            // digests they revoked).
             applied = sole.apply_delta(delta);
+            if let Some((_, lag)) = &mut self.retiring {
+                lag.push(delta.clone());
+            }
         } else {
             let old = Arc::clone(&self.snapshot);
             applied = Arc::make_mut(&mut self.snapshot).apply_delta(delta);
-            self.retiring = Some((old, delta.clone()));
+            self.retiring = Some((old, vec![delta.clone()]));
         }
         // Keep the publish-time guarantee that the snapshot's index is
         // ready before any appraisal: a no-op when the incremental merge
@@ -297,6 +309,50 @@ mod tests {
         assert_eq!(store.epoch().as_u64(), 4);
 
         // The merged index agrees with a from-scratch build every time.
+        assert!(store.policy().index_is_consistent());
+    }
+
+    /// Regression (review finding): an in-place publish while a straggler
+    /// pins an *older* retired snapshot must extend that snapshot's
+    /// catch-up lag. Sequence: publish /a, pin straggler, delta +b (CoW
+    /// retires /a), delta +c (current snapshot solely held → in-place),
+    /// drop straggler, delta +d (reclaims /a as the spare and replays the
+    /// lag). The stale-lag bug silently published a policy missing /c.
+    #[test]
+    fn in_place_publish_extends_the_pinned_stragglers_catchup_lag() {
+        let mut store = PolicyStore::new();
+        store.publish(policy_with(&["/a"]));
+        let straggler = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/b")); // CoW; /a retires
+        store.publish_delta(&delta_adding("/c")); // sole handle: in-place
+        drop(straggler);
+        store.publish_delta(&delta_adding("/d")); // spare replays lag
+        assert_eq!(store.policy().path_count(), 4);
+        for p in ["/a", "/b", "/c", "/d"] {
+            assert!(store.policy().digests_for(p).is_some(), "{p} missing");
+        }
+        assert!(store.policy().index_is_consistent());
+    }
+
+    /// Same shape, but the in-place delta *revokes* a path: the replayed
+    /// spare must not resurrect it.
+    #[test]
+    fn in_place_revocation_survives_spare_reclaim() {
+        let mut store = PolicyStore::new();
+        store.publish(policy_with(&["/a", "/evil"]));
+        let straggler = Arc::clone(store.snapshot());
+        store.publish_delta(&delta_adding("/b")); // CoW; old snapshot retires
+        store.publish_delta(&PolicyDelta {
+            removed_paths: vec!["/evil".into()],
+            ..PolicyDelta::default()
+        }); // in-place revocation
+        drop(straggler);
+        store.publish_delta(&delta_adding("/c")); // spare replays lag
+        assert!(
+            store.policy().digests_for("/evil").is_none(),
+            "revoked path resurrected by a stale catch-up lag"
+        );
+        assert_eq!(store.policy().path_count(), 3);
         assert!(store.policy().index_is_consistent());
     }
 

@@ -228,6 +228,12 @@ impl AgentRecord {
         self.policy_epoch
     }
 
+    /// True when the agent follows the shared store (false for per-agent
+    /// overrides, which never adopt store snapshots).
+    pub(crate) fn follows_shared_store(&self) -> bool {
+        self.shared_policy
+    }
+
     /// Swaps in the published snapshot — one `Arc` clone, zero policy
     /// copies — if this agent follows the shared store, is behind, and is
     /// not quarantined (a quarantined agent cannot acknowledge a push; it
