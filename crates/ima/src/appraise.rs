@@ -50,23 +50,31 @@ pub enum AppraisalResult {
 
 /// Signs `content` and returns the xattr bytes to store in
 /// `security.ima` (what `evmctl ima_sign` produces).
-pub fn sign_content(key: &SigningKey, content: &[u8]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`ImaError::SignatureEncode`] when the signature blob is not
+/// wire-representable.
+pub fn sign_content(key: &SigningKey, content: &[u8]) -> Result<Vec<u8>, ImaError> {
     let digest = HashAlgorithm::Sha256.digest(content);
     let signature = key.sign(digest.as_bytes());
     let blob = ImaSignature {
         key_id: key.verifying_key().fingerprint(),
         signature,
     };
-    serde_json::to_vec(&blob).expect("xattr blob serializes")
+    serde_json::to_vec(&blob).map_err(|e| ImaError::SignatureEncode {
+        reason: e.to_string(),
+    })
 }
 
 /// Convenience: signs the file at `path` in place.
 ///
 /// # Errors
 ///
-/// Filesystem lookup errors.
+/// Filesystem lookup errors, or [`ImaError::SignatureEncode`] when the
+/// signature blob cannot be encoded.
 pub fn sign_file(vfs: &mut Vfs, path: &VfsPath, key: &SigningKey) -> Result<(), ImaError> {
-    let blob = sign_content(key, vfs.read(path)?);
+    let blob = sign_content(key, vfs.read(path)?)?;
     vfs.set_xattr(path, IMA_XATTR, blob)?;
     Ok(())
 }

@@ -26,6 +26,11 @@ pub enum ImaError {
         /// Description of the problem.
         reason: String,
     },
+    /// An IMA signature blob could not be encoded for the xattr.
+    SignatureEncode {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ImaError {
@@ -38,6 +43,9 @@ impl fmt::Display for ImaError {
             }
             ImaError::LogParse { line, reason } => {
                 write!(f, "measurement list parse error at line {line}: {reason}")
+            }
+            ImaError::SignatureEncode { reason } => {
+                write!(f, "signature encode error: {reason}")
             }
         }
     }

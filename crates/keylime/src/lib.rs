@@ -136,10 +136,15 @@ pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, Revocat
 pub use scheduler::{
     AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundOutcome, RoundReport, SchedulerMetrics,
 };
-pub use store::{PolicyEpoch, PolicyStore, SharedPolicy};
+pub use store::{ConcurrentPolicyStore, PolicyEpoch, PolicyStore, SharedPolicy};
 pub use tenant::{Cluster, Tenant};
 pub use transport::{LossyTransport, ReliableTransport, Transport, TransportError};
 pub use verifier::{
     AgentHealth, AgentStatus, Alert, AttestationOutcome, FailureKind, HealthCounts, Verifier,
     VerifierConfig,
 };
+
+/// The runtime lock-order recorder from the instrumented `parking_lot`
+/// shim: `sanitizer::cycles()` must stay empty across every corpus run.
+#[cfg(feature = "lock-sanitizer")]
+pub use parking_lot::sanitizer;

@@ -390,19 +390,12 @@ impl PolicyIndex {
         let mut retired_scratch: Vec<RawDigest> = Vec::new();
         for (i, path) in old_paths.into_iter().enumerate() {
             // Brand-new paths that sort before this existing one.
-            while added_iter
-                .peek()
-                .is_some_and(|(apath, _)| *apath < path.as_ref())
+            while let Some((apath, span)) = added_iter.next_if(|(apath, _)| *apath < path.as_ref())
             {
-                let (apath, span) = added_iter.next().expect("peeked");
                 emit_new(&mut merged, apath, span);
             }
             let old_span = &old_raw[old_starts[i] as usize..old_starts[i + 1] as usize];
-            if added_iter
-                .peek()
-                .is_some_and(|(apath, _)| *apath == path.as_ref())
-            {
-                let (_, mut span) = added_iter.next().expect("peeked");
+            if let Some((_, mut span)) = added_iter.next_if(|(apath, _)| *apath == path.as_ref()) {
                 if retired.contains(path.as_ref()) {
                     merged.push_from_map(path, digests, &mut retired_scratch);
                 } else if removed.contains(path.as_ref()) {
@@ -665,6 +658,10 @@ impl RuntimePolicy {
 
     /// Serializes to the Keylime-style JSON document.
     pub fn to_json(&self) -> String {
+        // lint:allow(panic-path): Policy is a closed struct of strings,
+        // maps, and ints — every value is wire-representable by
+        // construction, so this encode is infallible in practice and a
+        // Result would push unreachable error arms onto every caller.
         serde_json::to_string(self).expect("policy serialization cannot fail")
     }
 

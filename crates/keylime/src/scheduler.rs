@@ -584,6 +584,9 @@ fn attest_with_retry<T: Transport>(
         attempts += 1;
         SchedulerMetrics::add(&metrics.calls, 1);
         let mut hot = HotStats::default();
+        // lint:allow(determinism): latency metering only — the reading
+        // feeds SchedulerMetrics histograms, never an attestation verdict
+        // or anything replayed by the sim.
         let start = Instant::now();
         let result = Verifier::attest_record(
             config, shared, job.record, &job.id, transport, job.agent, day, &mut hot,

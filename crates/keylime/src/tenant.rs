@@ -232,7 +232,13 @@ impl<T: Transport> Cluster<T> {
             }
         }
         let id = agent.id().clone();
-        let ak = self.registrar.ak_for(&id).expect("just registered").clone();
+        let ak = self
+            .registrar
+            .ak_for(&id)
+            .ok_or_else(|| KeylimeError::Registration {
+                reason: format!("registrar lost the AK for `{id}` right after registering it"),
+            })?
+            .clone();
         self.agents.push(agent);
         Ok((id, ak))
     }
@@ -242,6 +248,8 @@ impl<T: Transport> Cluster<T> {
     /// agent, no policy copies). Records the push in the scheduler's
     /// metrics.
     pub fn publish_policy(&mut self, policy: RuntimePolicy) -> PolicyEpoch {
+        // lint:allow(determinism): push-duration metering only — feeds
+        // SchedulerMetrics::record_policy_push, never control flow.
         let start = std::time::Instant::now();
         let epoch = self.verifier.publish_policy(policy);
         // A full publish applies no *delta* entries — the counter tracks
@@ -260,6 +268,8 @@ impl<T: Transport> Cluster<T> {
     /// transport advertises delta support the wire cost metered is the
     /// serialized delta, otherwise the full policy document.
     pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
+        // lint:allow(determinism): push-duration metering only — feeds
+        // SchedulerMetrics::record_policy_push, never control flow.
         let start = std::time::Instant::now();
         let (epoch, applied) = self.verifier.publish_delta(delta);
         self.scheduler.metrics().record_policy_push(

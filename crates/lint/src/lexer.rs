@@ -1,0 +1,418 @@
+//! A lightweight Rust token scanner.
+//!
+//! The linter does not need a full parser — every rule it enforces is
+//! expressible over a token stream with accurate line numbers, as long as
+//! the stream never confuses code with the insides of string literals or
+//! comments. That is exactly what this lexer guarantees: comments and
+//! string/char literals come out as single opaque tokens, so a rule
+//! matching `.unwrap(` can never fire on a doc-comment example or an
+//! error-message string.
+//!
+//! Handled: line and (nested) block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte and
+//! byte-raw strings, char literals vs. lifetimes, raw identifiers
+//! (`r#match`), and numeric literals including `1.0` / `0xff` without
+//! swallowing method calls like `0.lock()` on tuple fields.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String, byte-string, or raw-string literal (opaque).
+    Str,
+    /// Char or byte literal (opaque).
+    Char,
+    /// Numeric literal (opaque).
+    Num,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// `//…` or `/*…*/` comment, doc comments included (opaque; text
+    /// retained so suppression comments can be parsed).
+    Comment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For `Str`/`Comment` this is the full literal including
+    /// delimiters; for `Punct` a single character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] as char == ch
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals degrade to an
+/// opaque token running to end-of-file, which is safe for linting (the
+/// compiler will reject the file anyway).
+pub fn tokenize(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes chars[i..j), counting newlines; returns the collected text.
+    let take = |from: usize, to: usize, line: &mut u32, chars: &[char]| -> String {
+        let text: String = chars[from..to].iter().collect();
+        *line += text.matches('\n').count() as u32;
+        text
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let mut j = i;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: chars[i..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && j + 1 < chars.len() && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < chars.len() && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text = take(i, j, &mut line, &chars);
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#,
+        // br"…", b"…", r#ident.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut saw_r = c == 'r';
+            if c == 'b' && j < chars.len() && chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r {
+                let hash_start = j;
+                while j < chars.len() && chars[j] == '#' {
+                    j += 1;
+                }
+                let hashes = j - hash_start;
+                if j < chars.len() && chars[j] == '"' {
+                    // Raw string: scan to `"` followed by `hashes` hashes.
+                    j += 1;
+                    loop {
+                        if j >= chars.len() {
+                            break;
+                        }
+                        if chars[j] == '"' {
+                            let mut k = j + 1;
+                            let mut n = 0;
+                            while k < chars.len() && chars[k] == '#' && n < hashes {
+                                k += 1;
+                                n += 1;
+                            }
+                            if n == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let text = take(i, j, &mut line, &chars);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if hashes > 0 && j < chars.len() && is_ident_start(chars[j]) {
+                    // Raw identifier r#ident.
+                    let mut k = j;
+                    while k < chars.len() && is_ident_continue(chars[k]) {
+                        k += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: chars[j..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Not a raw literal after all: fall through, treating the
+                // leading letter as an identifier below.
+            }
+            if c == 'b' && i + 1 < chars.len() && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+                // Byte string / byte char: delegate to the quoted scanner
+                // below by emitting from the quote, keeping the `b` glued.
+                let quote = chars[i + 1];
+                let mut j = i + 2;
+                while j < chars.len() {
+                    if chars[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if chars[j] == quote {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                let text = take(i, j, &mut line, &chars);
+                toks.push(Tok {
+                    kind: if quote == '"' {
+                        TokKind::Str
+                    } else {
+                        TokKind::Char
+                    },
+                    text,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let text = take(i, j, &mut line, &chars);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // 'x' or '\n' → char literal; 'ident (no closing quote) →
+            // lifetime. Lookahead decides.
+            if i + 1 < chars.len() && chars[i + 1] == '\\' {
+                // Escaped char literal.
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                j = (j + 1).min(chars.len());
+                let text = take(i, j, &mut line, &chars);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if i + 2 < chars.len() && chars[i + 2] == '\'' {
+                // Plain 'x'.
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i..i + 3].iter().collect(),
+                    line: start_line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: 'ident.
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers. A trailing `.` is consumed only when followed by a
+        // digit, so `0.lock()` lexes as Num(0) `.` `lock`.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            if j + 1 < chars.len() && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds("let s = \"x.unwrap()\"; // .unwrap()\n/* .lock() */ a");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokKind::Ident && t == "unwrap")));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds("r#\"has \" quote and .unwrap()\"# rest");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[1].1 == "rest");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn tuple_field_method_call_not_swallowed() {
+        let toks = kinds("self.0.lock()");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["self", "lock"]);
+    }
+
+    #[test]
+    fn float_literals_stay_whole() {
+        let toks = kinds("let x = 1.5e3 + 0xff;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5e3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0xff"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = tokenize("a\n/* two\nlines */\nb");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "after");
+    }
+}

@@ -1,0 +1,111 @@
+//! Finding renderers: human diff-style text and machine JSON.
+//!
+//! JSON is emitted by hand — the linter depends on nothing, including
+//! the workspace's own serde shim — with proper string escaping so
+//! snippets containing quotes or backslashes stay valid.
+
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// Human-readable report, one block per finding:
+///
+/// ```text
+/// crates/keylime/src/store.rs:41: [panic-path] `.unwrap()` can panic …
+///     |     let v = map.get(&k).unwrap();
+/// ```
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    |     {}", f.snippet);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    out
+}
+
+/// Machine-readable report:
+/// `{"findings":[{"rule":…,"path":…,"line":…,"message":…,"snippet":…}],"count":N}`.
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message),
+            escape(&f.snippet)
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out
+}
+
+/// JSON string literal with standard escapes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "panic-path",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "`.unwrap()` can panic".to_string(),
+            snippet: "let v = m.get(\"k\").unwrap();".to_string(),
+        }]
+    }
+
+    #[test]
+    fn human_names_file_line_and_rule() {
+        let text = human(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:7: [panic-path]"));
+        assert!(text.contains("1 finding\n"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let text = json(&sample());
+        assert!(text.contains("\\\"k\\\""), "{text}");
+        assert!(text.ends_with("\"count\":1}"));
+        assert!(text.starts_with("{\"findings\":["));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert!(human(&[]).contains("0 findings"));
+        assert_eq!(json(&[]), "{\"findings\":[],\"count\":0}");
+    }
+}

@@ -1,0 +1,107 @@
+//! `panic-path`: no panicking constructs in attestation hot paths.
+//!
+//! A panic inside appraisal, scheduling, or the policy store takes a
+//! verifier worker down mid-round and (under `panic = "abort"`) the
+//! whole fleet with it — the availability failure mode the paper's
+//! continuous-attestation SLO exists to prevent. Hot paths are declared
+//! in the manifest (`hot-path <file>`); inside them, fallible cases
+//! must surface as typed errors. Matched: `.unwrap()`, `.expect(`,
+//! `panic!(`, `unreachable!(`, `todo!(`, `unimplemented!(` outside
+//! `#[cfg(test)]` items. Plain `assert!`/`debug_assert!` are permitted:
+//! they document invariants rather than lazily propagate errors.
+
+use crate::source::FileContext;
+
+use super::Finding;
+
+pub const RULE: &str = "panic-path";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one hot-path file for panicking constructs.
+pub fn check(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    let code = &ctx.code;
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        let at = |off: usize| code.get(k + off).map(|&i| &toks[i]);
+
+        // .unwrap() / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && k > 0
+            && toks[code[k - 1]].is_punct('.')
+            && at(1).is_some_and(|n| n.is_punct('('))
+        {
+            // `.unwrap()` must be nullary to count; `.expect(` always.
+            if t.is_ident("expect") || at(2).is_some_and(|n| n.is_punct(')')) {
+                out.push(finding(
+                    ctx,
+                    t.line,
+                    format!("`.{}()` can panic in a hot path", t.text),
+                ));
+            }
+            continue;
+        }
+
+        // panic!( and friends.
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && at(1).is_some_and(|n| n.is_punct('!'))
+            && at(2).is_some_and(|n| n.is_punct('(') || n.is_punct('['))
+        {
+            out.push(finding(
+                ctx,
+                t.line,
+                format!("`{}!` aborts the worker in a hot path", t.text),
+            ));
+        }
+    }
+}
+
+fn finding(ctx: &FileContext, line: u32, what: String) -> Finding {
+    Finding {
+        rule: RULE,
+        path: ctx.path.clone(),
+        line,
+        message: format!("{what}; return a typed error instead"),
+        snippet: ctx.snippet(line).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new("crates/keylime/src/store.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let out = run(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}\n",
+        );
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn silent_on_tests_and_lookalikes() {
+        let out = run(
+            "fn f() {\n    let unwrap = 1;\n    m.expect_round(3);\n    assert!(ok);\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let out =
+            run("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace's first-party source
+//! trees, skipping build output, VCS metadata, and non-production code
+//! (tests, benches, examples, and the lint fixture corpus — which is
+//! deliberately full of violations). Paths come back workspace-relative
+//! with forward slashes, sorted, so reports are stable across machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 6] = ["target", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// Recursively collects production `.rs` files under `root`, returned
+/// as sorted workspace-relative paths.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.iter().any(|s| *s == name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn skips_excluded_dirs_and_sorts() {
+        let base = std::env::temp_dir().join(format!("cia-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        for d in [
+            "crates/x/src",
+            "crates/x/tests",
+            "target/debug",
+            "crates/x/src/fixtures",
+        ] {
+            fs::create_dir_all(base.join(d)).unwrap();
+        }
+        fs::write(base.join("crates/x/src/lib.rs"), "fn a() {}").unwrap();
+        fs::write(base.join("crates/x/src/b.rs"), "fn b() {}").unwrap();
+        fs::write(base.join("crates/x/tests/t.rs"), "fn t() {}").unwrap();
+        fs::write(base.join("target/debug/gen.rs"), "fn g() {}").unwrap();
+        fs::write(base.join("crates/x/src/fixtures/bad.rs"), "fn f() {}").unwrap();
+
+        let files = rust_sources(&base).unwrap();
+        assert_eq!(files, vec!["crates/x/src/b.rs", "crates/x/src/lib.rs"]);
+
+        let _ = fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: suppressions without reasons — the allow-syntax rule must
+// flag each one, and the reason-less suppression must still suppress
+// the underlying finding (one finding each, not two).
+fn metered() {
+    // lint:allow(determinism)
+    let start = Instant::now(); // suppressed, but line 5 is allow-syntax
+}
+
+fn framed(s: &Store) {
+    let pins = s.pins.lock();
+    let inner = s.inner.read(); // lint:allow(lock-order)
+}

@@ -1,0 +1,18 @@
+// Fixture: every ambient time/entropy source the determinism rule
+// must catch. Expected findings (rule, line) are asserted by
+// tests/rules.rs — keep line numbers stable.
+use std::time::{Instant, SystemTime};
+
+fn wall_clock() -> Instant {
+    Instant::now() // line 7: determinism
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::now() // line 11: determinism
+}
+
+fn entropy() -> u64 {
+    let mut rng = thread_rng(); // line 15: determinism
+    let seeded = StdRng::from_entropy(); // line 16: determinism
+    rand::random() // line 17: determinism
+}

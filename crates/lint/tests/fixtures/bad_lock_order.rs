@@ -1,0 +1,22 @@
+// Fixture: every lock-discipline violation the lock-order rule must
+// catch, against manifest order `inner < pins < map`.
+fn inverted(s: &Store) {
+    let pins = s.pins.lock();
+    let inner = s.inner.read(); // line 5: lock-order (inversion)
+    drop(inner);
+    drop(pins);
+}
+
+fn reacquired(s: &Store) {
+    let first = s.pins.lock();
+    let second = s.pins.lock(); // line 12: lock-order (self-deadlock)
+}
+
+fn undeclared(s: &Store) {
+    let ghost = s.ghost.lock(); // line 16: lock-order (not in manifest)
+}
+
+fn rpc_under_guard(s: &Store, transport: &mut T) {
+    let inner = s.inner.write();
+    transport.call(request, serve); // line 21: lock-order (guard across transport)
+}

@@ -1,0 +1,15 @@
+// Fixture: every panicking construct the panic-path rule must catch in
+// a hot-path file. Linted under a manifest-declared hot path.
+fn appraise(entry: &Entry, policy: &Policy) -> Verdict {
+    let digest = entry.digest().unwrap(); // line 4: panic-path
+    let expected = policy.lookup(entry.path()).expect("path is allowed"); // line 5: panic-path
+    if digest != expected {
+        panic!("digest mismatch"); // line 7: panic-path
+    }
+    match entry.kind() {
+        Kind::File => Verdict::Pass,
+        Kind::Directory => unreachable!("directories are never measured"), // line 11: panic-path
+        Kind::Symlink => todo!(), // line 12: panic-path
+        Kind::Device => unimplemented!("device nodes"), // line 13: panic-path
+    }
+}

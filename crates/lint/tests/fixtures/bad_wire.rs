@@ -1,0 +1,21 @@
+// Fixture: hash-map iteration feeding serialized output — every shape
+// the wire-hygiene rule must catch.
+struct Report {
+    counts: HashMap<String, u64>,
+}
+
+impl Report {
+    fn encode(&self) -> String {
+        let mut body = String::new();
+        for (path, count) in self.counts.iter() { // line 10: wire-hygiene
+            body.push_str(path);
+        }
+        serde_json::to_string(&body).unwrap_or_default()
+    }
+}
+
+fn frame(seen: HashSet<u64>, sink: &mut Serializer) {
+    for id in seen { // line 18: wire-hygiene
+        sink.serialize(id);
+    }
+}

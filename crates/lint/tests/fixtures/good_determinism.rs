@@ -1,0 +1,27 @@
+// Fixture: deterministic-safe code the determinism rule must stay
+// silent on — suppressed metrics reads, test-only reads, lookalikes in
+// strings/comments, and arithmetic on existing Instants.
+use std::time::Instant;
+
+fn metered(metrics: &Metrics) {
+    // lint:allow(determinism): latency metering only, never a verdict.
+    let start = Instant::now();
+    metrics.record(start);
+}
+
+fn lookalikes() -> &'static str {
+    // A comment saying Instant::now() is not a call.
+    "neither is a string with Instant::now() or thread_rng()"
+}
+
+fn derived(t: Instant, u: Instant) -> bool {
+    t < u
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: hot-path code the panic-path rule must stay silent on —
+// typed errors, non-panicking unwrap_* variants, asserts (invariants
+// are allowed), justified suppressions, and test-only panics.
+fn appraise(entry: &Entry, policy: &Policy) -> Result<Verdict, Error> {
+    let digest = entry.digest().ok_or(Error::NoDigest)?;
+    let expected = policy.lookup(entry.path()).unwrap_or_default();
+    let fallback = policy.fallback().unwrap_or_else(Policy::empty);
+    assert!(policy.index_is_consistent(), "publish-time invariant");
+    let unwrap = digest.len(); // an ident named unwrap is not a call
+    entry.expect_extension(unwrap); // expect_* methods are not .expect(
+    // lint:allow(panic-path): closed enum — every arm is wire-representable.
+    let encoded = serde_json::to_string(&expected).expect("encodes");
+    Ok(Verdict::from(encoded == fallback.digest()))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = appraise(&Entry::sample(), &Policy::empty()).unwrap();
+        assert_eq!(v, Verdict::Pass);
+    }
+}

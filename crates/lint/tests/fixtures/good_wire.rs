@@ -1,0 +1,28 @@
+// Fixture: map usage the wire-hygiene rule must stay silent on —
+// ordered containers on the wire, hash maps kept away from
+// serialization, and sorted projections before encoding.
+struct Report {
+    counts: BTreeMap<String, u64>,
+    scratch: HashMap<String, u64>,
+}
+
+impl Report {
+    fn encode(&self) -> String {
+        let mut body = String::new();
+        for (path, count) in self.counts.iter() {
+            body.push_str(path);
+        }
+        serde_json::to_string(&body).unwrap_or_default()
+    }
+
+    fn tally(&self) -> u64 {
+        // Iteration is fine when nothing here serializes.
+        self.scratch.values().sum()
+    }
+
+    fn encode_sorted(&self) -> String {
+        let mut keys: Vec<&String> = self.scratch.keys().collect(); // lint:allow(wire-hygiene): sorted before encoding below.
+        keys.sort();
+        serde_json::to_string(&keys).unwrap_or_default()
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixture corpus self-test: every rule fires at exactly the expected
+//! `file:line` pairs on the known-bad fixtures and stays completely
+//! silent on the known-good ones.
+//!
+//! The fixtures live in `tests/fixtures/` — a directory the workspace
+//! walker deliberately skips, so the deliberately-broken corpus never
+//! pollutes a real `cia-lint --check` run.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cia_lint::{lint_source, Finding, Manifest};
+
+/// The manifest fixtures are linted under: both panic fixtures are
+/// declared hot paths; the lock order mirrors the real workspace.
+fn manifest() -> Manifest {
+    Manifest::parse(
+        "hot-path crates/fixture/src/bad_panic.rs\n\
+         hot-path crates/fixture/src/good_panic.rs\n\
+         lock-order inner pins map\n\
+         lock-ignore stdout\n",
+    )
+    .expect("fixture manifest parses")
+}
+
+/// Lints one fixture file under a pipeline-shaped pseudo path.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(&format!("crates/fixture/src/{name}"), &source, &manifest())
+}
+
+/// `(rule, line)` pairs, sorted, for exact comparison.
+fn fired(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    let mut pairs: Vec<(&'static str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn determinism_fires_at_exact_lines() {
+    let findings = lint_fixture("bad_determinism.rs");
+    assert_eq!(
+        fired(&findings),
+        vec![
+            ("determinism", 7),
+            ("determinism", 11),
+            ("determinism", 15),
+            ("determinism", 16),
+            ("determinism", 17),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_stays_silent_on_good() {
+    let findings = lint_fixture("good_determinism.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn panic_path_fires_at_exact_lines() {
+    let findings = lint_fixture("bad_panic.rs");
+    assert_eq!(
+        fired(&findings),
+        vec![
+            ("panic-path", 4),
+            ("panic-path", 5),
+            ("panic-path", 7),
+            ("panic-path", 11),
+            ("panic-path", 12),
+            ("panic-path", 13),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_path_stays_silent_on_good() {
+    let findings = lint_fixture("good_panic.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_fires_at_exact_lines() {
+    let findings = lint_fixture("bad_lock_order.rs");
+    assert_eq!(
+        fired(&findings),
+        vec![
+            ("lock-order", 5),
+            ("lock-order", 12),
+            ("lock-order", 16),
+            ("lock-order", 21),
+        ],
+        "{findings:#?}"
+    );
+    // The four failure modes are distinguishable in the messages.
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("inverts"), "{messages:?}");
+    assert!(messages[1].contains("self-deadlocks"), "{messages:?}");
+    assert!(
+        messages[2].contains("not in the lock-order manifest"),
+        "{messages:?}"
+    );
+    assert!(messages[3].contains("transport"), "{messages:?}");
+}
+
+#[test]
+fn lock_order_stays_silent_on_good() {
+    let findings = lint_fixture("good_lock_order.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn wire_hygiene_fires_at_exact_lines() {
+    let findings = lint_fixture("bad_wire.rs");
+    assert_eq!(
+        fired(&findings),
+        vec![("wire-hygiene", 10), ("wire-hygiene", 18)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn wire_hygiene_stays_silent_on_good() {
+    let findings = lint_fixture("good_wire.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn reasonless_suppressions_are_flagged_but_still_suppress() {
+    let findings = lint_fixture("bad_allow.rs");
+    assert_eq!(
+        fired(&findings),
+        vec![("allow-syntax", 5), ("allow-syntax", 11)],
+        "suppressed rules must not double-report: {findings:#?}"
+    );
+}
+
+/// The real workspace manifest parses and declares what the docs say it
+/// declares — a drift guard between `cia-lint.manifest` and the rules.
+#[test]
+fn workspace_manifest_is_coherent() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../cia-lint.manifest");
+    let text = fs::read_to_string(&path).expect("workspace manifest exists");
+    let m = Manifest::parse(&text).expect("workspace manifest parses");
+    assert!(m.is_hot_path("crates/ima/src/appraise.rs"));
+    assert!(m.is_hot_path("crates/keylime/src/verifier.rs"));
+    assert!(m.is_hot_path("crates/keylime/src/scheduler.rs"));
+    assert!(m.is_hot_path("crates/keylime/src/store.rs"));
+    assert_eq!(m.lock_rank("inner"), Some(0));
+    assert_eq!(m.lock_rank("pins"), Some(1));
+    assert!(m.lock_rank("pins") < m.lock_rank("map"), "pins before map");
+    assert!(m.determinism_allowed("crates/bench/src/main.rs"));
+}

@@ -314,6 +314,19 @@ impl SimRunner {
             }
             self.prev_health.insert(result.id.clone(), after);
         }
+
+        // Under the sanitizer, the process-global lock-order graph must
+        // stay cycle-free after every round — a cycle means some pair of
+        // threads this run could have deadlocked under a different
+        // interleaving, even if this one got lucky.
+        #[cfg(feature = "lock-sanitizer")]
+        {
+            let cycles = cia_keylime::sanitizer::cycles();
+            assert!(
+                cycles.is_empty(),
+                "round {round}: lock-order cycles recorded: {cycles:?}"
+            );
+        }
     }
 }
 

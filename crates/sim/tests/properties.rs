@@ -15,7 +15,7 @@ fn arb_event() -> impl Strategy<Value = FaultEvent> {
     let window = (0u64..ROUNDS, 1u64..4).prop_map(|(from, len)| (from, from + len));
     let target = prop_oneof![
         Just(FaultTarget::AllAgents),
-        proptest::collection::vec(0..NODES, 1..3).prop_map(|lanes| FaultTarget::lanes(lanes)),
+        proptest::collection::vec(0..NODES, 1..3).prop_map(FaultTarget::lanes),
     ];
     let kind = prop_oneof![
         Just(FaultKind::Partition),

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints on the keylime crate, the tier-1 suite, a
-# single-iteration bench smoke pass, and the chaos scenario corpus in
-# release mode.
+# CI gate: formatting, workspace-wide clippy, the repo's own cia-lint
+# static pass, the tier-1 suite, a single-iteration bench smoke pass,
+# the chaos scenario corpus in release mode, and the lock-sanitizer
+# suite (runtime lock-order cycle detection over the sim corpus).
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -21,8 +22,11 @@ fi
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (cia-keylime, -D warnings) =="
-cargo clippy "${OFFLINE[@]}" -p cia-keylime --all-targets -- -D warnings
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+echo "== cia-lint: workspace static analysis (--check) =="
+cargo run "${OFFLINE[@]}" -q -p cia-lint -- --check
 
 echo "== tier-1: cargo build --release =="
 cargo build "${OFFLINE[@]}" --release
@@ -62,6 +66,11 @@ if gate["policy_deep_clones"] != 0 or gate["index_full_rebuilds"] != 0:
 print(f"BENCH_policy.json ok: apply_delta {doc['apply_delta_speedup_best']}x, "
       f"{gate['pushes']} pushes with 0 copies")
 EOF
+
+echo "== lock-sanitizer: runtime lock-order graph over the sim corpus =="
+cargo test "${OFFLINE[@]}" -q -p cia-sim --features lock-sanitizer
+cargo test "${OFFLINE[@]}" -q -p parking_lot --features lock-sanitizer
+cargo test "${OFFLINE[@]}" -q -p cia-keylime --features lock-sanitizer store
 
 echo "== chaos: scenario corpus (release) =="
 cargo test "${OFFLINE[@]}" --release --test chaos_scenarios

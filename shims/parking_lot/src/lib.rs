@@ -1,39 +1,108 @@
 //! Offline shim for `parking_lot`: non-poisoning [`Mutex`]/[`RwLock`]
 //! wrappers over `std::sync` with parking_lot's infallible lock API.
+//!
+//! With the `lock-sanitizer` feature enabled, every blocking
+//! acquisition is additionally recorded into a process-global
+//! **lock-order graph**: an edge `A → B` means some thread acquired `B`
+//! while holding `A`. A cycle in that graph is a potential deadlock —
+//! two threads can interleave the cyclic acquisitions and block each
+//! other forever. See the [`sanitizer`] module for inspection
+//! (`cycles()`, `edges()`, `reset()`). Locks are registered under
+//! human-readable names via [`Mutex::named`]/[`RwLock::named`], which
+//! should mirror the static `lock-order` manifest consumed by
+//! `cia-lint` — the static pass proves the order where heuristics can
+//! see it, the sanitizer proves it across real interleavings.
+//!
+//! Recording happens *before* blocking, so an actual deadlock still
+//! leaves its edges in the graph. `try_lock`/`try_*` variants record no
+//! edges (they cannot deadlock) but do count as held while live, so
+//! later blocking acquisitions under them are ordered correctly.
 
 #![forbid(unsafe_code)]
 
+use std::ops::{Deref, DerefMut};
 use std::sync;
+
+#[cfg(feature = "lock-sanitizer")]
+pub mod sanitizer;
+
+#[cfg(feature = "lock-sanitizer")]
+use sanitizer::{HeldToken, LazyLockId};
 
 /// A mutual-exclusion lock that never poisons.
 #[derive(Debug, Default)]
 pub struct Mutex<T> {
     inner: sync::Mutex<T>,
+    #[cfg(feature = "lock-sanitizer")]
+    id: LazyLockId,
 }
 
 /// Guard for [`Mutex`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: sync::MutexGuard<'a, T>,
+    #[cfg(feature = "lock-sanitizer")]
+    _held: HeldToken,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
     /// Wraps a value.
     pub const fn new(value: T) -> Self {
         Mutex {
             inner: sync::Mutex::new(value),
+            #[cfg(feature = "lock-sanitizer")]
+            id: LazyLockId::new(),
         }
+    }
+
+    /// Registers this lock under a human-readable name in the sanitizer
+    /// graph (no-op without the `lock-sanitizer` feature). Builder
+    /// style: `Mutex::new(v).named("pins")`.
+    #[must_use]
+    pub fn named(self, name: &'static str) -> Self {
+        #[cfg(feature = "lock-sanitizer")]
+        sanitizer::register_name(self.id.get(), name);
+        #[cfg(not(feature = "lock-sanitizer"))]
+        let _ = name;
+        self
     }
 
     /// Acquires the lock (recovers from poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-sanitizer")]
+        let _held = sanitizer::enter(self.id.get());
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "lock-sanitizer")]
+            _held,
+        }
     }
 
     /// Tries to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(feature = "lock-sanitizer")]
+            _held: sanitizer::enter_quiet(self.id.get()),
+        })
     }
 
     /// Consumes the lock, returning the value.
@@ -51,29 +120,102 @@ impl<T> Mutex<T> {
 #[derive(Debug, Default)]
 pub struct RwLock<T> {
     inner: sync::RwLock<T>,
+    #[cfg(feature = "lock-sanitizer")]
+    id: LazyLockId,
 }
 
 /// Read guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock-sanitizer")]
+    _held: HeldToken,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
 /// Write guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock-sanitizer")]
+    _held: HeldToken,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     /// Wraps a value.
     pub const fn new(value: T) -> Self {
         RwLock {
             inner: sync::RwLock::new(value),
+            #[cfg(feature = "lock-sanitizer")]
+            id: LazyLockId::new(),
         }
+    }
+
+    /// Registers this lock under a human-readable name in the sanitizer
+    /// graph (no-op without the `lock-sanitizer` feature). Builder
+    /// style: `RwLock::new(v).named("inner")`.
+    #[must_use]
+    pub fn named(self, name: &'static str) -> Self {
+        #[cfg(feature = "lock-sanitizer")]
+        sanitizer::register_name(self.id.get(), name);
+        #[cfg(not(feature = "lock-sanitizer"))]
+        let _ = name;
+        self
     }
 
     /// Acquires a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-sanitizer")]
+        let _held = sanitizer::enter(self.id.get());
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "lock-sanitizer")]
+            _held,
+        }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lock-sanitizer")]
+        let _held = sanitizer::enter(self.id.get());
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "lock-sanitizer")]
+            _held,
+        }
+    }
+
+    /// Tries to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            inner,
+            #[cfg(feature = "lock-sanitizer")]
+            _held: sanitizer::enter_quiet(self.id.get()),
+        })
     }
 
     /// Consumes the lock, returning the value.
@@ -99,5 +241,14 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
     }
 }

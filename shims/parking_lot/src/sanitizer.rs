@@ -1,0 +1,377 @@
+//! Runtime lock-order graph recorder and cycle detector.
+//!
+//! Every blocking acquisition records one edge per lock currently held
+//! by the acquiring thread: `held → acquiring`. The resulting directed
+//! graph accumulates across threads for the life of the process (or
+//! until [`reset`]). A cycle — including a self-edge from re-acquiring
+//! a non-reentrant lock — means two threads can order those
+//! acquisitions against each other and deadlock.
+//!
+//! The recorder is deliberately *global and append-only*: chaos runs
+//! spawn many short-lived stores and worker pools, and a cycle is a
+//! property of the whole process's acquisition history, not of any one
+//! object. Tests that assert on the graph must serialize among
+//! themselves and call [`reset`] first.
+//!
+//! Edges are recorded **before** blocking, so a deadlock that actually
+//! bites still leaves the incriminating cycle in the graph for a
+//! watchdog or post-mortem to read.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Next lock id to hand out; 0 means "unassigned".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Lazily-assigned unique lock identity, const-constructible so
+/// instrumented locks can still live in `static`s.
+#[derive(Debug)]
+pub struct LazyLockId {
+    cell: AtomicU64,
+}
+
+impl LazyLockId {
+    /// An unassigned id.
+    pub const fn new() -> Self {
+        LazyLockId {
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// The lock's id, assigning one on first use.
+    pub fn get(&self) -> u64 {
+        let seen = self.cell.load(Ordering::Acquire);
+        if seen != 0 {
+            return seen;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .cell
+            .compare_exchange(0, fresh, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+impl Default for LazyLockId {
+    fn default() -> Self {
+        LazyLockId::new()
+    }
+}
+
+/// Marks a lock as held by the current thread for its lifetime; Drop
+/// pops it from the thread's held stack.
+#[derive(Debug)]
+pub struct HeldToken {
+    id: u64,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == self.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+thread_local! {
+    /// Locks held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-global graph state.
+#[derive(Debug, Default)]
+struct State {
+    /// `held → acquiring` edges.
+    edges: BTreeSet<(u64, u64)>,
+    /// Lock id → registered name.
+    names: BTreeMap<u64, String>,
+}
+
+fn state() -> &'static StdMutex<State> {
+    static STATE: OnceLock<StdMutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| StdMutex::new(State::default()))
+}
+
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    let mut guard = state().lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+/// Registers a human-readable name for a lock id.
+pub(crate) fn register_name(id: u64, name: &'static str) {
+    with_state(|s| {
+        s.names.insert(id, name.to_string());
+    });
+}
+
+/// Records edges from every held lock to `id` (called before blocking),
+/// then marks `id` held.
+pub(crate) fn enter(id: u64) -> HeldToken {
+    HELD.with(|held| {
+        let held_now = held.borrow().clone();
+        if !held_now.is_empty() {
+            with_state(|s| {
+                for h in held_now {
+                    s.edges.insert((h, id));
+                }
+            });
+        }
+        held.borrow_mut().push(id);
+    });
+    HeldToken { id }
+}
+
+/// Marks `id` held without recording edges — for `try_*` acquisitions,
+/// which cannot block and therefore cannot close a deadlock cycle
+/// themselves (but must still order later blocking acquisitions).
+pub(crate) fn enter_quiet(id: u64) -> HeldToken {
+    HELD.with(|held| held.borrow_mut().push(id));
+    HeldToken { id }
+}
+
+/// Clears recorded edges (names persist — they describe lock objects,
+/// not history). Tests that assert on the graph call this first and
+/// serialize among themselves: the graph is process-global.
+pub fn reset() {
+    with_state(|s| s.edges.clear());
+}
+
+/// Number of distinct recorded edges.
+pub fn edge_count() -> usize {
+    with_state(|s| s.edges.len())
+}
+
+/// The recorded edges, as lock names (ids without a registered name
+/// render as `lock#<id>`).
+pub fn edges() -> Vec<(String, String)> {
+    with_state(|s| {
+        s.edges
+            .iter()
+            .map(|&(a, b)| (display_name(&s.names, a), display_name(&s.names, b)))
+            .collect()
+    })
+}
+
+/// Every deadlock-capable cycle in the recorded graph, as sorted lists
+/// of lock names: each strongly connected component with more than one
+/// lock, plus each self-edge. Empty means the recorded acquisition
+/// history admits a total lock order — no deadlock among these locks is
+/// reachable by reordering threads.
+pub fn cycles() -> Vec<Vec<String>> {
+    with_state(|s| {
+        let mut nodes: BTreeSet<u64> = BTreeSet::new();
+        for &(a, b) in &s.edges {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let mut out = Vec::new();
+        for component in strongly_connected(&nodes, &s.edges) {
+            let is_cycle = component.len() > 1
+                || component
+                    .first()
+                    .is_some_and(|&n| s.edges.contains(&(n, n)));
+            if is_cycle {
+                let mut names: Vec<String> = component
+                    .iter()
+                    .map(|&n| display_name(&s.names, n))
+                    .collect();
+                names.sort();
+                out.push(names);
+            }
+        }
+        out.sort();
+        out
+    })
+}
+
+fn display_name(names: &BTreeMap<u64, String>, id: u64) -> String {
+    names
+        .get(&id)
+        .cloned()
+        .unwrap_or_else(|| format!("lock#{id}"))
+}
+
+/// Kosaraju's algorithm, iterative — the graphs here are tiny (a
+/// handful of named locks) but recursion depth should not depend on
+/// edge shape.
+fn strongly_connected(nodes: &BTreeSet<u64>, edges: &BTreeSet<(u64, u64)>) -> Vec<Vec<u64>> {
+    let mut fwd: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut rev: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &(a, b) in edges {
+        fwd.entry(a).or_default().push(b);
+        rev.entry(b).or_default().push(a);
+    }
+
+    // Pass 1: forward DFS, record finish order.
+    let mut finish: Vec<u64> = Vec::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for &start in nodes {
+        if seen.contains(&start) {
+            continue;
+        }
+        // Stack entries: (node, next-child index).
+        let mut stack: Vec<(u64, usize)> = vec![(start, 0)];
+        seen.insert(start);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = fwd.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if let Some(&child) = children.get(*next) {
+                *next += 1;
+                if seen.insert(child) {
+                    stack.push((child, 0));
+                }
+            } else {
+                finish.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: reverse DFS in reverse finish order.
+    let mut component_of: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut components: Vec<Vec<u64>> = Vec::new();
+    for &start in finish.iter().rev() {
+        if component_of.contains_key(&start) {
+            continue;
+        }
+        let idx = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![start];
+        component_of.insert(start, idx);
+        while let Some(node) = stack.pop() {
+            members.push(node);
+            for &p in rev.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+                if !component_of.contains_key(&p) {
+                    component_of.insert(p, idx);
+                    stack.push(p);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mutex, RwLock};
+    use std::sync::OnceLock;
+
+    /// The graph is process-global; tests that assert on it must not
+    /// interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<StdMutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn ordered_nesting_has_no_cycle() {
+        let _s = serial();
+        reset();
+        let a = Mutex::new(()).named("san-a");
+        let b = Mutex::new(()).named("san-b");
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        assert_eq!(edge_count(), 1);
+        assert!(cycles().is_empty(), "{:?}", cycles());
+    }
+
+    #[test]
+    fn inversion_is_a_cycle() {
+        let _s = serial();
+        reset();
+        let a = Mutex::new(()).named("inv-a");
+        let b = RwLock::new(()).named("inv-b");
+        {
+            let ga = a.lock();
+            let gb = b.read();
+            drop(gb);
+            drop(ga);
+        }
+        {
+            let gb = b.write();
+            let ga = a.lock();
+            drop(ga);
+            drop(gb);
+        }
+        let found = cycles();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0], vec!["inv-a".to_string(), "inv-b".to_string()]);
+    }
+
+    #[test]
+    fn self_reacquire_is_a_cycle() {
+        let _s = serial();
+        reset();
+        let a = RwLock::new(()).named("self-a");
+        let g1 = a.read();
+        let g2 = a.read(); // legal for readers, but order-unsafe: a
+        drop(g2); //            writer between them deadlocks both.
+        drop(g1);
+        assert_eq!(cycles(), vec![vec!["self-a".to_string()]]);
+    }
+
+    #[test]
+    fn try_lock_records_no_edges() {
+        let _s = serial();
+        reset();
+        let a = Mutex::new(()).named("try-a");
+        let b = Mutex::new(()).named("try-b");
+        let gb = b.lock();
+        let ga = a.try_lock().expect("uncontended");
+        drop(ga);
+        drop(gb);
+        assert_eq!(edge_count(), 0);
+        // But a try-held lock still orders later blocking acquisitions.
+        let ga = a.try_lock().expect("uncontended");
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        assert_eq!(edge_count(), 1);
+        assert!(cycles().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_edges_merge() {
+        let _s = serial();
+        reset();
+        let a = std::sync::Arc::new(Mutex::new(()).named("xt-a"));
+        let b = std::sync::Arc::new(Mutex::new(()).named("xt-b"));
+        let (a2, b2) = (a.clone(), b.clone());
+        // Thread 1: a → b. Thread 2: b → a. Never concurrent — no real
+        // deadlock occurs — yet the graph still convicts the ordering.
+        std::thread::spawn(move || {
+            let ga = a2.lock();
+            let gb = b2.lock();
+            drop(gb);
+            drop(ga);
+        })
+        .join()
+        .expect("thread 1");
+        std::thread::spawn(move || {
+            let gb = b.lock();
+            let ga = a.lock();
+            drop(ga);
+            drop(gb);
+        })
+        .join()
+        .expect("thread 2");
+        assert_eq!(cycles().len(), 1);
+    }
+}
