@@ -240,6 +240,7 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
                 RoundOutcome::SkippedPaused => {}
                 RoundOutcome::SkippedQuarantined { .. } => report.quarantine_skips += 1,
                 RoundOutcome::Unreachable { .. } => report.unreachable += 1,
+                _ => {}
             }
         }
         report.health = round.health;

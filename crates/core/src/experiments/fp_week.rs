@@ -136,6 +136,10 @@ impl FpWeekReport {
                 FailureKind::LogRewound => "log-rewound",
                 FailureKind::BootAggregateMismatch => "boot-aggregate",
                 FailureKind::LogParse { .. } => "log-parse",
+                FailureKind::BackendNotAllowed { .. } => "backend-not-allowed",
+                FailureKind::BackendMismatch { .. } => "backend-mismatch",
+                FailureKind::LaunchMeasurementMismatch => "launch-mismatch",
+                _ => "other",
             };
             *map.entry(key).or_insert(0) += 1;
         }

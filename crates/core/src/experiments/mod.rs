@@ -9,11 +9,17 @@
 //! - [`fleet`]: the deployment shape the paper targets — one
 //!   mirror-derived policy serving many machines — with a mid-run
 //!   compromise, detection, and revocation fan-out.
+//! - [`hetero`]: the heterogeneous variant of the same deployment — one
+//!   verifier over TPM+IMA machines, secure-world devices and
+//!   confidential VMs at once, with one characteristic compromise per
+//!   backend family.
 
 pub mod fleet;
 pub mod fp_week;
+pub mod hetero;
 pub mod longrun;
 
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use fp_week::{run_fp_week, FpWeekConfig, FpWeekReport};
+pub use hetero::{run_hetero, HeteroConfig, HeteroReport};
 pub use longrun::{run_longrun, LongRunConfig, LongRunReport, UpdateCadence, UpdateRecord};

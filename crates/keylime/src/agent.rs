@@ -1,23 +1,33 @@
 //! The Keylime agent: the only component on the untrusted machine.
+//!
+//! The agent is a thin protocol adapter: requests arrive over the
+//! transport, evidence production is delegated to the agent's
+//! [`AttestationBackend`]. Which backend an agent runs is fixed at
+//! provisioning time; the verifier learns it from the registrar record
+//! and appraises accordingly.
 
-use cia_crypto::HashAlgorithm;
 use cia_ima::ImaLogEntry;
 use cia_os::Machine;
-use cia_tpm::{AkBinding, EkCertificate, PcrSelection, Quote};
+use cia_tpm::{AkBinding, EkCertificate, Quote};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{
+    AttestationBackend, Backend, BackendCapabilities, BackendCert, BackendKind, ChallengeBinding,
+    EvidenceFormat,
+};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 
 /// Requests an agent answers.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AgentRequest {
-    /// Prove TPM identity (registration protocol).
+    /// Prove platform identity (registration protocol).
     Identity {
-        /// Registrar challenge for the AK binding.
+        /// Registrar challenge for the identity binding.
         challenge: Vec<u8>,
     },
-    /// Produce a quote plus the IMA log tail.
+    /// Produce a quote plus the measurement-list tail.
     Quote {
         /// Verifier anti-replay nonce.
         nonce: Vec<u8>,
@@ -25,43 +35,140 @@ pub enum AgentRequest {
         from_entry: usize,
         /// When `true`, reply with the typed entry list
         /// ([`QuoteResponse::entries`]) instead of the ASCII rendering —
-        /// the v2 wire format the verifier requests when both its config
-        /// and the transport capability allow it.
+        /// the v2 wire format the verifier requests when its config, the
+        /// transport capability, and the backend capability all allow it.
         structured: bool,
     },
 }
 
-/// Identity material returned during registration.
+/// Identity material returned during registration — shaped by the
+/// backend's root of trust.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct IdentityResponse {
-    /// The manufacturer-signed EK certificate.
-    pub ek_certificate: EkCertificate,
-    /// Proof the AK lives beside the endorsed EK.
-    pub binding: AkBinding,
+pub enum IdentityResponse {
+    /// TPM identity: manufacturer-endorsed EK plus AK binding.
+    TpmEk {
+        /// The manufacturer-signed EK certificate.
+        ek_certificate: EkCertificate,
+        /// Proof the AK lives beside the endorsed EK.
+        binding: AkBinding,
+    },
+    /// Secure-world identity: TEE-vendor device certificate plus proof of
+    /// possession.
+    SecureWorld {
+        /// Vendor certificate over the device attestation key (context:
+        /// the measurement-policy digest).
+        certificate: BackendCert,
+        /// Proof of possession bound to the registrar challenge.
+        binding: ChallengeBinding,
+    },
+    /// Confidential-VM identity: platform certificate rooted in the
+    /// launch measurement plus proof of possession.
+    ConfidentialVm {
+        /// Platform certificate over the guest attestation key (context:
+        /// the launch measurement).
+        certificate: BackendCert,
+        /// The launch measurement the certificate attests.
+        launch_measurement: cia_crypto::Digest,
+        /// Proof of possession bound to the registrar challenge.
+        binding: ChallengeBinding,
+    },
+}
+
+impl IdentityResponse {
+    /// Which backend family produced this identity material.
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            IdentityResponse::TpmEk { .. } => BackendKind::TpmIma,
+            IdentityResponse::SecureWorld { .. } => BackendKind::SecureWorld,
+            IdentityResponse::ConfidentialVm { .. } => BackendKind::ConfidentialVm,
+        }
+    }
 }
 
 /// Quote plus incremental measurement list.
+///
+/// Fields are private so new backends can reshape the payload without a
+/// breaking change; read access goes through the accessors.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuoteResponse {
-    /// Signed quote over PCRs 0–10 (SHA-256 bank).
-    pub quote: Quote,
+    /// Which backend produced this evidence. Unsigned wire metadata: the
+    /// verifier trusts its own enrolment record, not this tag, and
+    /// rejects evidence whose tag disagrees with the record.
+    #[serde(default)]
+    pub(crate) backend: BackendKind,
+    /// Signed quote over the backend's registers.
+    pub(crate) quote: Quote,
     /// Canonical ASCII measurement-list lines from `from_entry` on.
-    /// Empty when [`QuoteResponse::entries`] carries the excerpt instead
-    /// — the agent never sends both renderings of the same data.
-    pub log_excerpt: String,
+    /// Empty when `entries` carries the excerpt instead — the agent
+    /// never sends both renderings of the same data.
+    pub(crate) log_excerpt: String,
     /// Structured (v2) excerpt: the typed entries from `from_entry` on.
     /// `None` on the legacy text path. Memoized template hashes never
     /// travel inside the entries; the verifier recomputes them, so a
-    /// tampered entry is caught by the PCR replay exactly as on the text
-    /// path.
-    pub entries: Option<Vec<ImaLogEntry>>,
+    /// tampered entry is caught by the register replay exactly as on the
+    /// text path.
+    pub(crate) entries: Option<Vec<ImaLogEntry>>,
     /// Total entries currently in the measurement list.
-    pub total_entries: usize,
-    /// TPM reset counter, so the verifier can detect reboots.
-    pub boot_count: u64,
+    pub(crate) total_entries: usize,
+    /// Platform reset counter, so the verifier can detect reboots.
+    pub(crate) boot_count: u64,
+}
+
+impl QuoteResponse {
+    /// Assembles a response; the boot counter is taken from the quote so
+    /// the two can never disagree.
+    pub fn new(
+        backend: BackendKind,
+        quote: Quote,
+        log_excerpt: String,
+        entries: Option<Vec<ImaLogEntry>>,
+        total_entries: usize,
+    ) -> Self {
+        QuoteResponse {
+            backend,
+            boot_count: quote.boot_count,
+            quote,
+            log_excerpt,
+            entries,
+            total_entries,
+        }
+    }
+
+    /// Which backend claims to have produced this evidence (unsigned —
+    /// see the field docs).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The signed quote.
+    pub fn quote(&self) -> &Quote {
+        &self.quote
+    }
+
+    /// The ASCII excerpt (empty on the structured path).
+    pub fn log_excerpt(&self) -> &str {
+        &self.log_excerpt
+    }
+
+    /// The typed (v2) excerpt, when the structured path was negotiated.
+    pub fn entries(&self) -> Option<&[ImaLogEntry]> {
+        self.entries.as_deref()
+    }
+
+    /// Total entries in the agent's measurement list.
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Platform reset counter.
+    pub fn boot_count(&self) -> u64 {
+        self.boot_count
+    }
 }
 
 /// Responses an agent produces.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AgentResponse {
     /// Answer to [`AgentRequest::Identity`].
@@ -75,51 +182,125 @@ pub enum AgentResponse {
     },
 }
 
-/// The agent process wrapping one [`Machine`].
+/// The agent process wrapping one attestation backend.
 #[derive(Debug)]
 pub struct Agent {
     id: AgentId,
-    machine: Machine,
+    backend: Backend,
 }
 
 impl Agent {
-    /// Wraps a machine.
+    /// Wraps a machine in the classic TPM+IMA backend.
     pub fn new(machine: Machine) -> Self {
+        Agent::with_backend(Backend::from(machine))
+    }
+
+    /// Wraps an arbitrary backend; the agent identity derives from the
+    /// backend's host name.
+    pub fn with_backend(backend: impl Into<Backend>) -> Self {
+        let backend = backend.into();
         Agent {
-            id: AgentId::new(machine.hostname()),
-            machine,
+            id: AgentId::new(backend.hostname()),
+            backend,
         }
     }
 
-    /// The agent identity (the machine's host name).
+    /// The agent identity (the platform's host name).
     pub fn id(&self) -> &AgentId {
         &self.id
     }
 
-    /// Read access to the underlying machine.
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    /// Which backend this agent runs.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
-    /// Mutable access — used by experiments (and attackers) to act on the
-    /// host.
+    /// The backend's capability flags.
+    pub fn capabilities(&self) -> BackendCapabilities {
+        self.backend.capabilities()
+    }
+
+    /// Read access to the backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Mutable access to the backend — used by experiments (and
+    /// attackers) to act on the platform.
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// The platform's notion of the current simulated day.
+    pub fn day(&self) -> u32 {
+        self.backend.day()
+    }
+
+    /// Crash/restarts the platform, whatever the backend: TPM machines
+    /// reboot (reset counter bumps, IMA log clears), secure worlds and
+    /// confidential VMs reset their measurement state.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BackendError::Platform`] when the platform refuses.
+    pub fn restart(&mut self) -> Result<(), crate::backend::BackendError> {
+        self.backend.restart()
+    }
+
+    /// Read access to the underlying machine.
+    ///
+    /// # Panics
+    ///
+    /// When the agent does not run the TPM+IMA backend; heterogeneous
+    /// call sites should use [`Agent::try_machine`].
+    pub fn machine(&self) -> &Machine {
+        self.backend
+            .as_machine()
+            .expect("agent does not run the TPM+IMA backend")
+    }
+
+    /// Mutable access to the underlying machine.
+    ///
+    /// # Panics
+    ///
+    /// When the agent does not run the TPM+IMA backend; heterogeneous
+    /// call sites should use [`Agent::try_machine_mut`].
     pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+        self.backend
+            .as_machine_mut()
+            .expect("agent does not run the TPM+IMA backend")
+    }
+
+    /// The underlying machine, when this agent runs TPM+IMA.
+    pub fn try_machine(&self) -> Option<&Machine> {
+        self.backend.as_machine()
+    }
+
+    /// Mutable machine access, when this agent runs TPM+IMA.
+    pub fn try_machine_mut(&mut self) -> Option<&mut Machine> {
+        self.backend.as_machine_mut()
     }
 
     /// Consumes the agent, returning the machine.
+    ///
+    /// # Panics
+    ///
+    /// When the agent does not run the TPM+IMA backend.
     pub fn into_machine(self) -> Machine {
-        self.machine
+        match self.backend {
+            Backend::TpmIma(b) => b.into_machine(),
+            other => panic!(
+                "agent runs the {} backend, not TPM+IMA",
+                AttestationBackend::kind(&other)
+            ),
+        }
     }
 
     /// Serves one request.
     pub fn handle(&mut self, request: AgentRequest) -> AgentResponse {
         match request {
-            AgentRequest::Identity { challenge } => match self.machine.tpm.certify_ak(&challenge) {
-                Ok(binding) => AgentResponse::Identity(IdentityResponse {
-                    ek_certificate: self.machine.tpm.ek_certificate().clone(),
-                    binding,
-                }),
+            AgentRequest::Identity { challenge } => match self.backend.identity(&challenge) {
+                Ok(identity) => AgentResponse::Identity(identity),
                 Err(e) => AgentResponse::Error {
                     reason: e.to_string(),
                 },
@@ -129,33 +310,9 @@ impl Agent {
                 from_entry,
                 structured,
             } => {
-                let selection = PcrSelection::of(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
-                match self
-                    .machine
-                    .tpm
-                    .quote(&nonce, &selection, HashAlgorithm::Sha256)
-                {
-                    Ok(quote) => {
-                        let all = self.machine.ima.log().entries();
-                        let from = from_entry.min(all.len());
-                        let (log_excerpt, entries) = if structured {
-                            (String::new(), Some(all[from..].to_vec()))
-                        } else {
-                            let mut text = String::new();
-                            for e in &all[from..] {
-                                text.push_str(&e.render());
-                                text.push('\n');
-                            }
-                            (text, None)
-                        };
-                        AgentResponse::Quote(QuoteResponse {
-                            boot_count: quote.boot_count,
-                            quote,
-                            log_excerpt,
-                            entries,
-                            total_entries: all.len(),
-                        })
-                    }
+                let format = EvidenceFormat::from_structured(structured);
+                match self.backend.quote(&nonce, from_entry, format) {
+                    Ok(resp) => AgentResponse::Quote(resp),
                     Err(e) => AgentResponse::Error {
                         reason: e.to_string(),
                     },
@@ -176,6 +333,7 @@ impl Agent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{BackendRoot, SecureWorldBackend, SecureWorldConfig};
     use cia_os::MachineConfig;
     use cia_tpm::Manufacturer;
     use rand::rngs::StdRng;
@@ -193,8 +351,11 @@ mod tests {
         match a.handle(AgentRequest::Identity {
             challenge: b"c1".to_vec(),
         }) {
-            AgentResponse::Identity(id) => {
-                assert!(id.binding.verify(&id.ek_certificate.ek_public, b"c1"));
+            AgentResponse::Identity(IdentityResponse::TpmEk {
+                ek_certificate,
+                binding,
+            }) => {
+                assert!(binding.verify(&ek_certificate.ek_public, b"c1"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -203,6 +364,7 @@ mod tests {
     #[test]
     fn quote_covers_log() {
         let mut a = agent();
+        assert_eq!(a.backend_kind(), BackendKind::TpmIma);
         let resp = a.handle(AgentRequest::Quote {
             nonce: b"n1".to_vec(),
             from_entry: 0,
@@ -210,13 +372,14 @@ mod tests {
         });
         match resp {
             AgentResponse::Quote(q) => {
-                assert_eq!(q.total_entries, 1, "boot_aggregate only");
-                assert!(q.log_excerpt.contains("boot_aggregate"));
-                assert_eq!(q.entries, None, "text path carries no typed list");
+                assert_eq!(q.backend(), BackendKind::TpmIma);
+                assert_eq!(q.total_entries(), 1, "boot_aggregate only");
+                assert!(q.log_excerpt().contains("boot_aggregate"));
+                assert_eq!(q.entries(), None, "text path carries no typed list");
                 let ak = a.machine().tpm.ak_public().unwrap();
-                assert!(q.quote.verify(ak, b"n1"));
-                assert!(q.quote.pcr_value(10).is_some());
-                assert!(q.quote.pcr_value(0).is_some());
+                assert!(q.quote().verify(ak, b"n1"));
+                assert!(q.quote().pcr_value(10).is_some());
+                assert!(q.quote().pcr_value(0).is_some());
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -232,8 +395,8 @@ mod tests {
         });
         match resp {
             AgentResponse::Quote(q) => {
-                assert!(q.log_excerpt.is_empty());
-                assert_eq!(q.total_entries, 1);
+                assert!(q.log_excerpt().is_empty());
+                assert_eq!(q.total_entries(), 1);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -265,10 +428,44 @@ mod tests {
             AgentResponse::Quote(q) => q,
             other => panic!("unexpected {other:?}"),
         };
-        assert!(typed.log_excerpt.is_empty(), "never both renderings");
-        let entries = typed.entries.expect("structured path sends entries");
-        assert_eq!(entries.len(), typed.total_entries);
+        assert!(typed.log_excerpt().is_empty(), "never both renderings");
+        let entries = typed.entries().expect("structured path sends entries");
+        assert_eq!(entries.len(), typed.total_entries());
         let rendered: String = entries.iter().map(|e| e.render() + "\n").collect();
-        assert_eq!(rendered, text.log_excerpt, "same excerpt, two encodings");
+        assert_eq!(rendered, text.log_excerpt(), "same excerpt, two encodings");
+    }
+
+    #[test]
+    fn secure_world_agent_serves_protocol() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let root = BackendRoot::generate("TEE Vendor", &mut rng);
+        let sw = SecureWorldBackend::provision(SecureWorldConfig::new("sw-agent", 3), &root);
+        let mut a = Agent::with_backend(sw);
+        assert_eq!(a.backend_kind(), BackendKind::SecureWorld);
+        assert_eq!(a.id().to_string(), "sw-agent");
+        assert!(a.try_machine().is_none());
+        match a.handle(AgentRequest::Identity {
+            challenge: b"c".to_vec(),
+        }) {
+            AgentResponse::Identity(IdentityResponse::SecureWorld {
+                certificate,
+                binding,
+            }) => {
+                assert!(certificate.verify(root.public_key()));
+                assert!(binding.verify(&certificate.subject, b"c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Structured requests are refused by the backend, not dropped.
+        match a.handle(AgentRequest::Quote {
+            nonce: b"n".to_vec(),
+            from_entry: 0,
+            structured: true,
+        }) {
+            AgentResponse::Error { reason } => {
+                assert!(reason.contains("secure-world"), "got: {reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

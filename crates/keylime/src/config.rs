@@ -16,6 +16,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{BackendKind, BackendSet};
+
 /// Verifier behaviour toggles and fleet-engine parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VerifierConfig {
@@ -68,6 +70,15 @@ pub struct VerifierConfig {
     /// [`Transport::supports_structured_excerpt`]:
     ///     crate::transport::Transport::supports_structured_excerpt
     pub structured_excerpt: bool,
+    /// Which attestation backends this verifier accepts evidence from.
+    /// Agents enrolled with a backend outside the set fail appraisal
+    /// with [`FailureKind::BackendNotAllowed`]. Defaults to every known
+    /// backend — heterogeneous fleets are first-class.
+    ///
+    /// [`FailureKind::BackendNotAllowed`]:
+    ///     crate::verifier::FailureKind::BackendNotAllowed
+    #[serde(default)]
+    pub allowed_backends: BackendSet,
 }
 
 impl Default for VerifierConfig {
@@ -85,6 +96,7 @@ impl Default for VerifierConfig {
             reprobe_backoff_rounds: 2,
             reprobe_backoff_max_rounds: 32,
             structured_excerpt: true,
+            allowed_backends: BackendSet::all(),
         }
     }
 }
@@ -125,8 +137,12 @@ impl VerifierConfig {
 }
 
 /// Why a [`VerifierConfigBuilder::build`] was rejected.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
+    /// `allowed_backends` is empty — the verifier could accept no
+    /// evidence at all.
+    NoBackendsAllowed,
     /// `worker_count` must be at least 1.
     NoWorkers,
     /// `max_retries` above the supported bound.
@@ -169,6 +185,9 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ConfigError::NoBackendsAllowed => {
+                f.write_str("allowed_backends must name at least one backend")
+            }
             ConfigError::NoWorkers => f.write_str("worker_count must be at least 1"),
             ConfigError::TooManyRetries { requested, limit } => {
                 write!(f, "max_retries {requested} exceeds the limit of {limit}")
@@ -293,6 +312,19 @@ impl VerifierConfigBuilder {
         self
     }
 
+    /// Restricts which backends the verifier accepts evidence from
+    /// (see [`VerifierConfig::allowed_backends`]).
+    pub fn allowed_backends(mut self, set: BackendSet) -> Self {
+        self.config.allowed_backends = set;
+        self
+    }
+
+    /// Convenience: allow exactly one backend.
+    pub fn only_backend(mut self, kind: BackendKind) -> Self {
+        self.config.allowed_backends = BackendSet::only(kind);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -300,6 +332,9 @@ impl VerifierConfigBuilder {
     /// [`ConfigError`] naming the first violated constraint.
     pub fn build(self) -> Result<VerifierConfig, ConfigError> {
         let c = &self.config;
+        if c.allowed_backends.is_empty() {
+            return Err(ConfigError::NoBackendsAllowed);
+        }
         if c.worker_count == 0 {
             return Err(ConfigError::NoWorkers);
         }
@@ -482,6 +517,42 @@ mod tests {
         assert_eq!(c.backoff_for_attempt(3).as_millis(), 40);
         assert_eq!(c.backoff_for_attempt(4).as_millis(), 60, "capped");
         assert_eq!(c.backoff_for_attempt(63).as_millis(), 60, "no overflow");
+    }
+
+    #[test]
+    fn allowed_backends_default_and_narrowing() {
+        let c = VerifierConfig::default();
+        for kind in BackendKind::ALL {
+            assert!(c.allowed_backends.contains(kind), "all allowed by default");
+        }
+        let c = VerifierConfig::builder()
+            .only_backend(BackendKind::TpmIma)
+            .build()
+            .unwrap();
+        assert!(c.allowed_backends.contains(BackendKind::TpmIma));
+        assert!(!c.allowed_backends.contains(BackendKind::SecureWorld));
+        assert_eq!(
+            VerifierConfig::builder()
+                .allowed_backends(BackendSet::none())
+                .build(),
+            Err(ConfigError::NoBackendsAllowed)
+        );
+    }
+
+    #[test]
+    fn config_deserializes_without_allowed_backends_field() {
+        // Pre-backend configs on disk omit the field; it defaults to all.
+        let json = serde_json::to_string(&VerifierConfig::default()).unwrap();
+        let field = format!(
+            "\"allowed_backends\":{}",
+            serde_json::to_string(&BackendSet::all()).unwrap()
+        );
+        let stripped = json
+            .replace(&format!("{field},"), "")
+            .replace(&format!(",{field}"), "");
+        assert_ne!(stripped, json, "field must be present before stripping");
+        let c: VerifierConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(c.allowed_backends, BackendSet::all());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::ids::AgentId;
 use crate::transport::TransportError;
 
 /// Errors surfaced by Keylime operations.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KeylimeError {
     /// The transport failed to deliver a request or response.

@@ -109,6 +109,7 @@
 
 pub mod agent;
 pub mod audit;
+pub mod backend;
 pub mod chaos;
 pub mod config;
 pub mod error;
@@ -125,16 +126,22 @@ pub mod verifier;
 
 pub use agent::{Agent, AgentRequest, AgentResponse, IdentityResponse, QuoteResponse};
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use backend::{
+    AttestationBackend, Backend, BackendCapabilities, BackendCert, BackendError, BackendIdentity,
+    BackendKind, BackendRoot, BackendSet, ChallengeBinding, ConfidentialVmBackend,
+    ConfidentialVmConfig, EvidenceFormat, SecureWorldBackend, SecureWorldConfig, TpmImaBackend,
+};
 pub use chaos::{ChaosTransport, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use error::KeylimeError;
 pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
 pub use policy::{PolicyCheck, PolicyDelta, PolicyDiff, PolicyMeta, RuntimePolicy};
-pub use registrar::Registrar;
+pub use registrar::{Registrar, RegistrationRecord};
 pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
 pub use scheduler::{
-    AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundOutcome, RoundReport, SchedulerMetrics,
+    AgentRoundResult, BackendCounts, FleetScheduler, MetricsSnapshot, PerBackendCounts,
+    RoundOutcome, RoundReport, SchedulerMetrics,
 };
 pub use store::{ConcurrentPolicyStore, PolicyEpoch, PolicyStore, SharedPolicy};
 pub use tenant::{Cluster, Tenant};

@@ -33,6 +33,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::agent::Agent;
+use crate::backend::BackendKind;
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::store::{PolicyEpoch, SharedPolicy};
@@ -96,6 +97,12 @@ pub struct SchedulerMetrics {
     policy_push_ns: AtomicU64,
     /// Entry operations applied through policy deltas.
     delta_entries_applied: AtomicU64,
+    /// Per-backend splits of `verified`/`failed`/`unreachable`, indexed
+    /// by [`BackendKind::index`]. Pure refinements of the aggregate
+    /// counters — they stay outside the conservation identity.
+    backend_verified: [AtomicU64; BackendKind::ALL.len()],
+    backend_failed: [AtomicU64; BackendKind::ALL.len()],
+    backend_unreachable: [AtomicU64; BackendKind::ALL.len()],
     latency_ns: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -112,6 +119,18 @@ impl SchedulerMetrics {
     fn record_latency_ns(&self, nanos: u64) {
         let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         Self::add(&self.latency_ns[bucket], 1);
+    }
+
+    /// Bumps an aggregate outcome counter together with its per-backend
+    /// refinement, keeping the two views in lockstep.
+    fn add_outcome(
+        &self,
+        aggregate: &AtomicU64,
+        per_backend: &[AtomicU64; BackendKind::ALL.len()],
+        backend: BackendKind,
+    ) {
+        Self::add(aggregate, 1);
+        Self::add(&per_backend[backend.index()], 1);
     }
 
     /// Records one fleet-wide policy push: the epoch gauge moves to
@@ -150,11 +169,70 @@ impl SchedulerMetrics {
             policy_epoch: self.policy_epoch.load(Ordering::Relaxed),
             policy_push_ns: self.policy_push_ns.load(Ordering::Relaxed),
             delta_entries_applied: self.delta_entries_applied.load(Ordering::Relaxed),
+            per_backend: PerBackendCounts {
+                tpm_ima: self.backend_counts(BackendKind::TpmIma),
+                secure_world: self.backend_counts(BackendKind::SecureWorld),
+                confidential_vm: self.backend_counts(BackendKind::ConfidentialVm),
+            },
             latency_ns_buckets: self
                 .latency_ns
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+        }
+    }
+
+    fn backend_counts(&self, kind: BackendKind) -> BackendCounts {
+        let i = kind.index();
+        BackendCounts {
+            verified: self.backend_verified[i].load(Ordering::Relaxed),
+            failed: self.backend_failed[i].load(Ordering::Relaxed),
+            unreachable: self.backend_unreachable[i].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Outcome counters for one backend family — a refinement of the
+/// aggregate `verified`/`failed`/`unreachable` counters, never a
+/// separate accounting (see [`MetricsSnapshot::backends_consistent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BackendCounts {
+    /// Polls on this backend that verified cleanly.
+    pub verified: u64,
+    /// Polls on this backend that completed with alerts.
+    pub failed: u64,
+    /// Agents on this backend the engine could not reach (orphaned
+    /// enrolments included).
+    pub unreachable: u64,
+}
+
+impl BackendCounts {
+    fn total(&self) -> u64 {
+        self.verified + self.failed + self.unreachable
+    }
+}
+
+/// Per-backend outcome splits for a heterogeneous fleet, keyed by
+/// [`BackendKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PerBackendCounts {
+    /// Agents attesting through the TPM+IMA backend.
+    pub tpm_ima: BackendCounts,
+    /// Agents attesting through the secure-world (TrustZone) backend.
+    pub secure_world: BackendCounts,
+    /// Agents attesting through the confidential-VM backend.
+    pub confidential_vm: BackendCounts,
+}
+
+impl PerBackendCounts {
+    /// The counters for one backend family.
+    pub fn for_kind(&self, kind: BackendKind) -> BackendCounts {
+        match kind {
+            BackendKind::TpmIma => self.tpm_ima,
+            BackendKind::SecureWorld => self.secure_world,
+            BackendKind::ConfidentialVm => self.confidential_vm,
+            #[allow(unreachable_patterns)]
+            _ => BackendCounts::default(),
         }
     }
 }
@@ -222,6 +300,11 @@ pub struct MetricsSnapshot {
     /// [`crate::PolicyDelta`]s — the O(changed entries) distribution
     /// numerator the full-document push never had.
     pub delta_entries_applied: u64,
+    /// Per-backend splits of `verified`/`failed`/`unreachable`. Absent
+    /// in snapshots serialized before heterogeneous fleets existed, so
+    /// deserialization defaults it to all-zero.
+    #[serde(default)]
+    pub per_backend: PerBackendCounts,
     /// Log2 call-latency histogram: bucket i counts calls taking
     /// `[2^i, 2^(i+1))` nanoseconds.
     pub latency_ns_buckets: Vec<u64>,
@@ -276,9 +359,30 @@ impl MetricsSnapshot {
         self.calls + self.orphaned
             == self.verified + self.failed + self.skipped_paused + self.unreachable + self.retries
     }
+
+    /// True when the per-backend splits sum back to the aggregate
+    /// outcome counters they refine. The splits deliberately stay
+    /// outside [`MetricsSnapshot::is_conserved`] — they are a breakdown
+    /// of existing terms, not new ones — so this is the companion check
+    /// that the breakdown itself lost nothing. Trivially true for
+    /// snapshots deserialized from before the splits existed only when
+    /// the aggregates are zero too, which is the honest answer.
+    pub fn backends_consistent(&self) -> bool {
+        let kinds = [
+            self.per_backend.tpm_ima,
+            self.per_backend.secure_world,
+            self.per_backend.confidential_vm,
+        ];
+        kinds.iter().map(|c| c.verified).sum::<u64>() == self.verified
+            && kinds.iter().map(|c| c.failed).sum::<u64>() == self.failed
+            && kinds.iter().map(|c| c.unreachable).sum::<u64>() == self.unreachable
+            && kinds.iter().map(|c| c.total()).sum::<u64>()
+                == self.verified + self.failed + self.unreachable
+    }
 }
 
 /// The terminal outcome of one agent's slot in a round.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoundOutcome {
     /// The poll verified cleanly.
@@ -313,7 +417,11 @@ pub enum RoundOutcome {
 pub struct AgentRoundResult {
     /// The agent.
     pub id: AgentId,
-    /// The simulation day the poll ran at (the agent machine's clock).
+    /// The attestation backend the verifier appraised this agent
+    /// against (the registrar-proven family, not what the evidence
+    /// claimed).
+    pub backend: BackendKind,
+    /// The simulation day the poll ran at (the agent's backend clock).
     pub day: u32,
     /// Transport attempts spent on this agent (1 = no retries).
     pub attempts: u32,
@@ -368,6 +476,29 @@ impl RoundReport {
     /// Number of agents the engine could not reach.
     pub fn unreachable_count(&self) -> usize {
         self.count(|o| matches!(o, RoundOutcome::Unreachable { .. }))
+    }
+
+    /// Number of enrolled agents appraised against `kind` this round.
+    pub fn backend_count(&self, kind: BackendKind) -> usize {
+        self.results.iter().filter(|r| r.backend == kind).count()
+    }
+
+    /// Number of cleanly verified agents on `kind`.
+    pub fn verified_count_for(&self, kind: BackendKind) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.backend == kind)
+            .filter(|r| matches!(r.outcome, RoundOutcome::Verified { .. }))
+            .count()
+    }
+
+    /// Number of agents on `kind` that completed with alerts.
+    pub fn failed_count_for(&self, kind: BackendKind) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.backend == kind)
+            .filter(|r| matches!(r.outcome, RoundOutcome::Failed { .. }))
+            .count()
     }
 
     /// Total retries spent this round.
@@ -463,7 +594,7 @@ impl FleetScheduler {
             agents.iter_mut().map(|a| (a.id().clone(), a)).collect();
 
         let mut jobs: Vec<Job<'_>> = Vec::new();
-        let mut orphaned: Vec<(AgentId, PolicyEpoch, bool)> = Vec::new();
+        let mut orphaned: Vec<(AgentId, BackendKind, PolicyEpoch, bool)> = Vec::new();
         for (lane, (id, record)) in records.iter_mut().enumerate() {
             match agent_by_id.remove(id) {
                 Some(agent) => jobs.push(Job {
@@ -474,6 +605,7 @@ impl FleetScheduler {
                 }),
                 None => orphaned.push((
                     id.clone(),
+                    record.backend_kind(),
                     record.policy_epoch(),
                     record.follows_shared_store(),
                 )),
@@ -514,11 +646,16 @@ impl FleetScheduler {
         drop(job_rx);
 
         let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
-        for (id, policy_epoch, shared_policy) in orphaned {
-            SchedulerMetrics::add(&self.metrics.unreachable, 1);
+        for (id, backend, policy_epoch, shared_policy) in orphaned {
+            self.metrics.add_outcome(
+                &self.metrics.unreachable,
+                &self.metrics.backend_unreachable,
+                backend,
+            );
             SchedulerMetrics::add(&self.metrics.orphaned, 1);
             results.push(AgentRoundResult {
                 id,
+                backend,
                 day: 0,
                 attempts: 0,
                 backoff_ms: 0,
@@ -554,7 +691,10 @@ fn attest_with_retry<T: Transport>(
     job: Job<'_>,
     transport: &mut T,
 ) -> AgentRoundResult {
-    let day = job.agent.machine().clock.day();
+    let day = job.agent.day();
+    // Appraisal is against the enrolment-proven backend, so the result
+    // row reports that identity — not whatever the wire tag claims.
+    let backend = job.record.backend_kind();
 
     // Quarantine gate: a quarantined agent is polled only when its
     // re-probe is due; otherwise the round costs zero transport calls.
@@ -566,6 +706,7 @@ fn attest_with_retry<T: Transport>(
             SchedulerMetrics::add(&metrics.quarantine_skips, 1);
             return AgentRoundResult {
                 id: job.id,
+                backend,
                 day,
                 attempts: 0,
                 backoff_ms: 0,
@@ -603,12 +744,12 @@ fn attest_with_retry<T: Transport>(
             Ok(outcome) => {
                 let round_outcome = match outcome {
                     AttestationOutcome::Verified { new_entries } => {
-                        SchedulerMetrics::add(&metrics.verified, 1);
+                        metrics.add_outcome(&metrics.verified, &metrics.backend_verified, backend);
                         update_health(job.record, ReachClass::Verified, config, metrics);
                         RoundOutcome::Verified { new_entries }
                     }
                     AttestationOutcome::Failed { alerts } => {
-                        SchedulerMetrics::add(&metrics.failed, 1);
+                        metrics.add_outcome(&metrics.failed, &metrics.backend_failed, backend);
                         SchedulerMetrics::add(&metrics.alerts, alerts.len() as u64);
                         update_health(job.record, ReachClass::ReachedNotVerified, config, metrics);
                         RoundOutcome::Failed { alerts }
@@ -622,6 +763,7 @@ fn attest_with_retry<T: Transport>(
                 };
                 return AgentRoundResult {
                     id: job.id,
+                    backend,
                     day,
                     attempts,
                     backoff_ms: backoff_ms_total,
@@ -638,10 +780,11 @@ fn attest_with_retry<T: Transport>(
             SchedulerMetrics::add(&metrics.drops, 1);
         }
         if !retryable || attempts > retry_budget {
-            SchedulerMetrics::add(&metrics.unreachable, 1);
+            metrics.add_outcome(&metrics.unreachable, &metrics.backend_unreachable, backend);
             update_health(job.record, ReachClass::Unreachable, config, metrics);
             return AgentRoundResult {
                 id: job.id,
+                backend,
                 day,
                 attempts,
                 backoff_ms: backoff_ms_total,
@@ -690,6 +833,7 @@ mod tests {
     fn round_result(id: &str, epoch: PolicyEpoch, shared_policy: bool) -> AgentRoundResult {
         AgentRoundResult {
             id: AgentId::from(id),
+            backend: BackendKind::TpmIma,
             day: 0,
             attempts: 1,
             backoff_ms: 0,
@@ -800,6 +944,68 @@ mod tests {
             MetricsSnapshot::default().is_conserved(),
             "empty is conserved"
         );
+    }
+
+    #[test]
+    fn per_backend_splits_refine_aggregates() {
+        let m = SchedulerMetrics::new();
+        m.add_outcome(&m.verified, &m.backend_verified, BackendKind::TpmIma);
+        m.add_outcome(&m.verified, &m.backend_verified, BackendKind::SecureWorld);
+        m.add_outcome(&m.failed, &m.backend_failed, BackendKind::ConfidentialVm);
+        m.add_outcome(&m.unreachable, &m.backend_unreachable, BackendKind::TpmIma);
+        let snap = m.snapshot();
+        assert!(snap.backends_consistent());
+        assert_eq!(snap.per_backend.for_kind(BackendKind::TpmIma).verified, 1);
+        assert_eq!(
+            snap.per_backend.for_kind(BackendKind::SecureWorld).verified,
+            1
+        );
+        assert_eq!(
+            snap.per_backend
+                .for_kind(BackendKind::ConfidentialVm)
+                .failed,
+            1
+        );
+        assert_eq!(
+            snap.per_backend.for_kind(BackendKind::TpmIma).unreachable,
+            1
+        );
+    }
+
+    #[test]
+    fn backends_consistent_catches_lost_split() {
+        let mut snap = MetricsSnapshot {
+            verified: 2,
+            per_backend: PerBackendCounts {
+                tpm_ima: BackendCounts {
+                    verified: 1,
+                    ..BackendCounts::default()
+                },
+                ..PerBackendCounts::default()
+            },
+            ..MetricsSnapshot::default()
+        };
+        assert!(!snap.backends_consistent(), "one verified poll unsplit");
+        snap.per_backend.secure_world.verified = 1;
+        assert!(snap.backends_consistent());
+    }
+
+    /// Old snapshots serialized before per-backend splits existed must
+    /// still deserialize (the splits default to zero).
+    #[test]
+    fn snapshot_deserializes_without_per_backend_field() {
+        let snap = MetricsSnapshot::default();
+        let wire = serde_json::to_string(&snap).unwrap();
+        let field = format!(
+            "\"per_backend\":{}",
+            serde_json::to_string(&PerBackendCounts::default()).unwrap()
+        );
+        let stripped = wire
+            .replace(&format!("{field},"), "")
+            .replace(&format!(",{field}"), "");
+        assert_ne!(stripped, wire, "field must be present before stripping");
+        let back: MetricsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

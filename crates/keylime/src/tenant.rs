@@ -10,11 +10,14 @@ use std::collections::BTreeMap;
 
 use crate::agent::Agent;
 use crate::audit::{AuditLog, AuditOutcome};
+use crate::backend::{
+    BackendRoot, ConfidentialVmBackend, ConfidentialVmConfig, SecureWorldBackend, SecureWorldConfig,
+};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::payload::{KeyShare, PayloadBundle};
 use crate::policy::{PolicyDelta, RuntimePolicy};
-use crate::registrar::Registrar;
+use crate::registrar::{Registrar, RegistrationRecord};
 use crate::revocation::{RevocationBus, RevocationEmitter};
 use crate::scheduler::{FleetScheduler, RoundOutcome, RoundReport};
 use crate::store::PolicyEpoch;
@@ -62,6 +65,11 @@ pub trait Tenant {
 pub struct Cluster<T: Transport = ReliableTransport> {
     /// The TPM manufacturer all machines' TPMs chain to.
     pub manufacturer: Manufacturer,
+    /// The TEE vendor root all secure-world device certificates chain to.
+    pub tee_root: BackendRoot,
+    /// The confidential-computing platform root all CVM guest
+    /// certificates chain to.
+    pub vm_platform: BackendRoot,
     /// The registrar.
     pub registrar: Registrar,
     /// The verifier.
@@ -96,9 +104,19 @@ impl<T: Transport> Cluster<T> {
     pub fn with_transport(seed: u64, config: VerifierConfig, transport: T) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let manufacturer = Manufacturer::generate(&mut rng);
-        let registrar = Registrar::new(vec![manufacturer.public_key().clone()], seed ^ 0x5ead);
+        // The TEE and platform roots come from their own seeded stream:
+        // adding backend families must not shift the draw order (and
+        // therefore the keys) of pre-existing clusters.
+        let mut backend_rng = StdRng::seed_from_u64(seed ^ 0x7ee5);
+        let tee_root = BackendRoot::generate("TEE Vendor", &mut backend_rng);
+        let vm_platform = BackendRoot::generate("CC Platform", &mut backend_rng);
+        let mut registrar = Registrar::new(vec![manufacturer.public_key().clone()], seed ^ 0x5ead);
+        registrar.trust_tee_root(tee_root.public_key().clone());
+        registrar.trust_platform_root(vm_platform.public_key().clone());
         Cluster {
             manufacturer,
+            tee_root,
+            vm_platform,
             registrar,
             verifier: Verifier::new(config),
             transport,
@@ -181,9 +199,72 @@ impl<T: Transport> Cluster<T> {
         agent: Agent,
         policy: RuntimePolicy,
     ) -> Result<AgentId, KeylimeError> {
-        let (id, ak) = self.register_with_retry(agent)?;
-        self.verifier.add_agent(id.clone(), ak, policy);
+        let (id, record) = self.register_with_retry(agent)?;
+        self.verifier
+            .add_agent_with_identity(id.clone(), record.ak, record.identity, policy);
         Ok(id)
+    }
+
+    /// Provisions a secure-world (TrustZone-style) backend under this
+    /// cluster's TEE vendor root, then registers and enrols it with
+    /// `policy`. The verifier appraises it against its measurement
+    /// register instead of an IMA PCR, over text evidence only.
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_secure_world(
+        &mut self,
+        config: SecureWorldConfig,
+        policy: RuntimePolicy,
+    ) -> Result<AgentId, KeylimeError> {
+        let backend = SecureWorldBackend::provision(config, &self.tee_root);
+        self.add_agent(Agent::with_backend(backend), policy)
+    }
+
+    /// Provisions a secure-world backend and enrols it on the shared
+    /// policy store (see [`Cluster::add_machine_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_secure_world_shared(
+        &mut self,
+        config: SecureWorldConfig,
+    ) -> Result<AgentId, KeylimeError> {
+        let backend = SecureWorldBackend::provision(config, &self.tee_root);
+        self.add_agent_shared(Agent::with_backend(backend))
+    }
+
+    /// Provisions a confidential-VM backend under this cluster's
+    /// platform root, then registers and enrols it with `policy`. The
+    /// registrar pins the platform-certified launch measurement; the
+    /// verifier checks every quote's launch register against that pin.
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_confidential_vm(
+        &mut self,
+        config: ConfidentialVmConfig,
+        policy: RuntimePolicy,
+    ) -> Result<AgentId, KeylimeError> {
+        let backend = ConfidentialVmBackend::provision(config, &self.vm_platform);
+        self.add_agent(Agent::with_backend(backend), policy)
+    }
+
+    /// Provisions a confidential-VM backend and enrols it on the shared
+    /// policy store (see [`Cluster::add_machine_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Registration/transport failures.
+    pub fn add_confidential_vm_shared(
+        &mut self,
+        config: ConfidentialVmConfig,
+    ) -> Result<AgentId, KeylimeError> {
+        let backend = ConfidentialVmBackend::provision(config, &self.vm_platform);
+        self.add_agent_shared(Agent::with_backend(backend))
     }
 
     /// Builds, registers and enrols a machine attached to the verifier's
@@ -208,17 +289,19 @@ impl<T: Transport> Cluster<T> {
     /// Registration failures, or transport failures persisting past the
     /// retry budget.
     pub fn add_agent_shared(&mut self, agent: Agent) -> Result<AgentId, KeylimeError> {
-        let (id, ak) = self.register_with_retry(agent)?;
-        self.verifier.add_agent_shared(id.clone(), ak);
+        let (id, record) = self.register_with_retry(agent)?;
+        self.verifier
+            .add_agent_shared_with_identity(id.clone(), record.ak, record.identity);
         Ok(id)
     }
 
     /// Registers an agent with the verifier's retry budget and stores it;
-    /// returns its id and registered AK for enrolment.
+    /// returns its id and registration record (AK plus proven backend
+    /// identity) for enrolment.
     fn register_with_retry(
         &mut self,
         mut agent: Agent,
-    ) -> Result<(AgentId, cia_crypto::VerifyingKey), KeylimeError> {
+    ) -> Result<(AgentId, RegistrationRecord), KeylimeError> {
         let max_retries = self.verifier.config().max_retries;
         let mut attempts = 0u32;
         loop {
@@ -232,15 +315,15 @@ impl<T: Transport> Cluster<T> {
             }
         }
         let id = agent.id().clone();
-        let ak = self
+        let record = self
             .registrar
-            .ak_for(&id)
+            .record_for(&id)
             .ok_or_else(|| KeylimeError::Registration {
-                reason: format!("registrar lost the AK for `{id}` right after registering it"),
+                reason: format!("registrar lost the record for `{id}` right after registering it"),
             })?
             .clone();
         self.agents.push(agent);
-        Ok((id, ak))
+        Ok((id, record))
     }
 
     /// Publishes a full replacement policy fleet-wide as a new epoch and
@@ -312,7 +395,7 @@ impl<T: Transport> Cluster<T> {
         self.agents.iter_mut().find(|a| a.id() == id)
     }
 
-    /// Polls one agent at the agent machine's current day.
+    /// Polls one agent at its backend's current day.
     ///
     /// # Errors
     ///
@@ -324,7 +407,7 @@ impl<T: Transport> Cluster<T> {
             .position(|a| a.id() == id)
             .ok_or_else(|| KeylimeError::UnknownAgent { id: id.clone() })?;
         let agent = &mut self.agents[idx];
-        let day = agent.machine().clock.day();
+        let day = agent.day();
         let outcome = self.verifier.attest(&mut self.transport, agent, day)?;
         // Durable attestation: every outcome enters the audit chain.
         let audit_outcome = match &outcome {

@@ -5,11 +5,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cia_crypto::{Digest, HashAlgorithm, Sha256};
-use cia_ima::{ImaLogEntry, MeasurementLog, BOOT_AGGREGATE_NAME, IMA_PCR};
+use cia_ima::{ImaLogEntry, MeasurementLog, BOOT_AGGREGATE_NAME};
 use cia_tpm::pcr::extend_digest;
 use serde::{Deserialize, Serialize};
 
 use crate::agent::{Agent, AgentRequest, AgentResponse, QuoteResponse};
+use crate::backend::{BackendIdentity, BackendKind, BackendSet, CVM_LAUNCH_REGISTER};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::policy::{PolicyCheck, PolicyDelta, RuntimePolicy};
@@ -19,11 +20,13 @@ use crate::transport::Transport;
 pub use crate::config::VerifierConfig;
 
 /// Why an attestation failed.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FailureKind {
     /// Quote signature or nonce check failed.
     QuoteInvalid,
-    /// The measurement list does not replay to the quoted PCR 10.
+    /// The measurement list does not replay to the quoted evidence
+    /// register (PCR 10 on the TPM+IMA backend).
     PcrMismatch,
     /// The log shrank without a TPM reset — rewind tampering.
     LogRewound,
@@ -50,6 +53,24 @@ pub enum FailureKind {
         /// The measured digest (hex).
         digest: String,
     },
+    /// Evidence arrived from a backend outside
+    /// [`VerifierConfig::allowed_backends`].
+    BackendNotAllowed {
+        /// The enrolled backend the config rejects.
+        backend: BackendKind,
+    },
+    /// The evidence claims a different backend than the agent enrolled
+    /// with — a cross-backend substitution attempt.
+    BackendMismatch {
+        /// The backend the registrar record proves.
+        expected: BackendKind,
+        /// The backend the evidence claims.
+        reported: BackendKind,
+    },
+    /// The quoted launch register diverges from the platform-certified
+    /// launch measurement the agent enrolled with (confidential-VM
+    /// backends only) — the guest was relaunched from a different image.
+    LaunchMeasurementMismatch,
 }
 
 /// One attestation failure event.
@@ -187,6 +208,9 @@ impl AttestationOutcome {
 #[derive(Debug)]
 pub(crate) struct AgentRecord {
     ak: cia_crypto::VerifyingKey,
+    /// The backend identity the registrar proved at enrolment — the
+    /// appraisal ground truth (never the evidence's own claim).
+    backend: BackendIdentity,
     /// Handle to the policy this agent appraises against. Shared agents
     /// hold an `Arc` clone of a [`PolicyStore`] snapshot (a fleet-wide
     /// push is a handle swap, never a deep copy); override agents hold
@@ -221,6 +245,16 @@ impl AgentRecord {
     /// The agent's current reachability health.
     pub(crate) fn health(&self) -> AgentHealth {
         self.health
+    }
+
+    /// The enrolled backend identity.
+    pub(crate) fn backend_identity(&self) -> BackendIdentity {
+        self.backend
+    }
+
+    /// The enrolled backend kind.
+    pub(crate) fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// The store epoch the agent last acknowledged.
@@ -370,10 +404,22 @@ impl Verifier {
         ak: cia_crypto::VerifyingKey,
         policy: RuntimePolicy,
     ) {
+        self.add_agent_with_identity(id, ak, BackendIdentity::tpm_ima(), policy);
+    }
+
+    /// [`Verifier::add_agent`] with an explicit backend identity (from the
+    /// registrar record) — required for non-TPM backends.
+    pub fn add_agent_with_identity(
+        &mut self,
+        id: impl Into<AgentId>,
+        ak: cia_crypto::VerifyingKey,
+        identity: BackendIdentity,
+        policy: RuntimePolicy,
+    ) {
         let epoch = self.store.epoch();
         self.agents.insert(
             id.into(),
-            Self::fresh_record(ak, Arc::new(policy), epoch, false),
+            Self::fresh_record(ak, identity, Arc::new(policy), epoch, false),
         );
     }
 
@@ -381,20 +427,35 @@ impl Verifier {
     /// the current snapshot (one `Arc` clone) and adopts every future
     /// published epoch.
     pub fn add_agent_shared(&mut self, id: impl Into<AgentId>, ak: cia_crypto::VerifyingKey) {
+        self.add_agent_shared_with_identity(id, ak, BackendIdentity::tpm_ima());
+    }
+
+    /// [`Verifier::add_agent_shared`] with an explicit backend identity
+    /// (from the registrar record) — required for non-TPM backends.
+    pub fn add_agent_shared_with_identity(
+        &mut self,
+        id: impl Into<AgentId>,
+        ak: cia_crypto::VerifyingKey,
+        identity: BackendIdentity,
+    ) {
         let snapshot = Arc::clone(self.store.snapshot());
         let epoch = self.store.epoch();
-        self.agents
-            .insert(id.into(), Self::fresh_record(ak, snapshot, epoch, true));
+        self.agents.insert(
+            id.into(),
+            Self::fresh_record(ak, identity, snapshot, epoch, true),
+        );
     }
 
     fn fresh_record(
         ak: cia_crypto::VerifyingKey,
+        backend: BackendIdentity,
         policy: Arc<RuntimePolicy>,
         policy_epoch: PolicyEpoch,
         shared_policy: bool,
     ) -> AgentRecord {
         AgentRecord {
             ak,
+            backend,
             policy,
             policy_epoch,
             shared_policy,
@@ -549,6 +610,15 @@ impl Verifier {
         Ok(self.record(id)?.health)
     }
 
+    /// The backend identity the agent enrolled with.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn backend_identity(&self, id: &AgentId) -> Result<BackendIdentity, KeylimeError> {
+        Ok(self.record(id)?.backend_identity())
+    }
+
     /// The PCR 10 value replayed from every entry processed so far — the
     /// verifier's ground truth for the agent's measurement history.
     ///
@@ -595,8 +665,13 @@ impl Verifier {
         agent: &mut Agent,
     ) -> Result<(), KeylimeError> {
         let id = agent.id().clone();
-        let structured = self.config.structured_excerpt && transport.supports_structured_excerpt();
+        let config = self.config;
         let record = self.record_mut(&id)?;
+        // Same three-way negotiation as the attestation path: config,
+        // transport capability, and the enrolled backend's capability.
+        let structured = config.structured_excerpt
+            && transport.supports_structured_excerpt()
+            && record.backend.kind().capabilities().structured_excerpt;
         let nonce = Self::make_nonce(&id, record.nonce_counter);
         record.nonce_counter += 1;
         let request = AgentRequest::Quote {
@@ -677,7 +752,14 @@ impl Verifier {
         record.adopt_shared(shared);
 
         let continue_on_failure = config.continue_on_failure;
-        let structured = config.structured_excerpt && transport.supports_structured_excerpt();
+        // Wire-format negotiation is three-way: the verifier's config,
+        // the transport's capability, *and* the enrolled backend's
+        // capability. A backend that only speaks the legacy text list
+        // (e.g. secure-world) must never be asked for the v2 excerpt —
+        // it would refuse the request outright.
+        let structured = config.structured_excerpt
+            && transport.supports_structured_excerpt()
+            && record.backend.kind().capabilities().structured_excerpt;
 
         if record.status == AgentStatus::Paused && !continue_on_failure {
             return Ok(AttestationOutcome::SkippedPaused);
@@ -730,6 +812,7 @@ impl Verifier {
                 &nonce2,
                 day,
                 continue_on_failure,
+                config.allowed_backends,
                 stats,
             ));
         }
@@ -741,6 +824,7 @@ impl Verifier {
             &nonce,
             day,
             continue_on_failure,
+            config.allowed_backends,
             stats,
         ))
     }
@@ -754,6 +838,7 @@ impl Verifier {
         nonce: &[u8],
         day: u32,
         continue_on_failure: bool,
+        allowed: BackendSet,
         stats: &mut HotStats,
     ) -> AttestationOutcome {
         let mut alerts: Vec<Alert> = Vec::new();
@@ -762,6 +847,32 @@ impl Verifier {
             record.alerts.extend(alerts.iter().cloned());
             AttestationOutcome::Failed { alerts }
         };
+
+        // ⓪ Backend gating. The enrolled identity — not the evidence's
+        // own tag — decides how this agent is appraised; a tag that
+        // disagrees with the record is a substitution attempt.
+        let identity = record.backend;
+        if !allowed.contains(identity.kind()) {
+            alerts.push(Alert {
+                agent: id.clone(),
+                day,
+                kind: FailureKind::BackendNotAllowed {
+                    backend: identity.kind(),
+                },
+            });
+            return fail(record, alerts);
+        }
+        if resp.backend != identity.kind() {
+            alerts.push(Alert {
+                agent: id.clone(),
+                day,
+                kind: FailureKind::BackendMismatch {
+                    expected: identity.kind(),
+                    reported: resp.backend,
+                },
+            });
+            return fail(record, alerts);
+        }
 
         // ① Quote authenticity and freshness.
         if !resp.quote.verify(&record.ak, nonce) {
@@ -783,7 +894,23 @@ impl Verifier {
             return fail(record, alerts);
         }
 
-        // ② The excerpt must replay to the quoted PCR 10. A structured
+        // Launch-rooted identity (confidential VMs): the quoted launch
+        // register must equal the platform-certified measurement the
+        // agent enrolled with. Checked after ① so only a signed register
+        // is trusted.
+        if let Some(enrolled_launch) = identity.launch_measurement() {
+            if resp.quote.pcr_value(CVM_LAUNCH_REGISTER) != Some(enrolled_launch) {
+                alerts.push(Alert {
+                    agent: id.clone(),
+                    day,
+                    kind: FailureKind::LaunchMeasurementMismatch,
+                });
+                return fail(record, alerts);
+            }
+        }
+
+        // ② The excerpt must replay to the quoted evidence register
+        // (PCR 10 on TPM+IMA). A structured
         // (v2) excerpt is used as-is — its template-hash caches never
         // travel, so the fold below recomputes them from the entry fields
         // and any tampering lands here as a PCR mismatch. A text excerpt
@@ -817,8 +944,8 @@ impl Verifier {
                 entry.template_hash(HashAlgorithm::Sha256),
             );
         }
-        let quoted_pcr10 = resp.quote.pcr_value(IMA_PCR);
-        if quoted_pcr10 != Some(full_fold) {
+        let quoted_evidence = resp.quote.pcr_value(identity.kind().evidence_register());
+        if quoted_evidence != Some(full_fold) {
             alerts.push(Alert {
                 agent: id.clone(),
                 day,
@@ -836,38 +963,40 @@ impl Verifier {
         // lint:allow(determinism): policy-check latency metering only —
         // feeds HotStats::policy_check_ns, never an appraisal verdict.
         let check_started = Instant::now();
+        let has_boot_aggregate = identity.kind().capabilities().boot_aggregate;
         let mut processed = 0usize;
         for (offset, entry) in entries.iter().enumerate() {
             let absolute_index = record.next_entry + offset;
-            let verdict = if absolute_index == 0 && entry.path == BOOT_AGGREGATE_NAME {
-                // boot_aggregate must match the quoted PCRs 0–9.
-                let mut h = Sha256::new();
-                for pcr in 0..=9u8 {
-                    if let Some(v) = resp.quote.pcr_value(pcr) {
-                        h.update(v.as_bytes());
+            let verdict =
+                if has_boot_aggregate && absolute_index == 0 && entry.path == BOOT_AGGREGATE_NAME {
+                    // boot_aggregate must match the quoted PCRs 0–9.
+                    let mut h = Sha256::new();
+                    for pcr in 0..=9u8 {
+                        if let Some(v) = resp.quote.pcr_value(pcr) {
+                            h.update(v.as_bytes());
+                        }
                     }
-                }
-                if h.finalize() == entry.filedata_hash {
-                    None
+                    if h.finalize() == entry.filedata_hash {
+                        None
+                    } else {
+                        Some(FailureKind::BootAggregateMismatch)
+                    }
                 } else {
-                    Some(FailureKind::BootAggregateMismatch)
-                }
-            } else {
-                match record
-                    .policy
-                    .check_digest(&entry.path, &entry.filedata_hash)
-                {
-                    PolicyCheck::Allowed | PolicyCheck::Excluded => None,
-                    PolicyCheck::HashMismatch { .. } => Some(FailureKind::HashMismatch {
-                        path: entry.path.clone(),
-                        digest: entry.filedata_hash.to_hex(),
-                    }),
-                    PolicyCheck::NotInPolicy => Some(FailureKind::NotInPolicy {
-                        path: entry.path.clone(),
-                        digest: entry.filedata_hash.to_hex(),
-                    }),
-                }
-            };
+                    match record
+                        .policy
+                        .check_digest(&entry.path, &entry.filedata_hash)
+                    {
+                        PolicyCheck::Allowed | PolicyCheck::Excluded => None,
+                        PolicyCheck::HashMismatch { .. } => Some(FailureKind::HashMismatch {
+                            path: entry.path.clone(),
+                            digest: entry.filedata_hash.to_hex(),
+                        }),
+                        PolicyCheck::NotInPolicy => Some(FailureKind::NotInPolicy {
+                            path: entry.path.clone(),
+                            digest: entry.filedata_hash.to_hex(),
+                        }),
+                    }
+                };
 
             if let Some(kind) = verdict {
                 alerts.push(Alert {
@@ -962,6 +1091,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         Verifier::fresh_record(
             cia_crypto::KeyPair::generate(&mut rng).verifying,
+            BackendIdentity::tpm_ima(),
             Arc::new(RuntimePolicy::new()),
             PolicyEpoch::ZERO,
             true,

@@ -147,15 +147,15 @@ fn structured_excerpt_roundtrips_through_the_wire() {
     }
     let resp = structured_quote(cluster.agent_mut(&id).unwrap());
     assert!(
-        resp.log_excerpt.is_empty(),
+        resp.log_excerpt().is_empty(),
         "structured replies carry no text"
     );
-    let entries = resp.entries.as_ref().expect("structured entries present");
-    assert_eq!(entries.len(), resp.total_entries);
+    let entries = resp.entries().expect("structured entries present");
+    assert_eq!(entries.len(), resp.total_entries());
 
     let wire = serde_json::to_string(&resp).unwrap();
     let back: QuoteResponse = serde_json::from_str(&wire).unwrap();
-    let back_entries = back.entries.as_ref().expect("entries survive the wire");
+    let back_entries = back.entries().expect("entries survive the wire");
     assert_eq!(back_entries.len(), entries.len());
 
     let mut sent_fold = HashAlgorithm::Sha256.zero_digest();
@@ -180,7 +180,7 @@ fn structured_excerpt_roundtrips_through_the_wire() {
         );
     }
     assert_eq!(sent_fold, received_fold, "PCR folds agree across the wire");
-    assert_eq!(resp.quote.pcr_value(10), Some(sent_fold));
+    assert_eq!(resp.quote().pcr_value(10), Some(sent_fold));
 }
 
 /// A transport that rewrites one path inside the serialized response —

@@ -217,10 +217,7 @@ impl SimRunner {
                 .cluster
                 .agent_mut(&id)
                 .expect("enrolled agent has a process");
-            agent
-                .machine_mut()
-                .reboot()
-                .expect("scripted reboot succeeds");
+            agent.restart().expect("scripted reboot succeeds");
         }
 
         self.cluster.transport.set_round(round);

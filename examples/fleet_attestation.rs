@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("quarantined (reprobe in {next_probe_in} rounds)")
             }
             RoundOutcome::Unreachable { reason } => format!("UNREACHABLE: {reason}"),
+            _ => "unknown outcome".to_string(),
         };
         println!("  {}: {status}", result.id);
     }

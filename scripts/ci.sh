@@ -67,6 +67,10 @@ print(f"BENCH_policy.json ok: apply_delta {doc['apply_delta_speedup_best']}x, "
       f"{gate['pushes']} pushes with 0 copies")
 EOF
 
+echo "== backends: heterogeneous-fleet suite (trait refactor equivalence) =="
+cargo test "${OFFLINE[@]}" -q -p cia-keylime --test backend_fleet
+cargo test "${OFFLINE[@]}" -q -p cia-core --lib hetero
+
 echo "== lock-sanitizer: runtime lock-order graph over the sim corpus =="
 cargo test "${OFFLINE[@]}" -q -p cia-sim --features lock-sanitizer
 cargo test "${OFFLINE[@]}" -q -p parking_lot --features lock-sanitizer

@@ -3,9 +3,12 @@
 //! `syn`/`quote` are unavailable offline, so this parses the item's
 //! `TokenStream` directly. It supports exactly the shapes this workspace
 //! uses: plain (non-generic) structs with named fields, tuple structs,
-//! and enums with unit / tuple / struct variants. Serde attributes such
-//! as `#[serde(transparent)]` are accepted and ignored — newtype structs
-//! already serialize transparently here.
+//! and enums with unit / tuple / struct variants. `#[serde(default)]` on
+//! a named field is honoured: a missing key deserializes to the field
+//! type's `Default` instead of erroring, which is how evolving wire
+//! formats stay readable by both old and new peers. Other serde
+//! attributes such as `#[serde(transparent)]` are accepted and ignored —
+//! newtype structs already serialize transparently here.
 //!
 //! Generated encoding (matches real serde's externally-tagged defaults):
 //! named struct -> object; newtype struct -> inner value; tuple struct
@@ -15,11 +18,19 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether `#[serde(default)]` was
+/// present.
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    has_default: bool,
+}
+
 #[derive(Debug)]
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
 }
 
 #[derive(Debug)]
@@ -142,13 +153,46 @@ fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
     &chunk[i..]
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True when the chunk's leading attributes contain `#[serde(default)]`
+/// (alone or among other serde arguments).
+fn has_serde_default(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        let (TokenTree::Punct(p), TokenTree::Group(attr)) = (&chunk[i], &chunk[i + 1]) else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let mut inner = attr.stream().into_iter();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.next(), inner.next())
+        {
+            if id.to_string() == "serde"
+                && args
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+            {
+                return true;
+            }
+        }
+        i += 2;
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
     split_top_level(stream)
         .iter()
         .map(|chunk| {
+            let has_default = has_serde_default(chunk);
             let chunk = strip_attrs_and_vis(chunk);
             match chunk.first() {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => NamedField {
+                    name: id.to_string(),
+                    has_default,
+                },
                 other => panic!("serde shim derive: expected field name, got {other:?}"),
             }
         })
@@ -202,6 +246,7 @@ fn gen_serialize(item: &Item) -> String {
                     let items: Vec<String> = names
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
                             )
@@ -240,10 +285,15 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let items: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
                                     )
@@ -269,15 +319,23 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
-fn named_field_extractors(type_name: &str, source: &str, fields: &[String]) -> String {
+fn named_field_extractors(type_name: &str, source: &str, fields: &[NamedField]) -> String {
     fields
         .iter()
-        .map(|f| {
+        .map(|field| {
+            let f = &field.name;
+            let missing = if field.has_default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(::serde::DeError::new(\n\
+                         format!(\"missing field `{f}` in {type_name}\")))"
+                )
+            };
             format!(
                 "{f}: match {source}.get(\"{f}\") {{\n\
                      Some(v) => ::serde::Deserialize::from_value(v)?,\n\
-                     None => return Err(::serde::DeError::new(\n\
-                         format!(\"missing field `{f}` in {type_name}\"))),\n\
+                     None => {missing},\n\
                  }},"
             )
         })

@@ -60,18 +60,19 @@ pub use cia_vfs as vfs;
 pub mod prelude {
     pub use cia_attacks::{attack_corpus, evaluate, DefenseConfig, PlanMode};
     pub use cia_core::experiments::{
-        run_fleet, run_fp_week, run_longrun, FleetConfig, FpWeekConfig, LongRunConfig,
-        UpdateCadence,
+        run_fleet, run_fp_week, run_hetero, run_longrun, FleetConfig, FpWeekConfig, HeteroConfig,
+        LongRunConfig, UpdateCadence,
     };
     pub use cia_core::{CostModel, DynamicPolicyGenerator, GeneratorConfig};
     pub use cia_crypto::{Digest, HashAlgorithm};
     pub use cia_distro::{Mirror, ReleaseStream, Snap, StreamProfile};
     pub use cia_ima::{Ima, ImaConfig, ImaPolicy};
     pub use cia_keylime::{
-        AgentHealth, AgentId, AgentStatus, AttestationOutcome, ChaosTransport, Cluster, FaultPlan,
-        FaultTarget, FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot, PolicyDelta,
-        PolicyEpoch, PolicyStore, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy,
-        Tenant, Transport, VerifierConfig,
+        AgentHealth, AgentId, AgentStatus, AttestationOutcome, BackendKind, BackendSet,
+        ChaosTransport, Cluster, ConfidentialVmConfig, FailureKind, FaultPlan, FaultTarget,
+        FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot, PolicyDelta, PolicyEpoch,
+        PolicyStore, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy,
+        SecureWorldConfig, Tenant, Transport, VerifierConfig,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};

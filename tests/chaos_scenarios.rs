@@ -12,6 +12,9 @@
 //!   different worker count;
 //! - quarantine economics: sustained partitions cost measurably fewer
 //!   transport calls with the cheap-skip path on;
+//! - a heterogeneous fleet (TPM+IMA, secure world, confidential VM in
+//!   one round) under partition and attack, replay-equal across worker
+//!   counts with consistent per-backend accounting;
 //! - an env-gated 500-round long simulation (`CHAOS_LONG=1`).
 
 use cia_sim::{SimConfig, SimRunner};
@@ -616,4 +619,130 @@ fn concurrent_store_storm_keeps_pins_coherent() {
     }
     assert!(store.converged());
     assert!(store.laggards().is_empty());
+}
+
+/// Runs the heterogeneous chaos scenario: one fleet mixing all three
+/// backend families, a partition window over the secure-world device's
+/// lane, and a confidential-VM launch-image substitution mid-corpus.
+fn run_hetero_chaos(workers: usize) -> (Vec<RoundReport>, MetricsSnapshot) {
+    use continuous_attestation::keylime::BackendKind;
+
+    let tool = VfsPath::new("/usr/bin/service").unwrap();
+    let tool_bytes: &[u8] = b"fleet service v1";
+    let ta_bytes: &[u8] = b"approved keymaster applet";
+    let svc_bytes: &[u8] = b"confidential service daemon";
+
+    let plan = FaultPlan::new(51).partition(2..6, FaultTarget::lanes([1]));
+    let mut cluster = chaos_cluster(51, plan, workers);
+
+    // Hostnames sort the lanes deterministically: the TPM machine is
+    // lane 0, the secure-world device lane 1 (the partition target),
+    // the confidential VM lane 2.
+    let mut machine = Machine::new(
+        &cluster.manufacturer,
+        MachineConfig {
+            hostname: "a-node-00".into(),
+            seed: 510,
+            ..MachineConfig::default()
+        },
+    );
+    machine.write_executable(&tool, tool_bytes).unwrap();
+    let mut tpm_policy = RuntimePolicy::new();
+    tpm_policy.allow(tool.as_str(), sha256_hex(tool_bytes));
+    tpm_policy.exclude("/tmp");
+    let tpm_id = cluster.add_agent(Agent::new(machine), tpm_policy).unwrap();
+
+    let mut sw_policy = RuntimePolicy::new();
+    sw_policy.allow("/ta/keymaster", sha256_hex(ta_bytes));
+    let sw_id = cluster
+        .add_secure_world(SecureWorldConfig::new("b-edge-00", 511), sw_policy)
+        .unwrap();
+
+    let mut cvm_policy = RuntimePolicy::new();
+    cvm_policy.allow("/opt/svc/agentd", sha256_hex(svc_bytes));
+    let cvm_id = cluster
+        .add_confidential_vm(ConfidentialVmConfig::new("c-cvm-00", 512), cvm_policy)
+        .unwrap();
+
+    let mut reports = Vec::new();
+    for round in 0..12u64 {
+        if round == 3 {
+            // Backlog accumulates on the partitioned secure-world device:
+            // an approved TA load the verifier cannot see yet.
+            let sw = cluster
+                .agent_mut(&sw_id)
+                .unwrap()
+                .backend_mut()
+                .as_secure_world_mut()
+                .unwrap();
+            assert!(sw.load_trusted_app("/ta/keymaster", ta_bytes));
+        }
+        if round == 5 {
+            // Attacks land while the fleet is degraded: benign activity
+            // on the TPM machine, a launch-image substitution on the VM.
+            let m = cluster.agent_mut(&tpm_id).unwrap().machine_mut();
+            m.exec(&tool, ExecMethod::Direct).unwrap();
+            let cvm = cluster
+                .agent_mut(&cvm_id)
+                .unwrap()
+                .backend_mut()
+                .as_confidential_vm_mut()
+                .unwrap();
+            cvm.exec_measured("/opt/svc/agentd", svc_bytes);
+            cvm.relaunch_with_image(b"attacker image");
+        }
+        cluster.transport.set_round(round);
+        reports.push(cluster.attest_fleet());
+    }
+
+    // The partition quarantined only the secure-world device, and its
+    // backlog verified clean once the window lifted.
+    assert_eq!(cluster.health(&sw_id).unwrap(), AgentHealth::Healthy);
+    assert_eq!(cluster.status(&sw_id).unwrap(), AgentStatus::Trusted);
+    assert!(cluster.alerts(&sw_id).unwrap().is_empty());
+
+    // The launch substitution was detected and only the VM holds alerts.
+    assert!(cluster
+        .alerts(&cvm_id)
+        .unwrap()
+        .iter()
+        .any(|a| matches!(a.kind, FailureKind::LaunchMeasurementMismatch)));
+    assert!(cluster.alerts(&tpm_id).unwrap().is_empty());
+
+    // Per-backend accounting stayed consistent with the aggregates.
+    let metrics = cluster.scheduler.snapshot();
+    assert!(metrics.is_conserved());
+    assert!(metrics.backends_consistent());
+    assert!(
+        metrics
+            .per_backend
+            .for_kind(BackendKind::ConfidentialVm)
+            .failed
+            > 0
+    );
+    assert!(
+        metrics
+            .per_backend
+            .for_kind(BackendKind::SecureWorld)
+            .unreachable
+            > 0
+    );
+    assert_eq!(metrics.per_backend.for_kind(BackendKind::TpmIma).failed, 0);
+
+    (reports, metrics)
+}
+
+/// Scenario: all three backend families in one round, under partition
+/// and attack. The trace — including which family failed, which
+/// quarantined, and every per-backend counter — replays bit-identically
+/// under a different worker count.
+#[test]
+fn heterogeneous_fleet_chaos_replays_across_worker_counts() {
+    let (reports_seq, metrics_seq) = run_hetero_chaos(1);
+    let (reports_par, metrics_par) = run_hetero_chaos(3);
+    assert_eq!(reports_seq, reports_par);
+    assert_eq!(metrics_seq.per_backend, metrics_par.per_backend);
+    // The corpus is non-trivial: failures and unreachable rounds exist.
+    assert!(reports_seq.iter().any(|r| r.failed_count() > 0));
+    assert!(reports_seq.iter().any(|r| r.unreachable_count() > 0));
 }
