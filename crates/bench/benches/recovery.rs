@@ -1,0 +1,61 @@
+//! Criterion: crash-recovery replay cost.
+//!
+//! Measures `VerifierJournal::recover` — open the append-only log,
+//! rebuild the keydir, replay the policy epochs, and restore every
+//! agent state machine — against journals for 100- and 1,000-agent
+//! shared-store fleets with three committed rounds of superseded acks
+//! plus one in-flight (uncommitted) round, so each recovery also
+//! reconstructs a mid-round resume plan. A compacted variant isolates
+//! how much of the replay cost is garbage frames.
+//!
+//! `BENCH_recovery.json` at the repo root archives the committed
+//! numbers at 1k/10k fleet sizes (regenerate with
+//! `cargo run --release -p cia-bench --bin recovery_bench`).
+
+use cia_bench::recovery_fixture::{journal_dir, journaled_fleet};
+use cia_keylime::{VerifierConfig, VerifierJournal};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const ROUNDS: u64 = 3;
+
+fn bench_recover(c: &mut Criterion) {
+    let dir = journal_dir();
+    let mut group = c.benchmark_group("recovery");
+    for fleet in [100usize, 1_000] {
+        let journal = journaled_fleet(fleet, ROUNDS, fleet / 2);
+        let vfs = journal.log().vfs().clone();
+        group.bench_function(format!("replay/{fleet}_agents"), |b| {
+            b.iter_batched(
+                || vfs.clone(),
+                |image| {
+                    let recovered =
+                        VerifierJournal::recover(image, &dir, VerifierConfig::default())
+                            .expect("recover");
+                    black_box(recovered)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+
+        let mut compacted = journaled_fleet(fleet, ROUNDS, fleet / 2);
+        compacted.compact().expect("compact");
+        let compact_vfs = compacted.log().vfs().clone();
+        group.bench_function(format!("replay_compacted/{fleet}_agents"), |b| {
+            b.iter_batched(
+                || compact_vfs.clone(),
+                |image| {
+                    let recovered =
+                        VerifierJournal::recover(image, &dir, VerifierConfig::default())
+                            .expect("recover compacted");
+                    black_box(recovered)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recover);
+criterion_main!(benches);

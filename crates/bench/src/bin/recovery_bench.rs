@@ -1,0 +1,106 @@
+//! Crash-recovery benchmark: measures journal replay time against fleet
+//! size and prints the `BENCH_recovery.json` document archived at the
+//! repo root.
+//!
+//! For each fleet size (1,000 and 10,000 agents) the fixture journals a
+//! base policy checkpoint, three delta epochs, one enrolment per agent,
+//! five committed rounds (so four rounds of acks are superseded
+//! garbage), and one in-flight round with half the fleet acked. Measured
+//! per fleet:
+//!
+//! - `recover_ms`: full `VerifierJournal::recover` — log open + keydir
+//!   rebuild + policy replay + per-agent state restore + resume-plan
+//!   reconstruction — on the raw journal;
+//! - `recover_compacted_ms`: the same recovery after `compact()`, with
+//!   the dropped-frame count showing how much garbage the raw log
+//!   carried;
+//! - structural gates: every recovery restores the full fleet and a
+//!   resume plan covering exactly the in-flight acks, compacted or not.
+//!
+//! Usage: `cargo run --release -p cia-bench --bin recovery_bench [-- iters]`
+
+use std::time::Instant;
+
+use cia_bench::recovery_fixture::{journal_dir, journaled_fleet, DELTA_EPOCHS, POLICY_ENTRIES};
+use cia_keylime::{Recovered, VerifierConfig, VerifierJournal};
+use cia_vfs::Vfs;
+
+const FLEETS: [usize; 2] = [1_000, 10_000];
+const ROUNDS: u64 = 5;
+
+/// Best and mean of `iters` timed recoveries from `image`, in
+/// milliseconds, plus the last recovery for the structural gates.
+fn time_recover_ms(iters: usize, image: &Vfs) -> (f64, f64, Recovered) {
+    let dir = journal_dir();
+    let mut samples = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let vfs = image.clone();
+        let start = Instant::now();
+        let recovered =
+            VerifierJournal::recover(vfs, &dir, VerifierConfig::default()).expect("recover");
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(recovered);
+    }
+    let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (best, mean, last.expect("at least one iteration"))
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    println!("{{");
+    println!("  \"bench\": \"recovery\",");
+    println!("  \"machine\": \"container, in-memory vfs, json record codec\",");
+    println!("  \"policy_entries\": {POLICY_ENTRIES},");
+    println!("  \"delta_epochs\": {DELTA_EPOCHS},");
+    println!("  \"rounds_journaled\": {ROUNDS},");
+    println!("  \"iters\": {iters},");
+    println!("  \"fleets\": [");
+
+    for (fi, fleet) in FLEETS.iter().copied().enumerate() {
+        let in_flight = fleet / 2;
+        let build_start = Instant::now();
+        let journal = journaled_fleet(fleet, ROUNDS, in_flight);
+        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+        let frames = journal.log().frame_count();
+        let image = journal.log().vfs().clone();
+
+        let (best, mean, recovered) = time_recover_ms(iters, &image);
+        let plan = recovered.resume.expect("in-flight round must resume");
+        assert_eq!(recovered.verifier.agent_ids().len(), fleet);
+        assert_eq!(plan.acked.len(), in_flight);
+
+        let mut compacted = journaled_fleet(fleet, ROUNDS, in_flight);
+        let dropped = compacted.compact().expect("compact");
+        let compact_frames = compacted.log().frame_count();
+        let compact_image = compacted.log().vfs().clone();
+        let (cbest, cmean, crecovered) = time_recover_ms(iters, &compact_image);
+        let cplan = crecovered
+            .resume
+            .expect("compaction must keep the resume plan");
+        assert_eq!(crecovered.verifier.agent_ids().len(), fleet);
+        assert_eq!(cplan.acked.len(), in_flight);
+
+        let comma = if fi + 1 < FLEETS.len() { "," } else { "" };
+        println!("    {{");
+        println!("      \"agents\": {fleet},");
+        println!("      \"in_flight_acks\": {in_flight},");
+        println!("      \"journal_build_ms\": {build_ms:.1},");
+        println!("      \"frames\": {frames},");
+        println!("      \"recover_ms_best\": {best:.2},");
+        println!("      \"recover_ms_mean\": {mean:.2},");
+        println!("      \"compaction_dropped_frames\": {dropped},");
+        println!("      \"compacted_frames\": {compact_frames},");
+        println!("      \"recover_compacted_ms_best\": {cbest:.2},");
+        println!("      \"recover_compacted_ms_mean\": {cmean:.2}");
+        println!("    }}{comma}");
+    }
+
+    println!("  ]");
+    println!("}}");
+}

@@ -112,6 +112,7 @@ pub mod audit;
 pub mod backend;
 pub mod chaos;
 pub mod config;
+pub mod durable;
 pub mod error;
 pub mod ids;
 pub mod payload;
@@ -133,6 +134,7 @@ pub use backend::{
 };
 pub use chaos::{ChaosTransport, FaultDecision, FaultEvent, FaultKind, FaultPlan, FaultTarget};
 pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
+pub use durable::{Recovered, ResumePlan, VerifierJournal, DEFAULT_JOURNAL_DIR};
 pub use error::KeylimeError;
 pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
@@ -147,8 +149,8 @@ pub use store::{ConcurrentPolicyStore, PolicyEpoch, PolicyStore, SharedPolicy};
 pub use tenant::{Cluster, Tenant};
 pub use transport::{LossyTransport, ReliableTransport, Transport, TransportError};
 pub use verifier::{
-    AgentHealth, AgentStatus, Alert, AttestationOutcome, FailureKind, HealthCounts, Verifier,
-    VerifierConfig,
+    AgentHealth, AgentStateSnapshot, AgentStatus, Alert, AttestationOutcome, FailureKind,
+    HealthCounts, Verifier, VerifierConfig,
 };
 
 /// The runtime lock-order recorder from the instrumented `parking_lot`

@@ -381,9 +381,11 @@ impl MetricsSnapshot {
     }
 }
 
-/// The terminal outcome of one agent's slot in a round.
+/// The terminal outcome of one agent's slot in a round. Serializable:
+/// the durability journal persists each agent's result as its ack
+/// record, and a recovered verifier replays them verbatim.
 #[non_exhaustive]
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RoundOutcome {
     /// The poll verified cleanly.
     Verified {
@@ -413,7 +415,7 @@ pub enum RoundOutcome {
 
 /// One agent's result in a scheduler round. Every enrolled agent gets
 /// exactly one — unreachable agents are reported, never dropped.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgentRoundResult {
     /// The agent.
     pub id: AgentId,
@@ -441,7 +443,7 @@ pub struct AgentRoundResult {
 }
 
 /// The outcome of one concurrent fleet round, ordered by agent id.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// One entry per enrolled agent, sorted by id.
     pub results: Vec<AgentRoundResult>,
@@ -582,6 +584,35 @@ impl FleetScheduler {
     where
         T: Transport + Sync,
     {
+        self.run_round_observed(verifier, agents, transport, None, |_, _| {})
+    }
+
+    /// [`FleetScheduler::run_round`] with two durability hooks:
+    ///
+    /// - `skip`: agents to leave untouched this round — the already-acked
+    ///   set when resuming a crashed round. Skipped agents keep their
+    ///   transport *lane numbers* (lanes are assigned by enrolment-map
+    ///   position over the full map, skipped or not), so a resumed
+    ///   partial round re-polls each remaining agent over exactly the
+    ///   lane it would have had in the uncrashed round.
+    /// - `observer`: called once per completed agent, from the worker
+    ///   that finished it, with the result and the agent record's
+    ///   post-attestation state — the write point for journal acks.
+    ///
+    /// Orphaned enrolments (no agent process) are reported in the
+    /// round's results but not observed: their records never change.
+    pub fn run_round_observed<T, F>(
+        &self,
+        verifier: &mut Verifier,
+        agents: &mut [Agent],
+        transport: &T,
+        skip: Option<&std::collections::BTreeSet<AgentId>>,
+        observer: F,
+    ) -> RoundReport
+    where
+        T: Transport + Sync,
+        F: Fn(&AgentRoundResult, crate::verifier::AgentStateSnapshot) + Sync,
+    {
         let (config, shared, records) = verifier.scheduler_view();
         self.metrics
             .policy_epoch
@@ -596,6 +627,12 @@ impl FleetScheduler {
         let mut jobs: Vec<Job<'_>> = Vec::new();
         let mut orphaned: Vec<(AgentId, BackendKind, PolicyEpoch, bool)> = Vec::new();
         for (lane, (id, record)) in records.iter_mut().enumerate() {
+            // The lane is taken from the agent's position in the full
+            // enrolment map *before* the skip filter, so resuming a
+            // partial round preserves every remaining agent's lane.
+            if skip.is_some_and(|s| s.contains(id)) {
+                continue;
+            }
             match agent_by_id.remove(id) {
                 Some(agent) => jobs.push(Job {
                     id: id.clone(),
@@ -627,14 +664,24 @@ impl FleetScheduler {
                 let res_tx = res_tx.clone();
                 let metrics = Arc::clone(&self.metrics);
                 let shared = &shared;
+                let observer = &observer;
                 scope.spawn(move || {
-                    while let Ok(job) = job_rx.recv() {
+                    while let Ok(mut job) = job_rx.recv() {
                         let mut lane_transport = transport.fork(job.lane);
-                        let result =
-                            attest_with_retry(&config, shared, &metrics, job, &mut lane_transport);
+                        let result = attest_with_retry(
+                            &config,
+                            shared,
+                            &metrics,
+                            &mut job,
+                            &mut lane_transport,
+                        );
                         // The lane is fresh per job, so its byte total is
                         // exactly this agent's round traffic.
                         SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
+                        // The ack hook sees the record *after* the round's
+                        // mutations — what a journal must replay to land
+                        // the recovered verifier on this exact state.
+                        observer(&result, job.record.snapshot_state());
                         let _ = res_tx.send(result);
                     }
                 });
@@ -688,7 +735,7 @@ fn attest_with_retry<T: Transport>(
     config: &VerifierConfig,
     shared: &SharedPolicy,
     metrics: &SchedulerMetrics,
-    job: Job<'_>,
+    job: &mut Job<'_>,
     transport: &mut T,
 ) -> AgentRoundResult {
     let day = job.agent.day();
@@ -705,7 +752,7 @@ fn attest_with_retry<T: Transport>(
         if let Some(next_probe_in) = job.record.tick_reprobe() {
             SchedulerMetrics::add(&metrics.quarantine_skips, 1);
             return AgentRoundResult {
-                id: job.id,
+                id: job.id.clone(),
                 backend,
                 day,
                 attempts: 0,
@@ -762,7 +809,7 @@ fn attest_with_retry<T: Transport>(
                     }
                 };
                 return AgentRoundResult {
-                    id: job.id,
+                    id: job.id.clone(),
                     backend,
                     day,
                     attempts,
@@ -783,7 +830,7 @@ fn attest_with_retry<T: Transport>(
             metrics.add_outcome(&metrics.unreachable, &metrics.backend_unreachable, backend);
             update_health(job.record, ReachClass::Unreachable, config, metrics);
             return AgentRoundResult {
-                id: job.id,
+                id: job.id.clone(),
                 backend,
                 day,
                 attempts,

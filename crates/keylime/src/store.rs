@@ -110,6 +110,21 @@ impl PolicyStore {
         }
     }
 
+    /// Recovery path: a store holding a journaled snapshot at a
+    /// journaled epoch. The retiring/spare buffers start empty — they
+    /// are pure publish-time performance state, invisible to appraisal,
+    /// so a restored store is observationally identical to the one that
+    /// crashed.
+    pub fn restore(snapshot: Arc<RuntimePolicy>, epoch: PolicyEpoch) -> Self {
+        snapshot.warm_index();
+        PolicyStore {
+            snapshot,
+            epoch,
+            retiring: None,
+            spare: None,
+        }
+    }
+
     /// The active epoch.
     pub fn epoch(&self) -> PolicyEpoch {
         self.epoch

@@ -8,21 +8,28 @@ use rand::SeedableRng;
 
 use std::collections::BTreeMap;
 
+use cia_storage::StorageError;
+use cia_vfs::{Vfs, VfsPath};
+use parking_lot::Mutex;
+
 use crate::agent::Agent;
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::backend::{
     BackendRoot, ConfidentialVmBackend, ConfidentialVmConfig, SecureWorldBackend, SecureWorldConfig,
 };
+use crate::durable::{ResumePlan, VerifierJournal, DEFAULT_JOURNAL_DIR};
 use crate::error::KeylimeError;
 use crate::ids::AgentId;
 use crate::payload::{KeyShare, PayloadBundle};
 use crate::policy::{PolicyDelta, RuntimePolicy};
 use crate::registrar::{Registrar, RegistrationRecord};
 use crate::revocation::{RevocationBus, RevocationEmitter};
-use crate::scheduler::{FleetScheduler, RoundOutcome, RoundReport};
+use crate::scheduler::{AgentRoundResult, FleetScheduler, RoundOutcome, RoundReport};
 use crate::store::PolicyEpoch;
 use crate::transport::{ReliableTransport, Transport};
-use crate::verifier::{AgentStatus, Alert, AttestationOutcome, Verifier, VerifierConfig};
+use crate::verifier::{
+    AgentStateSnapshot, AgentStatus, Alert, AttestationOutcome, Verifier, VerifierConfig,
+};
 
 /// The command-line management tool's operations, expressed as a trait so
 /// experiments can drive any cluster-like object.
@@ -90,6 +97,9 @@ pub struct Cluster<T: Transport = ReliableTransport> {
     payloads: BTreeMap<AgentId, PayloadBundle>,
     rng: StdRng,
     agents: Vec<Agent>,
+    /// When set, every enrolment, policy publish and attestation round
+    /// is journaled for crash recovery (see [`crate::durable`]).
+    journal: Option<VerifierJournal>,
 }
 
 impl Cluster<ReliableTransport> {
@@ -127,6 +137,7 @@ impl<T: Transport> Cluster<T> {
             payloads: BTreeMap::new(),
             rng,
             agents: Vec::new(),
+            journal: None,
         }
     }
 
@@ -202,6 +213,8 @@ impl<T: Transport> Cluster<T> {
         let (id, record) = self.register_with_retry(agent)?;
         self.verifier
             .add_agent_with_identity(id.clone(), record.ak, record.identity, policy);
+        self.journal_agent_snapshot(&id)
+            .expect("journal enrolment append");
         Ok(id)
     }
 
@@ -292,7 +305,282 @@ impl<T: Transport> Cluster<T> {
         let (id, record) = self.register_with_retry(agent)?;
         self.verifier
             .add_agent_shared_with_identity(id.clone(), record.ak, record.identity);
+        self.journal_agent_snapshot(&id)
+            .expect("journal enrolment append");
         Ok(id)
+    }
+
+    /// Turns on crash-durable state journaling: every enrolment, policy
+    /// publish and attestation round from here on is recorded in an
+    /// append-only log (see [`crate::durable`]), and
+    /// [`Cluster::recover_from_image`] can rebuild the verifier from any
+    /// crash-truncated image of it. State that already exists — the
+    /// current store epoch and every enrolled agent — is checkpointed
+    /// immediately, so enabling late loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on journal-filesystem failures.
+    pub fn enable_durability(&mut self) -> Result<(), StorageError> {
+        let dir = Self::journal_dir();
+        let mut journal = VerifierJournal::create(Vfs::with_standard_layout(), &dir)?;
+        journal.checkpoint_base(
+            self.verifier.current_epoch(),
+            self.verifier.policy_store().policy(),
+        )?;
+        self.journal = Some(journal);
+        for id in self.verifier.agent_ids() {
+            self.journal_agent_snapshot(&id)?;
+        }
+        Ok(())
+    }
+
+    /// True when [`Cluster::enable_durability`] has been called.
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The durability journal, when enabled — e.g. to take a crash image
+    /// of its log ([`cia_storage::LogStore::crash_image`]).
+    pub fn journal(&self) -> Option<&VerifierJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Where the cluster keeps its journal inside the journal filesystem.
+    pub fn journal_dir() -> VfsPath {
+        VfsPath::new(DEFAULT_JOURNAL_DIR).expect("constant journal path is valid")
+    }
+
+    /// Simulates the restart after a crash: rebuilds the verifier from
+    /// `image` — a (possibly crash-truncated) journal filesystem — and
+    /// swaps it in, replacing the journal with the reopened one. The
+    /// scheduler, transport and agent processes are untouched (they model
+    /// the *fleet*, which does not restart when the verifier does).
+    /// Returns the in-flight round to resume, if the crash interrupted
+    /// one — hand it to [`Cluster::attest_fleet_resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError`] on unreadable journal records (torn tails are
+    /// repaired, not errors).
+    pub fn recover_from_image(&mut self, image: Vfs) -> Result<Option<ResumePlan>, StorageError> {
+        let recovered =
+            VerifierJournal::recover(image, &Self::journal_dir(), self.verifier.config())?;
+        self.verifier = recovered.verifier;
+        self.journal = Some(recovered.journal);
+        Ok(recovered.resume)
+    }
+
+    /// Resumes a crashed round from its [`ResumePlan`]: agents acked
+    /// before the crash are *not* re-attested — their persisted results
+    /// are merged with the fresh results of everyone else, yielding the
+    /// same report shape an uncrashed round would have produced. Audit
+    /// and revocation records are emitted only for the freshly attested
+    /// agents (the acked ones were recorded before the crash).
+    pub fn attest_fleet_resume(&mut self, plan: &ResumePlan) -> RoundReport
+    where
+        T: Sync,
+    {
+        let journal = self
+            .journal
+            .as_mut()
+            .expect("attest_fleet_resume requires durability");
+        journal
+            .begin_round(plan.round)
+            .expect("journal round start");
+        let skip = plan.acked_ids();
+        let ackbuf: Mutex<Vec<(AgentRoundResult, AgentStateSnapshot)>> =
+            Mutex::new(Vec::new()).named("ackbuf");
+        let partial = self.scheduler.run_round_observed(
+            &mut self.verifier,
+            &mut self.agents,
+            &self.transport,
+            Some(&skip),
+            |result, state| ackbuf.lock().push((result.clone(), state)),
+        );
+        Self::write_acks(journal, &self.verifier, plan.round, ackbuf.into_inner());
+        journal
+            .commit_round(plan.round)
+            .expect("journal round commit");
+        self.commit_round_side_effects(&partial.results);
+        let mut results = plan.acked.clone();
+        results.extend(partial.results.iter().cloned());
+        results.sort_by(|a, b| a.id.cmp(&b.id));
+        RoundReport {
+            results,
+            // Health was counted over *every* enrolled record after the
+            // resumed round — skipped agents included — so it already
+            // matches what the uncrashed round would have reported.
+            health: partial.health,
+            policy_epoch: partial.policy_epoch,
+        }
+    }
+
+    /// Sim invariant: recovering from the journal right now must yield a
+    /// verifier observably identical to the live one. Only meaningful
+    /// between rounds (no round in flight). No-op when durability is off.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first divergence found.
+    pub fn check_durable_equivalence(&self) -> Result<(), String> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        if journal.last_started() != journal.last_committed() {
+            return Err("durable-equivalence checked with a round in flight".to_string());
+        }
+        let recovered = VerifierJournal::recover(
+            journal.log().vfs().clone(),
+            journal.log().dir(),
+            self.verifier.config(),
+        )
+        .map_err(|e| format!("journal recovery failed: {e:?}"))?;
+        let twin = recovered.verifier;
+        if twin.current_epoch() != self.verifier.current_epoch() {
+            return Err(format!(
+                "store epoch diverged: live {:?}, recovered {:?}",
+                self.verifier.current_epoch(),
+                twin.current_epoch()
+            ));
+        }
+        if twin.policy_store().policy().to_json() != self.verifier.policy_store().policy().to_json()
+        {
+            return Err("shared policy content diverged after recovery".to_string());
+        }
+        let live_ids = self.verifier.agent_ids();
+        if twin.agent_ids() != live_ids {
+            return Err("enrolled agent set diverged after recovery".to_string());
+        }
+        for id in &live_ids {
+            let live = self
+                .verifier
+                .export_agent_state(id)
+                .map_err(|e| format!("live state export failed for {id}: {e:?}"))?;
+            let rec = twin
+                .export_agent_state(id)
+                .map_err(|e| format!("recovered state export failed for {id}: {e:?}"))?;
+            if live != rec {
+                return Err(format!(
+                    "agent {id} state diverged after recovery:\n live {live:?}\n rec  {rec:?}"
+                ));
+            }
+            let live_policy = self
+                .verifier
+                .policy(id)
+                .map_err(|e| format!("{e:?}"))?
+                .to_json();
+            let rec_policy = twin.policy(id).map_err(|e| format!("{e:?}"))?.to_json();
+            if live_policy != rec_policy {
+                return Err(format!("agent {id} policy content diverged after recovery"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Journals one agent's enrolment constants and current state — the
+    /// write point for enrolments, durability enablement, and per-agent
+    /// override pushes. The ack is written under the last *committed*
+    /// round, so it never masquerades as progress of an in-flight one.
+    fn journal_agent_snapshot(&mut self, id: &AgentId) -> Result<(), StorageError> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        let Some((_, ak, identity, shared, policy)) = self
+            .verifier
+            .enrolment_view()
+            .find(|(eid, ..)| *eid == id)
+            .map(|(eid, ak, identity, shared, policy)| {
+                (eid, ak.clone(), identity, shared, policy.to_json())
+            })
+        else {
+            return Ok(());
+        };
+        let Ok(state) = self.verifier.export_agent_state(id) else {
+            return Ok(());
+        };
+        let override_doc;
+        let override_policy = if shared {
+            None
+        } else {
+            override_doc = RuntimePolicy::from_json(&policy).map_err(|e| StorageError::Codec {
+                what: format!("enrol/{id}"),
+                reason: e.to_string(),
+            })?;
+            Some(&override_doc)
+        };
+        journal.record_enrolment(
+            id,
+            &ak,
+            identity,
+            shared,
+            state.policy_epoch,
+            override_policy,
+        )?;
+        // A synthetic ack carries the agent's current mutable state; its
+        // result row is filler (round 0 / last-committed acks are never
+        // part of a resume plan).
+        let result = AgentRoundResult {
+            id: id.clone(),
+            backend: identity.kind(),
+            day: 0,
+            attempts: 0,
+            backoff_ms: 0,
+            policy_epoch: state.policy_epoch,
+            shared_policy: shared,
+            outcome: RoundOutcome::Verified { new_entries: 0 },
+        };
+        let round = journal.last_committed();
+        journal.record_ack(round, &result, &state, Some(policy))?;
+        Ok(())
+    }
+
+    /// Appends the journal acks for one completed round, sorted by agent
+    /// id so the journal's bytes are identical for any worker count.
+    fn write_acks(
+        journal: &mut VerifierJournal,
+        verifier: &Verifier,
+        round: u64,
+        mut acks: Vec<(AgentRoundResult, AgentStateSnapshot)>,
+    ) {
+        acks.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+        for (result, state) in &acks {
+            // Override agents embed their policy document (it has no
+            // epoch history to resolve from); shared agents resolve
+            // theirs from the journaled publishes.
+            let policy_json = if state.shared_policy {
+                None
+            } else {
+                verifier.policy(&result.id).ok().map(RuntimePolicy::to_json)
+            };
+            journal
+                .record_ack(round, result, state, policy_json)
+                .expect("journal ack append");
+        }
+    }
+
+    /// Sequential post-round bookkeeping: audit chain and revocation bus,
+    /// in result order (already sorted by id).
+    fn commit_round_side_effects(&mut self, results: &[AgentRoundResult]) {
+        for result in results {
+            let audit_outcome = match &result.outcome {
+                RoundOutcome::Verified { .. } => AuditOutcome::Verified,
+                RoundOutcome::Failed { .. } => AuditOutcome::Failed,
+                RoundOutcome::SkippedPaused => AuditOutcome::Skipped,
+                RoundOutcome::SkippedQuarantined { .. } => AuditOutcome::Skipped,
+                RoundOutcome::Unreachable { .. } => AuditOutcome::Unreachable,
+            };
+            self.audit.record(result.day, &result.id, audit_outcome);
+            if let RoundOutcome::Failed { alerts } = &result.outcome {
+                if let Some(first) = alerts.first() {
+                    let notice = self
+                        .revocation
+                        .emit(&result.id, result.day, first.kind.clone());
+                    let key = self.revocation.public_key().clone();
+                    self.revocation_bus.publish(&notice, &key);
+                }
+            }
+        }
     }
 
     /// Registers an agent with the verifier's retry budget and stores it;
@@ -340,6 +628,11 @@ impl<T: Transport> Cluster<T> {
         self.scheduler
             .metrics()
             .record_policy_push(epoch, start.elapsed().as_nanos() as u64, 0);
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .record_publish_full(epoch, self.verifier.policy_store().policy())
+                .expect("journal policy publish");
+        }
         epoch
     }
 
@@ -360,6 +653,11 @@ impl<T: Transport> Cluster<T> {
             start.elapsed().as_nanos() as u64,
             applied as u64,
         );
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .record_publish_delta(epoch, delta)
+                .expect("journal delta publish");
+        }
         (epoch, applied)
     }
 
@@ -454,28 +752,33 @@ impl<T: Transport> Cluster<T> {
     where
         T: Sync,
     {
-        let report =
-            self.scheduler
-                .run_round(&mut self.verifier, &mut self.agents, &self.transport);
-        for result in &report.results {
-            let audit_outcome = match &result.outcome {
-                RoundOutcome::Verified { .. } => AuditOutcome::Verified,
-                RoundOutcome::Failed { .. } => AuditOutcome::Failed,
-                RoundOutcome::SkippedPaused => AuditOutcome::Skipped,
-                RoundOutcome::SkippedQuarantined { .. } => AuditOutcome::Skipped,
-                RoundOutcome::Unreachable { .. } => AuditOutcome::Unreachable,
-            };
-            self.audit.record(result.day, &result.id, audit_outcome);
-            if let RoundOutcome::Failed { alerts } = &result.outcome {
-                if let Some(first) = alerts.first() {
-                    let notice = self
-                        .revocation
-                        .emit(&result.id, result.day, first.kind.clone());
-                    let key = self.revocation.public_key().clone();
-                    self.revocation_bus.publish(&notice, &key);
-                }
+        let report = match self.journal.as_mut() {
+            None => self
+                .scheduler
+                .run_round(&mut self.verifier, &mut self.agents, &self.transport),
+            Some(journal) => {
+                // Durable round protocol: stamp the start, collect each
+                // agent's (result, post-round state) from the workers,
+                // append the acks sorted by id, seal with the commit
+                // mark. A crash between any two appends leaves a clean
+                // resumable prefix.
+                let round = journal.next_round();
+                journal.begin_round(round).expect("journal round start");
+                let ackbuf: Mutex<Vec<(AgentRoundResult, AgentStateSnapshot)>> =
+                    Mutex::new(Vec::new()).named("ackbuf");
+                let report = self.scheduler.run_round_observed(
+                    &mut self.verifier,
+                    &mut self.agents,
+                    &self.transport,
+                    None,
+                    |result, state| ackbuf.lock().push((result.clone(), state)),
+                );
+                Self::write_acks(journal, &self.verifier, round, ackbuf.into_inner());
+                journal.commit_round(round).expect("journal round commit");
+                report
             }
-        }
+        };
+        self.commit_round_side_effects(&report.results);
         report
     }
 
@@ -533,7 +836,13 @@ impl<T: Transport> Tenant for Cluster<T> {
     }
 
     fn push_policy(&mut self, id: &AgentId, policy: RuntimePolicy) -> Result<(), KeylimeError> {
-        self.verifier.update_policy(id, policy)
+        self.verifier.update_policy(id, policy)?;
+        // The agent is now an override: re-journal its enrolment (with
+        // the new policy document embedded) and its current state, so a
+        // recovery lands on the post-push view.
+        self.journal_agent_snapshot(id)
+            .expect("journal override push");
+        Ok(())
     }
 
     fn attest(&mut self, id: &AgentId) -> Result<AttestationOutcome, KeylimeError> {

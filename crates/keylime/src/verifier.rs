@@ -205,6 +205,66 @@ impl AttestationOutcome {
     }
 }
 
+/// The mutable, serializable core of one [`AgentRecord`]: everything a
+/// round can change, and nothing a round cannot. The enrolment-time
+/// constants (AK, backend identity) and the policy handle live outside
+/// the snapshot — the journal persists those separately (enrolment
+/// records and policy epochs), so a snapshot plus the enrolment record
+/// plus the epoch map reconstructs the full record bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStateSnapshot {
+    /// The store epoch the agent last acknowledged.
+    pub policy_epoch: PolicyEpoch,
+    /// Whether the agent follows the shared store.
+    pub shared_policy: bool,
+    /// Index of the first unprocessed log entry.
+    pub next_entry: usize,
+    /// Fold of the template hashes of all processed entries.
+    pub replayed_pcr: Digest,
+    /// TPM boot counter at last contact.
+    pub last_boot_count: Option<u64>,
+    /// Trusted/Paused verdict state.
+    pub status: AgentStatus,
+    /// Every alert raised so far.
+    pub alerts: Vec<Alert>,
+    /// Successful attestation count.
+    pub attestations: u64,
+    /// Next nonce sequence number.
+    pub nonce_counter: u64,
+    /// Reachability health.
+    pub health: AgentHealth,
+    /// Current unreachable streak.
+    pub consecutive_unreachable: u32,
+    /// Rounds until the next quarantine probe.
+    pub reprobe_in: u32,
+    /// Current re-probe interval.
+    pub reprobe_backoff: u32,
+}
+
+impl AgentStateSnapshot {
+    /// The state of a just-enrolled agent at `policy_epoch`: nothing
+    /// attested, nothing alerted, fully healthy. Recovery uses this for
+    /// agents that enrolled but never completed a round before the
+    /// crash (they have an enrolment record in the journal but no ack).
+    pub fn fresh(policy_epoch: PolicyEpoch, shared_policy: bool) -> Self {
+        AgentStateSnapshot {
+            policy_epoch,
+            shared_policy,
+            next_entry: 0,
+            replayed_pcr: HashAlgorithm::Sha256.zero_digest(),
+            last_boot_count: None,
+            status: AgentStatus::Trusted,
+            alerts: Vec::new(),
+            attestations: 0,
+            nonce_counter: 0,
+            health: AgentHealth::Healthy,
+            consecutive_unreachable: 0,
+            reprobe_in: 0,
+            reprobe_backoff: 0,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct AgentRecord {
     ak: cia_crypto::VerifyingKey,
@@ -344,6 +404,54 @@ impl AgentRecord {
             }
         }
         self.health
+    }
+
+    /// Copies out the mutable state for journaling.
+    pub(crate) fn snapshot_state(&self) -> AgentStateSnapshot {
+        AgentStateSnapshot {
+            policy_epoch: self.policy_epoch,
+            shared_policy: self.shared_policy,
+            next_entry: self.next_entry,
+            replayed_pcr: self.replayed_pcr,
+            last_boot_count: self.last_boot_count,
+            status: self.status,
+            alerts: self.alerts.clone(),
+            attestations: self.attestations,
+            nonce_counter: self.nonce_counter,
+            health: self.health,
+            consecutive_unreachable: self.consecutive_unreachable,
+            reprobe_in: self.reprobe_in,
+            reprobe_backoff: self.reprobe_backoff,
+        }
+    }
+
+    /// Overwrites the mutable state from a journaled snapshot. The
+    /// policy handle is set separately (it is resolved from the
+    /// journal's policy-epoch records, not stored per agent).
+    pub(crate) fn restore_state(&mut self, state: AgentStateSnapshot) {
+        self.policy_epoch = state.policy_epoch;
+        self.shared_policy = state.shared_policy;
+        self.next_entry = state.next_entry;
+        self.replayed_pcr = state.replayed_pcr;
+        self.last_boot_count = state.last_boot_count;
+        self.status = state.status;
+        self.alerts = state.alerts;
+        self.attestations = state.attestations;
+        self.nonce_counter = state.nonce_counter;
+        self.health = state.health;
+        self.consecutive_unreachable = state.consecutive_unreachable;
+        self.reprobe_in = state.reprobe_in;
+        self.reprobe_backoff = state.reprobe_backoff;
+    }
+
+    /// The enrolled AK public key.
+    pub(crate) fn ak(&self) -> &cia_crypto::VerifyingKey {
+        &self.ak
+    }
+
+    /// The current policy handle.
+    pub(crate) fn policy_handle(&self) -> &Arc<RuntimePolicy> {
+        &self.policy
     }
 
     fn enter_quarantine(&mut self, config: &VerifierConfig) {
@@ -1059,6 +1167,70 @@ impl Verifier {
         &mut BTreeMap<AgentId, AgentRecord>,
     ) {
         (self.config, self.store.shared(), &mut self.agents)
+    }
+
+    /// Copies out one agent's mutable state for journaling.
+    ///
+    /// # Errors
+    ///
+    /// [`KeylimeError::UnknownAgent`].
+    pub fn export_agent_state(&self, id: &AgentId) -> Result<AgentStateSnapshot, KeylimeError> {
+        Ok(self.record(id)?.snapshot_state())
+    }
+
+    /// Recovery path: re-creates one agent record from its journaled
+    /// enrolment constants, resolved policy handle, and mutable state
+    /// snapshot. The result is bit-identical to the record the crashed
+    /// verifier held.
+    pub fn restore_agent(
+        &mut self,
+        id: impl Into<AgentId>,
+        ak: cia_crypto::VerifyingKey,
+        identity: BackendIdentity,
+        policy: Arc<RuntimePolicy>,
+        state: AgentStateSnapshot,
+    ) {
+        let mut record = Self::fresh_record(
+            ak,
+            identity,
+            policy,
+            state.policy_epoch,
+            state.shared_policy,
+        );
+        record.restore_state(state);
+        self.agents.insert(id.into(), record);
+    }
+
+    /// Recovery path: resets the shared store to a journaled snapshot
+    /// and epoch (see [`PolicyStore::restore`]).
+    pub fn restore_store(&mut self, snapshot: Arc<RuntimePolicy>, epoch: PolicyEpoch) {
+        self.store = PolicyStore::restore(snapshot, epoch);
+    }
+
+    /// Per-agent enrolment constants, for journaling: id, AK, backend
+    /// identity, shared-store membership, and the current policy handle
+    /// (only meaningful for override agents — shared agents resolve
+    /// their policy from the store's epoch history instead).
+    pub(crate) fn enrolment_view(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            &AgentId,
+            &cia_crypto::VerifyingKey,
+            BackendIdentity,
+            bool,
+            &Arc<RuntimePolicy>,
+        ),
+    > {
+        self.agents.iter().map(|(id, r)| {
+            (
+                id,
+                r.ak(),
+                r.backend_identity(),
+                r.follows_shared_store(),
+                r.policy_handle(),
+            )
+        })
     }
 
     fn make_nonce(id: &AgentId, counter: u64) -> Vec<u8> {

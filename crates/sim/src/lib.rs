@@ -56,6 +56,10 @@ pub struct SimConfig {
     pub continue_on_failure: bool,
     /// Retry budget for dropped calls.
     pub max_retries: u32,
+    /// Journal verifier state durably and assert, after every round,
+    /// that a verifier recovered from the journal would be observably
+    /// identical to the live one.
+    pub durable: bool,
 }
 
 impl SimConfig {
@@ -70,6 +74,7 @@ impl SimConfig {
             quarantine: true,
             continue_on_failure: true,
             max_retries: 3,
+            durable: false,
         }
     }
 
@@ -82,6 +87,13 @@ impl SimConfig {
     /// Sets the quarantine toggle (chainable).
     pub fn quarantine(mut self, on: bool) -> Self {
         self.quarantine = on;
+        self
+    }
+
+    /// Sets the durability toggle (chainable): journal verifier state
+    /// and check the durable-equivalence invariant every round.
+    pub fn durable(mut self, on: bool) -> Self {
+        self.durable = on;
         self
     }
 
@@ -152,6 +164,11 @@ impl SimRunner {
     pub fn new(config: SimConfig) -> Result<Self, KeylimeError> {
         let transport = ChaosTransport::new(ReliableTransport::new(), config.plan.clone());
         let mut cluster = Cluster::with_transport(config.seed, config.verifier_config(), transport);
+        if config.durable {
+            cluster
+                .enable_durability()
+                .expect("in-memory journal filesystem cannot fail to initialize");
+        }
         let mut ids = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
             let machine = MachineConfig {
@@ -312,6 +329,16 @@ impl SimRunner {
             self.prev_health.insert(result.id.clone(), after);
         }
 
+        // Durable state matches in-memory state: a verifier recovered
+        // from the journal right now would be observably identical to
+        // the live one — same store epoch and content, same per-agent
+        // state machines and policies.
+        if self.config.durable {
+            if let Err(divergence) = self.cluster.check_durable_equivalence() {
+                panic!("round {round}: durable state diverged from memory: {divergence}");
+            }
+        }
+
         // Under the sanitizer, the process-global lock-order graph must
         // stay cycle-free after every round — a cycle means some pair of
         // threads this run could have deadlocked under a different
@@ -401,6 +428,36 @@ mod tests {
         let last = report.rounds.last().unwrap();
         let victim_result = last.results.iter().find(|r| r.id == victim).unwrap();
         assert_eq!(victim_result.attempts, 4);
+    }
+
+    #[test]
+    fn durable_runs_hold_the_equivalence_invariant_under_faults() {
+        // Partition + loss + a scripted reboot: the journal must track
+        // every state machine through all of it (check_invariants
+        // panics on the first round where recovery would diverge).
+        let plan = FaultPlan::new(41)
+            .partition(1..5, FaultTarget::lanes([1]))
+            .loss(0..8, FaultTarget::AllAgents, 0.25)
+            .crash(3, 2);
+        let config = SimConfig::new(4, 8, plan).durable(true);
+        let report = SimRunner::new(config).expect("enrolment").run();
+        assert_eq!(report.rounds.len(), 8);
+    }
+
+    #[test]
+    fn durable_toggle_does_not_change_the_trace() {
+        let plan = || {
+            FaultPlan::new(17)
+                .partition(0..4, FaultTarget::lanes([0]))
+                .loss(0..10, FaultTarget::AllAgents, 0.3)
+        };
+        let plain = SimRunner::new(SimConfig::new(3, 10, plan()))
+            .expect("enrolment")
+            .run();
+        let durable = SimRunner::new(SimConfig::new(3, 10, plan()).durable(true))
+            .expect("enrolment")
+            .run();
+        assert_eq!(plain, durable, "journaling must be observation-free");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Log-reader edge cases: the reader must recover the longest intact
+//! prefix of a damaged log — never panic, never read past a frame.
+
+use cia_storage::{record, LogStore, RecoveryReport};
+use cia_vfs::{Mode, Vfs, VfsPath};
+
+fn dir() -> VfsPath {
+    VfsPath::new("/var/lib/cia").unwrap()
+}
+
+fn seg0() -> VfsPath {
+    dir().join("segment-000000.log").unwrap()
+}
+
+fn fresh() -> LogStore {
+    LogStore::open(Vfs::with_standard_layout(), &dir())
+        .unwrap()
+        .0
+}
+
+#[test]
+fn empty_log_opens_clean() {
+    let (store, report) = LogStore::open(Vfs::with_standard_layout(), &dir()).unwrap();
+    assert_eq!(report, RecoveryReport::default());
+    assert!(store.is_empty());
+    assert_eq!(store.frame_count(), 0);
+    assert_eq!(store.get(b"anything").unwrap(), None);
+}
+
+#[test]
+fn reopening_empty_log_is_idempotent() {
+    let store = fresh();
+    let (again, report) = LogStore::open(store.vfs().clone(), &dir()).unwrap();
+    assert_eq!(report, RecoveryReport::default());
+    assert!(again.is_empty());
+}
+
+#[test]
+fn truncated_header_is_dropped() {
+    let mut store = fresh();
+    store.put(b"good", b"frame").unwrap();
+    // Append half a header's worth of garbage: a torn write that died
+    // before the fixed header finished.
+    let mut vfs = store.vfs().clone();
+    vfs.append_file(&seg0(), &[0xAB; 9], Mode::REGULAR).unwrap();
+    let (recovered, report) = LogStore::open(vfs, &dir()).unwrap();
+    assert_eq!(report.frames_replayed, 1);
+    assert_eq!(report.bytes_truncated, 9);
+    assert!(report.torn.unwrap().contains("torn frame header"));
+    assert_eq!(recovered.get(b"good").unwrap().unwrap(), b"frame");
+}
+
+#[test]
+fn zero_length_value_survives_replay() {
+    let mut store = fresh();
+    store.put(b"flag", b"").unwrap();
+    let (recovered, _) = LogStore::open(store.vfs().clone(), &dir()).unwrap();
+    assert_eq!(
+        recovered.get(b"flag").unwrap(),
+        Some(Vec::new()),
+        "an empty value is present data, not absence"
+    );
+}
+
+#[test]
+fn duplicate_keys_last_write_wins_on_replay() {
+    let mut store = fresh();
+    store.put(b"k", b"first").unwrap();
+    store.put(b"other", b"x").unwrap();
+    store.put(b"k", b"second").unwrap();
+    store.delete(b"other").unwrap();
+    store.put(b"other", b"resurrected").unwrap();
+    let (recovered, report) = LogStore::open(store.vfs().clone(), &dir()).unwrap();
+    assert_eq!(report.frames_replayed, 5);
+    assert_eq!(recovered.get(b"k").unwrap().unwrap(), b"second");
+    assert_eq!(recovered.get(b"other").unwrap().unwrap(), b"resurrected");
+    assert_eq!(recovered.len(), 2);
+}
+
+#[test]
+fn corrupt_crc_mid_segment_truncates_there() {
+    let mut store = fresh();
+    for i in 0..8u64 {
+        store
+            .put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    // Flip one bit inside the 4th frame's value; everything after the
+    // 3rd frame becomes unreachable.
+    let mut vfs = store.vfs().clone();
+    let bytes = vfs.read(&seg0()).unwrap().to_vec();
+    let mut offset = 0usize;
+    for _ in 0..3 {
+        offset += record::decode(&bytes, offset).unwrap().len;
+    }
+    let mut damaged = bytes.clone();
+    damaged[offset + record::HEADER_SIZE + 1] ^= 0x40;
+    vfs.write_file(&seg0(), damaged, Mode::REGULAR).unwrap();
+
+    let (recovered, report) = LogStore::open(vfs, &dir()).unwrap();
+    assert_eq!(report.frames_replayed, 3);
+    assert!(report.torn.unwrap().contains("crc mismatch"));
+    assert_eq!(recovered.get(b"k2").unwrap().unwrap(), b"v2");
+    assert_eq!(
+        recovered.get(b"k3").unwrap(),
+        None,
+        "frame 4 onward is gone"
+    );
+    assert_eq!(recovered.len(), 3);
+}
+
+#[test]
+fn segments_after_damage_are_dropped_entirely() {
+    let mut store = fresh();
+    store.put(b"a", b"1").unwrap();
+    store.compact().unwrap(); // live data now in segment-000001
+    store.put(b"b", b"2").unwrap();
+
+    // Recreate a stale segment-000000 with garbage: replay hits it
+    // first, truncates it to nothing, and must drop segment-000001
+    // rather than replay frames of unknowable order.
+    let mut vfs = store.vfs().clone();
+    vfs.create_file(&seg0(), vec![0xFF; 32], Mode::REGULAR)
+        .unwrap();
+    let (recovered, report) = LogStore::open(vfs, &dir()).unwrap();
+    assert_eq!(report.frames_replayed, 0);
+    assert_eq!(report.segments_dropped, 1);
+    assert!(recovered.is_empty());
+    // And the recovered store still accepts writes.
+    let mut recovered = recovered;
+    recovered.put(b"c", b"3").unwrap();
+    assert_eq!(recovered.get(b"c").unwrap().unwrap(), b"3");
+}
+
+#[test]
+fn every_prefix_of_a_log_recovers_without_panic() {
+    // The torn-write corpus: cut the segment at every byte length and
+    // require open() to succeed with a frame count equal to the number
+    // of complete frames that survived the cut.
+    let mut store = fresh();
+    let mut boundaries = vec![0usize];
+    for i in 0..5u64 {
+        store
+            .put(
+                format!("key-{i}").as_bytes(),
+                vec![i as u8; i as usize * 3].as_slice(),
+            )
+            .unwrap();
+        let bytes = store.vfs().read(&seg0()).unwrap();
+        boundaries.push(bytes.len());
+    }
+    let full = store.vfs().read(&seg0()).unwrap().to_vec();
+    for cut in 0..=full.len() {
+        let mut vfs = store.vfs().clone();
+        vfs.truncate_file(&seg0(), cut).unwrap();
+        let (recovered, report) = LogStore::open(vfs, &dir()).unwrap();
+        let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count() as u64;
+        assert_eq!(
+            report.frames_replayed, complete,
+            "cut at byte {cut}: wrong surviving frame count"
+        );
+        assert_eq!(recovered.len() as u64, complete);
+        let at_boundary = boundaries.contains(&cut);
+        assert_eq!(report.torn.is_none(), at_boundary, "cut at byte {cut}");
+    }
+}

@@ -374,6 +374,52 @@ impl Vfs {
         Ok(&self.inodes[&id].content)
     }
 
+    /// Appends `bytes` to the end of a file, creating it (with `mode`)
+    /// when absent — `open(O_APPEND)` semantics for log-structured
+    /// writers. Appending keeps the inode and bumps `i_version`, so the
+    /// grown file still reads as the same object to watchers.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::IsADirectory`] or parent-related errors.
+    pub fn append_file(
+        &mut self,
+        path: &VfsPath,
+        bytes: &[u8],
+        mode: Mode,
+    ) -> Result<FileId, VfsError> {
+        if self.dirs.contains(path) {
+            return Err(VfsError::IsADirectory {
+                path: path.to_string(),
+            });
+        }
+        if let Some(&id) = self.files.get(path) {
+            let inode = self.inodes.get_mut(&id).expect("inode for mapped file");
+            inode.content.extend_from_slice(bytes);
+            inode.iversion += 1;
+            return Ok(id);
+        }
+        self.create_file(path, bytes.to_vec(), mode)
+    }
+
+    /// Truncates a file to `len` bytes (`ftruncate`). A `len` at or past
+    /// the current size is a no-op; shrinking bumps `i_version`. This is
+    /// how crash recovery discards a torn tail: everything after the last
+    /// intact record boundary is cut, never rewritten.
+    ///
+    /// # Errors
+    ///
+    /// [`VfsError::NotFound`] or [`VfsError::IsADirectory`].
+    pub fn truncate_file(&mut self, path: &VfsPath, len: usize) -> Result<(), VfsError> {
+        let id = self.file_id(path)?;
+        let inode = self.inodes.get_mut(&id).expect("inode for mapped file");
+        if len < inode.content.len() {
+            inode.content.truncate(len);
+            inode.iversion += 1;
+        }
+        Ok(())
+    }
+
     /// Sets or clears the executable bits (`chmod ±x`).
     ///
     /// # Errors
@@ -797,6 +843,41 @@ mod tests {
         assert_eq!(meta.iversion, 2);
         // Mode preserved from creation.
         assert!(meta.mode.is_executable());
+    }
+
+    #[test]
+    fn append_and_truncate() {
+        let mut vfs = standard();
+        let f = p("/var/lib/journal.log");
+        // Append creates the file when absent...
+        let id = vfs.append_file(&f, b"aaa", Mode::REGULAR).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"aaa");
+        // ...and extends in place (same inode, bumped i_version) after.
+        let id2 = vfs.append_file(&f, b"bbb", Mode::REGULAR).unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(vfs.read(&f).unwrap(), b"aaabbb");
+        assert_eq!(vfs.metadata(&f).unwrap().iversion, 2);
+
+        // Truncate cuts the tail; growing lengths are a no-op.
+        vfs.truncate_file(&f, 4).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"aaab");
+        let v = vfs.metadata(&f).unwrap().iversion;
+        vfs.truncate_file(&f, 100).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"aaab");
+        assert_eq!(
+            vfs.metadata(&f).unwrap().iversion,
+            v,
+            "no-op keeps i_version"
+        );
+        vfs.truncate_file(&f, 0).unwrap();
+        assert_eq!(vfs.read(&f).unwrap(), b"");
+
+        // Directories reject both, like every other file op.
+        assert!(vfs
+            .append_file(&p("/var/lib"), b"x", Mode::REGULAR)
+            .is_err());
+        assert!(vfs.truncate_file(&p("/var/lib"), 0).is_err());
+        assert!(vfs.truncate_file(&p("/var/lib/ghost"), 0).is_err());
     }
 
     #[test]

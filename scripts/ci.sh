@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: formatting, workspace-wide clippy, the repo's own cia-lint
 # static pass, the tier-1 suite, a single-iteration bench smoke pass,
-# the chaos scenario corpus in release mode, and the lock-sanitizer
-# suite (runtime lock-order cycle detection over the sim corpus).
+# the storage/durability suite (append-only log engine + recovery
+# equivalence), the chaos scenario corpus in release mode, and the
+# lock-sanitizer suite (runtime lock-order cycle detection over the sim
+# corpus).
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -66,6 +68,49 @@ if gate["policy_deep_clones"] != 0 or gate["index_full_rebuilds"] != 0:
 print(f"BENCH_policy.json ok: apply_delta {doc['apply_delta_speedup_best']}x, "
       f"{gate['pushes']} pushes with 0 copies")
 EOF
+
+echo "== bench-smoke: BENCH_recovery.json present with current schema =="
+python3 - <<'EOF'
+import json, sys
+
+try:
+    with open("BENCH_recovery.json") as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    sys.exit("BENCH_recovery.json missing: run "
+             "`cargo run --release -p cia-bench --bin recovery_bench "
+             "> BENCH_recovery.json` and commit it")
+
+required = ["bench", "policy_entries", "rounds_journaled", "iters", "fleets"]
+missing = [k for k in required if k not in doc]
+if missing or doc.get("bench") != "recovery":
+    sys.exit(f"BENCH_recovery.json has a stale schema (missing {missing}): "
+             "regenerate with the recovery_bench bin")
+fleet_keys = [
+    "agents", "in_flight_acks", "frames", "recover_ms_best",
+    "recover_ms_mean", "compaction_dropped_frames", "compacted_frames",
+    "recover_compacted_ms_best",
+]
+sizes = sorted(f["agents"] for f in doc["fleets"])
+if sizes != [1000, 10000]:
+    sys.exit(f"BENCH_recovery.json must cover the 1k and 10k fleets, got {sizes}")
+for fleet in doc["fleets"]:
+    row_missing = [k for k in fleet_keys if k not in fleet]
+    if row_missing:
+        sys.exit(f"BENCH_recovery.json fleet row missing {row_missing}: "
+                 "regenerate with the recovery_bench bin")
+    if fleet["compaction_dropped_frames"] <= 0:
+        sys.exit("recorded compaction dropped no frames: fixture is stale")
+print("BENCH_recovery.json ok: " + ", ".join(
+    f"{f['agents']} agents in {f['recover_ms_best']}ms "
+    f"({f['recover_compacted_ms_best']}ms compacted)"
+    for f in doc["fleets"]))
+EOF
+
+echo "== storage: append-only log engine + durability suite =="
+cargo test "${OFFLINE[@]}" -q -p cia-storage
+cargo test "${OFFLINE[@]}" -q -p cia-keylime durable
+cargo test "${OFFLINE[@]}" -q -p cia-keylime --test recovery_equivalence
 
 echo "== backends: heterogeneous-fleet suite (trait refactor equivalence) =="
 cargo test "${OFFLINE[@]}" -q -p cia-keylime --test backend_fleet

@@ -71,8 +71,8 @@ pub mod prelude {
         AgentHealth, AgentId, AgentStatus, AttestationOutcome, BackendKind, BackendSet,
         ChaosTransport, Cluster, ConfidentialVmConfig, FailureKind, FaultPlan, FaultTarget,
         FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot, PolicyDelta, PolicyEpoch,
-        PolicyStore, ReliableTransport, RoundOutcome, RoundReport, RuntimePolicy,
-        SecureWorldConfig, Tenant, Transport, VerifierConfig,
+        PolicyStore, ReliableTransport, ResumePlan, RoundOutcome, RoundReport, RuntimePolicy,
+        SecureWorldConfig, Tenant, Transport, VerifierConfig, VerifierJournal,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};

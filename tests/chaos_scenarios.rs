@@ -214,6 +214,153 @@ fn crash_restart_mid_round_resets_quote_counter_cleanly() {
     assert_eq!(report.final_health[&victim], AgentHealth::Healthy);
 }
 
+/// Builds the durable crash-restart fleet: three agents on the shared
+/// store, one on a per-agent override, each having run one measured
+/// tool. Used by the verifier-crash scenarios below.
+fn durable_fleet(seed: u64, plan: FaultPlan, workers: usize) -> (ChaosCluster, Vec<AgentId>) {
+    let tool = VfsPath::new("/usr/bin/service").unwrap();
+    let content: &[u8] = b"fleet service v1";
+    let mut policy = RuntimePolicy::new();
+    policy.allow(tool.as_str(), sha256_hex(content));
+    policy.exclude("/tmp");
+
+    let mut cluster = chaos_cluster(seed, plan, workers);
+    let mut ids = Vec::new();
+    for i in 0..4u64 {
+        let config = MachineConfig {
+            hostname: format!("node-{i:02}"),
+            seed: 900 + i,
+            ..MachineConfig::default()
+        };
+        let mut machine = Machine::new(&cluster.manufacturer, config);
+        machine.write_executable(&tool, content).unwrap();
+        machine.exec(&tool, ExecMethod::Direct).unwrap();
+        ids.push(if i == 3 {
+            cluster
+                .add_agent(Agent::new(machine), policy.clone())
+                .unwrap()
+        } else {
+            cluster.add_agent_shared(Agent::new(machine)).unwrap()
+        });
+    }
+    cluster.publish_policy(policy);
+    (cluster, ids)
+}
+
+/// §III-D shape 3, verifier-side: the *verifier* crashes mid-round with
+/// one agent's result already durably acked. Restart replays the journal,
+/// resumes the interrupted round past the acked agent, and the merged
+/// report is identical to a twin verifier that never crashed. The acked
+/// agent is provably *not* re-attested: its machine is tampered between
+/// crash and restart, and the resumed round still reports it Verified —
+/// the tamper only surfaces one round later, when attestation genuinely
+/// runs again.
+#[test]
+fn verifier_crash_mid_round_replays_journal_and_resumes() {
+    let plan = || {
+        FaultPlan::new(73)
+            .loss(0..2, FaultTarget::AllAgents, 0.3)
+            .partition(1..2, FaultTarget::lanes([2]))
+    };
+    let (mut twin, _) = durable_fleet(73, plan(), 3);
+    let (mut subject, ids) = durable_fleet(73, plan(), 3);
+    subject.enable_durability().unwrap();
+
+    // Warm-up under faults: journaling must be observation-free.
+    for round in 0..2u64 {
+        twin.transport.set_round(round);
+        subject.transport.set_round(round);
+        assert_eq!(subject.attest_fleet(), twin.attest_fleet());
+    }
+
+    // The crash round. The twin completes it; the subject completes it
+    // too, but its journal is then truncated to `started + one ack` (plus
+    // a torn half-frame) — the crash landed mid-round, after exactly one
+    // agent was durably acknowledged.
+    twin.transport.set_round(2);
+    let twin_report = twin.attest_fleet();
+    let frames_before = subject.journal().unwrap().log().frame_count();
+    subject.transport.set_round(2);
+    let _lost = subject.attest_fleet();
+    let image = subject
+        .journal()
+        .unwrap()
+        .log()
+        .crash_image(frames_before + 2, 3);
+
+    // Between crash and restart, the acked agent's machine runs an
+    // unapproved binary. If recovery re-attested it, this would fail it.
+    let acked_agent = ids[0].clone();
+    let rogue = VfsPath::new("/usr/local/bin/rogue").unwrap();
+    let m = subject.agent_mut(&acked_agent).unwrap().machine_mut();
+    m.write_executable(&rogue, b"not in any policy").unwrap();
+    m.exec(&rogue, ExecMethod::Direct).unwrap();
+
+    // Restart: replay the log, resume mid-round past the acked agent.
+    let resume = subject.recover_from_image(image).unwrap();
+    let plan = resume.expect("started mark and one ack survived the crash");
+    assert_eq!(
+        plan.acked_ids().into_iter().collect::<Vec<_>>(),
+        vec![acked_agent.clone()],
+        "exactly the first ack was durable"
+    );
+    subject.transport.set_round(2);
+    let resumed_report = subject.attest_fleet_resume(&plan);
+
+    // The merged report is what the never-crashed twin produced, the
+    // acked agent's row came from the journal (no re-attestation, so no
+    // alert despite the tamper), and the journal agrees with memory.
+    assert_eq!(resumed_report, twin_report);
+    assert!(subject.alerts(&acked_agent).unwrap().is_empty());
+    subject.check_durable_equivalence().unwrap();
+    assert!(subject.scheduler.snapshot().is_conserved());
+
+    // One round later the skip is over: attestation genuinely runs again
+    // and the tamper surfaces as a real integrity failure.
+    subject.transport.set_round(3);
+    let next = subject.attest_fleet();
+    let row = next.results.iter().find(|r| r.id == acked_agent).unwrap();
+    assert!(
+        matches!(row.outcome, RoundOutcome::Failed { .. }),
+        "post-resume rounds must re-attest: {:?}",
+        row.outcome
+    );
+}
+
+/// Acceptance criterion for the journal itself: the bytes on disk — not
+/// just the reports — are identical whatever the worker count. Acks are
+/// sequenced by agent id before appending, so the segment files of a
+/// 1-worker, 4-worker and 8-worker run of the same fleet are equal.
+#[test]
+fn durable_journal_bytes_are_identical_across_worker_counts() {
+    let run = |workers: usize| -> Vec<(String, Vec<u8>)> {
+        let plan = FaultPlan::new(88)
+            .loss(0..4, FaultTarget::AllAgents, 0.25)
+            .partition(1..3, FaultTarget::lanes([1]));
+        let (mut cluster, _) = durable_fleet(88, plan, workers);
+        cluster.enable_durability().unwrap();
+        for round in 0..4u64 {
+            cluster.transport.set_round(round);
+            cluster.attest_fleet();
+        }
+        let log = cluster.journal().unwrap().log();
+        let mut files = log.vfs().list_dir(log.dir()).unwrap();
+        files.sort();
+        files
+            .into_iter()
+            .map(|p| {
+                let bytes = log.vfs().read(&p).unwrap().to_vec();
+                (p.as_str().to_string(), bytes)
+            })
+            .collect()
+    };
+
+    let sequential = run(1);
+    assert!(!sequential.is_empty(), "journal must have segments");
+    assert_eq!(sequential, run(4), "4 workers diverged from sequential");
+    assert_eq!(sequential, run(8), "8 workers diverged from sequential");
+}
+
 /// The paper's March-27 incident shape: a policy update omits entries
 /// for tooling that runs fleet-wide, so *every* agent raises a false
 /// positive the same day; the corrected policy restores the fleet the
