@@ -5,7 +5,9 @@
 //!    revocation fan-out;
 //! 2. the fleet engine at scale — 1,000 agents attested concurrently
 //!    over a transport dropping 10% of all calls, with the retry,
-//!    backoff and latency metrics printed from the scheduler registry;
+//!    backoff and latency metrics printed from the scheduler registry,
+//!    then the same fleet re-sharded across a 4-shard verifier
+//!    federation for a merged fleet-level round;
 //! 3. chaos under a scripted FaultPlan — a quarter of the fleet
 //!    partitions mid-run, the health state machine walks the victims
 //!    through Degraded → Quarantined → Recovering → Healthy, and the
@@ -17,8 +19,8 @@
 use cia_core::experiments::{run_fleet, FleetConfig};
 use cia_distro::StreamProfile;
 use cia_keylime::{
-    ChaosTransport, Cluster, FaultPlan, FaultTarget, LossyTransport, MetricsSnapshot,
-    ReliableTransport, RuntimePolicy, VerifierConfig,
+    ChaosTransport, Cluster, FaultPlan, FaultTarget, Federation, FederationConfig, LossyTransport,
+    MetricsSnapshot, ReliableTransport, RuntimePolicy, VerifierConfig,
 };
 use cia_os::MachineConfig;
 use std::time::Instant;
@@ -35,6 +37,7 @@ fn policy_fleet_act() {
         workers: 4,
         continue_on_failure: false,
         quarantine: false,
+        shards: 1,
     };
     println!(
         "== fleet: {} nodes, {} days, daily updates from one mirror ==\n",
@@ -68,6 +71,7 @@ fn policy_fleet_act() {
 fn engine_at_scale_act() {
     const FLEET: u64 = 1_000;
     const DROP_RATE: f64 = 0.10;
+    const SHARDS: u32 = 4;
 
     let config = VerifierConfig::builder()
         .continue_on_failure(true) // the engine default posture (P2 fix)
@@ -142,6 +146,39 @@ fn engine_at_scale_act() {
     println!(
         "\nserialized snapshot: {}",
         serde_json::to_string(&metrics).expect("snapshot serializes")
+    );
+
+    // The same fleet, federated: re-shard the verifier across SHARDS
+    // instances sharing one policy store and run the next round through
+    // the coordinator. Lanes come from the fleet-wide sorted order, so
+    // the drop pattern each agent sees is the one the single verifier
+    // would have dealt it.
+    println!("\n== federated: the same {FLEET} agents across {SHARDS} verifier shards ==\n");
+    let mut fed =
+        Federation::from_verifier(&cluster.verifier, FederationConfig::new(SHARDS, config));
+    let round_start = Instant::now();
+    let report = cluster.attest_fleet_federated(&mut fed);
+    let elapsed = round_start.elapsed();
+
+    assert_eq!(report.fleet.results.len() as u64, FLEET);
+    assert!(report.fleet.all_reached(), "zero agents silently skipped");
+    let fleet_metrics = fed.fleet_metrics();
+    assert!(fleet_metrics.is_conserved(), "{fleet_metrics:?}");
+    println!(
+        "federated round complete in {elapsed:?}: {} verified across {} shards",
+        report.fleet.verified_count(),
+        report.shard_count()
+    );
+    for (sid, shard_report) in &report.per_shard {
+        println!(
+            "  shard {sid}: {:>3} agents, {:>3} verified",
+            shard_report.results.len(),
+            shard_report.verified_count()
+        );
+    }
+    println!(
+        "fleet metrics (merged): {} calls, {} retries, {} drops — conserved",
+        fleet_metrics.calls, fleet_metrics.retries, fleet_metrics.drops
     );
 }
 

@@ -20,8 +20,8 @@
 
 use cia_distro::{Mirror, ReleaseStream, StreamProfile};
 use cia_keylime::{
-    Agent, AgentId, AgentStatus, Alert, Cluster, HealthCounts, LossyTransport, MetricsSnapshot,
-    RoundOutcome, VerifierConfig,
+    Agent, AgentId, AgentStatus, Alert, Cluster, Federation, FederationConfig, HealthCounts,
+    LossyTransport, MetricsSnapshot, RoundOutcome, VerifierConfig,
 };
 use cia_os::{ExecMethod, Machine, MachineConfig};
 use cia_vfs::VfsPath;
@@ -52,6 +52,13 @@ pub struct FleetConfig {
     /// Quarantine cheap-skip for persistently unreachable agents (the
     /// health state machine always *tracks*; this gates the skip path).
     pub quarantine: bool,
+    /// Verifier shards the daily sweep is federated across (1 = a
+    /// single verifier, the classic shape). With more, the fleet is
+    /// split by consistent-hash placement, each shard runs its own
+    /// worker pool, and policy publishes go through the shared store
+    /// exactly once — detections, verification counts, and reachability
+    /// are identical to the single-verifier run.
+    pub shards: u32,
 }
 
 impl FleetConfig {
@@ -69,6 +76,7 @@ impl FleetConfig {
             workers: 4,
             continue_on_failure: false,
             quarantine: false,
+            shards: 1,
         }
     }
 
@@ -166,6 +174,17 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         ids.push(id);
     }
 
+    // Federated shape: re-shard the enrolled verifier across
+    // `config.shards` instances sharing one policy store. From here on,
+    // policy publishes and sweeps go through the federation; the cluster
+    // keeps owning the machines, audit chain, and revocation bus.
+    let mut federation = (config.shards > 1).then(|| {
+        Federation::from_verifier(
+            &cluster.verifier,
+            FederationConfig::new(config.shards, verifier_config),
+        )
+    });
+
     let implant_path = "/usr/sbin/implant";
     let mut report = FleetReport::default();
 
@@ -176,7 +195,17 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         repo.apply_release(&stream.next_day());
         let diff = mirror.sync(&repo, day);
         generator.apply_diff(&diff, day);
-        cluster.publish_delta(&generator.take_delta());
+        let delta = generator.take_delta();
+        match federation.as_mut() {
+            // One store epoch fleet-wide; every shard adopts the same
+            // snapshot Arc.
+            Some(fed) => {
+                fed.publish_delta(&delta);
+            }
+            None => {
+                cluster.publish_delta(&delta);
+            }
+        }
 
         // Every node updates and works.
         for (n, id) in ids.iter().enumerate() {
@@ -212,7 +241,12 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
 
         // Concurrent attestation sweep: the whole fleet in one engine
         // round, retries and all. Every agent yields exactly one result.
-        let round = cluster.attest_fleet();
+        // Federated, each shard's round runs concurrently and the merged
+        // report below is the fleet-level view.
+        let round = match federation.as_mut() {
+            Some(fed) => cluster.attest_fleet_federated(fed).fleet,
+            None => cluster.attest_fleet(),
+        };
         assert_eq!(round.results.len(), ids.len(), "no agent may go missing");
         // Every reachable agent must have adopted the day's epoch (only
         // quarantined agents legitimately pin the last one they acked).
@@ -272,7 +306,10 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
             })
             .count();
     }
-    report.metrics = cluster.scheduler.snapshot();
+    report.metrics = match &federation {
+        Some(fed) => fed.fleet_metrics(),
+        None => cluster.scheduler.snapshot(),
+    };
     report
 }
 
@@ -367,6 +404,37 @@ mod tests {
         assert_eq!(report.health.healthy, report.health.total());
         assert_eq!(report.health.total(), 5);
         assert!(report.metrics.is_conserved(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn federated_fleet_matches_the_single_verifier_run() {
+        let days = u64::from(FleetConfig::small(37).days);
+        let base = run_fleet(FleetConfig::small_lossy(37));
+        for shards in [2u32, 4] {
+            let mut config = FleetConfig::small_lossy(37);
+            config.shards = shards;
+            let fed = run_fleet(config);
+
+            // The sweep's observable outcome is shard-count independent:
+            // same detections on the same days, same verification and
+            // reachability counts, same revocation fan-out.
+            assert_eq!(fed.detections, base.detections);
+            assert_eq!(fed.verified, base.verified);
+            assert_eq!(fed.attestations, base.attestations);
+            assert_eq!(fed.unreachable, base.unreachable);
+            assert_eq!(fed.revocations_seen, base.revocations_seen);
+            assert!(fed.false_positives.is_empty());
+
+            // The engine's work splits across shards but its total is
+            // conserved: lane-deterministic faults mean the same calls,
+            // retries, and drops as the single-verifier sweep.
+            assert!(fed.metrics.is_conserved(), "{:?}", fed.metrics);
+            assert_eq!(fed.metrics.calls, base.metrics.calls);
+            assert_eq!(fed.metrics.retries, base.metrics.retries);
+            assert_eq!(fed.metrics.drops, base.metrics.drops);
+            // `rounds` counts shard rounds: one per shard per day.
+            assert_eq!(fed.metrics.rounds, days * u64::from(shards));
+        }
     }
 
     #[test]

@@ -79,6 +79,17 @@ pub struct VerifierConfig {
     ///     crate::verifier::FailureKind::BackendNotAllowed
     #[serde(default)]
     pub allowed_backends: BackendSet,
+    /// Depth of the bounded evidence channel between the transport
+    /// stage and the batched appraisal stage of a pipelined round. `0`
+    /// (the default) keeps the classic inline path: each worker fetches
+    /// a quote and appraises it before touching the next agent. Any
+    /// positive depth splits the round into `worker_count` transport
+    /// lanes feeding `worker_count` appraisal workers through a channel
+    /// of this capacity, so agent *i*'s log is appraised while agent
+    /// *i+1*'s quote is still in flight. Verdicts, traces and every
+    /// conserved counter are identical either way.
+    #[serde(default)]
+    pub pipeline_depth: usize,
 }
 
 impl Default for VerifierConfig {
@@ -97,6 +108,7 @@ impl Default for VerifierConfig {
             reprobe_backoff_max_rounds: 32,
             structured_excerpt: true,
             allowed_backends: BackendSet::all(),
+            pipeline_depth: 0,
         }
     }
 }
@@ -322,6 +334,13 @@ impl VerifierConfigBuilder {
     /// Convenience: allow exactly one backend.
     pub fn only_backend(mut self, kind: BackendKind) -> Self {
         self.config.allowed_backends = BackendSet::only(kind);
+        self
+    }
+
+    /// Sets the evidence-channel depth for pipelined rounds
+    /// (see [`VerifierConfig::pipeline_depth`]; `0` stays inline).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.config.pipeline_depth = depth;
         self
     }
 
@@ -553,6 +572,25 @@ mod tests {
         assert_ne!(stripped, json, "field must be present before stripping");
         let c: VerifierConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(c.allowed_backends, BackendSet::all());
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_inline_and_roundtrips() {
+        assert_eq!(VerifierConfig::default().pipeline_depth, 0);
+        assert_eq!(VerifierConfig::engine_default().pipeline_depth, 0);
+        let c = VerifierConfig::builder()
+            .pipeline_depth(64)
+            .build()
+            .unwrap();
+        assert_eq!(c.pipeline_depth, 64);
+        // Pre-pipeline configs on disk omit the field; it defaults to 0.
+        let json = serde_json::to_string(&VerifierConfig::default()).unwrap();
+        let stripped = json
+            .replace("\"pipeline_depth\":0,", "")
+            .replace(",\"pipeline_depth\":0", "");
+        assert_ne!(stripped, json, "field must be present before stripping");
+        let c: VerifierConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(c.pipeline_depth, 0);
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! Sharded verifier federation: many verifier instances, one fleet.
+//!
+//! The paper's scaling wall is a single verifier appraising an
+//! ever-growing fleet on a fixed cadence. [`Federation`] splits the
+//! fleet across N shards — each a full [`Verifier`] + [`FleetScheduler`]
+//! pair with its own worker pool — placed by a consistent-hash
+//! [`HashRing`] over [`AgentId`]s, and merges per-shard
+//! [`RoundReport`]s and [`MetricsSnapshot`]s back into one fleet-level
+//! view with conserved counters.
+//!
+//! **One store, many verifiers.** All shards share a single
+//! [`ConcurrentPolicyStore`]: a policy (or delta) is published exactly
+//! once fleet-wide, then every shard adopts the *same*
+//! `Arc<RuntimePolicy>` snapshot via [`Verifier::publish_policy_arc`] —
+//! zero per-shard copies, and every shard's internal epoch advances in
+//! lockstep with the store's (each publish bumps both by exactly one).
+//! After each publish or round the coordinator syncs the store's pin
+//! map from the shards, so [`ConcurrentPolicyStore::converged`] and
+//! [`ConcurrentPolicyStore::laggards`] describe the whole fleet.
+//!
+//! **Replay independence.** Transport lanes are assigned from the
+//! *fleet-wide* sorted enrolment order and passed to each shard as a
+//! lane-override map, so the fault stream an agent sees under a
+//! [`crate::chaos::FaultPlan`] is a pure function of (plan, fleet
+//! membership) — not of how many shards the fleet happens to be split
+//! into. A one-shard federation produces bit-identical traces to a
+//! plain [`Cluster`](crate::Cluster) round, and any shard count
+//! produces bit-identical traces to any other.
+//!
+//! **Shard failure.** [`Federation::run_round_with_kill`] models a
+//! shard dying at the start of a round: survivors complete their rounds
+//! untouched, the coordinator removes the dead shard from the ring
+//! (moving *only* its agents — consistent hashing), migrates each
+//! orphaned record (enrolment constants + full
+//! [`AgentStateSnapshot`](crate::AgentStateSnapshot) + the exact policy
+//! `Arc` it held) onto its new shard, and runs a catch-up sub-round
+//! over exactly the migrated agents at the *same* round number and
+//! lanes. The merged fleet report still carries one result per
+//! enrolled agent — nobody silently skipped — and equals the no-kill
+//! trace bit for bit, because fault decisions depend only on (round,
+//! lane, attempt) and each agent is still fetched exactly once on its
+//! own lane.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::agent::Agent;
+use crate::config::VerifierConfig;
+use crate::ids::AgentId;
+use crate::policy::{PolicyDelta, RuntimePolicy};
+use crate::ring::HashRing;
+use crate::scheduler::{AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundReport};
+use crate::store::{ConcurrentPolicyStore, PolicyEpoch};
+use crate::transport::Transport;
+use crate::verifier::{HealthCounts, Verifier};
+
+/// How a [`Federation`] is laid out.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Number of verifier shards (minimum 1).
+    pub shards: u32,
+    /// Virtual points per shard on the consistent-hash ring.
+    pub replicas: u32,
+    /// The per-shard verifier/scheduler configuration.
+    pub verifier: VerifierConfig,
+}
+
+impl FederationConfig {
+    /// `shards` shards with default ring replicas and `verifier` config.
+    pub fn new(shards: u32, verifier: VerifierConfig) -> Self {
+        FederationConfig {
+            shards: shards.max(1),
+            replicas: crate::ring::DEFAULT_REPLICAS,
+            verifier,
+        }
+    }
+}
+
+/// One shard: a verifier and the scheduler that drives it.
+struct Shard {
+    verifier: Verifier,
+    scheduler: FleetScheduler,
+}
+
+impl Shard {
+    fn new(config: VerifierConfig) -> Self {
+        Shard {
+            verifier: Verifier::new(config),
+            scheduler: FleetScheduler::new(),
+        }
+    }
+}
+
+/// The outcome of one federated round: the merged fleet-level report
+/// plus each live shard's own slice of it.
+#[derive(Debug, Clone)]
+pub struct FederatedRoundReport {
+    /// One result per enrolled agent, fleet-wide, sorted by id.
+    pub fleet: RoundReport,
+    /// Per-shard reports (shard index ascending): each shard's results
+    /// sorted by id, with health counts over the records that shard
+    /// holds *after* the round (including any just-migrated agents).
+    pub per_shard: Vec<(u32, RoundReport)>,
+}
+
+impl FederatedRoundReport {
+    /// Number of live shards that contributed.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+}
+
+/// The coordinator: owns the shards, the ring, and the shared store.
+/// See the module docs.
+pub struct Federation {
+    ring: HashRing,
+    shards: BTreeMap<u32, Shard>,
+    store: Arc<ConcurrentPolicyStore>,
+    /// Metrics folded out of killed shards, so the fleet-level snapshot
+    /// never loses the work a dead shard already did.
+    retired: MetricsSnapshot,
+}
+
+impl Federation {
+    /// A federation of `config.shards` empty shards.
+    pub fn new(config: FederationConfig) -> Self {
+        let mut ring = HashRing::with_replicas(config.replicas);
+        let mut shards = BTreeMap::new();
+        for sid in 0..config.shards.max(1) {
+            ring.add_shard(sid);
+            shards.insert(sid, Shard::new(config.verifier));
+        }
+        Federation {
+            ring,
+            shards,
+            store: Arc::new(ConcurrentPolicyStore::new()),
+            retired: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Re-shards an existing single verifier into a federation: the
+    /// source's store snapshot/epoch seed the shared store, and every
+    /// enrolment (constants + mutable state + the exact policy handle
+    /// the record held) is placed onto its ring shard. The source is
+    /// not consumed — the caller decides when to stop driving it.
+    pub fn from_verifier(source: &Verifier, config: FederationConfig) -> Self {
+        let shared = source.policy_store().shared();
+        let mut fed = Federation::new(config);
+        fed.store = Arc::new(ConcurrentPolicyStore::restore(
+            Arc::clone(&shared.snapshot),
+            shared.epoch,
+        ));
+        for shard in fed.shards.values_mut() {
+            shard
+                .verifier
+                .restore_store(Arc::clone(&shared.snapshot), shared.epoch);
+        }
+        for (id, ak, identity, shared_policy, policy) in source.enrolment_view() {
+            let Ok(state) = source.export_agent_state(id) else {
+                debug_assert!(false, "enrolment_view yields enrolled ids");
+                continue;
+            };
+            let acked_epoch = state.policy_epoch;
+            let Some(shard) = fed.ring.place(id).and_then(|sid| fed.shards.get_mut(&sid)) else {
+                debug_assert!(false, "a federation ring is never empty");
+                continue;
+            };
+            shard.verifier.restore_agent(
+                id.clone(),
+                ak.clone(),
+                identity,
+                Arc::clone(policy),
+                state,
+            );
+            if shared_policy {
+                fed.store.record_pin(id, acked_epoch);
+            }
+        }
+        fed
+    }
+
+    /// Number of live shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live shard indices, ascending.
+    pub fn shard_ids(&self) -> Vec<u32> {
+        self.shards.keys().copied().collect()
+    }
+
+    /// The shard `id` is placed on.
+    pub fn placement(&self, id: &AgentId) -> Option<u32> {
+        self.ring.place(id)
+    }
+
+    /// The fleet-wide shared policy store.
+    pub fn store(&self) -> &ConcurrentPolicyStore {
+        &self.store
+    }
+
+    /// Every enrolled agent id, fleet-wide, sorted.
+    pub fn agent_ids(&self) -> Vec<AgentId> {
+        let mut ids: Vec<AgentId> = self
+            .shards
+            .values()
+            .flat_map(|s| s.verifier.agent_ids())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total enrolled agents across all shards.
+    pub fn agent_count(&self) -> usize {
+        self.shards
+            .values()
+            .map(|s| s.verifier.agent_ids().len())
+            .sum()
+    }
+
+    /// Enrols a shared-store agent on its ring shard and pins it in the
+    /// fleet store. Returns the shard index the agent landed on.
+    pub fn enroll_shared(
+        &mut self,
+        id: impl Into<AgentId>,
+        ak: cia_crypto::VerifyingKey,
+        identity: crate::backend::BackendIdentity,
+    ) -> u32 {
+        let id = id.into();
+        // A federation always keeps >= 1 shard (construction floors the
+        // count; kill_shard refuses to remove the last), so placement
+        // cannot miss.
+        let sid = self.ring.place(&id).unwrap_or_default();
+        if let Some(shard) = self.shards.get_mut(&sid) {
+            shard
+                .verifier
+                .add_agent_shared_with_identity(id.clone(), ak, identity);
+            self.store.adopt(&id);
+        } else {
+            debug_assert!(false, "ring places on live shards");
+        }
+        sid
+    }
+
+    /// Publishes a full policy once fleet-wide: one new store epoch,
+    /// then every shard adopts the same snapshot `Arc` (zero copies).
+    pub fn publish_policy(&mut self, policy: RuntimePolicy) -> PolicyEpoch {
+        let epoch = self.store.publish(policy);
+        self.distribute(epoch);
+        epoch
+    }
+
+    /// Publishes a delta once fleet-wide (the store's copy-on-write /
+    /// zero-copy path), then every shard adopts the resulting snapshot
+    /// `Arc`. The delta is applied exactly once no matter how many
+    /// shards exist.
+    pub fn publish_delta(&mut self, delta: &PolicyDelta) -> (PolicyEpoch, usize) {
+        let (epoch, applied) = self.store.publish_delta(delta);
+        self.distribute(epoch);
+        (epoch, applied)
+    }
+
+    fn distribute(&mut self, epoch: PolicyEpoch) {
+        let snapshot = Arc::clone(&self.store.shared().snapshot);
+        for shard in self.shards.values_mut() {
+            let shard_epoch = shard.verifier.publish_policy_arc(Arc::clone(&snapshot));
+            debug_assert_eq!(
+                shard_epoch, epoch,
+                "shard epochs advance in lockstep with the store"
+            );
+        }
+        self.sync_pins();
+    }
+
+    /// Copies every shared agent's acknowledged epoch into the store's
+    /// pin map, so fleet-wide convergence queries see what the shards
+    /// actually hold (quarantined laggards included).
+    fn sync_pins(&self) {
+        for shard in self.shards.values() {
+            for (id, _ak, _identity, shared_policy, _policy) in shard.verifier.enrolment_view() {
+                if shared_policy {
+                    if let Ok(epoch) = shard.verifier.agent_policy_epoch(id) {
+                        self.store.record_pin(id, epoch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fleet-wide transport lanes: every enrolled agent's position in
+    /// the *fleet* sorted enrolment order — exactly the lane a single
+    /// un-sharded verifier would assign it, which is what makes traces
+    /// shard-count independent.
+    fn global_lanes(&self) -> BTreeMap<AgentId, u64> {
+        let mut ids: BTreeSet<AgentId> = BTreeSet::new();
+        for shard in self.shards.values() {
+            ids.extend(shard.verifier.agent_ids());
+        }
+        ids.into_iter()
+            .enumerate()
+            .map(|(lane, id)| (id, lane as u64))
+            .collect()
+    }
+
+    /// Runs one federated round: every shard's round runs concurrently
+    /// (each with its own worker pool), then the per-shard reports merge
+    /// into the fleet-level report.
+    pub fn run_round<T>(&mut self, agents: &mut [Agent], transport: &T) -> FederatedRoundReport
+    where
+        T: Transport + Sync,
+    {
+        let lanes = self.global_lanes();
+        let mut pools: BTreeMap<u32, Vec<&mut Agent>> = BTreeMap::new();
+        for agent in agents.iter_mut() {
+            if let Some(sid) = self.ring.place(agent.id()) {
+                pools.entry(sid).or_default().push(agent);
+            }
+        }
+        let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (&sid, shard) in self.shards.iter_mut() {
+                let pool = pools.remove(&sid).unwrap_or_default();
+                let lanes = &lanes;
+                handles.push((
+                    sid,
+                    scope.spawn(move || {
+                        shard.scheduler.run_round_core(
+                            &mut shard.verifier,
+                            pool.into_iter(),
+                            transport,
+                            None,
+                            Some(lanes),
+                            |_, _| {},
+                        )
+                    }),
+                ));
+            }
+            for (sid, handle) in handles {
+                let report = match handle.join() {
+                    Ok(report) => report,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                results.insert(sid, report.results);
+            }
+        });
+        self.sync_pins();
+        self.finish_report(results)
+    }
+
+    /// Runs one federated round during which shard `kill` dies at round
+    /// start: it produces no results, survivors run untouched, then the
+    /// coordinator rebalances the dead shard's agents onto survivors
+    /// (consistent-hash ring remove — nobody else moves) and drives a
+    /// catch-up sub-round over exactly the migrated agents at the same
+    /// lanes. The merged report conserves every enrolled agent.
+    ///
+    /// Returns the report and the migrated agent ids (sorted).
+    ///
+    /// # Panics
+    ///
+    /// When `kill` is not a live shard, or is the only shard left.
+    pub fn run_round_with_kill<T>(
+        &mut self,
+        agents: &mut [Agent],
+        transport: &T,
+        kill: u32,
+    ) -> (FederatedRoundReport, Vec<AgentId>)
+    where
+        T: Transport + Sync,
+    {
+        assert!(self.shards.contains_key(&kill), "unknown shard {kill}");
+        assert!(self.shards.len() > 1, "cannot kill the only shard");
+
+        // Lanes are computed over the full fleet *before* the kill, so
+        // every agent keeps the lane the no-kill round would use.
+        let lanes = self.global_lanes();
+        let mut pools: BTreeMap<u32, Vec<&mut Agent>> = BTreeMap::new();
+        let mut dead_pool: Vec<&mut Agent> = Vec::new();
+        for agent in agents.iter_mut() {
+            match self.ring.place(agent.id()) {
+                Some(sid) if sid == kill => dead_pool.push(agent),
+                Some(sid) => pools.entry(sid).or_default().push(agent),
+                None => {}
+            }
+        }
+
+        // Survivors' main round — the dead shard contributes nothing.
+        let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (&sid, shard) in self.shards.iter_mut() {
+                if sid == kill {
+                    continue;
+                }
+                let pool = pools.remove(&sid).unwrap_or_default();
+                let lanes = &lanes;
+                handles.push((
+                    sid,
+                    scope.spawn(move || {
+                        shard.scheduler.run_round_core(
+                            &mut shard.verifier,
+                            pool.into_iter(),
+                            transport,
+                            None,
+                            Some(lanes),
+                            |_, _| {},
+                        )
+                    }),
+                ));
+            }
+            for (sid, handle) in handles {
+                let report = match handle.join() {
+                    Ok(report) => report,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                results.insert(sid, report.results);
+            }
+        });
+
+        // Rebalance: ring-remove the dead shard and migrate its records.
+        let migrated = self.kill_shard(kill);
+        let migrated_set: BTreeSet<AgentId> = migrated.iter().cloned().collect();
+
+        // Catch-up sub-round: each surviving shard polls only the agents
+        // it just inherited (its pre-existing enrolments are skipped, so
+        // nobody is attested twice). Same lanes, same chaos round — the
+        // fault stream each migrated agent sees is exactly the one the
+        // no-kill round would have dealt it.
+        let mut catchup_pools: BTreeMap<u32, Vec<&mut Agent>> = BTreeMap::new();
+        for agent in dead_pool {
+            if let Some(sid) = self.ring.place(agent.id()) {
+                catchup_pools.entry(sid).or_default().push(agent);
+            }
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (&sid, shard) in self.shards.iter_mut() {
+                let Some(pool) = catchup_pools.remove(&sid) else {
+                    continue;
+                };
+                let skip: BTreeSet<AgentId> = shard
+                    .verifier
+                    .agent_ids()
+                    .into_iter()
+                    .filter(|id| !migrated_set.contains(id))
+                    .collect();
+                let lanes = &lanes;
+                handles.push((
+                    sid,
+                    scope.spawn(move || {
+                        shard.scheduler.run_round_core(
+                            &mut shard.verifier,
+                            pool.into_iter(),
+                            transport,
+                            Some(&skip),
+                            Some(lanes),
+                            |_, _| {},
+                        )
+                    }),
+                ));
+            }
+            for (sid, handle) in handles {
+                let report = match handle.join() {
+                    Ok(report) => report,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                results.entry(sid).or_default().extend(report.results);
+            }
+        });
+
+        self.sync_pins();
+        (self.finish_report(results), migrated)
+    }
+
+    /// Removes `shard` from the federation outside a round: its metrics
+    /// fold into the retired accumulator and each of its records
+    /// (constants, mutable state, and the exact policy `Arc` it held —
+    /// quarantined agents stay pinned on their acknowledged snapshot)
+    /// migrates to its new ring placement. Returns the migrated ids,
+    /// sorted. No-op returning empty when `shard` is not live.
+    ///
+    /// # Panics
+    ///
+    /// When `shard` is the only shard left — a federation cannot place
+    /// agents on an empty ring.
+    pub fn kill_shard(&mut self, shard: u32) -> Vec<AgentId> {
+        if !self.shards.contains_key(&shard) {
+            return Vec::new();
+        }
+        assert!(self.shards.len() > 1, "cannot kill the only shard");
+        let Some(dead) = self.shards.remove(&shard) else {
+            return Vec::new();
+        };
+        self.ring.remove_shard(shard);
+        self.retired = self.retired.merged(&dead.scheduler.snapshot());
+
+        let moves: Vec<_> = dead
+            .verifier
+            .enrolment_view()
+            .filter_map(|(id, ak, identity, _shared, policy)| {
+                let state = dead.verifier.export_agent_state(id).ok()?;
+                Some((id.clone(), ak.clone(), identity, Arc::clone(policy), state))
+            })
+            .collect();
+        let mut migrated = Vec::with_capacity(moves.len());
+        for (id, ak, identity, policy, state) in moves {
+            let Some(target) = self
+                .ring
+                .place(&id)
+                .and_then(|sid| self.shards.get_mut(&sid))
+            else {
+                debug_assert!(false, "survivors remain on the ring");
+                continue;
+            };
+            target
+                .verifier
+                .restore_agent(id.clone(), ak, identity, policy, state);
+            migrated.push(id);
+        }
+        migrated.sort();
+        migrated
+    }
+
+    /// Fleet-level health: each record lives on exactly one shard, so
+    /// the sum counts every agent once.
+    pub fn fleet_health(&self) -> HealthCounts {
+        let mut health = HealthCounts::default();
+        for shard in self.shards.values() {
+            let counts = shard.verifier.health_counts();
+            health.healthy += counts.healthy;
+            health.degraded += counts.degraded;
+            health.quarantined += counts.quarantined;
+            health.recovering += counts.recovering;
+        }
+        health
+    }
+
+    /// The fleet-level metrics snapshot: the component-wise merge of
+    /// every live shard's registry plus everything folded out of killed
+    /// shards. Conserved whenever the shard snapshots are — the
+    /// identity is linear (see [`MetricsSnapshot::merged`]).
+    pub fn fleet_metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.retired.clone();
+        for shard in self.shards.values() {
+            snap = snap.merged(&shard.scheduler.snapshot());
+        }
+        snap
+    }
+
+    /// Each live shard's own metrics snapshot, shard index ascending.
+    pub fn shard_metrics(&self) -> Vec<(u32, MetricsSnapshot)> {
+        self.shards
+            .iter()
+            .map(|(&sid, shard)| (sid, shard.scheduler.snapshot()))
+            .collect()
+    }
+
+    /// Assembles the fleet + per-shard reports from each shard's result
+    /// rows. Health is read from the shard verifiers *after* the round
+    /// (and after any migration), so every agent is counted exactly
+    /// once.
+    fn finish_report(
+        &self,
+        mut results: BTreeMap<u32, Vec<AgentRoundResult>>,
+    ) -> FederatedRoundReport {
+        let epoch = self.store.epoch();
+        let mut fleet_results: Vec<AgentRoundResult> = Vec::new();
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for (&sid, shard) in &self.shards {
+            let mut shard_results = results.remove(&sid).unwrap_or_default();
+            shard_results.sort_by(|a, b| a.id.cmp(&b.id));
+            fleet_results.extend(shard_results.iter().cloned());
+            per_shard.push((
+                sid,
+                RoundReport {
+                    results: shard_results,
+                    health: shard.verifier.health_counts(),
+                    policy_epoch: epoch,
+                },
+            ));
+        }
+        fleet_results.sort_by(|a, b| a.id.cmp(&b.id));
+        FederatedRoundReport {
+            fleet: RoundReport {
+                results: fleet_results,
+                health: self.fleet_health(),
+                policy_epoch: epoch,
+            },
+            per_shard,
+        }
+    }
+}

@@ -114,11 +114,14 @@ pub mod chaos;
 pub mod config;
 pub mod durable;
 pub mod error;
+pub mod federation;
 pub mod ids;
 pub mod payload;
+pub mod pipeline;
 pub mod policy;
 pub mod registrar;
 pub mod revocation;
+pub mod ring;
 pub mod scheduler;
 pub mod store;
 pub mod tenant;
@@ -136,11 +139,13 @@ pub use chaos::{ChaosTransport, FaultDecision, FaultEvent, FaultKind, FaultPlan,
 pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use durable::{Recovered, ResumePlan, VerifierJournal, DEFAULT_JOURNAL_DIR};
 pub use error::KeylimeError;
+pub use federation::{FederatedRoundReport, Federation, FederationConfig};
 pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
 pub use policy::{PolicyCheck, PolicyDelta, PolicyDiff, PolicyMeta, RuntimePolicy};
 pub use registrar::{Registrar, RegistrationRecord};
 pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
+pub use ring::HashRing;
 pub use scheduler::{
     AgentRoundResult, BackendCounts, FleetScheduler, MetricsSnapshot, PerBackendCounts,
     RoundOutcome, RoundReport, SchedulerMetrics,

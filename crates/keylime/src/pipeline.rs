@@ -1,0 +1,174 @@
+//! Pipelined round dispatch: overlap quote transport with appraisal.
+//!
+//! The classic round ([`FleetScheduler`]) has each worker fetch one
+//! agent's quote and appraise it before touching the next agent — the
+//! appraisal CPU time sits inside the transport lane's shadow. This
+//! module splits the two halves across *stages*: `worker_count`
+//! transport lanes pull jobs and fetch quotes, handing each fetched
+//! [`Job`] (still carrying its `&mut` record) over a **bounded**
+//! evidence channel to `worker_count` appraisal workers that drain it
+//! in small batches. Agent *i*'s log entries are checked against policy
+//! while agent *i+1*'s quote is still in flight.
+//!
+//! Three properties keep the pipelined round exactly equivalent to the
+//! inline one:
+//!
+//! - **Same halves.** Both paths run [`fetch_with_retry`] and
+//!   [`appraise_fetched`] — the inline path composes them on one
+//!   worker, this module on two. There is no pipelined-only logic that
+//!   could drift.
+//! - **Sequential records.** The whole [`Job`] moves across the
+//!   channel, so at any instant exactly one worker holds an agent's
+//!   `&mut` record; fetch-then-appraise mutations stay ordered per
+//!   agent.
+//! - **Own lanes.** Transport lanes are forked per job exactly as
+//!   inline, so drop/fault patterns are a pure function of (seed,
+//!   lane, attempt) — never of stage interleaving.
+//!
+//! The channel bound ([`VerifierConfig::pipeline_depth`]) is the
+//! backpressure valve: when appraisal falls behind, fetchers block on
+//! `send` instead of piling unappraised evidence into unbounded memory.
+//!
+//! [`FleetScheduler`]: crate::scheduler::FleetScheduler
+
+use crate::agent::QuoteResponse;
+use crate::scheduler::{
+    appraise_fetched, fetch_with_retry, AgentRoundResult, FetchOutcome, Job, SchedulerMetrics,
+};
+use crate::store::SharedPolicy;
+use crate::transport::Transport;
+use crate::verifier::{AgentStateSnapshot, VerifierConfig};
+
+/// Appraisal workers drain the evidence channel up to this many jobs at
+/// a time, amortising channel wakeups over a batch of policy checks.
+const APPRAISAL_BATCH: usize = 32;
+
+/// A fetched quote travelling from a transport lane to an appraisal
+/// worker, with the job (and its `&mut` record) still attached.
+struct EvidenceJob<'a> {
+    job: Job<'a>,
+    resp: QuoteResponse,
+    nonce: Vec<u8>,
+    day: u32,
+    attempts: u32,
+    backoff_ms: u64,
+}
+
+/// Runs one round's jobs through the two-stage pipeline and returns the
+/// (unsorted) results. Called by the scheduler when
+/// [`VerifierConfig::pipeline_depth`] is positive; the caller sorts and
+/// finishes the report exactly as for the inline path.
+pub(crate) fn run_pipelined<'a, T, F>(
+    config: &VerifierConfig,
+    shared: &SharedPolicy,
+    metrics: &SchedulerMetrics,
+    jobs: Vec<Job<'a>>,
+    transport: &T,
+    observer: &F,
+) -> Vec<AgentRoundResult>
+where
+    T: Transport + Sync,
+    F: Fn(&AgentRoundResult, AgentStateSnapshot) + Sync,
+{
+    let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
+    let depth = config.pipeline_depth.max(1);
+    let expected = jobs.len();
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'a>>();
+    let (ev_tx, ev_rx) = crossbeam::channel::bounded::<EvidenceJob<'a>>(depth);
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
+    for job in jobs {
+        let sent = job_tx.send(job);
+        assert!(sent.is_ok(), "job receiver alive until workers finish");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            let ev_rx = ev_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let mut batch: Vec<EvidenceJob<'a>> = Vec::with_capacity(APPRAISAL_BATCH);
+                while let Ok(first) = ev_rx.recv() {
+                    batch.push(first);
+                    while batch.len() < APPRAISAL_BATCH {
+                        match ev_rx.try_recv() {
+                            Ok(ej) => batch.push(ej),
+                            Err(_) => break,
+                        }
+                    }
+                    for mut ej in batch.drain(..) {
+                        let result = appraise_fetched(
+                            config,
+                            metrics,
+                            &mut ej.job,
+                            ej.resp,
+                            &ej.nonce,
+                            ej.day,
+                            ej.attempts,
+                            ej.backoff_ms,
+                        );
+                        // The ack hook sees the record *after* the round's
+                        // mutations, exactly as inline.
+                        observer(&result, ej.job.record.snapshot_state());
+                        let _ = res_tx.send(result);
+                    }
+                }
+            });
+        }
+        for _ in 0..worker_count {
+            let job_rx = job_rx.clone();
+            let ev_tx = ev_tx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok(mut job) = job_rx.recv() {
+                    let mut lane_transport = transport.fork(job.lane);
+                    let outcome =
+                        fetch_with_retry(config, shared, metrics, &mut job, &mut lane_transport);
+                    // The lane is fresh per job, so its byte total is
+                    // exactly this agent's round traffic.
+                    metrics.add_wire_bytes(lane_transport.wire_bytes());
+                    match outcome {
+                        FetchOutcome::Terminal(result) => {
+                            observer(&result, job.record.snapshot_state());
+                            let _ = res_tx.send(result);
+                        }
+                        FetchOutcome::Evidence {
+                            resp,
+                            nonce,
+                            day,
+                            attempts,
+                            backoff_ms,
+                        } => {
+                            // Blocks when the appraisal stage is `depth`
+                            // jobs behind — the backpressure valve.
+                            let sent = ev_tx.send(EvidenceJob {
+                                job,
+                                resp,
+                                nonce,
+                                day,
+                                attempts,
+                                backoff_ms,
+                            });
+                            assert!(sent.is_ok(), "appraisal stage alive until fetchers finish");
+                        }
+                    }
+                }
+            });
+        }
+        // Drop the originals so each stage's channel disconnects when
+        // its upstream workers finish; the scope then joins everyone.
+        drop(ev_tx);
+        drop(ev_rx);
+        drop(res_tx);
+    });
+    drop(job_rx);
+
+    let results: Vec<AgentRoundResult> = res_rx.iter().collect();
+    assert_eq!(
+        results.len(),
+        expected,
+        "every job must produce exactly one result"
+    );
+    results
+}

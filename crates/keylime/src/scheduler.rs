@@ -39,8 +39,8 @@ use crate::ids::AgentId;
 use crate::store::{PolicyEpoch, SharedPolicy};
 use crate::transport::Transport;
 use crate::verifier::{
-    AgentHealth, Alert, AttestationOutcome, HealthCounts, HotStats, ReachClass, Verifier,
-    VerifierConfig,
+    AgentHealth, Alert, AttestationOutcome, FetchedEvidence, HealthCounts, HotStats, ReachClass,
+    Verifier, VerifierConfig,
 };
 
 /// Number of log2 latency buckets (bucket i counts calls in
@@ -131,6 +131,12 @@ impl SchedulerMetrics {
     ) {
         Self::add(aggregate, 1);
         Self::add(&per_backend[backend.index()], 1);
+    }
+
+    /// Accumulates serialized transport bytes (the pipeline module's
+    /// write point for per-lane byte totals).
+    pub(crate) fn add_wire_bytes(&self, n: u64) {
+        Self::add(&self.wire_bytes, n);
     }
 
     /// Records one fleet-wide policy push: the epoch gauge moves to
@@ -379,6 +385,71 @@ impl MetricsSnapshot {
             && kinds.iter().map(|c| c.total()).sum::<u64>()
                 == self.verified + self.failed + self.unreachable
     }
+
+    /// Component-wise sum of two snapshots — how a federation folds
+    /// per-shard registries into the fleet-level view. Every counter
+    /// adds (so a federated fleet's `rounds` counts *shard* rounds);
+    /// latency buckets add element-wise; the `policy_epoch` gauge takes
+    /// the max, since all shards adopt from one store and the freshest
+    /// gauge is the store's epoch. The conservation identity is linear
+    /// in every term it mentions, so merging conserved snapshots yields
+    /// a conserved snapshot; [`MetricsSnapshot::backends_consistent`]
+    /// is preserved the same way.
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let merge_backend = |a: BackendCounts, b: BackendCounts| BackendCounts {
+            verified: a.verified + b.verified,
+            failed: a.failed + b.failed,
+            unreachable: a.unreachable + b.unreachable,
+        };
+        let buckets = self
+            .latency_ns_buckets
+            .len()
+            .max(other.latency_ns_buckets.len());
+        let latency_ns_buckets = (0..buckets)
+            .map(|i| {
+                self.latency_ns_buckets.get(i).copied().unwrap_or(0)
+                    + other.latency_ns_buckets.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        MetricsSnapshot {
+            rounds: self.rounds + other.rounds,
+            calls: self.calls + other.calls,
+            retries: self.retries + other.retries,
+            drops: self.drops + other.drops,
+            timeouts: self.timeouts + other.timeouts,
+            verified: self.verified + other.verified,
+            failed: self.failed + other.failed,
+            skipped_paused: self.skipped_paused + other.skipped_paused,
+            unreachable: self.unreachable + other.unreachable,
+            alerts: self.alerts + other.alerts,
+            orphaned: self.orphaned + other.orphaned,
+            backoff_ms: self.backoff_ms + other.backoff_ms,
+            quarantine_skips: self.quarantine_skips + other.quarantine_skips,
+            probes: self.probes + other.probes,
+            to_degraded: self.to_degraded + other.to_degraded,
+            to_quarantined: self.to_quarantined + other.to_quarantined,
+            to_recovering: self.to_recovering + other.to_recovering,
+            to_healthy: self.to_healthy + other.to_healthy,
+            entries_evaluated: self.entries_evaluated + other.entries_evaluated,
+            wire_bytes: self.wire_bytes + other.wire_bytes,
+            policy_check_ns: self.policy_check_ns + other.policy_check_ns,
+            policy_epoch: self.policy_epoch.max(other.policy_epoch),
+            policy_push_ns: self.policy_push_ns + other.policy_push_ns,
+            delta_entries_applied: self.delta_entries_applied + other.delta_entries_applied,
+            per_backend: PerBackendCounts {
+                tpm_ima: merge_backend(self.per_backend.tpm_ima, other.per_backend.tpm_ima),
+                secure_world: merge_backend(
+                    self.per_backend.secure_world,
+                    other.per_backend.secure_world,
+                ),
+                confidential_vm: merge_backend(
+                    self.per_backend.confidential_vm,
+                    other.per_backend.confidential_vm,
+                ),
+            },
+            latency_ns_buckets,
+        }
+    }
 }
 
 /// The terminal outcome of one agent's slot in a round. Serializable:
@@ -535,12 +606,15 @@ impl RoundReport {
     }
 }
 
-/// One unit of work: an agent, its verifier record, and its lane.
-struct Job<'a> {
-    id: AgentId,
-    lane: u64,
-    record: &'a mut crate::verifier::AgentRecord,
-    agent: &'a mut Agent,
+/// One unit of work: an agent, its verifier record, and its lane. A
+/// pipelined round moves the whole job across the evidence channel, so
+/// the record's mutations stay sequential even though fetch and
+/// appraisal run on different workers.
+pub(crate) struct Job<'a> {
+    pub(crate) id: AgentId,
+    pub(crate) lane: u64,
+    pub(crate) record: &'a mut crate::verifier::AgentRecord,
+    pub(crate) agent: &'a mut Agent,
 }
 
 /// The concurrent fleet attestation engine. See the module docs.
@@ -613,30 +687,67 @@ impl FleetScheduler {
         T: Transport + Sync,
         F: Fn(&AgentRoundResult, crate::verifier::AgentStateSnapshot) + Sync,
     {
+        self.run_round_core(verifier, agents.iter_mut(), transport, skip, None, observer)
+    }
+
+    /// The full-generality round driver beneath the public entry points,
+    /// with two extra degrees of freedom the federation layer needs:
+    ///
+    /// - `agents` is any iterator of agent processes, so a shard can run
+    ///   over the subset of a fleet the consistent-hash ring placed on
+    ///   it without owning a contiguous slice;
+    /// - `lanes` overrides the transport lane per agent. By default a
+    ///   lane is the agent's position in this verifier's enrolment map;
+    ///   a federation passes each shard the *fleet-wide* sorted-order
+    ///   lane instead, so the chaos fault stream an agent sees is
+    ///   independent of how the fleet is sharded and the trace replays
+    ///   bit-identically across shard counts.
+    ///
+    /// Dispatch is pipelined when [`VerifierConfig::pipeline_depth`] is
+    /// positive (see [`crate::pipeline`]) and classic
+    /// fetch-and-appraise-inline otherwise; both paths drive the same
+    /// fetch/appraise halves, so verdicts and counters are identical.
+    pub(crate) fn run_round_core<'e, T, F>(
+        &self,
+        verifier: &mut Verifier,
+        agents: impl Iterator<Item = &'e mut Agent>,
+        transport: &T,
+        skip: Option<&std::collections::BTreeSet<AgentId>>,
+        lanes: Option<&std::collections::BTreeMap<AgentId, u64>>,
+        observer: F,
+    ) -> RoundReport
+    where
+        T: Transport + Sync,
+        F: Fn(&AgentRoundResult, crate::verifier::AgentStateSnapshot) + Sync,
+    {
         let (config, shared, records) = verifier.scheduler_view();
         self.metrics
             .policy_epoch
             .store(shared.epoch.as_u64(), Ordering::Relaxed);
 
         // Pair each enrolled record with its agent process. Lanes are
-        // assigned by enrolment-map order (sorted ids), so a fleet's drop
-        // patterns are a pure function of (base seed, membership).
+        // assigned by enrolment-map order (sorted ids) — or by the
+        // caller's override map — so a fleet's drop patterns are a pure
+        // function of (base seed, membership).
         let mut agent_by_id: std::collections::BTreeMap<AgentId, &mut Agent> =
-            agents.iter_mut().map(|a| (a.id().clone(), a)).collect();
+            agents.map(|a| (a.id().clone(), a)).collect();
 
         let mut jobs: Vec<Job<'_>> = Vec::new();
         let mut orphaned: Vec<(AgentId, BackendKind, PolicyEpoch, bool)> = Vec::new();
-        for (lane, (id, record)) in records.iter_mut().enumerate() {
+        for (position, (id, record)) in records.iter_mut().enumerate() {
             // The lane is taken from the agent's position in the full
             // enrolment map *before* the skip filter, so resuming a
             // partial round preserves every remaining agent's lane.
+            let lane = lanes
+                .and_then(|m| m.get(id).copied())
+                .unwrap_or(position as u64);
             if skip.is_some_and(|s| s.contains(id)) {
                 continue;
             }
             match agent_by_id.remove(id) {
                 Some(agent) => jobs.push(Job {
                     id: id.clone(),
-                    lane: lane as u64,
+                    lane,
                     record,
                     agent,
                 }),
@@ -649,50 +760,60 @@ impl FleetScheduler {
             }
         }
 
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
-        let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
-        for job in jobs {
-            let sent = job_tx.send(job);
-            assert!(sent.is_ok(), "job receiver alive until workers finish");
-        }
-        drop(job_tx);
-
-        std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
-                let metrics = Arc::clone(&self.metrics);
-                let shared = &shared;
-                let observer = &observer;
-                scope.spawn(move || {
-                    while let Ok(mut job) = job_rx.recv() {
-                        let mut lane_transport = transport.fork(job.lane);
-                        let result = attest_with_retry(
-                            &config,
-                            shared,
-                            &metrics,
-                            &mut job,
-                            &mut lane_transport,
-                        );
-                        // The lane is fresh per job, so its byte total is
-                        // exactly this agent's round traffic.
-                        SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
-                        // The ack hook sees the record *after* the round's
-                        // mutations — what a journal must replay to land
-                        // the recovered verifier on this exact state.
-                        observer(&result, job.record.snapshot_state());
-                        let _ = res_tx.send(result);
-                    }
-                });
+        let mut results: Vec<AgentRoundResult> = if config.pipeline_depth > 0 && !jobs.is_empty() {
+            crate::pipeline::run_pipelined(
+                &config,
+                &shared,
+                &self.metrics,
+                jobs,
+                transport,
+                &observer,
+            )
+        } else {
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
+            let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
+            for job in jobs {
+                let sent = job_tx.send(job);
+                assert!(sent.is_ok(), "job receiver alive until workers finish");
             }
-        });
-        drop(res_tx);
-        // The receiver's Job<'_> type parameter keeps the records borrow
-        // alive; release it before re-reading records for health counts.
-        drop(job_rx);
+            drop(job_tx);
 
-        let mut results: Vec<AgentRoundResult> = res_rx.iter().collect();
+            std::thread::scope(|scope| {
+                for _ in 0..worker_count {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    let metrics = Arc::clone(&self.metrics);
+                    let shared = &shared;
+                    let observer = &observer;
+                    scope.spawn(move || {
+                        while let Ok(mut job) = job_rx.recv() {
+                            let mut lane_transport = transport.fork(job.lane);
+                            let result = attest_with_retry(
+                                &config,
+                                shared,
+                                &metrics,
+                                &mut job,
+                                &mut lane_transport,
+                            );
+                            // The lane is fresh per job, so its byte total is
+                            // exactly this agent's round traffic.
+                            SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
+                            // The ack hook sees the record *after* the round's
+                            // mutations — what a journal must replay to land
+                            // the recovered verifier on this exact state.
+                            observer(&result, job.record.snapshot_state());
+                            let _ = res_tx.send(result);
+                        }
+                    });
+                }
+            });
+            drop(res_tx);
+            // The receiver's Job<'_> type parameter keeps the records borrow
+            // alive; release it before re-reading records for health counts.
+            drop(job_rx);
+            res_rx.iter().collect()
+        };
         for (id, backend, policy_epoch, shared_policy) in orphaned {
             self.metrics.add_outcome(
                 &self.metrics.unreachable,
@@ -730,7 +851,10 @@ impl FleetScheduler {
 
 /// Drives one agent's poll to a terminal outcome: retries dropped calls
 /// with bounded exponential backoff, records latency, and classifies the
-/// result. Never panics, never loses the agent.
+/// result. Never panics, never loses the agent. Composed from
+/// [`fetch_with_retry`] and [`appraise_fetched`] — the same two halves
+/// the pipelined path runs on separate workers — so the inline and
+/// pipelined rounds cannot drift apart.
 fn attest_with_retry<T: Transport>(
     config: &VerifierConfig,
     shared: &SharedPolicy,
@@ -738,6 +862,52 @@ fn attest_with_retry<T: Transport>(
     job: &mut Job<'_>,
     transport: &mut T,
 ) -> AgentRoundResult {
+    match fetch_with_retry(config, shared, metrics, job, transport) {
+        FetchOutcome::Terminal(result) => result,
+        FetchOutcome::Evidence {
+            resp,
+            nonce,
+            day,
+            attempts,
+            backoff_ms,
+        } => appraise_fetched(
+            config, metrics, job, resp, &nonce, day, attempts, backoff_ms,
+        ),
+    }
+}
+
+/// What one agent's transport stage produced.
+pub(crate) enum FetchOutcome {
+    /// The slot reached a terminal outcome without evidence to appraise:
+    /// quarantine skip, paused agent, or unreachable after retries.
+    Terminal(AgentRoundResult),
+    /// Evidence in hand; appraisal still owed. Carries the attempt and
+    /// backoff accounting the final result row must report.
+    Evidence {
+        /// The quote response to appraise.
+        resp: crate::agent::QuoteResponse,
+        /// The nonce the quote must bind.
+        nonce: Vec<u8>,
+        /// The simulation day the poll ran at.
+        day: u32,
+        /// Transport attempts spent (1 = no retries).
+        attempts: u32,
+        /// Total backoff recorded across those attempts, in ms.
+        backoff_ms: u64,
+    },
+}
+
+/// The transport half of one agent's slot: quarantine gating, the quote
+/// fetch, and the retry/backoff loop around dropped calls. Latency and
+/// timeout metering cover the fetch — the wire round-trip the budget is
+/// about — not the appraisal CPU time.
+pub(crate) fn fetch_with_retry<T: Transport>(
+    config: &VerifierConfig,
+    shared: &SharedPolicy,
+    metrics: &SchedulerMetrics,
+    job: &mut Job<'_>,
+    transport: &mut T,
+) -> FetchOutcome {
     let day = job.agent.day();
     // Appraisal is against the enrolment-proven backend, so the result
     // row reports that identity — not whatever the wire tag claims.
@@ -751,7 +921,7 @@ fn attest_with_retry<T: Transport>(
     if config.quarantine_enabled && job.record.health() == AgentHealth::Quarantined {
         if let Some(next_probe_in) = job.record.tick_reprobe() {
             SchedulerMetrics::add(&metrics.quarantine_skips, 1);
-            return AgentRoundResult {
+            return FetchOutcome::Terminal(AgentRoundResult {
                 id: job.id.clone(),
                 backend,
                 day,
@@ -760,7 +930,7 @@ fn attest_with_retry<T: Transport>(
                 policy_epoch: job.record.policy_epoch(),
                 shared_policy: job.record.follows_shared_store(),
                 outcome: RoundOutcome::SkippedQuarantined { next_probe_in },
-            };
+            });
         }
         SchedulerMetrics::add(&metrics.probes, 1);
         retry_budget = 0;
@@ -771,44 +941,24 @@ fn attest_with_retry<T: Transport>(
     loop {
         attempts += 1;
         SchedulerMetrics::add(&metrics.calls, 1);
-        let mut hot = HotStats::default();
         // lint:allow(determinism): latency metering only — the reading
         // feeds SchedulerMetrics histograms, never an attestation verdict
         // or anything replayed by the sim.
         let start = Instant::now();
-        let result = Verifier::attest_record(
-            config, shared, job.record, &job.id, transport, job.agent, day, &mut hot,
-        );
+        let result =
+            Verifier::fetch_evidence(config, shared, job.record, &job.id, transport, job.agent);
         let elapsed = start.elapsed();
-        SchedulerMetrics::add(&metrics.entries_evaluated, hot.entries_evaluated);
-        SchedulerMetrics::add(&metrics.policy_check_ns, hot.policy_check_ns);
         metrics.record_latency_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
         if elapsed.as_millis() as u64 > config.call_timeout_ms {
             SchedulerMetrics::add(&metrics.timeouts, 1);
         }
 
         let error = match result {
-            Ok(outcome) => {
-                let round_outcome = match outcome {
-                    AttestationOutcome::Verified { new_entries } => {
-                        metrics.add_outcome(&metrics.verified, &metrics.backend_verified, backend);
-                        update_health(job.record, ReachClass::Verified, config, metrics);
-                        RoundOutcome::Verified { new_entries }
-                    }
-                    AttestationOutcome::Failed { alerts } => {
-                        metrics.add_outcome(&metrics.failed, &metrics.backend_failed, backend);
-                        SchedulerMetrics::add(&metrics.alerts, alerts.len() as u64);
-                        update_health(job.record, ReachClass::ReachedNotVerified, config, metrics);
-                        RoundOutcome::Failed { alerts }
-                    }
-                    AttestationOutcome::SkippedPaused => {
-                        SchedulerMetrics::add(&metrics.skipped_paused, 1);
-                        // Nothing was requested: no reachability evidence,
-                        // so health stays as it was.
-                        RoundOutcome::SkippedPaused
-                    }
-                };
-                return AgentRoundResult {
+            Ok(FetchedEvidence::Paused) => {
+                SchedulerMetrics::add(&metrics.skipped_paused, 1);
+                // Nothing was requested: no reachability evidence, so
+                // health stays as it was.
+                return FetchOutcome::Terminal(AgentRoundResult {
                     id: job.id.clone(),
                     backend,
                     day,
@@ -816,7 +966,16 @@ fn attest_with_retry<T: Transport>(
                     backoff_ms: backoff_ms_total,
                     policy_epoch: job.record.policy_epoch(),
                     shared_policy: job.record.follows_shared_store(),
-                    outcome: round_outcome,
+                    outcome: RoundOutcome::SkippedPaused,
+                });
+            }
+            Ok(FetchedEvidence::Quote { resp, nonce }) => {
+                return FetchOutcome::Evidence {
+                    resp: *resp,
+                    nonce,
+                    day,
+                    attempts,
+                    backoff_ms: backoff_ms_total,
                 };
             }
             Err(e) => e,
@@ -829,7 +988,7 @@ fn attest_with_retry<T: Transport>(
         if !retryable || attempts > retry_budget {
             metrics.add_outcome(&metrics.unreachable, &metrics.backend_unreachable, backend);
             update_health(job.record, ReachClass::Unreachable, config, metrics);
-            return AgentRoundResult {
+            return FetchOutcome::Terminal(AgentRoundResult {
                 id: job.id.clone(),
                 backend,
                 day,
@@ -840,7 +999,7 @@ fn attest_with_retry<T: Transport>(
                 outcome: RoundOutcome::Unreachable {
                     reason: error.to_string(),
                 },
-            };
+            });
         }
         SchedulerMetrics::add(&metrics.retries, 1);
         // Backoff is recorded, not slept: the schedule is part of the
@@ -849,6 +1008,58 @@ fn attest_with_retry<T: Transport>(
         let backoff = config.backoff_for_attempt(attempts).as_millis() as u64;
         backoff_ms_total += backoff;
         SchedulerMetrics::add(&metrics.backoff_ms, backoff);
+    }
+}
+
+/// The CPU half of one agent's slot: appraises fetched evidence, applies
+/// the health transition, and builds the result row. Runs on the same
+/// worker inline, or on an appraisal worker when pipelined — either way
+/// it holds the job's `&mut` record, so mutations stay sequential.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn appraise_fetched(
+    config: &VerifierConfig,
+    metrics: &SchedulerMetrics,
+    job: &mut Job<'_>,
+    resp: crate::agent::QuoteResponse,
+    nonce: &[u8],
+    day: u32,
+    attempts: u32,
+    backoff_ms: u64,
+) -> AgentRoundResult {
+    let backend = job.record.backend_kind();
+    let mut hot = HotStats::default();
+    let outcome =
+        Verifier::appraise_evidence(config, job.record, &job.id, resp, nonce, day, &mut hot);
+    SchedulerMetrics::add(&metrics.entries_evaluated, hot.entries_evaluated);
+    SchedulerMetrics::add(&metrics.policy_check_ns, hot.policy_check_ns);
+    let round_outcome = match outcome {
+        AttestationOutcome::Verified { new_entries } => {
+            metrics.add_outcome(&metrics.verified, &metrics.backend_verified, backend);
+            update_health(job.record, ReachClass::Verified, config, metrics);
+            RoundOutcome::Verified { new_entries }
+        }
+        AttestationOutcome::Failed { alerts } => {
+            metrics.add_outcome(&metrics.failed, &metrics.backend_failed, backend);
+            SchedulerMetrics::add(&metrics.alerts, alerts.len() as u64);
+            update_health(job.record, ReachClass::ReachedNotVerified, config, metrics);
+            RoundOutcome::Failed { alerts }
+        }
+        // Appraisal never pauses — the paused check lives in the fetch
+        // half — but the match stays total.
+        AttestationOutcome::SkippedPaused => {
+            SchedulerMetrics::add(&metrics.skipped_paused, 1);
+            RoundOutcome::SkippedPaused
+        }
+    };
+    AgentRoundResult {
+        id: job.id.clone(),
+        backend,
+        day,
+        attempts,
+        backoff_ms,
+        policy_epoch: job.record.policy_epoch(),
+        shared_policy: job.record.follows_shared_store(),
+        outcome: round_outcome,
     }
 }
 
@@ -990,6 +1201,60 @@ mod tests {
         assert!(
             MetricsSnapshot::default().is_conserved(),
             "empty is conserved"
+        );
+    }
+
+    #[test]
+    fn merged_sums_counters_and_preserves_the_identity() {
+        let a = MetricsSnapshot {
+            rounds: 2,
+            calls: 10,
+            verified: 5,
+            failed: 1,
+            skipped_paused: 1,
+            unreachable: 2,
+            orphaned: 1,
+            retries: 2,
+            alerts: 3,
+            wire_bytes: 1000,
+            entries_evaluated: 40,
+            policy_epoch: 3,
+            latency_ns_buckets: vec![1, 2],
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            rounds: 1,
+            calls: 6,
+            verified: 4,
+            unreachable: 1,
+            orphaned: 1,
+            retries: 2,
+            wire_bytes: 500,
+            entries_evaluated: 25,
+            policy_epoch: 5,
+            latency_ns_buckets: vec![0, 1, 7],
+            ..MetricsSnapshot::default()
+        };
+        assert!(a.is_conserved() && b.is_conserved());
+        let fleet = a.merged(&b);
+        assert!(fleet.is_conserved(), "merge must preserve the identity");
+        assert_eq!(fleet.rounds, 3, "shard rounds add");
+        assert_eq!(fleet.calls, 16);
+        assert_eq!(fleet.verified, 9);
+        assert_eq!(fleet.unreachable, 3);
+        assert_eq!(fleet.wire_bytes, 1500);
+        assert_eq!(fleet.entries_evaluated, 65);
+        assert_eq!(fleet.policy_epoch, 5, "gauge takes the max, never sums");
+        assert_eq!(
+            fleet.latency_ns_buckets,
+            vec![1, 3, 7],
+            "histograms add element-wise, padded to the longer"
+        );
+        assert_eq!(a.merged(&b), b.merged(&a), "merge is commutative");
+        assert_eq!(
+            a.merged(&MetricsSnapshot::default()),
+            a,
+            "empty snapshot is the identity element"
         );
     }
 

@@ -269,6 +269,16 @@ impl ConcurrentPolicyStore {
         }
     }
 
+    /// A store seeded from an existing snapshot and epoch — how a
+    /// federation adopts a single verifier's store as the fleet-wide
+    /// one (see [`PolicyStore::restore`]). No agents pinned.
+    pub fn restore(snapshot: Arc<RuntimePolicy>, epoch: PolicyEpoch) -> Self {
+        ConcurrentPolicyStore {
+            inner: RwLock::new(PolicyStore::restore(snapshot, epoch)).named("inner"),
+            pins: Mutex::new(BTreeMap::new()).named("pins"),
+        }
+    }
+
     /// Publishes a full replacement policy as a new epoch.
     pub fn publish(&self, policy: RuntimePolicy) -> PolicyEpoch {
         self.inner.write().publish(policy)
@@ -305,6 +315,17 @@ impl ConcurrentPolicyStore {
     /// The epoch `agent` last adopted, if it ever adopted one.
     pub fn pin_of(&self, agent: &AgentId) -> Option<PolicyEpoch> {
         self.pins.lock().get(agent).copied()
+    }
+
+    /// Stamps `agent`'s pin at an *observed* epoch — the federation's
+    /// post-round sync point, where each shard reports what its agents
+    /// actually appraised against (a quarantined agent stays pinned on
+    /// the older epoch it acknowledged, unlike [`adopt`], which always
+    /// stamps the current one).
+    ///
+    /// [`adopt`]: ConcurrentPolicyStore::adopt
+    pub fn record_pin(&self, agent: &AgentId, epoch: PolicyEpoch) {
+        self.pins.lock().insert(agent.clone(), epoch);
     }
 
     /// Removes `agent`'s pin (deregistration), returning it.

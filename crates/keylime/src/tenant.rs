@@ -19,6 +19,7 @@ use crate::backend::{
 };
 use crate::durable::{ResumePlan, VerifierJournal, DEFAULT_JOURNAL_DIR};
 use crate::error::KeylimeError;
+use crate::federation::{FederatedRoundReport, Federation};
 use crate::ids::AgentId;
 use crate::payload::{KeyShare, PayloadBundle};
 use crate::policy::{PolicyDelta, RuntimePolicy};
@@ -693,6 +694,21 @@ impl<T: Transport> Cluster<T> {
         self.agents.iter_mut().find(|a| a.id() == id)
     }
 
+    /// Mutably borrows the whole agent pool, in enrolment order — how a
+    /// [`crate::Federation`] built via
+    /// [`crate::Federation::from_verifier`] keeps driving the machines
+    /// this cluster enrolled.
+    pub fn agents_mut(&mut self) -> &mut [Agent] {
+        &mut self.agents
+    }
+
+    /// Splits the cluster into the two halves a federated round needs —
+    /// the agent pool and the transport — in one call, so the borrows
+    /// coexist: `fed.run_round(agents, transport)`.
+    pub fn federation_parts(&mut self) -> (&mut [Agent], &T) {
+        (&mut self.agents, &self.transport)
+    }
+
     /// Polls one agent at its backend's current day.
     ///
     /// # Errors
@@ -779,6 +795,29 @@ impl<T: Transport> Cluster<T> {
             }
         };
         self.commit_round_side_effects(&report.results);
+        report
+    }
+
+    /// One federated fleet round: the cluster lends its agents and
+    /// transport to `federation` (see [`Federation::run_round`]), then
+    /// commits the merged fleet results to the audit chain and the
+    /// revocation bus exactly as [`Cluster::attest_fleet`] would.
+    ///
+    /// The federation's shards — not this cluster's verifier — hold the
+    /// live per-agent verifier state once rounds run through them, so a
+    /// caller that federates should publish policy through the
+    /// federation and read health from its reports. The cluster keeps
+    /// owning the agents, machines, audit chain, and revocation bus.
+    /// Federated rounds bypass the durability journal.
+    pub fn attest_fleet_federated(&mut self, federation: &mut Federation) -> FederatedRoundReport
+    where
+        T: Sync,
+    {
+        let report = {
+            let (agents, transport) = self.federation_parts();
+            federation.run_round(agents, transport)
+        };
+        self.commit_round_side_effects(&report.fleet.results);
         report
     }
 

@@ -205,6 +205,25 @@ impl AttestationOutcome {
     }
 }
 
+/// Evidence pulled from one agent by [`Verifier::fetch_evidence`],
+/// before appraisal has touched it — the unit that crosses a pipelined
+/// round's evidence channel.
+#[derive(Debug, Clone)]
+pub(crate) enum FetchedEvidence {
+    /// The agent is paused under stop-on-failure; no quote was
+    /// requested.
+    Paused,
+    /// A quote response, plus the nonce it must bind (the re-quote
+    /// nonce if reboot detection triggered a second fetch).
+    Quote {
+        /// The agent's quote response, boxed so the paused variant is
+        /// not penalised with the quote's full inline size.
+        resp: Box<QuoteResponse>,
+        /// The nonce the quote signature must cover.
+        nonce: Vec<u8>,
+    },
+}
+
 /// The mutable, serializable core of one [`AgentRecord`]: everything a
 /// round can change, and nothing a round cannot. The enrolment-time
 /// constants (AK, backend identity) and the policy handle live outside
@@ -841,7 +860,11 @@ impl Verifier {
 
     /// The per-record attestation flow, factored out so the fleet
     /// [`scheduler`](crate::scheduler) can drive many records in
-    /// parallel, each worker holding one `&mut AgentRecord`.
+    /// parallel, each worker holding one `&mut AgentRecord`. Composed
+    /// from [`Verifier::fetch_evidence`] (the transport half) and
+    /// [`Verifier::appraise_evidence`] (the CPU half) — the pipelined
+    /// round runs the same two halves on different workers, so inline
+    /// and pipelined verdicts agree by construction.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn attest_record<T: Transport>(
         config: &VerifierConfig,
@@ -853,13 +876,33 @@ impl Verifier {
         day: u32,
         stats: &mut HotStats,
     ) -> Result<AttestationOutcome, KeylimeError> {
+        match Self::fetch_evidence(config, shared, record, id, transport, agent)? {
+            FetchedEvidence::Paused => Ok(AttestationOutcome::SkippedPaused),
+            FetchedEvidence::Quote { resp, nonce } => Ok(Self::appraise_evidence(
+                config, record, id, *resp, &nonce, day, stats,
+            )),
+        }
+    }
+
+    /// The transport half of one attestation: shared-policy adoption,
+    /// wire-format negotiation, the quote request, and the post-reboot
+    /// re-quote. Returns the evidence still unappraised so a pipelined
+    /// round can hand it to a separate appraisal worker while this lane
+    /// fetches the next agent's quote.
+    pub(crate) fn fetch_evidence<T: Transport>(
+        config: &VerifierConfig,
+        shared: &SharedPolicy,
+        record: &mut AgentRecord,
+        id: &AgentId,
+        transport: &mut T,
+        agent: &mut Agent,
+    ) -> Result<FetchedEvidence, KeylimeError> {
         // Lazy adoption backstop: a shared agent that missed the eager
         // push (enrolled later, or just recovered from quarantine) picks
         // up the current epoch here. No-op for overrides and while
         // quarantined.
         record.adopt_shared(shared);
 
-        let continue_on_failure = config.continue_on_failure;
         // Wire-format negotiation is three-way: the verifier's config,
         // the transport's capability, *and* the enrolled backend's
         // capability. A backend that only speaks the legacy text list
@@ -869,8 +912,8 @@ impl Verifier {
             && transport.supports_structured_excerpt()
             && record.backend.kind().capabilities().structured_excerpt;
 
-        if record.status == AgentStatus::Paused && !continue_on_failure {
-            return Ok(AttestationOutcome::SkippedPaused);
+        if record.status == AgentStatus::Paused && !config.continue_on_failure {
+            return Ok(FetchedEvidence::Paused);
         }
 
         let nonce = Self::make_nonce(id, record.nonce_counter);
@@ -913,28 +956,40 @@ impl Verifier {
                     })
                 }
             };
-            return Ok(Self::finish_attestation(
-                record,
-                id,
-                quote_resp,
-                &nonce2,
-                day,
-                continue_on_failure,
-                config.allowed_backends,
-                stats,
-            ));
+            return Ok(FetchedEvidence::Quote {
+                resp: Box::new(quote_resp),
+                nonce: nonce2,
+            });
         }
 
-        Ok(Self::finish_attestation(
+        Ok(FetchedEvidence::Quote {
+            resp: Box::new(quote_resp),
+            nonce,
+        })
+    }
+
+    /// The CPU half of one attestation: appraises fetched evidence
+    /// against the record's policy. Pure of transport — safe to run on
+    /// an appraisal worker while the fetching lane moves on.
+    pub(crate) fn appraise_evidence(
+        config: &VerifierConfig,
+        record: &mut AgentRecord,
+        id: &AgentId,
+        resp: QuoteResponse,
+        nonce: &[u8],
+        day: u32,
+        stats: &mut HotStats,
+    ) -> AttestationOutcome {
+        Self::finish_attestation(
             record,
             id,
-            quote_resp,
-            &nonce,
+            resp,
+            nonce,
             day,
-            continue_on_failure,
+            config.continue_on_failure,
             config.allowed_backends,
             stats,
-        ))
+        )
     }
 
     /// Core verification once a quote response is in hand.

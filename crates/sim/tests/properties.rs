@@ -2,10 +2,14 @@
 //! and the scheduler's accounting hold for *arbitrary* seeded fault
 //! plans, not just the hand-picked scenarios in the corpus.
 
-use cia_sim::{deterministic_metrics, SimConfig, SimRunner};
+use cia_sim::{deterministic_metrics, SimConfig, SimRunner, SimTransport};
 use proptest::prelude::*;
 
-use cia_keylime::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
+use cia_keylime::{
+    AgentId, ChaosTransport, Cluster, FaultEvent, FaultKind, FaultPlan, FaultTarget, Federation,
+    FederationConfig, MetricsSnapshot, ReliableTransport, RuntimePolicy, VerifierConfig,
+};
+use cia_os::MachineConfig;
 
 const NODES: u64 = 4;
 const ROUNDS: u64 = 8;
@@ -40,6 +44,120 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
             .into_iter()
             .fold(FaultPlan::new(seed), |plan, e| plan.push(e))
     })
+}
+
+/// Enrols [`NODES`] agents on a chaos cluster and federates them into
+/// `shards` shards sharing one policy store.
+fn federated_fleet(
+    plan: FaultPlan,
+    shards: u32,
+) -> (Cluster<SimTransport>, Federation, Vec<AgentId>) {
+    let seed = plan.seed();
+    let config = VerifierConfig::builder()
+        .continue_on_failure(true)
+        .quarantine_enabled(true)
+        .max_retries(3)
+        .worker_count(2)
+        .build()
+        .expect("valid config");
+    let transport = ChaosTransport::new(ReliableTransport::new(), plan);
+    let mut cluster = Cluster::with_transport(seed, config, transport);
+    let mut ids = Vec::new();
+    for i in 0..NODES {
+        let machine = MachineConfig {
+            hostname: AgentId::numbered("fed", i).into_string(),
+            seed: seed ^ i.wrapping_mul(0x9e37_79b9),
+            ..MachineConfig::default()
+        };
+        ids.push(
+            cluster
+                .add_machine(machine, RuntimePolicy::new())
+                .expect("enrolment over a clean registrar channel"),
+        );
+    }
+    ids.sort();
+    let fed = Federation::from_verifier(&cluster.verifier, FederationConfig::new(shards, config));
+    (cluster, fed, ids)
+}
+
+/// Drives [`ROUNDS`] federated rounds, killing one shard mid-run when
+/// asked (and possible). Returns the fleet trace.
+fn run_federation(
+    cluster: &mut Cluster<SimTransport>,
+    fed: &mut Federation,
+    ids: &[AgentId],
+    kill: bool,
+) -> Vec<cia_keylime::RoundReport> {
+    let mut trace = Vec::new();
+    for round in 0..ROUNDS {
+        let crashes = cluster.transport.plan().crashes_at(round, ids.len() as u64);
+        for lane in crashes {
+            cluster
+                .agent_mut(&ids[lane as usize])
+                .expect("enrolled")
+                .restart()
+                .expect("scripted reboot succeeds");
+        }
+        cluster.transport.set_round(round);
+        let (agents, transport) = cluster.federation_parts();
+        let report = if kill && round == ROUNDS / 2 && fed.shard_count() > 1 {
+            let victim = fed.shard_ids()[0];
+            fed.run_round_with_kill(agents, transport, victim).0
+        } else {
+            fed.run_round(agents, transport)
+        };
+        trace.push(report.fleet);
+    }
+    trace
+}
+
+/// Independent field-by-field addition of snapshots — deliberately NOT
+/// [`MetricsSnapshot::merged`], so the proptest checks `merged` (which
+/// `fleet_metrics` is built on) against plain arithmetic.
+fn manual_sum(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for s in parts {
+        out.rounds += s.rounds;
+        out.calls += s.calls;
+        out.retries += s.retries;
+        out.drops += s.drops;
+        out.timeouts += s.timeouts;
+        out.verified += s.verified;
+        out.failed += s.failed;
+        out.skipped_paused += s.skipped_paused;
+        out.unreachable += s.unreachable;
+        out.alerts += s.alerts;
+        out.orphaned += s.orphaned;
+        out.backoff_ms += s.backoff_ms;
+        out.quarantine_skips += s.quarantine_skips;
+        out.probes += s.probes;
+        out.to_degraded += s.to_degraded;
+        out.to_quarantined += s.to_quarantined;
+        out.to_recovering += s.to_recovering;
+        out.to_healthy += s.to_healthy;
+        out.entries_evaluated += s.entries_evaluated;
+        out.wire_bytes += s.wire_bytes;
+        out.policy_check_ns += s.policy_check_ns;
+        out.policy_epoch = out.policy_epoch.max(s.policy_epoch);
+        out.policy_push_ns += s.policy_push_ns;
+        out.delta_entries_applied += s.delta_entries_applied;
+        out.per_backend.tpm_ima.verified += s.per_backend.tpm_ima.verified;
+        out.per_backend.tpm_ima.failed += s.per_backend.tpm_ima.failed;
+        out.per_backend.tpm_ima.unreachable += s.per_backend.tpm_ima.unreachable;
+        out.per_backend.secure_world.verified += s.per_backend.secure_world.verified;
+        out.per_backend.secure_world.failed += s.per_backend.secure_world.failed;
+        out.per_backend.secure_world.unreachable += s.per_backend.secure_world.unreachable;
+        out.per_backend.confidential_vm.verified += s.per_backend.confidential_vm.verified;
+        out.per_backend.confidential_vm.failed += s.per_backend.confidential_vm.failed;
+        out.per_backend.confidential_vm.unreachable += s.per_backend.confidential_vm.unreachable;
+        for (i, &count) in s.latency_ns_buckets.iter().enumerate() {
+            if out.latency_ns_buckets.len() <= i {
+                out.latency_ns_buckets.resize(i + 1, 0);
+            }
+            out.latency_ns_buckets[i] += count;
+        }
+    }
+    out
 }
 
 proptest! {
@@ -110,5 +228,67 @@ proptest! {
         prop_assert_eq!(m.quarantine_skips as usize, q_skips);
         // Stripping wall-clock fields is idempotent.
         prop_assert_eq!(&deterministic_metrics(m), m);
+    }
+
+    /// Satellite: for any seeded FaultPlan and shard count, the
+    /// federation's fleet-level MetricsSnapshot is exactly the
+    /// component-wise sum of the per-shard snapshots (checked against
+    /// independent field-by-field arithmetic, not `merged` itself),
+    /// every per-shard snapshot is conserved, and so is their sum —
+    /// including across a mid-run shard kill, where the dead shard's
+    /// counters must fold into the fleet view instead of vanishing.
+    #[test]
+    fn fleet_metrics_are_the_conserved_sum_of_shard_metrics(
+        plan in arb_plan(),
+        shards in 1u32..=4,
+        kill in any::<bool>(),
+    ) {
+        let (mut cluster, mut fed, ids) = federated_fleet(plan.clone(), shards);
+        let trace = run_federation(&mut cluster, &mut fed, &ids, kill);
+        for (round, report) in trace.iter().enumerate() {
+            prop_assert_eq!(
+                report.results.len(),
+                ids.len(),
+                "round {}: a shard round lost agents",
+                round
+            );
+        }
+
+        let per_shard: Vec<MetricsSnapshot> =
+            fed.shard_metrics().into_iter().map(|(_, s)| s).collect();
+        for snap in &per_shard {
+            prop_assert!(snap.is_conserved(), "shard identity violated: {:?}", snap);
+            prop_assert!(snap.backends_consistent());
+        }
+        let fleet = fed.fleet_metrics();
+        prop_assert!(fleet.is_conserved(), "fleet identity violated: {:?}", fleet);
+        prop_assert!(fleet.backends_consistent());
+
+        let killed = kill && shards > 1;
+        if !killed {
+            // No kill: the fleet view is exactly the live shards' sum.
+            prop_assert_eq!(&fleet, &manual_sum(&per_shard));
+        } else {
+            // With a kill the fleet view additionally carries the dead
+            // shard's pre-kill counters: componentwise >= the live sum,
+            // and the surplus itself satisfies the conservation identity
+            // (it is the dead shard's own conserved snapshot).
+            let live = manual_sum(&per_shard);
+            prop_assert!(fleet.calls >= live.calls);
+            prop_assert!(fleet.verified >= live.verified);
+            prop_assert!(fleet.rounds >= live.rounds);
+            let surplus_calls = fleet.calls + fleet.orphaned - live.calls - live.orphaned;
+            let surplus_outcomes = (fleet.verified + fleet.failed + fleet.skipped_paused
+                + fleet.unreachable + fleet.retries)
+                - (live.verified + live.failed + live.skipped_paused
+                    + live.unreachable + live.retries);
+            prop_assert_eq!(surplus_calls, surplus_outcomes, "retired fold not conserved");
+        }
+
+        // And the fleet trace itself is shard-count invariant: the same
+        // plan over one shard produces the identical per-round reports.
+        let (mut solo_cluster, mut solo_fed, solo_ids) = federated_fleet(plan, 1);
+        let solo_trace = run_federation(&mut solo_cluster, &mut solo_fed, &solo_ids, false);
+        prop_assert_eq!(trace, solo_trace);
     }
 }

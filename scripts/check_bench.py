@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Schema + acceptance gates for the committed BENCH_*.json documents.
+
+One registry of checks replaces the per-file python heredocs that used
+to be copy-pasted between scripts/ci.sh and .github/workflows/ci.yml.
+Each bench bin prints its document to stdout; the repo root archives the
+committed numbers; this script keeps them honest:
+
+    python3 scripts/check_bench.py            # gate every registered file
+    python3 scripts/check_bench.py BENCH_fleet.json   # gate one file
+
+A missing file, a stale schema, or a regressed acceptance number exits
+non-zero with the regeneration command.
+"""
+
+import json
+import sys
+
+REGEN = "cargo run --release -p cia-bench --bin {bin} > {path}"
+
+
+def require(doc, keys, path):
+    missing = [k for k in keys if k not in doc]
+    if missing:
+        fail(f"{path} has a stale schema (missing {missing})")
+
+
+def fail(msg):
+    sys.exit(f"bench gate failed: {msg}")
+
+
+def check_attestation(doc, path):
+    require(doc, ["bench", "entries", "iters", "baseline_pre_pr", "after",
+                  "speedup_best", "zero_alloc_gate"], path)
+    if doc["bench"] != "attestation_round":
+        fail(f"{path} is not an attestation_round document")
+    baseline = doc["baseline_pre_pr"]["entries_per_s_best"]
+    structured = doc["after"]["structured"]["entries_per_s_best"]
+    if structured <= baseline:
+        fail(f"{path}: structured wire ({structured}/s) no longer beats "
+             f"the pre-PR baseline ({baseline}/s)")
+    gate = doc["zero_alloc_gate"]
+    if gate["allocations"] != 0:
+        fail(f"{path}: policy checks allocated ({gate['allocations']})")
+    return (f"{structured} entries/s structured "
+            f"({doc['speedup_best']}x over pre-PR)")
+
+
+def check_policy(doc, path):
+    require(doc, ["bench", "policy_entries", "delta_entries", "fleet",
+                  "apply_delta", "from_json_rebuild",
+                  "apply_delta_speedup_best", "fleet_push",
+                  "zero_copy_gate", "hash_worker_sweep"], path)
+    if doc["bench"] != "policy_distribution":
+        fail(f"{path} is not a policy_distribution document")
+    if doc["apply_delta_speedup_best"] < 5.0:
+        fail(f"{path}: apply_delta speedup "
+             f"{doc['apply_delta_speedup_best']}x fell under the 5x gate")
+    gate = doc["zero_copy_gate"]
+    if gate["policy_deep_clones"] != 0 or gate["index_full_rebuilds"] != 0:
+        fail(f"{path}: fleet pushes were not zero-copy / rebuild-free")
+    return (f"apply_delta {doc['apply_delta_speedup_best']}x, "
+            f"{gate['pushes']} pushes with 0 copies")
+
+
+def check_recovery(doc, path):
+    require(doc, ["bench", "policy_entries", "rounds_journaled", "iters",
+                  "fleets"], path)
+    if doc["bench"] != "recovery":
+        fail(f"{path} is not a recovery document")
+    sizes = sorted(f["agents"] for f in doc["fleets"])
+    if sizes != [1000, 10000]:
+        fail(f"{path} must cover the 1k and 10k fleets, got {sizes}")
+    row_keys = ["agents", "in_flight_acks", "frames", "recover_ms_best",
+                "recover_ms_mean", "compaction_dropped_frames",
+                "compacted_frames", "recover_compacted_ms_best"]
+    for fleet in doc["fleets"]:
+        require(fleet, row_keys, f"{path} fleet row")
+        if fleet["compaction_dropped_frames"] <= 0:
+            fail(f"{path}: compaction dropped no frames — fixture is stale")
+        if fleet["recover_ms_best"] <= 0:
+            fail(f"{path}: non-positive recovery time")
+    return ", ".join(f"{f['agents']} agents in {f['recover_ms_best']}ms "
+                     f"({f['recover_compacted_ms_best']}ms compacted)"
+                     for f in doc["fleets"])
+
+
+def check_fleet(doc, path):
+    require(doc, ["bench", "baseline_entries_per_s", "pipeline_10k",
+                  "fleet_scaling"], path)
+    if doc["bench"] != "fleet_federation":
+        fail(f"{path} is not a fleet_federation document")
+    pipe = doc["pipeline_10k"]
+    require(pipe, ["entries", "iters", "inline", "pipelined",
+                   "beats_baseline"], f"{path} pipeline_10k")
+    best = pipe["pipelined"]["entries_per_s_best"]
+    baseline = doc["baseline_entries_per_s"]
+    if not pipe["beats_baseline"] or best <= baseline:
+        fail(f"{path}: pipelined round ({best}/s) does not beat the "
+             f"committed single-verifier record ({baseline}/s)")
+    sizes = sorted({r["agents"] for r in doc["fleet_scaling"]})
+    if sizes != [10000, 100000, 1000000]:
+        fail(f"{path} must cover the 10k/100k/1M rungs, got {sizes}")
+    for rung in doc["fleet_scaling"]:
+        require(rung, ["agents", "shards", "round_ms", "agents_per_s",
+                       "all_verified", "metrics_conserved"], f"{path} rung")
+        if not (rung["all_verified"] and rung["metrics_conserved"]):
+            fail(f"{path}: {rung['agents']}-agent rung lost a structural "
+                 "gate (verification or counter conservation)")
+    million = max(doc["fleet_scaling"], key=lambda r: r["agents"])
+    return (f"pipelined {best} entries/s (> {baseline}), "
+            f"1M-agent round in {million['round_ms']/1000:.1f}s "
+            f"across {million['shards']} shards")
+
+
+# path -> (emitting bin, gate). Registration order is report order.
+CHECKS = {
+    "BENCH_attestation.json": ("hotpath", check_attestation),
+    "BENCH_policy.json": ("policy_bench", check_policy),
+    "BENCH_recovery.json": ("recovery_bench", check_recovery),
+    "BENCH_fleet.json": ("fleet_bench", check_fleet),
+}
+
+
+def main(argv):
+    targets = argv or list(CHECKS)
+    for path in targets:
+        if path not in CHECKS:
+            fail(f"unknown bench document {path}; "
+                 f"registered: {', '.join(CHECKS)}")
+        bin_name, gate = CHECKS[path]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            fail(f"{path} missing: run "
+                 f"`{REGEN.format(bin=bin_name, path=path)}` and commit it")
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON ({e}): regenerate with the "
+                 f"{bin_name} bin")
+        print(f"{path} ok: {gate(doc, path)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

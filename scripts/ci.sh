@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: formatting, workspace-wide clippy, the repo's own cia-lint
-# static pass, the tier-1 suite, a single-iteration bench smoke pass,
-# the storage/durability suite (append-only log engine + recovery
-# equivalence), the chaos scenario corpus in release mode, and the
-# lock-sanitizer suite (runtime lock-order cycle detection over the sim
-# corpus).
+# static pass, the tier-1 suite, a single-iteration bench smoke pass
+# plus the committed BENCH_*.json gates (scripts/check_bench.py), the
+# storage/durability suite (append-only log engine + recovery
+# equivalence), the federation suite (consistent-hash ring, pipelined
+# rounds, shard-kill chaos), the chaos scenario corpus in release mode,
+# and the lock-sanitizer suite (runtime lock-order cycle detection over
+# the sim corpus).
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -39,73 +41,8 @@ cargo test "${OFFLINE[@]}" -q
 echo "== bench-smoke: single-iteration criterion pass =="
 cargo bench "${OFFLINE[@]}" -p cia-bench -- --test
 
-echo "== bench-smoke: BENCH_policy.json present with current schema =="
-python3 - <<'EOF'
-import json, sys
-
-try:
-    with open("BENCH_policy.json") as f:
-        doc = json.load(f)
-except FileNotFoundError:
-    sys.exit("BENCH_policy.json missing: run "
-             "`cargo run --release -p cia-bench --bin policy_bench "
-             "> BENCH_policy.json` and commit it")
-
-required = [
-    "bench", "policy_entries", "delta_entries", "fleet",
-    "apply_delta", "from_json_rebuild", "apply_delta_speedup_best",
-    "fleet_push", "zero_copy_gate", "hash_worker_sweep",
-]
-missing = [k for k in required if k not in doc]
-if missing or doc.get("bench") != "policy_distribution":
-    sys.exit(f"BENCH_policy.json has a stale schema (missing {missing}): "
-             "regenerate with the policy_bench bin")
-if doc["apply_delta_speedup_best"] < 5.0:
-    sys.exit("recorded apply_delta speedup fell under the 5x acceptance gate")
-gate = doc["zero_copy_gate"]
-if gate["policy_deep_clones"] != 0 or gate["index_full_rebuilds"] != 0:
-    sys.exit("recorded fleet pushes were not zero-copy / rebuild-free")
-print(f"BENCH_policy.json ok: apply_delta {doc['apply_delta_speedup_best']}x, "
-      f"{gate['pushes']} pushes with 0 copies")
-EOF
-
-echo "== bench-smoke: BENCH_recovery.json present with current schema =="
-python3 - <<'EOF'
-import json, sys
-
-try:
-    with open("BENCH_recovery.json") as f:
-        doc = json.load(f)
-except FileNotFoundError:
-    sys.exit("BENCH_recovery.json missing: run "
-             "`cargo run --release -p cia-bench --bin recovery_bench "
-             "> BENCH_recovery.json` and commit it")
-
-required = ["bench", "policy_entries", "rounds_journaled", "iters", "fleets"]
-missing = [k for k in required if k not in doc]
-if missing or doc.get("bench") != "recovery":
-    sys.exit(f"BENCH_recovery.json has a stale schema (missing {missing}): "
-             "regenerate with the recovery_bench bin")
-fleet_keys = [
-    "agents", "in_flight_acks", "frames", "recover_ms_best",
-    "recover_ms_mean", "compaction_dropped_frames", "compacted_frames",
-    "recover_compacted_ms_best",
-]
-sizes = sorted(f["agents"] for f in doc["fleets"])
-if sizes != [1000, 10000]:
-    sys.exit(f"BENCH_recovery.json must cover the 1k and 10k fleets, got {sizes}")
-for fleet in doc["fleets"]:
-    row_missing = [k for k in fleet_keys if k not in fleet]
-    if row_missing:
-        sys.exit(f"BENCH_recovery.json fleet row missing {row_missing}: "
-                 "regenerate with the recovery_bench bin")
-    if fleet["compaction_dropped_frames"] <= 0:
-        sys.exit("recorded compaction dropped no frames: fixture is stale")
-print("BENCH_recovery.json ok: " + ", ".join(
-    f"{f['agents']} agents in {f['recover_ms_best']}ms "
-    f"({f['recover_compacted_ms_best']}ms compacted)"
-    for f in doc["fleets"]))
-EOF
+echo "== bench-smoke: committed BENCH_*.json schema + acceptance gates =="
+python3 scripts/check_bench.py
 
 echo "== storage: append-only log engine + durability suite =="
 cargo test "${OFFLINE[@]}" -q -p cia-storage
@@ -115,6 +52,13 @@ cargo test "${OFFLINE[@]}" -q -p cia-keylime --test recovery_equivalence
 echo "== backends: heterogeneous-fleet suite (trait refactor equivalence) =="
 cargo test "${OFFLINE[@]}" -q -p cia-keylime --test backend_fleet
 cargo test "${OFFLINE[@]}" -q -p cia-core --lib hetero
+
+echo "== federation: ring + pipeline units, sharded rounds, shard-kill chaos =="
+cargo test "${OFFLINE[@]}" -q -p cia-keylime ring::
+cargo test "${OFFLINE[@]}" -q -p cia-keylime --lib pipeline
+cargo test "${OFFLINE[@]}" --release --test federation_sharding
+cargo test "${OFFLINE[@]}" --release --test federation_sharding shard_kill
+cargo test "${OFFLINE[@]}" -q -p cia-sim --test properties fleet_metrics
 
 echo "== lock-sanitizer: runtime lock-order graph over the sim corpus =="
 cargo test "${OFFLINE[@]}" -q -p cia-sim --features lock-sanitizer

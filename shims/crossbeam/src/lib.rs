@@ -18,15 +18,21 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Senders blocked on a full bounded channel wait here; every
+        /// pop (and receiver disconnect) signals it.
+        space: Condvar,
+        /// `None` = unbounded; `Some(n)` = at most `n` queued values.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -36,6 +42,19 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Creates a bounded MPMC channel: `send` blocks while `cap` values
+    /// are queued, which is the backpressure the pipelined scheduler
+    /// relies on. A zero `cap` is promoted to 1 (this shim has no
+    /// rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
     }
 
     /// The sending half; cloneable.
@@ -109,17 +128,34 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake senders blocked on a full bounded
+                // channel so they observe disconnection.
+                self.shared.space.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         /// Enqueues `value`; fails only when all receivers are dropped.
+        /// On a bounded channel, blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -133,6 +169,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -150,6 +188,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = queue.pop_front() {
+                drop(queue);
+                self.shared.space.notify_one();
                 return Ok(value);
             }
             if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -200,6 +240,27 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_a_pop() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // Third send must block until the consumer drains one slot.
+            let h = std::thread::spawn(move || tx.send(3).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            h.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_fails_when_receivers_die() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(9).unwrap();
+            drop(rx);
+            assert_eq!(tx.send(10), Err(SendError(10)));
         }
     }
 }

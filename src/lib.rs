@@ -70,9 +70,10 @@ pub mod prelude {
     pub use cia_keylime::{
         AgentHealth, AgentId, AgentStatus, AttestationOutcome, BackendKind, BackendSet,
         ChaosTransport, Cluster, ConfidentialVmConfig, FailureKind, FaultPlan, FaultTarget,
-        FleetScheduler, HealthCounts, LossyTransport, MetricsSnapshot, PolicyDelta, PolicyEpoch,
-        PolicyStore, ReliableTransport, ResumePlan, RoundOutcome, RoundReport, RuntimePolicy,
-        SecureWorldConfig, Tenant, Transport, VerifierConfig, VerifierJournal,
+        FederatedRoundReport, Federation, FederationConfig, FleetScheduler, HashRing, HealthCounts,
+        LossyTransport, MetricsSnapshot, PolicyDelta, PolicyEpoch, PolicyStore, ReliableTransport,
+        ResumePlan, RoundOutcome, RoundReport, RuntimePolicy, SecureWorldConfig, Tenant, Transport,
+        VerifierConfig, VerifierJournal,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};
