@@ -38,6 +38,8 @@ fn policy_fleet_act() {
         continue_on_failure: false,
         quarantine: false,
         shards: 1,
+        shard_transport: cia_keylime::ShardTransportKind::InProc,
+        wire_batch: 0,
     };
     println!(
         "== fleet: {} nodes, {} days, daily updates from one mirror ==\n",

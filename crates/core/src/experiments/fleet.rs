@@ -21,7 +21,7 @@
 use cia_distro::{Mirror, ReleaseStream, StreamProfile};
 use cia_keylime::{
     Agent, AgentId, AgentStatus, Alert, Cluster, Federation, FederationConfig, HealthCounts,
-    LossyTransport, MetricsSnapshot, RoundOutcome, VerifierConfig,
+    LossyTransport, MetricsSnapshot, RoundOutcome, ShardTransportKind, VerifierConfig,
 };
 use cia_os::{ExecMethod, Machine, MachineConfig};
 use cia_vfs::VfsPath;
@@ -59,6 +59,13 @@ pub struct FleetConfig {
     /// exactly once — detections, verification counts, and reachability
     /// are identical to the single-verifier run.
     pub shards: u32,
+    /// The coordinator↔shard transport federated sweeps run over:
+    /// in-proc (the classic shape), an in-memory duplex wire, or a TCP
+    /// loopback socket. Ignored when `shards == 1`.
+    pub shard_transport: ShardTransportKind,
+    /// Result rows per RPC frame on wire transports (0 = the wire
+    /// layer's default batch). Ignored in-proc.
+    pub wire_batch: usize,
 }
 
 impl FleetConfig {
@@ -77,6 +84,8 @@ impl FleetConfig {
             continue_on_failure: false,
             quarantine: false,
             shards: 1,
+            shard_transport: ShardTransportKind::InProc,
+            wire_batch: 0,
         }
     }
 
@@ -139,6 +148,7 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
         .max_retries(16)
         .retry_backoff_ms(5)
         .worker_count(config.workers.max(1))
+        .wire_batch(config.wire_batch)
         .build()
         .expect("fleet verifier config is valid");
     let transport = LossyTransport::new(config.drop_rate, config.seed ^ 0x10a11);
@@ -181,7 +191,8 @@ pub fn run_fleet(config: FleetConfig) -> FleetReport {
     let mut federation = (config.shards > 1).then(|| {
         Federation::from_verifier(
             &cluster.verifier,
-            FederationConfig::new(config.shards, verifier_config),
+            FederationConfig::new(config.shards, verifier_config)
+                .with_transport(config.shard_transport),
         )
     });
 
@@ -434,6 +445,33 @@ mod tests {
             assert_eq!(fed.metrics.drops, base.metrics.drops);
             // `rounds` counts shard rounds: one per shard per day.
             assert_eq!(fed.metrics.rounds, days * u64::from(shards));
+        }
+    }
+
+    #[test]
+    fn wire_transports_match_the_in_proc_federated_run() {
+        let mut base_config = FleetConfig::small_lossy(38);
+        base_config.shards = 2;
+        let base = run_fleet(base_config);
+        for transport in [ShardTransportKind::Duplex, ShardTransportKind::Tcp] {
+            let mut config = FleetConfig::small_lossy(38);
+            config.shards = 2;
+            config.shard_transport = transport;
+            config.wire_batch = 3; // force multi-frame result streams
+            let wired = run_fleet(config);
+
+            // Putting a codec + socket between coordinator and shard
+            // changes *nothing observable*: every detection, count, and
+            // metric matches the in-proc federated sweep bit-for-bit.
+            assert_eq!(wired.detections, base.detections, "{transport:?}");
+            assert_eq!(wired.verified, base.verified, "{transport:?}");
+            assert_eq!(wired.attestations, base.attestations);
+            assert_eq!(wired.unreachable, base.unreachable);
+            assert!(wired.false_positives.is_empty());
+            assert!(wired.metrics.is_conserved(), "{:?}", wired.metrics);
+            assert_eq!(wired.metrics.calls, base.metrics.calls);
+            assert_eq!(wired.metrics.retries, base.metrics.retries);
+            assert_eq!(wired.metrics.drops, base.metrics.drops);
         }
     }
 

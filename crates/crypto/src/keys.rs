@@ -28,6 +28,16 @@ impl Signature {
     pub fn as_bytes(&self) -> &[u8] {
         self.0.as_bytes()
     }
+
+    /// The signature as the digest the MAC produced (wire codec use).
+    pub(crate) fn digest(&self) -> Digest {
+        self.0
+    }
+
+    /// Rebuilds a signature from a decoded digest (wire codec use).
+    pub(crate) fn from_digest(digest: Digest) -> Self {
+        Signature(digest)
+    }
 }
 
 impl fmt::Display for Signature {

@@ -35,6 +35,7 @@ pub mod hmac;
 pub mod keys;
 pub mod sha1;
 pub mod sha256;
+pub mod wire;
 
 pub use cache::{Derived, DigestCache};
 pub use digest::{Digest, HashAlgorithm};

@@ -60,6 +60,7 @@ pub mod engine;
 pub mod error;
 pub mod log;
 pub mod policy;
+pub mod wire;
 
 pub use appraise::{
     sign_content, sign_file, AppraisalKeyring, AppraisalResult, ImaSignature, IMA_XATTR,

@@ -90,6 +90,14 @@ pub struct VerifierConfig {
     /// conserved counter are identical either way.
     #[serde(default)]
     pub pipeline_depth: usize,
+    /// Result rows per RPC frame when this verifier runs as a remote
+    /// shard behind a wire transport (see [`crate::remote`]). Poll
+    /// commands are chunked and result rows coalesced into frames of
+    /// this many messages, amortising framing and syscall cost. `0`
+    /// (the default) means [`crate::remote::DEFAULT_WIRE_BATCH`];
+    /// in-process rounds ignore the knob entirely.
+    #[serde(default)]
+    pub wire_batch: usize,
 }
 
 impl Default for VerifierConfig {
@@ -109,6 +117,7 @@ impl Default for VerifierConfig {
             structured_excerpt: true,
             allowed_backends: BackendSet::all(),
             pipeline_depth: 0,
+            wire_batch: 0,
         }
     }
 }
@@ -341,6 +350,14 @@ impl VerifierConfigBuilder {
     /// (see [`VerifierConfig::pipeline_depth`]; `0` stays inline).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
         self.config.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the rows-per-frame batch size for wire-transport shard
+    /// rounds (see [`VerifierConfig::wire_batch`]; `0` means the
+    /// default batch).
+    pub fn wire_batch(mut self, batch: usize) -> Self {
+        self.config.wire_batch = batch;
         self
     }
 
@@ -591,6 +608,23 @@ mod tests {
         assert_ne!(stripped, json, "field must be present before stripping");
         let c: VerifierConfig = serde_json::from_str(&stripped).unwrap();
         assert_eq!(c.pipeline_depth, 0);
+    }
+
+    #[test]
+    fn wire_batch_defaults_and_roundtrips() {
+        assert_eq!(VerifierConfig::default().wire_batch, 0);
+        assert_eq!(VerifierConfig::engine_default().wire_batch, 0);
+        let c = VerifierConfig::builder().wire_batch(128).build().unwrap();
+        assert_eq!(c.wire_batch, 128);
+        // Pre-wire configs on disk omit the field; it defaults to 0
+        // (meaning "use the default batch").
+        let json = serde_json::to_string(&VerifierConfig::default()).unwrap();
+        let stripped = json
+            .replace("\"wire_batch\":0,", "")
+            .replace(",\"wire_batch\":0", "");
+        assert_ne!(stripped, json, "field must be present before stripping");
+        let c: VerifierConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(c.wire_batch, 0);
     }
 
     #[test]

@@ -44,15 +44,32 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use cia_wire::{DuplexShardTransport, ShardTransport, TcpShardTransport};
+
 use crate::agent::Agent;
 use crate::config::VerifierConfig;
 use crate::ids::AgentId;
 use crate::policy::{PolicyDelta, RuntimePolicy};
+use crate::remote::{self, DrivenRound};
 use crate::ring::HashRing;
 use crate::scheduler::{AgentRoundResult, FleetScheduler, MetricsSnapshot, RoundReport};
 use crate::store::{ConcurrentPolicyStore, PolicyEpoch};
 use crate::transport::Transport;
 use crate::verifier::{HealthCounts, Verifier};
+
+/// Which transport a [`Federation`] drives its shard rounds over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardTransportKind {
+    /// Direct in-process calls into each shard's scheduler — the
+    /// identity transport, no wire boundary.
+    #[default]
+    InProc,
+    /// In-memory duplex channels carrying fully-framed binary RPC (see
+    /// [`crate::remote`]): the whole codec path without a socket.
+    Duplex,
+    /// TCP loopback sockets, one connection per shard.
+    Tcp,
+}
 
 /// How a [`Federation`] is laid out.
 #[derive(Debug, Clone)]
@@ -63,16 +80,37 @@ pub struct FederationConfig {
     pub replicas: u32,
     /// The per-shard verifier/scheduler configuration.
     pub verifier: VerifierConfig,
+    /// The coordinator↔shard transport for federated rounds.
+    pub transport: ShardTransportKind,
+    /// Command batches kept in flight per shard on a wire transport
+    /// (see [`crate::remote::drive_round`]); ignored in-process.
+    pub wire_window: usize,
 }
 
 impl FederationConfig {
-    /// `shards` shards with default ring replicas and `verifier` config.
+    /// `shards` shards with default ring replicas and `verifier` config,
+    /// driven in-process.
     pub fn new(shards: u32, verifier: VerifierConfig) -> Self {
         FederationConfig {
             shards: shards.max(1),
             replicas: crate::ring::DEFAULT_REPLICAS,
             verifier,
+            transport: ShardTransportKind::InProc,
+            wire_window: remote::DEFAULT_WIRE_WINDOW,
         }
+    }
+
+    /// Same layout, driven over `transport`.
+    pub fn with_transport(mut self, transport: ShardTransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the per-shard in-flight command-batch window for wire
+    /// transports (floored to 1 at use).
+    pub fn with_wire_window(mut self, window: usize) -> Self {
+        self.wire_window = window;
+        self
     }
 }
 
@@ -93,7 +131,7 @@ impl Shard {
 
 /// The outcome of one federated round: the merged fleet-level report
 /// plus each live shard's own slice of it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FederatedRoundReport {
     /// One result per enrolled agent, fleet-wide, sorted by id.
     pub fleet: RoundReport,
@@ -119,6 +157,9 @@ pub struct Federation {
     /// Metrics folded out of killed shards, so the fleet-level snapshot
     /// never loses the work a dead shard already did.
     retired: MetricsSnapshot,
+    /// The layout this federation was built with — kept so joining
+    /// shards ([`Federation::add_shard`]) and wire rounds reuse it.
+    config: FederationConfig,
 }
 
 impl Federation {
@@ -135,6 +176,7 @@ impl Federation {
             shards,
             store: Arc::new(ConcurrentPolicyStore::new()),
             retired: MetricsSnapshot::default(),
+            config,
         }
     }
 
@@ -305,7 +347,45 @@ impl Federation {
     /// Runs one federated round: every shard's round runs concurrently
     /// (each with its own worker pool), then the per-shard reports merge
     /// into the fleet-level report.
+    ///
+    /// The coordinator↔shard path is chosen by
+    /// [`FederationConfig::transport`]: direct in-process dispatch, or
+    /// the binary wire protocol of [`crate::remote`] over in-memory
+    /// duplex channels or TCP loopback sockets. All three produce
+    /// bit-identical reports — the wire boundary changes mechanics, not
+    /// outcomes.
     pub fn run_round<T>(&mut self, agents: &mut [Agent], transport: &T) -> FederatedRoundReport
+    where
+        T: Transport + Sync,
+    {
+        match self.config.transport {
+            ShardTransportKind::InProc => self.run_round_inproc(agents, transport),
+            ShardTransportKind::Duplex => {
+                let conns: BTreeMap<u32, _> = self
+                    .shards
+                    .keys()
+                    .map(|&sid| (sid, DuplexShardTransport::pair()))
+                    .collect();
+                self.run_round_wire(agents, transport, conns)
+            }
+            ShardTransportKind::Tcp => {
+                let conns: BTreeMap<u32, _> = self
+                    .shards
+                    .keys()
+                    .map(|&sid| {
+                        let pair =
+                            remote::require(TcpShardTransport::loopback_pair(), "tcp loopback");
+                        (sid, pair)
+                    })
+                    .collect();
+                self.run_round_wire(agents, transport, conns)
+            }
+        }
+    }
+
+    /// The in-process round: scoped threads calling straight into each
+    /// shard's scheduler — the identity transport.
+    fn run_round_inproc<T>(&mut self, agents: &mut [Agent], transport: &T) -> FederatedRoundReport
     where
         T: Transport + Sync,
     {
@@ -346,6 +426,180 @@ impl Federation {
         });
         self.sync_pins();
         self.finish_report(results)
+    }
+
+    /// The wire round: each shard runs behind one connection of the
+    /// binary RPC protocol. Per shard, a *server* thread runs the shard
+    /// event loop ([`remote::serve_round`] — reader, streamed
+    /// dispatcher, batching writer) and a *driver* thread plays the
+    /// coordinator ([`remote::drive_round`] — batched, windowed
+    /// commands). The merged report is built **from the driver side's
+    /// decoded rows**, so everything in it round-tripped the codec;
+    /// equivalence with the server's own report is debug-asserted.
+    fn run_round_wire<T, C>(
+        &mut self,
+        agents: &mut [Agent],
+        transport: &T,
+        mut conns: BTreeMap<u32, (C, C)>,
+    ) -> FederatedRoundReport
+    where
+        T: Transport + Sync,
+        C: ShardTransport + Send,
+    {
+        let lanes = self.global_lanes();
+        let mut pools: BTreeMap<u32, Vec<&mut Agent>> = BTreeMap::new();
+        for agent in agents.iter_mut() {
+            if let Some(sid) = self.ring.place(agent.id()) {
+                pools.entry(sid).or_default().push(agent);
+            }
+        }
+        // The command list per shard: its enrolled agents (sorted) with
+        // their fleet-wide lanes — exactly what run_round_core would
+        // build locally.
+        let mut commands_by_sid: BTreeMap<u32, Vec<(AgentId, u64)>> = BTreeMap::new();
+        for (&sid, shard) in &self.shards {
+            let commands = shard
+                .verifier
+                .agent_ids()
+                .into_iter()
+                .map(|id| {
+                    let lane = lanes.get(&id).copied().unwrap_or_default();
+                    (id, lane)
+                })
+                .collect();
+            commands_by_sid.insert(sid, commands);
+        }
+        let wire_batch = self.config.verifier.wire_batch;
+        let window = self.config.wire_window;
+
+        let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
+        let mut server_reports: BTreeMap<u32, RoundReport> = BTreeMap::new();
+        let mut driven_rounds: BTreeMap<u32, DrivenRound> = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let mut servers = Vec::new();
+            let mut drivers = Vec::new();
+            for (&sid, shard) in self.shards.iter_mut() {
+                let pool = pools.remove(&sid).unwrap_or_default();
+                let Some((server_conn, driver_conn)) = conns.remove(&sid) else {
+                    debug_assert!(false, "one connection pair per shard");
+                    continue;
+                };
+                let commands = commands_by_sid.remove(&sid).unwrap_or_default();
+                let verifier = &mut shard.verifier;
+                let scheduler = &shard.scheduler;
+                servers.push((
+                    sid,
+                    scope.spawn(move || {
+                        remote::serve_round(
+                            scheduler,
+                            verifier,
+                            pool.into_iter(),
+                            transport,
+                            server_conn,
+                        )
+                    }),
+                ));
+                drivers.push((
+                    sid,
+                    scope.spawn(move || {
+                        remote::drive_round(driver_conn, &commands, wire_batch, window)
+                    }),
+                ));
+            }
+            for (sid, handle) in drivers {
+                let driven = match handle.join() {
+                    Ok(res) => remote::require(res, "shard wire driver"),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                driven_rounds.insert(sid, driven);
+            }
+            for (sid, handle) in servers {
+                let report = match handle.join() {
+                    Ok(res) => remote::require(res, "shard wire server"),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                server_reports.insert(sid, report);
+            }
+        });
+        for (sid, driven) in driven_rounds {
+            if let Some(server) = server_reports.get(&sid) {
+                debug_assert_eq!(driven.health, server.health, "shard {sid} health drifted");
+                debug_assert_eq!(
+                    driven.epoch, server.policy_epoch,
+                    "shard {sid} epoch drifted"
+                );
+                debug_assert_eq!(
+                    {
+                        let mut sorted = driven.rows.clone();
+                        sorted.sort_by(|a, b| a.id.cmp(&b.id));
+                        sorted
+                    },
+                    server.results,
+                    "shard {sid} rows lost in transit"
+                );
+            }
+            results.insert(sid, driven.rows);
+        }
+        self.sync_pins();
+        self.finish_report(results)
+    }
+
+    /// Adds an empty shard to a live federation: the new verifier
+    /// adopts the store's current snapshot/epoch, joins the ring, and —
+    /// consistent hashing's promise — *only* the agents whose placement
+    /// now maps to the new shard migrate onto it (enrolment constants,
+    /// full mutable state, and the exact policy `Arc` each record
+    /// held); nobody else moves. Returns the migrated ids, sorted.
+    /// No-op returning empty when `shard` is already live.
+    pub fn add_shard(&mut self, shard: u32) -> Vec<AgentId> {
+        if self.shards.contains_key(&shard) {
+            return Vec::new();
+        }
+        let mut joined = Shard::new(self.config.verifier);
+        let shared = self.store.shared();
+        joined
+            .verifier
+            .restore_store(Arc::clone(&shared.snapshot), shared.epoch);
+        self.ring.add_shard(shard);
+
+        // Everything whose ring placement moved to the joining shard.
+        let mut moves: Vec<(u32, AgentId)> = Vec::new();
+        for (&sid, source) in &self.shards {
+            for (id, ..) in source.verifier.enrolment_view() {
+                if self.ring.place(id) == Some(shard) {
+                    moves.push((sid, id.clone()));
+                }
+            }
+        }
+        let mut migrated = Vec::with_capacity(moves.len());
+        for (sid, id) in moves {
+            let Some(source) = self.shards.get_mut(&sid) else {
+                debug_assert!(false, "move source is live");
+                continue;
+            };
+            let Some((ak, identity, policy, state)) = source
+                .verifier
+                .enrolment_view()
+                .find_map(|(eid, ak, identity, _shared, policy)| {
+                    (eid == &id).then(|| (ak.clone(), identity, Arc::clone(policy)))
+                })
+                .and_then(|(ak, identity, policy)| {
+                    let state = source.verifier.export_agent_state(&id).ok()?;
+                    Some((ak, identity, policy, state))
+                })
+            else {
+                debug_assert!(false, "moved id is enrolled on its source");
+                continue;
+            };
+            source.verifier.remove_agent(&id);
+            joined
+                .verifier
+                .restore_agent(id.clone(), ak, identity, policy, state);
+            migrated.push(id);
+        }
+        self.shards.insert(shard, joined);
+        migrated.sort();
+        migrated
     }
 
     /// Runs one federated round during which shard `kill` dies at round

@@ -120,6 +120,7 @@ pub mod payload;
 pub mod pipeline;
 pub mod policy;
 pub mod registrar;
+pub mod remote;
 pub mod revocation;
 pub mod ring;
 pub mod scheduler;
@@ -139,11 +140,12 @@ pub use chaos::{ChaosTransport, FaultDecision, FaultEvent, FaultKind, FaultPlan,
 pub use config::{ConfigError, VerifierConfigBuilder, MAX_RETRIES_LIMIT};
 pub use durable::{Recovered, ResumePlan, VerifierJournal, DEFAULT_JOURNAL_DIR};
 pub use error::KeylimeError;
-pub use federation::{FederatedRoundReport, Federation, FederationConfig};
+pub use federation::{FederatedRoundReport, Federation, FederationConfig, ShardTransportKind};
 pub use ids::AgentId;
 pub use payload::{EncryptedPayload, KeyShare, PayloadBundle};
 pub use policy::{PolicyCheck, PolicyDelta, PolicyDiff, PolicyMeta, RuntimePolicy};
 pub use registrar::{Registrar, RegistrationRecord};
+pub use remote::{drive_round, serve_round, DrivenRound, DEFAULT_WIRE_BATCH, DEFAULT_WIRE_WINDOW};
 pub use revocation::{RevocationBus, RevocationEmitter, RevocationNotice, RevocationSubscriber};
 pub use ring::HashRing;
 pub use scheduler::{

@@ -54,15 +54,19 @@ struct EvidenceJob<'a> {
     backoff_ms: u64,
 }
 
-/// Runs one round's jobs through the two-stage pipeline and returns the
-/// (unsorted) results. Called by the scheduler when
-/// [`VerifierConfig::pipeline_depth`] is positive; the caller sorts and
-/// finishes the report exactly as for the inline path.
+/// Drains `job_rx` through the two-stage pipeline and returns the
+/// (unsorted) results. Called by the scheduler's dispatch layer when
+/// [`VerifierConfig::pipeline_depth`] is positive; the job channel may
+/// be pre-loaded (an in-process round) or fed live while this runs (a
+/// streamed wire round) — the stages drain it either way until the
+/// sender side disconnects. The caller sorts and finishes the report
+/// exactly as for the inline path.
 pub(crate) fn run_pipelined<'a, T, F>(
     config: &VerifierConfig,
     shared: &SharedPolicy,
     metrics: &SchedulerMetrics,
-    jobs: Vec<Job<'a>>,
+    job_rx: crossbeam::channel::Receiver<Job<'a>>,
+    worker_count: usize,
     transport: &T,
     observer: &F,
 ) -> Vec<AgentRoundResult>
@@ -70,18 +74,11 @@ where
     T: Transport + Sync,
     F: Fn(&AgentRoundResult, AgentStateSnapshot) + Sync,
 {
-    let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
+    let worker_count = worker_count.max(1);
     let depth = config.pipeline_depth.max(1);
-    let expected = jobs.len();
 
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'a>>();
     let (ev_tx, ev_rx) = crossbeam::channel::bounded::<EvidenceJob<'a>>(depth);
     let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
-    for job in jobs {
-        let sent = job_tx.send(job);
-        assert!(sent.is_ok(), "job receiver alive until workers finish");
-    }
-    drop(job_tx);
 
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
@@ -162,13 +159,9 @@ where
         drop(ev_rx);
         drop(res_tx);
     });
+    // The receiver's Job<'_> type parameter keeps the records borrow
+    // alive; release it before the caller re-reads records.
     drop(job_rx);
 
-    let results: Vec<AgentRoundResult> = res_rx.iter().collect();
-    assert_eq!(
-        results.len(),
-        expected,
-        "every job must produce exactly one result"
-    );
-    results
+    res_rx.iter().collect()
 }

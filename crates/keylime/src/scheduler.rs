@@ -760,60 +760,28 @@ impl FleetScheduler {
             }
         }
 
-        let mut results: Vec<AgentRoundResult> = if config.pipeline_depth > 0 && !jobs.is_empty() {
-            crate::pipeline::run_pipelined(
-                &config,
-                &shared,
-                &self.metrics,
-                jobs,
-                transport,
-                &observer,
-            )
-        } else {
-            let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
-            let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
-            let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
-            for job in jobs {
-                let sent = job_tx.send(job);
-                assert!(sent.is_ok(), "job receiver alive until workers finish");
-            }
-            drop(job_tx);
-
-            std::thread::scope(|scope| {
-                for _ in 0..worker_count {
-                    let job_rx = job_rx.clone();
-                    let res_tx = res_tx.clone();
-                    let metrics = Arc::clone(&self.metrics);
-                    let shared = &shared;
-                    let observer = &observer;
-                    scope.spawn(move || {
-                        while let Ok(mut job) = job_rx.recv() {
-                            let mut lane_transport = transport.fork(job.lane);
-                            let result = attest_with_retry(
-                                &config,
-                                shared,
-                                &metrics,
-                                &mut job,
-                                &mut lane_transport,
-                            );
-                            // The lane is fresh per job, so its byte total is
-                            // exactly this agent's round traffic.
-                            SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
-                            // The ack hook sees the record *after* the round's
-                            // mutations — what a journal must replay to land
-                            // the recovered verifier on this exact state.
-                            observer(&result, job.record.snapshot_state());
-                            let _ = res_tx.send(result);
-                        }
-                    });
-                }
-            });
-            drop(res_tx);
-            // The receiver's Job<'_> type parameter keeps the records borrow
-            // alive; release it before re-reading records for health counts.
-            drop(job_rx);
-            res_rx.iter().collect()
-        };
+        let expected = jobs.len();
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
+        let worker_count = config.worker_count.clamp(1, jobs.len().max(1));
+        for job in jobs {
+            let sent = job_tx.send(job);
+            assert!(sent.is_ok(), "job receiver alive until workers finish");
+        }
+        drop(job_tx);
+        let mut results = dispatch_jobs(
+            &config,
+            &shared,
+            &self.metrics,
+            job_rx,
+            worker_count,
+            transport,
+            &observer,
+        );
+        debug_assert_eq!(
+            results.len(),
+            expected,
+            "every job must produce exactly one result"
+        );
         for (id, backend, policy_epoch, shared_policy) in orphaned {
             self.metrics.add_outcome(
                 &self.metrics.unreachable,
@@ -847,6 +815,194 @@ impl FleetScheduler {
             policy_epoch: shared.epoch,
         }
     }
+
+    /// [`FleetScheduler::run_round_core`] fed by a *stream* of poll
+    /// commands instead of an upfront job list — the shard-side half of
+    /// a wire round (see [`crate::remote`]). Each received batch of
+    /// `(agent id, lane)` pairs is matched to its record and agent
+    /// process and dispatched immediately, so the first agents are
+    /// already fetching while later commands are still in flight from
+    /// the coordinator; dispatch itself is the same pipelined-or-pool
+    /// engine as every other round.
+    ///
+    /// Accounting is identical to [`FleetScheduler::run_round_core`]
+    /// with one documented difference: orphaned commands (an enrolled
+    /// record whose agent process is missing) *are* passed to
+    /// `observer`, because a wire server streams every result row —
+    /// orphan rows included — back through it. Their records still never
+    /// change. Commands naming un-enrolled ids, and duplicate commands,
+    /// are ignored. Enrolled records that never receive a command
+    /// produce no row: the command stream defines the round's extent.
+    pub(crate) fn run_round_streamed<'e, T, F>(
+        &self,
+        verifier: &mut Verifier,
+        agents: impl Iterator<Item = &'e mut Agent>,
+        transport: &T,
+        commands: crossbeam::channel::Receiver<Vec<(AgentId, u64)>>,
+        observer: F,
+    ) -> RoundReport
+    where
+        T: Transport + Sync,
+        F: Fn(&AgentRoundResult, crate::verifier::AgentStateSnapshot) + Sync,
+    {
+        let (config, shared, records) = verifier.scheduler_view();
+        self.metrics
+            .policy_epoch
+            .store(shared.epoch.as_u64(), Ordering::Relaxed);
+
+        let mut agent_by_id: std::collections::BTreeMap<AgentId, &mut Agent> =
+            agents.map(|a| (a.id().clone(), a)).collect();
+        let mut record_by_id: std::collections::BTreeMap<
+            AgentId,
+            &mut crate::verifier::AgentRecord,
+        > = records.iter_mut().map(|(id, r)| (id.clone(), r)).collect();
+
+        let worker_count = config.worker_count.max(1);
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job<'_>>();
+        let (mut results, orphaned) = std::thread::scope(|scope| {
+            // The feeder turns command batches into jobs as they arrive;
+            // dispatch runs concurrently on this thread and drains the
+            // job channel until the feeder drops its sender.
+            let feeder = scope.spawn(move || {
+                let mut orphaned: Vec<(AgentId, BackendKind, PolicyEpoch, bool)> = Vec::new();
+                while let Ok(batch) = commands.recv() {
+                    for (id, lane) in batch {
+                        let Some(record) = record_by_id.remove(&id) else {
+                            continue;
+                        };
+                        match agent_by_id.remove(&id) {
+                            Some(agent) => {
+                                let sent = job_tx.send(Job {
+                                    id,
+                                    lane,
+                                    record,
+                                    agent,
+                                });
+                                assert!(sent.is_ok(), "dispatch outlives the feeder");
+                            }
+                            None => orphaned.push((
+                                id,
+                                record.backend_kind(),
+                                record.policy_epoch(),
+                                record.follows_shared_store(),
+                            )),
+                        }
+                    }
+                }
+                orphaned
+            });
+            let results = dispatch_jobs(
+                &config,
+                &shared,
+                &self.metrics,
+                job_rx,
+                worker_count,
+                transport,
+                &observer,
+            );
+            let orphaned = match feeder.join() {
+                Ok(orphaned) => orphaned,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (results, orphaned)
+        });
+        for (id, backend, policy_epoch, shared_policy) in orphaned {
+            self.metrics.add_outcome(
+                &self.metrics.unreachable,
+                &self.metrics.backend_unreachable,
+                backend,
+            );
+            SchedulerMetrics::add(&self.metrics.orphaned, 1);
+            let row = AgentRoundResult {
+                id,
+                backend,
+                day: 0,
+                attempts: 0,
+                backoff_ms: 0,
+                policy_epoch,
+                shared_policy,
+                outcome: RoundOutcome::Unreachable {
+                    reason: "no agent process supplied for enrolled id".to_string(),
+                },
+            };
+            if let Some(record) = records.get(&row.id) {
+                observer(&row, record.snapshot_state());
+            }
+            results.push(row);
+        }
+        results.sort_by(|a, b| a.id.cmp(&b.id));
+        SchedulerMetrics::add(&self.metrics.rounds, 1);
+
+        let mut health = HealthCounts::default();
+        for record in records.values() {
+            health.count(record.health());
+        }
+        RoundReport {
+            results,
+            health,
+            policy_epoch: shared.epoch,
+        }
+    }
+}
+
+/// Drains a channel of jobs through the round engine — pipelined when
+/// [`VerifierConfig::pipeline_depth`] is positive, the classic
+/// fetch-and-appraise-inline pool otherwise — and returns the
+/// (unsorted) result rows. Both the upfront-list and streamed round
+/// entry points funnel through here, so wire rounds cannot drift from
+/// in-process rounds.
+pub(crate) fn dispatch_jobs<'a, T, F>(
+    config: &VerifierConfig,
+    shared: &SharedPolicy,
+    metrics: &Arc<SchedulerMetrics>,
+    job_rx: crossbeam::channel::Receiver<Job<'a>>,
+    worker_count: usize,
+    transport: &T,
+    observer: &F,
+) -> Vec<AgentRoundResult>
+where
+    T: Transport + Sync,
+    F: Fn(&AgentRoundResult, crate::verifier::AgentStateSnapshot) + Sync,
+{
+    if config.pipeline_depth > 0 {
+        return crate::pipeline::run_pipelined(
+            config,
+            shared,
+            metrics,
+            job_rx,
+            worker_count,
+            transport,
+            observer,
+        );
+    }
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<AgentRoundResult>();
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let metrics = Arc::clone(metrics);
+            scope.spawn(move || {
+                while let Ok(mut job) = job_rx.recv() {
+                    let mut lane_transport = transport.fork(job.lane);
+                    let result =
+                        attest_with_retry(config, shared, &metrics, &mut job, &mut lane_transport);
+                    // The lane is fresh per job, so its byte total is
+                    // exactly this agent's round traffic.
+                    SchedulerMetrics::add(&metrics.wire_bytes, lane_transport.wire_bytes());
+                    // The ack hook sees the record *after* the round's
+                    // mutations — what a journal must replay to land
+                    // the recovered verifier on this exact state.
+                    observer(&result, job.record.snapshot_state());
+                    let _ = res_tx.send(result);
+                }
+            });
+        }
+    });
+    drop(res_tx);
+    // The receiver's Job<'_> type parameter keeps the records borrow
+    // alive; release it before the caller re-reads records.
+    drop(job_rx);
+    res_rx.iter().collect()
 }
 
 /// Drives one agent's poll to a terminal outcome: retries dropped calls

@@ -59,6 +59,13 @@ impl PolicyEpoch {
     pub fn next(self) -> PolicyEpoch {
         PolicyEpoch(self.0 + 1)
     }
+
+    /// Rebuilds an epoch from its raw counter — the wire decoder's
+    /// constructor. Kept crate-private so epochs still cannot be minted
+    /// outside the store/wire machinery.
+    pub(crate) fn from_raw(raw: u64) -> PolicyEpoch {
+        PolicyEpoch(raw)
+    }
 }
 
 impl fmt::Display for PolicyEpoch {

@@ -1262,6 +1262,17 @@ impl Verifier {
         self.store = PolicyStore::restore(snapshot, epoch);
     }
 
+    /// Withdraws one agent's record — the outward half of a federation
+    /// re-balancing migration ([`export_agent_state`] +
+    /// [`restore_agent`] on the target shard are the other half).
+    /// Returns `true` when the agent was enrolled here.
+    ///
+    /// [`export_agent_state`]: Verifier::export_agent_state
+    /// [`restore_agent`]: Verifier::restore_agent
+    pub fn remove_agent(&mut self, id: &AgentId) -> bool {
+        self.agents.remove(id).is_some()
+    }
+
     /// Per-agent enrolment constants, for journaling: id, AK, backend
     /// identity, shared-store membership, and the current policy handle
     /// (only meaningful for override agents — shared agents resolve

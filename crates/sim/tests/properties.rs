@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use cia_keylime::{
     AgentId, ChaosTransport, Cluster, FaultEvent, FaultKind, FaultPlan, FaultTarget, Federation,
-    FederationConfig, MetricsSnapshot, ReliableTransport, RuntimePolicy, VerifierConfig,
+    FederationConfig, MetricsSnapshot, ReliableTransport, RuntimePolicy, ShardTransportKind,
+    VerifierConfig,
 };
 use cia_os::MachineConfig;
 
@@ -47,10 +48,13 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
 }
 
 /// Enrols [`NODES`] agents on a chaos cluster and federates them into
-/// `shards` shards sharing one policy store.
+/// `shards` shards sharing one policy store, driving shard rounds over
+/// `transport_kind` with `wire_batch` rows per result frame.
 fn federated_fleet(
     plan: FaultPlan,
     shards: u32,
+    transport_kind: ShardTransportKind,
+    wire_batch: usize,
 ) -> (Cluster<SimTransport>, Federation, Vec<AgentId>) {
     let seed = plan.seed();
     let config = VerifierConfig::builder()
@@ -58,6 +62,7 @@ fn federated_fleet(
         .quarantine_enabled(true)
         .max_retries(3)
         .worker_count(2)
+        .wire_batch(wire_batch)
         .build()
         .expect("valid config");
     let transport = ChaosTransport::new(ReliableTransport::new(), plan);
@@ -76,7 +81,10 @@ fn federated_fleet(
         );
     }
     ids.sort();
-    let fed = Federation::from_verifier(&cluster.verifier, FederationConfig::new(shards, config));
+    let fed = Federation::from_verifier(
+        &cluster.verifier,
+        FederationConfig::new(shards, config).with_transport(transport_kind),
+    );
     (cluster, fed, ids)
 }
 
@@ -243,7 +251,8 @@ proptest! {
         shards in 1u32..=4,
         kill in any::<bool>(),
     ) {
-        let (mut cluster, mut fed, ids) = federated_fleet(plan.clone(), shards);
+        let (mut cluster, mut fed, ids) =
+            federated_fleet(plan.clone(), shards, ShardTransportKind::InProc, 0);
         let trace = run_federation(&mut cluster, &mut fed, &ids, kill);
         for (round, report) in trace.iter().enumerate() {
             prop_assert_eq!(
@@ -287,8 +296,55 @@ proptest! {
 
         // And the fleet trace itself is shard-count invariant: the same
         // plan over one shard produces the identical per-round reports.
-        let (mut solo_cluster, mut solo_fed, solo_ids) = federated_fleet(plan, 1);
+        let (mut solo_cluster, mut solo_fed, solo_ids) =
+            federated_fleet(plan, 1, ShardTransportKind::InProc, 0);
         let solo_trace = run_federation(&mut solo_cluster, &mut solo_fed, &solo_ids, false);
         prop_assert_eq!(trace, solo_trace);
+    }
+
+    /// Satellite: running shard rounds over the wire — binary codec,
+    /// framed RPC, batched results over a duplex channel or a real TCP
+    /// loopback socket — changes *nothing* in the accounting. For any
+    /// seeded FaultPlan, shard count, and batch size: the wired fleet
+    /// trace is bit-identical to the in-proc trace, every shard snapshot
+    /// stays conserved, and the fleet view is still the exact
+    /// component-wise sum (frame bytes never leak into `wire_bytes`,
+    /// which meters agent-facing quote payloads only).
+    #[test]
+    fn wire_transport_preserves_trace_and_conservation(
+        plan in arb_plan(),
+        shards in 1u32..=4,
+        duplex in any::<bool>(),
+        wire_batch in 0usize..8,
+    ) {
+        let kind = if duplex {
+            ShardTransportKind::Duplex
+        } else {
+            ShardTransportKind::Tcp
+        };
+        let (mut cluster, mut fed, ids) =
+            federated_fleet(plan.clone(), shards, kind, wire_batch);
+        let trace = run_federation(&mut cluster, &mut fed, &ids, false);
+
+        let per_shard: Vec<MetricsSnapshot> =
+            fed.shard_metrics().into_iter().map(|(_, s)| s).collect();
+        for snap in &per_shard {
+            prop_assert!(snap.is_conserved(), "shard identity violated: {:?}", snap);
+            prop_assert!(snap.backends_consistent());
+        }
+        let fleet = fed.fleet_metrics();
+        prop_assert!(fleet.is_conserved(), "fleet identity violated: {:?}", fleet);
+        prop_assert_eq!(&fleet, &manual_sum(&per_shard));
+
+        let (mut base_cluster, mut base_fed, base_ids) =
+            federated_fleet(plan, shards, ShardTransportKind::InProc, 0);
+        let base_trace = run_federation(&mut base_cluster, &mut base_fed, &base_ids, false);
+        prop_assert_eq!(trace, base_trace);
+        // Wall-clock fields (policy timing, latency buckets) legitimately
+        // differ run to run; every deterministic counter must not.
+        prop_assert_eq!(
+            deterministic_metrics(&fleet),
+            deterministic_metrics(&base_fed.fleet_metrics())
+        );
     }
 }

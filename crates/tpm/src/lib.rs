@@ -46,6 +46,7 @@ pub mod error;
 pub mod identity;
 pub mod pcr;
 pub mod quote;
+pub mod wire;
 
 pub use device::Tpm;
 pub use error::TpmError;

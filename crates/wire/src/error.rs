@@ -1,0 +1,113 @@
+//! Decode and transport failures.
+
+use std::fmt;
+
+/// Why a frame or message could not be decoded or moved.
+///
+/// Every malformed input — truncated, torn, bit-flipped, or simply
+/// nonsense — lands on one of these variants; nothing in this crate
+/// panics on attacker-controlled bytes.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value (or frame) it promised.
+    Truncated,
+    /// A frame did not start with [`crate::MAGIC`].
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: u32,
+    },
+    /// A frame's payload failed its CRC32 check.
+    BadCrc {
+        /// The checksum the header carried.
+        expected: u32,
+        /// The checksum the payload actually hashes to.
+        found: u32,
+    },
+    /// A frame claimed a payload larger than [`crate::MAX_FRAME`].
+    FrameTooLarge {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// An enum tag no decoder recognises.
+    BadTag {
+        /// Which decoder rejected it.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A varint ran past 10 bytes or overflowed its target width.
+    VarintOverflow,
+    /// A length prefix promised more elements than bytes remain — a
+    /// torn or hostile frame trying to force a huge allocation.
+    BadLength {
+        /// The claimed element count.
+        len: usize,
+        /// Bytes actually remaining in the buffer.
+        remaining: usize,
+    },
+    /// A message decoded cleanly but left unread bytes behind.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    Utf8,
+    /// The peer closed the connection (or dropped its channel end).
+    Closed,
+    /// An I/O error from the underlying socket.
+    Io {
+        /// The rendered `std::io::Error`.
+        reason: String,
+    },
+    /// The peer violated the RPC protocol (unexpected message kind).
+    Protocol {
+        /// What was expected or observed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:#010x}")
+            }
+            WireError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:#010x}, payload {found:#010x}"
+                )
+            }
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the maximum")
+            }
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::VarintOverflow => write!(f, "varint overflow"),
+            WireError::BadLength { len, remaining } => {
+                write!(f, "length prefix {len} exceeds {remaining} remaining bytes")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+            WireError::Utf8 => write!(f, "invalid utf-8 in string"),
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Io { reason } => write!(f, "i/o error: {reason}"),
+            WireError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(err: std::io::Error) -> Self {
+        match err.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
+            _ => WireError::Io {
+                reason: err.to_string(),
+            },
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The codec robustness corpus: whatever bytes arrive — truncated,
+//! torn across a frame boundary, or bit-flipped in flight — decode must
+//! return a clean [`WireError`], never panic, and never misread.
+//!
+//! The strategy is the classic fuzz triad over a *valid* encoding:
+//!
+//! 1. **roundtrip** — every value encodes and decodes back to itself;
+//! 2. **truncation** — every proper prefix fails with `Truncated`,
+//!    `Closed`, or a length error (and `finish()` catches short reads);
+//! 3. **corruption** — a single flipped bit anywhere in a frame is
+//!    either caught by the CRC/magic check or, if it lands in the
+//!    payload, surfaces as a decode error or a *different* value —
+//!    never a crash.
+
+use proptest::prelude::*;
+
+use cia_wire::{
+    crc32, frame, unframe, Reader, Wire, WireError, Writer, FRAME_HEADER_LEN, MAGIC, MAX_FRAME,
+};
+
+/// A small structured message exercising every primitive the codec
+/// offers: fixed ints, varints, bools, bytes, strings, options, vecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Exemplar {
+    tag: u8,
+    flag: bool,
+    fixed: u32,
+    wide: u64,
+    vari: u64,
+    blob: Vec<u8>,
+    name: String,
+    maybe: Option<u64>,
+    items: Vec<String>,
+}
+
+impl Wire for Exemplar {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag);
+        w.put_bool(self.flag);
+        w.put_u32(self.fixed);
+        w.put_u64(self.wide);
+        w.put_varint(self.vari);
+        w.put_bytes(&self.blob);
+        w.put_str(&self.name);
+        self.maybe.encode(w);
+        self.items.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Exemplar {
+            tag: r.u8()?,
+            flag: r.bool()?,
+            fixed: r.u32()?,
+            wide: r.u64()?,
+            vari: r.varint()?,
+            blob: r.bytes()?.to_vec(),
+            name: r.str()?.to_owned(),
+            maybe: Option::<u64>::decode(r)?,
+            items: Vec::<String>::decode(r)?,
+        })
+    }
+}
+
+fn exemplar(seed: u64, blob: Vec<u8>, name: String, items: Vec<String>) -> Exemplar {
+    Exemplar {
+        tag: (seed & 0xff) as u8,
+        flag: seed & 1 == 1,
+        fixed: (seed >> 8) as u32,
+        wide: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        vari: seed >> 3,
+        blob,
+        name,
+        maybe: seed.is_multiple_of(3).then_some(seed ^ 0xdead_beef),
+        items,
+    }
+}
+
+proptest! {
+    /// Encode → decode is the identity, and the reader is fully drained.
+    #[test]
+    fn roundtrip_is_identity(
+        seed in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..256),
+        name in "[a-z/._-]{0,48}",
+        items in proptest::collection::vec("[a-z0-9]{0,16}", 0..8),
+    ) {
+        let value = exemplar(seed, blob, name, items);
+        let bytes = value.to_wire();
+        let back = Exemplar::from_wire(&bytes).expect("roundtrip decodes");
+        prop_assert_eq!(back, value);
+    }
+
+    /// Every proper prefix of a valid encoding fails cleanly — no
+    /// panic, no silently-accepted partial value.
+    #[test]
+    fn every_truncation_errors_cleanly(
+        seed in any::<u64>(),
+        blob in proptest::collection::vec(any::<u8>(), 0..64),
+        name in "[a-z]{0,24}",
+    ) {
+        let value = exemplar(seed, blob, name, vec!["x".into()]);
+        let bytes = value.to_wire();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Exemplar::from_wire(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Trailing garbage after a complete value is rejected (`from_wire`
+    /// demands the buffer be fully consumed).
+    #[test]
+    fn trailing_bytes_are_rejected(
+        seed in any::<u64>(),
+        extra in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let value = exemplar(seed, vec![1, 2, 3], "t".into(), Vec::new());
+        let mut bytes = value.to_wire();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(matches!(
+            Exemplar::from_wire(&bytes),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    /// Framed payloads survive the trip; every truncation of the frame
+    /// errors; every single-bit flip in the header or payload is caught
+    /// by magic/CRC/length validation — a torn or corrupted frame can
+    /// never be mistaken for a healthy one.
+    #[test]
+    fn frame_catches_tearing_and_bitflips(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        flip_bit in 0usize..1024,
+    ) {
+        let framed = frame(&payload);
+        prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+        prop_assert_eq!(unframe(&framed).expect("clean frame unframes"), &payload[..]);
+
+        // Tearing: every proper prefix is an error, never a panic.
+        for cut in 0..framed.len() {
+            prop_assert!(unframe(&framed[..cut]).is_err());
+        }
+
+        // Corruption: flip one bit somewhere in the frame. The CRC is
+        // over the payload, the magic and length words guard the
+        // header, so *any* flip must surface as an error.
+        let bit = flip_bit % (framed.len() * 8);
+        let mut torn = framed.clone();
+        torn[bit / 8] ^= 1 << (bit % 8);
+        let outcome = unframe(&torn);
+        prop_assert!(
+            outcome.is_err(),
+            "bit {bit} flipped silently: {outcome:?}"
+        );
+    }
+
+    /// The varint decoder round-trips the full u64 range and rejects
+    /// overlong/overflowing encodings without panicking.
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.varint().expect("varint decodes"), v);
+        r.finish().expect("no trailing bytes");
+    }
+
+    /// Arbitrary garbage never panics the decoder — it either decodes
+    /// (vacuously fine) or errors cleanly. This is the blunt fuzz
+    /// backstop behind the targeted cases above.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Exemplar::from_wire(&garbage);
+        let _ = unframe(&garbage);
+        let mut r = Reader::new(&garbage);
+        let _ = r.varint();
+        let _ = r.bytes();
+        let _ = r.str();
+        let _ = r.seq_len(1);
+    }
+}
+
+/// A hostile length prefix (huge count, tiny buffer) is rejected by
+/// `seq_len`'s plausibility check instead of causing a giant
+/// allocation.
+#[test]
+fn hostile_sequence_length_is_rejected() {
+    let mut w = Writer::new();
+    w.put_varint(u64::MAX / 2);
+    let buf = w.into_vec();
+    let mut r = Reader::new(&buf);
+    assert!(matches!(r.seq_len(1), Err(WireError::BadLength { .. })));
+}
+
+/// Hand-built header corruptions map to their specific errors.
+#[test]
+fn header_corruptions_name_their_failure() {
+    let framed = frame(b"payload");
+
+    let mut bad_magic = framed.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(matches!(
+        unframe(&bad_magic),
+        Err(WireError::BadMagic { .. })
+    ));
+
+    let mut bad_crc = framed.clone();
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0x01; // payload byte → CRC mismatch
+    assert!(matches!(unframe(&bad_crc), Err(WireError::BadCrc { .. })));
+
+    // A length word claiming more than MAX_FRAME is rejected before
+    // any payload is touched.
+    let mut huge = framed;
+    let len = (MAX_FRAME as u32 + 1).to_le_bytes();
+    huge[4..8].copy_from_slice(&len);
+    assert!(matches!(
+        unframe(&huge),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+
+    // Sanity: the magic constant is what the header leads with.
+    let fresh = frame(b"");
+    assert_eq!(&fresh[0..4], &MAGIC.to_le_bytes());
+    assert_eq!(crc32(b""), unframe(&fresh).map(crc32).unwrap());
+}

@@ -113,12 +113,53 @@ def check_fleet(doc, path):
             f"across {million['shards']} shards")
 
 
+def check_wire(doc, path):
+    require(doc, ["bench", "codec_quote_response", "batching_10k",
+                  "tcp_federation_100k"], path)
+    if doc["bench"] != "wire_protocol":
+        fail(f"{path} is not a wire_protocol document")
+    codec = doc["codec_quote_response"]
+    require(codec, ["entries", "binary_us_best", "json_us_best",
+                    "binary_bytes", "json_bytes", "speedup", "gate_3x"],
+            f"{path} codec_quote_response")
+    if not codec["gate_3x"] or codec["speedup"] < 3.0:
+        fail(f"{path}: binary codec speedup {codec['speedup']}x fell "
+             "under the 3x gate vs serde_json")
+    batching = doc["batching_10k"]
+    require(batching, ["agents", "inproc_round_ms", "unbatched_round_ms",
+                       "batched_round_ms", "unbatched_overhead_ms",
+                       "batched_overhead_ms", "overhead_speedup",
+                       "gate_2x"], f"{path} batching_10k")
+    if batching["agents"] != 10000:
+        fail(f"{path}: batching rung must run the full 10k-agent shard")
+    if not batching["gate_2x"] or batching["overhead_speedup"] < 2.0:
+        fail(f"{path}: batched frames cut wire overhead only "
+             f"{batching['overhead_speedup']}x (< 2x) vs "
+             "one-message-per-agent RPC")
+    fed = doc["tcp_federation_100k"]
+    require(fed, ["agents", "shards", "inproc_round_ms", "tcp_round_ms",
+                  "tcp_overhead_pct", "all_verified",
+                  "gate_within_50pct"], f"{path} tcp_federation_100k")
+    if fed["agents"] != 100000:
+        fail(f"{path}: federation rung must run the full 100k agents")
+    if not fed["all_verified"]:
+        fail(f"{path}: the TCP federated round lost agents")
+    if (not fed["gate_within_50pct"]
+            or fed["tcp_round_ms"] > 1.5 * fed["inproc_round_ms"]):
+        fail(f"{path}: TCP federated round ({fed['tcp_round_ms']}ms) "
+             f"exceeds 150% of in-proc ({fed['inproc_round_ms']}ms)")
+    return (f"codec {codec['speedup']}x vs json, batching cuts overhead "
+            f"{batching['overhead_speedup']}x, 100k TCP round "
+            f"+{fed['tcp_overhead_pct']}% over in-proc")
+
+
 # path -> (emitting bin, gate). Registration order is report order.
 CHECKS = {
     "BENCH_attestation.json": ("hotpath", check_attestation),
     "BENCH_policy.json": ("policy_bench", check_policy),
     "BENCH_recovery.json": ("recovery_bench", check_recovery),
     "BENCH_fleet.json": ("fleet_bench", check_fleet),
+    "BENCH_wire.json": ("wire_bench", check_wire),
 }
 
 

@@ -4,9 +4,10 @@
 # plus the committed BENCH_*.json gates (scripts/check_bench.py), the
 # storage/durability suite (append-only log engine + recovery
 # equivalence), the federation suite (consistent-hash ring, pipelined
-# rounds, shard-kill chaos), the chaos scenario corpus in release mode,
-# and the lock-sanitizer suite (runtime lock-order cycle detection over
-# the sim corpus).
+# rounds, shard-kill chaos), the wire-protocol suite (codec robustness
+# corpus, remote shard RPC, transport equivalence), the chaos scenario
+# corpus in release mode, and the lock-sanitizer suite (runtime
+# lock-order cycle detection over the sim corpus).
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -59,6 +60,12 @@ cargo test "${OFFLINE[@]}" -q -p cia-keylime --lib pipeline
 cargo test "${OFFLINE[@]}" --release --test federation_sharding
 cargo test "${OFFLINE[@]}" --release --test federation_sharding shard_kill
 cargo test "${OFFLINE[@]}" -q -p cia-sim --test properties fleet_metrics
+
+echo "== wire: codec robustness corpus, remote shard RPC, transport equivalence =="
+cargo test "${OFFLINE[@]}" -q -p cia-wire
+cargo test "${OFFLINE[@]}" -q -p cia-keylime remote
+cargo test "${OFFLINE[@]}" --release --test wire_federation
+cargo test "${OFFLINE[@]}" -q -p cia-sim --test properties wire_transport
 
 echo "== lock-sanitizer: runtime lock-order graph over the sim corpus =="
 cargo test "${OFFLINE[@]}" -q -p cia-sim --features lock-sanitizer

@@ -72,8 +72,8 @@ pub mod prelude {
         ChaosTransport, Cluster, ConfidentialVmConfig, FailureKind, FaultPlan, FaultTarget,
         FederatedRoundReport, Federation, FederationConfig, FleetScheduler, HashRing, HealthCounts,
         LossyTransport, MetricsSnapshot, PolicyDelta, PolicyEpoch, PolicyStore, ReliableTransport,
-        ResumePlan, RoundOutcome, RoundReport, RuntimePolicy, SecureWorldConfig, Tenant, Transport,
-        VerifierConfig, VerifierJournal,
+        ResumePlan, RoundOutcome, RoundReport, RuntimePolicy, SecureWorldConfig,
+        ShardTransportKind, Tenant, Transport, VerifierConfig, VerifierJournal,
     };
     pub use cia_os::{ExecMethod, Machine, MachineConfig, SimClock};
     pub use cia_tpm::{Manufacturer, Tpm};
