@@ -45,6 +45,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use cia_wire::{DuplexShardTransport, ShardTransport, TcpShardTransport};
+use parking_lot::RaceCell;
 
 use crate::agent::Agent;
 use crate::config::VerifierConfig;
@@ -155,8 +156,11 @@ pub struct Federation {
     shards: BTreeMap<u32, Shard>,
     store: Arc<ConcurrentPolicyStore>,
     /// Metrics folded out of killed shards, so the fleet-level snapshot
-    /// never loses the work a dead shard already did.
-    retired: MetricsSnapshot,
+    /// never loses the work a dead shard already did. Audited by the
+    /// race detector: the accumulator may only be touched by the
+    /// coordinator, ordered against shard-thread work through the
+    /// scoped-round join edges.
+    retired: RaceCell<MetricsSnapshot>,
     /// The layout this federation was built with — kept so joining
     /// shards ([`Federation::add_shard`]) and wire rounds reuse it.
     config: FederationConfig,
@@ -175,7 +179,7 @@ impl Federation {
             ring,
             shards,
             store: Arc::new(ConcurrentPolicyStore::new()),
-            retired: MetricsSnapshot::default(),
+            retired: RaceCell::new(MetricsSnapshot::default()).named("retired-metrics"),
             config,
         }
     }
@@ -397,7 +401,7 @@ impl Federation {
             }
         }
         let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
-        std::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (&sid, shard) in self.shards.iter_mut() {
                 let pool = pools.remove(&sid).unwrap_or_default();
@@ -475,7 +479,7 @@ impl Federation {
         let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
         let mut server_reports: BTreeMap<u32, RoundReport> = BTreeMap::new();
         let mut driven_rounds: BTreeMap<u32, DrivenRound> = BTreeMap::new();
-        std::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let mut servers = Vec::new();
             let mut drivers = Vec::new();
             for (&sid, shard) in self.shards.iter_mut() {
@@ -641,7 +645,7 @@ impl Federation {
 
         // Survivors' main round — the dead shard contributes nothing.
         let mut results: BTreeMap<u32, Vec<AgentRoundResult>> = BTreeMap::new();
-        std::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (&sid, shard) in self.shards.iter_mut() {
                 if sid == kill {
@@ -687,7 +691,7 @@ impl Federation {
                 catchup_pools.entry(sid).or_default().push(agent);
             }
         }
-        std::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (&sid, shard) in self.shards.iter_mut() {
                 let Some(pool) = catchup_pools.remove(&sid) else {
@@ -747,7 +751,8 @@ impl Federation {
             return Vec::new();
         };
         self.ring.remove_shard(shard);
-        self.retired = self.retired.merged(&dead.scheduler.snapshot());
+        let folded = self.retired.get().merged(&dead.scheduler.snapshot());
+        self.retired.set(folded);
 
         let moves: Vec<_> = dead
             .verifier
@@ -795,7 +800,7 @@ impl Federation {
     /// shards. Conserved whenever the shard snapshots are — the
     /// identity is linear (see [`MetricsSnapshot::merged`]).
     pub fn fleet_metrics(&self) -> MetricsSnapshot {
-        let mut snap = self.retired.clone();
+        let mut snap = self.retired.get().clone();
         for shard in self.shards.values() {
             snap = snap.merged(&shard.scheduler.snapshot());
         }

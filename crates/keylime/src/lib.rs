@@ -164,3 +164,11 @@ pub use verifier::{
 /// shim: `sanitizer::cycles()` must stay empty across every corpus run.
 #[cfg(feature = "lock-sanitizer")]
 pub use parking_lot::sanitizer;
+
+/// The vector-clock happens-before race detector from the same shim:
+/// `racecheck::races()` must stay empty across every corpus run —
+/// every audited access to `RaceCell`-wrapped shared state (the store's
+/// pin ledger, the federation's merge accumulators) must be ordered by
+/// instrumented synchronization.
+#[cfg(feature = "lock-sanitizer")]
+pub use parking_lot::racecheck;

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RaceCell, RwLock};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::AgentId;
@@ -257,8 +257,12 @@ impl PolicyStore {
 pub struct ConcurrentPolicyStore {
     /// The shared store. Lock order: acquired first.
     inner: RwLock<PolicyStore>,
-    /// Agent → last adopted epoch. Lock order: acquired second.
-    pins: Mutex<BTreeMap<AgentId, PolicyEpoch>>,
+    /// Agent → last adopted epoch. Lock order: acquired second. The
+    /// ledger itself is a [`RaceCell`] so the race detector audits that
+    /// every access really is ordered through the `pins` mutex (or
+    /// another instrumented edge) — a hand-rolled fast path that peeked
+    /// at the map without the lock would be convicted, not missed.
+    pins: Mutex<RaceCell<BTreeMap<AgentId, PolicyEpoch>>>,
 }
 
 impl Default for ConcurrentPolicyStore {
@@ -272,7 +276,7 @@ impl ConcurrentPolicyStore {
     pub fn new() -> Self {
         ConcurrentPolicyStore {
             inner: RwLock::new(PolicyStore::new()).named("inner"),
-            pins: Mutex::new(BTreeMap::new()).named("pins"),
+            pins: Mutex::new(RaceCell::new(BTreeMap::new()).named("pin-ledger")).named("pins"),
         }
     }
 
@@ -282,7 +286,7 @@ impl ConcurrentPolicyStore {
     pub fn restore(snapshot: Arc<RuntimePolicy>, epoch: PolicyEpoch) -> Self {
         ConcurrentPolicyStore {
             inner: RwLock::new(PolicyStore::restore(snapshot, epoch)).named("inner"),
-            pins: Mutex::new(BTreeMap::new()).named("pins"),
+            pins: Mutex::new(RaceCell::new(BTreeMap::new()).named("pin-ledger")).named("pins"),
         }
     }
 
@@ -315,13 +319,16 @@ impl ConcurrentPolicyStore {
     pub fn adopt(&self, agent: &AgentId) -> SharedPolicy {
         let inner = self.inner.read();
         let shared = inner.shared();
-        self.pins.lock().insert(agent.clone(), shared.epoch);
+        self.pins
+            .lock()
+            .get_mut()
+            .insert(agent.clone(), shared.epoch);
         shared
     }
 
     /// The epoch `agent` last adopted, if it ever adopted one.
     pub fn pin_of(&self, agent: &AgentId) -> Option<PolicyEpoch> {
-        self.pins.lock().get(agent).copied()
+        self.pins.lock().get().get(agent).copied()
     }
 
     /// Stamps `agent`'s pin at an *observed* epoch — the federation's
@@ -332,12 +339,12 @@ impl ConcurrentPolicyStore {
     ///
     /// [`adopt`]: ConcurrentPolicyStore::adopt
     pub fn record_pin(&self, agent: &AgentId, epoch: PolicyEpoch) {
-        self.pins.lock().insert(agent.clone(), epoch);
+        self.pins.lock().get_mut().insert(agent.clone(), epoch);
     }
 
     /// Removes `agent`'s pin (deregistration), returning it.
     pub fn unpin(&self, agent: &AgentId) -> Option<PolicyEpoch> {
-        self.pins.lock().remove(agent)
+        self.pins.lock().get_mut().remove(agent)
     }
 
     /// True when every pinned agent has adopted the current epoch.
@@ -348,7 +355,7 @@ impl ConcurrentPolicyStore {
         let inner = self.inner.read();
         let epoch = inner.epoch();
         let pins = self.pins.lock();
-        pins.values().all(|&pinned| pinned == epoch)
+        pins.get().values().all(|&pinned| pinned == epoch)
     }
 
     /// Agents pinned strictly behind the current epoch, oldest first.
@@ -357,6 +364,7 @@ impl ConcurrentPolicyStore {
         let epoch = inner.epoch();
         let pins = self.pins.lock();
         let mut out: Vec<(AgentId, PolicyEpoch)> = pins
+            .get()
             .iter()
             .filter(|(_, &pinned)| pinned < epoch)
             .map(|(id, &pinned)| (id.clone(), pinned))
@@ -382,7 +390,7 @@ impl ConcurrentPolicyStore {
         // seeded violation the sanitizer detection test must flag.
         let inner = self.inner.read();
         let shared = inner.shared();
-        pins.insert(agent.clone(), shared.epoch);
+        pins.get_mut().insert(agent.clone(), shared.epoch);
         shared
     }
 }

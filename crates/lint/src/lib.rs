@@ -17,17 +17,35 @@
 //! * **`allow-syntax`** — every `lint:allow` suppression must carry a
 //!   `: reason` clause.
 //!
+//! On top of the file-local rules, a **two-pass cross-file semantic
+//! engine** (pass 1: [`facts`] extraction per file over the [`parse`]
+//! item tree; pass 2: workspace-wide joins in
+//! [`rules::lint_semantic`]) enforces:
+//!
+//! * **`codec-symmetry`** — every `[pairs]`-declared encode/decode pair
+//!   must have mirrored put/get type-and-order sequences.
+//! * **`journal-exhaustive`** — every variant of an `[exhaustive]`-
+//!   declared enum must be matched in its designated consumer fn;
+//!   wildcard arms do not count.
+//! * **`taint`** — raw bytes from `[taint]` sources (`recv_frame`) may
+//!   not be indexed/sliced/`from_utf8`-unwrapped before a sanitizer
+//!   (`from_wire`, `check_crc`) runs, across function and file
+//!   boundaries.
+//!
 //! The static pass pairs with the *dynamic* `lock-sanitizer` feature in
-//! `shims/parking_lot`, which records the runtime lock-order graph and
-//! detects cycles across actual interleavings. Static analysis proves
-//! the order is respected where the heuristics can see; the sanitizer
-//! proves it where they cannot.
+//! `shims/parking_lot`, which records the runtime lock-order graph, a
+//! vector-clock happens-before race detector, and detects cycles across
+//! actual interleavings. Static analysis proves the order is respected
+//! where the heuristics can see; the sanitizer proves it where they
+//! cannot.
 //!
 //! See `cia-lint.manifest` at the workspace root for the declared hot
 //! paths, determinism allowlist, and lock order.
 
+pub mod facts;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -38,7 +56,7 @@ use std::fs;
 use std::path::Path;
 
 pub use manifest::Manifest;
-pub use rules::{lint_file, Finding};
+pub use rules::{lint_file, lint_semantic, Finding};
 pub use source::FileContext;
 
 /// A failure of the lint run itself (not a finding).
@@ -75,19 +93,46 @@ pub fn lint_workspace(root: &Path, manifest_path: &Path) -> Result<Vec<Finding>,
     let manifest = Manifest::parse(&text).map_err(|e| LintError::Manifest(e.to_string()))?;
 
     let files = walk::rust_sources(root).map_err(|e| LintError::Io(e.to_string()))?;
-    let mut findings = Vec::new();
+    let mut ctxs = Vec::with_capacity(files.len());
     for rel in &files {
         let source =
             fs::read_to_string(root.join(rel)).map_err(|e| LintError::Io(format!("{rel}: {e}")))?;
-        let ctx = FileContext::new(rel, &source);
-        findings.extend(lint_file(&ctx, &manifest));
+        ctxs.push(FileContext::new(rel, &source));
     }
-    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(findings)
+    Ok(lint_contexts(&ctxs, &manifest))
+}
+
+/// Lints a set of already-built contexts: the per-file rules on each,
+/// then the cross-file semantic pass over all of them together.
+/// Findings come back sorted by path, then line, then rule.
+pub fn lint_contexts(ctxs: &[FileContext], manifest: &Manifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for ctx in ctxs {
+        findings.extend(lint_file(ctx, manifest));
+    }
+    findings.extend(lint_semantic(ctxs, manifest));
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    findings
 }
 
 /// Lints a single source string — the entry point fixture tests use.
+/// Semantic rules run too, scoped to this one file.
 pub fn lint_source(path: &str, source: &str, manifest: &Manifest) -> Vec<Finding> {
-    let ctx = FileContext::new(path, source);
-    lint_file(&ctx, manifest)
+    let ctxs = [FileContext::new(path, source)];
+    lint_contexts(&ctxs, manifest)
+}
+
+/// Lints several in-memory sources together — for cross-file semantic
+/// tests without touching the filesystem.
+pub fn lint_sources(files: &[(&str, &str)], manifest: &Manifest) -> Vec<Finding> {
+    let ctxs: Vec<FileContext> = files
+        .iter()
+        .map(|(path, source)| FileContext::new(path, source))
+        .collect();
+    lint_contexts(&ctxs, manifest)
 }

@@ -31,10 +31,15 @@ pub fn human(findings: &[Finding]) -> String {
     out
 }
 
+/// Version of the JSON report schema. Bump on any breaking change to
+/// the shape below; `scripts/check_lint.py` pins it in CI so downstream
+/// tooling can rely on the contract.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
 /// Machine-readable report:
-/// `{"findings":[{"rule":…,"path":…,"line":…,"message":…,"snippet":…}],"count":N}`.
+/// `{"schema":1,"findings":[{"rule":…,"path":…,"line":…,"message":…,"snippet":…}],"count":N}`.
 pub fn json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"findings\":[");
+    let mut out = format!("{{\"schema\":{JSON_SCHEMA_VERSION},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -100,12 +105,12 @@ mod tests {
         let text = json(&sample());
         assert!(text.contains("\\\"k\\\""), "{text}");
         assert!(text.ends_with("\"count\":1}"));
-        assert!(text.starts_with("{\"findings\":["));
+        assert!(text.starts_with("{\"schema\":1,\"findings\":["));
     }
 
     #[test]
     fn empty_report() {
         assert!(human(&[]).contains("0 findings"));
-        assert_eq!(json(&[]), "{\"findings\":[],\"count\":0}");
+        assert_eq!(json(&[]), "{\"schema\":1,\"findings\":[],\"count\":0}");
     }
 }

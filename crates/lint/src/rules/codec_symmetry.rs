@@ -1,0 +1,173 @@
+//! `codec-symmetry` — declared encode/decode pairs must mirror.
+//!
+//! For every `pair` in the manifest's `[pairs]` section, the writer-op
+//! sequence of the encode fn and the reader-op sequence of the decode fn
+//! must agree step by step: same shapes, same order, same tag sets in a
+//! tag-dispatching match. An opaque sub-codec (`x.encode(w)` /
+//! `X::decode(r)`) matches any single step on the other side — nesting
+//! is the nested pair's problem, declared separately.
+//!
+//! This catches the classic desync at lint time: a field added to
+//! `encode` but not `decode` is a finding at the new `put_*` line, not a
+//! chaos-matrix failure three layers later.
+
+use std::collections::BTreeMap;
+
+use crate::facts::{Codec, FileFacts, Op};
+use crate::manifest::Manifest;
+use crate::rules::Finding;
+
+/// Compares one op sequence pairwise; `Sub` wildcards a single step.
+/// Returns the first divergence as `(line, message)`.
+fn compare_seq(enc: &[Op], dec: &[Op], what: &str) -> Option<(u32, String)> {
+    for (i, (e, d)) in enc.iter().zip(dec.iter()).enumerate() {
+        if e.shape != d.shape
+            && e.shape != crate::facts::Shape::Sub
+            && d.shape != crate::facts::Shape::Sub
+        {
+            return Some((
+                e.line,
+                format!(
+                    "{what} step {}: encode writes {} (line {}) but decode reads {} (line {})",
+                    i + 1,
+                    e.shape.name(),
+                    e.line,
+                    d.shape.name(),
+                    d.line
+                ),
+            ));
+        }
+    }
+    if enc.len() > dec.len() {
+        let extra = &enc[dec.len()];
+        return Some((
+            extra.line,
+            format!(
+                "{what}: encode writes a {} at line {} with no matching decode read — \
+                 decode will misparse every following field",
+                extra.shape.name(),
+                extra.line
+            ),
+        ));
+    }
+    if dec.len() > enc.len() {
+        let extra = &dec[enc.len()];
+        return Some((
+            extra.line,
+            format!(
+                "{what}: decode reads a {} at line {} that encode never writes",
+                extra.shape.name(),
+                extra.line
+            ),
+        ));
+    }
+    None
+}
+
+/// Compares the full codec structure of one pair.
+fn compare(enc: &Codec, dec: &Codec, enc_line: u32, dec_line: u32) -> Option<(u32, String)> {
+    if let Some(d) = compare_seq(&enc.linear, &dec.linear, "linear sequence") {
+        return Some(d);
+    }
+    match (&enc.arms, &dec.arms) {
+        (None, None) => None,
+        (Some(ea), Some(da)) => {
+            for (tag, ops) in &ea.by_tag {
+                let Some(dops) = da.by_tag.get(tag) else {
+                    return Some((
+                        da.line,
+                        format!(
+                            "tag {tag} is encoded (match at line {}) but never decoded \
+                             (match at line {})",
+                            ea.line, da.line
+                        ),
+                    ));
+                };
+                if let Some(d) = compare_seq(ops, dops, &format!("tag {tag} arm")) {
+                    return Some(d);
+                }
+            }
+            for tag in da.by_tag.keys() {
+                if !ea.by_tag.contains_key(tag) {
+                    return Some((
+                        ea.line,
+                        format!(
+                            "tag {tag} is decoded (match at line {}) but never encoded \
+                             (match at line {})",
+                            da.line, ea.line
+                        ),
+                    ));
+                }
+            }
+            None
+        }
+        (Some(ea), None) => Some((
+            dec_line,
+            format!(
+                "encode dispatches on wire tags (match at line {}) but decode has no \
+                 tag-keyed match",
+                ea.line
+            ),
+        )),
+        (None, Some(da)) => Some((
+            enc_line,
+            format!(
+                "decode dispatches on wire tags (match at line {}) but encode has no \
+                 tag-keyed match",
+                da.line
+            ),
+        )),
+    }
+}
+
+/// Checks every declared pair. At most one finding per pair — the first
+/// divergence; everything after it is noise once the streams disagree.
+pub fn check(facts: &BTreeMap<String, &FileFacts>, manifest: &Manifest, out: &mut Vec<Finding>) {
+    for pair in &manifest.pairs {
+        let mut emit = |line: u32, message: String| {
+            out.push(Finding {
+                rule: "codec-symmetry",
+                path: pair.file.clone(),
+                line,
+                message,
+                snippet: String::new(),
+            });
+        };
+        let Some(ff) = facts.get(pair.file.as_str()) else {
+            emit(
+                1,
+                format!(
+                    "[pairs] declares `{}` but the file was not analyzed — manifest drift",
+                    pair.file
+                ),
+            );
+            continue;
+        };
+        let Some(enc) = ff.fns.get(&pair.encode) else {
+            emit(
+                1,
+                format!(
+                    "[pairs] declares `{}` but no such fn in `{}`",
+                    pair.encode, pair.file
+                ),
+            );
+            continue;
+        };
+        let Some(dec) = ff.fns.get(&pair.decode) else {
+            emit(
+                1,
+                format!(
+                    "[pairs] declares `{}` but no such fn in `{}`",
+                    pair.decode, pair.file
+                ),
+            );
+            continue;
+        };
+        if let Some((line, detail)) = compare(&enc.codec, &dec.codec, enc.line, dec.line) {
+            emit(
+                line,
+                format!("`{}` / `{}` desync: {detail}", pair.encode, pair.decode),
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `journal-exhaustive` — designated consumers must match every variant.
+//!
+//! For every `consume` declaration in the manifest's `[exhaustive]`
+//! section, each variant of the enum must appear as an `Enum::Variant`
+//! pattern in some `match` arm of the designated consumer function.
+//! Wildcard (`_`) and binding arms deliberately do **not** count: a
+//! journal record that recovery swallows through a wildcard is silent
+//! data loss, which is exactly what this rule exists to make loud.
+
+use std::collections::BTreeMap;
+
+use crate::facts::FileFacts;
+use crate::manifest::Manifest;
+use crate::rules::Finding;
+
+/// Checks every `consume` declaration.
+pub fn check(facts: &BTreeMap<String, &FileFacts>, manifest: &Manifest, out: &mut Vec<Finding>) {
+    for decl in &manifest.exhaustive {
+        let mut emit = |path: &str, line: u32, message: String| {
+            out.push(Finding {
+                rule: "journal-exhaustive",
+                path: path.to_string(),
+                line,
+                message,
+                snippet: String::new(),
+            });
+        };
+        let Some(enum_ff) = facts.get(decl.enum_file.as_str()) else {
+            emit(
+                &decl.enum_file,
+                1,
+                format!(
+                    "[exhaustive] declares `{}` in `{}` but the file was not analyzed",
+                    decl.enum_name, decl.enum_file
+                ),
+            );
+            continue;
+        };
+        let Some(variants) = enum_ff.enums.get(&decl.enum_name) else {
+            emit(
+                &decl.enum_file,
+                1,
+                format!(
+                    "[exhaustive] declares enum `{}` but `{}` does not define it",
+                    decl.enum_name, decl.enum_file
+                ),
+            );
+            continue;
+        };
+        let Some(consumer) = facts
+            .get(decl.consumer_file.as_str())
+            .and_then(|ff| ff.fns.get(&decl.consumer_fn))
+        else {
+            emit(
+                &decl.consumer_file,
+                1,
+                format!(
+                    "[exhaustive] declares consumer `{}` but `{}` does not define it",
+                    decl.consumer_fn, decl.consumer_file
+                ),
+            );
+            continue;
+        };
+        for (variant, vline) in variants {
+            let consumed = consumer
+                .matched_variants
+                .contains(&(decl.enum_name.clone(), variant.clone()));
+            if !consumed {
+                emit(
+                    &decl.consumer_file,
+                    consumer.line,
+                    format!(
+                        "`{}::{}` (declared at {}:{}) is never matched in `{}` — a wildcard \
+                         arm would silently drop it on recovery",
+                        decl.enum_name, variant, decl.enum_file, vline, decl.consumer_fn
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,17 +1,28 @@
 //! The rule engine: which rules run where, and suppression filtering.
 //!
-//! Each rule is a pure function from a [`FileContext`] (plus the
-//! [`Manifest`]) to raw findings. The engine scopes rules to the paths
-//! they guard, then drops findings covered by an inline
+//! Each *file-local* rule is a pure function from a [`FileContext`]
+//! (plus the [`Manifest`]) to raw findings. The engine scopes rules to
+//! the paths they guard, then drops findings covered by an inline
 //! `// lint:allow(rule): reason` comment. A suppression without a
 //! reason is itself reported (`allow-syntax`) — silencing a rule is
 //! allowed, silencing it without saying why is not.
+//!
+//! The *semantic* rules (`codec-symmetry`, `journal-exhaustive`,
+//! `taint`) run as a second pass over the whole file set at once: pass 1
+//! extracts per-file facts ([`crate::facts`]), pass 2 joins them across
+//! the workspace here in [`lint_semantic`].
 
+pub mod codec_symmetry;
 pub mod determinism;
+pub mod journal_exhaustive;
 pub mod lock_order;
 pub mod panic_path;
+pub mod taint;
 pub mod wire_hygiene;
 
+use std::collections::BTreeMap;
+
+use crate::facts::{self, FileFacts};
 use crate::manifest::Manifest;
 use crate::source::FileContext;
 
@@ -81,6 +92,40 @@ pub fn lint_file(ctx: &FileContext, manifest: &Manifest) -> Vec<Finding> {
 
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     findings
+}
+
+/// Runs the cross-file semantic rules over the whole file set: extracts
+/// facts from every context, joins them per the manifest's `[pairs]` /
+/// `[exhaustive]` / `[taint]` declarations, fills snippets, and filters
+/// suppressions.
+pub fn lint_semantic(ctxs: &[FileContext], manifest: &Manifest) -> Vec<Finding> {
+    if !manifest.has_semantic_rules() {
+        return Vec::new();
+    }
+    let ctx_by_path: BTreeMap<String, &FileContext> =
+        ctxs.iter().map(|c| (c.path.clone(), c)).collect();
+    let extracted: Vec<FileFacts> = ctxs.iter().map(facts::extract).collect();
+    let facts_by_path: BTreeMap<String, &FileFacts> =
+        extracted.iter().map(|f| (f.path.clone(), f)).collect();
+
+    let mut raw = Vec::new();
+    codec_symmetry::check(&facts_by_path, manifest, &mut raw);
+    journal_exhaustive::check(&facts_by_path, manifest, &mut raw);
+    taint::check(&ctx_by_path, &facts_by_path, manifest, &mut raw);
+
+    raw.iter_mut().for_each(|f| {
+        if let Some(ctx) = ctx_by_path.get(&f.path) {
+            if f.snippet.is_empty() {
+                f.snippet = ctx.snippet(f.line).to_string();
+            }
+        }
+    });
+    raw.retain(|f| {
+        ctx_by_path
+            .get(&f.path)
+            .is_none_or(|ctx| !ctx.is_suppressed(f.rule, f.line))
+    });
+    raw
 }
 
 #[cfg(test)]

@@ -227,17 +227,63 @@ fn find_suppressions(tokens: &[Tok]) -> BTreeMap<u32, Vec<Suppression>> {
         };
         out.entry(t.line).or_default().push(s.clone());
         // Standalone (nothing before it on its own line): also cover the
-        // next code line.
+        // next code line, skipping over any `#[…]` / `#![…]` attribute
+        // groups so the suppression lands on the item itself, not its
+        // attributes.
         let standalone = i == 0 || tokens[i - 1].line < t.line;
         if standalone {
-            if let Some(next) = tokens[i + 1..].iter().find(|n| n.kind != TokKind::Comment) {
-                if next.line != t.line {
-                    out.entry(next.line).or_default().push(s);
+            if let Some(next) = next_code_line_after(tokens, i) {
+                if next != t.line {
+                    out.entry(next).or_default().push(s);
                 }
             }
         }
     }
     out
+}
+
+/// The line of the first code token after token `i`, skipping comments
+/// and whole attribute groups (`#` `[` … `]`, with an optional `!`). A
+/// standalone `// lint:allow` above `#[derive(…)]` should silence the
+/// item the attribute decorates, not the attribute line itself.
+fn next_code_line_after(tokens: &[Tok], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    loop {
+        while j < tokens.len() && tokens[j].kind == TokKind::Comment {
+            j += 1;
+        }
+        if j >= tokens.len() {
+            return None;
+        }
+        if !tokens[j].is_punct('#') {
+            return Some(tokens[j].line);
+        }
+        // Attribute group: `#` [`!`] `[` … `]` — bracket-match past it.
+        let mut m = j + 1;
+        while m < tokens.len() && tokens[m].kind == TokKind::Comment {
+            m += 1;
+        }
+        if m < tokens.len() && tokens[m].is_punct('!') {
+            m += 1;
+        }
+        if m >= tokens.len() || !tokens[m].is_punct('[') {
+            // A bare `#` that is not an attribute: treat as code.
+            return Some(tokens[j].line);
+        }
+        let mut depth = 0i32;
+        while m < tokens.len() {
+            if tokens[m].is_punct('[') {
+                depth += 1;
+            } else if tokens[m].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            m += 1;
+        }
+        j = m + 1;
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +348,13 @@ mod tests {
         let ctx = FileContext::new("x.rs", src);
         assert!(ctx.is_suppressed("determinism", 1));
         assert!(!ctx.is_suppressed("determinism", 2));
+    }
+
+    #[test]
+    fn suppression_skips_attributes_to_reach_the_item() {
+        let src = "// lint:allow(determinism): seeded helper\n#[derive(Debug)]\n#[allow(dead_code)]\nfn seeded() { Instant::now(); }\n";
+        let ctx = FileContext::new("x.rs", src);
+        assert!(ctx.is_suppressed("determinism", 4));
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: a standalone `lint:allow` above attribute lines must cover
+// the item the attributes decorate, not the attribute lines themselves
+// (the PR-5 follow-up gap). Zero findings expected: the determinism hit
+// on line 10 is suppressed through two intervening attributes.
+use std::time::Instant;
+
+// lint:allow(determinism): fixture proves suppression skips attributes
+#[inline]
+#[allow(dead_code)]
+pub fn stamp() -> Instant { Instant::now() }

@@ -1,0 +1,23 @@
+// Fixture: codec-symmetry desync. `Rec::encode` writes a trailing u32
+// (`flags`) that `Rec::decode` never reads — every frame after this one
+// would misparse. Expected finding: (codec-symmetry, 15), the extra
+// `put_u32` line. Keep line numbers stable.
+pub struct Rec {
+    pub id: u64,
+    pub name: String,
+    pub flags: u32,
+}
+
+impl Wire for Rec {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_str(&self.name);
+        w.put_u32(self.flags);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let name = r.str()?;
+        Ok(Rec { id, name, flags: 0 })
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: journal-exhaustiveness violation. `Journal::Abort` is only
+// reachable through the wildcard arm of `recover`, which is exactly the
+// silent-data-loss shape the rule exists to catch. Expected finding:
+// (journal-exhaustive, 12), the `recover` fn line. Keep lines stable.
+pub enum Journal {
+    Begin { epoch: u64 },
+    Commit(u64),
+    Abort,
+}
+
+#[allow(clippy::needless_return)]
+pub fn recover(rec: Journal) -> u32 {
+    match rec {
+        Journal::Begin { epoch } => epoch as u32,
+        Journal::Commit(n) => n as u32,
+        _ => 0,
+    }
+}

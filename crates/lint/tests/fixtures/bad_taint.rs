@@ -1,0 +1,10 @@
+// Fixture: untrusted-input taint violation. `payload` comes straight
+// off the transport (`recv_frame`) and is indexed before any sanitizer
+// runs — a short or corrupt frame panics the verifier right here.
+// Expected finding: (taint, 7). Keep line numbers stable.
+pub fn serve(rx: &mut Conn) -> Result<u8, WireError> {
+    let payload = rx.recv_frame()?;
+    let kind = payload[0];
+    let cmd = Command::from_wire(&payload)?;
+    Ok(kind.max(cmd.tag()))
+}

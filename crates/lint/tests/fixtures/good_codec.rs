@@ -1,0 +1,55 @@
+// Fixture: codec-symmetry good twin. `Rec` mirrors linearly; `Cmd`
+// mirrors through a tag-dispatching match (encode keys arms with
+// `put_u8(tag)`, decode keys arms with numeric patterns, and the
+// binding error arm is ignored). Must produce zero findings.
+pub struct Rec {
+    pub id: u64,
+    pub name: String,
+    pub flags: u32,
+}
+
+impl Wire for Rec {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        w.put_str(&self.name);
+        w.put_u32(self.flags);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let name = r.str()?;
+        let flags = r.u32()?;
+        Ok(Rec { id, name, flags })
+    }
+}
+
+pub enum Cmd {
+    Ping,
+    Say(String),
+    Batch(Vec<Rec>),
+}
+
+impl Wire for Cmd {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Cmd::Ping => w.put_u8(0),
+            Cmd::Say(s) => {
+                w.put_u8(1);
+                w.put_str(s);
+            }
+            Cmd::Batch(recs) => {
+                w.put_u8(2);
+                recs.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Cmd::Ping,
+            1 => Cmd::Say(String::decode(r)?),
+            2 => Cmd::Batch(Vec::<Rec>::decode(r)?),
+            tag => return Err(WireError::BadTag(tag)),
+        })
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: journal-exhaustiveness good twin. Every `Journal` variant is
+// matched by name in `recover` (a trailing wildcard for forward-compat
+// is fine once all current variants are named). Zero findings.
+pub enum Journal {
+    Begin { epoch: u64 },
+    Commit(u64),
+    Abort,
+}
+
+pub fn recover(rec: Journal) -> u32 {
+    match rec {
+        Journal::Begin { epoch } => epoch as u32,
+        Journal::Commit(n) => n as u32,
+        Journal::Abort => 0,
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: untrusted-input taint good twin. The frame is CRC-checked
+// before any byte of it is touched, so the later indexing and the
+// decode are both blessed. Zero findings.
+pub fn serve(rx: &mut Conn) -> Result<u8, WireError> {
+    let payload = rx.recv_frame()?;
+    check_crc(&payload)?;
+    let kind = payload[0];
+    let cmd = Command::from_wire(&payload)?;
+    Ok(kind.max(cmd.tag()))
+}

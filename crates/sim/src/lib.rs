@@ -351,6 +351,19 @@ impl SimRunner {
                 "round {round}: lock-order cycles recorded: {cycles:?}"
             );
         }
+
+        // And the happens-before race detector must have convicted no
+        // audited access: every read/write of `RaceCell`-wrapped shared
+        // state (pin ledger, federation accumulators) was ordered by an
+        // instrumented lock, channel, or fork/join edge.
+        #[cfg(feature = "lock-sanitizer")]
+        {
+            let races = cia_keylime::racecheck::races();
+            assert!(
+                races.is_empty(),
+                "round {round}: unordered accesses recorded: {races:?}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schema gate for `cia-lint --json` output.
+
+CI pipes the linter's machine-readable report through this script:
+
+    cargo run -q -p cia-lint -- --json | python3 scripts/check_lint.py
+
+The gate proves the report is consumable by tooling — versioned schema
+marker, well-formed finding rows, count consistent with the list — and,
+because CI runs it on the workspace, that the workspace is finding-clean
+(`--check` enforces the same thing; this checks the *report shape* too,
+so a formatter regression can't silently blind downstream consumers).
+
+Pass `--allow-findings` to gate only the schema (for piping a seeded-
+defect report during rule development).
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+RULES = {
+    "panic-path",
+    "determinism",
+    "lock-order",
+    "codec-symmetry",
+    "journal-exhaustive",
+    "taint",
+}
+
+FINDING_KEYS = ["rule", "path", "line", "message", "snippet"]
+
+
+def fail(msg):
+    sys.exit(f"lint gate failed: {msg}")
+
+
+def require(doc, keys, where):
+    missing = [k for k in keys if k not in doc]
+    if missing:
+        fail(f"{where} has a stale schema (missing {missing})")
+
+
+def check(doc, allow_findings):
+    require(doc, ["schema", "findings", "count"], "report")
+    if doc["schema"] != SCHEMA_VERSION:
+        fail(f"schema {doc['schema']} != expected {SCHEMA_VERSION}; "
+             "update this gate together with crates/lint/src/report.rs")
+    findings = doc["findings"]
+    if not isinstance(findings, list):
+        fail("findings is not a list")
+    if doc["count"] != len(findings):
+        fail(f"count {doc['count']} disagrees with {len(findings)} findings")
+    for i, f in enumerate(findings):
+        require(f, FINDING_KEYS, f"finding[{i}]")
+        if f["rule"] not in RULES:
+            fail(f"finding[{i}] names unknown rule {f['rule']!r}; "
+                 "register new rules here and in DESIGN.md")
+        if not isinstance(f["line"], int) or f["line"] < 1:
+            fail(f"finding[{i}] has a non-positive line {f['line']!r}")
+        if not f["path"]:
+            fail(f"finding[{i}] has an empty path")
+    if findings and not allow_findings:
+        head = ", ".join(f"{f['path']}:{f['line']} ({f['rule']})"
+                         for f in findings[:5])
+        fail(f"workspace is not finding-clean: {doc['count']} findings "
+             f"({head}{', …' if doc['count'] > 5 else ''})")
+    return f"schema v{doc['schema']}, {doc['count']} findings"
+
+
+def main(argv):
+    allow_findings = "--allow-findings" in argv
+    raw = sys.stdin.read()
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        fail(f"stdin is not valid JSON ({e}); pipe `cia-lint --json` in")
+    print(f"lint report ok: {check(doc, allow_findings)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # CI gate: formatting, workspace-wide clippy, the repo's own cia-lint
-# static pass, the tier-1 suite, a single-iteration bench smoke pass
-# plus the committed BENCH_*.json gates (scripts/check_bench.py), the
-# storage/durability suite (append-only log engine + recovery
-# equivalence), the federation suite (consistent-hash ring, pipelined
-# rounds, shard-kill chaos), the wire-protocol suite (codec robustness
-# corpus, remote shard RPC, transport equivalence), the chaos scenario
-# corpus in release mode, and the lock-sanitizer suite (runtime
-# lock-order cycle detection over the sim corpus).
+# static pass (file-local rules + the cross-file semantic engine, plus
+# the --json schema gate via scripts/check_lint.py), the tier-1 suite,
+# a single-iteration bench smoke pass plus the committed BENCH_*.json
+# gates (scripts/check_bench.py), the storage/durability suite
+# (append-only log engine + recovery equivalence), the federation suite
+# (consistent-hash ring, pipelined rounds, shard-kill chaos), the
+# wire-protocol suite (codec robustness corpus, remote shard RPC,
+# transport equivalence), the chaos scenario corpus in release mode,
+# and the lock-sanitizer suite (runtime lock-order cycle detection plus
+# the vector-clock happens-before race detector over the sim corpus).
 #
 # Usage: scripts/ci.sh [--offline]
 #
@@ -32,6 +34,10 @@ cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 
 echo "== cia-lint: workspace static analysis (--check) =="
 cargo run "${OFFLINE[@]}" -q -p cia-lint -- --check
+
+echo "== semlint: cross-file semantic rules + JSON report schema gate =="
+cargo test "${OFFLINE[@]}" -q -p cia-lint
+cargo run "${OFFLINE[@]}" -q -p cia-lint -- --json | python3 scripts/check_lint.py
 
 echo "== tier-1: cargo build --release =="
 cargo build "${OFFLINE[@]}" --release
@@ -67,9 +73,10 @@ cargo test "${OFFLINE[@]}" -q -p cia-keylime remote
 cargo test "${OFFLINE[@]}" --release --test wire_federation
 cargo test "${OFFLINE[@]}" -q -p cia-sim --test properties wire_transport
 
-echo "== lock-sanitizer: runtime lock-order graph over the sim corpus =="
+echo "== lock-sanitizer: lock-order graph + happens-before race detector =="
 cargo test "${OFFLINE[@]}" -q -p cia-sim --features lock-sanitizer
 cargo test "${OFFLINE[@]}" -q -p parking_lot --features lock-sanitizer
+cargo test "${OFFLINE[@]}" -q -p crossbeam --features lock-sanitizer
 cargo test "${OFFLINE[@]}" -q -p cia-keylime --features lock-sanitizer store
 
 echo "== chaos: scenario corpus (release) =="

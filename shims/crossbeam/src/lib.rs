@@ -5,6 +5,15 @@
 //! single-consumer, so this is implemented directly over a
 //! `Mutex<VecDeque>` + `Condvar`), plus a [`thread`] module re-exporting
 //! std's scoped threads under crossbeam's names.
+//!
+//! With the `lock-sanitizer` feature, both primitives additionally
+//! record **happens-before edges** into the parking_lot shim's
+//! vector-clock race detector: every `send` publishes the sender's
+//! clock to the channel and every `recv` inherits it, and the scoped
+//! [`thread`] wrappers record fork edges at `spawn` and join edges at
+//! `join()`/scope exit. Together with the instrumented locks this lets
+//! `racecheck::races()` prove that audited shared state is ordered by
+//! synchronization the shims can actually see.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +34,9 @@ pub mod channel {
         capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Happens-before identity for the race detector's channel clock.
+        #[cfg(feature = "lock-sanitizer")]
+        hb: parking_lot::sanitizer::LazyLockId,
     }
 
     fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
@@ -35,6 +47,8 @@ pub mod channel {
             capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            #[cfg(feature = "lock-sanitizer")]
+            hb: parking_lot::sanitizer::LazyLockId::new(),
         });
         (
             Sender {
@@ -156,6 +170,10 @@ pub mod channel {
                         .unwrap_or_else(|e| e.into_inner());
                 }
             }
+            // Recorded under the queue lock so a receiver that pops this
+            // value (also under the lock) observes the send's clock.
+            #[cfg(feature = "lock-sanitizer")]
+            parking_lot::racecheck::channel_send(self.shared.hb.get());
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -169,6 +187,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    #[cfg(feature = "lock-sanitizer")]
+                    parking_lot::racecheck::channel_recv(self.shared.hb.get());
                     drop(queue);
                     self.shared.space.notify_one();
                     return Ok(value);
@@ -188,6 +208,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = queue.pop_front() {
+                #[cfg(feature = "lock-sanitizer")]
+                parking_lot::racecheck::channel_recv(self.shared.hb.get());
                 drop(queue);
                 self.shared.space.notify_one();
                 return Ok(value);
@@ -266,6 +288,145 @@ pub mod channel {
 }
 
 /// Scoped threads (std re-exports under crossbeam's names).
+#[cfg(not(feature = "lock-sanitizer"))]
 pub mod thread {
     pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Scoped threads with fork/join happens-before instrumentation.
+///
+/// Same shape as `std::thread::scope`, but every `spawn` snapshots the
+/// parent's vector clock into the child and every `join()` — explicit
+/// on the handle or implicit at scope exit — merges the child's final
+/// clock back into the joiner. The race detector thus sees the real
+/// structured-concurrency ordering: anything a child wrote is ordered
+/// before everything the parent does after the scope closes.
+#[cfg(feature = "lock-sanitizer")]
+pub mod thread {
+    use parking_lot::racecheck::{self, Clock};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Instrumented stand-in for `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// Final clocks of every child, absorbed at scope exit for
+        /// handles that were never explicitly joined. A std mutex, not
+        /// the shim's: bookkeeping must not record lock edges itself.
+        /// (`Arc`, not a borrow — the higher-ranked closure bound on
+        /// `std::thread::scope` would otherwise force the borrow out to
+        /// `'env`.)
+        pending: Arc<StdMutex<Vec<Clock>>>,
+    }
+
+    /// Instrumented stand-in for `std::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, (T, Clock)>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread with a fork edge from the spawner.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let parent = racecheck::fork();
+            let pending = Arc::clone(&self.pending);
+            let inner = self.inner.spawn(move || {
+                racecheck::child_start(&parent);
+                let out = f();
+                let clock = racecheck::child_finish();
+                pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(clock.clone());
+                (out, clock)
+            });
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Joins the child, absorbing its final clock (a panic in the
+        /// child left its clock in the scope's pending list, absorbed
+        /// at scope exit).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner.join() {
+                Ok((out, clock)) => {
+                    racecheck::absorb_join(&clock);
+                    Ok(out)
+                }
+                Err(payload) => Err(payload),
+            }
+        }
+
+        /// Whether the child has finished running.
+        pub fn is_finished(&self) -> bool {
+            self.inner.is_finished()
+        }
+
+        /// The underlying thread.
+        pub fn thread(&self) -> &std::thread::Thread {
+            self.inner.thread()
+        }
+    }
+
+    /// Instrumented stand-in for `std::thread::scope`.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        let pending = Arc::new(StdMutex::new(Vec::new()));
+        let out = std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                pending: Arc::clone(&pending),
+            })
+        });
+        // Implicit joins: std::thread::scope has joined every child by
+        // now, so absorbing their clocks here is the matching
+        // happens-before edge. Double-absorb after an explicit join()
+        // is harmless — clock join is idempotent.
+        let mut clocks = pending.lock().unwrap_or_else(|e| e.into_inner());
+        for clock in clocks.drain(..) {
+            racecheck::absorb_join(&clock);
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use parking_lot::RaceCell;
+
+        #[test]
+        fn scope_exit_orders_unjoined_children() {
+            racecheck::reset();
+            let mut cells: Vec<RaceCell<u64>> = (0..4).map(RaceCell::new).collect();
+            scope(|s| {
+                for cell in cells.iter_mut() {
+                    s.spawn(move || cell.set(cell.get() + 1));
+                }
+            });
+            // Parent reads after the scope: ordered via implicit joins.
+            let total: u64 = cells.iter().map(|c| *c.get()).sum();
+            assert_eq!(total, 1 + 2 + 3 + 4);
+            assert!(racecheck::races().is_empty(), "{:?}", racecheck::races());
+        }
+
+        #[test]
+        fn explicit_join_orders_the_result_path() {
+            racecheck::reset();
+            let mut cell = RaceCell::new(0u64);
+            let doubled = scope(|s| {
+                let h = s.spawn(|| {
+                    cell.set(21);
+                    *cell.get()
+                });
+                h.join().expect("child") * 2
+            });
+            assert_eq!(doubled, 42);
+            assert!(racecheck::races().is_empty(), "{:?}", racecheck::races());
+        }
+    }
 }

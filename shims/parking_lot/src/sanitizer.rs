@@ -72,6 +72,11 @@ pub struct HeldToken {
 
 impl Drop for HeldToken {
     fn drop(&mut self) {
+        // The guards declare this token before the inner std guard, so
+        // this runs while the real lock is still held: the published
+        // release clock covers everything done under the lock, and no
+        // other thread can acquire before the publish lands.
+        crate::racecheck::lock_released(self.id);
         HELD.with(|held| {
             let mut held = held.borrow_mut();
             if let Some(pos) = held.iter().rposition(|&h| h == self.id) {
@@ -131,8 +136,11 @@ pub(crate) fn enter(id: u64) -> HeldToken {
 
 /// Marks `id` held without recording edges — for `try_*` acquisitions,
 /// which cannot block and therefore cannot close a deadlock cycle
-/// themselves (but must still order later blocking acquisitions).
+/// themselves (but must still order later blocking acquisitions). The
+/// caller already holds the real lock, so the happens-before acquire
+/// join is recorded here too.
 pub(crate) fn enter_quiet(id: u64) -> HeldToken {
+    crate::racecheck::lock_acquired(id);
     HELD.with(|held| held.borrow_mut().push(id));
     HeldToken { id }
 }
@@ -248,8 +256,8 @@ fn strongly_connected(nodes: &BTreeSet<u64>, edges: &BTreeSet<(u64, u64)>) -> Ve
         while let Some(node) = stack.pop() {
             members.push(node);
             for &p in rev.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
-                if !component_of.contains_key(&p) {
-                    component_of.insert(p, idx);
+                if let std::collections::btree_map::Entry::Vacant(slot) = component_of.entry(p) {
+                    slot.insert(idx);
                     stack.push(p);
                 }
             }
